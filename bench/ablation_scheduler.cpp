@@ -1,0 +1,126 @@
+// Ablation C: scheduling policy — FCFS drain vs EASY backfill.
+//
+// Two claims to verify:
+//   1. EASY fills the drain bubbles in front of full-machine jobs:
+//      higher utilization, far lower mean queue wait.
+//   2. The resilience measurements are schedule-*independent*: per-run
+//      failure probabilities and the headline fractions depend on run
+//      windows and sizes, not on when jobs start.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "common/strings.hpp"
+#include "logdiver/logdiver.hpp"
+#include "logdiver/report.hpp"
+
+namespace {
+
+struct PolicyResult {
+  double utilization_proxy = 0.0;  // production node-hours / span capacity
+  double mean_wait_hours = 0.0;
+  double max_wait_hours = 0.0;
+  double system_failure_fraction = 0.0;
+  double lost_share = 0.0;
+};
+
+PolicyResult RunPolicy(const ld::bench::BenchOptions& options,
+                       ld::SchedulerPolicy policy) {
+  ld::ScenarioConfig config = ld::bench::BenchScenario(options);
+  config.workload.scheduler_policy = policy;
+  // Scheduling policies only differ under contention: compress the
+  // campaign so the offered load saturates the machine (a scaled-down
+  // run count over 518 days leaves it nearly empty).
+  config.workload.campaign = ld::Duration::Days(
+      std::max<std::int64_t>(2, static_cast<std::int64_t>(
+                                    options.target_apps / 12000)));
+  const ld::Machine machine = ld::MakeMachine(config);
+  auto campaign = ld::RunCampaign(machine, config);
+  if (!campaign.ok()) {
+    std::cerr << campaign.status().ToString() << "\n";
+    std::exit(1);
+  }
+
+  PolicyResult result;
+  // Queue waits straight from the simulated jobs.
+  double wait_sum = 0.0;
+  ld::TimePoint lo, hi;
+  bool have = false;
+  for (const ld::Job& job : campaign->workload.jobs) {
+    const double wait = (job.start - job.submit).hours();
+    wait_sum += wait;
+    result.max_wait_hours = std::max(result.max_wait_hours, wait);
+    if (!have) {
+      lo = job.submit;
+      hi = job.end;
+      have = true;
+    } else {
+      lo = std::min(lo, job.submit);
+      hi = std::max(hi, job.end);
+    }
+  }
+  result.mean_wait_hours =
+      campaign->workload.jobs.empty()
+          ? 0.0
+          : wait_sum / static_cast<double>(campaign->workload.jobs.size());
+
+  ld::LogDiver diver(machine, {});
+  auto analysis = diver.Analyze(ld::LogSet{campaign->logs.torque,
+                                           campaign->logs.alps,
+                                           campaign->logs.syslog,
+                                           campaign->logs.hwerr});
+  if (!analysis.ok()) {
+    std::cerr << analysis.status().ToString() << "\n";
+    std::exit(1);
+  }
+  result.system_failure_fraction =
+      analysis->metrics.system_failure_fraction;
+  result.lost_share = analysis->metrics.lost_node_hours_fraction;
+  const double span_hours = have ? (hi - lo).hours() : 0.0;
+  result.utilization_proxy =
+      span_hours > 0.0
+          ? analysis->metrics.total_node_hours /
+                (span_hours * static_cast<double>(machine.compute_count()))
+          : 0.0;
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  using ld::bench::BenchOptions;
+  BenchOptions defaults;
+  defaults.target_apps = 120000;
+  const BenchOptions options = ld::bench::OptionsFromEnv(defaults);
+  ld::bench::PrintBenchHeader("Ablation C: FCFS vs EASY backfill", options);
+
+  const PolicyResult fcfs = RunPolicy(options, ld::SchedulerPolicy::kFcfs);
+  const PolicyResult easy =
+      RunPolicy(options, ld::SchedulerPolicy::kEasyBackfill);
+
+  std::vector<std::vector<std::string>> rows;
+  rows.push_back({"metric", "fcfs", "easy-backfill"});
+  rows.push_back({"mean queue wait (h)",
+                  ld::FormatDouble(fcfs.mean_wait_hours, 2),
+                  ld::FormatDouble(easy.mean_wait_hours, 2)});
+  rows.push_back({"max queue wait (h)",
+                  ld::FormatDouble(fcfs.max_wait_hours, 1),
+                  ld::FormatDouble(easy.max_wait_hours, 1)});
+  rows.push_back({"utilization proxy",
+                  ld::FormatDouble(fcfs.utilization_proxy, 4),
+                  ld::FormatDouble(easy.utilization_proxy, 4)});
+  rows.push_back({"system-failure fraction %",
+                  ld::FormatDouble(fcfs.system_failure_fraction * 100, 3),
+                  ld::FormatDouble(easy.system_failure_fraction * 100, 3)});
+  rows.push_back({"lost node-hours %",
+                  ld::FormatDouble(fcfs.lost_share * 100, 2),
+                  ld::FormatDouble(easy.lost_share * 100, 2)});
+  std::cout << ld::RenderTable(rows);
+
+  std::cout << "\nexpected shape: EASY slashes the mean queue wait (FCFS "
+               "drains the machine for hero jobs) at equal-or-better "
+               "utilization, while the system-failure fraction stays put.\n"
+               "note: the compressed campaign makes the lost-node-hours "
+               "share noisy (a single big failed run dominates it); the "
+               "failure *fraction* is the schedule-independence check\n";
+  return 0;
+}

@@ -1,0 +1,88 @@
+#include "bench_common.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+
+namespace ld::bench {
+
+namespace {
+
+std::uint64_t EnvU64(const char* name, std::uint64_t fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || *value == '\0') return fallback;
+  return std::strtoull(value, nullptr, 10);
+}
+
+double EnvDouble(const char* name, double fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || *value == '\0') return fallback;
+  return std::strtod(value, nullptr);
+}
+
+}  // namespace
+
+BenchOptions OptionsFromEnv(BenchOptions defaults) {
+  BenchOptions options = defaults;
+  options.target_apps = EnvU64("LD_BENCH_APPS", defaults.target_apps);
+  options.seed = EnvU64("LD_BENCH_SEED", defaults.seed);
+  options.large_bucket_boost =
+      EnvDouble("LD_BENCH_BOOST", defaults.large_bucket_boost);
+  return options;
+}
+
+ScenarioConfig BenchScenario(const BenchOptions& options) {
+  ScenarioConfig config;
+  config.seed = options.seed;
+  config.full_machine = true;
+  config.workload.target_app_runs = options.target_apps;
+  config.workload.campaign = Duration::Days(518);
+  config.workload.large_bucket_boost = options.large_bucket_boost;
+  // Fault model: calibrated defaults (FaultModelConfig) reproduce the
+  // abstract's anchors at full scale; see DESIGN.md "Calibration".
+  return config;
+}
+
+BenchCampaign RunBench(const BenchOptions& options) {
+  const ScenarioConfig config = BenchScenario(options);
+  Machine machine = MakeMachine(config);
+  auto campaign = RunCampaign(machine, config);
+  if (!campaign.ok()) {
+    std::cerr << "bench campaign failed: " << campaign.status().ToString()
+              << "\n";
+    std::exit(1);
+  }
+
+  LogDiver diver(machine, LogDiverConfig{});
+  LogSet logs;
+  logs.torque = campaign->logs.torque;
+  logs.alps = campaign->logs.alps;
+  logs.syslog = campaign->logs.syslog;
+  logs.hwerr = campaign->logs.hwerr;
+  auto analysis = diver.Analyze(logs);
+  if (!analysis.ok()) {
+    std::cerr << "bench analysis failed: " << analysis.status().ToString()
+              << "\n";
+    std::exit(1);
+  }
+
+  return BenchCampaign{std::move(machine), std::move(*campaign),
+                       std::move(*analysis)};
+}
+
+void PrintBenchHeader(const std::string& experiment,
+                      const BenchOptions& options) {
+  std::cout << "=== " << experiment << " ===\n";
+  std::cout << "campaign: " << options.target_apps
+            << " application runs over 518 days on Blue Waters "
+               "(22,640 XE + 4,224 XK), seed "
+            << options.seed;
+  if (options.large_bucket_boost != 1.0) {
+    std::cout << ", large-bucket boost x" << options.large_bucket_boost;
+  }
+  std::cout << "\n";
+  std::cout << "(counts scale with LD_BENCH_APPS; fractions, probabilities "
+               "and curve shapes are scale-invariant)\n\n";
+}
+
+}  // namespace ld::bench

@@ -1,0 +1,73 @@
+// Figure 1: workload characterization — distributions of application
+// node counts and run durations, per partition.  Establishes the
+// population shape every other figure conditions on: a heavy small-run
+// head with a thin full-machine tail, and lognormal durations.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "common/stats.hpp"
+#include "common/strings.hpp"
+#include "logdiver/report.hpp"
+
+namespace {
+
+void PrintCdf(const std::string& title, const std::vector<double>& sample,
+              const std::vector<double>& probes, int precision) {
+  std::cout << title << "\n";
+  std::vector<std::vector<std::string>> rows;
+  rows.push_back({"quantile", "value"});
+  for (double q : probes) {
+    rows.push_back({ld::FormatDouble(q, 2),
+                    ld::FormatDouble(ld::Quantile(sample, q), precision)});
+  }
+  std::cout << ld::RenderTable(rows) << "\n";
+}
+
+}  // namespace
+
+int main() {
+  using ld::bench::BenchOptions;
+  const BenchOptions options = ld::bench::OptionsFromEnv();
+  ld::bench::PrintBenchHeader("Figure 1: workload characterization", options);
+
+  const auto bench = ld::bench::RunBench(options);
+
+  for (ld::NodeType type : {ld::NodeType::kXE, ld::NodeType::kXK}) {
+    std::vector<double> nodes, hours;
+    for (const ld::AppRun& run : bench.analysis.runs) {
+      if (run.node_type != type) continue;
+      nodes.push_back(static_cast<double>(run.nodect));
+      hours.push_back(run.duration().hours());
+    }
+    if (nodes.empty()) continue;
+    const std::string partition = ld::NodeTypeName(type);
+    std::cout << "--- " << partition << " partition ("
+              << ld::WithThousands(nodes.size()) << " runs) ---\n";
+    PrintCdf("node-count quantiles", nodes,
+             {0.25, 0.50, 0.75, 0.90, 0.99, 0.999, 1.0}, 0);
+    PrintCdf("duration quantiles (hours)", hours,
+             {0.25, 0.50, 0.75, 0.90, 0.99, 1.0}, 2);
+
+    // Log-spaced node-count histogram: the "mass per decade" series the
+    // figure plots.
+    ld::LogHistogram hist(1.0, 30000.0, 9);
+    for (double n : nodes) hist.Add(n);
+    std::vector<std::vector<std::string>> rows;
+    rows.push_back({"node band", "runs", "share %"});
+    for (std::size_t i = 0; i < hist.bin_count(); ++i) {
+      if (hist.count(i) == 0) continue;
+      rows.push_back(
+          {ld::FormatDouble(hist.bin_lo(i), 0) + "-" +
+               ld::FormatDouble(hist.bin_hi(i), 0),
+           ld::FormatDouble(hist.count(i), 0),
+           ld::FormatDouble(hist.count(i) / hist.total() * 100.0, 2)});
+    }
+    std::cout << ld::RenderTable(rows) << "\n";
+  }
+
+  std::cout << "--- queue waits by job size ---\n";
+  ld::PrintQueueWaits(std::cout, bench.analysis.metrics);
+  std::cout << "\npaper: >5M runs dominated by small applications, with a "
+               "thin tail of full-machine runs on both partitions\n";
+  return 0;
+}

@@ -1,0 +1,36 @@
+// Figure 3: application failure probability vs application scale on the
+// XK (GPU/hybrid) partition.  Anchor A5: P rises from ~0.02 at 2,000
+// nodes to ~0.129 at 4,224 nodes — a ~6x blowup at full partition scale.
+#include <iostream>
+
+#include "analysis/scaling.hpp"
+#include "bench_common.hpp"
+#include "common/strings.hpp"
+#include "logdiver/report.hpp"
+
+int main() {
+  using ld::bench::BenchOptions;
+  BenchOptions defaults;
+  defaults.large_bucket_boost = 40.0;
+  const BenchOptions options = ld::bench::OptionsFromEnv(defaults);
+  ld::bench::PrintBenchHeader(
+      "Figure 3: XK failure probability vs scale (anchor A5)", options);
+
+  const auto bench = ld::bench::RunBench(options);
+  ld::PrintScaleCurve(std::cout, bench.analysis.metrics.xk_scale,
+                      "XK (GPU/hybrid) partition");
+
+  auto fit = ld::FitScaleCurve(bench.analysis.metrics.xk_scale);
+  if (fit.ok()) {
+    std::cout << "\nexposure-model fit: ln(-ln(1-P)) = "
+              << ld::FormatDouble(fit->exponent, 3) << " * ln(N) + "
+              << ld::FormatDouble(fit->log_c, 3)
+              << "   (R^2 = " << ld::FormatDouble(fit->r_squared, 3) << ")\n";
+    std::cout << "model P(2,000) = " << ld::FormatDouble(fit->Predict(2000), 4)
+              << ",  P(4,224) = " << ld::FormatDouble(fit->Predict(4224), 4)
+              << "\n";
+  }
+  std::cout << "\npaper anchors: P(2,000 nodes) ~0.02 -> P(4,224 nodes) "
+               "~0.129 (6x)\n";
+  return 0;
+}

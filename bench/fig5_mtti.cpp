@@ -1,0 +1,46 @@
+// Figure 5: mean time to (application-visible) interruption — monthly
+// MTTI series plus a reliability-distribution fit of the gaps between
+// consecutive system-caused failures.
+#include <iostream>
+
+#include "analysis/scaling.hpp"
+#include "bench_common.hpp"
+#include "common/strings.hpp"
+#include "logdiver/report.hpp"
+
+int main() {
+  using ld::bench::BenchOptions;
+  const BenchOptions options = ld::bench::OptionsFromEnv();
+  ld::bench::PrintBenchHeader("Figure 5: MTTI and interruption-gap fit",
+                              options);
+
+  const auto bench = ld::bench::RunBench(options);
+  ld::PrintMonthlySeries(std::cout, bench.analysis.metrics);
+  std::cout << "\noverall MTTI: "
+            << ld::FormatDouble(bench.analysis.metrics.overall_mtti_hours, 2)
+            << " hours between system-caused application failures\n"
+            << "(absolute MTTI scales inversely with LD_BENCH_APPS — at "
+               "the paper's full 5M-run volume it lands in the "
+               "hours range)\n";
+
+  auto fits =
+      ld::FitInterruptionGaps(bench.analysis.runs, bench.analysis.classified);
+  if (fits.ok()) {
+    const auto gaps = ld::InterruptionGapsHours(bench.analysis.runs,
+                                                bench.analysis.classified);
+    std::cout << "\ninterruption-gap distribution fits (best AIC first, "
+              << gaps.size() << " gaps):\n";
+    std::vector<std::vector<std::string>> rows;
+    rows.push_back({"family", "parameters", "AIC", "KS stat"});
+    for (const auto& fit : *fits) {
+      rows.push_back({fit->name(), fit->ToString(),
+                      ld::FormatDouble(fit->Aic(gaps), 1),
+                      ld::FormatDouble(ld::KsStatistic(gaps, *fit), 4)});
+    }
+    std::cout << ld::RenderTable(rows);
+  } else {
+    std::cout << "\n(too few gaps for a distribution fit: "
+              << fits.status().ToString() << ")\n";
+  }
+  return 0;
+}

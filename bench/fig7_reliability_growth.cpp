@@ -1,0 +1,72 @@
+// Figure 7 (extension): reliability growth over the production life.
+//
+// Field systems improve as bad parts are swapped and software matures;
+// the fault model exposes this as a time-varying hazard multiplier.
+// This bench runs the campaign with hazards declining 2.4x start-to-end
+// (mean ~1.0, so totals stay comparable to the stationary model) and
+// shows the monthly MTTI trend LogDiver measures from the logs.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "common/strings.hpp"
+#include "logdiver/logdiver.hpp"
+#include "logdiver/report.hpp"
+
+int main() {
+  using ld::bench::BenchOptions;
+  const BenchOptions options = ld::bench::OptionsFromEnv();
+  ld::bench::PrintBenchHeader(
+      "Figure 7 (extension): reliability growth over production life",
+      options);
+
+  ld::ScenarioConfig config = ld::bench::BenchScenario(options);
+  config.faults.hazard_multiplier_start = 1.6;
+  config.faults.hazard_multiplier_end = 0.4;
+  const ld::Machine machine = ld::MakeMachine(config);
+  auto campaign = ld::RunCampaign(machine, config);
+  if (!campaign.ok()) {
+    std::cerr << campaign.status().ToString() << "\n";
+    return 1;
+  }
+  ld::LogDiver diver(machine, {});
+  auto analysis = diver.Analyze(ld::LogSet{campaign->logs.torque,
+                                           campaign->logs.alps,
+                                           campaign->logs.syslog,
+                                           campaign->logs.hwerr});
+  if (!analysis.ok()) {
+    std::cerr << analysis.status().ToString() << "\n";
+    return 1;
+  }
+
+  ld::PrintMonthlySeries(std::cout, analysis->metrics);
+
+  // First-quarter vs last-quarter MTTI summary.
+  const auto& monthly = analysis->metrics.monthly;
+  if (monthly.size() >= 8) {
+    const std::size_t quarter = monthly.size() / 4;
+    auto mean_mtti = [&](std::size_t lo, std::size_t hi) {
+      double sum = 0.0;
+      std::size_t n = 0;
+      for (std::size_t i = lo; i < hi; ++i) {
+        if (monthly[i].mtti_hours > 0.0) {
+          sum += monthly[i].mtti_hours;
+          ++n;
+        }
+      }
+      return n ? sum / static_cast<double>(n) : 0.0;
+    };
+    const double early = mean_mtti(0, quarter);
+    const double late = mean_mtti(monthly.size() - quarter, monthly.size());
+    std::cout << "\nmean monthly MTTI, first quarter of the campaign: "
+              << ld::FormatDouble(early, 1) << " h\n";
+    std::cout << "mean monthly MTTI, last quarter of the campaign:  "
+              << ld::FormatDouble(late, 1) << " h\n";
+    if (early > 0.0) {
+      std::cout << "improvement: " << ld::FormatDouble(late / early, 2)
+                << "x\n";
+    }
+  }
+  std::cout << "\nexpected shape: MTTI improves several-fold from early "
+               "production to maturity, mirroring the hazard decline\n";
+  return 0;
+}

@@ -1,0 +1,168 @@
+// Tool-performance benchmarks (google-benchmark): throughput of each
+// LogDiver pipeline stage.  The paper's tool processed multi-gigabyte
+// production logs; these numbers show the reimplementation handles
+// field-study volumes comfortably.
+#include <benchmark/benchmark.h>
+
+#include "logdiver/logdiver.hpp"
+#include "logdiver/streaming.hpp"
+#include "simlog/scenario.hpp"
+
+namespace {
+
+// One shared campaign for all perf benchmarks (generation is expensive).
+struct SharedCampaign {
+  ld::ScenarioConfig config;
+  ld::Machine machine;
+  ld::Campaign campaign;
+  ld::LogSet logs;
+
+  SharedCampaign()
+      : config(MakeConfig()), machine(ld::MakeMachine(config)) {
+    auto result = ld::RunCampaign(machine, config);
+    if (!result.ok()) std::abort();
+    campaign = std::move(*result);
+    logs.torque = campaign.logs.torque;
+    logs.alps = campaign.logs.alps;
+    logs.syslog = campaign.logs.syslog;
+    logs.hwerr = campaign.logs.hwerr;
+  }
+
+  static ld::ScenarioConfig MakeConfig() {
+    ld::ScenarioConfig config;
+    config.seed = 7;
+    config.full_machine = true;
+    config.workload.target_app_runs = 50000;
+    config.workload.campaign = ld::Duration::Days(518);
+    return config;
+  }
+};
+
+const SharedCampaign& Shared() {
+  static SharedCampaign* shared = new SharedCampaign();
+  return *shared;
+}
+
+void BM_ParseTorque(benchmark::State& state) {
+  const auto& lines = Shared().logs.torque;
+  for (auto _ : state) {
+    ld::TorqueParser parser;
+    benchmark::DoNotOptimize(parser.ParseLines(lines));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(lines.size()));
+}
+BENCHMARK(BM_ParseTorque)->Unit(benchmark::kMillisecond);
+
+void BM_ParseAlps(benchmark::State& state) {
+  const auto& lines = Shared().logs.alps;
+  for (auto _ : state) {
+    ld::AlpsParser parser;
+    benchmark::DoNotOptimize(parser.ParseLines(lines));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(lines.size()));
+}
+BENCHMARK(BM_ParseAlps)->Unit(benchmark::kMillisecond);
+
+void BM_ParseSyslog(benchmark::State& state) {
+  const auto& lines = Shared().logs.syslog;
+  for (auto _ : state) {
+    ld::SyslogParser parser(2013);
+    benchmark::DoNotOptimize(parser.ParseLines(lines));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(lines.size()));
+}
+BENCHMARK(BM_ParseSyslog)->Unit(benchmark::kMillisecond);
+
+void BM_Coalesce(benchmark::State& state) {
+  const auto& shared = Shared();
+  ld::SyslogParser syslog_parser(2013);
+  std::vector<ld::ErrorRecord> records =
+      syslog_parser.ParseLines(shared.logs.syslog);
+  ld::HwerrParser hwerr_parser;
+  auto hwerr = hwerr_parser.ParseLines(shared.logs.hwerr);
+  records.insert(records.end(), hwerr.begin(), hwerr.end());
+  for (auto _ : state) {
+    auto copy = records;
+    benchmark::DoNotOptimize(
+        ld::CoalesceEvents(shared.machine, std::move(copy), {}, nullptr));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(records.size()));
+}
+BENCHMARK(BM_Coalesce)->Unit(benchmark::kMillisecond);
+
+void BM_Reconstruct(benchmark::State& state) {
+  const auto& shared = Shared();
+  ld::AlpsParser alps_parser;
+  const auto alps = alps_parser.ParseLines(shared.logs.alps);
+  ld::TorqueParser torque_parser;
+  const auto torque = torque_parser.ParseLines(shared.logs.torque);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        ld::ReconstructRuns(shared.machine, alps, torque, nullptr));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(alps.size()));
+}
+BENCHMARK(BM_Reconstruct)->Unit(benchmark::kMillisecond);
+
+void BM_Classify(benchmark::State& state) {
+  const auto& shared = Shared();
+  ld::LogDiver diver(shared.machine, {});
+  auto analysis = diver.Analyze(shared.logs);
+  if (!analysis.ok()) std::abort();
+  const ld::Correlator correlator(shared.machine, {});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        correlator.Classify(analysis->runs, analysis->tuples));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(analysis->runs.size()));
+}
+BENCHMARK(BM_Classify)->Unit(benchmark::kMillisecond);
+
+void BM_StreamingPipeline(benchmark::State& state) {
+  const auto& shared = Shared();
+  std::int64_t total_lines = static_cast<std::int64_t>(
+      shared.logs.torque.size() + shared.logs.alps.size() +
+      shared.logs.syslog.size() + shared.logs.hwerr.size());
+  for (auto _ : state) {
+    ld::StreamingAnalyzer analyzer(shared.machine, {});
+    for (const std::string& line : shared.logs.torque) {
+      analyzer.AddTorqueLine(line);
+    }
+    for (const std::string& line : shared.logs.alps) {
+      analyzer.AddAlpsLine(line);
+    }
+    for (const std::string& line : shared.logs.syslog) {
+      analyzer.AddSyslogLine(line);
+    }
+    for (const std::string& line : shared.logs.hwerr) {
+      analyzer.AddHwerrLine(line);
+    }
+    benchmark::DoNotOptimize(analyzer.Finalize());
+  }
+  state.SetItemsProcessed(state.iterations() * total_lines);
+}
+BENCHMARK(BM_StreamingPipeline)->Unit(benchmark::kMillisecond);
+
+void BM_FullPipeline(benchmark::State& state) {
+  const auto& shared = Shared();
+  ld::LogDiver diver(shared.machine, {});
+  std::int64_t total_lines = static_cast<std::int64_t>(
+      shared.logs.torque.size() + shared.logs.alps.size() +
+      shared.logs.syslog.size() + shared.logs.hwerr.size());
+  for (auto _ : state) {
+    auto analysis = diver.Analyze(shared.logs);
+    benchmark::DoNotOptimize(analysis);
+  }
+  state.SetItemsProcessed(state.iterations() * total_lines);
+}
+BENCHMARK(BM_FullPipeline)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

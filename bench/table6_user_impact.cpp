@@ -1,0 +1,44 @@
+// Table 6 (extension beyond the abstract): per-user impact of system
+// failures — the user-facing framing of "work lost".  Lost node-hours
+// concentrate heavily on the capability users who run the big, long,
+// exposure-heavy jobs.
+#include <iostream>
+
+#include "analysis/users.hpp"
+#include "bench_common.hpp"
+#include "common/strings.hpp"
+#include "logdiver/report.hpp"
+
+int main() {
+  using ld::bench::BenchOptions;
+  const BenchOptions options = ld::bench::OptionsFromEnv();
+  ld::bench::PrintBenchHeader(
+      "Table 6 (extension): per-user impact of system failures", options);
+
+  const auto bench = ld::bench::RunBench(options);
+  const ld::UserImpactReport report =
+      ld::ComputeUserImpact(bench.analysis.runs, bench.analysis.classified);
+
+  std::vector<std::vector<std::string>> rows;
+  rows.push_back({"user", "runs", "system failures", "failure rate %",
+                  "node-hours", "lost node-hours"});
+  const std::size_t top = std::min<std::size_t>(15, report.rows.size());
+  for (std::size_t i = 0; i < top; ++i) {
+    const ld::UserImpactRow& row = report.rows[i];
+    rows.push_back({row.user, ld::WithThousands(row.runs),
+                    ld::WithThousands(row.system_failures),
+                    ld::FormatDouble(row.SystemFailureRate() * 100.0, 2),
+                    ld::FormatDouble(row.node_hours, 0),
+                    ld::FormatDouble(row.lost_node_hours, 0)});
+  }
+  std::cout << rows.size() - 1 << " most-impacted users of "
+            << report.rows.size() << ":\n";
+  std::cout << ld::RenderTable(rows);
+
+  std::cout << "\ntop 10% of users absorb "
+            << ld::FormatDouble(report.top_decile_lost_share * 100.0, 1)
+            << "% of all lost node-hours ("
+            << ld::FormatDouble(report.total_lost_node_hours, 0)
+            << " node-hours lost in total)\n";
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Table 7 (extension): incident blast radius.
+//
+// Groups system-classified failures by the error tuple LogDiver blamed,
+// showing how many application runs and node-hours a single incident
+// takes down.  System-wide Lustre incidents dominate: one bad filesystem
+// event can kill dozens of concurrent applications — the long tail the
+// field study's "energy cost" framing comes from.
+#include <algorithm>
+#include <iostream>
+#include <map>
+
+#include "bench_common.hpp"
+#include "common/strings.hpp"
+#include "logdiver/report.hpp"
+
+int main() {
+  using ld::bench::BenchOptions;
+  const BenchOptions options = ld::bench::OptionsFromEnv();
+  ld::bench::PrintBenchHeader("Table 7 (extension): incident blast radius",
+                              options);
+
+  const auto bench = ld::bench::RunBench(options);
+
+  struct Impact {
+    std::uint64_t kills = 0;
+    double node_hours = 0.0;
+  };
+  std::map<std::uint64_t, Impact> by_tuple;
+  std::uint64_t unexplained = 0;
+  for (const ld::ClassifiedRun& cls : bench.analysis.classified) {
+    if (cls.outcome != ld::AppOutcome::kSystemFailure) continue;
+    if (cls.tuple_id == 0) {
+      ++unexplained;
+      continue;
+    }
+    Impact& impact = by_tuple[cls.tuple_id];
+    ++impact.kills;
+    impact.node_hours += bench.analysis.runs[cls.run_index].NodeHours();
+  }
+
+  std::map<std::uint64_t, const ld::ErrorTuple*> tuples;
+  for (const ld::ErrorTuple& t : bench.analysis.tuples) {
+    tuples.emplace(t.id, &t);
+  }
+
+  // Kills-per-incident distribution.
+  std::map<std::uint64_t, std::uint64_t> histogram;  // kills -> incidents
+  for (const auto& [id, impact] : by_tuple) ++histogram[impact.kills];
+  std::vector<std::vector<std::string>> rows;
+  rows.push_back({"kills per incident", "incidents"});
+  for (const auto& [kills, count] : histogram) {
+    rows.push_back({ld::WithThousands(kills), ld::WithThousands(count)});
+  }
+  std::cout << rows.size() - 1 << " distinct kill counts:\n"
+            << ld::RenderTable(rows) << "\n";
+
+  // Top incidents by kills.
+  std::vector<std::pair<std::uint64_t, Impact>> sorted(by_tuple.begin(),
+                                                       by_tuple.end());
+  std::sort(sorted.begin(), sorted.end(),
+            [](const auto& a, const auto& b) {
+              return a.second.kills > b.second.kills;
+            });
+  rows.clear();
+  rows.push_back({"category", "when", "runs killed", "node-hours lost"});
+  for (std::size_t i = 0; i < std::min<std::size_t>(10, sorted.size()); ++i) {
+    const auto& [id, impact] = sorted[i];
+    const auto it = tuples.find(id);
+    rows.push_back(
+        {it != tuples.end() ? ld::ErrorCategoryName(it->second->category)
+                            : "?",
+         it != tuples.end() ? it->second->first.ToIso() : "?",
+         ld::WithThousands(impact.kills),
+         ld::FormatDouble(impact.node_hours, 0)});
+  }
+  std::cout << "top incidents by applications killed:\n"
+            << ld::RenderTable(rows);
+  std::cout << "\nfailures without an attributable incident: "
+            << ld::WithThousands(unexplained) << "\n";
+  return 0;
+}

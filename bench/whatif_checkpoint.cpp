@@ -1,0 +1,80 @@
+// What-if (extension): simulation-backed checkpoint policy study.
+//
+// Derives per-scale MTTI from the measured failure-probability curve,
+// then *simulates* checkpoint/restart under that interruption rate for
+// several interval choices, validating the Young/Daly rule against the
+// no-checkpoint baseline — the actionable conclusion of the paper's
+// measurements.
+#include <cmath>
+#include <iostream>
+
+#include "analysis/checkpoint.hpp"
+#include "analysis/scaling.hpp"
+#include "bench_common.hpp"
+#include "common/strings.hpp"
+#include "logdiver/report.hpp"
+
+int main() {
+  using ld::bench::BenchOptions;
+  BenchOptions defaults;
+  defaults.target_apps = 120000;
+  defaults.large_bucket_boost = 40.0;
+  const BenchOptions options = ld::bench::OptionsFromEnv(defaults);
+  ld::bench::PrintBenchHeader(
+      "What-if (extension): checkpoint policy under measured MTTI", options);
+
+  const auto bench = ld::bench::RunBench(options);
+
+  const double work_hours = 24.0;       // a day of useful compute
+  const double ckpt_cost_hours = 5.0 / 60.0;
+  std::cout << "application: " << work_hours << " h of work, "
+            << ld::FormatDouble(ckpt_cost_hours * 60, 0)
+            << "-minute checkpoints\n\n";
+
+  std::vector<std::vector<std::string>> rows;
+  rows.push_back({"nodes", "MTTI (h)", "policy", "interval (h)",
+                  "mean makespan (h)", "efficiency %", "interruptions"});
+  ld::Rng rng(17);
+  for (double nodes : {2048.0, 8192.0, 22000.0}) {
+    auto p = ld::InterpolateScaleCurve(bench.analysis.metrics.xe_scale, nodes);
+    if (!p.ok()) continue;
+    // Per-run failure probability of a nominal 5h run -> hourly rate.
+    const double p5 = std::min(0.95, std::max(1e-6, *p));
+    const double mtti = -5.0 / std::log(1.0 - p5);
+
+    const double daly = ld::DalyInterval(ckpt_cost_hours, mtti);
+    struct Policy {
+      const char* name;
+      double interval;
+    };
+    const Policy policies[] = {
+        {"none", 0.0},
+        {"daly/4", daly / 4.0},
+        {"daly", daly},
+        {"daly*4", daly * 4.0},
+    };
+    for (const Policy& policy : policies) {
+      ld::CheckpointRunConfig config;
+      config.work_hours = work_hours;
+      config.checkpoint_cost_hours = ckpt_cost_hours;
+      config.restart_cost_hours = ckpt_cost_hours;
+      config.interval_hours = policy.interval;
+      config.max_makespan_hours = 5000.0;
+      const ld::CheckpointStudy study =
+          ld::RunCheckpointStudy(config, mtti, 300, rng);
+      rows.push_back(
+          {ld::WithThousands(static_cast<std::uint64_t>(nodes)),
+           ld::FormatDouble(mtti, 1), policy.name,
+           ld::FormatDouble(policy.interval, 2),
+           ld::FormatDouble(study.mean_makespan_hours, 1),
+           ld::FormatDouble(study.mean_useful_fraction * 100.0, 1),
+           ld::FormatDouble(study.mean_interruptions, 1)});
+    }
+  }
+  std::cout << ld::RenderTable(rows);
+  std::cout << "\nexpected shape: at small scale checkpointing barely "
+               "matters; at full machine scale the no-checkpoint makespan "
+               "balloons while the Daly interval sits at (or near) the "
+               "sweep optimum\n";
+  return 0;
+}

@@ -1,0 +1,89 @@
+// What-if (extension): value of better hybrid-node error detection.
+//
+// The paper's central recommendation is that XK resiliency is limited by
+// error-detection coverage.  The simulated substrate can quantify the
+// claim: sweep the GPU-side detection probability and measure, against
+// ground truth, how many true system kills LogDiver (i) misreads as
+// application bugs and (ii) cannot attribute — i.e., what operators and
+// users would actually gain from detector improvements.
+#include <iostream>
+
+#include "analysis/scoring.hpp"
+#include "bench_common.hpp"
+#include "common/strings.hpp"
+#include "logdiver/logdiver.hpp"
+#include "logdiver/report.hpp"
+
+int main() {
+  using ld::bench::BenchOptions;
+  BenchOptions defaults;
+  defaults.target_apps = 120000;
+  const BenchOptions options = ld::bench::OptionsFromEnv(defaults);
+  ld::bench::PrintBenchHeader(
+      "What-if (extension): GPU error-detection coverage sweep", options);
+
+  std::vector<std::vector<std::string>> rows;
+  rows.push_back({"gpu detection", "XK true kills", "misread as app bug",
+                  "misread %", "unattributed %", "system recall",
+                  "cause accuracy"});
+
+  for (double detection : {0.30, 0.60, 0.90, 1.00}) {
+    ld::ScenarioConfig config = ld::bench::BenchScenario(options);
+    config.faults.gpu_error_detection = detection;
+    // More XK traffic so the GPU channel has statistics.
+    config.workload.xk_job_fraction = 0.35;
+    const ld::Machine machine = ld::MakeMachine(config);
+    auto campaign = ld::RunCampaign(machine, config);
+    if (!campaign.ok()) {
+      std::cerr << campaign.status().ToString() << "\n";
+      return 1;
+    }
+    ld::LogDiver diver(machine, {});
+    auto analysis = diver.Analyze(ld::LogSet{campaign->logs.torque,
+                                             campaign->logs.alps,
+                                             campaign->logs.syslog,
+                                             campaign->logs.hwerr});
+    if (!analysis.ok()) {
+      std::cerr << analysis.status().ToString() << "\n";
+      return 1;
+    }
+
+    std::unordered_map<ld::ApId, std::size_t> index;
+    for (std::size_t i = 0; i < analysis->runs.size(); ++i) {
+      index.emplace(analysis->runs[i].apid, i);
+    }
+    std::uint64_t xk_true = 0, misread = 0, unattributed = 0;
+    for (const auto& [apid, rec] : campaign->injection.truth) {
+      if (rec.outcome != ld::AppOutcome::kSystemFailure) continue;
+      const auto it = index.find(apid);
+      if (it == index.end()) continue;
+      if (analysis->runs[it->second].node_type != ld::NodeType::kXK) continue;
+      ++xk_true;
+      const ld::ClassifiedRun& cls = analysis->classified[it->second];
+      if (cls.outcome == ld::AppOutcome::kUserFailure) ++misread;
+      if (cls.outcome == ld::AppOutcome::kSystemFailure &&
+          cls.cause == ld::ErrorCategory::kUnknown) {
+        ++unattributed;
+      }
+    }
+    const ld::ScoreReport score = ld::ScoreClassification(
+        analysis->runs, analysis->classified, campaign->injection.truth);
+    auto pct = [&](std::uint64_t n) {
+      return xk_true ? ld::FormatDouble(100.0 * static_cast<double>(n) /
+                                            static_cast<double>(xk_true),
+                                        1)
+                     : std::string("0");
+    };
+    rows.push_back({ld::FormatDouble(detection, 2),
+                    ld::WithThousands(xk_true), ld::WithThousands(misread),
+                    pct(misread), pct(unattributed),
+                    ld::FormatDouble(score.system_recall, 4),
+                    ld::FormatDouble(score.cause_accuracy, 4)});
+  }
+  std::cout << ld::RenderTable(rows);
+  std::cout << "\nexpected shape: misread and unattributed XK failures fall "
+               "monotonically as detection improves; at 1.0 nearly every system "
+               "kill is correctly categorized and attributable — the "
+               "measurement-backed case for better hybrid-node detectors\n";
+  return 0;
+}

@@ -1,0 +1,109 @@
+// GPU resilience: CPU (XE) vs hybrid (XK) partitions head to head.
+//
+// Reproduces the paper's hybrid-node finding as a user would: same
+// campaign, per-partition failure rates, cause mixes, and the detection
+// gap — then scores LogDiver's classification of XK failures against
+// ground truth to show how many GPU kills masquerade as application
+// bugs.
+#include <iostream>
+#include <map>
+
+#include "analysis/scoring.hpp"
+#include "common/strings.hpp"
+#include "logdiver/logdiver.hpp"
+#include "logdiver/report.hpp"
+#include "simlog/scenario.hpp"
+
+int main() {
+  ld::ScenarioConfig config;
+  config.seed = 99;
+  config.full_machine = true;
+  config.workload.target_app_runs = 120000;
+  config.workload.campaign = ld::Duration::Days(518);
+  // Study the hybrid partition: give XK more of the workload than its
+  // production share so per-category counts are meaningful.
+  config.workload.xk_job_fraction = 0.35;
+
+  const ld::Machine machine = ld::MakeMachine(config);
+  auto campaign = ld::RunCampaign(machine, config);
+  if (!campaign.ok()) {
+    std::cerr << campaign.status().ToString() << "\n";
+    return 1;
+  }
+  ld::LogDiver diver(machine, {});
+  ld::LogSet logs{campaign->logs.torque, campaign->logs.alps,
+                  campaign->logs.syslog, campaign->logs.hwerr};
+  auto analysis = diver.Analyze(logs);
+  if (!analysis.ok()) {
+    std::cerr << analysis.status().ToString() << "\n";
+    return 1;
+  }
+
+  // Per-partition outcome rates.
+  struct Split {
+    std::uint64_t runs = 0;
+    std::uint64_t system = 0;
+    std::uint64_t unattributed = 0;
+  };
+  std::map<ld::NodeType, Split> split;
+  for (const ld::ClassifiedRun& cls : analysis->classified) {
+    const ld::AppRun& run = analysis->runs[cls.run_index];
+    Split& s = split[run.node_type];
+    ++s.runs;
+    if (cls.outcome == ld::AppOutcome::kSystemFailure) {
+      ++s.system;
+      if (cls.cause == ld::ErrorCategory::kUnknown) ++s.unattributed;
+    }
+  }
+  std::vector<std::vector<std::string>> rows;
+  rows.push_back({"partition", "runs", "system failures", "rate %",
+                  "unattributed %"});
+  for (const auto& [type, s] : split) {
+    rows.push_back(
+        {ld::NodeTypeName(type), ld::WithThousands(s.runs),
+         ld::WithThousands(s.system),
+         ld::FormatDouble(100.0 * static_cast<double>(s.system) /
+                              static_cast<double>(s.runs),
+                          3),
+         s.system ? ld::FormatDouble(100.0 * static_cast<double>(
+                                                 s.unattributed) /
+                                         static_cast<double>(s.system),
+                                     1)
+                  : "0"});
+  }
+  std::cout << ld::RenderTable(rows) << "\n";
+
+  ld::PrintAttributionTable(std::cout, analysis->metrics);
+
+  // Ground-truth check: true XK system kills LogDiver called user bugs.
+  std::unordered_map<ld::ApId, std::size_t> index;
+  for (std::size_t i = 0; i < analysis->runs.size(); ++i) {
+    index.emplace(analysis->runs[i].apid, i);
+  }
+  std::uint64_t xk_true = 0, xk_masked = 0;
+  for (const auto& [apid, rec] : campaign->injection.truth) {
+    if (rec.outcome != ld::AppOutcome::kSystemFailure) continue;
+    const auto it = index.find(apid);
+    if (it == index.end()) continue;
+    if (analysis->runs[it->second].node_type != ld::NodeType::kXK) continue;
+    ++xk_true;
+    if (analysis->classified[it->second].outcome ==
+        ld::AppOutcome::kUserFailure) {
+      ++xk_masked;
+    }
+  }
+  std::cout << "\ntrue XK system kills: " << xk_true
+            << "; classified as application bugs (masked by missing GPU "
+               "error detection): "
+            << xk_masked << " ("
+            << ld::FormatDouble(xk_true ? 100.0 * static_cast<double>(
+                                                      xk_masked) /
+                                              static_cast<double>(xk_true)
+                                        : 0.0,
+                                1)
+            << "%)\n";
+  std::cout << "\npaper: hybrid-node resiliency is impaired by inadequate "
+               "error detection — a field-study measurement this simulated "
+               "substrate can verify against ground truth\n";
+  return 0;
+}

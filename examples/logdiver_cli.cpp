@@ -1,0 +1,151 @@
+// logdiver_cli: the tool as a command-line utility.
+//
+//   logdiver_cli generate <dir> [--seed N] [--apps N] [--days N] [--small]
+//       Simulate a campaign and write a log bundle (torque.log, alps.log,
+//       syslog.log, hwerr.log, ground_truth.csv, MANIFEST) to <dir>.
+//
+//   logdiver_cli analyze <dir> [--small]
+//       Run the full LogDiver pipeline over a bundle directory and print
+//       every report table.  With ground_truth.csv present, also scores
+//       the classification.
+//
+// --small selects the 1,152-node testbed machine instead of the full
+// Blue Waters model (the machine geometry must match the bundle).
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <iostream>
+#include <string>
+
+#include "analysis/scoring.hpp"
+#include "logdiver/export.hpp"
+#include "logdiver/logdiver.hpp"
+#include "logdiver/report.hpp"
+#include "simlog/scenario.hpp"
+
+namespace {
+
+int Usage() {
+  std::cerr << "usage:\n"
+            << "  logdiver_cli generate <dir> [--seed N] [--apps N] "
+               "[--days N] [--small]\n"
+            << "  logdiver_cli analyze <dir> [--small] [--csv <outdir>]\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) return Usage();
+  const std::string mode = argv[1];
+  const std::string dir = argv[2];
+
+  std::uint64_t seed = 42;
+  std::uint64_t apps = 50000;
+  std::int64_t days = 518;
+  bool small = false;
+  std::string csv_dir;
+  for (int i = 3; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--seed") {
+      const char* v = next();
+      if (!v) return Usage();
+      seed = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--apps") {
+      const char* v = next();
+      if (!v) return Usage();
+      apps = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--days") {
+      const char* v = next();
+      if (!v) return Usage();
+      days = std::strtoll(v, nullptr, 10);
+    } else if (arg == "--small") {
+      small = true;
+    } else if (arg == "--csv") {
+      const char* v = next();
+      if (!v) return Usage();
+      csv_dir = v;
+    } else {
+      return Usage();
+    }
+  }
+
+  ld::ScenarioConfig config = small ? ld::SmallScenario(seed)
+                                    : ld::ScenarioConfig{};
+  config.seed = seed;
+  if (!small) {
+    config.full_machine = true;
+    config.workload.target_app_runs = apps;
+    config.workload.campaign = ld::Duration::Days(days);
+  } else {
+    config.workload.target_app_runs = apps;
+  }
+  const ld::Machine machine = ld::MakeMachine(config);
+
+  if (mode == "generate") {
+    auto bundle = ld::WriteBundle(machine, config, dir);
+    if (!bundle.ok()) {
+      std::cerr << "generate failed: " << bundle.status().ToString() << "\n";
+      return 1;
+    }
+    std::cout << "wrote bundle to " << bundle->dir << "\n";
+    return 0;
+  }
+
+  if (mode == "analyze") {
+    ld::LogDiver diver(machine, {});
+    auto analysis = diver.AnalyzeBundle(dir);
+    if (!analysis.ok()) {
+      std::cerr << "analyze failed: " << analysis.status().ToString() << "\n";
+      return 1;
+    }
+    ld::PrintParseSummary(std::cout, *analysis);
+    std::cout << "\n--- headline ---\n";
+    ld::PrintHeadline(std::cout, analysis->metrics);
+    std::cout << "\n--- outcomes ---\n";
+    ld::PrintOutcomeBreakdown(std::cout, analysis->metrics);
+    std::cout << "\n--- error categories ---\n";
+    ld::PrintCategoryTable(std::cout, analysis->metrics);
+    std::cout << "\n--- attribution ---\n";
+    ld::PrintAttributionTable(std::cout, analysis->metrics);
+    std::cout << "\n--- scale curves ---\n";
+    ld::PrintScaleCurve(std::cout, analysis->metrics.xe_scale, "XE");
+    ld::PrintScaleCurve(std::cout, analysis->metrics.xk_scale, "XK");
+    std::cout << "\n--- monthly ---\n";
+    ld::PrintMonthlySeries(std::cout, analysis->metrics);
+    std::cout << "\n--- queue waits ---\n";
+    ld::PrintQueueWaits(std::cout, analysis->metrics);
+    std::cout << "\n--- detection gap ---\n";
+    ld::PrintDetectionGap(std::cout, analysis->metrics);
+
+    if (!csv_dir.empty()) {
+      auto exported = ld::ExportMetricsCsv(analysis->metrics, csv_dir);
+      if (exported.ok()) {
+        std::cout << "\nexported " << *exported << " CSV series to "
+                  << csv_dir << "\n";
+      } else {
+        std::cerr << "csv export failed: " << exported.status().ToString()
+                  << "\n";
+      }
+    }
+
+    const std::string truth_path = dir + "/ground_truth.csv";
+    if (std::filesystem::exists(truth_path)) {
+      auto truth = ld::LoadGroundTruth(truth_path);
+      if (truth.ok()) {
+        const ld::ScoreReport score = ld::ScoreClassification(
+            analysis->runs, analysis->classified, *truth);
+        std::cout << "\n--- scoring vs ground truth ---\n";
+        std::cout << "system precision: " << score.system_precision
+                  << "  recall: " << score.system_recall
+                  << "  F1: " << score.system_f1
+                  << "  cause accuracy: " << score.cause_accuracy << "\n";
+      }
+    }
+    return 0;
+  }
+  return Usage();
+}

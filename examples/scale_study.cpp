@@ -1,0 +1,73 @@
+// Scale study: "what failure probability should I expect at N nodes?"
+//
+// Runs a calibrated campaign, measures the failure-probability-vs-scale
+// curve with confidence intervals, fits the exposure model, and answers
+// for user-supplied node counts.
+//
+//   ./scale_study [nodes...]     (default: 1024 4096 16384 22000)
+#include <cstdlib>
+#include <iostream>
+#include <vector>
+
+#include "analysis/scaling.hpp"
+#include "common/strings.hpp"
+#include "logdiver/logdiver.hpp"
+#include "logdiver/report.hpp"
+#include "simlog/scenario.hpp"
+
+int main(int argc, char** argv) {
+  std::vector<double> queries;
+  for (int i = 1; i < argc; ++i) {
+    queries.push_back(std::strtod(argv[i], nullptr));
+  }
+  if (queries.empty()) queries = {1024, 4096, 16384, 22000};
+
+  // A moderately sized campaign with oversampled large runs: per-bucket
+  // estimates stay unbiased, large buckets get usable counts.
+  ld::ScenarioConfig config;
+  config.seed = 7;
+  config.full_machine = true;
+  config.workload.target_app_runs = 120000;
+  config.workload.campaign = ld::Duration::Days(518);
+  config.workload.large_bucket_boost = 40.0;
+
+  const ld::Machine machine = ld::MakeMachine(config);
+  auto campaign = ld::RunCampaign(machine, config);
+  if (!campaign.ok()) {
+    std::cerr << campaign.status().ToString() << "\n";
+    return 1;
+  }
+  ld::LogDiver diver(machine, {});
+  ld::LogSet logs{campaign->logs.torque, campaign->logs.alps,
+                  campaign->logs.syslog, campaign->logs.hwerr};
+  auto analysis = diver.Analyze(logs);
+  if (!analysis.ok()) {
+    std::cerr << analysis.status().ToString() << "\n";
+    return 1;
+  }
+
+  ld::PrintScaleCurve(std::cout, analysis->metrics.xe_scale,
+                      "measured XE failure probability by scale");
+
+  auto fit = ld::FitScaleCurve(analysis->metrics.xe_scale);
+  if (!fit.ok()) {
+    std::cerr << "fit failed: " << fit.status().ToString() << "\n";
+    return 1;
+  }
+  std::cout << "\nexposure model: ln(-ln(1-P)) = "
+            << ld::FormatDouble(fit->exponent, 3) << " ln(N) + "
+            << ld::FormatDouble(fit->log_c, 3)
+            << " (R^2 = " << ld::FormatDouble(fit->r_squared, 3) << ")\n\n";
+  for (double n : queries) {
+    auto measured = ld::InterpolateScaleCurve(analysis->metrics.xe_scale, n);
+    std::cout << "expected P(system failure) for a typical run at "
+              << ld::WithThousands(static_cast<std::uint64_t>(n))
+              << " nodes: " << ld::FormatDouble(measured.value_or(0.0), 4)
+              << " (measured curve)  vs  "
+              << ld::FormatDouble(fit->Predict(n), 4) << " (power-law fit)\n";
+  }
+  std::cout << "\n(the power-law fit marginalizes over the campaign's "
+               "run-duration mix and underestimates the full-scale blowup; "
+               "the measured curve is authoritative)\n";
+  return 0;
+}

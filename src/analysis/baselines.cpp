@@ -1,0 +1,141 @@
+#include "analysis/baselines.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace ld {
+namespace {
+
+constexpr int kSigTerm = 15;
+
+/// Shared pre-classification: success / walltime / node-failure kills /
+/// unknown are baseline-independent; returns true when the run was fully
+/// classified, false when it's an abnormal exit needing correlation.
+bool PreClassify(const AppRun& run, const CorrelatorConfig& config,
+                 ClassifiedRun& cls) {
+  if (!run.has_termination) {
+    cls.outcome = AppOutcome::kUnknown;
+    return true;
+  }
+  if (run.exit_code == 0 && run.exit_signal == 0) {
+    cls.outcome = AppOutcome::kSuccess;
+    return true;
+  }
+  if (run.killed_node_failure) {
+    cls.outcome = AppOutcome::kSystemFailure;
+    return true;
+  }
+  if (run.walltime_limit.seconds() > 0 && run.exit_signal == kSigTerm) {
+    const Duration used = run.end - run.job_start;
+    if (used + config.walltime_tolerance >= run.walltime_limit) {
+      cls.outcome = AppOutcome::kWalltime;
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+const char* BaselineModeName(BaselineMode mode) {
+  switch (mode) {
+    case BaselineMode::kExitOnlyConservative: return "exit-only-conservative";
+    case BaselineMode::kExitOnlyPessimistic: return "exit-only-pessimistic";
+    case BaselineMode::kTemporalOnly: return "temporal-only";
+    case BaselineMode::kSpatialOnly: return "spatial-only";
+  }
+  return "invalid";
+}
+
+std::vector<ClassifiedRun> ClassifyBaseline(BaselineMode mode,
+                                            const std::vector<AppRun>& runs,
+                                            const std::vector<ErrorTuple>& tuples,
+                                            const CorrelatorConfig& config) {
+  // Time-sorted fatal tuples for the temporal baseline.
+  std::vector<const ErrorTuple*> fatal_by_time;
+  for (const ErrorTuple& t : tuples) {
+    if (t.severity == Severity::kFatal) fatal_by_time.push_back(&t);
+  }
+  std::sort(fatal_by_time.begin(), fatal_by_time.end(),
+            [](const ErrorTuple* a, const ErrorTuple* b) {
+              return a->first < b->first;
+            });
+
+  // Node -> tuples (any severity) for the spatial baseline.
+  std::unordered_map<NodeIndex, std::vector<const ErrorTuple*>> by_node;
+  for (const ErrorTuple& t : tuples) {
+    for (NodeIndex n : t.nodes) by_node[n].push_back(&t);
+  }
+
+  std::vector<ClassifiedRun> out;
+  out.reserve(runs.size());
+  for (std::uint32_t i = 0; i < runs.size(); ++i) {
+    const AppRun& run = runs[i];
+    ClassifiedRun cls;
+    cls.run_index = i;
+    if (PreClassify(run, config, cls)) {
+      out.push_back(cls);
+      continue;
+    }
+
+    switch (mode) {
+      case BaselineMode::kExitOnlyConservative:
+        cls.outcome = AppOutcome::kUserFailure;
+        break;
+      case BaselineMode::kExitOnlyPessimistic:
+        cls.outcome = AppOutcome::kSystemFailure;
+        break;
+      case BaselineMode::kTemporalOnly: {
+        const TimePoint lo = run.end - config.attribution_before;
+        const TimePoint hi = run.end + config.attribution_after;
+        const ErrorTuple* best = nullptr;
+        std::int64_t best_gap = 0;
+        auto it = std::lower_bound(
+            fatal_by_time.begin(), fatal_by_time.end(), lo,
+            [](const ErrorTuple* t, TimePoint v) { return t->first < v; });
+        for (; it != fatal_by_time.end() && (*it)->first <= hi; ++it) {
+          const std::int64_t gap = std::llabs(((*it)->first - run.end).seconds());
+          if (best == nullptr || gap < best_gap) {
+            best = *it;
+            best_gap = gap;
+          }
+        }
+        if (best != nullptr) {
+          cls.outcome = AppOutcome::kSystemFailure;
+          cls.cause = best->category;
+          cls.tuple_id = best->id;
+        } else {
+          cls.outcome = AppOutcome::kUserFailure;
+        }
+        break;
+      }
+      case BaselineMode::kSpatialOnly: {
+        const Interval window{run.start, run.end + Duration(1)};
+        const ErrorTuple* best = nullptr;
+        for (NodeIndex n : run.nodes) {
+          const auto hit = by_node.find(n);
+          if (hit == by_node.end()) continue;
+          for (const ErrorTuple* t : hit->second) {
+            if (t->ImpactWindow().Overlaps(window)) {
+              best = t;
+              break;
+            }
+          }
+          if (best != nullptr) break;
+        }
+        if (best != nullptr) {
+          cls.outcome = AppOutcome::kSystemFailure;
+          cls.cause = best->category;
+          cls.tuple_id = best->id;
+        } else {
+          cls.outcome = AppOutcome::kUserFailure;
+        }
+        break;
+      }
+    }
+    out.push_back(cls);
+  }
+  return out;
+}
+
+}  // namespace ld

@@ -1,0 +1,41 @@
+// Baseline classifiers for the correlation ablation.
+//
+// The field study's contribution is the *joint* spatio-temporal
+// correlation of error logs with application runs.  These baselines
+// remove one ingredient at a time so the ablation bench can show what
+// each buys:
+//   kExitOnlyConservative — no log correlation at all; a failure is
+//       "system" only when ALPS itself reported a node-failure kill.
+//       (Undercounts: misses every app-scope system kill.)
+//   kExitOnlyPessimistic  — no log correlation; every abnormal exit is
+//       "system".  (Overcounts: swallows all user failures.)
+//   kTemporalOnly         — correlates with fatal tuples by time only,
+//       anywhere on the machine.  (Overcounts: a node death in a distant
+//       cabinet gets blamed for an unrelated user crash.)
+//   kSpatialOnly          — correlates with tuples on the run's nodes at
+//       any severity over the whole run window, ignoring death-time
+//       proximity.  (Overcounts: blames the corrected-error noise floor.)
+#pragma once
+
+#include <vector>
+
+#include "logdiver/coalesce.hpp"
+#include "logdiver/correlate.hpp"
+#include "logdiver/reconstruct.hpp"
+
+namespace ld {
+
+enum class BaselineMode {
+  kExitOnlyConservative,
+  kExitOnlyPessimistic,
+  kTemporalOnly,
+  kSpatialOnly,
+};
+
+const char* BaselineModeName(BaselineMode mode);
+
+std::vector<ClassifiedRun> ClassifyBaseline(
+    BaselineMode mode, const std::vector<AppRun>& runs,
+    const std::vector<ErrorTuple>& tuples, const CorrelatorConfig& config);
+
+}  // namespace ld

@@ -1,0 +1,75 @@
+#include "analysis/bootstrap.hpp"
+
+#include <algorithm>
+
+#include "common/stats.hpp"
+
+namespace ld {
+
+Result<BootstrapCi> BootstrapRatioCi(const std::vector<double>& numerator,
+                                     const std::vector<double>& denominator,
+                                     std::uint32_t replicas, Rng& rng) {
+  if (numerator.size() != denominator.size() || numerator.empty()) {
+    return InvalidArgumentError("BootstrapRatioCi: mismatched/empty inputs");
+  }
+  if (replicas == 0) {
+    return InvalidArgumentError("BootstrapRatioCi: need replicas > 0");
+  }
+  double num_total = 0.0, den_total = 0.0;
+  for (std::size_t i = 0; i < numerator.size(); ++i) {
+    num_total += numerator[i];
+    den_total += denominator[i];
+  }
+  if (!(den_total > 0.0)) {
+    return InvalidArgumentError("BootstrapRatioCi: zero denominator");
+  }
+
+  const std::size_t n = numerator.size();
+  std::vector<double> samples;
+  samples.reserve(replicas);
+  for (std::uint32_t r = 0; r < replicas; ++r) {
+    double num = 0.0, den = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::size_t pick = rng.UniformInt(n);
+      num += numerator[pick];
+      den += denominator[pick];
+    }
+    samples.push_back(den > 0.0 ? num / den : 0.0);
+  }
+
+  BootstrapCi ci;
+  ci.point = num_total / den_total;
+  ci.lo = Quantile(samples, 0.025);
+  ci.hi = Quantile(samples, 0.975);
+  return ci;
+}
+
+Result<BootstrapCi> BootstrapLostShareCi(
+    const std::vector<AppRun>& runs,
+    const std::vector<ClassifiedRun>& classified, std::uint32_t replicas,
+    Rng& rng) {
+  std::vector<double> lost, consumed;
+  lost.reserve(classified.size());
+  consumed.reserve(classified.size());
+  for (const ClassifiedRun& cls : classified) {
+    const double nh = runs[cls.run_index].NodeHours();
+    consumed.push_back(nh);
+    lost.push_back(cls.outcome == AppOutcome::kSystemFailure ? nh : 0.0);
+  }
+  return BootstrapRatioCi(lost, consumed, replicas, rng);
+}
+
+Result<BootstrapCi> BootstrapFailureFractionCi(
+    const std::vector<AppRun>& runs,
+    const std::vector<ClassifiedRun>& classified, std::uint32_t replicas,
+    Rng& rng) {
+  (void)runs;
+  std::vector<double> failed(classified.size(), 0.0);
+  std::vector<double> ones(classified.size(), 1.0);
+  for (std::size_t i = 0; i < classified.size(); ++i) {
+    if (classified[i].outcome == AppOutcome::kSystemFailure) failed[i] = 1.0;
+  }
+  return BootstrapRatioCi(failed, ones, replicas, rng);
+}
+
+}  // namespace ld

@@ -1,0 +1,46 @@
+// Bootstrap confidence intervals for ratio-of-sums statistics.
+//
+// The headline lost-node-hours share (anchor A3) is a ratio whose
+// numerator is dominated by a handful of huge failed runs, so a normal
+// approximation is useless; the standard answer is a nonparametric
+// bootstrap over runs.  Exposed generically for any per-run (value,
+// weight) ratio.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/status.hpp"
+#include "logdiver/correlate.hpp"
+#include "logdiver/reconstruct.hpp"
+
+namespace ld {
+
+struct BootstrapCi {
+  double point = 0.0;
+  double lo = 0.0;   // 2.5th percentile
+  double hi = 0.0;   // 97.5th percentile
+};
+
+/// Percentile-bootstrap CI of sum(numerator_i) / sum(denominator_i)
+/// under resampling of the (numerator, denominator) pairs with
+/// replacement.  Requires a positive total denominator.
+Result<BootstrapCi> BootstrapRatioCi(const std::vector<double>& numerator,
+                                     const std::vector<double>& denominator,
+                                     std::uint32_t replicas, Rng& rng);
+
+/// A3 applied: CI of the node-hours share consumed by system-failed
+/// runs.  `replicas` resamples of the run population.
+Result<BootstrapCi> BootstrapLostShareCi(
+    const std::vector<AppRun>& runs,
+    const std::vector<ClassifiedRun>& classified, std::uint32_t replicas,
+    Rng& rng);
+
+/// A2 applied: CI of the system-failure run fraction.
+Result<BootstrapCi> BootstrapFailureFractionCi(
+    const std::vector<AppRun>& runs,
+    const std::vector<ClassifiedRun>& classified, std::uint32_t replicas,
+    Rng& rng);
+
+}  // namespace ld

@@ -1,0 +1,119 @@
+#include "analysis/checkpoint.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ld {
+namespace {
+
+/// Core engine, parameterized over the gap sampler.
+template <typename SampleGap>
+CheckpointRunResult Simulate(const CheckpointRunConfig& config,
+                             SampleGap&& sample_gap) {
+  LD_CHECK(config.work_hours > 0.0, "work_hours must be > 0");
+  LD_CHECK(config.checkpoint_cost_hours >= 0.0, "negative checkpoint cost");
+  LD_CHECK(config.restart_cost_hours >= 0.0, "negative restart cost");
+
+  CheckpointRunResult result;
+  const bool checkpointing = config.interval_hours > 0.0;
+
+  double clock = 0.0;            // wall time elapsed
+  double done = 0.0;             // useful work completed AND saved
+  double next_failure = sample_gap();
+
+  while (done < config.work_hours) {
+    if (clock > config.max_makespan_hours) {
+      result.makespan_hours = clock;
+      result.useful_fraction = done / clock;
+      return result;  // declared failed
+    }
+    // The next segment: up to `interval` of work, then a checkpoint
+    // (unless it finishes the job, which needs no final checkpoint).
+    const double segment_work =
+        checkpointing ? std::min(config.interval_hours,
+                                 config.work_hours - done)
+                      : config.work_hours - done;
+    const bool final_segment = done + segment_work >= config.work_hours;
+    const double segment_span =
+        segment_work +
+        (checkpointing && !final_segment ? config.checkpoint_cost_hours : 0.0);
+
+    if (clock + segment_span <= next_failure) {
+      // Segment completes and (if applicable) checkpoints.
+      clock += segment_span;
+      done += segment_work;
+      continue;
+    }
+    // Interrupted mid-segment: all unsaved work is lost; pay restart.
+    ++result.interruptions;
+    clock = next_failure + config.restart_cost_hours;
+    if (!checkpointing) done = 0.0;  // everything gone
+    next_failure = clock + sample_gap();
+  }
+
+  result.completed = true;
+  result.makespan_hours = clock;
+  result.useful_fraction =
+      clock > 0.0 ? config.work_hours / clock : 1.0;
+  return result;
+}
+
+}  // namespace
+
+CheckpointRunResult SimulateCheckpointRun(const CheckpointRunConfig& config,
+                                          double mtti_hours, Rng& rng) {
+  LD_CHECK(mtti_hours > 0.0, "mtti must be > 0");
+  return Simulate(config,
+                  [&rng, mtti_hours] { return rng.Exponential(1.0 / mtti_hours); });
+}
+
+CheckpointRunResult SimulateCheckpointRun(const CheckpointRunConfig& config,
+                                          const Distribution& gap_dist,
+                                          Rng& rng) {
+  // Inverse-CDF sampling by bisection: the Distribution interface only
+  // guarantees Cdf, and these draws are not on a hot path.
+  auto sample = [&rng, &gap_dist] {
+    const double u = rng.UniformDouble();
+    double lo = 0.0, hi = 1.0;
+    while (gap_dist.Cdf(hi) < u && hi < 1e12) hi *= 2.0;
+    for (int i = 0; i < 80; ++i) {
+      const double mid = 0.5 * (lo + hi);
+      if (gap_dist.Cdf(mid) < u) {
+        lo = mid;
+      } else {
+        hi = mid;
+      }
+    }
+    return 0.5 * (lo + hi);
+  };
+  return Simulate(config, sample);
+}
+
+CheckpointStudy RunCheckpointStudy(const CheckpointRunConfig& config,
+                                   double mtti_hours, std::uint32_t replicas,
+                                   Rng& rng) {
+  LD_CHECK(replicas > 0, "need at least one replica");
+  CheckpointStudy study;
+  for (std::uint32_t i = 0; i < replicas; ++i) {
+    const CheckpointRunResult run =
+        SimulateCheckpointRun(config, mtti_hours, rng);
+    study.mean_makespan_hours += run.makespan_hours;
+    study.mean_useful_fraction += run.useful_fraction;
+    study.mean_interruptions += static_cast<double>(run.interruptions);
+    study.completion_rate += run.completed ? 1.0 : 0.0;
+  }
+  const double n = static_cast<double>(replicas);
+  study.mean_makespan_hours /= n;
+  study.mean_useful_fraction /= n;
+  study.mean_interruptions /= n;
+  study.completion_rate /= n;
+  return study;
+}
+
+double DalyInterval(double checkpoint_cost_hours, double mtti_hours) {
+  LD_CHECK(checkpoint_cost_hours >= 0.0 && mtti_hours > 0.0,
+           "bad Daly inputs");
+  return std::sqrt(2.0 * checkpoint_cost_hours * mtti_hours);
+}
+
+}  // namespace ld

@@ -1,0 +1,64 @@
+// Checkpoint/restart what-if simulation.
+//
+// Turns the study's measured interruption rates into actionable policy:
+// given an application with W hours of useful work on N nodes, a
+// checkpoint cost C, restart cost R, and an interruption process, how
+// long does the run really take — and what checkpoint interval should
+// it use?  The analytic first-order answer is Young/Daly
+// (tau* = sqrt(2 C MTTI)); the simulator here validates it under the
+// actual (non-exponential) interruption processes LogDiver measures.
+#pragma once
+
+#include <cstdint>
+
+#include "common/distributions.hpp"
+#include "common/rng.hpp"
+#include "common/status.hpp"
+
+namespace ld {
+
+struct CheckpointRunConfig {
+  double work_hours = 10.0;           // useful compute to finish
+  double checkpoint_cost_hours = 0.1; // time to write one checkpoint
+  double restart_cost_hours = 0.1;    // time to relaunch + read state
+  /// Checkpoint interval (useful-work hours between checkpoints);
+  /// <= 0 means no checkpointing: an interruption loses everything.
+  double interval_hours = 1.0;
+  /// Safety valve: give up beyond this makespan (declared failed).
+  double max_makespan_hours = 10000.0;
+};
+
+struct CheckpointRunResult {
+  bool completed = false;
+  double makespan_hours = 0.0;
+  std::uint32_t interruptions = 0;
+  double useful_fraction = 0.0;  // work / makespan
+};
+
+/// Simulates one run under exponential interruptions with the given
+/// MTTI.  Deterministic in the rng state.
+CheckpointRunResult SimulateCheckpointRun(const CheckpointRunConfig& config,
+                                          double mtti_hours, Rng& rng);
+
+/// Simulates one run drawing interruption gaps from an arbitrary fitted
+/// distribution (e.g. the Weibull LogDiver fits to the measured gaps).
+CheckpointRunResult SimulateCheckpointRun(const CheckpointRunConfig& config,
+                                          const Distribution& gap_dist,
+                                          Rng& rng);
+
+struct CheckpointStudy {
+  double mean_makespan_hours = 0.0;
+  double mean_useful_fraction = 0.0;
+  double mean_interruptions = 0.0;
+  double completion_rate = 0.0;  // runs finished within the safety valve
+};
+
+/// Averages `replicas` simulated runs.
+CheckpointStudy RunCheckpointStudy(const CheckpointRunConfig& config,
+                                   double mtti_hours, std::uint32_t replicas,
+                                   Rng& rng);
+
+/// Young/Daly first-order optimal interval: sqrt(2 * C * MTTI).
+double DalyInterval(double checkpoint_cost_hours, double mtti_hours);
+
+}  // namespace ld

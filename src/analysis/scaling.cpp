@@ -1,0 +1,118 @@
+#include "analysis/scaling.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ld {
+
+double ScalingFit::Predict(double nodes) const {
+  const double z = exponent * std::log(nodes) + log_c;
+  return 1.0 - std::exp(-std::exp(z));
+}
+
+Result<ScalingFit> FitScaleCurve(const std::vector<ScalePoint>& points) {
+  // x = ln(mean bucket nodes), y = ln(-ln(1-p)), weight = runs.
+  std::vector<double> xs, ys, ws;
+  for (const ScalePoint& p : points) {
+    if (p.runs == 0) continue;
+    const double prob = p.failure_probability.point;
+    if (prob <= 0.0 || prob >= 1.0) continue;
+    const double mean_nodes = 0.5 * (static_cast<double>(p.lo) +
+                                     static_cast<double>(p.hi));
+    xs.push_back(std::log(mean_nodes));
+    ys.push_back(std::log(-std::log(1.0 - prob)));
+    ws.push_back(static_cast<double>(p.runs));
+  }
+  if (xs.size() < 2) {
+    return InvalidArgumentError(
+        "FitScaleCurve: need >= 2 buckets with 0 < p < 1");
+  }
+  double sw = 0, sx = 0, sy = 0, sxx = 0, sxy = 0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    sw += ws[i];
+    sx += ws[i] * xs[i];
+    sy += ws[i] * ys[i];
+    sxx += ws[i] * xs[i] * xs[i];
+    sxy += ws[i] * xs[i] * ys[i];
+  }
+  const double denom = sw * sxx - sx * sx;
+  if (std::abs(denom) < 1e-12) {
+    return InternalError("FitScaleCurve: degenerate design");
+  }
+  ScalingFit fit;
+  fit.exponent = (sw * sxy - sx * sy) / denom;
+  fit.log_c = (sy - fit.exponent * sx) / sw;
+
+  // Weighted R^2.
+  const double ybar = sy / sw;
+  double ss_res = 0.0, ss_tot = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const double pred = fit.exponent * xs[i] + fit.log_c;
+    ss_res += ws[i] * (ys[i] - pred) * (ys[i] - pred);
+    ss_tot += ws[i] * (ys[i] - ybar) * (ys[i] - ybar);
+  }
+  fit.r_squared = ss_tot > 0.0 ? 1.0 - ss_res / ss_tot : 1.0;
+  return fit;
+}
+
+Result<double> InterpolateScaleCurve(const std::vector<ScalePoint>& points,
+                                     double nodes) {
+  if (!(nodes > 0.0)) {
+    return InvalidArgumentError("InterpolateScaleCurve: nodes must be > 0");
+  }
+  std::vector<std::pair<double, double>> curve;  // (ln mid-nodes, p)
+  for (const ScalePoint& p : points) {
+    if (p.runs == 0) continue;
+    const double mid =
+        0.5 * (static_cast<double>(p.lo) + static_cast<double>(p.hi));
+    curve.emplace_back(std::log(mid), p.failure_probability.point);
+  }
+  if (curve.empty()) {
+    return InvalidArgumentError("InterpolateScaleCurve: no populated buckets");
+  }
+  std::sort(curve.begin(), curve.end());
+  const double x = std::log(nodes);
+  if (x <= curve.front().first) return curve.front().second;
+  if (x >= curve.back().first) return curve.back().second;
+  for (std::size_t i = 1; i < curve.size(); ++i) {
+    if (x <= curve[i].first) {
+      const double t = (x - curve[i - 1].first) /
+                       (curve[i].first - curve[i - 1].first);
+      return curve[i - 1].second +
+             t * (curve[i].second - curve[i - 1].second);
+    }
+  }
+  return curve.back().second;
+}
+
+std::vector<double> InterruptionGapsHours(
+    const std::vector<AppRun>& runs,
+    const std::vector<ClassifiedRun>& classified) {
+  std::vector<TimePoint> failures;
+  for (const ClassifiedRun& cls : classified) {
+    if (cls.outcome != AppOutcome::kSystemFailure) continue;
+    failures.push_back(runs[cls.run_index].end);
+  }
+  std::sort(failures.begin(), failures.end());
+  std::vector<double> gaps;
+  gaps.reserve(failures.size());
+  for (std::size_t i = 1; i < failures.size(); ++i) {
+    const double hours = (failures[i] - failures[i - 1]).hours();
+    if (hours > 0.0) gaps.push_back(hours);
+  }
+  return gaps;
+}
+
+Result<std::vector<std::unique_ptr<Distribution>>> FitInterruptionGaps(
+    const std::vector<AppRun>& runs,
+    const std::vector<ClassifiedRun>& classified) {
+  const std::vector<double> gaps = InterruptionGapsHours(runs, classified);
+  if (gaps.size() < 10) {
+    return InvalidArgumentError(
+        "FitInterruptionGaps: need >= 10 gaps, have " +
+        std::to_string(gaps.size()));
+  }
+  return FitAll(gaps);
+}
+
+}  // namespace ld

@@ -1,0 +1,53 @@
+// Scaling-model and interruption-time analysis.
+//
+// The paper's scale figures are summarized by fitting the per-bucket
+// failure probabilities to the exposure model
+//     P(fail | N) = 1 - exp(-(c * N)^b)
+// i.e.  ln(-ln(1 - P)) = b ln N + a.   b ~ 1 means hazard scales
+// linearly with node count; b > 1 means super-linear fragility at scale.
+// Interruption gaps (times between consecutive system-caused failures)
+// are fitted against the standard reliability families.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "common/distributions.hpp"
+#include "common/status.hpp"
+#include "logdiver/correlate.hpp"
+#include "logdiver/metrics.hpp"
+#include "logdiver/reconstruct.hpp"
+
+namespace ld {
+
+struct ScalingFit {
+  double log_c = 0.0;  // intercept a
+  double exponent = 0.0;  // slope b
+  double r_squared = 0.0;
+  /// Model prediction at a node count.
+  double Predict(double nodes) const;
+};
+
+/// Weighted least squares over buckets with at least one run and
+/// non-degenerate probability (0 < p < 1).  Needs >= 2 usable buckets.
+Result<ScalingFit> FitScaleCurve(const std::vector<ScalePoint>& points);
+
+/// Direct read of the measured curve: failure probability at `nodes` by
+/// log-linear interpolation between bucket midpoints (the parametric fit
+/// underestimates the full-scale blowup because the small-bucket mass is
+/// dominated by the node-count-independent system-wide channel).  Fails
+/// if no bucket has data.
+Result<double> InterpolateScaleCurve(const std::vector<ScalePoint>& points,
+                                     double nodes);
+
+/// Hours between consecutive system-caused failures, time-ordered.
+std::vector<double> InterruptionGapsHours(
+    const std::vector<AppRun>& runs,
+    const std::vector<ClassifiedRun>& classified);
+
+/// Fits the reliability families to the interruption gaps; best first.
+Result<std::vector<std::unique_ptr<Distribution>>> FitInterruptionGaps(
+    const std::vector<AppRun>& runs,
+    const std::vector<ClassifiedRun>& classified);
+
+}  // namespace ld

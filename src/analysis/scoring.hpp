@@ -1,0 +1,55 @@
+// Ground-truth scoring of a classification against the injector's truth.
+//
+// This is the capability the simulated substrate adds over the original
+// field study: because every kill has a known cause, LogDiver's (and the
+// baselines') categorization and attribution can be scored exactly.
+#pragma once
+
+#include <array>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.hpp"
+#include "faults/injector.hpp"
+#include "logdiver/correlate.hpp"
+#include "logdiver/reconstruct.hpp"
+
+namespace ld {
+
+inline constexpr int kOutcomeCount = 5;
+
+struct ScoreReport {
+  std::uint64_t scored_runs = 0;
+  std::uint64_t missing_truth = 0;
+
+  /// confusion[truth][predicted], indexed by AppOutcome.
+  std::array<std::array<std::uint64_t, kOutcomeCount>, kOutcomeCount>
+      confusion{};
+
+  /// Detection of system-caused failures as a binary task.
+  double system_precision = 0.0;
+  double system_recall = 0.0;
+  double system_f1 = 0.0;
+
+  /// Among true-system failures that were predicted system: fraction
+  /// whose attributed cause matches the injected category, and the
+  /// fraction left unattributed (cause == kUnknown).
+  double cause_accuracy = 0.0;
+  double cause_unattributed = 0.0;
+
+  /// Outcome-level accuracy across all scored runs.
+  double overall_accuracy = 0.0;
+};
+
+/// Scores a classification against an apid -> truth map.
+ScoreReport ScoreClassification(
+    const std::vector<AppRun>& runs,
+    const std::vector<ClassifiedRun>& classified,
+    const std::unordered_map<ApId, TruthRecord>& truth);
+
+/// Loads a ground_truth.csv sidecar written by the scenario driver.
+Result<std::unordered_map<ApId, TruthRecord>> LoadGroundTruth(
+    const std::string& path);
+
+}  // namespace ld

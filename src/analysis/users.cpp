@@ -1,0 +1,58 @@
+#include "analysis/users.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace ld {
+
+UserImpactReport ComputeUserImpact(
+    const std::vector<AppRun>& runs,
+    const std::vector<ClassifiedRun>& classified) {
+  std::map<std::string, UserImpactRow> by_user;
+  for (const ClassifiedRun& cls : classified) {
+    const AppRun& run = runs[cls.run_index];
+    UserImpactRow& row = by_user[run.user];
+    row.user = run.user;
+    ++row.runs;
+    const double nh = run.NodeHours();
+    row.node_hours += nh;
+    switch (cls.outcome) {
+      case AppOutcome::kSystemFailure:
+        ++row.system_failures;
+        row.lost_node_hours += nh;
+        break;
+      case AppOutcome::kUserFailure:
+        ++row.user_failures;
+        break;
+      default:
+        break;
+    }
+  }
+
+  UserImpactReport report;
+  report.rows.reserve(by_user.size());
+  for (auto& [user, row] : by_user) {
+    report.total_lost_node_hours += row.lost_node_hours;
+    report.rows.push_back(std::move(row));
+  }
+  std::sort(report.rows.begin(), report.rows.end(),
+            [](const UserImpactRow& a, const UserImpactRow& b) {
+              if (a.lost_node_hours != b.lost_node_hours) {
+                return a.lost_node_hours > b.lost_node_hours;
+              }
+              return a.user < b.user;
+            });
+
+  if (report.total_lost_node_hours > 0.0 && !report.rows.empty()) {
+    const std::size_t decile =
+        std::max<std::size_t>(1, report.rows.size() / 10);
+    double top = 0.0;
+    for (std::size_t i = 0; i < decile; ++i) {
+      top += report.rows[i].lost_node_hours;
+    }
+    report.top_decile_lost_share = top / report.total_lost_node_hours;
+  }
+  return report;
+}
+
+}  // namespace ld

@@ -1,0 +1,46 @@
+// Per-user impact analysis.
+//
+// The field study's motivation is the *user-visible* cost of system
+// problems; this module rolls the classified runs up per user: who lost
+// the most node-hours, whose workloads fail most, and how concentrated
+// the lost work is (a handful of capability users absorb most of it,
+// because they run the big, long, exposure-heavy jobs).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "logdiver/correlate.hpp"
+#include "logdiver/reconstruct.hpp"
+
+namespace ld {
+
+struct UserImpactRow {
+  std::string user;
+  std::uint64_t runs = 0;
+  std::uint64_t system_failures = 0;
+  std::uint64_t user_failures = 0;
+  double node_hours = 0.0;
+  double lost_node_hours = 0.0;  // consumed by system-failed runs
+
+  double SystemFailureRate() const {
+    return runs ? static_cast<double>(system_failures) /
+                      static_cast<double>(runs)
+                : 0.0;
+  }
+};
+
+struct UserImpactReport {
+  /// One row per user, sorted by lost node-hours descending.
+  std::vector<UserImpactRow> rows;
+  /// Fraction of all lost node-hours absorbed by the top 10% of users
+  /// (by lost node-hours); 0 when nothing was lost.
+  double top_decile_lost_share = 0.0;
+  double total_lost_node_hours = 0.0;
+};
+
+UserImpactReport ComputeUserImpact(const std::vector<AppRun>& runs,
+                                   const std::vector<ClassifiedRun>& classified);
+
+}  // namespace ld

@@ -1,0 +1,90 @@
+#include "common/csv.hpp"
+
+#include <fstream>
+#include <ostream>
+
+namespace ld {
+
+CsvWriter::CsvWriter(std::ostream& out, char sep) : out_(out), sep_(sep) {}
+
+std::string CsvWriter::EscapeField(const std::string& field) const {
+  const bool needs_quote = field.find(sep_) != std::string::npos ||
+                           field.find('"') != std::string::npos ||
+                           field.find('\n') != std::string::npos;
+  if (!needs_quote) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += "\"\"";
+    else out += c;
+  }
+  out += '"';
+  return out;
+}
+
+void CsvWriter::WriteRow(const std::vector<std::string>& fields) {
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (i) out_ << sep_;
+    out_ << EscapeField(fields[i]);
+  }
+  out_ << '\n';
+}
+
+Result<std::vector<std::string>> CsvReader::ParseLine(const std::string& line,
+                                                      char sep) {
+  std::vector<std::string> fields;
+  std::string cur;
+  bool in_quotes = false;
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    const char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          cur += '"';
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        cur += c;
+      }
+    } else if (c == '"') {
+      if (!cur.empty()) {
+        return ParseError("quote in unquoted field at column " +
+                          std::to_string(i));
+      }
+      in_quotes = true;
+    } else if (c == sep) {
+      fields.push_back(std::move(cur));
+      cur.clear();
+    } else {
+      cur += c;
+    }
+  }
+  if (in_quotes) return ParseError("unterminated quoted field");
+  fields.push_back(std::move(cur));
+  return fields;
+}
+
+Result<CsvReader::Table> CsvReader::ReadFile(const std::string& path,
+                                             bool has_header, char sep) {
+  std::ifstream in(path);
+  if (!in) return NotFoundError("cannot open '" + path + "'");
+  Table table;
+  std::string line;
+  bool first = true;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;
+    auto fields = ParseLine(line, sep);
+    if (!fields.ok()) return fields.status();
+    if (first && has_header) {
+      table.header = std::move(*fields);
+    } else {
+      table.rows.push_back(std::move(*fields));
+    }
+    first = false;
+  }
+  return table;
+}
+
+}  // namespace ld

@@ -1,0 +1,46 @@
+// Minimal CSV/TSV reading and writing.
+//
+// Used for LogDiver report output (tables consumed by plotting scripts)
+// and for the ground-truth sidecar files the simulator writes.  Handles
+// RFC-4180-style quoting on read and write; no embedded-newline support
+// (log-derived tables never need it).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+
+namespace ld {
+
+class CsvWriter {
+ public:
+  /// Writes to the given stream; the stream must outlive the writer.
+  explicit CsvWriter(std::ostream& out, char sep = ',');
+
+  void WriteRow(const std::vector<std::string>& fields);
+
+ private:
+  std::string EscapeField(const std::string& field) const;
+
+  std::ostream& out_;
+  char sep_;
+};
+
+class CsvReader {
+ public:
+  /// Parses one CSV line into fields (handles quotes and doubled quotes).
+  static Result<std::vector<std::string>> ParseLine(const std::string& line,
+                                                    char sep = ',');
+
+  /// Reads an entire file; first row optionally treated as header.
+  struct Table {
+    std::vector<std::string> header;
+    std::vector<std::vector<std::string>> rows;
+  };
+  static Result<Table> ReadFile(const std::string& path, bool has_header,
+                                char sep = ',');
+};
+
+}  // namespace ld

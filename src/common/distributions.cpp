@@ -1,0 +1,225 @@
+#include "common/distributions.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace ld {
+namespace {
+
+Status RequirePositiveSample(const std::vector<double>& sample,
+                             const char* who) {
+  if (sample.empty()) {
+    return InvalidArgumentError(std::string(who) + ": empty sample");
+  }
+  for (double x : sample) {
+    if (!(x > 0.0)) {
+      return InvalidArgumentError(std::string(who) +
+                                  ": sample must be strictly positive");
+    }
+  }
+  return Status::Ok();
+}
+
+std::string FormatParams(const char* fmt, double a, double b = 0.0) {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), fmt, a, b);
+  return buf;
+}
+
+}  // namespace
+
+double Distribution::LogLikelihood(const std::vector<double>& sample) const {
+  double ll = 0.0;
+  for (double x : sample) {
+    const double p = Pdf(x);
+    ll += std::log(p > 0.0 ? p : 1e-300);
+  }
+  return ll;
+}
+
+double Distribution::Aic(const std::vector<double>& sample) const {
+  return 2.0 * parameter_count() - 2.0 * LogLikelihood(sample);
+}
+
+// ---------------------------------------------------------------- exponential
+
+ExponentialDist::ExponentialDist(double rate) : rate_(rate) {
+  LD_CHECK(rate > 0.0, "exponential rate must be > 0");
+}
+
+double ExponentialDist::Pdf(double x) const {
+  return x < 0.0 ? 0.0 : rate_ * std::exp(-rate_ * x);
+}
+
+double ExponentialDist::Cdf(double x) const {
+  return x < 0.0 ? 0.0 : 1.0 - std::exp(-rate_ * x);
+}
+
+std::string ExponentialDist::ToString() const {
+  return FormatParams("Exponential(rate=%.6g)", rate_);
+}
+
+Result<ExponentialDist> ExponentialDist::Fit(const std::vector<double>& sample) {
+  if (Status s = RequirePositiveSample(sample, "ExponentialDist::Fit"); !s.ok()) {
+    return s;
+  }
+  double sum = 0.0;
+  for (double x : sample) sum += x;
+  return ExponentialDist(static_cast<double>(sample.size()) / sum);
+}
+
+// -------------------------------------------------------------------- weibull
+
+WeibullDist::WeibullDist(double shape, double scale)
+    : shape_(shape), scale_(scale) {
+  LD_CHECK(shape > 0.0 && scale > 0.0, "weibull parameters must be > 0");
+}
+
+double WeibullDist::Pdf(double x) const {
+  if (x <= 0.0) return 0.0;
+  const double z = x / scale_;
+  return (shape_ / scale_) * std::pow(z, shape_ - 1.0) *
+         std::exp(-std::pow(z, shape_));
+}
+
+double WeibullDist::Cdf(double x) const {
+  if (x <= 0.0) return 0.0;
+  return 1.0 - std::exp(-std::pow(x / scale_, shape_));
+}
+
+double WeibullDist::Mean() const {
+  return scale_ * std::tgamma(1.0 + 1.0 / shape_);
+}
+
+std::string WeibullDist::ToString() const {
+  return FormatParams("Weibull(shape=%.4g, scale=%.6g)", shape_, scale_);
+}
+
+Result<WeibullDist> WeibullDist::Fit(const std::vector<double>& sample) {
+  if (Status s = RequirePositiveSample(sample, "WeibullDist::Fit"); !s.ok()) {
+    return s;
+  }
+  // Newton iteration on the MLE shape equation:
+  //   g(k) = sum(x^k ln x)/sum(x^k) - 1/k - mean(ln x) = 0
+  const double n = static_cast<double>(sample.size());
+  double mean_lnx = 0.0;
+  for (double x : sample) mean_lnx += std::log(x);
+  mean_lnx /= n;
+
+  double k = 1.0;  // exponential start
+  for (int iter = 0; iter < 100; ++iter) {
+    double s0 = 0.0, s1 = 0.0, s2 = 0.0;
+    for (double x : sample) {
+      const double lx = std::log(x);
+      const double xk = std::pow(x, k);
+      s0 += xk;
+      s1 += xk * lx;
+      s2 += xk * lx * lx;
+    }
+    const double g = s1 / s0 - 1.0 / k - mean_lnx;
+    const double gp = (s2 * s0 - s1 * s1) / (s0 * s0) + 1.0 / (k * k);
+    if (!(gp > 0.0)) break;
+    double k_next = k - g / gp;
+    if (k_next <= 0.0) k_next = k / 2.0;
+    if (std::abs(k_next - k) < 1e-10 * k) {
+      k = k_next;
+      break;
+    }
+    k = k_next;
+  }
+  if (!(k > 0.0) || !std::isfinite(k)) {
+    return InternalError("WeibullDist::Fit: shape iteration diverged");
+  }
+  double sk = 0.0;
+  for (double x : sample) sk += std::pow(x, k);
+  const double scale = std::pow(sk / n, 1.0 / k);
+  return WeibullDist(k, scale);
+}
+
+// ------------------------------------------------------------------ lognormal
+
+LogNormalDist::LogNormalDist(double mu, double sigma)
+    : mu_(mu), sigma_(sigma) {
+  LD_CHECK(sigma > 0.0, "lognormal sigma must be > 0");
+}
+
+double LogNormalDist::Pdf(double x) const {
+  if (x <= 0.0) return 0.0;
+  const double z = (std::log(x) - mu_) / sigma_;
+  return std::exp(-0.5 * z * z) / (x * sigma_ * std::sqrt(2.0 * M_PI));
+}
+
+double LogNormalDist::Cdf(double x) const {
+  if (x <= 0.0) return 0.0;
+  const double z = (std::log(x) - mu_) / (sigma_ * std::sqrt(2.0));
+  return 0.5 * (1.0 + std::erf(z));
+}
+
+double LogNormalDist::Mean() const {
+  return std::exp(mu_ + 0.5 * sigma_ * sigma_);
+}
+
+std::string LogNormalDist::ToString() const {
+  return FormatParams("LogNormal(mu=%.4g, sigma=%.4g)", mu_, sigma_);
+}
+
+Result<LogNormalDist> LogNormalDist::Fit(const std::vector<double>& sample) {
+  if (Status s = RequirePositiveSample(sample, "LogNormalDist::Fit"); !s.ok()) {
+    return s;
+  }
+  const double n = static_cast<double>(sample.size());
+  double mu = 0.0;
+  for (double x : sample) mu += std::log(x);
+  mu /= n;
+  double var = 0.0;
+  for (double x : sample) {
+    const double d = std::log(x) - mu;
+    var += d * d;
+  }
+  var /= n;  // MLE uses 1/n
+  if (!(var > 0.0)) {
+    return InvalidArgumentError("LogNormalDist::Fit: zero variance sample");
+  }
+  return LogNormalDist(mu, std::sqrt(var));
+}
+
+// -------------------------------------------------------------------- fitting
+
+Result<std::vector<std::unique_ptr<Distribution>>> FitAll(
+    const std::vector<double>& sample) {
+  if (Status s = RequirePositiveSample(sample, "FitAll"); !s.ok()) return s;
+
+  std::vector<std::unique_ptr<Distribution>> fits;
+  if (auto e = ExponentialDist::Fit(sample); e.ok()) {
+    fits.push_back(std::make_unique<ExponentialDist>(*e));
+  }
+  if (auto w = WeibullDist::Fit(sample); w.ok()) {
+    fits.push_back(std::make_unique<WeibullDist>(*w));
+  }
+  if (auto l = LogNormalDist::Fit(sample); l.ok()) {
+    fits.push_back(std::make_unique<LogNormalDist>(*l));
+  }
+  if (fits.empty()) return InternalError("FitAll: no family converged");
+  std::sort(fits.begin(), fits.end(),
+            [&sample](const auto& a, const auto& b) {
+              return a->Aic(sample) < b->Aic(sample);
+            });
+  return fits;
+}
+
+double KsStatistic(std::vector<double> sample, const Distribution& dist) {
+  LD_CHECK(!sample.empty(), "KsStatistic: empty sample");
+  std::sort(sample.begin(), sample.end());
+  const double n = static_cast<double>(sample.size());
+  double d = 0.0;
+  for (std::size_t i = 0; i < sample.size(); ++i) {
+    const double f = dist.Cdf(sample[i]);
+    const double hi = static_cast<double>(i + 1) / n - f;
+    const double lo = f - static_cast<double>(i) / n;
+    d = std::max(d, std::max(hi, lo));
+  }
+  return d;
+}
+
+}  // namespace ld

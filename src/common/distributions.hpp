@@ -1,0 +1,103 @@
+// Parametric lifetime distributions with density/CDF evaluation and
+// maximum-likelihood fitting.
+//
+// The field study fits time-between-interruption data; we provide the
+// standard reliability trio (exponential, Weibull, lognormal) so the
+// analysis layer can reproduce distribution-fit tables and compare
+// goodness of fit via log-likelihood / AIC.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+
+namespace ld {
+
+class Distribution {
+ public:
+  virtual ~Distribution() = default;
+
+  virtual std::string name() const = 0;
+  /// Probability density at x (0 outside support).
+  virtual double Pdf(double x) const = 0;
+  /// P(X <= x).
+  virtual double Cdf(double x) const = 0;
+  virtual double Mean() const = 0;
+  /// Log-likelihood of a sample under this distribution.
+  double LogLikelihood(const std::vector<double>& sample) const;
+  /// Akaike information criterion: 2k - 2 lnL.
+  double Aic(const std::vector<double>& sample) const;
+  /// Number of free parameters (for AIC).
+  virtual int parameter_count() const = 0;
+  /// Human-readable parameterization, e.g. "Weibull(k=0.78, λ=3321)".
+  virtual std::string ToString() const = 0;
+};
+
+class ExponentialDist final : public Distribution {
+ public:
+  explicit ExponentialDist(double rate);
+  std::string name() const override { return "exponential"; }
+  double Pdf(double x) const override;
+  double Cdf(double x) const override;
+  double Mean() const override { return 1.0 / rate_; }
+  int parameter_count() const override { return 1; }
+  std::string ToString() const override;
+  double rate() const { return rate_; }
+
+  /// MLE fit: rate = 1 / sample mean.
+  static Result<ExponentialDist> Fit(const std::vector<double>& sample);
+
+ private:
+  double rate_;
+};
+
+class WeibullDist final : public Distribution {
+ public:
+  WeibullDist(double shape, double scale);
+  std::string name() const override { return "weibull"; }
+  double Pdf(double x) const override;
+  double Cdf(double x) const override;
+  double Mean() const override;
+  int parameter_count() const override { return 2; }
+  std::string ToString() const override;
+  double shape() const { return shape_; }
+  double scale() const { return scale_; }
+
+  /// MLE fit via Newton iteration on the profile likelihood in the shape.
+  static Result<WeibullDist> Fit(const std::vector<double>& sample);
+
+ private:
+  double shape_, scale_;
+};
+
+class LogNormalDist final : public Distribution {
+ public:
+  LogNormalDist(double mu, double sigma);
+  std::string name() const override { return "lognormal"; }
+  double Pdf(double x) const override;
+  double Cdf(double x) const override;
+  double Mean() const override;
+  int parameter_count() const override { return 2; }
+  std::string ToString() const override;
+  double mu() const { return mu_; }
+  double sigma() const { return sigma_; }
+
+  /// MLE fit: moments of log-sample.
+  static Result<LogNormalDist> Fit(const std::vector<double>& sample);
+
+ private:
+  double mu_, sigma_;
+};
+
+/// Fits all three families and returns them ordered by ascending AIC
+/// (best fit first).  Sample values must be strictly positive.
+Result<std::vector<std::unique_ptr<Distribution>>> FitAll(
+    const std::vector<double>& sample);
+
+/// Kolmogorov–Smirnov statistic of a sample against a distribution
+/// (max |F_emp - F|); used as a simple goodness-of-fit summary.
+double KsStatistic(std::vector<double> sample, const Distribution& dist);
+
+}  // namespace ld

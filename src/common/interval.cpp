@@ -1,0 +1,56 @@
+#include "common/interval.hpp"
+
+#include <algorithm>
+
+namespace ld {
+
+Interval Interval::Intersect(const Interval& o) const {
+  Interval out{std::max(start, o.start), std::min(end, o.end)};
+  if (out.end < out.start) out.end = out.start;
+  return out;
+}
+
+void IntervalSet::Add(Interval iv) {
+  if (iv.empty()) return;
+  // Find first interval whose end >= iv.start (candidate for merge).
+  auto first = std::lower_bound(
+      intervals_.begin(), intervals_.end(), iv,
+      [](const Interval& a, const Interval& b) { return a.end < b.start; });
+  auto last = first;
+  while (last != intervals_.end() && last->start <= iv.end) {
+    iv.start = std::min(iv.start, last->start);
+    iv.end = std::max(iv.end, last->end);
+    ++last;
+  }
+  const auto pos = intervals_.erase(first, last);
+  intervals_.insert(pos, iv);
+}
+
+bool IntervalSet::Contains(TimePoint t) const {
+  auto it = std::upper_bound(
+      intervals_.begin(), intervals_.end(), t,
+      [](TimePoint v, const Interval& iv) { return v < iv.start; });
+  if (it == intervals_.begin()) return false;
+  --it;
+  return it->Contains(t);
+}
+
+Duration IntervalSet::TotalLength() const {
+  std::int64_t total = 0;
+  for (const auto& iv : intervals_) total += iv.length().seconds();
+  return Duration(total);
+}
+
+Duration IntervalSet::OverlapWith(Interval query) const {
+  if (query.empty()) return Duration(0);
+  std::int64_t total = 0;
+  auto it = std::lower_bound(
+      intervals_.begin(), intervals_.end(), query,
+      [](const Interval& a, const Interval& b) { return a.end <= b.start; });
+  for (; it != intervals_.end() && it->start < query.end; ++it) {
+    total += it->Intersect(query).length().seconds();
+  }
+  return Duration(total);
+}
+
+}  // namespace ld

@@ -1,0 +1,56 @@
+// Time intervals and interval sets.
+//
+// LogDiver's correlation step repeatedly asks "did error event E fall
+// inside application A's execution window (± a category-specific slack)?"
+// and "how many node-hours overlap this outage?".  IntervalSet keeps a
+// sorted, coalesced list so overlap queries are O(log n).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/time.hpp"
+
+namespace ld {
+
+/// Half-open interval [start, end).  An interval with end <= start is empty.
+struct Interval {
+  TimePoint start;
+  TimePoint end;
+
+  bool empty() const { return end <= start; }
+  Duration length() const {
+    return empty() ? Duration(0) : end - start;
+  }
+  bool Contains(TimePoint t) const { return t >= start && t < end; }
+  bool Overlaps(const Interval& o) const {
+    return start < o.end && o.start < end;
+  }
+  /// Intersection; empty interval if disjoint.
+  Interval Intersect(const Interval& o) const;
+  /// Widens by `slack` on both sides.
+  Interval Inflate(Duration slack) const {
+    return {start - slack, end + slack};
+  }
+
+  bool operator==(const Interval&) const = default;
+};
+
+/// A set of disjoint, sorted intervals with union semantics.
+class IntervalSet {
+ public:
+  void Add(Interval iv);
+
+  bool Contains(TimePoint t) const;
+  /// Total covered duration.
+  Duration TotalLength() const;
+  /// Length of the overlap between this set and [iv.start, iv.end).
+  Duration OverlapWith(Interval iv) const;
+  std::size_t size() const { return intervals_.size(); }
+  const std::vector<Interval>& intervals() const { return intervals_; }
+
+ private:
+  std::vector<Interval> intervals_;  // sorted by start, disjoint
+};
+
+}  // namespace ld

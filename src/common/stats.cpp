@@ -1,0 +1,151 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace ld {
+
+void RunningStats::Add(double x) {
+  ++n_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+  if (n_ == 1) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+}
+
+void RunningStats::Merge(const RunningStats& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double delta = other.mean_ - mean_;
+  const double nt = static_cast<double>(n_ + other.n_);
+  m2_ += other.m2_ + delta * delta * static_cast<double>(n_) *
+                         static_cast<double>(other.n_) / nt;
+  mean_ = (mean_ * static_cast<double>(n_) +
+           other.mean_ * static_cast<double>(other.n_)) /
+          nt;
+  n_ += other.n_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double RunningStats::variance() const {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double Quantile(std::vector<double> sample, double q) {
+  if (sample.empty()) throw std::invalid_argument("Quantile: empty sample");
+  if (q < 0.0 || q > 1.0) throw std::invalid_argument("Quantile: q not in [0,1]");
+  std::sort(sample.begin(), sample.end());
+  const double h = (static_cast<double>(sample.size()) - 1.0) * q;
+  const std::size_t lo = static_cast<std::size_t>(std::floor(h));
+  const std::size_t hi = static_cast<std::size_t>(std::ceil(h));
+  return sample[lo] + (h - static_cast<double>(lo)) * (sample[hi] - sample[lo]);
+}
+
+std::vector<std::pair<double, double>> EmpiricalCdf(std::vector<double> sample) {
+  std::vector<std::pair<double, double>> out;
+  if (sample.empty()) return out;
+  std::sort(sample.begin(), sample.end());
+  const double n = static_cast<double>(sample.size());
+  for (std::size_t i = 0; i < sample.size(); ++i) {
+    // Emit one point per distinct value with the final cumulative share.
+    if (i + 1 == sample.size() || sample[i + 1] != sample[i]) {
+      out.emplace_back(sample[i], static_cast<double>(i + 1) / n);
+    }
+  }
+  return out;
+}
+
+ProportionCi WilsonInterval(std::uint64_t successes, std::uint64_t trials,
+                            double z) {
+  if (trials == 0) return {0.0, 0.0, 0.0};
+  const double n = static_cast<double>(trials);
+  const double p = static_cast<double>(successes) / n;
+  const double z2 = z * z;
+  const double denom = 1.0 + z2 / n;
+  const double center = (p + z2 / (2.0 * n)) / denom;
+  const double half =
+      z * std::sqrt(p * (1.0 - p) / n + z2 / (4.0 * n * n)) / denom;
+  return {p, std::max(0.0, center - half), std::min(1.0, center + half)};
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(bins)),
+      counts_(bins, 0.0) {
+  if (!(hi > lo) || bins == 0) {
+    throw std::invalid_argument("Histogram: bad range/bins");
+  }
+}
+
+void Histogram::Add(double x, double weight) {
+  std::size_t idx;
+  if (x < lo_) {
+    idx = 0;
+  } else if (x >= hi_) {
+    idx = counts_.size() - 1;
+  } else {
+    idx = static_cast<std::size_t>((x - lo_) / width_);
+    if (idx >= counts_.size()) idx = counts_.size() - 1;
+  }
+  counts_[idx] += weight;
+  total_ += weight;
+}
+
+double Histogram::bin_lo(std::size_t i) const {
+  return lo_ + width_ * static_cast<double>(i);
+}
+double Histogram::bin_hi(std::size_t i) const {
+  return lo_ + width_ * static_cast<double>(i + 1);
+}
+
+LogHistogram::LogHistogram(double lo, double hi, std::size_t bins)
+    : counts_(bins, 0.0) {
+  if (!(lo > 0.0) || !(hi > lo) || bins == 0) {
+    throw std::invalid_argument("LogHistogram: bad range/bins");
+  }
+  log_lo_ = std::log(lo);
+  log_hi_ = std::log(hi);
+  width_ = (log_hi_ - log_lo_) / static_cast<double>(bins);
+}
+
+void LogHistogram::Add(double x, double weight) {
+  std::size_t idx;
+  if (!(x > 0.0)) {
+    idx = 0;
+  } else {
+    const double lx = std::log(x);
+    if (lx < log_lo_) {
+      idx = 0;
+    } else if (lx >= log_hi_) {
+      idx = counts_.size() - 1;
+    } else {
+      idx = static_cast<std::size_t>((lx - log_lo_) / width_);
+      if (idx >= counts_.size()) idx = counts_.size() - 1;
+    }
+  }
+  counts_[idx] += weight;
+  total_ += weight;
+}
+
+double LogHistogram::bin_lo(std::size_t i) const {
+  return std::exp(log_lo_ + width_ * static_cast<double>(i));
+}
+double LogHistogram::bin_hi(std::size_t i) const {
+  return std::exp(log_lo_ + width_ * static_cast<double>(i + 1));
+}
+
+}  // namespace ld

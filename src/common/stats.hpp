@@ -1,0 +1,93 @@
+// Statistical kit used by both the simulator calibration and the
+// LogDiver metrics engine: streaming moments, quantiles, histograms,
+// and binomial confidence intervals.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ld {
+
+/// Streaming mean/variance/min/max via Welford's algorithm.
+class RunningStats {
+ public:
+  void Add(double x);
+  void Merge(const RunningStats& other);
+
+  std::uint64_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  /// Unbiased sample variance; 0 for n < 2.
+  double variance() const;
+  double stddev() const;
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+  double sum() const { return sum_; }
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Exact quantile of a sample (linear interpolation between order
+/// statistics, type-7 as in R).  q in [0,1].  Sorts a copy.
+double Quantile(std::vector<double> sample, double q);
+
+/// Empirical CDF evaluation points: returns (x, F(x)) pairs at each
+/// distinct sample value.  Sorts a copy.
+std::vector<std::pair<double, double>> EmpiricalCdf(std::vector<double> sample);
+
+/// Wilson score interval for a binomial proportion at ~95% confidence
+/// (z = 1.96).  Returns {lo, hi}; degenerate inputs return {0, 0} or {1, 1}.
+struct ProportionCi {
+  double point;
+  double lo;
+  double hi;
+};
+ProportionCi WilsonInterval(std::uint64_t successes, std::uint64_t trials,
+                            double z = 1.96);
+
+/// Fixed-width linear histogram over [lo, hi); out-of-range samples are
+/// clamped into the edge bins so mass is never silently dropped.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void Add(double x, double weight = 1.0);
+  std::size_t bin_count() const { return counts_.size(); }
+  double bin_lo(std::size_t i) const;
+  double bin_hi(std::size_t i) const;
+  double count(std::size_t i) const { return counts_[i]; }
+  double total() const { return total_; }
+
+ private:
+  double lo_, hi_, width_;
+  std::vector<double> counts_;
+  double total_ = 0.0;
+};
+
+/// Log-spaced histogram over [lo, hi) with `bins` bins per factor-of-base
+/// structure collapsed into a fixed count; suited for run durations and
+/// node counts spanning orders of magnitude.
+class LogHistogram {
+ public:
+  LogHistogram(double lo, double hi, std::size_t bins);
+
+  void Add(double x, double weight = 1.0);
+  std::size_t bin_count() const { return counts_.size(); }
+  double bin_lo(std::size_t i) const;
+  double bin_hi(std::size_t i) const;
+  double count(std::size_t i) const { return counts_[i]; }
+  double total() const { return total_; }
+
+ private:
+  double log_lo_, log_hi_, width_;
+  std::vector<double> counts_;
+  double total_ = 0.0;
+};
+
+}  // namespace ld

@@ -1,0 +1,151 @@
+// Lightweight Status / Result<T> error handling.
+//
+// LogDiver processes multi-gigabyte log bundles where malformed lines are
+// expected, not exceptional; parsers therefore report recoverable problems
+// through Result<T> values instead of exceptions.  Exceptions remain in use
+// for programming errors (precondition violations) via LD_CHECK.
+#pragma once
+
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace ld {
+
+enum class StatusCode {
+  kOk,
+  kInvalidArgument,
+  kNotFound,
+  kParseError,
+  kOutOfRange,
+  kFailedPrecondition,
+  kInternal,
+};
+
+/// Human-readable name of a status code ("OK", "PARSE_ERROR", ...).
+const char* StatusCodeName(StatusCode code);
+
+/// A success-or-error value.  Cheap to copy on the success path (no
+/// allocation); errors carry a message.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CODE>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+inline Status InvalidArgumentError(std::string msg) {
+  return Status(StatusCode::kInvalidArgument, std::move(msg));
+}
+inline Status NotFoundError(std::string msg) {
+  return Status(StatusCode::kNotFound, std::move(msg));
+}
+inline Status ParseError(std::string msg) {
+  return Status(StatusCode::kParseError, std::move(msg));
+}
+inline Status OutOfRangeError(std::string msg) {
+  return Status(StatusCode::kOutOfRange, std::move(msg));
+}
+inline Status FailedPreconditionError(std::string msg) {
+  return Status(StatusCode::kFailedPrecondition, std::move(msg));
+}
+inline Status InternalError(std::string msg) {
+  return Status(StatusCode::kInternal, std::move(msg));
+}
+
+/// A value of type T or an error Status.  Never holds both.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : payload_(std::move(value)) {}      // NOLINT(implicit)
+  Result(Status status) : payload_(std::move(status)) {  // NOLINT(implicit)
+    if (std::get<Status>(payload_).ok()) {
+      throw std::logic_error("Result constructed from OK status without value");
+    }
+  }
+
+  bool ok() const { return std::holds_alternative<T>(payload_); }
+
+  const T& value() const& {
+    require_ok();
+    return std::get<T>(payload_);
+  }
+  T& value() & {
+    require_ok();
+    return std::get<T>(payload_);
+  }
+  T&& value() && {
+    require_ok();
+    return std::get<T>(std::move(payload_));
+  }
+
+  /// The contained value, or `fallback` on error.
+  T value_or(T fallback) const& {
+    return ok() ? std::get<T>(payload_) : std::move(fallback);
+  }
+
+  Status status() const {
+    if (ok()) return Status::Ok();
+    return std::get<Status>(payload_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  void require_ok() const {
+    if (!ok()) {
+      throw std::runtime_error("Result accessed without value: " +
+                               std::get<Status>(payload_).ToString());
+    }
+  }
+
+  std::variant<T, Status> payload_;
+};
+
+/// Precondition check; throws std::logic_error on violation.  Used for
+/// programmer errors, never for data errors (those go through Status).
+#define LD_CHECK(cond, msg)                                       \
+  do {                                                            \
+    if (!(cond)) {                                                \
+      throw std::logic_error(std::string("LD_CHECK failed: ") +   \
+                             #cond + " — " + (msg));              \
+    }                                                             \
+  } while (0)
+
+inline const char* StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk: return "OK";
+    case StatusCode::kInvalidArgument: return "INVALID_ARGUMENT";
+    case StatusCode::kNotFound: return "NOT_FOUND";
+    case StatusCode::kParseError: return "PARSE_ERROR";
+    case StatusCode::kOutOfRange: return "OUT_OF_RANGE";
+    case StatusCode::kFailedPrecondition: return "FAILED_PRECONDITION";
+    case StatusCode::kInternal: return "INTERNAL";
+  }
+  return "UNKNOWN";
+}
+
+inline std::string Status::ToString() const {
+  if (ok()) return "OK";
+  return std::string(StatusCodeName(code_)) + ": " + message_;
+}
+
+}  // namespace ld

@@ -1,0 +1,140 @@
+#include "common/strings.hpp"
+
+#include <cctype>
+#include <cerrno>
+#include <charconv>
+#include <cstdio>
+#include <cstdlib>
+
+namespace ld {
+
+std::vector<std::string_view> Split(std::string_view text, char sep) {
+  std::vector<std::string_view> out;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i <= text.size(); ++i) {
+    if (i == text.size() || text[i] == sep) {
+      out.push_back(text.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return out;
+}
+
+std::vector<std::string_view> SplitWhitespace(std::string_view text) {
+  std::vector<std::string_view> out;
+  std::size_t i = 0;
+  while (i < text.size()) {
+    while (i < text.size() && std::isspace(static_cast<unsigned char>(text[i]))) {
+      ++i;
+    }
+    const std::size_t start = i;
+    while (i < text.size() && !std::isspace(static_cast<unsigned char>(text[i]))) {
+      ++i;
+    }
+    if (i > start) out.push_back(text.substr(start, i - start));
+  }
+  return out;
+}
+
+std::string_view Trim(std::string_view text) {
+  std::size_t b = 0;
+  std::size_t e = text.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(text[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(text[e - 1]))) --e;
+  return text.substr(b, e - b);
+}
+
+bool StartsWith(std::string_view text, std::string_view prefix) {
+  return text.size() >= prefix.size() &&
+         text.substr(0, prefix.size()) == prefix;
+}
+
+bool Contains(std::string_view haystack, std::string_view needle) {
+  return haystack.find(needle) != std::string_view::npos;
+}
+
+Result<std::int64_t> ParseInt(std::string_view text) {
+  std::int64_t v = 0;
+  const auto [ptr, ec] = std::from_chars(text.data(), text.data() + text.size(), v);
+  if (ec != std::errc() || ptr != text.data() + text.size()) {
+    return ParseError("bad integer: '" + std::string(text) + "'");
+  }
+  return v;
+}
+
+Result<std::uint64_t> ParseUint(std::string_view text) {
+  std::uint64_t v = 0;
+  const auto [ptr, ec] = std::from_chars(text.data(), text.data() + text.size(), v);
+  if (ec != std::errc() || ptr != text.data() + text.size()) {
+    return ParseError("bad unsigned integer: '" + std::string(text) + "'");
+  }
+  return v;
+}
+
+Result<double> ParseDouble(std::string_view text) {
+  // std::from_chars for double is not universally available; strtod via a
+  // bounded copy keeps this portable.
+  if (text.empty() || text.size() > 64) {
+    return ParseError("bad double: '" + std::string(text) + "'");
+  }
+  char buf[65];
+  text.copy(buf, text.size());
+  buf[text.size()] = '\0';
+  char* end = nullptr;
+  errno = 0;
+  const double v = std::strtod(buf, &end);
+  if (errno != 0 || end != buf + text.size()) {
+    return ParseError("bad double: '" + std::string(text) + "'");
+  }
+  return v;
+}
+
+Result<std::string> FindKeyValue(std::string_view record, std::string_view key) {
+  std::size_t pos = 0;
+  const std::string pattern = std::string(key) + "=";
+  while (pos < record.size()) {
+    const std::size_t hit = record.find(pattern, pos);
+    if (hit == std::string_view::npos) break;
+    // Must be at start or preceded by whitespace to be a field boundary.
+    if (hit == 0 || std::isspace(static_cast<unsigned char>(record[hit - 1]))) {
+      const std::size_t vstart = hit + pattern.size();
+      std::size_t vend = vstart;
+      while (vend < record.size() &&
+             !std::isspace(static_cast<unsigned char>(record[vend]))) {
+        ++vend;
+      }
+      return std::string(record.substr(vstart, vend - vstart));
+    }
+    pos = hit + 1;
+  }
+  return NotFoundError("key '" + std::string(key) + "' not present");
+}
+
+std::string Join(const std::vector<std::string>& items, std::string_view sep) {
+  std::string out;
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    if (i) out.append(sep);
+    out.append(items[i]);
+  }
+  return out;
+}
+
+std::string FormatDouble(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+std::string WithThousands(std::uint64_t v) {
+  std::string digits = std::to_string(v);
+  std::string out;
+  out.reserve(digits.size() + digits.size() / 3);
+  const std::size_t lead = digits.size() % 3 == 0 ? 3 : digits.size() % 3;
+  for (std::size_t i = 0; i < digits.size(); ++i) {
+    if (i != 0 && (i - lead) % 3 == 0 && i >= lead) out.push_back(',');
+    out.push_back(digits[i]);
+  }
+  return out;
+}
+
+}  // namespace ld

@@ -1,0 +1,46 @@
+// Small string utilities shared by log parsers and emitters.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.hpp"
+
+namespace ld {
+
+/// Splits on a single character; keeps empty fields ("a,,b" -> 3 fields).
+std::vector<std::string_view> Split(std::string_view text, char sep);
+
+/// Splits on any run of whitespace; drops empty fields.
+std::vector<std::string_view> SplitWhitespace(std::string_view text);
+
+/// Removes leading and trailing whitespace.
+std::string_view Trim(std::string_view text);
+
+bool StartsWith(std::string_view text, std::string_view prefix);
+bool Contains(std::string_view haystack, std::string_view needle);
+
+/// Strict integer/double parsing: whole string must be consumed.
+Result<std::int64_t> ParseInt(std::string_view text);
+Result<std::uint64_t> ParseUint(std::string_view text);
+Result<double> ParseDouble(std::string_view text);
+
+/// "key=value key2=value2" field extraction (Torque accounting style).
+/// Returns the value for `key` or NotFound.  Values run to the next
+/// whitespace; no quoting (matches the real format).
+Result<std::string> FindKeyValue(std::string_view record, std::string_view key);
+
+/// Joins items with a separator.
+std::string Join(const std::vector<std::string>& items, std::string_view sep);
+
+/// Renders a double with fixed precision, trimming trailing zeros is NOT
+/// performed (tables want aligned columns).
+std::string FormatDouble(double v, int precision);
+
+/// Thousands-separated integer rendering for report tables: 1234567 ->
+/// "1,234,567".
+std::string WithThousands(std::uint64_t v);
+
+}  // namespace ld

@@ -1,0 +1,117 @@
+#include "common/time.hpp"
+
+#include <array>
+#include <cstdio>
+#include <cstdlib>
+
+namespace ld {
+namespace {
+
+// Days from the civil (proleptic Gregorian) date to 1970-01-01.
+// Howard Hinnant's algorithm; exact for the entire int64 range we use.
+std::int64_t DaysFromCivil(int y, int m, int d) {
+  y -= m <= 2;
+  const std::int64_t era = (y >= 0 ? y : y - 399) / 400;
+  const unsigned yoe = static_cast<unsigned>(y - era * 400);            // [0, 399]
+  const unsigned doy = (153u * (m + (m > 2 ? -3 : 9)) + 2) / 5 + d - 1;  // [0, 365]
+  const unsigned doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;            // [0, 146096]
+  return era * 146097 + static_cast<std::int64_t>(doe) - 719468;
+}
+
+void CivilFromDays(std::int64_t z, int& y, int& m, int& d) {
+  z += 719468;
+  const std::int64_t era = (z >= 0 ? z : z - 146096) / 146097;
+  const unsigned doe = static_cast<unsigned>(z - era * 146097);           // [0, 146096]
+  const unsigned yoe = (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365;
+  const std::int64_t yy = static_cast<std::int64_t>(yoe) + era * 400;
+  const unsigned doy = doe - (365 * yoe + yoe / 4 - yoe / 100);           // [0, 365]
+  const unsigned mp = (5 * doy + 2) / 153;                                // [0, 11]
+  d = static_cast<int>(doy - (153 * mp + 2) / 5 + 1);
+  m = static_cast<int>(mp + (mp < 10 ? 3 : -9));
+  y = static_cast<int>(yy + (m <= 2));
+}
+
+constexpr std::array<const char*, 12> kMonthAbbrev = {
+    "Jan", "Feb", "Mar", "Apr", "May", "Jun",
+    "Jul", "Aug", "Sep", "Oct", "Nov", "Dec"};
+
+}  // namespace
+
+std::string Duration::ToString() const {
+  std::int64_t s = secs_;
+  const bool neg = s < 0;
+  if (neg) s = -s;
+  const std::int64_t days = s / 86400;
+  s %= 86400;
+  char buf[64];
+  if (days > 0) {
+    std::snprintf(buf, sizeof(buf), "%s%lldd %02lld:%02lld:%02lld",
+                  neg ? "-" : "", static_cast<long long>(days),
+                  static_cast<long long>(s / 3600),
+                  static_cast<long long>((s / 60) % 60),
+                  static_cast<long long>(s % 60));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%s%02lld:%02lld:%02lld", neg ? "-" : "",
+                  static_cast<long long>(s / 3600),
+                  static_cast<long long>((s / 60) % 60),
+                  static_cast<long long>(s % 60));
+  }
+  return buf;
+}
+
+CalendarTime ToCalendar(TimePoint t) {
+  std::int64_t s = t.unix_seconds();
+  std::int64_t days = s / 86400;
+  std::int64_t rem = s % 86400;
+  if (rem < 0) {
+    rem += 86400;
+    days -= 1;
+  }
+  CalendarTime c{};
+  CivilFromDays(days, c.year, c.month, c.day);
+  c.hour = static_cast<int>(rem / 3600);
+  c.minute = static_cast<int>((rem / 60) % 60);
+  c.second = static_cast<int>(rem % 60);
+  return c;
+}
+
+std::string TimePoint::ToIso() const {
+  const CalendarTime c = ToCalendar(*this);
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%04d-%02d-%02dT%02d:%02d:%02d", c.year,
+                c.month, c.day, c.hour, c.minute, c.second);
+  return buf;
+}
+
+std::string TimePoint::ToSyslog() const {
+  const CalendarTime c = ToCalendar(*this);
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%s %2d %02d:%02d:%02d",
+                kMonthAbbrev[static_cast<size_t>(c.month - 1)], c.day, c.hour,
+                c.minute, c.second);
+  return buf;
+}
+
+Result<TimePoint> TimePoint::FromIso(const std::string& text) {
+  int y = 0, mo = 0, d = 0, h = 0, mi = 0, s = 0;
+  // Accept both 'T' and ' ' separators; seconds required.
+  if (std::sscanf(text.c_str(), "%d-%d-%dT%d:%d:%d", &y, &mo, &d, &h, &mi,
+                  &s) != 6 &&
+      std::sscanf(text.c_str(), "%d-%d-%d %d:%d:%d", &y, &mo, &d, &h, &mi,
+                  &s) != 6) {
+    return ParseError("bad ISO timestamp: '" + text + "'");
+  }
+  if (mo < 1 || mo > 12 || d < 1 || d > 31 || h < 0 || h > 23 || mi < 0 ||
+      mi > 59 || s < 0 || s > 60) {
+    return ParseError("out-of-range ISO timestamp: '" + text + "'");
+  }
+  return FromCalendar(y, mo, d, h, mi, s);
+}
+
+TimePoint TimePoint::FromCalendar(int year, int month, int day, int hour,
+                                  int minute, int second) {
+  return TimePoint(DaysFromCivil(year, month, day) * 86400 + hour * 3600 +
+                   minute * 60 + second);
+}
+
+}  // namespace ld

@@ -1,0 +1,86 @@
+// Simulated time for the Blue Waters campaign model and for log
+// timestamp parsing/formatting.
+//
+// All simulation and log-analysis time is UTC seconds from an arbitrary
+// epoch (we use the classic Unix epoch so formatted timestamps look like
+// real syslog/Torque records).  Sub-second resolution is not needed: the
+// field study's correlation windows are seconds-to-minutes.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.hpp"
+
+namespace ld {
+
+/// A span of time, in whole seconds.  Value type; arithmetic is checked
+/// nowhere (int64 seconds overflow ~292 billion years).
+class Duration {
+ public:
+  constexpr Duration() : secs_(0) {}
+  constexpr explicit Duration(std::int64_t seconds) : secs_(seconds) {}
+
+  static constexpr Duration Seconds(std::int64_t s) { return Duration(s); }
+  static constexpr Duration Minutes(std::int64_t m) { return Duration(m * 60); }
+  static constexpr Duration Hours(std::int64_t h) { return Duration(h * 3600); }
+  static constexpr Duration Days(std::int64_t d) { return Duration(d * 86400); }
+
+  constexpr std::int64_t seconds() const { return secs_; }
+  constexpr double hours() const { return static_cast<double>(secs_) / 3600.0; }
+  constexpr double days() const { return static_cast<double>(secs_) / 86400.0; }
+
+  constexpr Duration operator+(Duration o) const { return Duration(secs_ + o.secs_); }
+  constexpr Duration operator-(Duration o) const { return Duration(secs_ - o.secs_); }
+  constexpr Duration operator*(std::int64_t k) const { return Duration(secs_ * k); }
+  constexpr auto operator<=>(const Duration&) const = default;
+
+  /// "[Nd ]HH:MM:SS" walltime rendering, e.g. "2d 03:15:00".
+  std::string ToString() const;
+
+ private:
+  std::int64_t secs_;
+};
+
+/// A point in simulated time (UTC seconds since the Unix epoch).
+class TimePoint {
+ public:
+  constexpr TimePoint() : secs_(0) {}
+  constexpr explicit TimePoint(std::int64_t unix_seconds) : secs_(unix_seconds) {}
+
+  constexpr std::int64_t unix_seconds() const { return secs_; }
+
+  constexpr TimePoint operator+(Duration d) const { return TimePoint(secs_ + d.seconds()); }
+  constexpr TimePoint operator-(Duration d) const { return TimePoint(secs_ - d.seconds()); }
+  constexpr Duration operator-(TimePoint o) const { return Duration(secs_ - o.secs_); }
+  constexpr auto operator<=>(const TimePoint&) const = default;
+
+  /// ISO-8601 UTC: "2013-04-01T12:34:56".
+  std::string ToIso() const;
+  /// Syslog style: "Apr  1 12:34:56" (no year, like classic RFC3164).
+  std::string ToSyslog() const;
+  /// Unix epoch integer as a string (Torque accounting style field).
+  std::string ToEpochString() const { return std::to_string(secs_); }
+
+  /// Parses "YYYY-MM-DDTHH:MM:SS" (UTC).
+  static Result<TimePoint> FromIso(const std::string& text);
+  /// Builds a time point from calendar components (UTC, proleptic Gregorian).
+  static TimePoint FromCalendar(int year, int month, int day, int hour = 0,
+                                int minute = 0, int second = 0);
+
+ private:
+  std::int64_t secs_;
+};
+
+/// Breaks a TimePoint into UTC calendar fields.
+struct CalendarTime {
+  int year;
+  int month;   // 1..12
+  int day;     // 1..31
+  int hour;    // 0..23
+  int minute;  // 0..59
+  int second;  // 0..59
+};
+CalendarTime ToCalendar(TimePoint t);
+
+}  // namespace ld

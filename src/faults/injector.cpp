@@ -1,0 +1,440 @@
+#include "faults/injector.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ld {
+namespace {
+
+constexpr int kSigKill = 9;
+
+// Relative frequencies of the CPU-side fatal categories.
+struct CategoryWeight {
+  ErrorCategory category;
+  double weight;
+};
+constexpr CategoryWeight kCpuFatalMix[] = {
+    {ErrorCategory::kMachineCheck, 0.30},
+    {ErrorCategory::kMemoryUE, 0.20},
+    {ErrorCategory::kNodeHeartbeat, 0.32},
+    {ErrorCategory::kKernelSoftware, 0.18},
+};
+constexpr CategoryWeight kGpuFatalMix[] = {
+    {ErrorCategory::kGpuDbe, 0.60},
+    {ErrorCategory::kGpuXid, 0.40},
+};
+// Per-application software-side channels (node count independent).
+constexpr CategoryWeight kCpuAppFatalMix[] = {
+    {ErrorCategory::kKernelSoftware, 0.55},
+    {ErrorCategory::kNodeHeartbeat, 0.45},
+};
+constexpr CategoryWeight kGpuAppFatalMix[] = {
+    {ErrorCategory::kGpuXid, 0.80},
+    {ErrorCategory::kGpuDbe, 0.20},
+};
+
+// Exit codes an application shows when a system error kills the process
+// (not the node).  Deliberately overlaps with user-failure codes: without
+// log correlation these kills are indistinguishable from application
+// bugs, which is the paper's core measurement problem.
+constexpr int kAppKillExitCodes[] = {1, 134, 139, 255, 5};
+
+struct KillCandidate {
+  TimePoint time;
+  std::size_t app_idx;
+  std::uint64_t event_id;
+  ErrorCategory cause;
+  bool detected;
+  bool node_down;
+};
+
+template <std::size_t N>
+ErrorCategory SampleCategory(const CategoryWeight (&mix)[N], Rng& rng) {
+  std::vector<double> w;
+  w.reserve(N);
+  for (const auto& m : mix) w.push_back(m.weight);
+  return mix[rng.WeightedIndex(w)].category;
+}
+
+bool IsGpuCategory(ErrorCategory c) {
+  return c == ErrorCategory::kGpuDbe || c == ErrorCategory::kGpuXid;
+}
+
+/// Per-node occupancy: which job holds this node during which window.
+class NodeOccupancy {
+ public:
+  explicit NodeOccupancy(const Workload& wl) {
+    for (std::size_t j = 0; j < wl.jobs.size(); ++j) {
+      const Job& job = wl.jobs[j];
+      for (NodeIndex n : job.nodes) {
+        spans_[n].push_back({job.start, job.end, j});
+      }
+    }
+    for (auto& [node, spans] : spans_) {
+      std::sort(spans.begin(), spans.end(),
+                [](const Span& a, const Span& b) { return a.start < b.start; });
+    }
+  }
+
+  /// Index of the job occupying `node` at time `t`, or npos.
+  std::size_t JobAt(NodeIndex node, TimePoint t) const {
+    const auto it = spans_.find(node);
+    if (it == spans_.end()) return npos;
+    const auto& spans = it->second;
+    auto pos = std::upper_bound(
+        spans.begin(), spans.end(), t,
+        [](TimePoint v, const Span& s) { return v < s.start; });
+    if (pos == spans.begin()) return npos;
+    --pos;
+    return (t >= pos->start && t < pos->end) ? pos->job : npos;
+  }
+
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
+ private:
+  struct Span {
+    TimePoint start;
+    TimePoint end;
+    std::size_t job;
+  };
+  std::unordered_map<NodeIndex, std::vector<Span>> spans_;
+};
+
+/// The application of job `job` running at time `t`, or npos.
+std::size_t AppAt(const Workload& wl, const Job& job, TimePoint t) {
+  for (std::size_t idx : job.app_indices) {
+    const Application& app = wl.apps[idx];
+    if (!app.cancelled && t >= app.start && t < app.end) return idx;
+  }
+  return NodeOccupancy::npos;
+}
+
+}  // namespace
+
+FaultInjector::FaultInjector(const Machine& machine, FaultModelConfig config)
+    : machine_(machine), config_(config) {}
+
+Result<InjectionResult> FaultInjector::Inject(Workload& workload,
+                                              TimePoint epoch,
+                                              Duration campaign,
+                                              Rng& rng) const {
+  InjectionResult out;
+  std::uint64_t next_event_id = 1;
+  std::vector<KillCandidate> kills;
+
+  const double campaign_days = campaign.days();
+  const TimePoint horizon = epoch + campaign;
+
+  // Reliability-growth multiplier at a given instant (linear in time).
+  const double mult_start = config_.hazard_multiplier_start;
+  const double mult_end = config_.hazard_multiplier_end;
+  const double mult_max = std::max(mult_start, mult_end);
+  auto hazard_multiplier = [&](TimePoint t) {
+    if (campaign.seconds() <= 0) return mult_start;
+    const double frac =
+        std::clamp(static_cast<double>((t - epoch).seconds()) /
+                       static_cast<double>(campaign.seconds()),
+                   0.0, 1.0);
+    return mult_start + frac * (mult_end - mult_start);
+  };
+  // Acceptance test for time-uniform channels (Poisson thinning).
+  auto thin_keep = [&](TimePoint t, Rng& ch) {
+    if (mult_max <= 0.0) return false;
+    return ch.UniformDouble() * mult_max < hazard_multiplier(t);
+  };
+
+  auto add_event = [&](TimePoint t, ErrorCategory cat, Severity sev,
+                       Scope scope, NodeIndex node, Duration outage,
+                       bool detected) -> std::uint64_t {
+    ErrorEvent ev;
+    ev.event_id = next_event_id++;
+    ev.time = t;
+    ev.category = cat;
+    ev.severity = sev;
+    ev.scope = scope;
+    ev.node = node;
+    ev.outage = outage;
+    ev.detected = detected;
+    out.events.push_back(ev);
+    return ev.event_id;
+  };
+
+  // ---- channel 1: node-attached fatal errors during each run ----------
+  // An application's hazard is rate x nodect; sampling the first arrival
+  // is exact for the kill process (later arrivals on an already-dead run
+  // change nothing the logs would see differently at these rates).
+  {
+    Rng ch = rng.Fork("node-fatal");
+    for (std::size_t i = 0; i < workload.apps.size(); ++i) {
+      Application& app = workload.apps[i];
+      if (app.cancelled) continue;
+      const Job& job = workload.job_of(app);
+      const bool is_xk = job.node_type == NodeType::kXK;
+      const double per_node_hour = is_xk ? config_.xk_fatal_per_node_hour
+                                         : config_.xe_fatal_per_node_hour;
+      const double exposure_rate =
+          per_node_hour * static_cast<double>(job.nodect());
+      const double app_rate = is_xk ? config_.xk_app_fatal_per_hour
+                                    : config_.xe_app_fatal_per_hour;
+      const double rate_per_sec = (exposure_rate + app_rate) *
+                                  hazard_multiplier(app.start) / 3600.0;
+      if (rate_per_sec <= 0.0) continue;
+      const double t_fail = ch.Exponential(rate_per_sec);
+      const double window = static_cast<double>(app.duration().seconds());
+      if (t_fail >= window) continue;
+
+      const TimePoint when =
+          app.start + Duration(static_cast<std::int64_t>(t_fail));
+      // Which channel struck: hardware exposure (scales with node count)
+      // or per-application software.
+      const bool exposure_channel =
+          ch.UniformDouble() * (exposure_rate + app_rate) < exposure_rate;
+      bool gpu_side;
+      ErrorCategory cat;
+      if (exposure_channel) {
+        gpu_side = is_xk && ch.Bernoulli(config_.xk_gpu_share);
+        cat = gpu_side ? SampleCategory(kGpuFatalMix, ch)
+                       : SampleCategory(kCpuFatalMix, ch);
+      } else {
+        gpu_side = is_xk && ch.Bernoulli(config_.xk_app_gpu_share);
+        cat = gpu_side ? SampleCategory(kGpuAppFatalMix, ch)
+                       : SampleCategory(kCpuAppFatalMix, ch);
+      }
+      // Heartbeat faults are by definition whole-node losses.
+      const double down_share = gpu_side ? config_.node_down_share_gpu
+                                         : config_.node_down_share_cpu;
+      const bool node_down =
+          cat == ErrorCategory::kNodeHeartbeat || ch.Bernoulli(down_share);
+      const bool detected = ch.Bernoulli(gpu_side ? config_.gpu_error_detection
+                                                  : config_.cpu_error_detection);
+      const NodeIndex node =
+          job.nodes[ch.UniformInt(static_cast<std::uint64_t>(job.nodes.size()))];
+      const std::uint64_t id = add_event(when, cat, Severity::kFatal,
+                                         Scope::kNode, node, Duration(0),
+                                         detected);
+      kills.push_back({when, i, id, cat, detected, node_down});
+    }
+  }
+
+  // ---- channel 2: blade faults (4-node blast radius) -------------------
+  {
+    Rng ch = rng.Fork("blade");
+    NodeOccupancy occupancy(workload);
+    const std::uint64_t count =
+        ch.Poisson(config_.blade_faults_per_day * mult_max * campaign_days);
+    for (std::uint64_t k = 0; k < count; ++k) {
+      const TimePoint when =
+          epoch + Duration(static_cast<std::int64_t>(
+                      ch.UniformDouble() * static_cast<double>(campaign.seconds())));
+      if (!thin_keep(when, ch)) continue;
+      const NodeIndex anchor = static_cast<NodeIndex>(
+          ch.UniformInt(static_cast<std::uint64_t>(machine_.node_count())));
+      const bool detected = ch.Bernoulli(0.97);
+      const std::uint64_t id =
+          add_event(when, ErrorCategory::kBladeFault, Severity::kFatal,
+                    Scope::kBlade, anchor, Duration(0), detected);
+      for (NodeIndex sib : machine_.BladeSiblings(anchor)) {
+        const std::size_t j = occupancy.JobAt(sib, when);
+        if (j == NodeOccupancy::npos) continue;
+        const std::size_t a = AppAt(workload, workload.jobs[j], when);
+        if (a == NodeOccupancy::npos) continue;
+        kills.push_back(
+            {when, a, id, ErrorCategory::kBladeFault, detected, true});
+      }
+    }
+  }
+
+  // ---- channel 3: Gemini link failures ---------------------------------
+  {
+    Rng ch = rng.Fork("gemini");
+    NodeOccupancy occupancy(workload);
+    const std::uint64_t count =
+        ch.Poisson(config_.link_failures_per_day * mult_max * campaign_days);
+    for (std::uint64_t k = 0; k < count; ++k) {
+      const TimePoint when =
+          epoch + Duration(static_cast<std::int64_t>(
+                      ch.UniformDouble() * static_cast<double>(campaign.seconds())));
+      if (!thin_keep(when, ch)) continue;
+      const NodeIndex anchor = static_cast<NodeIndex>(
+          ch.UniformInt(static_cast<std::uint64_t>(machine_.node_count())));
+      const bool failover_ok = ch.Bernoulli(config_.link_failover_success);
+      const bool detected = ch.Bernoulli(0.95);
+      const Severity sev = failover_ok ? Severity::kDegraded : Severity::kFatal;
+      const std::uint64_t id =
+          add_event(when, ErrorCategory::kGeminiLink, sev, Scope::kNode,
+                    anchor, Duration(0), detected);
+      if (failover_ok) continue;
+      // A failed failover isolates the router's nodes: to ALPS this is a
+      // node loss, so the kill presents as a node failure.
+      for (NodeIndex n : machine_.NodesOnGemini(machine_.node(anchor).gemini)) {
+        if (!ch.Bernoulli(config_.link_kill_prob)) continue;
+        const std::size_t j = occupancy.JobAt(n, when);
+        if (j == NodeOccupancy::npos) continue;
+        const std::size_t a = AppAt(workload, workload.jobs[j], when);
+        if (a == NodeOccupancy::npos) continue;
+        kills.push_back(
+            {when, a, id, ErrorCategory::kGeminiLink, detected, true});
+      }
+    }
+  }
+
+  // ---- channel 4: system-wide Lustre incidents --------------------------
+  {
+    Rng ch = rng.Fork("lustre");
+    // Arrival times, then a sweep over applications ordered by start.
+    std::vector<std::pair<TimePoint, Duration>> incidents;
+    const std::uint64_t count =
+        ch.Poisson(config_.lustre_incidents_per_day * mult_max * campaign_days);
+    for (std::uint64_t k = 0; k < count; ++k) {
+      const TimePoint when =
+          epoch + Duration(static_cast<std::int64_t>(
+                      ch.UniformDouble() * static_cast<double>(campaign.seconds())));
+      if (!thin_keep(when, ch)) continue;
+      const double minutes = ch.LogNormal(
+          std::log(config_.lustre_outage_median_minutes),
+          config_.lustre_outage_sigma);
+      incidents.emplace_back(
+          when, Duration(static_cast<std::int64_t>(minutes * 60.0)));
+    }
+    std::sort(incidents.begin(), incidents.end());
+
+    std::vector<std::size_t> by_start(workload.apps.size());
+    for (std::size_t i = 0; i < by_start.size(); ++i) by_start[i] = i;
+    std::sort(by_start.begin(), by_start.end(),
+              [&workload](std::size_t a, std::size_t b) {
+                return workload.apps[a].start < workload.apps[b].start;
+              });
+
+    std::size_t cursor = 0;
+    std::vector<std::size_t> active;
+    for (const auto& [when, outage] : incidents) {
+      const TimePoint window_end = when + outage;
+      while (cursor < by_start.size() &&
+             workload.apps[by_start[cursor]].start < window_end) {
+        active.push_back(by_start[cursor]);
+        ++cursor;
+      }
+      const bool detected = ch.Bernoulli(0.98);
+      const std::uint64_t id =
+          add_event(when, ErrorCategory::kLustre, Severity::kFatal,
+                    Scope::kSystem, kInvalidNode, outage, detected);
+      std::vector<std::size_t> still_active;
+      still_active.reserve(active.size());
+      for (std::size_t a : active) {
+        const Application& app = workload.apps[a];
+        if (app.end <= when) continue;  // finished before this incident
+        still_active.push_back(a);
+        if (app.cancelled || app.start >= window_end) continue;
+        if (!ch.Bernoulli(config_.lustre_kill_prob)) continue;
+        const TimePoint kill_at = std::max(app.start + Duration(1), when);
+        kills.push_back(
+            {kill_at, a, id, ErrorCategory::kLustre, detected, false});
+      }
+      active = std::move(still_active);
+    }
+  }
+
+  // ---- channel 5: benign noise floor ------------------------------------
+  {
+    Rng ch = rng.Fork("noise");
+    auto sprinkle = [&](double per_day, ErrorCategory cat, Severity sev,
+                        bool xk_only) {
+      const std::uint64_t count = ch.Poisson(per_day * campaign_days);
+      if (xk_only && machine_.xk_count() == 0) return;
+      for (std::uint64_t k = 0; k < count; ++k) {
+        const TimePoint when = epoch + Duration(static_cast<std::int64_t>(
+                                   ch.UniformDouble() *
+                                   static_cast<double>(campaign.seconds())));
+        NodeIndex node;
+        if (xk_only) {
+          node = machine_.nodes_of_type(NodeType::kXK)[ch.UniformInt(
+              static_cast<std::uint64_t>(machine_.xk_count()))];
+        } else {
+          node = static_cast<NodeIndex>(
+              ch.UniformInt(static_cast<std::uint64_t>(machine_.node_count())));
+        }
+        add_event(when, cat, sev, Scope::kNode, node, Duration(0), true);
+      }
+    };
+    sprinkle(config_.corrected_mce_per_day, ErrorCategory::kMachineCheck,
+             Severity::kCorrected, /*xk_only=*/false);
+    sprinkle(config_.corrected_gpu_per_day, ErrorCategory::kGpuXid,
+             Severity::kCorrected, /*xk_only=*/true);
+    sprinkle(config_.link_degrade_per_day, ErrorCategory::kGeminiLink,
+             Severity::kCorrected, /*xk_only=*/false);
+  }
+
+  // ---- apply kills in time order -----------------------------------------
+  std::sort(kills.begin(), kills.end(),
+            [](const KillCandidate& a, const KillCandidate& b) {
+              if (a.time != b.time) return a.time < b.time;
+              return a.app_idx < b.app_idx;
+            });
+  Rng apply_rng = rng.Fork("apply");
+  for (const KillCandidate& kill : kills) {
+    Application& app = workload.apps[kill.app_idx];
+    if (app.cancelled) continue;
+    if (kill.time >= app.end) continue;   // run already over / already dead
+    if (kill.time < app.start) continue;  // defensive; should not happen
+
+    app.end = std::max(app.start + Duration(1), kill.time);
+    app.truth = AppOutcome::kSystemFailure;
+    if (kill.node_down) {
+      app.alps_node_failure = true;
+      app.exit_signal = kSigKill;
+      app.exit_code = 128 + kSigKill;
+    } else {
+      app.exit_signal = 0;
+      app.exit_code = kAppKillExitCodes[apply_rng.UniformInt(
+          static_cast<std::uint64_t>(std::size(kAppKillExitCodes)))];
+    }
+    ++out.system_killed_apps;
+
+    TruthRecord& rec = out.truth[app.apid];
+    rec.apid = app.apid;
+    rec.outcome = AppOutcome::kSystemFailure;
+    rec.cause = kill.cause;
+    rec.event_id = kill.event_id;
+    rec.cause_detected = kill.detected;
+
+    Job& job = workload.jobs[static_cast<std::size_t>(app.jobid - 1)];
+    if (kill.node_down) {
+      // The reservation lost a node: Torque tears the job down; any
+      // aprun invocations the batch script had not reached never run.
+      for (std::size_t idx : job.app_indices) {
+        Application& later = workload.apps[idx];
+        if (later.seq > app.seq && !later.cancelled) {
+          later.cancelled = true;
+          ++out.cancelled_apps;
+        }
+      }
+      job.end = app.end + Duration(30);
+      job.exit_status = -11;  // Torque's "node failure / requeue" family
+    } else if (job.exit_status == 0) {
+      job.exit_status = app.exit_code;
+    }
+  }
+
+  // ---- ground truth for the remaining apps -------------------------------
+  for (const Application& app : workload.apps) {
+    if (app.cancelled) {
+      out.truth.erase(app.apid);
+      continue;
+    }
+    if (out.truth.contains(app.apid)) continue;
+    TruthRecord rec;
+    rec.apid = app.apid;
+    rec.outcome = app.truth;
+    out.truth.emplace(app.apid, rec);
+  }
+
+  std::sort(out.events.begin(), out.events.end(),
+            [](const ErrorEvent& a, const ErrorEvent& b) {
+              if (a.time != b.time) return a.time < b.time;
+              return a.event_id < b.event_id;
+            });
+  (void)horizon;
+  return out;
+}
+
+}  // namespace ld

@@ -1,0 +1,147 @@
+// Fault injection and impact resolution.
+//
+// The injector overlays error events on a generated campaign and
+// resolves their impact on application runs, producing (a) the event
+// stream the log emitters will render and (b) per-application ground
+// truth.  Because the injector knows the true cause of every kill,
+// LogDiver's attribution can be *scored* — something the original field
+// study could not do.
+//
+// Hazard model and calibration (see DESIGN.md "Calibration targets"):
+//  - Node-attached fatal errors arrive as a Poisson process over each
+//    node's *busy* time, at `xe_fatal_per_node_hour` on XE nodes and the
+//    (higher) `xk_fatal_per_node_hour` on XK nodes.  An application's
+//    exposure is therefore proportional to nodect x duration, which is
+//    what makes full-machine hero runs fail ~20x more often (A4/A5).
+//  - System-wide Lustre incidents arrive machine-wide and kill each
+//    overlapping application with a size-independent probability; this
+//    channel dominates the *population* failure rate (A2) because every
+//    run, however small, is exposed.
+//  - Gemini link failures usually fail over (degraded, log noise); an
+//    unsuccessful failover kills the applications using the router.
+//  - GPU-side fatal errors on XK nodes escape detection with
+//    significant probability (A6); undetected kills leave no RAS line,
+//    so LogDiver can categorize the failure (via the ALPS exit record)
+//    but not attribute a cause — or, for app-scope kills, may
+//    misclassify it as an application bug.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/status.hpp"
+#include "faults/taxonomy.hpp"
+#include "topology/machine.hpp"
+#include "workload/types.hpp"
+
+namespace ld {
+
+struct FaultModelConfig {
+  // --- node-attached fatal hazards (per busy node-hour) ---
+  // Calibrated jointly with the Gemini/blade machine-wide channels so
+  // the effective per-node-hour hazard lands the A4/A5 scale anchors;
+  // the ~20x XE->XK gap is the paper's "hybrid nodes are less reliable".
+  double xe_fatal_per_node_hour = 4.0e-7;
+  double xk_fatal_per_node_hour = 3.0e-6;
+  /// Share of XK fatal events that are GPU-side (DBE/Xid).
+  double xk_gpu_share = 0.70;
+
+  // --- per-application-hour fatal hazards (node count independent) ---
+  // Software-side failures that strike once per run regardless of size:
+  // launch failures, OOM kills, node-health false trips, GPU driver
+  // (Xid) faults on the hybrid partition.  This channel gives small
+  // applications a realistic node-level failure population (the field
+  // study's cause tables are not all Lustre) without disturbing the
+  // exposure-proportional scale anchors.
+  double xe_app_fatal_per_hour = 0.0035;
+  double xk_app_fatal_per_hour = 0.0060;
+  /// Share of the XK per-app channel that is GPU-side.
+  double xk_app_gpu_share = 0.60;
+
+  // --- detection coverage (probability the event reaches any log) ---
+  double cpu_error_detection = 0.96;
+  double gpu_error_detection = 0.60;  // the A6 gap
+
+  /// Probability a node-attached fatal error downs the whole node (ALPS
+  /// then reports "killed: node failure") rather than killing only the
+  /// application process.
+  double node_down_share_cpu = 0.55;
+  double node_down_share_gpu = 0.15;  // GPU faults mostly kill the app
+
+  // --- system-wide incidents (Lustre) ---
+  // This channel dominates the *population* failure rate (anchor A2):
+  // every run, however small, is exposed for its whole duration.
+  double lustre_incidents_per_day = 1.2;
+  double lustre_outage_median_minutes = 5.0;
+  double lustre_outage_sigma = 0.8;  // lognormal
+  /// Probability an application overlapping the incident window is killed.
+  double lustre_kill_prob = 0.26;
+
+  // --- Gemini interconnect ---
+  double link_failures_per_day = 0.5;
+  double link_failover_success = 0.90;
+  /// On failover failure, apps on the router's nodes die with this prob.
+  double link_kill_prob = 0.85;
+
+  // --- blade-level faults ---
+  double blade_faults_per_day = 0.01;
+
+  // --- benign noise floor (log realism; never kills anything) ---
+  double corrected_mce_per_day = 60.0;
+  double corrected_gpu_per_day = 8.0;
+  double link_degrade_per_day = 12.0;
+
+  // --- reliability growth ---
+  // Field systems harden over their production life: firmware fixes,
+  // bad-part replacement, filesystem tuning.  All fatal channels are
+  // scaled by a multiplier that interpolates linearly from
+  // `hazard_multiplier_start` at campaign begin to `hazard_multiplier_end`
+  // at campaign end.  (1.0, 1.0) = stationary hazards (the calibrated
+  // default); pick a mean of ~1.0 to keep campaign totals comparable.
+  double hazard_multiplier_start = 1.0;
+  double hazard_multiplier_end = 1.0;
+};
+
+/// Per-application ground truth after injection.
+struct TruthRecord {
+  ApId apid = 0;
+  AppOutcome outcome = AppOutcome::kSuccess;
+  /// Root cause for system failures; kUnknown otherwise.
+  ErrorCategory cause = ErrorCategory::kUnknown;
+  /// The event that killed it (0 if none).
+  std::uint64_t event_id = 0;
+  /// Whether the killing event was detected (produced log evidence).
+  bool cause_detected = false;
+};
+
+struct InjectionResult {
+  /// All injected events, detected or not, time-ordered.
+  std::vector<ErrorEvent> events;
+  /// Ground truth per (non-cancelled) application, apid-keyed.
+  std::unordered_map<ApId, TruthRecord> truth;
+
+  std::uint64_t system_killed_apps = 0;
+  std::uint64_t cancelled_apps = 0;
+};
+
+class FaultInjector {
+ public:
+  FaultInjector(const Machine& machine, FaultModelConfig config);
+
+  /// Injects errors into the campaign.  Mutates `workload`: killed
+  /// applications get truncated end times, kill exit codes, truth
+  /// overrides, and possibly `alps_node_failure`; later runs of a job
+  /// whose nodes died are cancelled.  Deterministic in the rng seed.
+  Result<InjectionResult> Inject(Workload& workload, TimePoint epoch,
+                                 Duration campaign, Rng& rng) const;
+
+  const FaultModelConfig& config() const { return config_; }
+
+ private:
+  const Machine& machine_;
+  FaultModelConfig config_;
+};
+
+}  // namespace ld

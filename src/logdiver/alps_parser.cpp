@@ -1,0 +1,120 @@
+#include "logdiver/alps_parser.hpp"
+
+#include "common/strings.hpp"
+
+namespace ld {
+
+Result<std::optional<AlpsRecord>> AlpsParser::ParseLine(std::string_view line) {
+  ++stats_.lines;
+  // "YYYY-MM-DDTHH:MM:SS daemon[pid]: payload"
+  if (line.size() < 21) {
+    ++stats_.malformed;
+    return ParseError("alps: line too short");
+  }
+  auto when = TimePoint::FromIso(std::string(line.substr(0, 19)));
+  if (!when.ok()) {
+    ++stats_.malformed;
+    return when.status();
+  }
+  const std::string_view rest = line.substr(20);
+  const std::size_t colon = rest.find(": ");
+  if (colon == std::string_view::npos) {
+    ++stats_.malformed;
+    return ParseError("alps: missing daemon separator");
+  }
+  const std::string_view daemon = rest.substr(0, colon);
+  const std::string payload(rest.substr(colon + 2));
+
+  AlpsRecord rec;
+  rec.time = *when;
+
+  if (StartsWith(daemon, "apsched") && StartsWith(payload, "placeApp")) {
+    rec.kind = AlpsRecord::Kind::kPlace;
+    auto apid = FindKeyValue(payload, "apid");
+    auto jobid = FindKeyValue(payload, "jobid");
+    auto nids = FindKeyValue(payload, "nids");
+    if (!apid.ok() || !jobid.ok() || !nids.ok()) {
+      ++stats_.malformed;
+      return ParseError("alps: placeApp missing apid/jobid/nids");
+    }
+    auto apid_v = ParseUint(*apid);
+    auto jobid_v = ParseUint(*jobid);
+    if (!apid_v.ok() || !jobid_v.ok()) {
+      ++stats_.malformed;
+      return ParseError("alps: bad apid/jobid");
+    }
+    rec.apid = *apid_v;
+    rec.jobid = *jobid_v;
+    if (auto v = FindKeyValue(payload, "user"); v.ok()) rec.user = *v;
+    if (auto v = FindKeyValue(payload, "cmd"); v.ok()) rec.command = *v;
+    if (auto v = FindKeyValue(payload, "nodect"); v.ok()) {
+      if (auto n = ParseUint(*v); n.ok()) {
+        rec.nodect = static_cast<std::uint32_t>(*n);
+      }
+    }
+    auto nid_list = ParseNidRanges(*nids);
+    if (!nid_list.ok()) {
+      ++stats_.malformed;
+      return nid_list.status();
+    }
+    rec.nids = std::move(*nid_list);
+    ++stats_.records;
+    return std::optional<AlpsRecord>{std::move(rec)};
+  }
+
+  if (StartsWith(daemon, "apsys")) {
+    auto apid = FindKeyValue(payload, "apid");
+    if (!apid.ok()) {
+      ++stats_.malformed;
+      return ParseError("alps: apsys record missing apid");
+    }
+    auto apid_v = ParseUint(*apid);
+    if (!apid_v.ok()) {
+      ++stats_.malformed;
+      return apid_v.status();
+    }
+    rec.apid = *apid_v;
+    if (Contains(payload, "exited")) {
+      rec.kind = AlpsRecord::Kind::kExit;
+      if (auto v = FindKeyValue(payload, "status"); v.ok()) {
+        if (auto n = ParseInt(*v); n.ok()) rec.exit_code = static_cast<int>(*n);
+      }
+      if (auto v = FindKeyValue(payload, "signal"); v.ok()) {
+        if (auto n = ParseInt(*v); n.ok()) {
+          rec.exit_signal = static_cast<int>(*n);
+        }
+      }
+      ++stats_.records;
+      return std::optional<AlpsRecord>{std::move(rec)};
+    }
+    if (Contains(payload, "killed")) {
+      rec.kind = AlpsRecord::Kind::kKill;
+      if (auto v = FindKeyValue(payload, "reason"); v.ok()) {
+        rec.kill_reason = *v;
+      }
+      if (auto v = FindKeyValue(payload, "nid"); v.ok()) {
+        if (auto n = ParseUint(*v); n.ok()) {
+          rec.failed_nid = static_cast<NodeIndex>(*n);
+        }
+      }
+      ++stats_.records;
+      return std::optional<AlpsRecord>{std::move(rec)};
+    }
+  }
+
+  ++stats_.skipped;
+  return std::optional<AlpsRecord>{};
+}
+
+std::vector<AlpsRecord> AlpsParser::ParseLines(
+    const std::vector<std::string>& lines) {
+  std::vector<AlpsRecord> out;
+  out.reserve(lines.size());
+  for (const std::string& line : lines) {
+    auto rec = ParseLine(line);
+    if (rec.ok() && rec->has_value()) out.push_back(std::move(**rec));
+  }
+  return out;
+}
+
+}  // namespace ld

@@ -1,0 +1,27 @@
+// Parser for ALPS (Application Level Placement Scheduler) logs.
+//
+// Three record kinds:
+//   <iso-ts> apsched[pid]: placeApp apid=A jobid=J user=U cmd=C nodect=N nids=R
+//   <iso-ts> apsys[pid]:   apid=A exited, status=S signal=G
+//   <iso-ts> apsys[pid]:   apid=A killed, reason=node_failure nid=N
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "common/status.hpp"
+#include "logdiver/records.hpp"
+
+namespace ld {
+
+class AlpsParser {
+ public:
+  Result<std::optional<AlpsRecord>> ParseLine(std::string_view line);
+  std::vector<AlpsRecord> ParseLines(const std::vector<std::string>& lines);
+  const ParseStats& stats() const { return stats_; }
+
+ private:
+  ParseStats stats_;
+};
+
+}  // namespace ld

@@ -1,0 +1,191 @@
+#include "logdiver/coalesce.hpp"
+
+#include <algorithm>
+
+#include "topology/cname.hpp"
+
+namespace ld {
+namespace {
+
+/// Resolves a tuple's location string to the affected node set.
+/// Returns false when the component is unknown on this machine.
+bool ResolveNodes(const Machine& machine, LocScope scope,
+                  const std::string& location, std::vector<NodeIndex>& out) {
+  switch (scope) {
+    case LocScope::kSystem:
+      out.clear();  // empty = machine-wide
+      return true;
+    case LocScope::kNode: {
+      auto idx = machine.FindByCname(location);
+      if (!idx.ok()) return false;
+      out = {*idx};
+      return true;
+    }
+    case LocScope::kBlade: {
+      // Location is a blade prefix "cX-YcCsS"; resolve all 4 node slots.
+      out.clear();
+      for (int nd = 0; nd < 4; ++nd) {
+        auto idx = machine.FindByCname(location + "n" + std::to_string(nd));
+        if (idx.ok()) out.push_back(*idx);
+      }
+      return !out.empty();
+    }
+    case LocScope::kGemini: {
+      // Location "cX-YcCsSg{P}": router P serves nodes 2P and 2P+1.
+      const std::size_t g = location.rfind('g');
+      if (g == std::string::npos || g + 1 >= location.size()) return false;
+      const int pair = location[g + 1] - '0';
+      if (pair < 0 || pair > 1) return false;
+      const std::string blade = location.substr(0, g);
+      out.clear();
+      for (int nd = pair * 2; nd < pair * 2 + 2; ++nd) {
+        auto idx = machine.FindByCname(blade + "n" + std::to_string(nd));
+        if (idx.ok()) out.push_back(*idx);
+      }
+      return !out.empty();
+    }
+  }
+  return false;
+}
+
+/// Window applied to a system incident whose recovery never arrived.
+constexpr std::int64_t kDefaultIncidentSeconds = 1800;
+
+void SortByFirst(std::vector<ErrorTuple>& tuples) {
+  std::sort(tuples.begin(), tuples.end(),
+            [](const ErrorTuple& a, const ErrorTuple& b) {
+              if (a.first != b.first) return a.first < b.first;
+              return a.id < b.id;
+            });
+}
+
+}  // namespace
+
+Interval ErrorTuple::ImpactWindow() const {
+  const TimePoint end = recovered.has_value() ? *recovered : last;
+  return Interval{first, std::max(end, first) + Duration(1)};
+}
+
+StreamingCoalescer::StreamingCoalescer(const Machine& machine,
+                                       CoalesceConfig config)
+    : machine_(machine), config_(config) {}
+
+void StreamingCoalescer::Add(const ErrorRecord& record) {
+  ++stats_.input_events;
+  const std::pair<int, std::string> key{static_cast<int>(record.category),
+                                        record.location};
+  auto it = open_.find(key);
+  if (it != open_.end()) {
+    ErrorTuple& tuple = it->second;
+    // An unrecovered system incident is ongoing by definition: error
+    // reports and the eventual recovery line merge into it no matter how
+    // long it lasts.
+    const bool open_incident = tuple.scope == LocScope::kSystem &&
+                               !tuple.recovered.has_value();
+    const bool in_window =
+        (record.time >= tuple.first - config_.tupling_window &&
+         record.time <= tuple.last + config_.tupling_window) ||
+        (open_incident &&
+         record.time >= tuple.first - config_.tupling_window);
+    if (in_window) {
+      tuple.first = std::min(tuple.first, record.time);
+      tuple.last = std::max(tuple.last, record.time);
+      tuple.severity = std::max(tuple.severity, record.severity);
+      tuple.count += 1;
+      tuple.from_syslog |= record.source == LogSource::kSyslog;
+      tuple.from_hwerr |= record.source == LogSource::kHwerr;
+      if (record.recovered.has_value()) {
+        tuple.recovered = tuple.recovered.has_value()
+                              ? std::max(*tuple.recovered, *record.recovered)
+                              : record.recovered;
+      }
+      return;
+    }
+    // The gap exceeded the window: the old tuple is complete.
+    closed_.push_back(std::move(it->second));
+    open_.erase(it);
+  }
+  ErrorTuple tuple;
+  tuple.id = next_id_++;
+  tuple.category = record.category;
+  tuple.severity = record.severity;
+  tuple.scope = record.scope;
+  tuple.location = record.location;
+  tuple.first = record.time;
+  tuple.last = record.time;
+  tuple.recovered = record.recovered;
+  tuple.count = 1;
+  tuple.from_syslog = record.source == LogSource::kSyslog;
+  tuple.from_hwerr = record.source == LogSource::kHwerr;
+  if (!ResolveNodes(machine_, record.scope, record.location, tuple.nodes)) {
+    ++stats_.unresolved_locations;
+    return;  // component not on this machine: drop
+  }
+  open_.emplace(key, std::move(tuple));
+}
+
+std::vector<ErrorTuple> StreamingCoalescer::Flush(TimePoint watermark) {
+  std::vector<ErrorTuple> out = std::move(closed_);
+  closed_.clear();
+  for (auto it = open_.begin(); it != open_.end();) {
+    ErrorTuple& tuple = it->second;
+    const bool window_closed =
+        tuple.last + config_.tupling_window < watermark;
+    const bool incident_open = tuple.scope == LocScope::kSystem &&
+                               !tuple.recovered.has_value();
+    if (window_closed && !incident_open) {
+      out.push_back(std::move(tuple));
+      it = open_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  stats_.tuples += out.size();
+  SortByFirst(out);
+  return out;
+}
+
+std::vector<ErrorTuple> StreamingCoalescer::FlushAll() {
+  std::vector<ErrorTuple> out = std::move(closed_);
+  closed_.clear();
+  for (auto& [key, tuple] : open_) {
+    if (tuple.scope == LocScope::kSystem && !tuple.recovered.has_value()) {
+      tuple.recovered = tuple.first + Duration(kDefaultIncidentSeconds);
+    }
+    out.push_back(std::move(tuple));
+  }
+  open_.clear();
+  stats_.tuples += out.size();
+  SortByFirst(out);
+  return out;
+}
+
+std::optional<TimePoint> StreamingCoalescer::EarliestOpenIncident() const {
+  std::optional<TimePoint> earliest;
+  for (const auto& [key, tuple] : open_) {
+    if (tuple.scope != LocScope::kSystem || tuple.recovered.has_value()) {
+      continue;
+    }
+    if (!earliest.has_value() || tuple.first < *earliest) {
+      earliest = tuple.first;
+    }
+  }
+  return earliest;
+}
+
+std::vector<ErrorTuple> CoalesceEvents(const Machine& machine,
+                                       std::vector<ErrorRecord> records,
+                                       const CoalesceConfig& config,
+                                       CoalesceStats* stats) {
+  std::sort(records.begin(), records.end(),
+            [](const ErrorRecord& a, const ErrorRecord& b) {
+              return a.time < b.time;
+            });
+  StreamingCoalescer coalescer(machine, config);
+  for (const ErrorRecord& record : records) coalescer.Add(record);
+  std::vector<ErrorTuple> out = coalescer.FlushAll();
+  if (stats != nullptr) *stats = coalescer.stats();
+  return out;
+}
+
+}  // namespace ld

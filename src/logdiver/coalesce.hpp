@@ -1,0 +1,103 @@
+// Event filtering and coalescing ("tupling").
+//
+// Raw RAS streams are bursty: one physical fault produces repeated
+// reports (kernel retry loops) and duplicate records across sources
+// (syslog + hwerrlog).  Following the LogDiver preprocessing design, we
+// collapse events with the same (category, location) whose inter-arrival
+// gap is below a tupling window into a single tuple carrying the count,
+// the time span, the maximum severity, and the contributing sources.
+// Locations are resolved to machine node sets here so the correlator
+// can do purely positional matching.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/interval.hpp"
+#include "common/time.hpp"
+#include "logdiver/records.hpp"
+#include "topology/machine.hpp"
+
+namespace ld {
+
+struct ErrorTuple {
+  std::uint64_t id = 0;
+  ErrorCategory category = ErrorCategory::kUnknown;
+  Severity severity = Severity::kCorrected;  // max over members
+  LocScope scope = LocScope::kNode;
+  std::string location;            // canonical component name; empty = system
+  std::vector<NodeIndex> nodes;    // resolved affected nodes (empty = all)
+  TimePoint first;                 // earliest member event
+  TimePoint last;                  // latest member event
+  std::optional<TimePoint> recovered;  // end of system incident window
+  std::uint32_t count = 0;         // member events collapsed
+  bool from_syslog = false;
+  bool from_hwerr = false;
+
+  /// The window during which the fault could have killed something:
+  /// [first, recovered] for incidents, [first, last] otherwise.
+  Interval ImpactWindow() const;
+};
+
+struct CoalesceConfig {
+  /// Events of the same (category, location) closer than this merge.
+  Duration tupling_window = Duration::Seconds(60);
+};
+
+struct CoalesceStats {
+  std::uint64_t input_events = 0;
+  std::uint64_t tuples = 0;
+  std::uint64_t unresolved_locations = 0;  // cname not on this machine
+};
+
+/// Incremental coalescer: feed records in roughly chronological order,
+/// flush tuples whose window has provably closed.  This is the streaming
+/// analyzer's building block; retained state is one open tuple per
+/// actively-erroring (category, location).
+class StreamingCoalescer {
+ public:
+  StreamingCoalescer(const Machine& machine, CoalesceConfig config);
+
+  /// Adds one record.  Records within the tupling window of their
+  /// tuple's span merge even if slightly out of order.
+  void Add(const ErrorRecord& record);
+
+  /// Closes and returns tuples that can no longer grow: node-scoped
+  /// tuples with last-event + window < watermark; system incidents
+  /// additionally need their recovery line (or the final FlushAll).
+  /// Output is sorted by first-event time.
+  std::vector<ErrorTuple> Flush(TimePoint watermark);
+
+  /// Closes everything, applying the default window to still-open
+  /// system incidents.
+  std::vector<ErrorTuple> FlushAll();
+
+  /// Start time of the earliest still-open system incident, if any —
+  /// runs dying during it cannot be finalized yet.
+  std::optional<TimePoint> EarliestOpenIncident() const;
+
+  std::size_t open_tuples() const { return open_.size(); }
+  const CoalesceStats& stats() const { return stats_; }
+
+ private:
+  const Machine& machine_;
+  CoalesceConfig config_;
+  CoalesceStats stats_;
+  std::uint64_t next_id_ = 1;
+  std::map<std::pair<int, std::string>, ErrorTuple> open_;
+  /// Tuples displaced by a new burst on the same key; handed out on the
+  /// next Flush.
+  std::vector<ErrorTuple> closed_;
+};
+
+/// Coalesces parsed error records into tuples.  Input order is free; the
+/// output is sorted by first-event time.
+std::vector<ErrorTuple> CoalesceEvents(const Machine& machine,
+                                       std::vector<ErrorRecord> records,
+                                       const CoalesceConfig& config,
+                                       CoalesceStats* stats = nullptr);
+
+}  // namespace ld

@@ -1,0 +1,177 @@
+#include "logdiver/correlate.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <unordered_map>
+
+namespace ld {
+namespace {
+
+constexpr int kSigTerm = 15;
+
+/// Spatial index: for each node, the fatal node-scoped tuples that can
+/// affect it, sorted by first-event time.
+class TupleIndex {
+ public:
+  TupleIndex(const std::vector<ErrorTuple>& tuples) {
+    for (std::uint32_t i = 0; i < tuples.size(); ++i) {
+      const ErrorTuple& t = tuples[i];
+      if (t.severity != Severity::kFatal) continue;
+      if (t.scope == LocScope::kSystem) {
+        system_.push_back(i);
+        continue;
+      }
+      for (NodeIndex n : t.nodes) {
+        per_node_[n].push_back(i);
+      }
+    }
+    auto by_time = [&tuples](std::uint32_t a, std::uint32_t b) {
+      return tuples[a].first < tuples[b].first;
+    };
+    for (auto& [node, list] : per_node_) {
+      std::sort(list.begin(), list.end(), by_time);
+    }
+    std::sort(system_.begin(), system_.end(), by_time);
+  }
+
+  /// Fatal tuples touching `node` with first-event time inside
+  /// [lo, hi].  Appends indices to `out`.
+  void NodeCandidates(const std::vector<ErrorTuple>& tuples, NodeIndex node,
+                      TimePoint lo, TimePoint hi,
+                      std::vector<std::uint32_t>& out) const {
+    const auto it = per_node_.find(node);
+    if (it == per_node_.end()) return;
+    const auto& list = it->second;
+    auto begin = std::lower_bound(
+        list.begin(), list.end(), lo,
+        [&tuples](std::uint32_t idx, TimePoint v) {
+          return tuples[idx].first < v;
+        });
+    for (; begin != list.end() && tuples[*begin].first <= hi; ++begin) {
+      out.push_back(*begin);
+    }
+  }
+
+  const std::vector<std::uint32_t>& system_tuples() const { return system_; }
+
+ private:
+  std::unordered_map<NodeIndex, std::vector<std::uint32_t>> per_node_;
+  std::vector<std::uint32_t> system_;
+};
+
+}  // namespace
+
+Correlator::Correlator(const Machine& machine, CorrelatorConfig config)
+    : machine_(machine), config_(config) {}
+
+std::vector<ClassifiedRun> Correlator::Classify(
+    const std::vector<AppRun>& runs,
+    const std::vector<ErrorTuple>& tuples) const {
+  const TupleIndex index(tuples);
+
+  // The widest per-category `before` window bounds the candidate fetch;
+  // each candidate is then checked against its own category's window.
+  Duration max_before = config_.attribution_before;
+  for (const auto& [cat, window] : config_.category_before) {
+    max_before = std::max(max_before, window);
+  }
+
+  // Finds the best node-scoped fatal tuple explaining a death at
+  // `death` on `nodes`: the closest-in-time candidate whose category
+  // window admits it.
+  auto find_node_cause = [&](const std::vector<NodeIndex>& nodes,
+                             TimePoint death) -> const ErrorTuple* {
+    const TimePoint lo = death - max_before;
+    const TimePoint hi = death + config_.attribution_after;
+    std::vector<std::uint32_t> candidates;
+    for (NodeIndex n : nodes) {
+      index.NodeCandidates(tuples, n, lo, hi, candidates);
+    }
+    const ErrorTuple* best = nullptr;
+    std::int64_t best_gap = 0;
+    for (std::uint32_t idx : candidates) {
+      const ErrorTuple& t = tuples[idx];
+      if (t.first < death - config_.BeforeWindow(t.category)) continue;
+      const std::int64_t gap =
+          std::llabs((t.first - death).seconds());
+      if (best == nullptr || gap < best_gap) {
+        best = &t;
+        best_gap = gap;
+      }
+    }
+    return best;
+  };
+
+  // Finds a system incident whose (slack-inflated) impact window covers
+  // the death time.
+  auto find_system_cause = [&](TimePoint death) -> const ErrorTuple* {
+    for (std::uint32_t idx : index.system_tuples()) {
+      const ErrorTuple& t = tuples[idx];
+      const Interval window = t.ImpactWindow().Inflate(config_.incident_slack);
+      if (window.Contains(death)) return &t;
+      if (t.first > death + config_.incident_slack) break;  // sorted
+    }
+    return nullptr;
+  };
+
+  std::vector<ClassifiedRun> out;
+  out.reserve(runs.size());
+  for (std::uint32_t i = 0; i < runs.size(); ++i) {
+    const AppRun& run = runs[i];
+    ClassifiedRun cls;
+    cls.run_index = i;
+
+    if (!run.has_termination) {
+      cls.outcome = AppOutcome::kUnknown;
+      out.push_back(cls);
+      continue;
+    }
+    if (run.exit_code == 0 && run.exit_signal == 0) {
+      cls.outcome = AppOutcome::kSuccess;
+      out.push_back(cls);
+      continue;
+    }
+    if (run.killed_node_failure) {
+      // ALPS observed the node loss: definitively system-caused.  Root
+      // cause comes from correlation; search the failed node first.
+      cls.outcome = AppOutcome::kSystemFailure;
+      std::vector<NodeIndex> focus;
+      if (run.failed_nid != kInvalidNode) focus.push_back(run.failed_nid);
+      const ErrorTuple* cause = focus.empty()
+                                    ? nullptr
+                                    : find_node_cause(focus, run.end);
+      if (cause == nullptr) cause = find_node_cause(run.nodes, run.end);
+      if (cause == nullptr) cause = find_system_cause(run.end);
+      if (cause != nullptr) {
+        cls.cause = cause->category;
+        cls.tuple_id = cause->id;
+      }
+      out.push_back(cls);
+      continue;
+    }
+    // Walltime: the job hit its limit and the run died by SIGTERM at
+    // (or right before) job_start + limit.
+    if (run.walltime_limit.seconds() > 0 && run.exit_signal == kSigTerm) {
+      const Duration used = run.end - run.job_start;
+      if (used + config_.walltime_tolerance >= run.walltime_limit) {
+        cls.outcome = AppOutcome::kWalltime;
+        out.push_back(cls);
+        continue;
+      }
+    }
+    // Abnormal exit: blame a system error only with log evidence.
+    const ErrorTuple* cause = find_node_cause(run.nodes, run.end);
+    if (cause == nullptr) cause = find_system_cause(run.end);
+    if (cause != nullptr) {
+      cls.outcome = AppOutcome::kSystemFailure;
+      cls.cause = cause->category;
+      cls.tuple_id = cause->id;
+    } else {
+      cls.outcome = AppOutcome::kUserFailure;
+    }
+    out.push_back(cls);
+  }
+  return out;
+}
+
+}  // namespace ld

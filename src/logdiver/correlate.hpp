@@ -1,0 +1,82 @@
+// Outcome categorization and error-application correlation — the heart
+// of LogDiver.
+//
+// Every reconstructed run is categorized as success / user failure /
+// system failure / walltime / unknown by combining:
+//   1. exit evidence (code, signal, ALPS kill records),
+//   2. walltime accounting (did the scheduler kill the job at its limit?)
+//   3. spatio-temporal correlation with coalesced error tuples: a fatal
+//      tuple on one of the run's nodes (or its blade/Gemini router)
+//      shortly before the run died, or a system-wide incident whose
+//      window covers the death time.
+//
+// Only fatal-severity tuples are eligible for attribution: corrected
+// events are the noise floor and blaming them would poison precision —
+// the ablation bench quantifies exactly that with the baselines in
+// src/analysis/baselines.hpp.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "logdiver/coalesce.hpp"
+#include "logdiver/reconstruct.hpp"
+#include "topology/machine.hpp"
+#include "workload/types.hpp"
+
+namespace ld {
+
+struct CorrelatorConfig {
+  /// A node-scoped fatal tuple attributes to a run that died within
+  /// [tuple.first - after, tuple.first + before] ... i.e. the run's end
+  /// must fall no more than `before` after the error started and no
+  /// more than `after` before it (log timestamp jitter).
+  Duration attribution_before = Duration::Seconds(300);
+  Duration attribution_after = Duration::Seconds(120);
+  /// Per-category overrides of `attribution_before`: some error classes
+  /// take much longer to kill (a memory error can corrupt state minutes
+  /// before the crash; a heartbeat fault kills within seconds).  The
+  /// real LogDiver tuned windows per category the same way.
+  std::vector<std::pair<ErrorCategory, Duration>> category_before;
+  /// Extra slack around a system incident's impact window.
+  Duration incident_slack = Duration::Seconds(120);
+  /// Tolerance for "the job ran into its walltime limit".
+  Duration walltime_tolerance = Duration::Seconds(90);
+
+  /// The `before` window for a category (override or default).
+  Duration BeforeWindow(ErrorCategory category) const {
+    for (const auto& [cat, window] : category_before) {
+      if (cat == category) return window;
+    }
+    return attribution_before;
+  }
+};
+
+struct ClassifiedRun {
+  std::uint32_t run_index = 0;  // into the input runs vector
+  AppOutcome outcome = AppOutcome::kUnknown;
+  /// Attributed root cause for system failures; kUnknown when the
+  /// failure is evident (e.g. ALPS node-failure kill) but no error
+  /// tuple explains it — the detection-gap signal of anchor A6.
+  ErrorCategory cause = ErrorCategory::kUnknown;
+  /// Matched tuple id (0 = none).
+  std::uint64_t tuple_id = 0;
+};
+
+class Correlator {
+ public:
+  Correlator(const Machine& machine, CorrelatorConfig config);
+
+  /// Classifies every run against the tuple set.  Runs and tuples may be
+  /// in any order; an internal spatial index is built once per call.
+  std::vector<ClassifiedRun> Classify(const std::vector<AppRun>& runs,
+                                      const std::vector<ErrorTuple>& tuples) const;
+
+  const CorrelatorConfig& config() const { return config_; }
+
+ private:
+  const Machine& machine_;
+  CorrelatorConfig config_;
+};
+
+}  // namespace ld

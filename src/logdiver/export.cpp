@@ -1,0 +1,132 @@
+#include "logdiver/export.hpp"
+
+#include <filesystem>
+#include <fstream>
+
+#include "common/csv.hpp"
+#include "common/strings.hpp"
+
+namespace ld {
+namespace {
+
+std::string F(double v) { return FormatDouble(v, 6); }
+std::string U(std::uint64_t v) { return std::to_string(v); }
+
+Status WriteCsv(const std::string& path,
+                const std::vector<std::vector<std::string>>& rows) {
+  std::ofstream out(path);
+  if (!out) return InternalError("cannot write '" + path + "'");
+  CsvWriter writer(out);
+  for (const auto& row : rows) writer.WriteRow(row);
+  return Status::Ok();
+}
+
+}  // namespace
+
+Result<int> ExportMetricsCsv(const MetricsReport& report,
+                             const std::string& dir) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) return InternalError("cannot create '" + dir + "': " + ec.message());
+
+  int files = 0;
+  auto write = [&](const char* name,
+                   const std::vector<std::vector<std::string>>& rows)
+      -> Status {
+    Status s = WriteCsv(dir + "/" + name, rows);
+    if (s.ok()) ++files;
+    return s;
+  };
+
+  {
+    std::vector<std::vector<std::string>> rows = {
+        {"metric", "value"},
+        {"total_runs", U(report.total_runs)},
+        {"total_node_hours", F(report.total_node_hours)},
+        {"system_failure_fraction", F(report.system_failure_fraction)},
+        {"lost_node_hours_fraction", F(report.lost_node_hours_fraction)},
+        {"overall_mtti_hours", F(report.overall_mtti_hours)},
+        {"availability", F(report.availability.availability)},
+        {"incidents", U(report.availability.incidents)},
+        {"downtime_hours", F(report.availability.downtime_hours)},
+    };
+    if (Status s = write("headline.csv", rows); !s.ok()) return s;
+  }
+  {
+    std::vector<std::vector<std::string>> rows = {
+        {"outcome", "runs", "runs_share", "node_hours", "node_hours_share"}};
+    for (const OutcomeRow& row : report.outcomes) {
+      rows.push_back({AppOutcomeName(row.outcome), U(row.runs),
+                      F(row.runs_share), F(row.node_hours),
+                      F(row.node_hours_share)});
+    }
+    if (Status s = write("outcomes.csv", rows); !s.ok()) return s;
+  }
+  {
+    std::vector<std::vector<std::string>> rows = {
+        {"category", "raw_events", "tuples", "fatal_tuples",
+         "fatal_mtbe_hours"}};
+    for (const CategoryRow& row : report.categories) {
+      rows.push_back({ErrorCategoryName(row.category), U(row.raw_events),
+                      U(row.tuples), U(row.fatal_tuples),
+                      F(row.fatal_mtbe_hours)});
+    }
+    if (Status s = write("categories.csv", rows); !s.ok()) return s;
+  }
+  {
+    std::vector<std::vector<std::string>> rows = {
+        {"cause", "xe_failures", "xk_failures"}};
+    for (const AttributionRow& row : report.attribution) {
+      rows.push_back({ErrorCategoryName(row.cause), U(row.xe_failures),
+                      U(row.xk_failures)});
+    }
+    if (Status s = write("attribution.csv", rows); !s.ok()) return s;
+  }
+  for (const auto& [name, points] :
+       {std::pair{"xe_scale.csv", &report.xe_scale},
+        std::pair{"xk_scale.csv", &report.xk_scale}}) {
+    std::vector<std::vector<std::string>> rows = {
+        {"lo", "hi", "runs", "system_failures", "p_fail", "ci_lo", "ci_hi"}};
+    for (const ScalePoint& p : *points) {
+      rows.push_back({U(p.lo), U(p.hi), U(p.runs), U(p.system_failures),
+                      F(p.failure_probability.point),
+                      F(p.failure_probability.lo),
+                      F(p.failure_probability.hi)});
+    }
+    if (Status s = write(name, rows); !s.ok()) return s;
+  }
+  {
+    std::vector<std::vector<std::string>> rows = {
+        {"year", "month", "runs", "system_failures", "node_hours",
+         "lost_node_hours", "mtti_hours"}};
+    for (const MonthlyPoint& p : report.monthly) {
+      rows.push_back({std::to_string(p.year), std::to_string(p.month),
+                      U(p.runs), U(p.system_failures), F(p.node_hours),
+                      F(p.lost_node_hours), F(p.mtti_hours)});
+    }
+    if (Status s = write("monthly.csv", rows); !s.ok()) return s;
+  }
+  {
+    std::vector<std::vector<std::string>> rows = {
+        {"partition", "system_failures", "attributed", "unattributed",
+         "unattributed_share"}};
+    for (const DetectionGapRow& row : report.detection_gap) {
+      rows.push_back({NodeTypeName(row.type), U(row.system_failures),
+                      U(row.attributed), U(row.unattributed),
+                      F(row.unattributed_share)});
+    }
+    if (Status s = write("detection_gap.csv", rows); !s.ok()) return s;
+  }
+  {
+    std::vector<std::vector<std::string>> rows = {
+        {"lo", "hi", "jobs", "mean_wait_hours", "p95_wait_hours"}};
+    for (const QueueWaitRow& row : report.queue_waits) {
+      rows.push_back({U(row.lo), U(row.hi), U(row.jobs),
+                      F(row.mean_wait_hours), F(row.p95_wait_hours)});
+    }
+    if (Status s = write("queue_waits.csv", rows); !s.ok()) return s;
+  }
+  return files;
+}
+
+}  // namespace ld

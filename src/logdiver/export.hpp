@@ -1,0 +1,21 @@
+// CSV export of the metric report: one file per table/figure series,
+// ready for gnuplot/pandas.  Files written into a directory:
+//
+//   outcomes.csv, categories.csv, attribution.csv, xe_scale.csv,
+//   xk_scale.csv, monthly.csv, detection_gap.csv, queue_waits.csv,
+//   headline.csv
+#pragma once
+
+#include <string>
+
+#include "common/status.hpp"
+#include "logdiver/metrics.hpp"
+
+namespace ld {
+
+/// Writes every series of the report into `dir` (created if missing).
+/// Returns the number of files written.
+Result<int> ExportMetricsCsv(const MetricsReport& report,
+                             const std::string& dir);
+
+}  // namespace ld

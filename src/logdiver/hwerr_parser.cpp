@@ -1,0 +1,61 @@
+#include "logdiver/hwerr_parser.hpp"
+
+#include "common/strings.hpp"
+
+namespace ld {
+
+Result<std::optional<ErrorRecord>> HwerrParser::ParseLine(
+    std::string_view line) {
+  ++stats_.lines;
+  const auto fields = Split(line, '|');
+  if (fields.size() < 5) {
+    ++stats_.malformed;
+    return ParseError("hwerr: expected 5 '|' fields");
+  }
+  auto epoch = ParseInt(fields[0]);
+  if (!epoch.ok()) {
+    ++stats_.malformed;
+    return epoch.status();
+  }
+  auto category = ParseErrorCategory(std::string(fields[1]));
+  if (!category.ok()) {
+    ++stats_.skipped;  // categories from newer firmware we don't know
+    return std::optional<ErrorRecord>{};
+  }
+  auto severity = ParseSeverity(std::string(fields[3]));
+  if (!severity.ok()) {
+    ++stats_.malformed;
+    return severity.status();
+  }
+
+  ErrorRecord rec;
+  rec.time = TimePoint(*epoch);
+  rec.category = *category;
+  rec.severity = *severity;
+  rec.source = LogSource::kHwerr;
+  rec.location = std::string(fields[2]);
+  rec.scope = *category == ErrorCategory::kBladeFault ? LocScope::kBlade
+                                                      : LocScope::kNode;
+  // Blade faults are recorded against a node on the blade; normalize the
+  // location to the blade prefix.
+  if (rec.scope == LocScope::kBlade) {
+    if (auto cname = ParseCname(rec.location); cname.ok()) {
+      rec.location = cname->BladePrefix();
+    }
+  }
+  ++stats_.records;
+  return std::optional<ErrorRecord>{rec};
+}
+
+std::vector<ErrorRecord> HwerrParser::ParseLines(
+    const std::vector<std::string>& lines) {
+  std::vector<ErrorRecord> out;
+  out.reserve(lines.size());
+  for (const std::string& line : lines) {
+    auto rec = ParseLine(line);
+    if (rec.ok() && rec->has_value()) out.push_back(std::move(**rec));
+  }
+  return out;
+}
+
+}  // namespace ld

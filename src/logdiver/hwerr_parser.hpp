@@ -1,0 +1,26 @@
+// Parser for structured hardware-error logs.
+//
+// Record grammar: `epoch|category|cname|severity|detail`, one per line.
+// This source overlaps with syslog for hardware categories — the
+// coalescing stage is responsible for collapsing the duplicates.
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "common/status.hpp"
+#include "logdiver/records.hpp"
+
+namespace ld {
+
+class HwerrParser {
+ public:
+  Result<std::optional<ErrorRecord>> ParseLine(std::string_view line);
+  std::vector<ErrorRecord> ParseLines(const std::vector<std::string>& lines);
+  const ParseStats& stats() const { return stats_; }
+
+ private:
+  ParseStats stats_;
+};
+
+}  // namespace ld

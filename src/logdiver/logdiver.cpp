@@ -1,0 +1,108 @@
+#include "logdiver/logdiver.hpp"
+
+#include <filesystem>
+#include <fstream>
+
+namespace ld {
+
+Result<std::vector<std::string>> ReadLines(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return NotFoundError("cannot open '" + path + "'");
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    lines.push_back(line);
+  }
+  return lines;
+}
+
+LogDiver::LogDiver(const Machine& machine, LogDiverConfig config)
+    : machine_(machine), config_(std::move(config)) {}
+
+Result<AnalysisResult> LogDiver::Analyze(const LogSet& logs) const {
+  AnalysisResult result;
+
+  // 1. Parse each source.
+  TorqueParser torque_parser;
+  const std::vector<TorqueRecord> torque =
+      torque_parser.ParseLines(logs.torque);
+  result.torque_stats = torque_parser.stats();
+
+  AlpsParser alps_parser;
+  const std::vector<AlpsRecord> alps = alps_parser.ParseLines(logs.alps);
+  result.alps_stats = alps_parser.stats();
+
+  SyslogParser syslog_parser(config_.syslog_base_year);
+  std::vector<ErrorRecord> errors = syslog_parser.ParseLines(logs.syslog);
+  result.syslog_stats = syslog_parser.stats();
+
+  HwerrParser hwerr_parser;
+  std::vector<ErrorRecord> hwerr = hwerr_parser.ParseLines(logs.hwerr);
+  result.hwerr_stats = hwerr_parser.stats();
+  errors.insert(errors.end(), std::make_move_iterator(hwerr.begin()),
+                std::make_move_iterator(hwerr.end()));
+
+  // 2. Coalesce error events into tuples.
+  result.tuples = CoalesceEvents(machine_, std::move(errors),
+                                 config_.coalesce, &result.coalesce_stats);
+
+  // 3. Reconstruct application runs.
+  result.runs =
+      ReconstructRuns(machine_, alps, torque, &result.reconstruct_stats);
+
+  // 4. Categorize and attribute.
+  const Correlator correlator(machine_, config_.correlator);
+  result.classified = correlator.Classify(result.runs, result.tuples);
+
+  // 5. Metrics.
+  result.metrics = ComputeMetrics(result.runs, result.classified,
+                                  result.tuples, config_.metrics);
+  return result;
+}
+
+Result<std::vector<std::string>> ReadRotatedLines(const std::string& base) {
+  // logrotate convention: base.log is the newest segment, base.log.1 the
+  // one before it, and so on.  Read oldest-first so the stream stays
+  // chronological (the syslog year reconstruction depends on it).
+  std::vector<std::string> lines;
+  int highest = 0;
+  while (std::filesystem::exists(base + "." + std::to_string(highest + 1))) {
+    ++highest;
+  }
+  for (int n = highest; n >= 1; --n) {
+    auto segment = ReadLines(base + "." + std::to_string(n));
+    if (!segment.ok()) return segment.status();
+    lines.insert(lines.end(), std::make_move_iterator(segment->begin()),
+                 std::make_move_iterator(segment->end()));
+  }
+  auto newest = ReadLines(base);
+  if (!newest.ok()) return newest.status();
+  lines.insert(lines.end(), std::make_move_iterator(newest->begin()),
+               std::make_move_iterator(newest->end()));
+  return lines;
+}
+
+Result<AnalysisResult> LogDiver::AnalyzeBundle(const std::string& dir) const {
+  LogSet logs;
+  auto torque = ReadRotatedLines(dir + "/torque.log");
+  if (!torque.ok()) return torque.status();
+  logs.torque = std::move(*torque);
+
+  auto alps = ReadRotatedLines(dir + "/alps.log");
+  if (!alps.ok()) return alps.status();
+  logs.alps = std::move(*alps);
+
+  auto syslog = ReadRotatedLines(dir + "/syslog.log");
+  if (!syslog.ok()) return syslog.status();
+  logs.syslog = std::move(*syslog);
+
+  if (std::filesystem::exists(dir + "/hwerr.log")) {
+    auto hwerr = ReadRotatedLines(dir + "/hwerr.log");
+    if (!hwerr.ok()) return hwerr.status();
+    logs.hwerr = std::move(*hwerr);
+  }
+  return Analyze(logs);
+}
+
+}  // namespace ld

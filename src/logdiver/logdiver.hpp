@@ -1,0 +1,86 @@
+// LogDiver facade: parse -> coalesce -> reconstruct -> classify ->
+// metrics, over an in-memory log set or an on-disk bundle directory.
+//
+// This is the public entry point a downstream user reaches for:
+//
+//   ld::Machine machine = ld::Machine::BlueWaters();
+//   ld::LogDiver diver(machine, {});
+//   auto analysis = diver.AnalyzeBundle("/data/bw-logs");
+//   if (analysis.ok()) Print(analysis->metrics);
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+#include "logdiver/alps_parser.hpp"
+#include "logdiver/coalesce.hpp"
+#include "logdiver/correlate.hpp"
+#include "logdiver/hwerr_parser.hpp"
+#include "logdiver/metrics.hpp"
+#include "logdiver/reconstruct.hpp"
+#include "logdiver/syslog_parser.hpp"
+#include "logdiver/torque_parser.hpp"
+#include "topology/machine.hpp"
+
+namespace ld {
+
+struct LogDiverConfig {
+  /// Calendar year of the first syslog line (classic syslog timestamps
+  /// carry no year; see SyslogParser).
+  int syslog_base_year = 2013;
+  CoalesceConfig coalesce;
+  CorrelatorConfig correlator;
+  MetricsConfig metrics;
+};
+
+/// The four raw log streams LogDiver consumes.
+struct LogSet {
+  std::vector<std::string> torque;
+  std::vector<std::string> alps;
+  std::vector<std::string> syslog;
+  std::vector<std::string> hwerr;
+};
+
+struct AnalysisResult {
+  std::vector<AppRun> runs;
+  std::vector<ClassifiedRun> classified;
+  std::vector<ErrorTuple> tuples;
+  MetricsReport metrics;
+
+  ParseStats torque_stats;
+  ParseStats alps_stats;
+  ParseStats syslog_stats;
+  ParseStats hwerr_stats;
+  ReconstructStats reconstruct_stats;
+  CoalesceStats coalesce_stats;
+};
+
+class LogDiver {
+ public:
+  LogDiver(const Machine& machine, LogDiverConfig config);
+
+  /// Full pipeline over in-memory log lines.
+  Result<AnalysisResult> Analyze(const LogSet& logs) const;
+
+  /// Reads torque.log / alps.log / syslog.log / hwerr.log from `dir`
+  /// and runs the pipeline.  Missing hwerr.log is tolerated (the source
+  /// is optional); the other three are required.
+  Result<AnalysisResult> AnalyzeBundle(const std::string& dir) const;
+
+  const LogDiverConfig& config() const { return config_; }
+
+ private:
+  const Machine& machine_;
+  LogDiverConfig config_;
+};
+
+/// Reads a whole text file into lines (shared by the bundle loader and
+/// the examples).
+Result<std::vector<std::string>> ReadLines(const std::string& path);
+
+/// Reads a logrotate family oldest-first: base.N ... base.2, base.1,
+/// then base itself.  A lone base file (no rotations) reads as-is.
+Result<std::vector<std::string>> ReadRotatedLines(const std::string& base);
+
+}  // namespace ld

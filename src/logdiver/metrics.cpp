@@ -1,0 +1,262 @@
+#include "logdiver/metrics.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+namespace ld {
+namespace {
+
+constexpr AppOutcome kOutcomeOrder[] = {
+    AppOutcome::kSuccess, AppOutcome::kUserFailure, AppOutcome::kSystemFailure,
+    AppOutcome::kWalltime, AppOutcome::kUnknown};
+
+const std::vector<std::pair<std::uint32_t, std::uint32_t>> kWaitBands = {
+    {1, 1}, {2, 8}, {9, 64}, {65, 512}, {513, 4096}, {4097, 1u << 30}};
+
+}  // namespace
+
+std::vector<std::pair<std::uint32_t, std::uint32_t>> DefaultXeScaleBuckets() {
+  return {{1, 1},        {2, 8},        {9, 64},        {65, 512},
+          {513, 2048},   {2049, 8192},  {8193, 16384},  {16385, 22640}};
+}
+
+std::vector<std::pair<std::uint32_t, std::uint32_t>> DefaultXkScaleBuckets() {
+  return {{1, 1},       {2, 8},       {9, 64},      {65, 256},
+          {257, 1024},  {1025, 2048}, {2049, 3500}, {3501, 4224}};
+}
+
+MetricsAccumulator::MetricsAccumulator(MetricsConfig config)
+    : config_(std::move(config)) {
+  auto init_scale = [](std::vector<ScalePoint>& points,
+                       const std::vector<std::pair<std::uint32_t,
+                                                   std::uint32_t>>& buckets) {
+    points.clear();
+    for (const auto& [lo, hi] : buckets) {
+      ScalePoint p;
+      p.lo = lo;
+      p.hi = hi;
+      points.push_back(p);
+    }
+  };
+  init_scale(xe_scale_, config_.xe_scale_buckets.empty()
+                            ? DefaultXeScaleBuckets()
+                            : config_.xe_scale_buckets);
+  init_scale(xk_scale_, config_.xk_scale_buckets.empty()
+                            ? DefaultXkScaleBuckets()
+                            : config_.xk_scale_buckets);
+}
+
+void MetricsAccumulator::AddRun(const AppRun& run, const ClassifiedRun& cls) {
+  ++total_runs_;
+  if (!have_span_) {
+    span_lo_ = run.start;
+    span_hi_ = run.end;
+    have_span_ = true;
+  } else {
+    span_lo_ = std::min(span_lo_, run.start);
+    span_hi_ = std::max(span_hi_, run.end);
+  }
+
+  // Outcomes + headline.
+  OutcomeRow& orow = outcome_rows_[cls.outcome];
+  orow.outcome = cls.outcome;
+  ++orow.runs;
+  const double nh = run.NodeHours();
+  orow.node_hours += nh;
+  total_node_hours_ += nh;
+  if (cls.outcome == AppOutcome::kSystemFailure) {
+    ++system_failures_;
+    lost_node_hours_ += nh;
+  }
+
+  // Scale curves (unknown outcomes excluded).
+  if (cls.outcome != AppOutcome::kUnknown) {
+    auto& points = run.node_type == NodeType::kXK ? xk_scale_ : xe_scale_;
+    for (ScalePoint& p : points) {
+      if (run.nodect >= p.lo && run.nodect <= p.hi) {
+        ++p.runs;
+        if (cls.outcome == AppOutcome::kSystemFailure) ++p.system_failures;
+        break;
+      }
+    }
+  }
+
+  // Attribution by partition.
+  if (cls.outcome == AppOutcome::kSystemFailure) {
+    AttributionRow& arow = attr_rows_[cls.cause];
+    arow.cause = cls.cause;
+    if (run.node_type == NodeType::kXK) {
+      ++arow.xk_failures;
+    } else {
+      ++arow.xe_failures;
+    }
+    DetectionGapRow& gap =
+        run.node_type == NodeType::kXK ? xk_gap_ : xe_gap_;
+    ++gap.system_failures;
+    if (cls.cause == ErrorCategory::kUnknown) {
+      ++gap.unattributed;
+    } else {
+      ++gap.attributed;
+    }
+  }
+
+  // Monthly series.
+  const CalendarTime c = ToCalendar(run.end);
+  MonthlyPoint& mp = monthly_[{c.year, c.month}];
+  mp.year = c.year;
+  mp.month = c.month;
+  ++mp.runs;
+  mp.node_hours += nh;
+  if (cls.outcome == AppOutcome::kSystemFailure) {
+    ++mp.system_failures;
+    mp.lost_node_hours += nh;
+  }
+
+  if (cls.outcome == AppOutcome::kSystemFailure) {
+    failed_jobs_.insert(run.jobid);
+  }
+
+  // Queue waits, once per job.
+  if (run.job_start >= run.job_submit && seen_jobs_.insert(run.jobid).second) {
+    const double wait = run.queue_wait().hours();
+    for (std::size_t b = 0; b < kWaitBands.size(); ++b) {
+      if (run.nodect >= kWaitBands[b].first &&
+          run.nodect <= kWaitBands[b].second) {
+        waits_[b].push_back(wait);
+        break;
+      }
+    }
+  }
+}
+
+void MetricsAccumulator::AddTuple(const ErrorTuple& tuple) {
+  CategoryRow& row = cat_rows_[tuple.category];
+  row.category = tuple.category;
+  ++row.tuples;
+  row.raw_events += tuple.count;
+  if (tuple.severity == Severity::kFatal) ++row.fatal_tuples;
+
+  if (tuple.scope == LocScope::kSystem && tuple.severity == Severity::kFatal) {
+    ++incidents_;
+    downtime_.Add(tuple.ImpactWindow());
+  }
+}
+
+MetricsReport MetricsAccumulator::Report() const {
+  MetricsReport report;
+  report.total_runs = total_runs_;
+  report.total_node_hours = total_node_hours_;
+  const double span_hours = have_span_ ? (span_hi_ - span_lo_).hours() : 0.0;
+
+  for (AppOutcome o : kOutcomeOrder) {
+    const auto it = outcome_rows_.find(o);
+    if (it == outcome_rows_.end()) continue;
+    OutcomeRow row = it->second;
+    row.runs_share = total_runs_ ? static_cast<double>(row.runs) /
+                                       static_cast<double>(total_runs_)
+                                 : 0.0;
+    row.node_hours_share =
+        total_node_hours_ > 0.0 ? row.node_hours / total_node_hours_ : 0.0;
+    report.outcomes.push_back(row);
+  }
+  report.system_failure_fraction =
+      total_runs_ ? static_cast<double>(system_failures_) /
+                        static_cast<double>(total_runs_)
+                  : 0.0;
+  report.lost_node_hours_fraction =
+      total_node_hours_ > 0.0 ? lost_node_hours_ / total_node_hours_ : 0.0;
+  report.overall_mtti_hours =
+      system_failures_ > 0
+          ? span_hours / static_cast<double>(system_failures_)
+          : 0.0;
+
+  for (const auto& [cat, row] : cat_rows_) {
+    CategoryRow out = row;
+    out.fatal_mtbe_hours =
+        out.fatal_tuples > 0
+            ? span_hours / static_cast<double>(out.fatal_tuples)
+            : 0.0;
+    report.categories.push_back(out);
+  }
+
+  report.availability.incidents = incidents_;
+  report.availability.downtime_hours = downtime_.TotalLength().hours();
+  if (span_hours > 0.0) {
+    report.availability.availability = std::max(
+        0.0, 1.0 - report.availability.downtime_hours / span_hours);
+  }
+
+  for (const auto& [cat, row] : attr_rows_) report.attribution.push_back(row);
+  std::sort(report.attribution.begin(), report.attribution.end(),
+            [](const AttributionRow& a, const AttributionRow& b) {
+              return a.xe_failures + a.xk_failures >
+                     b.xe_failures + b.xk_failures;
+            });
+
+  report.xe_scale = xe_scale_;
+  report.xk_scale = xk_scale_;
+  for (auto* points : {&report.xe_scale, &report.xk_scale}) {
+    for (ScalePoint& p : *points) {
+      p.failure_probability = WilsonInterval(p.system_failures, p.runs);
+    }
+  }
+
+  for (const auto& [ym, p] : monthly_) {
+    MonthlyPoint out = p;
+    const TimePoint month_start = TimePoint::FromCalendar(p.year, p.month, 1);
+    const TimePoint next =
+        p.month == 12 ? TimePoint::FromCalendar(p.year + 1, 1, 1)
+                      : TimePoint::FromCalendar(p.year, p.month + 1, 1);
+    const double hours = (next - month_start).hours();
+    out.mtti_hours = p.system_failures > 0
+                         ? hours / static_cast<double>(p.system_failures)
+                         : 0.0;
+    report.monthly.push_back(out);
+  }
+
+  report.detection_gap = {xe_gap_, xk_gap_};
+  for (DetectionGapRow& row : report.detection_gap) {
+    row.unattributed_share =
+        row.system_failures > 0
+            ? static_cast<double>(row.unattributed) /
+                  static_cast<double>(row.system_failures)
+            : 0.0;
+  }
+
+  for (std::size_t b = 0; b < kWaitBands.size(); ++b) {
+    const auto it = waits_.find(b);
+    if (it == waits_.end() || it->second.empty()) continue;
+    QueueWaitRow row;
+    row.lo = kWaitBands[b].first;
+    row.hi = kWaitBands[b].second;
+    row.jobs = it->second.size();
+    double sum = 0.0;
+    for (double w : it->second) sum += w;
+    row.mean_wait_hours = sum / static_cast<double>(it->second.size());
+    row.p95_wait_hours = Quantile(it->second, 0.95);
+    report.queue_waits.push_back(row);
+  }
+  report.job_impact.jobs = seen_jobs_.size();
+  report.job_impact.jobs_with_system_failure = failed_jobs_.size();
+  report.job_impact.fraction =
+      report.job_impact.jobs
+          ? static_cast<double>(report.job_impact.jobs_with_system_failure) /
+                static_cast<double>(report.job_impact.jobs)
+          : 0.0;
+  return report;
+}
+
+MetricsReport ComputeMetrics(const std::vector<AppRun>& runs,
+                             const std::vector<ClassifiedRun>& classified,
+                             const std::vector<ErrorTuple>& tuples,
+                             const MetricsConfig& config) {
+  MetricsAccumulator acc(config);
+  for (const ClassifiedRun& cls : classified) {
+    acc.AddRun(runs[cls.run_index], cls);
+  }
+  for (const ErrorTuple& tuple : tuples) acc.AddTuple(tuple);
+  return acc.Report();
+}
+
+}  // namespace ld

@@ -1,0 +1,109 @@
+#include "logdiver/reconstruct.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace ld {
+
+std::vector<AppRun> ReconstructRuns(const Machine& machine,
+                                    const std::vector<AlpsRecord>& alps,
+                                    const std::vector<TorqueRecord>& torque,
+                                    ReconstructStats* stats) {
+  ReconstructStats local;
+
+  // Index Torque E records (authoritative for job context); fall back to
+  // S records for jobs still running at end-of-log.
+  std::unordered_map<JobId, const TorqueRecord*> jobs;
+  for (const TorqueRecord& rec : torque) {
+    if (rec.kind == TorqueRecord::Kind::kEnd) {
+      jobs[rec.jobid] = &rec;
+    } else {
+      jobs.try_emplace(rec.jobid, &rec);
+    }
+  }
+
+  std::unordered_map<ApId, AppRun> by_apid;
+  for (const AlpsRecord& rec : alps) {
+    if (rec.kind == AlpsRecord::Kind::kPlace) {
+      ++local.placements;
+      AppRun run;
+      run.apid = rec.apid;
+      run.jobid = rec.jobid;
+      run.user = rec.user;
+      run.nodes = rec.nids;
+      run.nodect = rec.nodect != 0
+                       ? rec.nodect
+                       : static_cast<std::uint32_t>(rec.nids.size());
+      run.start = rec.time;
+      run.end = rec.time;  // until a termination record arrives
+      by_apid.emplace(rec.apid, std::move(run));
+    }
+  }
+
+  for (const AlpsRecord& rec : alps) {
+    if (rec.kind == AlpsRecord::Kind::kPlace) continue;
+    ++local.terminations;
+    auto it = by_apid.find(rec.apid);
+    if (it == by_apid.end()) {
+      ++local.orphan_terminations;
+      continue;
+    }
+    AppRun& run = it->second;
+    run.end = rec.time;
+    run.has_termination = true;
+    if (rec.kind == AlpsRecord::Kind::kExit) {
+      run.exit_code = rec.exit_code;
+      run.exit_signal = rec.exit_signal;
+    } else {
+      run.killed_node_failure = rec.kill_reason == "node_failure";
+      run.failed_nid = rec.failed_nid;
+      run.exit_code = 137;  // SIGKILL convention
+      run.exit_signal = 9;
+    }
+  }
+
+  std::vector<AppRun> runs;
+  runs.reserve(by_apid.size());
+  for (auto& [apid, run] : by_apid) {
+    if (!run.has_termination) ++local.missing_termination;
+
+    // Node type from placement: majority partition of the nids.
+    std::uint32_t xe = 0, xk = 0, other = 0;
+    for (NodeIndex n : run.nodes) {
+      if (n >= machine.node_count()) {
+        ++other;
+        continue;
+      }
+      switch (machine.node(n).type) {
+        case NodeType::kXE: ++xe; break;
+        case NodeType::kXK: ++xk; break;
+        case NodeType::kService: ++other; break;
+      }
+    }
+    run.node_type = xk > xe ? NodeType::kXK : NodeType::kXE;
+    if (xe != 0 && xk != 0) ++local.mixed_node_types;
+
+    const auto job = jobs.find(run.jobid);
+    if (job == jobs.end()) {
+      ++local.missing_job;
+    } else {
+      run.queue = job->second->queue;
+      run.job_submit = job->second->submit;
+      run.job_start = job->second->start;
+      run.walltime_limit = job->second->walltime_limit;
+      run.job_exit_status = job->second->exit_status;
+      if (run.user.empty()) run.user = job->second->user;
+    }
+    runs.push_back(std::move(run));
+  }
+
+  std::sort(runs.begin(), runs.end(), [](const AppRun& a, const AppRun& b) {
+    if (a.start != b.start) return a.start < b.start;
+    return a.apid < b.apid;
+  });
+  local.runs = runs.size();
+  if (stats != nullptr) *stats = local;
+  return runs;
+}
+
+}  // namespace ld

@@ -1,0 +1,69 @@
+// Workload reconstruction: joining ALPS application records with Torque
+// job records into complete application runs.
+//
+// This is LogDiver's first join: apid -> (placement, termination) from
+// ALPS, then jobid -> (user, queue, walltime limit, job exit status)
+// from Torque.  The join is defensive — production logs lose lines —
+// and every unmatched record is counted.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+#include "logdiver/records.hpp"
+#include "topology/machine.hpp"
+
+namespace ld {
+
+/// A fully reconstructed application run.
+struct AppRun {
+  ApId apid = 0;
+  JobId jobid = 0;
+  std::string user;
+  std::string queue;
+  NodeType node_type = NodeType::kXE;
+  std::vector<NodeIndex> nodes;
+  std::uint32_t nodect = 0;
+  TimePoint start;
+  TimePoint end;
+  bool has_termination = false;  // exit or kill record was found
+  int exit_code = 0;
+  int exit_signal = 0;
+  bool killed_node_failure = false;
+  NodeIndex failed_nid = kInvalidNode;
+  // Job-level context:
+  TimePoint job_submit;
+  TimePoint job_start;
+  Duration walltime_limit{0};
+  int job_exit_status = 0;
+
+  Duration duration() const { return end - start; }
+  /// Queue wait of the owning job (start - submit); 0 without a record.
+  Duration queue_wait() const { return job_start - job_submit; }
+  double NodeHours() const {
+    return duration().hours() * static_cast<double>(nodect);
+  }
+};
+
+struct ReconstructStats {
+  std::uint64_t placements = 0;
+  std::uint64_t terminations = 0;
+  std::uint64_t runs = 0;
+  std::uint64_t missing_termination = 0;  // placement without exit/kill
+  std::uint64_t orphan_terminations = 0;  // exit/kill without placement
+  std::uint64_t missing_job = 0;          // no Torque record for jobid
+  std::uint64_t mixed_node_types = 0;     // placement spans partitions
+};
+
+/// Joins parsed records into runs, ordered by start time.  Node type is
+/// derived from the placement's nids via the machine model; a run whose
+/// job record is missing keeps ALPS-only fields (walltime checks then
+/// degrade gracefully).
+std::vector<AppRun> ReconstructRuns(const Machine& machine,
+                                    const std::vector<AlpsRecord>& alps,
+                                    const std::vector<TorqueRecord>& torque,
+                                    ReconstructStats* stats = nullptr);
+
+}  // namespace ld

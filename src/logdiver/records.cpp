@@ -1,0 +1,52 @@
+#include "logdiver/records.hpp"
+
+#include "common/strings.hpp"
+
+namespace ld {
+
+const char* LocScopeName(LocScope s) {
+  switch (s) {
+    case LocScope::kNode: return "node";
+    case LocScope::kBlade: return "blade";
+    case LocScope::kGemini: return "gemini";
+    case LocScope::kSystem: return "system";
+  }
+  return "invalid";
+}
+
+const char* LogSourceName(LogSource s) {
+  switch (s) {
+    case LogSource::kTorque: return "torque";
+    case LogSource::kAlps: return "alps";
+    case LogSource::kSyslog: return "syslog";
+    case LogSource::kHwerr: return "hwerr";
+  }
+  return "invalid";
+}
+
+Result<std::vector<NodeIndex>> ParseNidRanges(std::string_view text) {
+  std::vector<NodeIndex> out;
+  if (Trim(text).empty()) return ParseError("empty nid list");
+  for (std::string_view piece : Split(text, ',')) {
+    const std::size_t dash = piece.find('-');
+    if (dash == std::string_view::npos) {
+      auto v = ParseUint(piece);
+      if (!v.ok()) return v.status();
+      out.push_back(static_cast<NodeIndex>(*v));
+      continue;
+    }
+    auto lo = ParseUint(piece.substr(0, dash));
+    auto hi = ParseUint(piece.substr(dash + 1));
+    if (!lo.ok()) return lo.status();
+    if (!hi.ok()) return hi.status();
+    if (*hi < *lo || *hi - *lo > 1u << 20) {
+      return ParseError("bad nid range: '" + std::string(piece) + "'");
+    }
+    for (std::uint64_t v = *lo; v <= *hi; ++v) {
+      out.push_back(static_cast<NodeIndex>(v));
+    }
+  }
+  return out;
+}
+
+}  // namespace ld

@@ -1,0 +1,103 @@
+// Parsed-record model: the normalized output of the four log parsers.
+//
+// Parsers never throw on malformed input: every line either yields a
+// record, is recognized-but-irrelevant (skipped), or is counted as
+// malformed.  Multi-gigabyte production logs always contain garbage.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/time.hpp"
+#include "faults/taxonomy.hpp"
+#include "topology/machine.hpp"
+#include "workload/types.hpp"
+
+namespace ld {
+
+/// Where a parsed error event sits spatially.  Unlike the injector's
+/// Scope, parsed locations include Gemini routers (netwatch reports
+/// them) — the correlator resolves routers to their attached nodes.
+enum class LocScope : std::uint8_t { kNode, kBlade, kGemini, kSystem };
+
+const char* LocScopeName(LocScope s);
+
+/// Which log file a record came from.
+enum class LogSource : std::uint8_t { kTorque, kAlps, kSyslog, kHwerr };
+
+const char* LogSourceName(LogSource s);
+
+/// A Torque accounting record ("S" or "E").
+struct TorqueRecord {
+  enum class Kind : std::uint8_t { kStart, kEnd };
+  Kind kind = Kind::kStart;
+  TimePoint time;
+  JobId jobid = 0;
+  std::string user;
+  std::string queue;
+  std::string job_name;
+  TimePoint submit;
+  TimePoint start;
+  TimePoint end;                  // E records only
+  int exit_status = 0;            // E records only
+  std::uint32_t nodect = 0;
+  Duration walltime_limit{0};
+  Duration walltime_used{0};      // E records only
+};
+
+/// An ALPS record: placement, exit, or kill.
+struct AlpsRecord {
+  enum class Kind : std::uint8_t { kPlace, kExit, kKill };
+  Kind kind = Kind::kPlace;
+  TimePoint time;
+  ApId apid = 0;
+  // kPlace:
+  JobId jobid = 0;
+  std::string user;
+  std::string command;
+  std::uint32_t nodect = 0;
+  std::vector<NodeIndex> nids;
+  // kExit:
+  int exit_code = 0;
+  int exit_signal = 0;
+  // kKill:
+  std::string kill_reason;
+  NodeIndex failed_nid = kInvalidNode;
+};
+
+/// A normalized error event from syslog or hwerr.
+struct ErrorRecord {
+  TimePoint time;
+  ErrorCategory category = ErrorCategory::kUnknown;
+  Severity severity = Severity::kCorrected;
+  LocScope scope = LocScope::kNode;
+  /// Node-level cname ("c1-2c0s3n1"), blade prefix ("c1-2c0s3"), or
+  /// gemini name ("c1-2c0s3g0"); empty for system scope.
+  std::string location;
+  LogSource source = LogSource::kSyslog;
+  /// For system-scope incidents: the service-restored time if the parser
+  /// paired a recovery line (nullopt while the incident is open).
+  std::optional<TimePoint> recovered;
+};
+
+/// Per-parser counters, reported so silent data loss is impossible.
+struct ParseStats {
+  std::uint64_t lines = 0;
+  std::uint64_t records = 0;
+  std::uint64_t skipped = 0;    // recognized but irrelevant
+  std::uint64_t malformed = 0;  // unparseable
+
+  void MergeFrom(const ParseStats& other) {
+    lines += other.lines;
+    records += other.records;
+    skipped += other.skipped;
+    malformed += other.malformed;
+  }
+};
+
+/// Parses ALPS nid range syntax: "3-5,9" -> {3,4,5,9}.
+Result<std::vector<NodeIndex>> ParseNidRanges(std::string_view text);
+
+}  // namespace ld

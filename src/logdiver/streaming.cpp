@@ -1,0 +1,222 @@
+#include "logdiver/streaming.hpp"
+
+#include <algorithm>
+
+namespace ld {
+
+StreamingAnalyzer::StreamingAnalyzer(const Machine& machine,
+                                     LogDiverConfig config)
+    : machine_(machine),
+      config_(std::move(config)),
+      syslog_parser_(config_.syslog_base_year),
+      coalescer_(machine, config_.coalesce),
+      correlator_(machine, config_.correlator),
+      metrics_(config_.metrics) {}
+
+Duration StreamingAnalyzer::FinalizeGuard() const {
+  // A tuple explaining a death at D starts no later than
+  // D + attribution_after; it is flushed once the watermark passes its
+  // last event + tupling window.  One extra minute absorbs emitter
+  // timestamp jitter.
+  return config_.correlator.attribution_after +
+         config_.coalesce.tupling_window + Duration::Seconds(60);
+}
+
+void StreamingAnalyzer::AddTorqueLine(std::string_view line) {
+  auto rec = torque_parser_.ParseLine(line);
+  if (!rec.ok() || !rec->has_value()) return;
+  TorqueRecord& record = **rec;
+  auto [it, inserted] = jobs_.try_emplace(record.jobid, record);
+  if (!inserted && record.kind == TorqueRecord::Kind::kEnd) {
+    it->second = std::move(record);  // E record is authoritative
+  }
+}
+
+void StreamingAnalyzer::AddAlpsLine(std::string_view line) {
+  auto rec = alps_parser_.ParseLine(line);
+  if (!rec.ok() || !rec->has_value()) return;
+  AlpsRecord& record = **rec;
+  if (record.kind == AlpsRecord::Kind::kPlace) {
+    AppRun run;
+    run.apid = record.apid;
+    run.jobid = record.jobid;
+    run.user = record.user;
+    run.nodes = std::move(record.nids);
+    run.nodect = record.nodect != 0
+                     ? record.nodect
+                     : static_cast<std::uint32_t>(run.nodes.size());
+    run.start = record.time;
+    run.end = record.time;
+    // Node type from placement.
+    std::uint32_t xe = 0, xk = 0;
+    for (NodeIndex n : run.nodes) {
+      if (n >= machine_.node_count()) continue;
+      switch (machine_.node(n).type) {
+        case NodeType::kXE: ++xe; break;
+        case NodeType::kXK: ++xk; break;
+        case NodeType::kService: break;
+      }
+    }
+    run.node_type = xk > xe ? NodeType::kXK : NodeType::kXE;
+    open_runs_.emplace(run.apid, std::move(run));
+    return;
+  }
+  // Termination: close the open run and queue it for classification.
+  const auto it = open_runs_.find(record.apid);
+  if (it == open_runs_.end()) {
+    ++orphan_terminations_;
+    return;
+  }
+  AppRun run = std::move(it->second);
+  open_runs_.erase(it);
+  run.end = record.time;
+  run.has_termination = true;
+  if (record.kind == AlpsRecord::Kind::kExit) {
+    run.exit_code = record.exit_code;
+    run.exit_signal = record.exit_signal;
+  } else {
+    run.killed_node_failure = record.kill_reason == "node_failure";
+    run.failed_nid = record.failed_nid;
+    run.exit_code = 137;
+    run.exit_signal = 9;
+  }
+  // Join the job context now (Torque E records flush at job end, i.e.
+  // at-or-before the last run's termination reaches us in a well-ordered
+  // stream; S records cover the rest).
+  const auto job = jobs_.find(run.jobid);
+  if (job != jobs_.end()) {
+    run.queue = job->second.queue;
+    run.job_submit = job->second.submit;
+    run.job_start = job->second.start;
+    run.walltime_limit = job->second.walltime_limit;
+    run.job_exit_status = job->second.exit_status;
+    if (run.user.empty()) run.user = job->second.user;
+  }
+  pending_.push_back(std::move(run));
+}
+
+void StreamingAnalyzer::AddSyslogLine(std::string_view line) {
+  auto rec = syslog_parser_.ParseLine(line);
+  if (!rec.ok() || !rec->has_value()) return;
+  // Recovery lines (corrected severity, `recovered` set) merge into the
+  // open incident inside the coalescer; a stray recovery with no open
+  // incident becomes a harmless corrected-severity tuple.
+  coalescer_.Add(**rec);
+}
+
+void StreamingAnalyzer::AddHwerrLine(std::string_view line) {
+  auto rec = hwerr_parser_.ParseLine(line);
+  if (!rec.ok() || !rec->has_value()) return;
+  coalescer_.Add(**rec);
+}
+
+void StreamingAnalyzer::ClassifyBatch(std::vector<AppRun>&& batch) {
+  if (batch.empty()) return;
+  const std::vector<ErrorTuple> tuples(tuple_buffer_.begin(),
+                                       tuple_buffer_.end());
+  const std::vector<ClassifiedRun> classified =
+      correlator_.Classify(batch, tuples);
+  for (const ClassifiedRun& cls : classified) {
+    metrics_.AddRun(batch[cls.run_index], cls);
+  }
+  runs_finalized_ += batch.size();
+}
+
+void StreamingAnalyzer::EvictOldState(TimePoint watermark) {
+  // Tuples whose whole attribution reach lies behind every run we could
+  // still finalize are dead weight.
+  const Duration reach = config_.correlator.attribution_before +
+                         FinalizeGuard() + FinalizeGuard();
+  while (!tuple_buffer_.empty()) {
+    const ErrorTuple& tuple = tuple_buffer_.front();
+    const TimePoint influence_end =
+        tuple.ImpactWindow().end + config_.correlator.incident_slack;
+    if (std::max(tuple.first + config_.correlator.attribution_before,
+                 influence_end) +
+            reach <
+        watermark) {
+      tuple_buffer_.pop_front();
+    } else {
+      break;
+    }
+  }
+  // Job records are only needed while a run of theirs can still arrive;
+  // E-recorded jobs are safe to drop well after their end.
+  for (auto it = jobs_.begin(); it != jobs_.end();) {
+    if (it->second.kind == TorqueRecord::Kind::kEnd &&
+        it->second.end + Duration::Hours(2) < watermark) {
+      it = jobs_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+std::size_t StreamingAnalyzer::Advance(TimePoint watermark) {
+  // 1. Close coalescer windows and buffer the flushed tuples.
+  for (ErrorTuple& tuple : coalescer_.Flush(watermark)) {
+    metrics_.AddTuple(tuple);
+    tuple_buffer_.push_back(std::move(tuple));
+  }
+
+  // 2. Finalize pending runs whose guard has passed and that no open
+  //    incident could still explain.
+  const auto open_incident = coalescer_.EarliestOpenIncident();
+  std::vector<AppRun> batch;
+  while (!pending_.empty()) {
+    const AppRun& run = pending_.front();
+    if (run.end + FinalizeGuard() >= watermark) break;
+    if (open_incident.has_value() &&
+        *open_incident <= run.end + config_.correlator.incident_slack) {
+      break;  // an unresolved incident might cover this death
+    }
+    batch.push_back(std::move(pending_.front()));
+    pending_.pop_front();
+  }
+  const std::size_t finalized = batch.size();
+  ClassifyBatch(std::move(batch));
+  EvictOldState(watermark);
+  return finalized;
+}
+
+StreamingAnalyzer::Summary StreamingAnalyzer::Finalize() {
+  Summary summary;
+  // Flush every tuple, then classify every remaining terminated run.
+  for (ErrorTuple& tuple : coalescer_.FlushAll()) {
+    metrics_.AddTuple(tuple);
+    tuple_buffer_.push_back(std::move(tuple));
+  }
+  std::vector<AppRun> batch(std::make_move_iterator(pending_.begin()),
+                            std::make_move_iterator(pending_.end()));
+  pending_.clear();
+  // Placements that never terminated surface as unknown-outcome runs,
+  // exactly as in the batch pipeline.
+  summary.unterminated_runs = open_runs_.size();
+  for (auto& [apid, run] : open_runs_) {
+    batch.push_back(std::move(run));
+  }
+  open_runs_.clear();
+  ClassifyBatch(std::move(batch));
+
+  summary.metrics = metrics_.Report();
+  summary.runs_finalized = runs_finalized_;
+  summary.torque_stats = torque_parser_.stats();
+  summary.alps_stats = alps_parser_.stats();
+  summary.syslog_stats = syslog_parser_.stats();
+  summary.hwerr_stats = hwerr_parser_.stats();
+  summary.coalesce_stats = coalescer_.stats();
+  summary.orphan_terminations = orphan_terminations_;
+  return summary;
+}
+
+StreamingAnalyzer::StateSize StreamingAnalyzer::state_size() const {
+  StateSize size;
+  size.open_jobs = jobs_.size();
+  size.open_runs = open_runs_.size();
+  size.pending_runs = pending_.size();
+  size.buffered_tuples = tuple_buffer_.size();
+  size.open_tuples = coalescer_.open_tuples();
+  return size;
+}
+
+}  // namespace ld

@@ -1,0 +1,114 @@
+// Streaming analyzer: the LogDiver pipeline with bounded memory.
+//
+// Production log bundles are tens of gigabytes; holding every parsed
+// record is not an option on an analysis node.  StreamingAnalyzer
+// consumes lines incrementally and retains only:
+//   - open jobs (Torque S seen, E pending) and recently-ended jobs,
+//   - open runs (ALPS placement seen, termination pending),
+//   - terminated runs waiting for their attribution window to close,
+//   - a rolling buffer of recent error tuples,
+//   - O(aggregates) metric state (MetricsAccumulator).
+//
+// The caller advances a *watermark* — a promise that no further log line
+// carries an earlier timestamp (minus a reorder slack the caller
+// chooses).  A terminated run is classified once the watermark passes
+// its death time plus the attribution + coalescing guard, and once no
+// still-open system incident could cover it; finalized runs fold into
+// the metric accumulators and are dropped.
+//
+// Classification results are exactly those of the batch pipeline for
+// well-ordered streams (the integration test asserts this).
+#pragma once
+
+#include <deque>
+#include <map>
+#include <string_view>
+#include <vector>
+
+#include "logdiver/alps_parser.hpp"
+#include "logdiver/coalesce.hpp"
+#include "logdiver/correlate.hpp"
+#include "logdiver/hwerr_parser.hpp"
+#include "logdiver/logdiver.hpp"
+#include "logdiver/metrics.hpp"
+#include "logdiver/syslog_parser.hpp"
+#include "logdiver/torque_parser.hpp"
+
+namespace ld {
+
+class StreamingAnalyzer {
+ public:
+  StreamingAnalyzer(const Machine& machine, LogDiverConfig config);
+
+  void AddTorqueLine(std::string_view line);
+  void AddAlpsLine(std::string_view line);
+  void AddSyslogLine(std::string_view line);
+  void AddHwerrLine(std::string_view line);
+
+  /// Finalizes every run that is provably classifiable before
+  /// `watermark`; returns how many were finalized in this call.
+  std::size_t Advance(TimePoint watermark);
+
+  struct Summary {
+    MetricsReport metrics;
+    std::uint64_t runs_finalized = 0;
+    ParseStats torque_stats;
+    ParseStats alps_stats;
+    ParseStats syslog_stats;
+    ParseStats hwerr_stats;
+    CoalesceStats coalesce_stats;
+    /// Placements that never terminated (classified unknown at the end).
+    std::uint64_t unterminated_runs = 0;
+    /// Terminations that matched no placement.
+    std::uint64_t orphan_terminations = 0;
+  };
+
+  /// Flushes all remaining state and returns the final report.  The
+  /// analyzer is spent afterwards.
+  Summary Finalize();
+
+  /// Retained-state sizes, for bounded-memory assertions and ops
+  /// visibility.
+  struct StateSize {
+    std::size_t open_jobs = 0;
+    std::size_t open_runs = 0;
+    std::size_t pending_runs = 0;
+    std::size_t buffered_tuples = 0;
+    std::size_t open_tuples = 0;
+  };
+  StateSize state_size() const;
+
+  std::uint64_t runs_finalized() const { return runs_finalized_; }
+
+ private:
+  /// Guard between a run's death and the moment every tuple that could
+  /// explain it has provably been flushed.
+  Duration FinalizeGuard() const;
+  void ClassifyBatch(std::vector<AppRun>&& batch);
+  void EvictOldState(TimePoint watermark);
+
+  const Machine& machine_;
+  LogDiverConfig config_;
+
+  TorqueParser torque_parser_;
+  AlpsParser alps_parser_;
+  SyslogParser syslog_parser_;
+  HwerrParser hwerr_parser_;
+  StreamingCoalescer coalescer_;
+  Correlator correlator_;
+  MetricsAccumulator metrics_;
+
+  /// jobid -> best job record so far (E overrides S).
+  std::map<JobId, TorqueRecord> jobs_;
+  /// apid -> placed-but-running run.
+  std::map<ApId, AppRun> open_runs_;
+  /// Terminated runs ordered by end time, waiting for the guard.
+  std::deque<AppRun> pending_;  // kept sorted by end (stream order)
+  /// Flushed tuples still inside some pending run's attribution reach.
+  std::deque<ErrorTuple> tuple_buffer_;
+
+  std::uint64_t runs_finalized_ = 0;
+  std::uint64_t orphan_terminations_ = 0;
+};
+
+}  // namespace ld

@@ -1,0 +1,233 @@
+#include "logdiver/syslog_parser.hpp"
+
+#include <array>
+#include <cstdio>
+
+#include "common/strings.hpp"
+
+namespace ld {
+namespace {
+
+constexpr std::array<const char*, 12> kMonths = {"Jan", "Feb", "Mar", "Apr",
+                                                 "May", "Jun", "Jul", "Aug",
+                                                 "Sep", "Oct", "Nov", "Dec"};
+
+int MonthFromAbbrev(std::string_view m) {
+  for (std::size_t i = 0; i < kMonths.size(); ++i) {
+    if (m == kMonths[i]) return static_cast<int>(i) + 1;
+  }
+  return 0;
+}
+
+/// Extracts the cname following a marker word, e.g. "node c1-0c2s3n2".
+std::string CnameAfter(std::string_view text, std::string_view marker) {
+  const std::size_t pos = text.find(marker);
+  if (pos == std::string_view::npos) return "";
+  std::string_view rest = text.substr(pos + marker.size());
+  rest = Trim(rest);
+  std::size_t end = 0;
+  while (end < rest.size() && !std::isspace(static_cast<unsigned char>(rest[end]))) {
+    ++end;
+  }
+  return std::string(rest.substr(0, end));
+}
+
+/// "c3-4c1s2g0l33" -> gemini name "c3-4c1s2g0" (strips the lane suffix).
+std::string StripLaneSuffix(std::string cname) {
+  const std::size_t l = cname.rfind('l');
+  const std::size_t g = cname.rfind('g');
+  if (l != std::string::npos && g != std::string::npos && l > g) {
+    cname.erase(l);
+  }
+  return cname;
+}
+
+/// Default window applied to an incident whose recovery line is missing
+/// (stream truncated); matches the study's conservative handling.
+constexpr std::int64_t kDefaultOpenIncidentSeconds = 1800;
+
+}  // namespace
+
+SyslogParser::SyslogParser(int base_year) : current_year_(base_year) {}
+
+Result<TimePoint> SyslogParser::ParseSyslogTime(std::string_view text,
+                                                int year) {
+  // "Apr  1 02:10:02" (day may be space-padded).
+  const auto fields = SplitWhitespace(text);
+  if (fields.size() < 3) return ParseError("syslog: bad timestamp");
+  const int month = MonthFromAbbrev(fields[0]);
+  if (month == 0) {
+    return ParseError("syslog: bad month '" + std::string(fields[0]) + "'");
+  }
+  auto day = ParseInt(fields[1]);
+  if (!day.ok()) return day.status();
+  int h = 0, m = 0, s = 0;
+  if (std::sscanf(std::string(fields[2]).c_str(), "%d:%d:%d", &h, &m, &s) != 3) {
+    return ParseError("syslog: bad clock field");
+  }
+  return TimePoint::FromCalendar(year, month, static_cast<int>(*day), h, m, s);
+}
+
+Result<std::optional<ErrorRecord>> SyslogParser::ParseLine(
+    std::string_view line) {
+  ++stats_.lines;
+  // Timestamp = first 3 whitespace-separated tokens; then hostname; then
+  // the message.
+  const auto fields = SplitWhitespace(line);
+  if (fields.size() < 5) {
+    ++stats_.malformed;
+    return ParseError("syslog: too few fields");
+  }
+  const int month = MonthFromAbbrev(fields[0]);
+  if (month == 0) {
+    ++stats_.malformed;
+    return ParseError("syslog: bad month");
+  }
+  // Year-rollover reconstruction: month moving backwards by more than a
+  // buffering slop means we crossed Dec 31.
+  if (last_month_ != 0 && month < last_month_ && last_month_ - month > 6) {
+    ++current_year_;
+  }
+  last_month_ = month;
+
+  const std::string stamp = std::string(fields[0]) + " " +
+                            std::string(fields[1]) + " " +
+                            std::string(fields[2]);
+  auto when = ParseSyslogTime(stamp, current_year_);
+  if (!when.ok()) {
+    ++stats_.malformed;
+    return when.status();
+  }
+
+  const std::string_view host = fields[3];
+  // Message = remainder of the raw line after the hostname token.
+  const std::size_t host_pos = line.find(host, stamp.size());
+  const std::string_view message =
+      Trim(line.substr(host_pos + host.size()));
+
+  ErrorRecord rec;
+  rec.time = *when;
+  rec.source = LogSource::kSyslog;
+
+  // --- Lustre (system scope) ---
+  if (host == "sonexion" || StartsWith(message, "LustreError") ||
+      Contains(message, "Lustre:")) {
+    if (Contains(message, "recovered")) {
+      // Recovery line: closes the pending incident; signalled to the
+      // stream-level ParseLines via a special record.
+      rec.category = ErrorCategory::kLustre;
+      rec.scope = LocScope::kSystem;
+      rec.severity = Severity::kCorrected;
+      rec.recovered = *when;
+      ++stats_.records;
+      return std::optional<ErrorRecord>{rec};
+    }
+    rec.category = ErrorCategory::kLustre;
+    rec.scope = LocScope::kSystem;
+    rec.severity = Severity::kFatal;
+    ++stats_.records;
+    return std::optional<ErrorRecord>{rec};
+  }
+
+  // --- SMW-reported events (hostname is the SMW, location in message) ---
+  if (host == "smw") {
+    if (Contains(message, "heartbeat fault")) {
+      rec.category = ErrorCategory::kNodeHeartbeat;
+      rec.severity = Severity::kFatal;
+      rec.scope = LocScope::kNode;
+      rec.location = CnameAfter(message, "node ");
+    } else if (Contains(message, "voltage fault")) {
+      rec.category = ErrorCategory::kBladeFault;
+      rec.severity = Severity::kFatal;
+      rec.scope = LocScope::kBlade;
+      rec.location = CnameAfter(message, "blade ");
+    } else if (Contains(message, "Gemini LCB")) {
+      rec.category = ErrorCategory::kGeminiLink;
+      rec.scope = LocScope::kGemini;
+      rec.location = StripLaneSuffix(CnameAfter(message, "Gemini LCB "));
+      rec.severity = Contains(message, "failover unsuccessful")
+                         ? Severity::kFatal
+                         : Severity::kDegraded;
+    } else if (Contains(message, "lane degrade")) {
+      rec.category = ErrorCategory::kGeminiLink;
+      rec.scope = LocScope::kGemini;
+      rec.location = StripLaneSuffix(CnameAfter(message, "lane degrade on "));
+      rec.severity = Severity::kCorrected;
+    } else {
+      ++stats_.skipped;
+      return std::optional<ErrorRecord>{};
+    }
+    if (rec.location.empty()) {
+      ++stats_.malformed;
+      return ParseError("syslog: smw event without component name");
+    }
+    ++stats_.records;
+    return std::optional<ErrorRecord>{rec};
+  }
+
+  // --- node-local kernel messages: hostname is the cname ---
+  rec.location = std::string(host);
+  rec.scope = LocScope::kNode;
+  if (Contains(message, "Machine check")) {
+    rec.category = ErrorCategory::kMachineCheck;
+    rec.severity = Contains(message, "corrected") ? Severity::kCorrected
+                                                  : Severity::kFatal;
+  } else if (Contains(message, "uncorrectable memory error") ||
+             Contains(message, "EDAC")) {
+    rec.category = ErrorCategory::kMemoryUE;
+    rec.severity = Severity::kFatal;
+  } else if (Contains(message, "Double Bit ECC")) {
+    rec.category = ErrorCategory::kGpuDbe;
+    rec.severity = Severity::kFatal;
+  } else if (Contains(message, "NVRM: Xid")) {
+    rec.category = ErrorCategory::kGpuXid;
+    rec.severity = Contains(message, "page retirement") ? Severity::kCorrected
+                                                        : Severity::kFatal;
+  } else if (Contains(message, "Kernel panic")) {
+    rec.category = ErrorCategory::kKernelSoftware;
+    rec.severity = Severity::kFatal;
+  } else {
+    ++stats_.skipped;
+    return std::optional<ErrorRecord>{};
+  }
+  ++stats_.records;
+  return std::optional<ErrorRecord>{rec};
+}
+
+std::vector<ErrorRecord> SyslogParser::ParseLines(
+    const std::vector<std::string>& lines) {
+  std::vector<ErrorRecord> out;
+  out.reserve(lines.size());
+  // Index of the currently open system incident in `out`, or npos.
+  std::size_t open_incident = static_cast<std::size_t>(-1);
+  for (const std::string& line : lines) {
+    auto rec = ParseLine(line);
+    if (!rec.ok() || !rec->has_value()) continue;
+    ErrorRecord& r = **rec;
+    if (r.scope == LocScope::kSystem) {
+      if (r.recovered.has_value()) {
+        // Recovery: close the open incident.
+        if (open_incident != static_cast<std::size_t>(-1)) {
+          out[open_incident].recovered = r.recovered;
+          open_incident = static_cast<std::size_t>(-1);
+        }
+        continue;  // recovery lines do not become records themselves
+      }
+      if (open_incident != static_cast<std::size_t>(-1)) {
+        // Overlapping incident reports merge into the open one.
+        continue;
+      }
+      open_incident = out.size();
+      out.push_back(std::move(r));
+      continue;
+    }
+    out.push_back(std::move(r));
+  }
+  if (open_incident != static_cast<std::size_t>(-1)) {
+    out[open_incident].recovered =
+        out[open_incident].time + Duration(kDefaultOpenIncidentSeconds);
+  }
+  return out;
+}
+
+}  // namespace ld

@@ -1,0 +1,48 @@
+// Parser for RFC3164-style syslog RAS streams.
+//
+// Two field-study realities are handled here:
+//  1. Classic syslog timestamps carry no year ("Apr  1 02:10:02").  The
+//     parser reconstructs the year from a configured campaign start year
+//     and month-rollover detection (timestamps are monotone per stream;
+//     when the month moves backwards across a December/January boundary
+//     the year is advanced).
+//  2. Lustre incidents are reported as an error line when the service
+//     degrades and a recovery line when it returns.  The parser pairs
+//     them into a single system-scope record carrying the outage window;
+//     overlapping incident windows are merged into the open incident.
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "common/status.hpp"
+#include "logdiver/records.hpp"
+
+namespace ld {
+
+class SyslogParser {
+ public:
+  /// `base_year` is the calendar year of the first line in the stream.
+  explicit SyslogParser(int base_year);
+
+  /// Parses one line.  Recovery lines return nullopt (they close the
+  /// pending incident, visible via `Finish()` / mutated prior records).
+  Result<std::optional<ErrorRecord>> ParseLine(std::string_view line);
+
+  /// Parses a whole stream and returns the completed records, including
+  /// paired system incidents.  Any incident still open at end-of-stream
+  /// is closed with a default window.
+  std::vector<ErrorRecord> ParseLines(const std::vector<std::string>& lines);
+
+  const ParseStats& stats() const { return stats_; }
+
+  /// Parses "Apr  1 02:10:02" within the given year.
+  static Result<TimePoint> ParseSyslogTime(std::string_view text, int year);
+
+ private:
+  ParseStats stats_;
+  int current_year_;
+  int last_month_ = 0;
+};
+
+}  // namespace ld

@@ -1,0 +1,124 @@
+#include "logdiver/torque_parser.hpp"
+
+#include "common/strings.hpp"
+
+namespace ld {
+namespace {
+
+Result<Duration> ParseWalltime(std::string_view text) {
+  const auto parts = Split(text, ':');
+  if (parts.size() != 3) {
+    return ParseError("bad walltime: '" + std::string(text) + "'");
+  }
+  auto h = ParseInt(parts[0]);
+  auto m = ParseInt(parts[1]);
+  auto s = ParseInt(parts[2]);
+  if (!h.ok()) return h.status();
+  if (!m.ok()) return m.status();
+  if (!s.ok()) return s.status();
+  return Duration(*h * 3600 + *m * 60 + *s);
+}
+
+Result<TimePoint> EpochField(std::string_view record, std::string_view key) {
+  auto raw = FindKeyValue(record, key);
+  if (!raw.ok()) return raw.status();
+  auto v = ParseInt(*raw);
+  if (!v.ok()) return v.status();
+  return TimePoint(*v);
+}
+
+}  // namespace
+
+Result<std::optional<TorqueRecord>> TorqueParser::ParseLine(
+    std::string_view line) {
+  ++stats_.lines;
+  const auto fields = Split(line, ';');
+  if (fields.size() < 3) {
+    ++stats_.malformed;
+    return ParseError("torque: too few ';' fields");
+  }
+  const std::string_view type = fields[1];
+  if (type != "S" && type != "E") {
+    ++stats_.skipped;
+    return std::optional<TorqueRecord>{};
+  }
+  // Jobid "123.bw" -> 123.
+  const std::string_view jobid_text = fields[2];
+  const std::size_t dot = jobid_text.find('.');
+  auto jobid = ParseUint(dot == std::string_view::npos
+                             ? jobid_text
+                             : jobid_text.substr(0, dot));
+  if (!jobid.ok()) {
+    ++stats_.malformed;
+    return jobid.status();
+  }
+
+  // Everything after the third ';' is the key=value payload; a jobname
+  // containing ';' would split it, so rejoin.
+  std::string payload;
+  for (std::size_t i = 3; i < fields.size(); ++i) {
+    if (i > 3) payload += ';';
+    payload += std::string(fields[i]);
+  }
+
+  TorqueRecord rec;
+  rec.jobid = *jobid;
+  rec.kind = type == "S" ? TorqueRecord::Kind::kStart : TorqueRecord::Kind::kEnd;
+
+  if (auto v = FindKeyValue(payload, "user"); v.ok()) rec.user = *v;
+  if (auto v = FindKeyValue(payload, "queue"); v.ok()) rec.queue = *v;
+  if (auto v = FindKeyValue(payload, "jobname"); v.ok()) rec.job_name = *v;
+
+  auto submit = EpochField(payload, "ctime");
+  auto start = EpochField(payload, "start");
+  if (!submit.ok() || !start.ok()) {
+    ++stats_.malformed;
+    return ParseError("torque: missing ctime/start epoch fields");
+  }
+  rec.submit = *submit;
+  rec.start = *start;
+  rec.time = rec.start;
+
+  if (auto v = FindKeyValue(payload, "Resource_List.nodect"); v.ok()) {
+    if (auto n = ParseUint(*v); n.ok()) {
+      rec.nodect = static_cast<std::uint32_t>(*n);
+    }
+  }
+  if (auto v = FindKeyValue(payload, "Resource_List.walltime"); v.ok()) {
+    if (auto d = ParseWalltime(*v); d.ok()) rec.walltime_limit = *d;
+  }
+
+  if (rec.kind == TorqueRecord::Kind::kEnd) {
+    auto end = EpochField(payload, "end");
+    if (!end.ok()) {
+      ++stats_.malformed;
+      return ParseError("torque: E record missing end epoch");
+    }
+    rec.end = *end;
+    rec.time = rec.end;
+    if (auto v = FindKeyValue(payload, "Exit_status"); v.ok()) {
+      if (auto code = ParseInt(*v); code.ok()) {
+        rec.exit_status = static_cast<int>(*code);
+      }
+    }
+    if (auto v = FindKeyValue(payload, "resources_used.walltime"); v.ok()) {
+      if (auto d = ParseWalltime(*v); d.ok()) rec.walltime_used = *d;
+    }
+  }
+
+  ++stats_.records;
+  return std::optional<TorqueRecord>{rec};
+}
+
+std::vector<TorqueRecord> TorqueParser::ParseLines(
+    const std::vector<std::string>& lines) {
+  std::vector<TorqueRecord> out;
+  out.reserve(lines.size());
+  for (const std::string& line : lines) {
+    auto rec = ParseLine(line);
+    if (rec.ok() && rec->has_value()) out.push_back(**rec);
+  }
+  return out;
+}
+
+}  // namespace ld

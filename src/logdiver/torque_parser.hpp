@@ -1,0 +1,33 @@
+// Parser for Torque/Moab accounting logs.
+//
+// Record grammar (one per line):
+//   MM/DD/YYYY HH:MM:SS;TYPE;JOBID;key=value key=value ...
+// TYPE "S" = job start, "E" = job end; other record types (Q, D, A)
+// are recognized and skipped.  Epoch-seconds fields (ctime/start/end)
+// are authoritative for times; the leading wall-clock stamp is only the
+// flush time.
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "common/status.hpp"
+#include "logdiver/records.hpp"
+
+namespace ld {
+
+class TorqueParser {
+ public:
+  /// Parses one line; nullopt result with ok status means "skipped".
+  Result<std::optional<TorqueRecord>> ParseLine(std::string_view line);
+
+  /// Parses many lines, accumulating stats.
+  std::vector<TorqueRecord> ParseLines(const std::vector<std::string>& lines);
+
+  const ParseStats& stats() const { return stats_; }
+
+ private:
+  ParseStats stats_;
+};
+
+}  // namespace ld

@@ -1,0 +1,84 @@
+// Log emitters: render a simulated campaign into the textual log bundle
+// LogDiver consumes.
+//
+// Four sources, mirroring the Blue Waters data sources:
+//   torque.log  — Torque/Moab accounting records ("S" start, "E" end),
+//                 `MM/DD/YYYY HH:MM:SS;TYPE;JOBID;key=value ...`
+//   alps.log    — ALPS apsched/apsys records: application placement
+//                 (apid -> nid list), exits, and node-failure kills
+//   syslog.log  — RFC3164-style RAS messages (NO YEAR in the timestamp —
+//                 the parser must reconstruct it, as the real tool must)
+//   hwerr.log   — structured hardware error records
+//                 `epoch|category|cname|severity|detail` (hardware
+//                 categories also appear in syslog: cross-source
+//                 duplicates are intentional; the coalescing stage must
+//                 collapse them)
+//
+// Only `detected` events are rendered.  Undetected node losses still
+// surface in alps.log as "killed, reason=node_failure" because ALPS's
+// own health monitoring observes the node loss — exactly the asymmetry
+// that lets LogDiver categorize such failures without attributing them.
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/status.hpp"
+#include "faults/injector.hpp"
+#include "faults/taxonomy.hpp"
+#include "topology/machine.hpp"
+#include "workload/types.hpp"
+
+namespace ld {
+
+struct EmittedLogs {
+  std::vector<std::string> torque;
+  std::vector<std::string> alps;
+  std::vector<std::string> syslog;
+  std::vector<std::string> hwerr;
+};
+
+struct EmitterConfig {
+  /// Max +/- jitter applied to log timestamps relative to ground truth
+  /// (real daemons flush asynchronously); exercised by the coalescing
+  /// window logic.
+  int timestamp_jitter_seconds = 2;
+};
+
+/// Renders every log line of the campaign, time-sorted per source.
+/// Deterministic in the rng seed.
+EmittedLogs EmitLogs(const Machine& machine, const Workload& workload,
+                     const InjectionResult& injection,
+                     const EmitterConfig& config, Rng& rng);
+
+/// Renders the ground-truth sidecar (CSV with header).  Consumed only by
+/// the analysis/scoring layer, never by LogDiver itself.
+std::vector<std::string> RenderGroundTruthCsv(const Workload& workload,
+                                              const InjectionResult& injection);
+
+// --- individual record renderers (exposed for tests) ---
+
+/// Torque accounting timestamp: "04/01/2013 02:10:02".
+std::string TorqueTimestamp(TimePoint t);
+
+/// Compresses a node list into ALPS range syntax: {3,4,5,9} -> "3-5,9".
+std::string CompressNids(std::vector<NodeIndex> nids);
+
+std::string RenderTorqueStart(const Job& job);
+std::string RenderTorqueEnd(const Job& job);
+std::string RenderAlpsPlace(const Job& job, const Application& app);
+std::string RenderAlpsExit(const Application& app);
+std::string RenderAlpsNodeFailureKill(const Application& app, NodeIndex nid);
+/// Syslog line for a detected error event; empty string if the category
+/// has no syslog signature (never the case today).
+std::string RenderSyslogLine(const Machine& machine, const ErrorEvent& event,
+                             TimePoint when);
+/// End-of-outage line for system-scope incidents.
+std::string RenderSyslogRecovery(const ErrorEvent& event, TimePoint when);
+/// Structured hwerr record; empty if the category is not hardware-side.
+std::string RenderHwerrLine(const Machine& machine, const ErrorEvent& event,
+                            TimePoint when);
+
+}  // namespace ld

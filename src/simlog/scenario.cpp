@@ -1,0 +1,119 @@
+#include "simlog/scenario.hpp"
+
+#include <filesystem>
+#include <fstream>
+
+namespace ld {
+
+Machine MakeMachine(const ScenarioConfig& config) {
+  if (config.full_machine) return Machine::BlueWaters();
+  return Machine::Testbed(config.testbed_xe, config.testbed_xk);
+}
+
+Result<Campaign> RunCampaign(const Machine& machine,
+                             const ScenarioConfig& config) {
+  Rng rng(config.seed);
+
+  WorkloadGenerator generator(machine, config.workload);
+  Rng wl_rng = rng.Fork("workload");
+  auto workload = generator.Generate(wl_rng);
+  if (!workload.ok()) return workload.status();
+
+  Campaign campaign;
+  campaign.workload = std::move(*workload);
+
+  FaultInjector injector(machine, config.faults);
+  Rng fault_rng = rng.Fork("faults");
+  auto injection =
+      injector.Inject(campaign.workload, config.workload.epoch,
+                      config.workload.campaign, fault_rng);
+  if (!injection.ok()) return injection.status();
+  campaign.injection = std::move(*injection);
+
+  Rng emit_rng = rng.Fork("emitters");
+  campaign.logs = EmitLogs(machine, campaign.workload, campaign.injection,
+                           config.emitter, emit_rng);
+  return campaign;
+}
+
+namespace {
+
+Status WriteLines(const std::string& path,
+                  const std::vector<std::string>& lines) {
+  std::ofstream out(path);
+  if (!out) return InternalError("cannot write '" + path + "'");
+  for (const std::string& line : lines) out << line << '\n';
+  return Status::Ok();
+}
+
+}  // namespace
+
+Result<LogBundle> WriteBundle(const Machine& machine,
+                              const ScenarioConfig& config,
+                              const std::string& dir) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) return InternalError("cannot create '" + dir + "': " + ec.message());
+
+  auto campaign = RunCampaign(machine, config);
+  if (!campaign.ok()) return campaign.status();
+
+  LogBundle bundle;
+  bundle.dir = dir;
+  if (Status s = WriteLines(bundle.torque_path(), campaign->logs.torque);
+      !s.ok()) {
+    return s;
+  }
+  if (Status s = WriteLines(bundle.alps_path(), campaign->logs.alps); !s.ok()) {
+    return s;
+  }
+  if (Status s = WriteLines(bundle.syslog_path(), campaign->logs.syslog);
+      !s.ok()) {
+    return s;
+  }
+  if (Status s = WriteLines(bundle.hwerr_path(), campaign->logs.hwerr);
+      !s.ok()) {
+    return s;
+  }
+  if (Status s = WriteLines(
+          bundle.truth_path(),
+          RenderGroundTruthCsv(campaign->workload, campaign->injection));
+      !s.ok()) {
+    return s;
+  }
+
+  std::vector<std::string> manifest;
+  manifest.push_back("seed=" + std::to_string(config.seed));
+  manifest.push_back("epoch=" + config.workload.epoch.ToIso());
+  manifest.push_back("campaign_days=" +
+                     std::to_string(config.workload.campaign.days()));
+  manifest.push_back("jobs=" + std::to_string(campaign->workload.jobs.size()));
+  manifest.push_back("apps=" + std::to_string(campaign->workload.apps.size()));
+  manifest.push_back("events=" +
+                     std::to_string(campaign->injection.events.size()));
+  if (Status s = WriteLines(bundle.manifest_path(), manifest); !s.ok()) {
+    return s;
+  }
+  return bundle;
+}
+
+ScenarioConfig SmallScenario(std::uint64_t seed) {
+  ScenarioConfig config;
+  config.seed = seed;
+  config.full_machine = false;
+  config.testbed_xe = 960;
+  config.testbed_xk = 192;
+  config.workload.target_app_runs = 4000;
+  config.workload.campaign = Duration::Days(30);
+  // Boost the error processes so a month-long testbed campaign still
+  // sees enough events to exercise every code path.
+  config.faults.xe_fatal_per_node_hour = 4e-5;
+  config.faults.xk_fatal_per_node_hour = 2e-4;
+  config.faults.lustre_incidents_per_day = 1.5;
+  config.faults.blade_faults_per_day = 0.3;
+  config.faults.link_failures_per_day = 2.0;
+  config.faults.corrected_mce_per_day = 20.0;
+  return config;
+}
+
+}  // namespace ld

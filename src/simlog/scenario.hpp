@@ -1,0 +1,68 @@
+// Scenario driver: runs a full simulated campaign end to end.
+//
+// machine model -> workload generation -> fault injection -> log
+// emission, either into memory (for tests and benches that feed LogDiver
+// directly) or onto disk as a log bundle directory:
+//
+//   <dir>/torque.log   <dir>/alps.log   <dir>/syslog.log
+//   <dir>/hwerr.log    <dir>/ground_truth.csv   <dir>/MANIFEST
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.hpp"
+#include "faults/injector.hpp"
+#include "simlog/emitters.hpp"
+#include "topology/machine.hpp"
+#include "workload/generator.hpp"
+
+namespace ld {
+
+struct ScenarioConfig {
+  std::uint64_t seed = 42;
+  /// Full Blue Waters (27,648 slots) vs a small testbed machine.
+  bool full_machine = true;
+  std::uint32_t testbed_xe = 960;
+  std::uint32_t testbed_xk = 192;
+  WorkloadConfig workload;
+  FaultModelConfig faults;
+  EmitterConfig emitter;
+};
+
+/// Builds the machine this scenario runs on.
+Machine MakeMachine(const ScenarioConfig& config);
+
+/// Everything a campaign produces, in memory.
+struct Campaign {
+  Workload workload;
+  InjectionResult injection;
+  EmittedLogs logs;
+};
+
+/// Runs the campaign in memory.  The same machine instance must be used
+/// for downstream LogDiver analysis (node identity is positional).
+Result<Campaign> RunCampaign(const Machine& machine,
+                             const ScenarioConfig& config);
+
+/// File layout of an on-disk log bundle.
+struct LogBundle {
+  std::string dir;
+  std::string torque_path() const { return dir + "/torque.log"; }
+  std::string alps_path() const { return dir + "/alps.log"; }
+  std::string syslog_path() const { return dir + "/syslog.log"; }
+  std::string hwerr_path() const { return dir + "/hwerr.log"; }
+  std::string truth_path() const { return dir + "/ground_truth.csv"; }
+  std::string manifest_path() const { return dir + "/MANIFEST"; }
+};
+
+/// Runs the campaign and writes the bundle to `dir` (created if needed).
+Result<LogBundle> WriteBundle(const Machine& machine,
+                              const ScenarioConfig& config,
+                              const std::string& dir);
+
+/// Convenience for tests/examples: a small, fast scenario (testbed
+/// machine, a few thousand app runs, one simulated month).
+ScenarioConfig SmallScenario(std::uint64_t seed = 42);
+
+}  // namespace ld

@@ -1,0 +1,37 @@
+#include "topology/cname.hpp"
+
+#include <cstdio>
+
+namespace ld {
+
+std::string Cname::ToString() const {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "c%d-%dc%ds%dn%d", cabinet_x, cabinet_y,
+                chassis, slot, node);
+  return buf;
+}
+
+std::string Cname::BladePrefix() const {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "c%d-%dc%ds%d", cabinet_x, cabinet_y,
+                chassis, slot);
+  return buf;
+}
+
+Result<Cname> ParseCname(const std::string& text) {
+  Cname c;
+  int consumed = 0;
+  const int got = std::sscanf(text.c_str(), "c%d-%dc%ds%dn%d%n", &c.cabinet_x,
+                              &c.cabinet_y, &c.chassis, &c.slot, &c.node,
+                              &consumed);
+  if (got != 5 || static_cast<std::size_t>(consumed) != text.size()) {
+    return ParseError("bad cname: '" + text + "'");
+  }
+  if (c.cabinet_x < 0 || c.cabinet_y < 0 || c.chassis < 0 || c.chassis > 2 ||
+      c.slot < 0 || c.slot > 7 || c.node < 0 || c.node > 3) {
+    return ParseError("out-of-range cname: '" + text + "'");
+  }
+  return c;
+}
+
+}  // namespace ld

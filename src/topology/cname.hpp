@@ -1,0 +1,35 @@
+// Cray component names ("cnames").
+//
+// Every hardware component on a Cray XE/XK system is addressed by a
+// hierarchical cname, e.g. "c12-3c2s7n1" = cabinet column 12, cabinet row
+// 3, chassis 2, slot (blade) 7, node 1.  Log sources identify error
+// locations by cname, so LogDiver must parse them; the simulator's
+// emitters must render them.
+#pragma once
+
+#include <string>
+
+#include "common/status.hpp"
+
+namespace ld {
+
+struct Cname {
+  int cabinet_x = 0;  // cabinet column
+  int cabinet_y = 0;  // cabinet row
+  int chassis = 0;    // 0..2
+  int slot = 0;       // blade slot, 0..7
+  int node = 0;       // node on blade, 0..3
+
+  /// "c{X}-{Y}c{C}s{S}n{N}".
+  std::string ToString() const;
+  /// Blade-level prefix "c{X}-{Y}c{C}s{S}" (a blade houses 4 nodes and
+  /// 2 Gemini ASICs; blade-level failures take down all of them).
+  std::string BladePrefix() const;
+
+  bool operator==(const Cname&) const = default;
+};
+
+/// Parses a node-level cname; rejects malformed or component-level names.
+Result<Cname> ParseCname(const std::string& text);
+
+}  // namespace ld

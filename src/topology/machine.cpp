@@ -1,0 +1,155 @@
+#include "topology/machine.hpp"
+
+#include <stdexcept>
+
+namespace ld {
+namespace {
+
+constexpr int kChassisPerCabinet = 3;
+constexpr int kSlotsPerChassis = 8;
+constexpr int kNodesPerBlade = 4;
+constexpr int kNodesPerCabinet =
+    kChassisPerCabinet * kSlotsPerChassis * kNodesPerBlade;  // 96
+
+}  // namespace
+
+const char* NodeTypeName(NodeType type) {
+  switch (type) {
+    case NodeType::kXE: return "XE";
+    case NodeType::kXK: return "XK";
+    case NodeType::kService: return "service";
+  }
+  return "unknown";
+}
+
+Machine Machine::BlueWaters() { return Build(MachineConfig{}); }
+
+Machine Machine::Testbed(std::uint32_t xe_nodes, std::uint32_t xk_nodes) {
+  MachineConfig cfg;
+  // Smallest cabinet grid that fits the request plus a handful of
+  // service nodes; keeps test machines tiny and fast.
+  const std::uint32_t needed = xe_nodes + xk_nodes + 4;
+  std::uint32_t cabinets = (needed + kNodesPerCabinet - 1) / kNodesPerCabinet;
+  cfg.cabinet_cols = static_cast<int>(cabinets < 4 ? cabinets : 4);
+  cfg.cabinet_rows = static_cast<int>((cabinets + cfg.cabinet_cols - 1) /
+                                      static_cast<std::uint32_t>(cfg.cabinet_cols));
+  cfg.xe_nodes = xe_nodes;
+  cfg.xk_nodes = xk_nodes;
+  return Build(cfg);
+}
+
+Machine Machine::Build(const MachineConfig& config) {
+  const std::uint64_t slots = static_cast<std::uint64_t>(config.cabinet_cols) *
+                              config.cabinet_rows * kNodesPerCabinet;
+  if (config.xe_nodes + config.xk_nodes > slots) {
+    throw std::invalid_argument("MachineConfig: more compute nodes than slots");
+  }
+
+  Machine m;
+  m.nodes_.reserve(slots);
+  m.by_cname_.reserve(slots);
+
+  // XK cabinets are physically clustered (on Blue Waters they occupy
+  // dedicated cabinet columns).  We lay out XE nodes first, then XK,
+  // then service nodes, walking cabinets in column-major order; this
+  // yields the same "XK nodes are spatially contiguous" property the
+  // real machine has, which matters for blade-level failure blast radius.
+  std::uint32_t xe_left = config.xe_nodes;
+  std::uint32_t xk_left = config.xk_nodes;
+
+  for (int cx = 0; cx < config.cabinet_cols; ++cx) {
+    for (int cy = 0; cy < config.cabinet_rows; ++cy) {
+      for (int ch = 0; ch < kChassisPerCabinet; ++ch) {
+        for (int sl = 0; sl < kSlotsPerChassis; ++sl) {
+          for (int nd = 0; nd < kNodesPerBlade; ++nd) {
+            Node node;
+            node.index = static_cast<NodeIndex>(m.nodes_.size());
+            node.cname = Cname{cx, cy, ch, sl, nd};
+            // One Gemini ASIC serves 2 adjacent nodes on a blade; torus
+            // coordinates derive deterministically from the physical
+            // position (X from cabinet column, Y from row+chassis,
+            // Z from slot and node pair).
+            node.gemini = GeminiCoord{cx, cy * kChassisPerCabinet + ch,
+                                      sl * (kNodesPerBlade / 2) + nd / 2};
+            if (xe_left > 0) {
+              node.type = NodeType::kXE;
+              node.dimm_count = 16;  // 64 GB in 4 GB DDR3 DIMMs
+              node.has_gpu = false;
+              --xe_left;
+            } else if (xk_left > 0) {
+              node.type = NodeType::kXK;
+              node.dimm_count = 8;  // 32 GB host memory
+              node.has_gpu = true;  // NVIDIA K20X with 6 GB GDDR5
+              --xk_left;
+            } else {
+              node.type = NodeType::kService;
+              node.dimm_count = 8;
+              node.has_gpu = false;
+            }
+            m.by_cname_.emplace(node.cname.ToString(), node.index);
+            switch (node.type) {
+              case NodeType::kXE: m.xe_nodes_.push_back(node.index); break;
+              case NodeType::kXK: m.xk_nodes_.push_back(node.index); break;
+              case NodeType::kService:
+                m.service_nodes_.push_back(node.index);
+                break;
+            }
+            m.nodes_.push_back(std::move(node));
+          }
+        }
+      }
+    }
+  }
+  m.xe_count_ = config.xe_nodes;
+  m.xk_count_ = config.xk_nodes;
+  return m;
+}
+
+const std::vector<NodeIndex>& Machine::nodes_of_type(NodeType type) const {
+  switch (type) {
+    case NodeType::kXE: return xe_nodes_;
+    case NodeType::kXK: return xk_nodes_;
+    case NodeType::kService: return service_nodes_;
+  }
+  throw std::logic_error("nodes_of_type: bad type");
+}
+
+Result<NodeIndex> Machine::FindByCname(const std::string& cname) const {
+  const auto it = by_cname_.find(cname);
+  if (it == by_cname_.end()) {
+    return NotFoundError("no node with cname '" + cname + "'");
+  }
+  return it->second;
+}
+
+std::vector<NodeIndex> Machine::BladeSiblings(NodeIndex i) const {
+  const Cname& c = node(i).cname;
+  std::vector<NodeIndex> out;
+  out.reserve(kNodesPerBlade);
+  for (int nd = 0; nd < kNodesPerBlade; ++nd) {
+    Cname sib = c;
+    sib.node = nd;
+    const auto it = by_cname_.find(sib.ToString());
+    if (it != by_cname_.end()) out.push_back(it->second);
+  }
+  return out;
+}
+
+std::vector<NodeIndex> Machine::NodesOnGemini(const GeminiCoord& coord) const {
+  // Geminis serve node pairs laid out deterministically (see Build), so
+  // we can compute the candidate cname range instead of scanning.
+  std::vector<NodeIndex> out;
+  const int cx = coord.x;
+  const int cy = coord.y / kChassisPerCabinet;
+  const int ch = coord.y % kChassisPerCabinet;
+  const int sl = coord.z / (kNodesPerBlade / 2);
+  const int pair = coord.z % (kNodesPerBlade / 2);
+  for (int nd = pair * 2; nd < pair * 2 + 2; ++nd) {
+    const Cname c{cx, cy, ch, sl, nd};
+    const auto it = by_cname_.find(c.ToString());
+    if (it != by_cname_.end()) out.push_back(it->second);
+  }
+  return out;
+}
+
+}  // namespace ld

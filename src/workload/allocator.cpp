@@ -1,0 +1,56 @@
+#include "workload/allocator.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace ld {
+
+NodeAllocator::NodeAllocator(const Machine& machine, NodeType type)
+    : free_(machine.nodes_of_type(type)) {}
+
+void NodeAllocator::DrainReleases(TimePoint now) {
+  while (!releases_.empty() && releases_.top().time <= now) {
+    const auto& top = releases_.top();
+    allocated_count_ -= top.nodes.size();
+    free_.insert(free_.end(), top.nodes.begin(), top.nodes.end());
+    releases_.pop();
+  }
+}
+
+Result<NodeAllocator::Allocation> NodeAllocator::Allocate(TimePoint not_before,
+                                                          Duration hold,
+                                                          std::uint32_t count,
+                                                          Rng& rng) {
+  if (count == 0) return InvalidArgumentError("Allocate: zero nodes");
+  if (count > capacity()) {
+    return OutOfRangeError("Allocate: request of " + std::to_string(count) +
+                           " exceeds partition capacity of " +
+                           std::to_string(capacity()));
+  }
+
+  TimePoint start = std::max(not_before, clock_);
+  DrainReleases(start);
+  // Partition full: walk the release queue until enough nodes are back.
+  while (free_.size() < count) {
+    LD_CHECK(!releases_.empty(), "allocator accounting out of sync");
+    start = std::max(start, releases_.top().time);
+    DrainReleases(start);
+  }
+
+  Allocation alloc;
+  alloc.start = start;
+  alloc.nodes.reserve(count);
+  // Uniform sample without replacement via swap-remove: O(1) per node.
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const std::size_t pick = rng.UniformInt(free_.size());
+    alloc.nodes.push_back(free_[pick]);
+    free_[pick] = free_.back();
+    free_.pop_back();
+  }
+  allocated_count_ += count;
+  clock_ = start;
+  releases_.push(PendingRelease{start + hold, alloc.nodes});
+  return alloc;
+}
+
+}  // namespace ld

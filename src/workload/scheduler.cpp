@@ -1,0 +1,218 @@
+#include "workload/scheduler.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <queue>
+#include <set>
+
+namespace ld {
+namespace {
+
+struct RunningJob {
+  TimePoint end;          // actual completion (frees the nodes)
+  TimePoint bounded_end;  // walltime-limit bound the scheduler plans with
+  std::uint64_t serial = 0;
+  std::vector<NodeIndex> nodes;
+};
+
+/// Running jobs ordered by their walltime bound, for shadow-time
+/// computation; (bounded_end, serial) keys keep entries unique.
+using BoundSet = std::set<std::tuple<TimePoint, std::uint64_t, std::uint32_t>>;
+
+struct EndLater {
+  bool operator()(const RunningJob& a, const RunningJob& b) const {
+    return a.end > b.end;
+  }
+};
+
+}  // namespace
+
+const char* SchedulerPolicyName(SchedulerPolicy policy) {
+  switch (policy) {
+    case SchedulerPolicy::kFcfs: return "fcfs";
+    case SchedulerPolicy::kEasyBackfill: return "easy-backfill";
+  }
+  return "invalid";
+}
+
+Result<std::vector<Placement>> ScheduleJobs(const Machine& machine,
+                                            NodeType partition,
+                                            const std::vector<JobRequest>& jobs,
+                                            SchedulerPolicy policy, Rng& rng,
+                                            ScheduleStats* stats) {
+  const std::uint32_t capacity =
+      static_cast<std::uint32_t>(machine.nodes_of_type(partition).size());
+  for (const JobRequest& job : jobs) {
+    if (job.nodect == 0) {
+      return InvalidArgumentError("ScheduleJobs: zero-node request");
+    }
+    if (job.nodect > capacity) {
+      return OutOfRangeError("ScheduleJobs: request of " +
+                             std::to_string(job.nodect) +
+                             " exceeds partition capacity of " +
+                             std::to_string(capacity));
+    }
+  }
+
+  // Requests must be visited in arrival order; keep original indices.
+  std::vector<std::size_t> arrival_order(jobs.size());
+  for (std::size_t i = 0; i < arrival_order.size(); ++i) arrival_order[i] = i;
+  std::stable_sort(arrival_order.begin(), arrival_order.end(),
+                   [&jobs](std::size_t a, std::size_t b) {
+                     return jobs[a].arrival < jobs[b].arrival;
+                   });
+
+  std::vector<Placement> placements(jobs.size());
+  std::vector<NodeIndex> free = machine.nodes_of_type(partition);
+  std::priority_queue<RunningJob, std::vector<RunningJob>, EndLater> running;
+  BoundSet bounds;  // (bounded_end, serial, nodect) of running jobs
+  std::uint64_t next_serial = 0;
+  std::deque<std::size_t> queue;  // job indices waiting, arrival order
+  std::size_t next_arrival = 0;
+
+  ScheduleStats local;
+  local.jobs = jobs.size();
+  double wait_sum_hours = 0.0;
+  double busy_node_hours = 0.0;
+  TimePoint span_lo, span_hi;
+  bool have_span = false;
+
+  auto start_job = [&](std::size_t idx, TimePoint now) {
+    const JobRequest& job = jobs[idx];
+    Placement& placement = placements[idx];
+    placement.start = now;
+    placement.nodes.reserve(job.nodect);
+    for (std::uint32_t i = 0; i < job.nodect; ++i) {
+      const std::size_t pick = rng.UniformInt(free.size());
+      placement.nodes.push_back(free[pick]);
+      free[pick] = free.back();
+      free.pop_back();
+    }
+    RunningJob run;
+    run.end = now + job.hold;
+    run.bounded_end = now + std::max(job.walltime_limit, job.hold);
+    run.nodes = placement.nodes;
+    run.serial = next_serial++;
+    bounds.emplace(run.bounded_end, run.serial, job.nodect);
+    running.push(std::move(run));
+
+    const double wait = (now - job.arrival).hours();
+    wait_sum_hours += wait;
+    local.max_wait_hours = std::max(local.max_wait_hours, wait);
+    busy_node_hours += job.hold.hours() * static_cast<double>(job.nodect);
+    if (!have_span) {
+      span_lo = job.arrival;
+      span_hi = now + job.hold;
+      have_span = true;
+    } else {
+      span_lo = std::min(span_lo, job.arrival);
+      span_hi = std::max(span_hi, now + job.hold);
+    }
+  };
+
+  // Starts whatever the policy allows at time `now`.
+  auto dispatch = [&](TimePoint now) {
+    // FCFS portion: start in order while the head fits.
+    while (!queue.empty() && jobs[queue.front()].nodect <= free.size()) {
+      start_job(queue.front(), now);
+      queue.pop_front();
+    }
+    if (queue.empty() || policy != SchedulerPolicy::kEasyBackfill) return;
+
+    // EASY: reserve the head at the shadow time, backfill behind it.
+    const JobRequest& head = jobs[queue.front()];
+    // Guaranteed-free accumulation over running jobs by bounded end.
+    std::size_t avail = free.size();
+    TimePoint shadow = now;
+    for (const auto& [bounded_end, serial, nodect] : bounds) {
+      if (avail >= head.nodect) break;
+      avail += nodect;
+      shadow = bounded_end;
+    }
+    if (avail < head.nodect) return;  // cannot happen (capacity checked)
+    // Nodes beyond the head's need at the shadow instant.
+    const std::size_t extra = avail - head.nodect;
+
+    for (std::size_t qi = 1; qi < queue.size();) {
+      const std::size_t idx = queue[qi];
+      const JobRequest& candidate = jobs[idx];
+      const bool fits_now = candidate.nodect <= free.size();
+      const bool ends_before_shadow =
+          now + std::max(candidate.walltime_limit, candidate.hold) <= shadow;
+      const bool within_spare = candidate.nodect <= extra;
+      if (fits_now && (ends_before_shadow || within_spare)) {
+        start_job(idx, now);
+        ++local.backfilled;
+        queue.erase(queue.begin() + static_cast<std::ptrdiff_t>(qi));
+        // The reservation math is conservative: re-deriving shadow after
+        // each backfill only shrinks the opportunity, so keep it fixed
+        // for this dispatch round (standard EASY behaviour).
+      } else {
+        ++qi;
+      }
+    }
+  };
+
+  while (next_arrival < arrival_order.size() || !queue.empty()) {
+    // Next event time: the earlier of next arrival and next completion.
+    TimePoint now;
+    const bool arrivals_left = next_arrival < arrival_order.size();
+    if (!queue.empty()) {
+      // Jobs are waiting: they can only start on a completion, but new
+      // arrivals still enter the queue in between.
+      if (running.empty()) {
+        // Nothing running and head does not fit: impossible given the
+        // capacity check, unless the queue head simply fits — dispatch
+        // handles it.  Guard against livelock.
+        now = arrivals_left ? jobs[arrival_order[next_arrival]].arrival
+                            : TimePoint(0);
+      } else if (arrivals_left &&
+                 jobs[arrival_order[next_arrival]].arrival <
+                     running.top().end) {
+        now = jobs[arrival_order[next_arrival]].arrival;
+      } else {
+        now = running.top().end;
+      }
+    } else {
+      now = jobs[arrival_order[next_arrival]].arrival;
+    }
+
+    // Retire completions due by `now`.
+    while (!running.empty() && running.top().end <= now) {
+      const RunningJob& done = running.top();
+      free.insert(free.end(), done.nodes.begin(), done.nodes.end());
+      bounds.erase({done.bounded_end, done.serial,
+                    static_cast<std::uint32_t>(done.nodes.size())});
+      running.pop();
+    }
+    // Admit arrivals due by `now`.
+    while (next_arrival < arrival_order.size() &&
+           jobs[arrival_order[next_arrival]].arrival <= now) {
+      queue.push_back(arrival_order[next_arrival]);
+      ++next_arrival;
+    }
+    dispatch(now);
+
+    // If the queue is still blocked and no arrivals remain, fast-forward
+    // through completions.
+    if (!queue.empty() && next_arrival >= arrival_order.size() &&
+        running.empty()) {
+      return InternalError("ScheduleJobs: scheduler livelock");
+    }
+  }
+
+  if (stats != nullptr) {
+    local.mean_wait_hours =
+        jobs.empty() ? 0.0
+                     : wait_sum_hours / static_cast<double>(jobs.size());
+    const double span_hours = have_span ? (span_hi - span_lo).hours() : 0.0;
+    local.utilization =
+        span_hours > 0.0
+            ? busy_node_hours / (span_hours * static_cast<double>(capacity))
+            : 0.0;
+    *stats = local;
+  }
+  return placements;
+}
+
+}  // namespace ld

@@ -1,0 +1,68 @@
+// Batch scheduler: turns job requests into start times and placements.
+//
+// Two policies:
+//   kFcfs          — strict arrival order; a job that does not fit
+//                    blocks everything behind it (a full-machine job
+//                    drains the partition, as Torque without backfill).
+//   kEasyBackfill  — EASY: the queue head gets a reservation at the
+//                    earliest time enough nodes are *guaranteed* free
+//                    (running jobs bounded by their walltime limits);
+//                    later jobs may start out of order iff they fit now
+//                    and cannot delay that reservation (they finish, by
+//                    their own walltime bound, before the shadow time —
+//                    or they use only nodes the reservation leaves
+//                    spare).
+//
+// The engine is a discrete-event simulation over arrivals and
+// completions; placement is a uniform random draw from the free set
+// (node identity matters for fault correlation, not locality).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/status.hpp"
+#include "common/time.hpp"
+#include "topology/machine.hpp"
+
+namespace ld {
+
+enum class SchedulerPolicy : std::uint8_t { kFcfs, kEasyBackfill };
+
+const char* SchedulerPolicyName(SchedulerPolicy policy);
+
+/// One job's scheduling request.  `hold` is the actual occupancy
+/// (known to the simulator, not the scheduler); `walltime_limit` is the
+/// user-declared bound the scheduler plans with (hold <= limit + grace).
+struct JobRequest {
+  TimePoint arrival;
+  std::uint32_t nodect = 0;
+  Duration hold{0};
+  Duration walltime_limit{0};
+};
+
+struct Placement {
+  TimePoint start;
+  std::vector<NodeIndex> nodes;
+};
+
+struct ScheduleStats {
+  std::uint64_t jobs = 0;
+  std::uint64_t backfilled = 0;  // started ahead of an older queued job
+  double mean_wait_hours = 0.0;
+  double max_wait_hours = 0.0;
+  /// Busy node-hours divided by (span x partition size).
+  double utilization = 0.0;
+};
+
+/// Schedules all requests on one partition.  Returns one placement per
+/// request, in request order.  Fails if any request exceeds the
+/// partition or has nodect == 0.
+Result<std::vector<Placement>> ScheduleJobs(const Machine& machine,
+                                            NodeType partition,
+                                            const std::vector<JobRequest>& jobs,
+                                            SchedulerPolicy policy, Rng& rng,
+                                            ScheduleStats* stats = nullptr);
+
+}  // namespace ld

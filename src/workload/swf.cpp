@@ -1,0 +1,146 @@
+#include "workload/swf.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+
+#include "common/strings.hpp"
+
+namespace ld {
+
+Result<Workload> ImportSwf(const std::vector<std::string>& lines,
+                           const Machine& machine,
+                           const SwfImportConfig& config, Rng& rng,
+                           SwfImportStats* stats) {
+  SwfImportStats local;
+  if (config.cores_per_node == 0) {
+    return InvalidArgumentError("ImportSwf: cores_per_node must be > 0");
+  }
+  const auto& partition = machine.nodes_of_type(config.node_type);
+  if (partition.empty()) {
+    return InvalidArgumentError("ImportSwf: empty target partition");
+  }
+
+  Workload wl;
+  for (const std::string& line : lines) {
+    ++local.lines;
+    const std::string_view trimmed = Trim(line);
+    if (trimmed.empty() || trimmed.front() == ';') {
+      ++local.comments;
+      continue;
+    }
+    const auto fields = SplitWhitespace(trimmed);
+    if (fields.size() < 12) {
+      ++local.malformed;
+      continue;
+    }
+    const auto job_number = ParseInt(fields[0]);
+    const auto submit = ParseInt(fields[1]);
+    const auto wait = ParseInt(fields[2]);
+    const auto run = ParseInt(fields[3]);
+    const auto procs = ParseInt(fields[4]);
+    const auto status = ParseInt(fields[10]);
+    const auto requested = ParseInt(fields[8]);
+    const auto user = ParseInt(fields[11]);
+    if (!job_number.ok() || !submit.ok() || !wait.ok() || !run.ok() ||
+        !procs.ok() || !status.ok()) {
+      ++local.malformed;
+      continue;
+    }
+    if (*run <= 0 || *procs <= 0) {
+      ++local.skipped;  // cancelled before start, or bogus row
+      continue;
+    }
+
+    std::uint32_t nodect = static_cast<std::uint32_t>(
+        (*procs + config.cores_per_node - 1) / config.cores_per_node);
+    if (nodect > partition.size()) {
+      if (!config.clamp_oversized) {
+        ++local.skipped;
+        continue;
+      }
+      nodect = static_cast<std::uint32_t>(partition.size());
+      ++local.clamped;
+    }
+
+    Job job;
+    job.jobid = static_cast<JobId>(wl.jobs.size() + 1);
+    job.user = user.ok() && *user > 0 ? static_cast<UserId>(*user) : 0;
+    char uname[16];
+    std::snprintf(uname, sizeof(uname), "u%04u", job.user);
+    job.user_name = uname;
+    job.queue = "normal";
+    char jname[32];
+    std::snprintf(jname, sizeof(jname), "swf_%lld",
+                  static_cast<long long>(*job_number));
+    job.job_name = jname;
+    job.node_type = config.node_type;
+    job.submit = config.epoch + Duration(std::max<std::int64_t>(0, *submit));
+    job.start = job.submit + Duration(std::max<std::int64_t>(0, *wait));
+    job.end = job.start + Duration(*run) + Duration(30);
+    job.walltime_limit = requested.ok() && *requested > 0
+                             ? Duration(*requested)
+                             : Duration(*run * 2);
+
+    // Random placement over the partition (sampling without replacement
+    // via partial shuffle of a scratch copy).
+    std::vector<NodeIndex> pool = partition;
+    job.nodes.reserve(nodect);
+    for (std::uint32_t i = 0; i < nodect; ++i) {
+      const std::size_t pick =
+          i + static_cast<std::size_t>(rng.UniformInt(pool.size() - i));
+      std::swap(pool[i], pool[pick]);
+      job.nodes.push_back(pool[i]);
+    }
+
+    Application app;
+    app.apid = 0;  // renumbered below
+    app.jobid = job.jobid;
+    app.seq = 0;
+    app.start = job.start;
+    app.end = job.start + Duration(*run);
+    // SWF status: 1 = completed; 0/5 = failed/cancelled mid-run.
+    if (*status == 1) {
+      app.truth = AppOutcome::kSuccess;
+    } else {
+      app.truth = AppOutcome::kUserFailure;
+      app.exit_code = 1;
+      job.exit_status = 1;
+    }
+    wl.apps.push_back(app);
+    job.app_indices.push_back(wl.apps.size() - 1);
+    wl.jobs.push_back(std::move(job));
+    ++local.jobs;
+  }
+
+  // Assign monotone apids by start time, matching ALPS behaviour.
+  std::vector<std::size_t> order(wl.apps.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&wl](std::size_t a, std::size_t b) {
+    if (wl.apps[a].start != wl.apps[b].start) {
+      return wl.apps[a].start < wl.apps[b].start;
+    }
+    return a < b;
+  });
+  ApId next_apid = 100000;
+  for (std::size_t idx : order) wl.apps[idx].apid = next_apid++;
+
+  if (stats != nullptr) *stats = local;
+  if (wl.jobs.empty()) {
+    return InvalidArgumentError("ImportSwf: trace contained no usable jobs");
+  }
+  return wl;
+}
+
+Result<Workload> ImportSwfFile(const std::string& path, const Machine& machine,
+                               const SwfImportConfig& config, Rng& rng,
+                               SwfImportStats* stats) {
+  std::ifstream in(path);
+  if (!in) return NotFoundError("cannot open '" + path + "'");
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(line);
+  return ImportSwf(lines, machine, config, rng, stats);
+}
+
+}  // namespace ld

@@ -1,0 +1,67 @@
+// Standard Workload Format (SWF) import.
+//
+// SWF is the de-facto interchange format of the Parallel Workloads
+// Archive: one job per line, 18 whitespace-separated fields, `;` header
+// comments.  Importing a real trace lets a downstream user replay an
+// actual machine's workload through the fault injector and LogDiver
+// instead of the synthetic generator.
+//
+// Fields used (1-based SWF numbering):
+//   1 job number        2 submit time (s)   3 wait time (s)
+//   4 run time (s)      5 allocated processors
+//   9 requested time (walltime limit)     12 user id
+//   11 status (1 = completed OK, 0/5 = failed/cancelled)
+// Remaining fields are ignored.  Processor counts are mapped to node
+// counts with a configurable cores-per-node divisor.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/status.hpp"
+#include "topology/machine.hpp"
+#include "workload/types.hpp"
+
+namespace ld {
+
+struct SwfImportConfig {
+  /// Trace times are relative; they are anchored at this epoch.
+  TimePoint epoch = TimePoint::FromCalendar(2013, 4, 1);
+  /// Processors per node for the traced machine (SWF counts CPUs).
+  std::uint32_t cores_per_node = 32;
+  /// Partition the imported jobs run on.
+  NodeType node_type = NodeType::kXE;
+  /// Jobs larger than the partition are clamped (true) or rejected
+  /// (false).
+  bool clamp_oversized = true;
+};
+
+struct SwfImportStats {
+  std::uint64_t lines = 0;
+  std::uint64_t comments = 0;
+  std::uint64_t jobs = 0;
+  std::uint64_t skipped = 0;  // unusable rows (zero runtime/processors)
+  std::uint64_t malformed = 0;
+  std::uint64_t clamped = 0;
+};
+
+/// Parses an SWF trace into a Workload: one application per job, placed
+/// on the machine with the same random-placement policy as the
+/// generator.  Jobs are placed at their SWF start time (submit + wait);
+/// node assignment is random among the partition's nodes and does NOT
+/// enforce machine-wide occupancy consistency (real traces already
+/// encode a feasible schedule for *their* machine, which may differ
+/// from ours).  Failed-status jobs become user failures.
+Result<Workload> ImportSwf(const std::vector<std::string>& lines,
+                           const Machine& machine,
+                           const SwfImportConfig& config, Rng& rng,
+                           SwfImportStats* stats = nullptr);
+
+/// Reads the file and imports it.
+Result<Workload> ImportSwfFile(const std::string& path, const Machine& machine,
+                               const SwfImportConfig& config, Rng& rng,
+                               SwfImportStats* stats = nullptr);
+
+}  // namespace ld

@@ -1,0 +1,35 @@
+#include "workload/types.hpp"
+
+#include "common/status.hpp"
+
+namespace ld {
+
+const char* AppOutcomeName(AppOutcome outcome) {
+  switch (outcome) {
+    case AppOutcome::kSuccess: return "success";
+    case AppOutcome::kUserFailure: return "user_failure";
+    case AppOutcome::kSystemFailure: return "system_failure";
+    case AppOutcome::kWalltime: return "walltime";
+    case AppOutcome::kUnknown: return "unknown";
+  }
+  return "invalid";
+}
+
+const Job& Workload::job_of(const Application& app) const {
+  // Jobs are stored in jobid order and jobids are dense from 1.
+  LD_CHECK(app.jobid >= 1 && app.jobid <= jobs.size(),
+           "application references unknown job");
+  const Job& job = jobs[static_cast<std::size_t>(app.jobid - 1)];
+  LD_CHECK(job.jobid == app.jobid, "job table out of order");
+  return job;
+}
+
+double Workload::TotalNodeHours() const {
+  double total = 0.0;
+  for (const Application& app : apps) {
+    total += app.NodeHours(job_of(app).nodect());
+  }
+  return total;
+}
+
+}  // namespace ld

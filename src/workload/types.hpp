@@ -1,0 +1,93 @@
+// Workload model: Torque jobs and ALPS applications.
+//
+// The unit of analysis in the field study is the *application run*: one
+// aprun invocation (identified by an ALPS apid) executing on a set of
+// compute nodes inside a Torque job's reservation.  A job owns the node
+// reservation for its whole lifetime; its applications run sequentially
+// on those nodes — exactly the Torque+ALPS semantics on Blue Waters.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/time.hpp"
+#include "topology/machine.hpp"
+
+namespace ld {
+
+using JobId = std::uint64_t;
+using ApId = std::uint64_t;
+using UserId = std::uint32_t;
+
+/// Outcome of an application run.  Used both for simulator ground truth
+/// and for LogDiver's exit-status categorization, so the two can be
+/// scored against each other.
+enum class AppOutcome : std::uint8_t {
+  kSuccess,        // exit 0
+  kUserFailure,    // nonzero exit / signal caused by the application itself
+  kSystemFailure,  // killed by a system error or failure
+  kWalltime,       // killed by the scheduler at the walltime limit
+  kUnknown,        // could not be determined (LogDiver only)
+};
+
+const char* AppOutcomeName(AppOutcome outcome);
+
+struct Application {
+  ApId apid = 0;
+  JobId jobid = 0;
+  std::uint32_t seq = 0;  // position within the job's aprun sequence
+  TimePoint start;
+  TimePoint end;
+  int exit_code = 0;
+  int exit_signal = 0;  // 0 = exited normally, else the fatal signal
+  /// Set when ALPS itself observed the compute-node loss and recorded a
+  /// "killed: node failure" event — definitive system evidence even when
+  /// the underlying hardware error escaped the RAS logs.
+  bool alps_node_failure = false;
+  /// True if the run never happened (its job was torn down by an earlier
+  /// system kill); cancelled runs appear in no log and no metric.
+  bool cancelled = false;
+  /// Ground truth assigned by the generator (success / user / walltime)
+  /// and later overridden by the fault injector for system kills.
+  AppOutcome truth = AppOutcome::kSuccess;
+
+  Duration duration() const { return end - start; }
+  /// Node-hours consumed, given the owning job's node count.
+  double NodeHours(std::uint32_t nodect) const {
+    return duration().hours() * static_cast<double>(nodect);
+  }
+};
+
+struct Job {
+  JobId jobid = 0;
+  UserId user = 0;
+  std::string user_name;
+  std::string queue;
+  std::string job_name;
+  NodeType node_type = NodeType::kXE;
+  std::vector<NodeIndex> nodes;  // the reservation; apps run on these
+  TimePoint submit;
+  TimePoint start;
+  TimePoint end;
+  Duration walltime_limit{0};
+  int exit_status = 0;  // Torque accounting Exit_status
+  std::vector<std::size_t> app_indices;  // indices into Workload::apps
+
+  std::uint32_t nodect() const {
+    return static_cast<std::uint32_t>(nodes.size());
+  }
+};
+
+/// A generated campaign: all jobs and application runs, time-ordered by
+/// job start.  Applications are stored flat so the fault injector and
+/// the emitters can iterate them without chasing per-job vectors.
+struct Workload {
+  std::vector<Job> jobs;
+  std::vector<Application> apps;
+
+  const Job& job_of(const Application& app) const;
+  double TotalNodeHours() const;
+};
+
+}  // namespace ld

@@ -1,0 +1,79 @@
+#include "analysis/bootstrap.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ld {
+namespace {
+
+TEST(BootstrapRatioCi, PointEstimateExact) {
+  Rng rng(1);
+  auto ci = BootstrapRatioCi({1.0, 0.0, 1.0, 0.0}, {1.0, 1.0, 1.0, 1.0}, 200,
+                             rng);
+  ASSERT_TRUE(ci.ok());
+  EXPECT_DOUBLE_EQ(ci->point, 0.5);
+  EXPECT_LE(ci->lo, ci->point);
+  EXPECT_GE(ci->hi, ci->point);
+}
+
+TEST(BootstrapRatioCi, Rejections) {
+  Rng rng(1);
+  EXPECT_FALSE(BootstrapRatioCi({}, {}, 100, rng).ok());
+  EXPECT_FALSE(BootstrapRatioCi({1.0}, {1.0, 2.0}, 100, rng).ok());
+  EXPECT_FALSE(BootstrapRatioCi({1.0}, {0.0}, 100, rng).ok());
+  EXPECT_FALSE(BootstrapRatioCi({1.0}, {1.0}, 0, rng).ok());
+}
+
+TEST(BootstrapRatioCi, IntervalNarrowsWithSampleSize) {
+  Rng rng(2);
+  auto width = [&rng](std::size_t n) {
+    std::vector<double> num(n), den(n, 1.0);
+    Rng gen(7);
+    for (std::size_t i = 0; i < n; ++i) num[i] = gen.Bernoulli(0.2) ? 1.0 : 0.0;
+    auto ci = BootstrapRatioCi(num, den, 300, rng);
+    EXPECT_TRUE(ci.ok());
+    return ci->hi - ci->lo;
+  };
+  EXPECT_GT(width(50), width(5000));
+}
+
+TEST(BootstrapRatioCi, HeavyTailWidensInterval) {
+  // One huge denominator item dominating the ratio makes the CI wide —
+  // the exact phenomenon that motivates bootstrapping A3.
+  Rng rng(3);
+  std::vector<double> num(200, 0.0), den(200, 1.0);
+  num[0] = 500.0;
+  den[0] = 500.0;  // one run is 70% of all node-hours and it failed
+  auto ci = BootstrapRatioCi(num, den, 500, rng);
+  ASSERT_TRUE(ci.ok());
+  EXPECT_GT(ci->hi - ci->lo, 0.3);
+  EXPECT_NEAR(ci->point, 500.0 / 699.0, 1e-9);
+}
+
+AppRun NodeHoursRun(std::uint32_t nodect, std::int64_t hours) {
+  AppRun run;
+  run.nodect = nodect;
+  run.start = TimePoint(0);
+  run.end = TimePoint(hours * 3600);
+  return run;
+}
+
+TEST(BootstrapHeadlines, LostShareAndFraction) {
+  std::vector<AppRun> runs = {NodeHoursRun(1, 1), NodeHoursRun(100, 10),
+                              NodeHoursRun(1, 1), NodeHoursRun(1, 1)};
+  std::vector<ClassifiedRun> classified(4);
+  for (std::uint32_t i = 0; i < 4; ++i) {
+    classified[i].run_index = i;
+    classified[i].outcome =
+        i == 1 ? AppOutcome::kSystemFailure : AppOutcome::kSuccess;
+  }
+  Rng rng(4);
+  auto lost = BootstrapLostShareCi(runs, classified, 300, rng);
+  ASSERT_TRUE(lost.ok());
+  EXPECT_NEAR(lost->point, 1000.0 / 1003.0, 1e-9);
+  auto frac = BootstrapFailureFractionCi(runs, classified, 300, rng);
+  ASSERT_TRUE(frac.ok());
+  EXPECT_DOUBLE_EQ(frac->point, 0.25);
+}
+
+}  // namespace
+}  // namespace ld

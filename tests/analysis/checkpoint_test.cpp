@@ -1,0 +1,145 @@
+#include "analysis/checkpoint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace ld {
+namespace {
+
+TEST(DalyInterval, Formula) {
+  EXPECT_DOUBLE_EQ(DalyInterval(0.08, 25.0), 2.0);  // sqrt(2*0.08*25) = 2
+  EXPECT_DOUBLE_EQ(DalyInterval(0.0, 10.0), 0.0);
+  EXPECT_THROW(DalyInterval(0.1, 0.0), std::logic_error);
+}
+
+TEST(CheckpointSim, NoFailuresFinishExactly) {
+  CheckpointRunConfig config;
+  config.work_hours = 10.0;
+  config.checkpoint_cost_hours = 0.1;
+  config.interval_hours = 1.0;
+  Rng rng(1);
+  // Effectively no interruptions.
+  const CheckpointRunResult run = SimulateCheckpointRun(config, 1e12, rng);
+  ASSERT_TRUE(run.completed);
+  EXPECT_EQ(run.interruptions, 0u);
+  // 10 segments of 1h, 9 intermediate checkpoints of 0.1h.
+  EXPECT_NEAR(run.makespan_hours, 10.0 + 9 * 0.1, 1e-9);
+  EXPECT_NEAR(run.useful_fraction, 10.0 / 10.9, 1e-9);
+}
+
+TEST(CheckpointSim, NoCheckpointingLosesEverything) {
+  CheckpointRunConfig config;
+  config.work_hours = 5.0;
+  config.interval_hours = 0.0;  // none
+  config.restart_cost_hours = 0.0;
+  Rng rng(2);
+  // MTTI comparable to the work: many total restarts expected.
+  const CheckpointRunResult run = SimulateCheckpointRun(config, 5.0, rng);
+  if (run.completed) {
+    // Whatever happened, useful fraction cannot exceed 1 and the
+    // makespan must be >= the raw work.
+    EXPECT_GE(run.makespan_hours, 5.0);
+    EXPECT_LE(run.useful_fraction, 1.0);
+  }
+}
+
+TEST(CheckpointSim, CheckpointingBeatsNoneUnderFrequentFailures) {
+  CheckpointRunConfig with;
+  with.work_hours = 20.0;
+  with.checkpoint_cost_hours = 0.05;
+  with.restart_cost_hours = 0.05;
+  with.interval_hours = 1.0;
+  CheckpointRunConfig without = with;
+  without.interval_hours = 0.0;
+  without.max_makespan_hours = 100000.0;
+
+  Rng rng(3);
+  const CheckpointStudy ckpt = RunCheckpointStudy(with, 10.0, 200, rng);
+  const CheckpointStudy none = RunCheckpointStudy(without, 10.0, 200, rng);
+  EXPECT_EQ(ckpt.completion_rate, 1.0);
+  EXPECT_LT(ckpt.mean_makespan_hours, none.mean_makespan_hours);
+  EXPECT_GT(ckpt.mean_useful_fraction, none.mean_useful_fraction);
+}
+
+TEST(CheckpointSim, DalyIntervalNearOptimal) {
+  // Sweep intervals around Daly's tau*; the simulated makespan at tau*
+  // must be within a few percent of the sweep's best.
+  const double mtti = 25.0;
+  const double cost = 0.08;
+  const double tau_star = DalyInterval(cost, mtti);  // = 2.0
+
+  auto makespan_at = [&](double tau) {
+    CheckpointRunConfig config;
+    config.work_hours = 50.0;
+    config.checkpoint_cost_hours = cost;
+    config.restart_cost_hours = cost;
+    config.interval_hours = tau;
+    Rng rng(7);
+    return RunCheckpointStudy(config, mtti, 400, rng).mean_makespan_hours;
+  };
+
+  const double at_star = makespan_at(tau_star);
+  double best = at_star;
+  for (double tau : {0.25, 0.5, 1.0, 2.0, 4.0, 8.0, 16.0}) {
+    best = std::min(best, makespan_at(tau));
+  }
+  EXPECT_LT(at_star, best * 1.05);
+  // And the extremes must be clearly worse.
+  EXPECT_GT(makespan_at(0.25), at_star * 1.02);
+  EXPECT_GT(makespan_at(16.0), at_star * 1.02);
+}
+
+TEST(CheckpointSim, MoreFailuresWithLowerMtti) {
+  CheckpointRunConfig config;
+  config.work_hours = 30.0;
+  config.checkpoint_cost_hours = 0.05;
+  config.interval_hours = 1.0;
+  Rng rng1(5), rng2(5);
+  const CheckpointStudy frequent = RunCheckpointStudy(config, 5.0, 100, rng1);
+  const CheckpointStudy rare = RunCheckpointStudy(config, 500.0, 100, rng2);
+  EXPECT_GT(frequent.mean_interruptions, rare.mean_interruptions);
+  EXPECT_GT(frequent.mean_makespan_hours, rare.mean_makespan_hours);
+}
+
+TEST(CheckpointSim, SafetyValveDeclaresFailure) {
+  CheckpointRunConfig config;
+  config.work_hours = 100.0;
+  config.interval_hours = 0.0;   // no checkpoints
+  config.max_makespan_hours = 50.0;  // cannot possibly finish
+  Rng rng(6);
+  const CheckpointRunResult run = SimulateCheckpointRun(config, 1.0, rng);
+  EXPECT_FALSE(run.completed);
+  EXPECT_GE(run.makespan_hours, 50.0);
+}
+
+TEST(CheckpointSim, DistributionSamplerMatchesExponential) {
+  // Sampling gaps from an ExponentialDist must agree (statistically)
+  // with the rate-based path.
+  CheckpointRunConfig config;
+  config.work_hours = 20.0;
+  config.checkpoint_cost_hours = 0.05;
+  config.interval_hours = 1.0;
+
+  const double mtti = 8.0;
+  Rng rng1(9), rng2(9);
+  double direct = 0.0, via_dist = 0.0;
+  const ExponentialDist dist(1.0 / mtti);
+  for (int i = 0; i < 150; ++i) {
+    direct += SimulateCheckpointRun(config, mtti, rng1).makespan_hours;
+    via_dist += SimulateCheckpointRun(config, dist, rng2).makespan_hours;
+  }
+  EXPECT_NEAR(via_dist / direct, 1.0, 0.08);
+}
+
+TEST(CheckpointSim, RejectsBadConfig) {
+  CheckpointRunConfig config;
+  config.work_hours = 0.0;
+  Rng rng(1);
+  EXPECT_THROW(SimulateCheckpointRun(config, 10.0, rng), std::logic_error);
+  config.work_hours = 1.0;
+  EXPECT_THROW(SimulateCheckpointRun(config, 0.0, rng), std::logic_error);
+}
+
+}  // namespace
+}  // namespace ld

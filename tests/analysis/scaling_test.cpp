@@ -1,0 +1,154 @@
+#include "analysis/scaling.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+
+namespace ld {
+namespace {
+
+ScalePoint Point(std::uint32_t lo, std::uint32_t hi, std::uint64_t runs,
+                 std::uint64_t failures) {
+  ScalePoint p;
+  p.lo = lo;
+  p.hi = hi;
+  p.runs = runs;
+  p.system_failures = failures;
+  p.failure_probability = WilsonInterval(failures, runs);
+  return p;
+}
+
+TEST(FitScaleCurve, RecoversLinearExposureModel) {
+  // Generate points from P = 1 - exp(-c*N) with c = 1e-5 (exponent 1).
+  std::vector<ScalePoint> points;
+  for (std::uint32_t n : {100u, 1000u, 10000u, 20000u}) {
+    const double p = 1.0 - std::exp(-1e-5 * n);
+    const std::uint64_t runs = 1000000;
+    points.push_back(
+        Point(n, n, runs, static_cast<std::uint64_t>(p * runs)));
+  }
+  auto fit = FitScaleCurve(points);
+  ASSERT_TRUE(fit.ok());
+  EXPECT_NEAR(fit->exponent, 1.0, 0.02);
+  EXPECT_GT(fit->r_squared, 0.999);
+  EXPECT_NEAR(fit->Predict(10000), 1.0 - std::exp(-0.1), 0.005);
+}
+
+TEST(FitScaleCurve, DetectsSuperlinearity) {
+  // P = 1 - exp(-(c*N)^2): exponent 2.
+  std::vector<ScalePoint> points;
+  for (std::uint32_t n : {100u, 1000u, 5000u, 20000u}) {
+    const double z = 2e-5 * n;
+    const double p = 1.0 - std::exp(-z * z);
+    points.push_back(
+        Point(n, n, 1000000, static_cast<std::uint64_t>(p * 1000000)));
+  }
+  auto fit = FitScaleCurve(points);
+  ASSERT_TRUE(fit.ok());
+  EXPECT_NEAR(fit->exponent, 2.0, 0.1);
+}
+
+TEST(FitScaleCurve, SkipsDegenerateBuckets) {
+  std::vector<ScalePoint> points = {
+      Point(1, 1, 0, 0),          // no runs
+      Point(10, 10, 100, 0),      // p == 0
+      Point(100, 100, 100, 100),  // p == 1
+      Point(1000, 1000, 1000, 10),
+  };
+  // Only one usable bucket -> error.
+  EXPECT_FALSE(FitScaleCurve(points).ok());
+  points.push_back(Point(5000, 5000, 1000, 200));
+  EXPECT_TRUE(FitScaleCurve(points).ok());
+}
+
+TEST(InterpolateScaleCurve, InterpolatesAndClamps) {
+  std::vector<ScalePoint> points = {
+      Point(1, 1, 100, 1),          // p = 0.01 at N=1
+      Point(100, 100, 100, 10),     // p = 0.10 at N=100
+      Point(10000, 10000, 100, 40), // p = 0.40 at N=10000
+  };
+  // Below and above the curve: clamp to the edge buckets.
+  EXPECT_NEAR(InterpolateScaleCurve(points, 0.5).value(), 0.01, 1e-12);
+  EXPECT_NEAR(InterpolateScaleCurve(points, 1e6).value(), 0.40, 1e-12);
+  // At a midpoint: exact.
+  EXPECT_NEAR(InterpolateScaleCurve(points, 100).value(), 0.10, 1e-12);
+  // Log-linear between N=100 and N=10000: N=1000 is halfway in log space.
+  EXPECT_NEAR(InterpolateScaleCurve(points, 1000).value(), 0.25, 1e-9);
+}
+
+TEST(InterpolateScaleCurve, SkipsEmptyBucketsAndRejectsBadInput) {
+  std::vector<ScalePoint> points = {Point(1, 1, 0, 0), Point(10, 10, 50, 5)};
+  EXPECT_NEAR(InterpolateScaleCurve(points, 3).value(), 0.1, 1e-12);
+  EXPECT_FALSE(InterpolateScaleCurve({}, 10).ok());
+  EXPECT_FALSE(InterpolateScaleCurve(points, 0.0).ok());
+  EXPECT_FALSE(InterpolateScaleCurve({Point(1, 1, 0, 0)}, 5).ok());
+}
+
+TEST(InterruptionGaps, ComputedFromSortedFailures) {
+  std::vector<AppRun> runs(3);
+  runs[0].end = TimePoint(3600 * 10);
+  runs[1].end = TimePoint(3600 * 2);
+  runs[2].end = TimePoint(3600 * 5);
+  std::vector<ClassifiedRun> classified;
+  for (std::uint32_t i = 0; i < 3; ++i) {
+    ClassifiedRun cls;
+    cls.run_index = i;
+    cls.outcome = AppOutcome::kSystemFailure;
+    classified.push_back(cls);
+  }
+  const auto gaps = InterruptionGapsHours(runs, classified);
+  ASSERT_EQ(gaps.size(), 2u);
+  EXPECT_DOUBLE_EQ(gaps[0], 3.0);  // 2h -> 5h
+  EXPECT_DOUBLE_EQ(gaps[1], 5.0);  // 5h -> 10h
+}
+
+TEST(InterruptionGaps, IgnoresNonSystemOutcomes) {
+  std::vector<AppRun> runs(2);
+  runs[0].end = TimePoint(100);
+  runs[1].end = TimePoint(200);
+  std::vector<ClassifiedRun> classified(2);
+  classified[0].run_index = 0;
+  classified[0].outcome = AppOutcome::kUserFailure;
+  classified[1].run_index = 1;
+  classified[1].outcome = AppOutcome::kSuccess;
+  EXPECT_TRUE(InterruptionGapsHours(runs, classified).empty());
+}
+
+TEST(FitInterruptionGaps, NeedsEnoughData) {
+  std::vector<AppRun> runs(3);
+  std::vector<ClassifiedRun> classified(3);
+  for (std::uint32_t i = 0; i < 3; ++i) {
+    runs[i].end = TimePoint(i * 1000);
+    classified[i].run_index = i;
+    classified[i].outcome = AppOutcome::kSystemFailure;
+  }
+  EXPECT_FALSE(FitInterruptionGaps(runs, classified).ok());
+}
+
+TEST(FitInterruptionGaps, FitsExponentialArrivals) {
+  // Poisson failure arrivals -> exponential gaps.
+  Rng rng(9);
+  std::vector<AppRun> runs;
+  std::vector<ClassifiedRun> classified;
+  double clock = 0.0;
+  for (int i = 0; i < 2000; ++i) {
+    clock += rng.Exponential(1.0 / 7200.0);  // mean 2h in seconds
+    AppRun run;
+    run.end = TimePoint(static_cast<std::int64_t>(clock));
+    runs.push_back(run);
+    ClassifiedRun cls;
+    cls.run_index = static_cast<std::uint32_t>(i);
+    cls.outcome = AppOutcome::kSystemFailure;
+    classified.push_back(cls);
+  }
+  auto fits = FitInterruptionGaps(runs, classified);
+  ASSERT_TRUE(fits.ok());
+  ASSERT_FALSE(fits->empty());
+  // Mean of the best fit should be near 2 hours.
+  EXPECT_NEAR(fits->front()->Mean(), 2.0, 0.15);
+}
+
+}  // namespace
+}  // namespace ld

@@ -1,0 +1,133 @@
+#include "analysis/scoring.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+namespace ld {
+namespace {
+
+AppRun MakeRun(ApId apid) {
+  AppRun run;
+  run.apid = apid;
+  run.nodect = 1;
+  run.has_termination = true;
+  return run;
+}
+
+ClassifiedRun Cls(std::uint32_t idx, AppOutcome outcome,
+                  ErrorCategory cause = ErrorCategory::kUnknown) {
+  ClassifiedRun cls;
+  cls.run_index = idx;
+  cls.outcome = outcome;
+  cls.cause = cause;
+  return cls;
+}
+
+TruthRecord Truth(ApId apid, AppOutcome outcome,
+                  ErrorCategory cause = ErrorCategory::kUnknown) {
+  TruthRecord rec;
+  rec.apid = apid;
+  rec.outcome = outcome;
+  rec.cause = cause;
+  return rec;
+}
+
+TEST(Scoring, PerfectClassification) {
+  const std::vector<AppRun> runs = {MakeRun(1), MakeRun(2)};
+  const std::vector<ClassifiedRun> classified = {
+      Cls(0, AppOutcome::kSuccess),
+      Cls(1, AppOutcome::kSystemFailure, ErrorCategory::kLustre)};
+  std::unordered_map<ApId, TruthRecord> truth;
+  truth.emplace(1, Truth(1, AppOutcome::kSuccess));
+  truth.emplace(2, Truth(2, AppOutcome::kSystemFailure, ErrorCategory::kLustre));
+  const ScoreReport report = ScoreClassification(runs, classified, truth);
+  EXPECT_EQ(report.scored_runs, 2u);
+  EXPECT_DOUBLE_EQ(report.overall_accuracy, 1.0);
+  EXPECT_DOUBLE_EQ(report.system_precision, 1.0);
+  EXPECT_DOUBLE_EQ(report.system_recall, 1.0);
+  EXPECT_DOUBLE_EQ(report.system_f1, 1.0);
+  EXPECT_DOUBLE_EQ(report.cause_accuracy, 1.0);
+  EXPECT_DOUBLE_EQ(report.cause_unattributed, 0.0);
+}
+
+TEST(Scoring, FalsePositiveAndNegative) {
+  const std::vector<AppRun> runs = {MakeRun(1), MakeRun(2), MakeRun(3),
+                                    MakeRun(4)};
+  const std::vector<ClassifiedRun> classified = {
+      Cls(0, AppOutcome::kSystemFailure, ErrorCategory::kLustre),  // FP
+      Cls(1, AppOutcome::kUserFailure),                            // FN
+      Cls(2, AppOutcome::kSystemFailure, ErrorCategory::kMemoryUE),  // TP
+      Cls(3, AppOutcome::kSuccess),                                 // TN
+  };
+  std::unordered_map<ApId, TruthRecord> truth;
+  truth.emplace(1, Truth(1, AppOutcome::kUserFailure));
+  truth.emplace(2, Truth(2, AppOutcome::kSystemFailure, ErrorCategory::kGpuDbe));
+  truth.emplace(3, Truth(3, AppOutcome::kSystemFailure, ErrorCategory::kMemoryUE));
+  truth.emplace(4, Truth(4, AppOutcome::kSuccess));
+  const ScoreReport report = ScoreClassification(runs, classified, truth);
+  EXPECT_DOUBLE_EQ(report.system_precision, 0.5);
+  EXPECT_DOUBLE_EQ(report.system_recall, 0.5);
+  EXPECT_DOUBLE_EQ(report.overall_accuracy, 0.5);
+  // Confusion matrix entries.
+  const auto ti = static_cast<std::size_t>(AppOutcome::kSystemFailure);
+  const auto pi = static_cast<std::size_t>(AppOutcome::kUserFailure);
+  EXPECT_EQ(report.confusion[ti][pi], 1u);
+}
+
+TEST(Scoring, CauseUnattributedCounted) {
+  const std::vector<AppRun> runs = {MakeRun(1), MakeRun(2)};
+  const std::vector<ClassifiedRun> classified = {
+      Cls(0, AppOutcome::kSystemFailure, ErrorCategory::kUnknown),
+      Cls(1, AppOutcome::kSystemFailure, ErrorCategory::kLustre)};
+  std::unordered_map<ApId, TruthRecord> truth;
+  truth.emplace(1, Truth(1, AppOutcome::kSystemFailure, ErrorCategory::kGpuDbe));
+  truth.emplace(2, Truth(2, AppOutcome::kSystemFailure, ErrorCategory::kLustre));
+  const ScoreReport report = ScoreClassification(runs, classified, truth);
+  EXPECT_DOUBLE_EQ(report.cause_accuracy, 0.5);
+  EXPECT_DOUBLE_EQ(report.cause_unattributed, 0.5);
+}
+
+TEST(Scoring, MissingTruthCounted) {
+  const std::vector<AppRun> runs = {MakeRun(1)};
+  const std::vector<ClassifiedRun> classified = {Cls(0, AppOutcome::kSuccess)};
+  const ScoreReport report = ScoreClassification(runs, classified, {});
+  EXPECT_EQ(report.scored_runs, 0u);
+  EXPECT_EQ(report.missing_truth, 1u);
+}
+
+TEST(Scoring, LoadGroundTruthRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/truth_test.csv";
+  {
+    std::ofstream f(path);
+    f << "apid,outcome,cause,event_id,cause_detected\n";
+    f << "100,success,,0,0\n";
+    f << "101,system_failure,gpu_dbe,42,1\n";
+    f << "102,user_failure,,0,0\n";
+  }
+  auto truth = LoadGroundTruth(path);
+  ASSERT_TRUE(truth.ok());
+  ASSERT_EQ(truth->size(), 3u);
+  EXPECT_EQ(truth->at(100).outcome, AppOutcome::kSuccess);
+  EXPECT_EQ(truth->at(101).outcome, AppOutcome::kSystemFailure);
+  EXPECT_EQ(truth->at(101).cause, ErrorCategory::kGpuDbe);
+  EXPECT_EQ(truth->at(101).event_id, 42u);
+  EXPECT_TRUE(truth->at(101).cause_detected);
+  std::remove(path.c_str());
+}
+
+TEST(Scoring, LoadGroundTruthRejectsBadRows) {
+  const std::string path = ::testing::TempDir() + "/truth_bad.csv";
+  {
+    std::ofstream f(path);
+    f << "apid,outcome,cause,event_id,cause_detected\n";
+    f << "100,not_an_outcome,,0,0\n";
+  }
+  EXPECT_FALSE(LoadGroundTruth(path).ok());
+  std::remove(path.c_str());
+  EXPECT_FALSE(LoadGroundTruth("/nonexistent.csv").ok());
+}
+
+}  // namespace
+}  // namespace ld

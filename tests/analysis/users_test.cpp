@@ -1,0 +1,85 @@
+#include "analysis/users.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ld {
+namespace {
+
+AppRun MakeRun(ApId apid, const std::string& user, std::uint32_t nodect,
+               std::int64_t hours) {
+  AppRun run;
+  run.apid = apid;
+  run.user = user;
+  run.nodect = nodect;
+  run.start = TimePoint(0);
+  run.end = TimePoint(hours * 3600);
+  run.has_termination = true;
+  return run;
+}
+
+ClassifiedRun Cls(std::uint32_t idx, AppOutcome outcome) {
+  ClassifiedRun cls;
+  cls.run_index = idx;
+  cls.outcome = outcome;
+  return cls;
+}
+
+TEST(UserImpact, AggregatesPerUser) {
+  std::vector<AppRun> runs = {
+      MakeRun(1, "alice", 10, 2),  // 20 nh
+      MakeRun(2, "alice", 10, 1),  // 10 nh
+      MakeRun(3, "bob", 100, 3),   // 300 nh
+  };
+  std::vector<ClassifiedRun> classified = {
+      Cls(0, AppOutcome::kSuccess),
+      Cls(1, AppOutcome::kSystemFailure),
+      Cls(2, AppOutcome::kUserFailure),
+  };
+  const UserImpactReport report = ComputeUserImpact(runs, classified);
+  ASSERT_EQ(report.rows.size(), 2u);
+  // alice leads: she lost node-hours, bob lost none.
+  EXPECT_EQ(report.rows[0].user, "alice");
+  EXPECT_EQ(report.rows[0].runs, 2u);
+  EXPECT_EQ(report.rows[0].system_failures, 1u);
+  EXPECT_DOUBLE_EQ(report.rows[0].lost_node_hours, 10.0);
+  EXPECT_DOUBLE_EQ(report.rows[0].SystemFailureRate(), 0.5);
+  EXPECT_EQ(report.rows[1].user, "bob");
+  EXPECT_EQ(report.rows[1].user_failures, 1u);
+  EXPECT_DOUBLE_EQ(report.rows[1].lost_node_hours, 0.0);
+  EXPECT_DOUBLE_EQ(report.total_lost_node_hours, 10.0);
+}
+
+TEST(UserImpact, TopDecileShare) {
+  std::vector<AppRun> runs;
+  std::vector<ClassifiedRun> classified;
+  // 20 users; user u00 loses 100 nh, the rest lose 1 nh each.
+  for (int u = 0; u < 20; ++u) {
+    char name[8];
+    std::snprintf(name, sizeof(name), "u%02d", u);
+    runs.push_back(MakeRun(static_cast<ApId>(u + 1), name,
+                           u == 0 ? 100 : 1, 1));
+    classified.push_back(
+        Cls(static_cast<std::uint32_t>(u), AppOutcome::kSystemFailure));
+  }
+  const UserImpactReport report = ComputeUserImpact(runs, classified);
+  ASSERT_EQ(report.rows.size(), 20u);
+  EXPECT_EQ(report.rows[0].user, "u00");
+  // Top decile = 2 users = 100 + 1 of 119 total.
+  EXPECT_NEAR(report.top_decile_lost_share, 101.0 / 119.0, 1e-12);
+}
+
+TEST(UserImpact, EmptyInput) {
+  const UserImpactReport report = ComputeUserImpact({}, {});
+  EXPECT_TRUE(report.rows.empty());
+  EXPECT_EQ(report.top_decile_lost_share, 0.0);
+}
+
+TEST(UserImpact, NoLossesNoShare) {
+  std::vector<AppRun> runs = {MakeRun(1, "alice", 1, 1)};
+  std::vector<ClassifiedRun> classified = {Cls(0, AppOutcome::kSuccess)};
+  const UserImpactReport report = ComputeUserImpact(runs, classified);
+  EXPECT_EQ(report.top_decile_lost_share, 0.0);
+}
+
+}  // namespace
+}  // namespace ld

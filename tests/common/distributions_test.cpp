@@ -1,0 +1,115 @@
+#include "common/distributions.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+
+namespace ld {
+namespace {
+
+TEST(ExponentialDist, PdfCdfMean) {
+  ExponentialDist d(2.0);
+  EXPECT_DOUBLE_EQ(d.Mean(), 0.5);
+  EXPECT_DOUBLE_EQ(d.Pdf(-1.0), 0.0);
+  EXPECT_DOUBLE_EQ(d.Cdf(-1.0), 0.0);
+  EXPECT_NEAR(d.Cdf(0.5), 1.0 - std::exp(-1.0), 1e-12);
+  EXPECT_NEAR(d.Pdf(0.0), 2.0, 1e-12);
+}
+
+TEST(ExponentialDist, FitRecoversRate) {
+  Rng rng(1);
+  std::vector<double> sample;
+  for (int i = 0; i < 50000; ++i) sample.push_back(rng.Exponential(0.25));
+  auto fit = ExponentialDist::Fit(sample);
+  ASSERT_TRUE(fit.ok());
+  EXPECT_NEAR(fit->rate(), 0.25, 0.01);
+}
+
+TEST(WeibullDist, CdfAtScale) {
+  WeibullDist d(2.0, 3.0);
+  // F(scale) = 1 - e^-1 for any shape.
+  EXPECT_NEAR(d.Cdf(3.0), 1.0 - std::exp(-1.0), 1e-12);
+  EXPECT_DOUBLE_EQ(d.Cdf(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(d.Pdf(-2.0), 0.0);
+}
+
+TEST(WeibullDist, MeanViaGamma) {
+  WeibullDist d(1.0, 5.0);  // reduces to Exponential(1/5)
+  EXPECT_NEAR(d.Mean(), 5.0, 1e-9);
+}
+
+TEST(WeibullDist, FitRecoversParameters) {
+  Rng rng(2);
+  std::vector<double> sample;
+  for (int i = 0; i < 50000; ++i) sample.push_back(rng.Weibull(0.8, 40.0));
+  auto fit = WeibullDist::Fit(sample);
+  ASSERT_TRUE(fit.ok());
+  EXPECT_NEAR(fit->shape(), 0.8, 0.02);
+  EXPECT_NEAR(fit->scale(), 40.0, 1.5);
+}
+
+TEST(LogNormalDist, FitRecoversParameters) {
+  Rng rng(3);
+  std::vector<double> sample;
+  for (int i = 0; i < 50000; ++i) sample.push_back(rng.LogNormal(1.5, 0.6));
+  auto fit = LogNormalDist::Fit(sample);
+  ASSERT_TRUE(fit.ok());
+  EXPECT_NEAR(fit->mu(), 1.5, 0.02);
+  EXPECT_NEAR(fit->sigma(), 0.6, 0.02);
+  EXPECT_NEAR(fit->Mean(), std::exp(1.5 + 0.18), 0.2);
+}
+
+TEST(Fitting, RejectsBadSamples) {
+  EXPECT_FALSE(ExponentialDist::Fit({}).ok());
+  EXPECT_FALSE(WeibullDist::Fit({1.0, -2.0}).ok());
+  EXPECT_FALSE(LogNormalDist::Fit({0.0, 1.0}).ok());
+  EXPECT_FALSE(FitAll({}).ok());
+}
+
+TEST(FitAll, PicksGeneratingFamilyFirst) {
+  // A strongly lognormal sample should rank lognormal best by AIC.
+  Rng rng(4);
+  std::vector<double> sample;
+  for (int i = 0; i < 20000; ++i) sample.push_back(rng.LogNormal(2.0, 1.2));
+  auto fits = FitAll(sample);
+  ASSERT_TRUE(fits.ok());
+  ASSERT_EQ(fits->size(), 3u);
+  EXPECT_EQ((*fits)[0]->name(), "lognormal");
+}
+
+TEST(FitAll, WeibullSampleRanksWeibullOverExponential) {
+  Rng rng(5);
+  std::vector<double> sample;
+  for (int i = 0; i < 20000; ++i) sample.push_back(rng.Weibull(0.6, 10.0));
+  auto fits = FitAll(sample);
+  ASSERT_TRUE(fits.ok());
+  // Find positions.
+  int weibull_pos = -1, exp_pos = -1;
+  for (int i = 0; i < 3; ++i) {
+    if ((*fits)[i]->name() == "weibull") weibull_pos = i;
+    if ((*fits)[i]->name() == "exponential") exp_pos = i;
+  }
+  EXPECT_LT(weibull_pos, exp_pos);
+}
+
+TEST(KsStatistic, SmallForMatchingDistribution) {
+  Rng rng(6);
+  std::vector<double> sample;
+  for (int i = 0; i < 20000; ++i) sample.push_back(rng.Exponential(1.0));
+  const double d_match = KsStatistic(sample, ExponentialDist(1.0));
+  const double d_mismatch = KsStatistic(sample, ExponentialDist(5.0));
+  EXPECT_LT(d_match, 0.02);
+  EXPECT_GT(d_mismatch, 0.3);
+}
+
+TEST(Distribution, LogLikelihoodAndAic) {
+  ExponentialDist d(1.0);
+  const std::vector<double> sample = {1.0, 2.0};
+  EXPECT_NEAR(d.LogLikelihood(sample), -3.0, 1e-12);
+  EXPECT_NEAR(d.Aic(sample), 2.0 + 6.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace ld

@@ -1,0 +1,93 @@
+#include "common/interval.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ld {
+namespace {
+
+Interval Iv(std::int64_t a, std::int64_t b) {
+  return Interval{TimePoint(a), TimePoint(b)};
+}
+
+TEST(Interval, EmptyAndLength) {
+  EXPECT_TRUE(Iv(5, 5).empty());
+  EXPECT_TRUE(Iv(5, 3).empty());
+  EXPECT_EQ(Iv(5, 3).length().seconds(), 0);
+  EXPECT_EQ(Iv(2, 10).length().seconds(), 8);
+}
+
+TEST(Interval, ContainsHalfOpen) {
+  const Interval iv = Iv(10, 20);
+  EXPECT_TRUE(iv.Contains(TimePoint(10)));
+  EXPECT_TRUE(iv.Contains(TimePoint(19)));
+  EXPECT_FALSE(iv.Contains(TimePoint(20)));
+  EXPECT_FALSE(iv.Contains(TimePoint(9)));
+}
+
+TEST(Interval, Overlaps) {
+  EXPECT_TRUE(Iv(0, 10).Overlaps(Iv(5, 15)));
+  EXPECT_FALSE(Iv(0, 10).Overlaps(Iv(10, 20)));  // touching, half-open
+  EXPECT_TRUE(Iv(0, 100).Overlaps(Iv(40, 50)));  // containment
+}
+
+TEST(Interval, IntersectAndInflate) {
+  EXPECT_EQ(Iv(0, 10).Intersect(Iv(5, 15)), Iv(5, 10));
+  EXPECT_TRUE(Iv(0, 10).Intersect(Iv(20, 30)).empty());
+  EXPECT_EQ(Iv(10, 20).Inflate(Duration(3)), Iv(7, 23));
+}
+
+TEST(IntervalSet, AddDisjoint) {
+  IntervalSet set;
+  set.Add(Iv(0, 10));
+  set.Add(Iv(20, 30));
+  EXPECT_EQ(set.size(), 2u);
+  EXPECT_EQ(set.TotalLength().seconds(), 20);
+}
+
+TEST(IntervalSet, MergesOverlapping) {
+  IntervalSet set;
+  set.Add(Iv(0, 10));
+  set.Add(Iv(5, 15));
+  set.Add(Iv(15, 20));  // touching merges too
+  EXPECT_EQ(set.size(), 1u);
+  EXPECT_EQ(set.TotalLength().seconds(), 20);
+}
+
+TEST(IntervalSet, MergeBridgesGaps) {
+  IntervalSet set;
+  set.Add(Iv(0, 5));
+  set.Add(Iv(10, 15));
+  set.Add(Iv(4, 11));  // bridges both
+  EXPECT_EQ(set.size(), 1u);
+  EXPECT_EQ(set.intervals()[0], Iv(0, 15));
+}
+
+TEST(IntervalSet, IgnoresEmpty) {
+  IntervalSet set;
+  set.Add(Iv(7, 7));
+  EXPECT_EQ(set.size(), 0u);
+}
+
+TEST(IntervalSet, Contains) {
+  IntervalSet set;
+  set.Add(Iv(0, 10));
+  set.Add(Iv(20, 30));
+  EXPECT_TRUE(set.Contains(TimePoint(5)));
+  EXPECT_FALSE(set.Contains(TimePoint(15)));
+  EXPECT_TRUE(set.Contains(TimePoint(20)));
+  EXPECT_FALSE(set.Contains(TimePoint(30)));
+  EXPECT_FALSE(set.Contains(TimePoint(-1)));
+}
+
+TEST(IntervalSet, OverlapWith) {
+  IntervalSet set;
+  set.Add(Iv(0, 10));
+  set.Add(Iv(20, 30));
+  EXPECT_EQ(set.OverlapWith(Iv(5, 25)).seconds(), 10);  // 5 + 5
+  EXPECT_EQ(set.OverlapWith(Iv(10, 20)).seconds(), 0);
+  EXPECT_EQ(set.OverlapWith(Iv(-5, 100)).seconds(), 20);
+  EXPECT_EQ(set.OverlapWith(Iv(9, 9)).seconds(), 0);  // empty query
+}
+
+}  // namespace
+}  // namespace ld

@@ -1,0 +1,170 @@
+#include "common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace ld {
+namespace {
+
+TEST(Rng, Deterministic) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.NextU64(), b.NextU64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.NextU64() == b.NextU64()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformDoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.UniformDouble();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformIntBounds) {
+  Rng rng(9);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.UniformInt(17), 17u);
+    const std::int64_t v = rng.UniformInt(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+  }
+  EXPECT_THROW(rng.UniformInt(0), std::invalid_argument);
+  EXPECT_THROW(rng.UniformInt(3, 1), std::invalid_argument);
+}
+
+TEST(Rng, UniformIntCoversRange) {
+  Rng rng(11);
+  bool seen[5] = {};
+  for (int i = 0; i < 1000; ++i) seen[rng.UniformInt(5)] = true;
+  for (bool s : seen) EXPECT_TRUE(s);
+}
+
+TEST(Rng, BernoulliExtremes) {
+  Rng rng(1);
+  EXPECT_FALSE(rng.Bernoulli(0.0));
+  EXPECT_TRUE(rng.Bernoulli(1.0));
+  EXPECT_FALSE(rng.Bernoulli(-0.5));
+  EXPECT_TRUE(rng.Bernoulli(1.5));
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng(5);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) hits += rng.Bernoulli(0.3);
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(3);
+  double sum = 0.0, sum2 = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.Normal();
+    sum += x;
+    sum2 += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sum2 / n, 1.0, 0.03);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng(4);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.Exponential(2.0);
+  EXPECT_NEAR(sum / n, 0.5, 0.02);
+  EXPECT_THROW(rng.Exponential(0.0), std::invalid_argument);
+}
+
+TEST(Rng, WeibullReducesToExponential) {
+  // shape=1 Weibull(1, s) has mean s.
+  Rng rng(6);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.Weibull(1.0, 3.0);
+  EXPECT_NEAR(sum / n, 3.0, 0.1);
+}
+
+TEST(Rng, LogNormalMedian) {
+  Rng rng(8);
+  std::vector<double> xs;
+  for (int i = 0; i < 50001; ++i) xs.push_back(rng.LogNormal(std::log(7.0), 0.9));
+  std::nth_element(xs.begin(), xs.begin() + xs.size() / 2, xs.end());
+  EXPECT_NEAR(xs[xs.size() / 2], 7.0, 0.4);
+}
+
+TEST(Rng, PoissonMean) {
+  Rng rng(10);
+  double small_sum = 0.0, big_sum = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    small_sum += static_cast<double>(rng.Poisson(3.5));
+    big_sum += static_cast<double>(rng.Poisson(200.0));
+  }
+  EXPECT_NEAR(small_sum / n, 3.5, 0.1);
+  EXPECT_NEAR(big_sum / n, 200.0, 1.0);
+  EXPECT_EQ(rng.Poisson(0.0), 0u);
+}
+
+TEST(Rng, WeightedIndexRespectsWeights) {
+  Rng rng(12);
+  const std::vector<double> w = {1.0, 0.0, 3.0};
+  int counts[3] = {};
+  for (int i = 0; i < 40000; ++i) ++counts[rng.WeightedIndex(w)];
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / counts[0], 3.0, 0.25);
+  EXPECT_THROW(rng.WeightedIndex({0.0, 0.0}), std::invalid_argument);
+  EXPECT_THROW(rng.WeightedIndex({1.0, -1.0}), std::invalid_argument);
+}
+
+TEST(Rng, ForkIndependentAndDeterministic) {
+  Rng a(99);
+  Rng fork1 = a.Fork("alpha");
+  Rng fork2 = a.Fork("alpha");
+  Rng fork3 = a.Fork("beta");
+  EXPECT_EQ(fork1.NextU64(), fork2.NextU64());
+  EXPECT_NE(fork1.NextU64(), fork3.NextU64());
+}
+
+TEST(HashString, StableAndDistinct) {
+  EXPECT_EQ(HashString("abc"), HashString("abc"));
+  EXPECT_NE(HashString("abc"), HashString("abd"));
+  EXPECT_NE(HashString(""), HashString("a"));
+}
+
+TEST(ZipfSampler, RanksInBounds) {
+  ZipfSampler zipf(50, 1.2);
+  Rng rng(13);
+  for (int i = 0; i < 10000; ++i) {
+    const std::size_t r = zipf.Sample(rng);
+    EXPECT_GE(r, 1u);
+    EXPECT_LE(r, 50u);
+  }
+}
+
+TEST(ZipfSampler, HeavyHead) {
+  ZipfSampler zipf(100, 1.5);
+  Rng rng(14);
+  int rank1 = 0, rank50plus = 0;
+  for (int i = 0; i < 20000; ++i) {
+    const std::size_t r = zipf.Sample(rng);
+    if (r == 1) ++rank1;
+    if (r >= 50) ++rank50plus;
+  }
+  EXPECT_GT(rank1, rank50plus);
+  EXPECT_THROW(ZipfSampler(0, 1.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ld

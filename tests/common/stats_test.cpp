@@ -1,0 +1,137 @@
+#include "common/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace ld {
+namespace {
+
+TEST(RunningStats, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.min(), 0.0);
+  EXPECT_EQ(s.max(), 0.0);
+}
+
+TEST(RunningStats, BasicMoments) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.Add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStats, MergeMatchesSequential) {
+  RunningStats all, a, b;
+  for (int i = 0; i < 100; ++i) {
+    const double x = std::sin(i) * 10.0;
+    all.Add(x);
+    (i < 37 ? a : b).Add(x);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(RunningStats, MergeWithEmpty) {
+  RunningStats a, b;
+  a.Add(1.0);
+  a.Add(2.0);
+  const double mean = a.mean();
+  a.Merge(b);  // no-op
+  EXPECT_DOUBLE_EQ(a.mean(), mean);
+  b.Merge(a);  // adopt
+  EXPECT_DOUBLE_EQ(b.mean(), mean);
+}
+
+TEST(Quantile, OrderStatistics) {
+  const std::vector<double> xs = {5.0, 1.0, 3.0, 2.0, 4.0};
+  EXPECT_DOUBLE_EQ(Quantile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(Quantile(xs, 1.0), 5.0);
+  EXPECT_DOUBLE_EQ(Quantile(xs, 0.5), 3.0);
+  EXPECT_DOUBLE_EQ(Quantile(xs, 0.25), 2.0);
+}
+
+TEST(Quantile, Interpolates) {
+  EXPECT_DOUBLE_EQ(Quantile({0.0, 10.0}, 0.75), 7.5);
+}
+
+TEST(Quantile, Rejections) {
+  EXPECT_THROW(Quantile({}, 0.5), std::invalid_argument);
+  EXPECT_THROW(Quantile({1.0}, 1.5), std::invalid_argument);
+}
+
+TEST(EmpiricalCdf, DistinctValuesWithTies) {
+  const auto cdf = EmpiricalCdf({3.0, 1.0, 3.0, 2.0});
+  ASSERT_EQ(cdf.size(), 3u);
+  EXPECT_DOUBLE_EQ(cdf[0].first, 1.0);
+  EXPECT_DOUBLE_EQ(cdf[0].second, 0.25);
+  EXPECT_DOUBLE_EQ(cdf[1].first, 2.0);
+  EXPECT_DOUBLE_EQ(cdf[1].second, 0.5);
+  EXPECT_DOUBLE_EQ(cdf[2].first, 3.0);
+  EXPECT_DOUBLE_EQ(cdf[2].second, 1.0);
+}
+
+TEST(WilsonInterval, DegenerateInputs) {
+  const ProportionCi zero = WilsonInterval(0, 0);
+  EXPECT_EQ(zero.point, 0.0);
+  const ProportionCi none = WilsonInterval(0, 100);
+  EXPECT_EQ(none.point, 0.0);
+  EXPECT_EQ(none.lo, 0.0);
+  EXPECT_GT(none.hi, 0.0);  // Wilson never collapses to [0,0] with trials
+  const ProportionCi all = WilsonInterval(100, 100);
+  EXPECT_EQ(all.point, 1.0);
+  EXPECT_LT(all.lo, 1.0);
+  EXPECT_NEAR(all.hi, 1.0, 1e-12);
+}
+
+TEST(WilsonInterval, CoversPointAndNarrowsWithN) {
+  const ProportionCi small = WilsonInterval(5, 50);
+  const ProportionCi large = WilsonInterval(500, 5000);
+  EXPECT_NEAR(small.point, 0.1, 1e-12);
+  EXPECT_LE(small.lo, small.point);
+  EXPECT_GE(small.hi, small.point);
+  EXPECT_LT(large.hi - large.lo, small.hi - small.lo);
+}
+
+TEST(Histogram, BinningAndClamping) {
+  Histogram h(0.0, 10.0, 5);
+  h.Add(0.5);    // bin 0
+  h.Add(9.99);   // bin 4
+  h.Add(-3.0);   // clamps to bin 0
+  h.Add(25.0);   // clamps to bin 4
+  h.Add(5.0, 2.0);  // weighted, bin 2
+  EXPECT_DOUBLE_EQ(h.count(0), 2.0);
+  EXPECT_DOUBLE_EQ(h.count(2), 2.0);
+  EXPECT_DOUBLE_EQ(h.count(4), 2.0);
+  EXPECT_DOUBLE_EQ(h.total(), 6.0);
+  EXPECT_DOUBLE_EQ(h.bin_lo(1), 2.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(1), 4.0);
+  EXPECT_THROW(Histogram(1.0, 1.0, 4), std::invalid_argument);
+}
+
+TEST(LogHistogram, LogSpacedEdges) {
+  LogHistogram h(1.0, 10000.0, 4);
+  EXPECT_NEAR(h.bin_hi(0), 10.0, 1e-9);
+  EXPECT_NEAR(h.bin_hi(1), 100.0, 1e-6);
+  h.Add(5.0);
+  h.Add(50.0);
+  h.Add(5000.0);
+  h.Add(0.0);  // clamps into the first bin
+  EXPECT_DOUBLE_EQ(h.count(0), 2.0);
+  EXPECT_DOUBLE_EQ(h.count(1), 1.0);
+  EXPECT_DOUBLE_EQ(h.count(3), 1.0);
+  EXPECT_THROW(LogHistogram(0.0, 10.0, 3), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ld

@@ -1,0 +1,73 @@
+#include "common/status.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ld {
+namespace {
+
+TEST(Status, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(Status, ErrorCarriesCodeAndMessage) {
+  const Status s = ParseError("bad line 7");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kParseError);
+  EXPECT_EQ(s.message(), "bad line 7");
+  EXPECT_EQ(s.ToString(), "PARSE_ERROR: bad line 7");
+}
+
+TEST(Status, Factories) {
+  EXPECT_EQ(InvalidArgumentError("x").code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(NotFoundError("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(OutOfRangeError("x").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(FailedPreconditionError("x").code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(InternalError("x").code(), StatusCode::kInternal);
+}
+
+TEST(Result, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(Result, HoldsError) {
+  Result<int> r = NotFoundError("nope");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+  EXPECT_THROW(r.value(), std::runtime_error);
+  EXPECT_EQ(r.value_or(-1), -1);
+}
+
+TEST(Result, ValueOrOnSuccess) {
+  Result<std::string> r(std::string("hit"));
+  EXPECT_EQ(r.value_or("fallback"), "hit");
+}
+
+TEST(Result, RejectsOkStatusWithoutValue) {
+  EXPECT_THROW((Result<int>(Status::Ok())), std::logic_error);
+}
+
+TEST(Result, MoveOutValue) {
+  Result<std::string> r(std::string("payload"));
+  const std::string moved = std::move(r).value();
+  EXPECT_EQ(moved, "payload");
+}
+
+TEST(Result, ArrowOperator) {
+  Result<std::string> r(std::string("abc"));
+  EXPECT_EQ(r->size(), 3u);
+}
+
+TEST(LdCheck, ThrowsOnViolation) {
+  EXPECT_THROW(LD_CHECK(false, "must not happen"), std::logic_error);
+  EXPECT_NO_THROW(LD_CHECK(true, "fine"));
+}
+
+}  // namespace
+}  // namespace ld

@@ -1,0 +1,107 @@
+#include "common/strings.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ld {
+namespace {
+
+TEST(Split, KeepsEmptyFields) {
+  const auto parts = Split("a,,b", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[2], "b");
+}
+
+TEST(Split, TrailingSeparator) {
+  const auto parts = Split("x;", ';');
+  ASSERT_EQ(parts.size(), 2u);
+  EXPECT_EQ(parts[1], "");
+}
+
+TEST(Split, EmptyInput) {
+  const auto parts = Split("", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "");
+}
+
+TEST(SplitWhitespace, DropsRuns) {
+  const auto parts = SplitWhitespace("  a \t b\n c  ");
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "c");
+  EXPECT_TRUE(SplitWhitespace("   ").empty());
+}
+
+TEST(Trim, BothEnds) {
+  EXPECT_EQ(Trim("  x y  "), "x y");
+  EXPECT_EQ(Trim(""), "");
+  EXPECT_EQ(Trim(" \t\n "), "");
+  EXPECT_EQ(Trim("abc"), "abc");
+}
+
+TEST(StartsWithContains, Basics) {
+  EXPECT_TRUE(StartsWith("apsched[5]", "apsched"));
+  EXPECT_FALSE(StartsWith("ap", "apsched"));
+  EXPECT_TRUE(Contains("Machine check events", "check"));
+  EXPECT_FALSE(Contains("abc", "abd"));
+}
+
+TEST(ParseInt, StrictWholeString) {
+  EXPECT_EQ(ParseInt("-42").value(), -42);
+  EXPECT_EQ(ParseInt("0").value(), 0);
+  EXPECT_FALSE(ParseInt("42x").ok());
+  EXPECT_FALSE(ParseInt("").ok());
+  EXPECT_FALSE(ParseInt(" 42").ok());
+}
+
+TEST(ParseUint, RejectsNegative) {
+  EXPECT_EQ(ParseUint("18446744073709551615").value(), 18446744073709551615ull);
+  EXPECT_FALSE(ParseUint("-1").ok());
+}
+
+TEST(ParseDouble, StrictWholeString) {
+  EXPECT_DOUBLE_EQ(ParseDouble("3.5").value(), 3.5);
+  EXPECT_DOUBLE_EQ(ParseDouble("-1e3").value(), -1000.0);
+  EXPECT_FALSE(ParseDouble("3.5kg").ok());
+  EXPECT_FALSE(ParseDouble("").ok());
+}
+
+TEST(FindKeyValue, ExtractsFields) {
+  const std::string rec =
+      "user=u1 group=users queue=normal Exit_status=271 start=123";
+  EXPECT_EQ(FindKeyValue(rec, "user").value(), "u1");
+  EXPECT_EQ(FindKeyValue(rec, "Exit_status").value(), "271");
+  EXPECT_EQ(FindKeyValue(rec, "start").value(), "123");
+  EXPECT_FALSE(FindKeyValue(rec, "end").ok());
+}
+
+TEST(FindKeyValue, KeyMustBeFieldBoundary) {
+  // "status=" must not match inside "Exit_status=".
+  const std::string rec = "Exit_status=7";
+  EXPECT_FALSE(FindKeyValue(rec, "status").ok());
+  const std::string rec2 = "status=1 Exit_status=7";
+  EXPECT_EQ(FindKeyValue(rec2, "status").value(), "1");
+}
+
+TEST(Join, Basics) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({}, ","), "");
+  EXPECT_EQ(Join({"solo"}, ","), "solo");
+}
+
+TEST(FormatDouble, FixedPrecision) {
+  EXPECT_EQ(FormatDouble(3.14159, 2), "3.14");
+  EXPECT_EQ(FormatDouble(2.0, 0), "2");
+}
+
+TEST(WithThousands, GroupsDigits) {
+  EXPECT_EQ(WithThousands(0), "0");
+  EXPECT_EQ(WithThousands(999), "999");
+  EXPECT_EQ(WithThousands(1000), "1,000");
+  EXPECT_EQ(WithThousands(1234567), "1,234,567");
+  EXPECT_EQ(WithThousands(5000000), "5,000,000");
+}
+
+}  // namespace
+}  // namespace ld

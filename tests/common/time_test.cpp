@@ -1,0 +1,124 @@
+#include "common/time.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ld {
+namespace {
+
+TEST(Duration, Construction) {
+  EXPECT_EQ(Duration::Seconds(90).seconds(), 90);
+  EXPECT_EQ(Duration::Minutes(2).seconds(), 120);
+  EXPECT_EQ(Duration::Hours(3).seconds(), 10800);
+  EXPECT_EQ(Duration::Days(2).seconds(), 172800);
+}
+
+TEST(Duration, Arithmetic) {
+  const Duration d = Duration::Hours(1) + Duration::Minutes(30);
+  EXPECT_EQ(d.seconds(), 5400);
+  EXPECT_EQ((d - Duration::Minutes(30)).seconds(), 3600);
+  EXPECT_EQ((Duration::Seconds(10) * 6).seconds(), 60);
+  EXPECT_DOUBLE_EQ(Duration::Days(1).hours(), 24.0);
+  EXPECT_DOUBLE_EQ(Duration::Hours(12).days(), 0.5);
+}
+
+TEST(Duration, ToStringShort) {
+  EXPECT_EQ(Duration::Seconds(0).ToString(), "00:00:00");
+  EXPECT_EQ(Duration::Seconds(3661).ToString(), "01:01:01");
+  EXPECT_EQ(Duration::Seconds(-60).ToString(), "-00:01:00");
+}
+
+TEST(Duration, ToStringWithDays) {
+  EXPECT_EQ((Duration::Days(2) + Duration::Hours(3) + Duration::Minutes(15))
+                .ToString(),
+            "2d 03:15:00");
+}
+
+TEST(TimePoint, CalendarRoundTripEpoch) {
+  const TimePoint t = TimePoint::FromCalendar(1970, 1, 1);
+  EXPECT_EQ(t.unix_seconds(), 0);
+  const CalendarTime c = ToCalendar(t);
+  EXPECT_EQ(c.year, 1970);
+  EXPECT_EQ(c.month, 1);
+  EXPECT_EQ(c.day, 1);
+}
+
+TEST(TimePoint, KnownEpochValue) {
+  // 2013-04-01T00:00:00Z == 1364774400 (independently known).
+  EXPECT_EQ(TimePoint::FromCalendar(2013, 4, 1).unix_seconds(), 1364774400);
+}
+
+TEST(TimePoint, IsoFormat) {
+  const TimePoint t = TimePoint::FromCalendar(2013, 4, 1, 2, 10, 2);
+  EXPECT_EQ(t.ToIso(), "2013-04-01T02:10:02");
+}
+
+TEST(TimePoint, SyslogFormatPadsDay) {
+  EXPECT_EQ(TimePoint::FromCalendar(2013, 4, 1, 2, 10, 2).ToSyslog(),
+            "Apr  1 02:10:02");
+  EXPECT_EQ(TimePoint::FromCalendar(2013, 12, 25, 23, 59, 59).ToSyslog(),
+            "Dec 25 23:59:59");
+}
+
+TEST(TimePoint, FromIsoParsesBothSeparators) {
+  auto a = TimePoint::FromIso("2013-04-01T02:10:02");
+  ASSERT_TRUE(a.ok());
+  auto b = TimePoint::FromIso("2013-04-01 02:10:02");
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->unix_seconds(), b->unix_seconds());
+}
+
+TEST(TimePoint, FromIsoRejectsGarbage) {
+  EXPECT_FALSE(TimePoint::FromIso("not a time").ok());
+  EXPECT_FALSE(TimePoint::FromIso("2013-13-01T00:00:00").ok());
+  EXPECT_FALSE(TimePoint::FromIso("2013-04-32T00:00:00").ok());
+  EXPECT_FALSE(TimePoint::FromIso("2013-04-01T25:00:00").ok());
+}
+
+TEST(TimePoint, Comparisons) {
+  const TimePoint a = TimePoint::FromCalendar(2013, 4, 1);
+  const TimePoint b = a + Duration::Hours(1);
+  EXPECT_LT(a, b);
+  EXPECT_EQ((b - a).seconds(), 3600);
+  EXPECT_EQ(b - Duration::Hours(1), a);
+}
+
+TEST(TimePoint, LeapYearHandling) {
+  const TimePoint feb29 = TimePoint::FromCalendar(2012, 2, 29);
+  const CalendarTime c = ToCalendar(feb29);
+  EXPECT_EQ(c.month, 2);
+  EXPECT_EQ(c.day, 29);
+  // 2013 is not a leap year: Feb 28 + 1 day = Mar 1.
+  const TimePoint mar1 =
+      TimePoint::FromCalendar(2013, 2, 28) + Duration::Days(1);
+  const CalendarTime c2 = ToCalendar(mar1);
+  EXPECT_EQ(c2.month, 3);
+  EXPECT_EQ(c2.day, 1);
+}
+
+// Property sweep: calendar round trip across a broad grid of instants.
+class TimeRoundTrip : public ::testing::TestWithParam<std::int64_t> {};
+
+TEST_P(TimeRoundTrip, CalendarRoundTrips) {
+  const TimePoint t(GetParam());
+  const CalendarTime c = ToCalendar(t);
+  const TimePoint back =
+      TimePoint::FromCalendar(c.year, c.month, c.day, c.hour, c.minute,
+                              c.second);
+  EXPECT_EQ(back.unix_seconds(), t.unix_seconds());
+}
+
+TEST_P(TimeRoundTrip, IsoRoundTrips) {
+  const TimePoint t(GetParam());
+  auto parsed = TimePoint::FromIso(t.ToIso());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->unix_seconds(), t.unix_seconds());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, TimeRoundTrip,
+    ::testing::Values(0, 1, 86399, 86400, 1364774400, 1388534399, 1388534400,
+                      1400000000, 951782400 /* 2000-02-29 */,
+                      4102444800 /* 2100-01-01 */, 978307199, 978307200));
+
+}  // namespace
+}  // namespace ld

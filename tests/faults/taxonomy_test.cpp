@@ -1,0 +1,56 @@
+#include "faults/taxonomy.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ld {
+namespace {
+
+TEST(Taxonomy, CategoryNamesRoundTrip) {
+  for (int i = 0; i < kErrorCategoryCount; ++i) {
+    const auto cat = static_cast<ErrorCategory>(i);
+    const std::string name = ErrorCategoryName(cat);
+    EXPECT_NE(name, "invalid");
+    auto parsed = ParseErrorCategory(name);
+    ASSERT_TRUE(parsed.ok()) << name;
+    EXPECT_EQ(*parsed, cat);
+  }
+}
+
+TEST(Taxonomy, ParseRejectsUnknownCategory) {
+  EXPECT_FALSE(ParseErrorCategory("cosmic_ray").ok());
+  EXPECT_FALSE(ParseErrorCategory("").ok());
+  EXPECT_FALSE(ParseErrorCategory("MACHINE_CHECK").ok());  // case-sensitive
+}
+
+TEST(Taxonomy, SeverityNamesRoundTrip) {
+  for (Severity s : {Severity::kCorrected, Severity::kDegraded,
+                     Severity::kFatal}) {
+    auto parsed = ParseSeverity(SeverityName(s));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(*parsed, s);
+  }
+  EXPECT_FALSE(ParseSeverity("catastrophic").ok());
+}
+
+TEST(Taxonomy, SeverityOrdering) {
+  // The coalescer takes max severity; the enum order must reflect rank.
+  EXPECT_LT(Severity::kCorrected, Severity::kDegraded);
+  EXPECT_LT(Severity::kDegraded, Severity::kFatal);
+}
+
+TEST(Taxonomy, ScopeNames) {
+  EXPECT_STREQ(ScopeName(Scope::kNode), "node");
+  EXPECT_STREQ(ScopeName(Scope::kBlade), "blade");
+  EXPECT_STREQ(ScopeName(Scope::kSystem), "system");
+}
+
+TEST(Taxonomy, SpecificNames) {
+  EXPECT_STREQ(ErrorCategoryName(ErrorCategory::kMachineCheck),
+               "machine_check");
+  EXPECT_STREQ(ErrorCategoryName(ErrorCategory::kGpuDbe), "gpu_dbe");
+  EXPECT_STREQ(ErrorCategoryName(ErrorCategory::kLustre), "lustre");
+  EXPECT_STREQ(ErrorCategoryName(ErrorCategory::kUnknown), "unknown");
+}
+
+}  // namespace
+}  // namespace ld

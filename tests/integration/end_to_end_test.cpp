@@ -1,0 +1,226 @@
+// End-to-end integration: campaign simulation -> text logs -> LogDiver
+// pipeline -> metrics -> ground-truth scoring.  These are the tests that
+// hold the whole reproduction together.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "analysis/baselines.hpp"
+#include "analysis/scoring.hpp"
+#include "logdiver/logdiver.hpp"
+#include "simlog/scenario.hpp"
+
+namespace ld {
+namespace {
+
+class EndToEndTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    config_ = new ScenarioConfig(SmallScenario(2024));
+    machine_ = new Machine(MakeMachine(*config_));
+    auto campaign = RunCampaign(*machine_, *config_);
+    ASSERT_TRUE(campaign.ok());
+    campaign_ = new Campaign(std::move(*campaign));
+
+    LogDiver diver(*machine_, LogDiverConfig{});
+    LogSet logs;
+    logs.torque = campaign_->logs.torque;
+    logs.alps = campaign_->logs.alps;
+    logs.syslog = campaign_->logs.syslog;
+    logs.hwerr = campaign_->logs.hwerr;
+    auto analysis = diver.Analyze(logs);
+    ASSERT_TRUE(analysis.ok());
+    analysis_ = new AnalysisResult(std::move(*analysis));
+  }
+
+  static void TearDownTestSuite() {
+    delete analysis_;
+    delete campaign_;
+    delete machine_;
+    delete config_;
+    analysis_ = nullptr;
+    campaign_ = nullptr;
+    machine_ = nullptr;
+    config_ = nullptr;
+  }
+
+  static ScenarioConfig* config_;
+  static Machine* machine_;
+  static Campaign* campaign_;
+  static AnalysisResult* analysis_;
+};
+
+ScenarioConfig* EndToEndTest::config_ = nullptr;
+Machine* EndToEndTest::machine_ = nullptr;
+Campaign* EndToEndTest::campaign_ = nullptr;
+AnalysisResult* EndToEndTest::analysis_ = nullptr;
+
+TEST_F(EndToEndTest, NoParseLoss) {
+  EXPECT_EQ(analysis_->torque_stats.malformed, 0u);
+  EXPECT_EQ(analysis_->alps_stats.malformed, 0u);
+  EXPECT_EQ(analysis_->syslog_stats.malformed, 0u);
+  EXPECT_EQ(analysis_->hwerr_stats.malformed, 0u);
+  EXPECT_EQ(analysis_->coalesce_stats.unresolved_locations, 0u);
+}
+
+TEST_F(EndToEndTest, EveryLiveAppReconstructed) {
+  std::uint64_t live = 0;
+  for (const Application& app : campaign_->workload.apps) {
+    if (!app.cancelled) ++live;
+  }
+  EXPECT_EQ(analysis_->runs.size(), live);
+  EXPECT_EQ(analysis_->reconstruct_stats.missing_termination, 0u);
+  EXPECT_EQ(analysis_->reconstruct_stats.orphan_terminations, 0u);
+  EXPECT_EQ(analysis_->reconstruct_stats.missing_job, 0u);
+}
+
+TEST_F(EndToEndTest, RunsMatchSimulatedWindows) {
+  // Reconstructed start/end must match the simulation exactly (the ALPS
+  // records carry authoritative timestamps, unjittered).
+  std::unordered_map<ApId, const Application*> by_apid;
+  for (const Application& app : campaign_->workload.apps) {
+    if (!app.cancelled) by_apid.emplace(app.apid, &app);
+  }
+  for (const AppRun& run : analysis_->runs) {
+    const auto it = by_apid.find(run.apid);
+    ASSERT_NE(it, by_apid.end());
+    EXPECT_EQ(run.start, it->second->start);
+    EXPECT_EQ(run.end, it->second->end);
+    const Job& job = campaign_->workload.job_of(*it->second);
+    EXPECT_EQ(run.nodect, job.nodect());
+    EXPECT_EQ(run.node_type, job.node_type);
+  }
+}
+
+TEST_F(EndToEndTest, ClassificationQualityAgainstTruth) {
+  const ScoreReport score = ScoreClassification(
+      analysis_->runs, analysis_->classified, campaign_->injection.truth);
+  EXPECT_EQ(score.missing_truth, 0u);
+  // The correlator should be strong on this substrate: these floors are
+  // intentionally demanding so regressions in the pipeline surface here.
+  EXPECT_GT(score.overall_accuracy, 0.99);
+  EXPECT_GT(score.system_precision, 0.85);
+  EXPECT_GT(score.system_recall, 0.85);
+  EXPECT_GT(score.cause_accuracy, 0.85);
+}
+
+TEST_F(EndToEndTest, LogDiverBeatsAllBaselines) {
+  const ScoreReport logdiver = ScoreClassification(
+      analysis_->runs, analysis_->classified, campaign_->injection.truth);
+  for (BaselineMode mode :
+       {BaselineMode::kExitOnlyConservative, BaselineMode::kExitOnlyPessimistic,
+        BaselineMode::kTemporalOnly, BaselineMode::kSpatialOnly}) {
+    const auto baseline_cls = ClassifyBaseline(
+        mode, analysis_->runs, analysis_->tuples, CorrelatorConfig{});
+    const ScoreReport baseline = ScoreClassification(
+        analysis_->runs, baseline_cls, campaign_->injection.truth);
+    EXPECT_GT(logdiver.system_f1, baseline.system_f1)
+        << BaselineModeName(mode);
+  }
+}
+
+TEST_F(EndToEndTest, MetricsInternallyConsistent) {
+  const MetricsReport& m = analysis_->metrics;
+  EXPECT_EQ(m.total_runs, analysis_->runs.size());
+  std::uint64_t outcome_total = 0;
+  double share_total = 0.0;
+  for (const OutcomeRow& row : m.outcomes) {
+    outcome_total += row.runs;
+    share_total += row.runs_share;
+  }
+  EXPECT_EQ(outcome_total, m.total_runs);
+  EXPECT_NEAR(share_total, 1.0, 1e-9);
+
+  std::uint64_t scale_total = 0;
+  for (const ScalePoint& p : m.xe_scale) scale_total += p.runs;
+  for (const ScalePoint& p : m.xk_scale) scale_total += p.runs;
+  // Scale curves exclude unknown-outcome runs only.
+  std::uint64_t known = 0;
+  for (const ClassifiedRun& cls : analysis_->classified) {
+    if (cls.outcome != AppOutcome::kUnknown) ++known;
+  }
+  EXPECT_EQ(scale_total, known);
+
+  std::uint64_t monthly_runs = 0;
+  for (const MonthlyPoint& p : m.monthly) monthly_runs += p.runs;
+  EXPECT_EQ(monthly_runs, m.total_runs);
+
+  std::uint64_t attributed = 0;
+  for (const AttributionRow& row : m.attribution) {
+    attributed += row.xe_failures + row.xk_failures;
+  }
+  std::uint64_t system_rows = 0;
+  for (const OutcomeRow& row : m.outcomes) {
+    if (row.outcome == AppOutcome::kSystemFailure) system_rows = row.runs;
+  }
+  EXPECT_EQ(attributed, system_rows);
+}
+
+TEST_F(EndToEndTest, BundleRoundTripMatchesInMemory) {
+  const std::string dir = ::testing::TempDir() + "/ld_e2e_bundle";
+  std::filesystem::remove_all(dir);
+  auto bundle = WriteBundle(*machine_, *config_, dir);
+  ASSERT_TRUE(bundle.ok());
+
+  LogDiver diver(*machine_, LogDiverConfig{});
+  auto from_disk = diver.AnalyzeBundle(dir);
+  ASSERT_TRUE(from_disk.ok());
+  EXPECT_EQ(from_disk->runs.size(), analysis_->runs.size());
+  EXPECT_EQ(from_disk->tuples.size(), analysis_->tuples.size());
+  EXPECT_DOUBLE_EQ(from_disk->metrics.system_failure_fraction,
+                   analysis_->metrics.system_failure_fraction);
+
+  // The ground-truth sidecar loads and scores identically.
+  auto truth = LoadGroundTruth(bundle->truth_path());
+  ASSERT_TRUE(truth.ok());
+  const ScoreReport disk_score =
+      ScoreClassification(from_disk->runs, from_disk->classified, *truth);
+  const ScoreReport mem_score = ScoreClassification(
+      analysis_->runs, analysis_->classified, campaign_->injection.truth);
+  EXPECT_DOUBLE_EQ(disk_score.system_f1, mem_score.system_f1);
+  std::filesystem::remove_all(dir);
+}
+
+TEST_F(EndToEndTest, AnalyzeBundleMissingFilesFail) {
+  LogDiver diver(*machine_, LogDiverConfig{});
+  EXPECT_FALSE(diver.AnalyzeBundle("/nonexistent/dir").ok());
+}
+
+TEST_F(EndToEndTest, DetectionGapVisibleOnXk) {
+  // The configured GPU detection deficit must surface as a larger
+  // unattributed share on XK than on XE (anchor A6) whenever XK has
+  // a meaningful failure population.
+  const auto& gap = analysis_->metrics.detection_gap;
+  ASSERT_EQ(gap.size(), 2u);
+  if (gap[1].system_failures >= 10) {
+    EXPECT_GT(gap[1].unattributed_share + 1e-9, gap[0].unattributed_share);
+  }
+}
+
+TEST_F(EndToEndTest, CorruptedLogsDegradeGracefully) {
+  LogSet logs;
+  logs.torque = campaign_->logs.torque;
+  logs.alps = campaign_->logs.alps;
+  logs.syslog = campaign_->logs.syslog;
+  logs.hwerr = campaign_->logs.hwerr;
+  // Corrupt 10% of each stream.
+  for (std::size_t i = 0; i < logs.torque.size(); i += 10) {
+    logs.torque[i] = "corrupted #### record";
+  }
+  for (std::size_t i = 0; i < logs.alps.size(); i += 10) {
+    logs.alps[i] = "@@@ bad line";
+  }
+  LogDiver diver(*machine_, LogDiverConfig{});
+  auto degraded = diver.Analyze(logs);
+  ASSERT_TRUE(degraded.ok());
+  EXPECT_GT(degraded->torque_stats.malformed, 0u);
+  EXPECT_GT(degraded->alps_stats.malformed, 0u);
+  // Still reconstructs the bulk of the runs.
+  EXPECT_GT(degraded->runs.size(), analysis_->runs.size() * 7 / 10);
+  // Headline metric stays in the same regime.
+  EXPECT_NEAR(degraded->metrics.system_failure_fraction,
+              analysis_->metrics.system_failure_fraction, 0.01);
+}
+
+}  // namespace
+}  // namespace ld

@@ -1,0 +1,105 @@
+#include "logdiver/alps_parser.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ld {
+namespace {
+
+TEST(ParseNidRanges, SinglesAndRanges) {
+  auto nids = ParseNidRanges("3-5,9,12-13");
+  ASSERT_TRUE(nids.ok());
+  EXPECT_EQ(*nids, (std::vector<NodeIndex>{3, 4, 5, 9, 12, 13}));
+}
+
+TEST(ParseNidRanges, SingleValue) {
+  auto nids = ParseNidRanges("7");
+  ASSERT_TRUE(nids.ok());
+  EXPECT_EQ(nids->size(), 1u);
+}
+
+TEST(ParseNidRanges, Rejections) {
+  EXPECT_FALSE(ParseNidRanges("").ok());
+  EXPECT_FALSE(ParseNidRanges("5-3").ok());        // inverted
+  EXPECT_FALSE(ParseNidRanges("a-b").ok());
+  EXPECT_FALSE(ParseNidRanges("1,,3").ok());
+  EXPECT_FALSE(ParseNidRanges("0-9999999999").ok());  // absurd span
+}
+
+TEST(AlpsParser, ParsesPlacement) {
+  AlpsParser parser;
+  auto rec = parser.ParseLine(
+      "2013-04-01T02:10:05 apsched[5]: placeApp apid=100001 jobid=2273504 "
+      "user=u1234 cmd=run_e1.exe nodect=4 nids=100-103");
+  ASSERT_TRUE(rec.ok());
+  ASSERT_TRUE(rec->has_value());
+  const AlpsRecord& r = **rec;
+  EXPECT_EQ(r.kind, AlpsRecord::Kind::kPlace);
+  EXPECT_EQ(r.apid, 100001u);
+  EXPECT_EQ(r.jobid, 2273504u);
+  EXPECT_EQ(r.user, "u1234");
+  EXPECT_EQ(r.command, "run_e1.exe");
+  EXPECT_EQ(r.nodect, 4u);
+  EXPECT_EQ(r.nids, (std::vector<NodeIndex>{100, 101, 102, 103}));
+  EXPECT_EQ(r.time.ToIso(), "2013-04-01T02:10:05");
+}
+
+TEST(AlpsParser, ParsesExit) {
+  AlpsParser parser;
+  auto rec = parser.ParseLine(
+      "2013-04-01T03:10:05 apsys[5]: apid=100001 exited, status=139 signal=11");
+  ASSERT_TRUE(rec.ok());
+  ASSERT_TRUE(rec->has_value());
+  EXPECT_EQ((*rec)->kind, AlpsRecord::Kind::kExit);
+  EXPECT_EQ((*rec)->exit_code, 139);
+  EXPECT_EQ((*rec)->exit_signal, 11);
+}
+
+TEST(AlpsParser, ParsesNodeFailureKill) {
+  AlpsParser parser;
+  auto rec = parser.ParseLine(
+      "2013-04-01T03:10:05 apsys[5]: apid=100001 killed, "
+      "reason=node_failure nid=105");
+  ASSERT_TRUE(rec.ok());
+  ASSERT_TRUE(rec->has_value());
+  EXPECT_EQ((*rec)->kind, AlpsRecord::Kind::kKill);
+  EXPECT_EQ((*rec)->kill_reason, "node_failure");
+  EXPECT_EQ((*rec)->failed_nid, 105u);
+}
+
+TEST(AlpsParser, SkipsUnknownDaemonChatter) {
+  AlpsParser parser;
+  auto rec = parser.ParseLine(
+      "2013-04-01T03:10:05 apinit[9]: heartbeat ok nid=12");
+  ASSERT_TRUE(rec.ok());
+  EXPECT_FALSE(rec->has_value());
+  EXPECT_EQ(parser.stats().skipped, 1u);
+}
+
+TEST(AlpsParser, MalformedLines) {
+  AlpsParser parser;
+  EXPECT_FALSE(parser.ParseLine("").ok());
+  EXPECT_FALSE(parser.ParseLine("not a timestamp apsys[5]: apid=1").ok());
+  EXPECT_FALSE(
+      parser.ParseLine("2013-04-01T03:10:05 apsys[5] no separator").ok());
+  EXPECT_FALSE(parser
+                   .ParseLine("2013-04-01T03:10:05 apsched[5]: placeApp "
+                              "jobid=1 nids=1-2")
+                   .ok());  // missing apid
+  EXPECT_EQ(parser.stats().malformed, 4u);
+}
+
+TEST(AlpsParser, ParseLinesRoundtrip) {
+  AlpsParser parser;
+  const std::vector<std::string> lines = {
+      "2013-04-01T02:10:05 apsched[5]: placeApp apid=1 jobid=2 user=u "
+      "cmd=c nodect=1 nids=0",
+      "junk",
+      "2013-04-01T02:20:05 apsys[5]: apid=1 exited, status=0 signal=0",
+  };
+  const auto records = parser.ParseLines(lines);
+  EXPECT_EQ(records.size(), 2u);
+  EXPECT_EQ(parser.stats().malformed, 1u);
+}
+
+}  // namespace
+}  // namespace ld

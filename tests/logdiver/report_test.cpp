@@ -1,0 +1,78 @@
+#include "logdiver/report.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace ld {
+namespace {
+
+TEST(RenderTable, AlignsColumnsWithHeaderRule) {
+  const std::string out = RenderTable({{"name", "count"}, {"x", "12345"}});
+  // Header, separator, one data row.
+  std::istringstream lines(out);
+  std::string header, rule, row;
+  std::getline(lines, header);
+  std::getline(lines, rule);
+  std::getline(lines, row);
+  EXPECT_NE(header.find("name"), std::string::npos);
+  EXPECT_NE(rule.find("----"), std::string::npos);
+  EXPECT_NE(row.find("12345"), std::string::npos);
+  // Columns align: "count" and "12345" start at the same offset.
+  EXPECT_EQ(header.find("count"), row.find("12345"));
+}
+
+TEST(RenderTable, EmptyIsEmpty) { EXPECT_EQ(RenderTable({}), ""); }
+
+TEST(Report, PrintersProduceExpectedAnchors) {
+  MetricsReport report;
+  report.total_runs = 1000;
+  report.total_node_hours = 5000.0;
+  report.system_failure_fraction = 0.0153;
+  report.lost_node_hours_fraction = 0.09;
+  OutcomeRow row;
+  row.outcome = AppOutcome::kSystemFailure;
+  row.runs = 15;
+  row.runs_share = 0.015;
+  row.node_hours = 450.0;
+  row.node_hours_share = 0.09;
+  report.outcomes.push_back(row);
+  DetectionGapRow gap;
+  gap.type = NodeType::kXK;
+  gap.system_failures = 10;
+  gap.unattributed = 4;
+  gap.attributed = 6;
+  gap.unattributed_share = 0.4;
+  report.detection_gap.push_back(gap);
+
+  std::ostringstream out;
+  PrintHeadline(out, report);
+  PrintOutcomeBreakdown(out, report);
+  PrintDetectionGap(out, report);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("1.530%"), std::string::npos);
+  EXPECT_NE(text.find("9.00%"), std::string::npos);
+  EXPECT_NE(text.find("system_failure"), std::string::npos);
+  EXPECT_NE(text.find("XK"), std::string::npos);
+  EXPECT_NE(text.find("40.0"), std::string::npos);
+}
+
+TEST(Report, ScaleCurveRendersBandsAndCi) {
+  std::vector<ScalePoint> points;
+  ScalePoint p;
+  p.lo = 16385;
+  p.hi = 22640;
+  p.runs = 320;
+  p.system_failures = 52;
+  p.failure_probability = WilsonInterval(52, 320);
+  points.push_back(p);
+  std::ostringstream out;
+  PrintScaleCurve(out, points, "XE failure probability vs scale");
+  const std::string text = out.str();
+  EXPECT_NE(text.find("16385-22640"), std::string::npos);
+  EXPECT_NE(text.find("0.16"), std::string::npos);
+  EXPECT_NE(text.find("["), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ld

@@ -1,0 +1,88 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "logdiver/logdiver.hpp"
+#include "simlog/scenario.hpp"
+
+namespace ld {
+namespace {
+
+void WriteFile(const std::string& path, const std::vector<std::string>& lines) {
+  std::ofstream out(path);
+  for (const std::string& line : lines) out << line << '\n';
+}
+
+TEST(RotatedLogs, ReadsOldestFirst) {
+  const std::string dir = ::testing::TempDir() + "/ld_rotated_basic";
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  const std::string base = dir + "/syslog.log";
+  WriteFile(base + ".2", {"oldest"});
+  WriteFile(base + ".1", {"middle"});
+  WriteFile(base, {"newest"});
+  auto lines = ReadRotatedLines(base);
+  ASSERT_TRUE(lines.ok());
+  ASSERT_EQ(lines->size(), 3u);
+  EXPECT_EQ((*lines)[0], "oldest");
+  EXPECT_EQ((*lines)[1], "middle");
+  EXPECT_EQ((*lines)[2], "newest");
+  std::filesystem::remove_all(dir);
+}
+
+TEST(RotatedLogs, LoneFileReadsAsIs) {
+  const std::string dir = ::testing::TempDir() + "/ld_rotated_lone";
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  WriteFile(dir + "/alps.log", {"a", "b"});
+  auto lines = ReadRotatedLines(dir + "/alps.log");
+  ASSERT_TRUE(lines.ok());
+  EXPECT_EQ(lines->size(), 2u);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(RotatedLogs, MissingBaseFails) {
+  EXPECT_FALSE(ReadRotatedLines("/nonexistent/foo.log").ok());
+}
+
+TEST(RotatedLogs, AnalyzeBundleHandlesRotatedBundle) {
+  // Write a normal bundle, then split each source into two rotated
+  // segments; analysis must give identical results.
+  const std::string dir = ::testing::TempDir() + "/ld_rotated_bundle";
+  std::filesystem::remove_all(dir);
+  ScenarioConfig config = SmallScenario(77);
+  config.workload.target_app_runs = 800;
+  const Machine machine = MakeMachine(config);
+  auto bundle = WriteBundle(machine, config, dir);
+  ASSERT_TRUE(bundle.ok());
+
+  LogDiver diver(machine, {});
+  auto whole = diver.AnalyzeBundle(dir);
+  ASSERT_TRUE(whole.ok());
+
+  // Rotate: first half of each file becomes <name>.log.1.
+  for (const char* name : {"torque.log", "alps.log", "syslog.log",
+                           "hwerr.log"}) {
+    const std::string path = dir + "/" + name;
+    auto lines = ReadLines(path);
+    ASSERT_TRUE(lines.ok());
+    const std::size_t half = lines->size() / 2;
+    WriteFile(path + ".1", {lines->begin(), lines->begin() +
+                                                static_cast<std::ptrdiff_t>(
+                                                    half)});
+    WriteFile(path, {lines->begin() + static_cast<std::ptrdiff_t>(half),
+                     lines->end()});
+  }
+
+  auto rotated = diver.AnalyzeBundle(dir);
+  ASSERT_TRUE(rotated.ok());
+  EXPECT_EQ(rotated->runs.size(), whole->runs.size());
+  EXPECT_EQ(rotated->tuples.size(), whole->tuples.size());
+  EXPECT_DOUBLE_EQ(rotated->metrics.system_failure_fraction,
+                   whole->metrics.system_failure_fraction);
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace ld

@@ -1,0 +1,88 @@
+#include "simlog/scenario.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+namespace ld {
+namespace {
+
+TEST(Scenario, MakeMachineRespectsConfig) {
+  ScenarioConfig config;
+  config.full_machine = false;
+  config.testbed_xe = 192;
+  config.testbed_xk = 48;
+  const Machine m = MakeMachine(config);
+  EXPECT_EQ(m.xe_count(), 192u);
+  EXPECT_EQ(m.xk_count(), 48u);
+}
+
+TEST(Scenario, RunCampaignProducesAllArtifacts) {
+  const ScenarioConfig config = SmallScenario(7);
+  const Machine machine = MakeMachine(config);
+  auto campaign = RunCampaign(machine, config);
+  ASSERT_TRUE(campaign.ok());
+  EXPECT_GT(campaign->workload.apps.size(), 1000u);
+  EXPECT_GT(campaign->injection.events.size(), 100u);
+  EXPECT_GT(campaign->logs.torque.size(), 100u);
+  EXPECT_GT(campaign->logs.alps.size(), 1000u);
+  EXPECT_GT(campaign->logs.syslog.size(), 100u);
+  EXPECT_FALSE(campaign->logs.hwerr.empty());
+}
+
+TEST(Scenario, DeterministicAcrossRuns) {
+  const ScenarioConfig config = SmallScenario(11);
+  const Machine machine = MakeMachine(config);
+  auto a = RunCampaign(machine, config);
+  auto b = RunCampaign(machine, config);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->logs.torque, b->logs.torque);
+  EXPECT_EQ(a->logs.alps, b->logs.alps);
+  EXPECT_EQ(a->logs.syslog, b->logs.syslog);
+  EXPECT_EQ(a->logs.hwerr, b->logs.hwerr);
+}
+
+TEST(Scenario, DifferentSeedsDiffer) {
+  const Machine machine = MakeMachine(SmallScenario(1));
+  auto a = RunCampaign(machine, SmallScenario(1));
+  auto b = RunCampaign(machine, SmallScenario(2));
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_NE(a->logs.alps, b->logs.alps);
+}
+
+TEST(Scenario, LogLinesAreTimeSorted) {
+  const ScenarioConfig config = SmallScenario(3);
+  const Machine machine = MakeMachine(config);
+  auto campaign = RunCampaign(machine, config);
+  ASSERT_TRUE(campaign.ok());
+  // ALPS lines carry ISO timestamps lexicographically ordered by time.
+  std::string prev;
+  for (const std::string& line : campaign->logs.alps) {
+    const std::string stamp = line.substr(0, 19);
+    EXPECT_GE(stamp, prev);
+    prev = stamp;
+  }
+}
+
+TEST(Scenario, WriteBundleCreatesFiles) {
+  const std::string dir = ::testing::TempDir() + "/ld_bundle_test";
+  std::filesystem::remove_all(dir);
+  ScenarioConfig config = SmallScenario(5);
+  config.workload.target_app_runs = 500;
+  const Machine machine = MakeMachine(config);
+  auto bundle = WriteBundle(machine, config, dir);
+  ASSERT_TRUE(bundle.ok());
+  EXPECT_TRUE(std::filesystem::exists(bundle->torque_path()));
+  EXPECT_TRUE(std::filesystem::exists(bundle->alps_path()));
+  EXPECT_TRUE(std::filesystem::exists(bundle->syslog_path()));
+  EXPECT_TRUE(std::filesystem::exists(bundle->hwerr_path()));
+  EXPECT_TRUE(std::filesystem::exists(bundle->truth_path()));
+  EXPECT_TRUE(std::filesystem::exists(bundle->manifest_path()));
+  EXPECT_GT(std::filesystem::file_size(bundle->alps_path()), 10000u);
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace ld

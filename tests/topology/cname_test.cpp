@@ -1,0 +1,61 @@
+#include "topology/cname.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ld {
+namespace {
+
+TEST(Cname, ToStringFormat) {
+  const Cname c{12, 3, 2, 7, 1};
+  EXPECT_EQ(c.ToString(), "c12-3c2s7n1");
+  EXPECT_EQ(c.BladePrefix(), "c12-3c2s7");
+}
+
+TEST(Cname, ParseValid) {
+  auto c = ParseCname("c12-3c2s7n1");
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ(c->cabinet_x, 12);
+  EXPECT_EQ(c->cabinet_y, 3);
+  EXPECT_EQ(c->chassis, 2);
+  EXPECT_EQ(c->slot, 7);
+  EXPECT_EQ(c->node, 1);
+}
+
+TEST(Cname, ParseRejectsMalformed) {
+  EXPECT_FALSE(ParseCname("").ok());
+  EXPECT_FALSE(ParseCname("c12-3c2s7").ok());        // blade-level
+  EXPECT_FALSE(ParseCname("c12-3c2s7g0").ok());      // gemini-level
+  EXPECT_FALSE(ParseCname("c12-3c2s7n1x").ok());     // trailing junk
+  EXPECT_FALSE(ParseCname("nonsense").ok());
+}
+
+TEST(Cname, ParseRejectsOutOfRange) {
+  EXPECT_FALSE(ParseCname("c0-0c3s0n0").ok());  // chassis > 2
+  EXPECT_FALSE(ParseCname("c0-0c0s8n0").ok());  // slot > 7
+  EXPECT_FALSE(ParseCname("c0-0c0s0n4").ok());  // node > 3
+}
+
+// Property: round trip over the whole coordinate grid of a cabinet row.
+class CnameRoundTrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(CnameRoundTrip, Roundtrips) {
+  const int cx = GetParam();
+  for (int cy : {0, 5, 11}) {
+    for (int ch = 0; ch < 3; ++ch) {
+      for (int sl = 0; sl < 8; ++sl) {
+        for (int nd = 0; nd < 4; ++nd) {
+          const Cname c{cx, cy, ch, sl, nd};
+          auto parsed = ParseCname(c.ToString());
+          ASSERT_TRUE(parsed.ok()) << c.ToString();
+          EXPECT_EQ(*parsed, c);
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Cabinets, CnameRoundTrip,
+                         ::testing::Values(0, 1, 7, 23));
+
+}  // namespace
+}  // namespace ld

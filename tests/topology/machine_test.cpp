@@ -1,0 +1,113 @@
+#include "topology/machine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace ld {
+namespace {
+
+TEST(Machine, BlueWatersCounts) {
+  const Machine bw = Machine::BlueWaters();
+  EXPECT_EQ(bw.xe_count(), 22640u);
+  EXPECT_EQ(bw.xk_count(), 4224u);
+  EXPECT_EQ(bw.node_count(), 27648u);  // 288 cabinets x 96 slots
+  EXPECT_EQ(bw.service_count(), 27648u - 22640u - 4224u);
+  EXPECT_EQ(bw.compute_count(), 26864u);
+}
+
+TEST(Machine, NodeAttributesByType) {
+  const Machine bw = Machine::BlueWaters();
+  const NodeIndex xe = bw.nodes_of_type(NodeType::kXE).front();
+  const NodeIndex xk = bw.nodes_of_type(NodeType::kXK).front();
+  EXPECT_FALSE(bw.node(xe).has_gpu);
+  EXPECT_EQ(bw.node(xe).dimm_count, 16);
+  EXPECT_TRUE(bw.node(xk).has_gpu);
+  EXPECT_EQ(bw.node(xk).dimm_count, 8);
+}
+
+TEST(Machine, CnamesAreUniqueAndFindable) {
+  const Machine m = Machine::Testbed(96, 24);
+  std::set<std::string> seen;
+  for (const Node& node : m.nodes()) {
+    const std::string cname = node.cname.ToString();
+    EXPECT_TRUE(seen.insert(cname).second) << "duplicate " << cname;
+    auto found = m.FindByCname(cname);
+    ASSERT_TRUE(found.ok());
+    EXPECT_EQ(*found, node.index);
+  }
+}
+
+TEST(Machine, FindByCnameMisses) {
+  const Machine m = Machine::Testbed(96, 24);
+  EXPECT_FALSE(m.FindByCname("c99-9c0s0n0").ok());
+  EXPECT_FALSE(m.FindByCname("garbage").ok());
+}
+
+TEST(Machine, NodeIndicesAreDense) {
+  const Machine m = Machine::Testbed(96, 24);
+  for (NodeIndex i = 0; i < m.node_count(); ++i) {
+    EXPECT_EQ(m.node(i).index, i);
+  }
+}
+
+TEST(Machine, BladeSiblingsShareBladeAndIncludeSelf) {
+  const Machine m = Machine::Testbed(96, 24);
+  const NodeIndex anchor = 5;
+  const auto sibs = m.BladeSiblings(anchor);
+  ASSERT_EQ(sibs.size(), 4u);
+  bool self_found = false;
+  const std::string blade = m.node(anchor).cname.BladePrefix();
+  for (NodeIndex s : sibs) {
+    EXPECT_EQ(m.node(s).cname.BladePrefix(), blade);
+    if (s == anchor) self_found = true;
+  }
+  EXPECT_TRUE(self_found);
+}
+
+TEST(Machine, NodesOnGeminiArePairs) {
+  const Machine m = Machine::Testbed(96, 24);
+  for (NodeIndex i : {0u, 1u, 2u, 3u, 50u}) {
+    const auto attached = m.NodesOnGemini(m.node(i).gemini);
+    ASSERT_EQ(attached.size(), 2u);
+    // The anchor node must be attached to its own router.
+    EXPECT_TRUE(attached[0] == i || attached[1] == i);
+    // Both attached nodes share the gemini coordinate.
+    EXPECT_EQ(m.node(attached[0]).gemini, m.node(attached[1]).gemini);
+  }
+}
+
+TEST(Machine, XkNodesAreContiguousAfterXe) {
+  const Machine m = Machine::Testbed(192, 96);
+  const auto& xe = m.nodes_of_type(NodeType::kXE);
+  const auto& xk = m.nodes_of_type(NodeType::kXK);
+  ASSERT_EQ(xe.size(), 192u);
+  ASSERT_EQ(xk.size(), 96u);
+  // Layout fills XE first, so every XE index < every XK index.
+  EXPECT_LT(xe.back(), xk.front());
+}
+
+TEST(Machine, BuildRejectsOversubscription) {
+  MachineConfig config;
+  config.cabinet_cols = 1;
+  config.cabinet_rows = 1;  // 96 slots
+  config.xe_nodes = 90;
+  config.xk_nodes = 10;
+  EXPECT_THROW(Machine::Build(config), std::invalid_argument);
+}
+
+TEST(Machine, TestbedHasServiceHeadroom) {
+  const Machine m = Machine::Testbed(100, 20);
+  EXPECT_EQ(m.xe_count(), 100u);
+  EXPECT_EQ(m.xk_count(), 20u);
+  EXPECT_GE(m.service_count(), 4u);
+}
+
+TEST(NodeTypeName, Names) {
+  EXPECT_STREQ(NodeTypeName(NodeType::kXE), "XE");
+  EXPECT_STREQ(NodeTypeName(NodeType::kXK), "XK");
+  EXPECT_STREQ(NodeTypeName(NodeType::kService), "service");
+}
+
+}  // namespace
+}  // namespace ld

@@ -1,0 +1,101 @@
+#include "workload/allocator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace ld {
+namespace {
+
+class AllocatorTest : public ::testing::Test {
+ protected:
+  AllocatorTest() : machine_(Machine::Testbed(96, 24)), rng_(7) {}
+  Machine machine_;
+  Rng rng_;
+};
+
+TEST_F(AllocatorTest, AllocatesDistinctNodesOfRightType) {
+  NodeAllocator alloc(machine_, NodeType::kXE);
+  auto a = alloc.Allocate(TimePoint(1000), Duration::Hours(1), 10, rng_);
+  ASSERT_TRUE(a.ok());
+  EXPECT_EQ(a->start, TimePoint(1000));
+  std::set<NodeIndex> unique(a->nodes.begin(), a->nodes.end());
+  EXPECT_EQ(unique.size(), 10u);
+  for (NodeIndex n : a->nodes) {
+    EXPECT_EQ(machine_.node(n).type, NodeType::kXE);
+  }
+  EXPECT_EQ(alloc.free_count(), 86u);
+}
+
+TEST_F(AllocatorTest, RejectsImpossibleRequests) {
+  NodeAllocator alloc(machine_, NodeType::kXK);
+  EXPECT_FALSE(alloc.Allocate(TimePoint(0), Duration(10), 0, rng_).ok());
+  EXPECT_FALSE(alloc.Allocate(TimePoint(0), Duration(10), 25, rng_).ok());
+}
+
+TEST_F(AllocatorTest, DelaysWhenPartitionFull) {
+  NodeAllocator alloc(machine_, NodeType::kXK);  // 24 nodes
+  auto first =
+      alloc.Allocate(TimePoint(0), Duration::Seconds(100), 20, rng_);
+  ASSERT_TRUE(first.ok());
+  // 10 more don't fit until the first reservation releases at t=100.
+  auto second =
+      alloc.Allocate(TimePoint(10), Duration::Seconds(50), 10, rng_);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(second->start, TimePoint(100));
+}
+
+TEST_F(AllocatorTest, ReleasesReturnNodes) {
+  NodeAllocator alloc(machine_, NodeType::kXK);
+  (void)alloc.Allocate(TimePoint(0), Duration::Seconds(10), 24, rng_);
+  EXPECT_EQ(alloc.free_count(), 0u);
+  // Allocation after release time drains the queue.
+  auto next = alloc.Allocate(TimePoint(1000), Duration::Seconds(10), 24, rng_);
+  ASSERT_TRUE(next.ok());
+  EXPECT_EQ(next->start, TimePoint(1000));
+}
+
+TEST_F(AllocatorTest, StartTimesAreMonotone) {
+  // Strict FCFS: a delayed big job holds later small jobs behind it.
+  NodeAllocator alloc(machine_, NodeType::kXK);
+  (void)alloc.Allocate(TimePoint(0), Duration::Seconds(1000), 20, rng_);
+  auto big = alloc.Allocate(TimePoint(1), Duration::Seconds(10), 24, rng_);
+  ASSERT_TRUE(big.ok());
+  EXPECT_EQ(big->start, TimePoint(1000));
+  auto small = alloc.Allocate(TimePoint(2), Duration::Seconds(10), 1, rng_);
+  ASSERT_TRUE(small.ok());
+  EXPECT_GE(small->start, big->start);
+}
+
+TEST_F(AllocatorTest, NoDoubleOccupancyUnderChurn) {
+  // Random allocate/release churn must never hand out a node twice for
+  // overlapping windows.  We track expected occupancy externally.
+  NodeAllocator alloc(machine_, NodeType::kXE);  // 96 nodes
+  struct Lease {
+    TimePoint end;
+    std::vector<NodeIndex> nodes;
+  };
+  std::vector<Lease> leases;
+  TimePoint clock(0);
+  for (int i = 0; i < 300; ++i) {
+    clock = clock + Duration(rng_.UniformInt(0, 30));
+    const auto count = static_cast<std::uint32_t>(rng_.UniformInt(1, 20));
+    const Duration hold(rng_.UniformInt(10, 500));
+    auto a = alloc.Allocate(clock, hold, count, rng_);
+    ASSERT_TRUE(a.ok());
+    // Active leases at a->start must not intersect the new nodes.
+    std::set<NodeIndex> busy;
+    for (const Lease& lease : leases) {
+      if (lease.end > a->start) {
+        busy.insert(lease.nodes.begin(), lease.nodes.end());
+      }
+    }
+    for (NodeIndex n : a->nodes) {
+      EXPECT_EQ(busy.count(n), 0u) << "node " << n << " double-booked";
+    }
+    leases.push_back({a->start + hold, a->nodes});
+  }
+}
+
+}  // namespace
+}  // namespace ld

@@ -1,0 +1,224 @@
+#include "workload/scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/interval.hpp"
+
+namespace ld {
+namespace {
+
+JobRequest Req(std::int64_t arrival, std::uint32_t nodect, std::int64_t hold,
+               std::int64_t limit = 0) {
+  JobRequest job;
+  job.arrival = TimePoint(arrival);
+  job.nodect = nodect;
+  job.hold = Duration(hold);
+  job.walltime_limit = Duration(limit > 0 ? limit : hold);
+  return job;
+}
+
+class SchedulerTest : public ::testing::Test {
+ protected:
+  SchedulerTest() : machine_(Machine::Testbed(96, 24)), rng_(1) {}
+
+  std::vector<Placement> Schedule(const std::vector<JobRequest>& jobs,
+                                  SchedulerPolicy policy,
+                                  ScheduleStats* stats = nullptr) {
+    auto result = ScheduleJobs(machine_, NodeType::kXE, jobs, policy, rng_,
+                               stats);
+    EXPECT_TRUE(result.ok()) << result.status().ToString();
+    return result.ok() ? std::move(*result) : std::vector<Placement>{};
+  }
+
+  /// Verifies no node hosts two jobs at once and all starts >= arrivals.
+  void CheckFeasible(const std::vector<JobRequest>& jobs,
+                     const std::vector<Placement>& placements) {
+    ASSERT_EQ(jobs.size(), placements.size());
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+      EXPECT_GE(placements[i].start, jobs[i].arrival);
+      EXPECT_EQ(placements[i].nodes.size(), jobs[i].nodect);
+      std::set<NodeIndex> unique(placements[i].nodes.begin(),
+                                 placements[i].nodes.end());
+      EXPECT_EQ(unique.size(), jobs[i].nodect);
+      for (std::size_t j = i + 1; j < jobs.size(); ++j) {
+        const Interval a{placements[i].start,
+                         placements[i].start + jobs[i].hold};
+        const Interval b{placements[j].start,
+                         placements[j].start + jobs[j].hold};
+        if (!a.Overlaps(b)) continue;
+        for (NodeIndex n : placements[j].nodes) {
+          EXPECT_EQ(unique.count(n), 0u)
+              << "node " << n << " double-booked by jobs " << i << "," << j;
+        }
+      }
+    }
+  }
+
+  Machine machine_;
+  Rng rng_;
+};
+
+TEST_F(SchedulerTest, ImmediateStartWhenEmpty) {
+  const std::vector<JobRequest> jobs = {Req(100, 10, 50)};
+  const auto placements = Schedule(jobs, SchedulerPolicy::kFcfs);
+  EXPECT_EQ(placements[0].start, TimePoint(100));
+}
+
+TEST_F(SchedulerTest, RejectsBadRequests) {
+  Rng rng(1);
+  EXPECT_FALSE(ScheduleJobs(machine_, NodeType::kXE, {Req(0, 0, 10)},
+                            SchedulerPolicy::kFcfs, rng, nullptr)
+                   .ok());
+  EXPECT_FALSE(ScheduleJobs(machine_, NodeType::kXE, {Req(0, 97, 10)},
+                            SchedulerPolicy::kFcfs, rng, nullptr)
+                   .ok());
+}
+
+TEST_F(SchedulerTest, FcfsBlocksBehindBigJob) {
+  // 90 nodes busy until t=1000; a 90-node job arrives at t=10 and a
+  // 1-node job at t=20.  FCFS: the small job waits behind the big one.
+  const std::vector<JobRequest> jobs = {
+      Req(0, 90, 1000),
+      Req(10, 90, 100),
+      Req(20, 1, 10),
+  };
+  const auto placements = Schedule(jobs, SchedulerPolicy::kFcfs);
+  EXPECT_EQ(placements[1].start, TimePoint(1000));
+  EXPECT_GE(placements[2].start, placements[1].start);
+  CheckFeasible(jobs, placements);
+}
+
+TEST_F(SchedulerTest, EasyBackfillsShortSmallJob) {
+  // Same situation under EASY: the 1-node 10s job finishes long before
+  // the big job's shadow time, so it backfills immediately.
+  const std::vector<JobRequest> jobs = {
+      Req(0, 90, 1000),
+      Req(10, 90, 100),
+      Req(20, 1, 10),
+  };
+  ScheduleStats stats;
+  const auto placements = Schedule(jobs, SchedulerPolicy::kEasyBackfill,
+                                   &stats);
+  EXPECT_EQ(placements[1].start, TimePoint(1000));
+  EXPECT_EQ(placements[2].start, TimePoint(20));
+  EXPECT_EQ(stats.backfilled, 1u);
+  CheckFeasible(jobs, placements);
+}
+
+TEST_F(SchedulerTest, EasyNeverDelaysQueueHead) {
+  // The backfill candidate would outlive the shadow time AND needs more
+  // than the spare nodes, so it must NOT start ahead of the head.
+  const std::vector<JobRequest> jobs = {
+      Req(0, 90, 1000),   // running until 1000
+      Req(10, 90, 100),   // head: shadow = 1000, extra = 96-90 = 6
+      Req(20, 50, 5000),  // too big for spare, too long for shadow
+  };
+  const auto placements = Schedule(jobs, SchedulerPolicy::kEasyBackfill);
+  EXPECT_EQ(placements[1].start, TimePoint(1000));
+  EXPECT_GE(placements[2].start, TimePoint(1000));
+  CheckFeasible(jobs, placements);
+}
+
+TEST_F(SchedulerTest, EasyBackfillsWithinSpareNodes) {
+  // A long job that fits inside the spare-node margin may backfill even
+  // though it outlives the shadow time.
+  const std::vector<JobRequest> jobs = {
+      Req(0, 90, 1000),
+      Req(10, 90, 100),  // head; extra = 6 spare nodes
+      Req(20, 5, 9000),  // 5 <= 6 spare: backfills despite its length
+  };
+  const auto placements = Schedule(jobs, SchedulerPolicy::kEasyBackfill);
+  EXPECT_EQ(placements[2].start, TimePoint(20));
+  CheckFeasible(jobs, placements);
+}
+
+TEST_F(SchedulerTest, WalltimeBoundGovernsReservations) {
+  // The head's shadow derives from walltime bounds, not actual holds:
+  // the running job's limit is 2000 even though it actually ends at 500,
+  // so a 1500s backfill candidate is admitted (ends before shadow 2000).
+  const std::vector<JobRequest> jobs = {
+      Req(0, 90, 500, 2000),
+      Req(10, 96, 100, 100),
+      Req(20, 6, 1500, 1500),
+  };
+  const auto placements = Schedule(jobs, SchedulerPolicy::kEasyBackfill);
+  EXPECT_EQ(placements[2].start, TimePoint(20));
+  // Head starts when nodes actually free (500), not at the bound.
+  EXPECT_GE(placements[1].start, TimePoint(500));
+  CheckFeasible(jobs, placements);
+}
+
+TEST_F(SchedulerTest, UtilizationAndWaitStats) {
+  std::vector<JobRequest> jobs;
+  for (int i = 0; i < 50; ++i) {
+    jobs.push_back(Req(i * 10, 48, 1000));
+  }
+  ScheduleStats stats;
+  (void)Schedule(jobs, SchedulerPolicy::kFcfs, &stats);
+  EXPECT_EQ(stats.jobs, 50u);
+  EXPECT_GT(stats.mean_wait_hours, 0.0);
+  EXPECT_GT(stats.utilization, 0.5);
+  EXPECT_LE(stats.utilization, 1.0 + 1e-9);
+}
+
+TEST_F(SchedulerTest, EasyImprovesUtilizationUnderMixedLoad) {
+  // Heavy bimodal load: big long jobs + streams of small short ones.
+  Rng gen(7);
+  std::vector<JobRequest> jobs;
+  std::int64_t t = 0;
+  for (int i = 0; i < 400; ++i) {
+    t += gen.UniformInt(5, 60);
+    if (i % 13 == 0) {
+      jobs.push_back(Req(t, 80, gen.UniformInt(2000, 6000)));
+    } else {
+      jobs.push_back(
+          Req(t, static_cast<std::uint32_t>(gen.UniformInt(1, 8)),
+              gen.UniformInt(30, 600)));
+    }
+  }
+  ScheduleStats fcfs_stats, easy_stats;
+  Rng r1(3), r2(3);
+  auto fcfs = ScheduleJobs(machine_, NodeType::kXE, jobs,
+                           SchedulerPolicy::kFcfs, r1, &fcfs_stats);
+  auto easy = ScheduleJobs(machine_, NodeType::kXE, jobs,
+                           SchedulerPolicy::kEasyBackfill, r2, &easy_stats);
+  ASSERT_TRUE(fcfs.ok());
+  ASSERT_TRUE(easy.ok());
+  EXPECT_GT(easy_stats.backfilled, 0u);
+  EXPECT_LT(easy_stats.mean_wait_hours, fcfs_stats.mean_wait_hours);
+  CheckFeasible(jobs, *easy);
+}
+
+TEST_F(SchedulerTest, DeterministicInSeed) {
+  std::vector<JobRequest> jobs;
+  for (int i = 0; i < 100; ++i) jobs.push_back(Req(i * 5, 10, 200));
+  Rng r1(9), r2(9);
+  auto a = ScheduleJobs(machine_, NodeType::kXE, jobs,
+                        SchedulerPolicy::kEasyBackfill, r1, nullptr);
+  auto b = ScheduleJobs(machine_, NodeType::kXE, jobs,
+                        SchedulerPolicy::kEasyBackfill, r2, nullptr);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  for (std::size_t i = 0; i < a->size(); ++i) {
+    EXPECT_EQ((*a)[i].start, (*b)[i].start);
+    EXPECT_EQ((*a)[i].nodes, (*b)[i].nodes);
+  }
+}
+
+TEST_F(SchedulerTest, UnsortedArrivalsHandled) {
+  const std::vector<JobRequest> jobs = {Req(500, 10, 50), Req(0, 10, 50)};
+  const auto placements = Schedule(jobs, SchedulerPolicy::kFcfs);
+  EXPECT_EQ(placements[1].start, TimePoint(0));
+  EXPECT_EQ(placements[0].start, TimePoint(500));
+}
+
+TEST(SchedulerPolicyName, Names) {
+  EXPECT_STREQ(SchedulerPolicyName(SchedulerPolicy::kFcfs), "fcfs");
+  EXPECT_STREQ(SchedulerPolicyName(SchedulerPolicy::kEasyBackfill),
+               "easy-backfill");
+}
+
+}  // namespace
+}  // namespace ld

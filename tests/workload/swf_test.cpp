@@ -1,0 +1,169 @@
+#include "workload/swf.hpp"
+
+#include "faults/injector.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace ld {
+namespace {
+
+// SWF fields: job submit wait run procs avg_cpu mem req_procs req_time
+// req_mem status user group app queue part prev think
+std::string SwfLine(int job, std::int64_t submit, std::int64_t wait,
+                    std::int64_t run, int procs, int status, int user,
+                    std::int64_t req_time = -1) {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "%d %lld %lld %lld %d -1 -1 %d %lld -1 %d %d -1 -1 -1 -1 -1 -1",
+                job, static_cast<long long>(submit),
+                static_cast<long long>(wait), static_cast<long long>(run),
+                procs, procs, static_cast<long long>(req_time), status, user);
+  return buf;
+}
+
+class SwfTest : public ::testing::Test {
+ protected:
+  SwfTest() : machine_(Machine::Testbed(96, 24)), rng_(3) {}
+  Machine machine_;
+  SwfImportConfig config_;
+  Rng rng_;
+};
+
+TEST_F(SwfTest, ImportsBasicTrace) {
+  const std::vector<std::string> lines = {
+      "; Comment: synthetic trace",
+      "; MaxNodes: 96",
+      SwfLine(1, 0, 10, 3600, 64, 1, 7, 7200),
+      SwfLine(2, 100, 0, 1800, 128, 0, 8),
+      "",
+  };
+  SwfImportStats stats;
+  auto wl = ImportSwf(lines, machine_, config_, rng_, &stats);
+  ASSERT_TRUE(wl.ok());
+  EXPECT_EQ(stats.jobs, 2u);
+  EXPECT_EQ(stats.comments, 3u);  // two ';' lines + one blank
+  EXPECT_EQ(stats.malformed, 0u);
+  ASSERT_EQ(wl->jobs.size(), 2u);
+
+  const Job& job1 = wl->jobs[0];
+  EXPECT_EQ(job1.nodect(), 2u);  // 64 procs / 32 per node
+  EXPECT_EQ(job1.submit, config_.epoch);
+  EXPECT_EQ(job1.start, config_.epoch + Duration(10));
+  EXPECT_EQ(job1.walltime_limit.seconds(), 7200);
+  EXPECT_EQ(job1.user_name, "u0007");
+  ASSERT_EQ(job1.app_indices.size(), 1u);
+  const Application& app1 = wl->apps[job1.app_indices[0]];
+  EXPECT_EQ(app1.truth, AppOutcome::kSuccess);
+  EXPECT_EQ(app1.duration().seconds(), 3600);
+
+  const Application& app2 = wl->apps[wl->jobs[1].app_indices[0]];
+  EXPECT_EQ(app2.truth, AppOutcome::kUserFailure);
+  EXPECT_NE(app2.exit_code, 0);
+}
+
+TEST_F(SwfTest, NodesAreDistinctAndOnPartition) {
+  const std::vector<std::string> lines = {SwfLine(1, 0, 0, 100, 96 * 32, 1, 1)};
+  auto wl = ImportSwf(lines, machine_, config_, rng_, nullptr);
+  ASSERT_TRUE(wl.ok());
+  const Job& job = wl->jobs[0];
+  EXPECT_EQ(job.nodect(), 96u);
+  std::set<NodeIndex> unique(job.nodes.begin(), job.nodes.end());
+  EXPECT_EQ(unique.size(), 96u);
+  for (NodeIndex n : job.nodes) {
+    EXPECT_EQ(machine_.node(n).type, NodeType::kXE);
+  }
+}
+
+TEST_F(SwfTest, ClampsOrRejectsOversizedJobs) {
+  const std::vector<std::string> lines = {
+      SwfLine(1, 0, 0, 100, 500 * 32, 1, 1)};
+  SwfImportStats stats;
+  auto clamped = ImportSwf(lines, machine_, config_, rng_, &stats);
+  ASSERT_TRUE(clamped.ok());
+  EXPECT_EQ(clamped->jobs[0].nodect(), 96u);
+  EXPECT_EQ(stats.clamped, 1u);
+
+  SwfImportConfig strict = config_;
+  strict.clamp_oversized = false;
+  EXPECT_FALSE(ImportSwf(lines, machine_, strict, rng_, nullptr).ok());
+}
+
+TEST_F(SwfTest, SkipsUnusableRowsCountsMalformed) {
+  const std::vector<std::string> lines = {
+      SwfLine(1, 0, 0, 0, 32, 1, 1),    // zero runtime
+      SwfLine(2, 0, 0, 100, 0, 1, 1),   // zero procs
+      "only three fields here x",
+      SwfLine(3, 0, 0, 100, 32, 1, 1),  // good
+  };
+  SwfImportStats stats;
+  auto wl = ImportSwf(lines, machine_, config_, rng_, &stats);
+  ASSERT_TRUE(wl.ok());
+  EXPECT_EQ(stats.jobs, 1u);
+  EXPECT_EQ(stats.skipped, 2u);
+  EXPECT_EQ(stats.malformed, 1u);
+}
+
+TEST_F(SwfTest, RejectsEmptyAndBadConfig) {
+  EXPECT_FALSE(ImportSwf({"; nothing"}, machine_, config_, rng_, nullptr).ok());
+  SwfImportConfig bad = config_;
+  bad.cores_per_node = 0;
+  EXPECT_FALSE(
+      ImportSwf({SwfLine(1, 0, 0, 1, 1, 1, 1)}, machine_, bad, rng_, nullptr)
+          .ok());
+  EXPECT_FALSE(ImportSwfFile("/no/such/trace.swf", machine_, config_, rng_,
+                             nullptr)
+                   .ok());
+}
+
+TEST_F(SwfTest, ApidsMonotoneInStart) {
+  const std::vector<std::string> lines = {
+      SwfLine(1, 500, 0, 100, 32, 1, 1),
+      SwfLine(2, 0, 0, 100, 32, 1, 1),
+      SwfLine(3, 250, 0, 100, 32, 1, 1),
+  };
+  auto wl = ImportSwf(lines, machine_, config_, rng_, nullptr);
+  ASSERT_TRUE(wl.ok());
+  std::vector<const Application*> by_apid;
+  for (const Application& app : wl->apps) by_apid.push_back(&app);
+  std::sort(by_apid.begin(), by_apid.end(),
+            [](const Application* a, const Application* b) {
+              return a->apid < b->apid;
+            });
+  for (std::size_t i = 1; i < by_apid.size(); ++i) {
+    EXPECT_GE(by_apid[i]->start, by_apid[i - 1]->start);
+  }
+}
+
+TEST_F(SwfTest, ImportFeedsInjectorAndPipeline) {
+  // The imported workload must be a drop-in for the synthetic one.
+  std::vector<std::string> lines;
+  Rng gen(11);
+  for (int i = 0; i < 300; ++i) {
+    lines.push_back(SwfLine(i + 1, i * 120, gen.UniformInt(0, 60),
+                            gen.UniformInt(60, 7200),
+                            static_cast<int>(gen.UniformInt(1, 64)) * 32, 1,
+                            static_cast<int>(gen.UniformInt(1, 20))));
+  }
+  auto wl = ImportSwf(lines, machine_, config_, rng_, nullptr);
+  ASSERT_TRUE(wl.ok());
+
+  FaultModelConfig faults;
+  faults.xe_fatal_per_node_hour = 1e-3;  // hot, so something happens
+  faults.lustre_incidents_per_day = 5.0;
+  FaultInjector injector(machine_, faults);
+  Rng frng(5);
+  auto injection = injector.Inject(*wl, config_.epoch, Duration::Days(2), frng);
+  ASSERT_TRUE(injection.ok());
+  EXPECT_GT(injection->events.size(), 0u);
+  // Truth covers every app.
+  for (const Application& app : wl->apps) {
+    if (!app.cancelled) {
+      EXPECT_TRUE(injection->truth.contains(app.apid));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ld
