@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig2_scale_xe.cpp" "bench/CMakeFiles/fig2_scale_xe.dir/fig2_scale_xe.cpp.o" "gcc" "bench/CMakeFiles/fig2_scale_xe.dir/fig2_scale_xe.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/ld_bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/simlog/CMakeFiles/ld_simlog.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/ld_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/logdiver/CMakeFiles/ld_logdiver.dir/DependInfo.cmake"
+  "/root/repo/build/src/faults/CMakeFiles/ld_faults.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/ld_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/ld_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ld_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_scale_xe.dir/fig2_scale_xe.cpp.o"
+  "CMakeFiles/fig2_scale_xe.dir/fig2_scale_xe.cpp.o.d"
+  "fig2_scale_xe"
+  "fig2_scale_xe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_scale_xe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

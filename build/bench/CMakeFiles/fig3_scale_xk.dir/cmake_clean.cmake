@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_scale_xk.dir/fig3_scale_xk.cpp.o"
+  "CMakeFiles/fig3_scale_xk.dir/fig3_scale_xk.cpp.o.d"
+  "fig3_scale_xk"
+  "fig3_scale_xk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_scale_xk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig3_scale_xk.
+# This may be replaced when dependencies are built.

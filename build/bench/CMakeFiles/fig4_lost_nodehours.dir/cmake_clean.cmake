@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_lost_nodehours.dir/fig4_lost_nodehours.cpp.o"
+  "CMakeFiles/fig4_lost_nodehours.dir/fig4_lost_nodehours.cpp.o.d"
+  "fig4_lost_nodehours"
+  "fig4_lost_nodehours.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_lost_nodehours.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig4_lost_nodehours.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_mtti.dir/fig5_mtti.cpp.o"
+  "CMakeFiles/fig5_mtti.dir/fig5_mtti.cpp.o.d"
+  "fig5_mtti"
+  "fig5_mtti.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_mtti.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_detection_gap.dir/fig6_detection_gap.cpp.o"
+  "CMakeFiles/fig6_detection_gap.dir/fig6_detection_gap.cpp.o.d"
+  "fig6_detection_gap"
+  "fig6_detection_gap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_detection_gap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

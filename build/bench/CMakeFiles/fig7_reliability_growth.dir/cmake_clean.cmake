@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_reliability_growth.dir/fig7_reliability_growth.cpp.o"
+  "CMakeFiles/fig7_reliability_growth.dir/fig7_reliability_growth.cpp.o.d"
+  "fig7_reliability_growth"
+  "fig7_reliability_growth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_reliability_growth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ld_bench_common.dir/bench_common.cpp.o"
+  "CMakeFiles/ld_bench_common.dir/bench_common.cpp.o.d"
+  "libld_bench_common.a"
+  "libld_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ld_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libld_bench_common.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perf_logdiver.dir/perf_logdiver.cpp.o"
+  "CMakeFiles/perf_logdiver.dir/perf_logdiver.cpp.o.d"
+  "perf_logdiver"
+  "perf_logdiver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perf_logdiver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_data_sources.dir/table2_data_sources.cpp.o"
+  "CMakeFiles/table2_data_sources.dir/table2_data_sources.cpp.o.d"
+  "table2_data_sources"
+  "table2_data_sources.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_data_sources.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_error_categories.dir/table4_error_categories.cpp.o"
+  "CMakeFiles/table4_error_categories.dir/table4_error_categories.cpp.o.d"
+  "table4_error_categories"
+  "table4_error_categories.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_error_categories.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_attribution.dir/table5_attribution.cpp.o"
+  "CMakeFiles/table5_attribution.dir/table5_attribution.cpp.o.d"
+  "table5_attribution"
+  "table5_attribution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_attribution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

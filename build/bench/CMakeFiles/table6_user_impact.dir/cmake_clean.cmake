@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table6_user_impact.dir/table6_user_impact.cpp.o"
+  "CMakeFiles/table6_user_impact.dir/table6_user_impact.cpp.o.d"
+  "table6_user_impact"
+  "table6_user_impact.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table6_user_impact.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table7_incident_impact.dir/table7_incident_impact.cpp.o"
+  "CMakeFiles/table7_incident_impact.dir/table7_incident_impact.cpp.o.d"
+  "table7_incident_impact"
+  "table7_incident_impact.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table7_incident_impact.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

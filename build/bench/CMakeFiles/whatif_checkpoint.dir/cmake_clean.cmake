@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/whatif_checkpoint.dir/whatif_checkpoint.cpp.o"
+  "CMakeFiles/whatif_checkpoint.dir/whatif_checkpoint.cpp.o.d"
+  "whatif_checkpoint"
+  "whatif_checkpoint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/whatif_checkpoint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

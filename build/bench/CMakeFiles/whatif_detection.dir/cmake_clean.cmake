@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/whatif_detection.dir/whatif_detection.cpp.o"
+  "CMakeFiles/whatif_detection.dir/whatif_detection.cpp.o.d"
+  "whatif_detection"
+  "whatif_detection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/whatif_detection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/checkpoint_whatif.dir/checkpoint_whatif.cpp.o"
+  "CMakeFiles/checkpoint_whatif.dir/checkpoint_whatif.cpp.o.d"
+  "checkpoint_whatif"
+  "checkpoint_whatif.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/checkpoint_whatif.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

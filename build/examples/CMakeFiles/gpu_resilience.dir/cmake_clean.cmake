@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpu_resilience.dir/gpu_resilience.cpp.o"
+  "CMakeFiles/gpu_resilience.dir/gpu_resilience.cpp.o.d"
+  "gpu_resilience"
+  "gpu_resilience.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpu_resilience.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/logdiver_cli.dir/logdiver_cli.cpp.o"
+  "CMakeFiles/logdiver_cli.dir/logdiver_cli.cpp.o.d"
+  "logdiver_cli"
+  "logdiver_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/logdiver_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/baselines.cpp" "src/analysis/CMakeFiles/ld_analysis.dir/baselines.cpp.o" "gcc" "src/analysis/CMakeFiles/ld_analysis.dir/baselines.cpp.o.d"
+  "/root/repo/src/analysis/bootstrap.cpp" "src/analysis/CMakeFiles/ld_analysis.dir/bootstrap.cpp.o" "gcc" "src/analysis/CMakeFiles/ld_analysis.dir/bootstrap.cpp.o.d"
+  "/root/repo/src/analysis/checkpoint.cpp" "src/analysis/CMakeFiles/ld_analysis.dir/checkpoint.cpp.o" "gcc" "src/analysis/CMakeFiles/ld_analysis.dir/checkpoint.cpp.o.d"
+  "/root/repo/src/analysis/scaling.cpp" "src/analysis/CMakeFiles/ld_analysis.dir/scaling.cpp.o" "gcc" "src/analysis/CMakeFiles/ld_analysis.dir/scaling.cpp.o.d"
+  "/root/repo/src/analysis/scoring.cpp" "src/analysis/CMakeFiles/ld_analysis.dir/scoring.cpp.o" "gcc" "src/analysis/CMakeFiles/ld_analysis.dir/scoring.cpp.o.d"
+  "/root/repo/src/analysis/users.cpp" "src/analysis/CMakeFiles/ld_analysis.dir/users.cpp.o" "gcc" "src/analysis/CMakeFiles/ld_analysis.dir/users.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ld_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/logdiver/CMakeFiles/ld_logdiver.dir/DependInfo.cmake"
+  "/root/repo/build/src/faults/CMakeFiles/ld_faults.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/ld_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/ld_topology.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

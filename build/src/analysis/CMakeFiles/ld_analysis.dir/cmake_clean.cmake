@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ld_analysis.dir/baselines.cpp.o"
+  "CMakeFiles/ld_analysis.dir/baselines.cpp.o.d"
+  "CMakeFiles/ld_analysis.dir/bootstrap.cpp.o"
+  "CMakeFiles/ld_analysis.dir/bootstrap.cpp.o.d"
+  "CMakeFiles/ld_analysis.dir/checkpoint.cpp.o"
+  "CMakeFiles/ld_analysis.dir/checkpoint.cpp.o.d"
+  "CMakeFiles/ld_analysis.dir/scaling.cpp.o"
+  "CMakeFiles/ld_analysis.dir/scaling.cpp.o.d"
+  "CMakeFiles/ld_analysis.dir/scoring.cpp.o"
+  "CMakeFiles/ld_analysis.dir/scoring.cpp.o.d"
+  "CMakeFiles/ld_analysis.dir/users.cpp.o"
+  "CMakeFiles/ld_analysis.dir/users.cpp.o.d"
+  "libld_analysis.a"
+  "libld_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ld_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

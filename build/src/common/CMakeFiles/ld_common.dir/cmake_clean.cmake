@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ld_common.dir/csv.cpp.o"
+  "CMakeFiles/ld_common.dir/csv.cpp.o.d"
+  "CMakeFiles/ld_common.dir/distributions.cpp.o"
+  "CMakeFiles/ld_common.dir/distributions.cpp.o.d"
+  "CMakeFiles/ld_common.dir/interval.cpp.o"
+  "CMakeFiles/ld_common.dir/interval.cpp.o.d"
+  "CMakeFiles/ld_common.dir/rng.cpp.o"
+  "CMakeFiles/ld_common.dir/rng.cpp.o.d"
+  "CMakeFiles/ld_common.dir/stats.cpp.o"
+  "CMakeFiles/ld_common.dir/stats.cpp.o.d"
+  "CMakeFiles/ld_common.dir/strings.cpp.o"
+  "CMakeFiles/ld_common.dir/strings.cpp.o.d"
+  "CMakeFiles/ld_common.dir/time.cpp.o"
+  "CMakeFiles/ld_common.dir/time.cpp.o.d"
+  "libld_common.a"
+  "libld_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ld_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

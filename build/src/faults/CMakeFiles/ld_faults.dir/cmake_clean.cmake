@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ld_faults.dir/injector.cpp.o"
+  "CMakeFiles/ld_faults.dir/injector.cpp.o.d"
+  "CMakeFiles/ld_faults.dir/taxonomy.cpp.o"
+  "CMakeFiles/ld_faults.dir/taxonomy.cpp.o.d"
+  "libld_faults.a"
+  "libld_faults.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ld_faults.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

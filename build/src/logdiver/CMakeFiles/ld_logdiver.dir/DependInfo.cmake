@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/logdiver/alps_parser.cpp" "src/logdiver/CMakeFiles/ld_logdiver.dir/alps_parser.cpp.o" "gcc" "src/logdiver/CMakeFiles/ld_logdiver.dir/alps_parser.cpp.o.d"
+  "/root/repo/src/logdiver/coalesce.cpp" "src/logdiver/CMakeFiles/ld_logdiver.dir/coalesce.cpp.o" "gcc" "src/logdiver/CMakeFiles/ld_logdiver.dir/coalesce.cpp.o.d"
+  "/root/repo/src/logdiver/correlate.cpp" "src/logdiver/CMakeFiles/ld_logdiver.dir/correlate.cpp.o" "gcc" "src/logdiver/CMakeFiles/ld_logdiver.dir/correlate.cpp.o.d"
+  "/root/repo/src/logdiver/export.cpp" "src/logdiver/CMakeFiles/ld_logdiver.dir/export.cpp.o" "gcc" "src/logdiver/CMakeFiles/ld_logdiver.dir/export.cpp.o.d"
+  "/root/repo/src/logdiver/hwerr_parser.cpp" "src/logdiver/CMakeFiles/ld_logdiver.dir/hwerr_parser.cpp.o" "gcc" "src/logdiver/CMakeFiles/ld_logdiver.dir/hwerr_parser.cpp.o.d"
+  "/root/repo/src/logdiver/logdiver.cpp" "src/logdiver/CMakeFiles/ld_logdiver.dir/logdiver.cpp.o" "gcc" "src/logdiver/CMakeFiles/ld_logdiver.dir/logdiver.cpp.o.d"
+  "/root/repo/src/logdiver/metrics.cpp" "src/logdiver/CMakeFiles/ld_logdiver.dir/metrics.cpp.o" "gcc" "src/logdiver/CMakeFiles/ld_logdiver.dir/metrics.cpp.o.d"
+  "/root/repo/src/logdiver/reconstruct.cpp" "src/logdiver/CMakeFiles/ld_logdiver.dir/reconstruct.cpp.o" "gcc" "src/logdiver/CMakeFiles/ld_logdiver.dir/reconstruct.cpp.o.d"
+  "/root/repo/src/logdiver/records.cpp" "src/logdiver/CMakeFiles/ld_logdiver.dir/records.cpp.o" "gcc" "src/logdiver/CMakeFiles/ld_logdiver.dir/records.cpp.o.d"
+  "/root/repo/src/logdiver/report.cpp" "src/logdiver/CMakeFiles/ld_logdiver.dir/report.cpp.o" "gcc" "src/logdiver/CMakeFiles/ld_logdiver.dir/report.cpp.o.d"
+  "/root/repo/src/logdiver/streaming.cpp" "src/logdiver/CMakeFiles/ld_logdiver.dir/streaming.cpp.o" "gcc" "src/logdiver/CMakeFiles/ld_logdiver.dir/streaming.cpp.o.d"
+  "/root/repo/src/logdiver/syslog_parser.cpp" "src/logdiver/CMakeFiles/ld_logdiver.dir/syslog_parser.cpp.o" "gcc" "src/logdiver/CMakeFiles/ld_logdiver.dir/syslog_parser.cpp.o.d"
+  "/root/repo/src/logdiver/torque_parser.cpp" "src/logdiver/CMakeFiles/ld_logdiver.dir/torque_parser.cpp.o" "gcc" "src/logdiver/CMakeFiles/ld_logdiver.dir/torque_parser.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ld_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/ld_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/faults/CMakeFiles/ld_faults.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/ld_workload.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

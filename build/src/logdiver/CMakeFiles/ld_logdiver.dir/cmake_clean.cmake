@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ld_logdiver.dir/alps_parser.cpp.o"
+  "CMakeFiles/ld_logdiver.dir/alps_parser.cpp.o.d"
+  "CMakeFiles/ld_logdiver.dir/coalesce.cpp.o"
+  "CMakeFiles/ld_logdiver.dir/coalesce.cpp.o.d"
+  "CMakeFiles/ld_logdiver.dir/correlate.cpp.o"
+  "CMakeFiles/ld_logdiver.dir/correlate.cpp.o.d"
+  "CMakeFiles/ld_logdiver.dir/export.cpp.o"
+  "CMakeFiles/ld_logdiver.dir/export.cpp.o.d"
+  "CMakeFiles/ld_logdiver.dir/hwerr_parser.cpp.o"
+  "CMakeFiles/ld_logdiver.dir/hwerr_parser.cpp.o.d"
+  "CMakeFiles/ld_logdiver.dir/logdiver.cpp.o"
+  "CMakeFiles/ld_logdiver.dir/logdiver.cpp.o.d"
+  "CMakeFiles/ld_logdiver.dir/metrics.cpp.o"
+  "CMakeFiles/ld_logdiver.dir/metrics.cpp.o.d"
+  "CMakeFiles/ld_logdiver.dir/reconstruct.cpp.o"
+  "CMakeFiles/ld_logdiver.dir/reconstruct.cpp.o.d"
+  "CMakeFiles/ld_logdiver.dir/records.cpp.o"
+  "CMakeFiles/ld_logdiver.dir/records.cpp.o.d"
+  "CMakeFiles/ld_logdiver.dir/report.cpp.o"
+  "CMakeFiles/ld_logdiver.dir/report.cpp.o.d"
+  "CMakeFiles/ld_logdiver.dir/streaming.cpp.o"
+  "CMakeFiles/ld_logdiver.dir/streaming.cpp.o.d"
+  "CMakeFiles/ld_logdiver.dir/syslog_parser.cpp.o"
+  "CMakeFiles/ld_logdiver.dir/syslog_parser.cpp.o.d"
+  "CMakeFiles/ld_logdiver.dir/torque_parser.cpp.o"
+  "CMakeFiles/ld_logdiver.dir/torque_parser.cpp.o.d"
+  "libld_logdiver.a"
+  "libld_logdiver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ld_logdiver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/simlog/emitters.cpp" "src/simlog/CMakeFiles/ld_simlog.dir/emitters.cpp.o" "gcc" "src/simlog/CMakeFiles/ld_simlog.dir/emitters.cpp.o.d"
+  "/root/repo/src/simlog/scenario.cpp" "src/simlog/CMakeFiles/ld_simlog.dir/scenario.cpp.o" "gcc" "src/simlog/CMakeFiles/ld_simlog.dir/scenario.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ld_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/ld_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/ld_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/faults/CMakeFiles/ld_faults.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ld_simlog.dir/emitters.cpp.o"
+  "CMakeFiles/ld_simlog.dir/emitters.cpp.o.d"
+  "CMakeFiles/ld_simlog.dir/scenario.cpp.o"
+  "CMakeFiles/ld_simlog.dir/scenario.cpp.o.d"
+  "libld_simlog.a"
+  "libld_simlog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ld_simlog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ld_topology.dir/cname.cpp.o"
+  "CMakeFiles/ld_topology.dir/cname.cpp.o.d"
+  "CMakeFiles/ld_topology.dir/machine.cpp.o"
+  "CMakeFiles/ld_topology.dir/machine.cpp.o.d"
+  "libld_topology.a"
+  "libld_topology.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ld_topology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/allocator.cpp" "src/workload/CMakeFiles/ld_workload.dir/allocator.cpp.o" "gcc" "src/workload/CMakeFiles/ld_workload.dir/allocator.cpp.o.d"
+  "/root/repo/src/workload/generator.cpp" "src/workload/CMakeFiles/ld_workload.dir/generator.cpp.o" "gcc" "src/workload/CMakeFiles/ld_workload.dir/generator.cpp.o.d"
+  "/root/repo/src/workload/scheduler.cpp" "src/workload/CMakeFiles/ld_workload.dir/scheduler.cpp.o" "gcc" "src/workload/CMakeFiles/ld_workload.dir/scheduler.cpp.o.d"
+  "/root/repo/src/workload/swf.cpp" "src/workload/CMakeFiles/ld_workload.dir/swf.cpp.o" "gcc" "src/workload/CMakeFiles/ld_workload.dir/swf.cpp.o.d"
+  "/root/repo/src/workload/types.cpp" "src/workload/CMakeFiles/ld_workload.dir/types.cpp.o" "gcc" "src/workload/CMakeFiles/ld_workload.dir/types.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ld_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/ld_topology.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ld_workload.dir/allocator.cpp.o"
+  "CMakeFiles/ld_workload.dir/allocator.cpp.o.d"
+  "CMakeFiles/ld_workload.dir/generator.cpp.o"
+  "CMakeFiles/ld_workload.dir/generator.cpp.o.d"
+  "CMakeFiles/ld_workload.dir/scheduler.cpp.o"
+  "CMakeFiles/ld_workload.dir/scheduler.cpp.o.d"
+  "CMakeFiles/ld_workload.dir/swf.cpp.o"
+  "CMakeFiles/ld_workload.dir/swf.cpp.o.d"
+  "CMakeFiles/ld_workload.dir/types.cpp.o"
+  "CMakeFiles/ld_workload.dir/types.cpp.o.d"
+  "libld_workload.a"
+  "libld_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ld_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,64 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/analysis/baselines_test.cpp" "tests/CMakeFiles/ld_tests.dir/analysis/baselines_test.cpp.o" "gcc" "tests/CMakeFiles/ld_tests.dir/analysis/baselines_test.cpp.o.d"
+  "/root/repo/tests/analysis/bootstrap_test.cpp" "tests/CMakeFiles/ld_tests.dir/analysis/bootstrap_test.cpp.o" "gcc" "tests/CMakeFiles/ld_tests.dir/analysis/bootstrap_test.cpp.o.d"
+  "/root/repo/tests/analysis/checkpoint_test.cpp" "tests/CMakeFiles/ld_tests.dir/analysis/checkpoint_test.cpp.o" "gcc" "tests/CMakeFiles/ld_tests.dir/analysis/checkpoint_test.cpp.o.d"
+  "/root/repo/tests/analysis/scaling_test.cpp" "tests/CMakeFiles/ld_tests.dir/analysis/scaling_test.cpp.o" "gcc" "tests/CMakeFiles/ld_tests.dir/analysis/scaling_test.cpp.o.d"
+  "/root/repo/tests/analysis/scoring_test.cpp" "tests/CMakeFiles/ld_tests.dir/analysis/scoring_test.cpp.o" "gcc" "tests/CMakeFiles/ld_tests.dir/analysis/scoring_test.cpp.o.d"
+  "/root/repo/tests/analysis/users_test.cpp" "tests/CMakeFiles/ld_tests.dir/analysis/users_test.cpp.o" "gcc" "tests/CMakeFiles/ld_tests.dir/analysis/users_test.cpp.o.d"
+  "/root/repo/tests/common/csv_test.cpp" "tests/CMakeFiles/ld_tests.dir/common/csv_test.cpp.o" "gcc" "tests/CMakeFiles/ld_tests.dir/common/csv_test.cpp.o.d"
+  "/root/repo/tests/common/distributions_test.cpp" "tests/CMakeFiles/ld_tests.dir/common/distributions_test.cpp.o" "gcc" "tests/CMakeFiles/ld_tests.dir/common/distributions_test.cpp.o.d"
+  "/root/repo/tests/common/interval_test.cpp" "tests/CMakeFiles/ld_tests.dir/common/interval_test.cpp.o" "gcc" "tests/CMakeFiles/ld_tests.dir/common/interval_test.cpp.o.d"
+  "/root/repo/tests/common/rng_test.cpp" "tests/CMakeFiles/ld_tests.dir/common/rng_test.cpp.o" "gcc" "tests/CMakeFiles/ld_tests.dir/common/rng_test.cpp.o.d"
+  "/root/repo/tests/common/stats_test.cpp" "tests/CMakeFiles/ld_tests.dir/common/stats_test.cpp.o" "gcc" "tests/CMakeFiles/ld_tests.dir/common/stats_test.cpp.o.d"
+  "/root/repo/tests/common/status_test.cpp" "tests/CMakeFiles/ld_tests.dir/common/status_test.cpp.o" "gcc" "tests/CMakeFiles/ld_tests.dir/common/status_test.cpp.o.d"
+  "/root/repo/tests/common/strings_test.cpp" "tests/CMakeFiles/ld_tests.dir/common/strings_test.cpp.o" "gcc" "tests/CMakeFiles/ld_tests.dir/common/strings_test.cpp.o.d"
+  "/root/repo/tests/common/time_test.cpp" "tests/CMakeFiles/ld_tests.dir/common/time_test.cpp.o" "gcc" "tests/CMakeFiles/ld_tests.dir/common/time_test.cpp.o.d"
+  "/root/repo/tests/faults/injector_test.cpp" "tests/CMakeFiles/ld_tests.dir/faults/injector_test.cpp.o" "gcc" "tests/CMakeFiles/ld_tests.dir/faults/injector_test.cpp.o.d"
+  "/root/repo/tests/faults/taxonomy_test.cpp" "tests/CMakeFiles/ld_tests.dir/faults/taxonomy_test.cpp.o" "gcc" "tests/CMakeFiles/ld_tests.dir/faults/taxonomy_test.cpp.o.d"
+  "/root/repo/tests/integration/end_to_end_test.cpp" "tests/CMakeFiles/ld_tests.dir/integration/end_to_end_test.cpp.o" "gcc" "tests/CMakeFiles/ld_tests.dir/integration/end_to_end_test.cpp.o.d"
+  "/root/repo/tests/integration/property_test.cpp" "tests/CMakeFiles/ld_tests.dir/integration/property_test.cpp.o" "gcc" "tests/CMakeFiles/ld_tests.dir/integration/property_test.cpp.o.d"
+  "/root/repo/tests/logdiver/alps_parser_test.cpp" "tests/CMakeFiles/ld_tests.dir/logdiver/alps_parser_test.cpp.o" "gcc" "tests/CMakeFiles/ld_tests.dir/logdiver/alps_parser_test.cpp.o.d"
+  "/root/repo/tests/logdiver/coalesce_test.cpp" "tests/CMakeFiles/ld_tests.dir/logdiver/coalesce_test.cpp.o" "gcc" "tests/CMakeFiles/ld_tests.dir/logdiver/coalesce_test.cpp.o.d"
+  "/root/repo/tests/logdiver/correlate_test.cpp" "tests/CMakeFiles/ld_tests.dir/logdiver/correlate_test.cpp.o" "gcc" "tests/CMakeFiles/ld_tests.dir/logdiver/correlate_test.cpp.o.d"
+  "/root/repo/tests/logdiver/export_test.cpp" "tests/CMakeFiles/ld_tests.dir/logdiver/export_test.cpp.o" "gcc" "tests/CMakeFiles/ld_tests.dir/logdiver/export_test.cpp.o.d"
+  "/root/repo/tests/logdiver/hwerr_parser_test.cpp" "tests/CMakeFiles/ld_tests.dir/logdiver/hwerr_parser_test.cpp.o" "gcc" "tests/CMakeFiles/ld_tests.dir/logdiver/hwerr_parser_test.cpp.o.d"
+  "/root/repo/tests/logdiver/metrics_test.cpp" "tests/CMakeFiles/ld_tests.dir/logdiver/metrics_test.cpp.o" "gcc" "tests/CMakeFiles/ld_tests.dir/logdiver/metrics_test.cpp.o.d"
+  "/root/repo/tests/logdiver/reconstruct_test.cpp" "tests/CMakeFiles/ld_tests.dir/logdiver/reconstruct_test.cpp.o" "gcc" "tests/CMakeFiles/ld_tests.dir/logdiver/reconstruct_test.cpp.o.d"
+  "/root/repo/tests/logdiver/report_test.cpp" "tests/CMakeFiles/ld_tests.dir/logdiver/report_test.cpp.o" "gcc" "tests/CMakeFiles/ld_tests.dir/logdiver/report_test.cpp.o.d"
+  "/root/repo/tests/logdiver/rotated_logs_test.cpp" "tests/CMakeFiles/ld_tests.dir/logdiver/rotated_logs_test.cpp.o" "gcc" "tests/CMakeFiles/ld_tests.dir/logdiver/rotated_logs_test.cpp.o.d"
+  "/root/repo/tests/logdiver/streaming_coalesce_test.cpp" "tests/CMakeFiles/ld_tests.dir/logdiver/streaming_coalesce_test.cpp.o" "gcc" "tests/CMakeFiles/ld_tests.dir/logdiver/streaming_coalesce_test.cpp.o.d"
+  "/root/repo/tests/logdiver/streaming_test.cpp" "tests/CMakeFiles/ld_tests.dir/logdiver/streaming_test.cpp.o" "gcc" "tests/CMakeFiles/ld_tests.dir/logdiver/streaming_test.cpp.o.d"
+  "/root/repo/tests/logdiver/syslog_parser_test.cpp" "tests/CMakeFiles/ld_tests.dir/logdiver/syslog_parser_test.cpp.o" "gcc" "tests/CMakeFiles/ld_tests.dir/logdiver/syslog_parser_test.cpp.o.d"
+  "/root/repo/tests/logdiver/torque_parser_test.cpp" "tests/CMakeFiles/ld_tests.dir/logdiver/torque_parser_test.cpp.o" "gcc" "tests/CMakeFiles/ld_tests.dir/logdiver/torque_parser_test.cpp.o.d"
+  "/root/repo/tests/simlog/emitters_test.cpp" "tests/CMakeFiles/ld_tests.dir/simlog/emitters_test.cpp.o" "gcc" "tests/CMakeFiles/ld_tests.dir/simlog/emitters_test.cpp.o.d"
+  "/root/repo/tests/simlog/scenario_test.cpp" "tests/CMakeFiles/ld_tests.dir/simlog/scenario_test.cpp.o" "gcc" "tests/CMakeFiles/ld_tests.dir/simlog/scenario_test.cpp.o.d"
+  "/root/repo/tests/topology/cname_test.cpp" "tests/CMakeFiles/ld_tests.dir/topology/cname_test.cpp.o" "gcc" "tests/CMakeFiles/ld_tests.dir/topology/cname_test.cpp.o.d"
+  "/root/repo/tests/topology/machine_test.cpp" "tests/CMakeFiles/ld_tests.dir/topology/machine_test.cpp.o" "gcc" "tests/CMakeFiles/ld_tests.dir/topology/machine_test.cpp.o.d"
+  "/root/repo/tests/workload/allocator_test.cpp" "tests/CMakeFiles/ld_tests.dir/workload/allocator_test.cpp.o" "gcc" "tests/CMakeFiles/ld_tests.dir/workload/allocator_test.cpp.o.d"
+  "/root/repo/tests/workload/generator_test.cpp" "tests/CMakeFiles/ld_tests.dir/workload/generator_test.cpp.o" "gcc" "tests/CMakeFiles/ld_tests.dir/workload/generator_test.cpp.o.d"
+  "/root/repo/tests/workload/scheduler_test.cpp" "tests/CMakeFiles/ld_tests.dir/workload/scheduler_test.cpp.o" "gcc" "tests/CMakeFiles/ld_tests.dir/workload/scheduler_test.cpp.o.d"
+  "/root/repo/tests/workload/swf_test.cpp" "tests/CMakeFiles/ld_tests.dir/workload/swf_test.cpp.o" "gcc" "tests/CMakeFiles/ld_tests.dir/workload/swf_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ld_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/ld_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/ld_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/faults/CMakeFiles/ld_faults.dir/DependInfo.cmake"
+  "/root/repo/build/src/simlog/CMakeFiles/ld_simlog.dir/DependInfo.cmake"
+  "/root/repo/build/src/logdiver/CMakeFiles/ld_logdiver.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/ld_analysis.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
