@@ -120,6 +120,36 @@ class Result {
   std::variant<T, Status> payload_;
 };
 
+namespace internal {
+inline Status AsStatus(const Status& s) { return s; }
+template <typename T>
+Status AsStatus(const Result<T>& r) {
+  return r.status();
+}
+}  // namespace internal
+
+#define LD_CONCAT_IMPL_(a, b) a##b
+#define LD_CONCAT_(a, b) LD_CONCAT_IMPL_(a, b)
+
+/// Evaluates an expression yielding a Status or Result<T>; on error,
+/// propagates the Status out of the enclosing function (which must
+/// return Status or a Result — Result converts from Status implicitly).
+#define LD_TRY(expr)                                                      \
+  do {                                                                    \
+    const auto& ld_try_value_ = (expr);                                   \
+    if (!ld_try_value_.ok()) return ::ld::internal::AsStatus(ld_try_value_); \
+  } while (0)
+
+/// LD_ASSIGN_OR_RETURN(auto v, ParseThing(...)): declares/assigns `v`
+/// from the Result's value, or propagates the error Status.  Cuts the
+/// `auto r = ...; if (!r.ok()) return r.status();` parser boilerplate.
+#define LD_ASSIGN_OR_RETURN(lhs, rexpr) \
+  LD_ASSIGN_OR_RETURN_IMPL_(LD_CONCAT_(ld_result_, __LINE__), lhs, rexpr)
+#define LD_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                              \
+  if (!tmp.ok()) return tmp.status();              \
+  lhs = std::move(tmp).value()
+
 /// Precondition check; throws std::logic_error on violation.  Used for
 /// programmer errors, never for data errors (those go through Status).
 #define LD_CHECK(cond, msg)                                       \

@@ -1,0 +1,352 @@
+#include "faults/corruptor.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cstdio>
+#include <map>
+
+#include "common/time.hpp"
+
+namespace ld {
+namespace {
+
+bool IsDigit(char c) { return c >= '0' && c <= '9'; }
+
+/// Replaces the run of digits at `pos` with `value` (clamped to >= 0 so
+/// a large negative skew cannot render a sign the formats don't allow).
+void SpliceInteger(std::string& line, std::size_t pos, std::int64_t value) {
+  std::size_t end = pos;
+  while (end < line.size() && IsDigit(line[end])) ++end;
+  if (end == pos) return;
+  line.replace(pos, end - pos,
+               std::to_string(std::max<std::int64_t>(0, value)));
+}
+
+Result<std::int64_t> ReadInteger(std::string_view text) {
+  if (text.empty()) return ParseError("empty integer");
+  std::int64_t value = 0;
+  for (char c : text) {
+    if (!IsDigit(c)) return ParseError("not an integer");
+    value = value * 10 + (c - '0');
+  }
+  return value;
+}
+
+/// Skews the "MM/DD/YYYY HH:MM:SS" prefix and every authoritative epoch
+/// k=v field of a Torque accounting line.
+bool SkewTorque(std::string& line, std::int64_t delta) {
+  bool touched = false;
+  // Prefix.
+  if (line.size() >= 19 && line[2] == '/' && line[5] == '/' &&
+      line[10] == ' ' && line[13] == ':' && line[16] == ':') {
+    const auto month = ReadInteger(std::string_view(line).substr(0, 2));
+    const auto day = ReadInteger(std::string_view(line).substr(3, 2));
+    const auto year = ReadInteger(std::string_view(line).substr(6, 4));
+    const auto hour = ReadInteger(std::string_view(line).substr(11, 2));
+    const auto minute = ReadInteger(std::string_view(line).substr(14, 2));
+    const auto second = ReadInteger(std::string_view(line).substr(17, 2));
+    if (month.ok() && day.ok() && year.ok() && hour.ok() && minute.ok() &&
+        second.ok()) {
+      const TimePoint when =
+          TimePoint::FromCalendar(
+              static_cast<int>(*year), static_cast<int>(*month),
+              static_cast<int>(*day), static_cast<int>(*hour),
+              static_cast<int>(*minute), static_cast<int>(*second)) +
+          Duration::Seconds(delta);
+      const CalendarTime cal = ToCalendar(when);
+      char buf[20];
+      std::snprintf(buf, sizeof buf, "%02d/%02d/%04d %02d:%02d:%02d",
+                    cal.month, cal.day, cal.year, cal.hour, cal.minute,
+                    cal.second);
+      line.replace(0, 19, buf);
+      touched = true;
+    }
+  }
+  // Epoch fields (these are what the parser trusts).
+  static constexpr std::array<std::string_view, 5> kKeys = {
+      "ctime=", "qtime=", "etime=", "start=", "end="};
+  for (std::string_view key : kKeys) {
+    std::size_t pos = 0;
+    while ((pos = line.find(key, pos)) != std::string::npos) {
+      if (pos != 0 && line[pos - 1] != ' ' && line[pos - 1] != ';') {
+        pos += key.size();
+        continue;  // substring of a longer key (e.g. "end=" in "suspend=")
+      }
+      const std::size_t digits = pos + key.size();
+      std::size_t end = digits;
+      while (end < line.size() && IsDigit(line[end])) ++end;
+      const auto value =
+          ReadInteger(std::string_view(line).substr(digits, end - digits));
+      if (value.ok()) {
+        SpliceInteger(line, digits, *value + delta);
+        touched = true;
+      }
+      pos = digits;
+    }
+  }
+  return touched;
+}
+
+/// Skews the leading "YYYY-MM-DDTHH:MM:SS" stamp of an ALPS line.
+bool SkewAlps(std::string& line, std::int64_t delta) {
+  if (line.size() < 19) return false;
+  const auto when = TimePoint::FromIso(line.substr(0, 19));
+  if (!when.ok()) return false;
+  line.replace(0, 19, (*when + Duration::Seconds(delta)).ToIso());
+  return true;
+}
+
+/// Skews the leading "Mon dD HH:MM:SS" stamp of a classic syslog line.
+bool SkewSyslog(std::string& line, std::int64_t delta, int year) {
+  if (line.size() < 15 || line[3] != ' ' || line[9] != ':' ||
+      line[12] != ':') {
+    return false;
+  }
+  static constexpr std::array<std::string_view, 12> kMonths = {
+      "Jan", "Feb", "Mar", "Apr", "May", "Jun",
+      "Jul", "Aug", "Sep", "Oct", "Nov", "Dec"};
+  const std::string_view view(line);
+  int month = 0;
+  for (std::size_t m = 0; m < kMonths.size(); ++m) {
+    if (view.substr(0, 3) == kMonths[m]) {
+      month = static_cast<int>(m) + 1;
+      break;
+    }
+  }
+  if (month == 0) return false;
+  std::string_view day_text = view.substr(4, 2);
+  if (!day_text.empty() && day_text.front() == ' ') day_text.remove_prefix(1);
+  const auto day = ReadInteger(day_text);
+  const auto hour = ReadInteger(view.substr(7, 2));
+  const auto minute = ReadInteger(view.substr(10, 2));
+  const auto second = ReadInteger(view.substr(13, 2));
+  if (!day.ok() || !hour.ok() || !minute.ok() || !second.ok()) return false;
+  const TimePoint when =
+      TimePoint::FromCalendar(year, month, static_cast<int>(*day),
+                              static_cast<int>(*hour),
+                              static_cast<int>(*minute),
+                              static_cast<int>(*second)) +
+      Duration::Seconds(delta);
+  line.replace(0, 15, when.ToSyslog());
+  return true;
+}
+
+/// Skews the leading "<epoch>|" field of a hwerr line.
+bool SkewHwerr(std::string& line, std::int64_t delta) {
+  const std::size_t bar = line.find('|');
+  if (bar == std::string::npos || bar == 0) return false;
+  const auto value = ReadInteger(std::string_view(line).substr(0, bar));
+  if (!value.ok()) return false;
+  SpliceInteger(line, 0, *value + delta);
+  return true;
+}
+
+bool SkewLine(StreamDialect dialect, std::string& line, std::int64_t delta,
+              int syslog_year) {
+  switch (dialect) {
+    case StreamDialect::kTorque: return SkewTorque(line, delta);
+    case StreamDialect::kAlps: return SkewAlps(line, delta);
+    case StreamDialect::kSyslog: return SkewSyslog(line, delta, syslog_year);
+    case StreamDialect::kHwerr: return SkewHwerr(line, delta);
+  }
+  return false;
+}
+
+}  // namespace
+
+const char* CorruptionOpName(CorruptionOp op) {
+  switch (op) {
+    case CorruptionOp::kRotationGap: return "rotation_gap";
+    case CorruptionOp::kDuplicate: return "duplicate";
+    case CorruptionOp::kReorder: return "reorder";
+    case CorruptionOp::kTimeSkew: return "time_skew";
+    case CorruptionOp::kTruncate: return "truncate";
+    case CorruptionOp::kGarble: return "garble";
+  }
+  return "unknown";
+}
+
+const char* StreamDialectName(StreamDialect dialect) {
+  switch (dialect) {
+    case StreamDialect::kTorque: return "torque";
+    case StreamDialect::kAlps: return "alps";
+    case StreamDialect::kSyslog: return "syslog";
+    case StreamDialect::kHwerr: return "hwerr";
+  }
+  return "unknown";
+}
+
+std::uint64_t CorruptionLedger::total(CorruptionOp op) const {
+  std::uint64_t sum = 0;
+  for (std::size_t s = 0; s < kStreamDialectCount; ++s) {
+    sum += counts[s][static_cast<std::size_t>(op)];
+  }
+  return sum;
+}
+
+std::uint64_t CorruptionLedger::total() const {
+  std::uint64_t sum = 0;
+  for (std::size_t s = 0; s < kStreamDialectCount; ++s) {
+    for (std::size_t o = 0; o < kCorruptionOpCount; ++o) sum += counts[s][o];
+  }
+  return sum;
+}
+
+std::vector<std::string> CorruptionLedger::Render() const {
+  std::vector<std::string> rows;
+  for (std::size_t s = 0; s < kStreamDialectCount; ++s) {
+    std::uint64_t stream_total = 0;
+    for (std::size_t o = 0; o < kCorruptionOpCount; ++o) {
+      stream_total += counts[s][o];
+    }
+    if (stream_total == 0) continue;
+    std::string row = StreamDialectName(static_cast<StreamDialect>(s));
+    row += ':';
+    for (std::size_t o = 0; o < kCorruptionOpCount; ++o) {
+      if (counts[s][o] == 0) continue;
+      row += ' ';
+      row += CorruptionOpName(static_cast<CorruptionOp>(o));
+      row += '=';
+      row += std::to_string(counts[s][o]);
+    }
+    row += " lines " + std::to_string(lines_in[s]) + "->" +
+           std::to_string(lines_out[s]);
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+LogCorruptor::LogCorruptor(CorruptorConfig config)
+    : config_(std::move(config)) {}
+
+std::vector<CorruptionOp> LogCorruptor::AllOps() {
+  return {CorruptionOp::kRotationGap, CorruptionOp::kDuplicate,
+          CorruptionOp::kReorder,     CorruptionOp::kTimeSkew,
+          CorruptionOp::kTruncate,    CorruptionOp::kGarble};
+}
+
+void LogCorruptor::CorruptStream(StreamDialect dialect,
+                                 std::string_view stream_name,
+                                 std::vector<std::string>& lines,
+                                 const Rng& rng,
+                                 CorruptionLedger* ledger) const {
+  const auto si = static_cast<std::size_t>(dialect);
+  if (ledger != nullptr) ledger->lines_in[si] += lines.size();
+  const double rate = std::clamp(config_.rate, 0.0, 1.0);
+  const auto enabled = [&](CorruptionOp op) {
+    return rate > 0.0 &&
+           std::find(config_.ops.begin(), config_.ops.end(), op) !=
+               config_.ops.end();
+  };
+  const auto count = [&](CorruptionOp op, std::uint64_t n = 1) {
+    if (ledger != nullptr) {
+      ledger->counts[si][static_cast<std::size_t>(op)] += n;
+    }
+  };
+  // Every stream and every operator draws from its own forked substream,
+  // so enabling one operator never moves where another strikes.
+  const Rng stream_rng = rng.Fork(stream_name);
+
+  // 1. Rotation gap: one contiguous segment, `rate` of the stream, gone.
+  if (enabled(CorruptionOp::kRotationGap) && !lines.empty()) {
+    Rng r = stream_rng.Fork("rotation_gap");
+    const auto drop =
+        static_cast<std::size_t>(rate * static_cast<double>(lines.size()));
+    if (drop > 0 && drop < lines.size()) {
+      const std::size_t start = r.UniformInt(lines.size() - drop + 1);
+      lines.erase(lines.begin() + static_cast<std::ptrdiff_t>(start),
+                  lines.begin() + static_cast<std::ptrdiff_t>(start + drop));
+      count(CorruptionOp::kRotationGap, drop);
+    }
+  }
+
+  // 2. Duplication: replayed copies land a bounded distance downstream.
+  if (enabled(CorruptionOp::kDuplicate) && !lines.empty()) {
+    Rng r = stream_rng.Fork("duplicate");
+    std::map<std::size_t, std::vector<std::string>> inserts;
+    for (std::size_t i = 0; i < lines.size(); ++i) {
+      if (!r.Bernoulli(rate)) continue;
+      const std::size_t offset =
+          1 +
+          r.UniformInt(std::max<std::size_t>(1, config_.max_reorder_distance));
+      inserts[std::min(lines.size() - 1, i + offset)].push_back(lines[i]);
+      count(CorruptionOp::kDuplicate);
+    }
+    if (!inserts.empty()) {
+      std::vector<std::string> out;
+      out.reserve(lines.size() + inserts.size());
+      for (std::size_t i = 0; i < lines.size(); ++i) {
+        out.push_back(std::move(lines[i]));
+        const auto it = inserts.find(i);
+        if (it == inserts.end()) continue;
+        for (std::string& copy : it->second) out.push_back(std::move(copy));
+      }
+      lines = std::move(out);
+    }
+  }
+
+  // 3. Reordering: displace lines by up to max_reorder_distance, which
+  //    by default exceeds any reorder slack a streaming caller grants.
+  if (enabled(CorruptionOp::kReorder) && lines.size() > 1) {
+    Rng r = stream_rng.Fork("reorder");
+    for (std::size_t i = 0; i < lines.size(); ++i) {
+      if (!r.Bernoulli(rate)) continue;
+      const std::size_t d =
+          1 +
+          r.UniformInt(std::max<std::size_t>(1, config_.max_reorder_distance));
+      const std::size_t j = r.Bernoulli(0.5)
+                                ? std::min(lines.size() - 1, i + d)
+                                : (i >= d ? i - d : 0);
+      if (j == i) continue;
+      std::swap(lines[i], lines[j]);
+      count(CorruptionOp::kReorder);
+    }
+  }
+
+  // 4. Time skew: rewrite stamps in-syntax so the line still parses but
+  //    its claimed time lies.
+  if (enabled(CorruptionOp::kTimeSkew)) {
+    Rng r = stream_rng.Fork("time_skew");
+    const std::int64_t bound =
+        std::max<std::int64_t>(1, config_.max_skew_seconds);
+    for (std::string& line : lines) {
+      if (!r.Bernoulli(rate)) continue;
+      std::int64_t delta = r.UniformInt(-bound, bound);
+      if (delta == 0) delta = bound;
+      if (SkewLine(dialect, line, delta, config_.syslog_year)) {
+        count(CorruptionOp::kTimeSkew);
+      }
+    }
+  }
+
+  // 5. Torn writes.
+  if (enabled(CorruptionOp::kTruncate)) {
+    Rng r = stream_rng.Fork("truncate");
+    for (std::string& line : lines) {
+      if (line.empty() || !r.Bernoulli(rate)) continue;
+      line.resize(r.UniformInt(line.size()));
+      count(CorruptionOp::kTruncate);
+    }
+  }
+
+  // 6. Byte garbling.
+  if (enabled(CorruptionOp::kGarble)) {
+    Rng r = stream_rng.Fork("garble");
+    for (std::string& line : lines) {
+      if (line.empty() || !r.Bernoulli(rate)) continue;
+      const std::size_t bytes =
+          1 + r.UniformInt(std::min<std::size_t>(8, line.size()));
+      for (std::size_t b = 0; b < bytes; ++b) {
+        const std::size_t pos = r.UniformInt(line.size());
+        char byte = static_cast<char>(r.NextU64() & 0xff);
+        if (byte == '\n' || byte == '\r') byte = '?';
+        line[pos] = byte;
+      }
+      count(CorruptionOp::kGarble);
+    }
+  }
+
+  if (ledger != nullptr) ledger->lines_out[si] += lines.size();
+}
+
+}  // namespace ld

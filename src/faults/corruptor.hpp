@@ -1,0 +1,123 @@
+// Dirty-log fault injection: the LogCorruptor mutates *rendered* log
+// bundles the way real collection pipelines do — torn writes, bit rot in
+// transit, replayed syslog segments, out-of-order delivery past any
+// reasonable reorder slack, per-daemon clock skew, and lost rotation
+// segments.
+//
+// Where the FaultInjector perturbs the *simulated machine* (and the logs
+// faithfully describe the perturbed truth), the LogCorruptor perturbs
+// the *logs themselves*, leaving the ground truth intact.  That split is
+// what makes ingestion robustness scorable: run LogDiver over the
+// corrupted bundle, score against the uncorrupted truth, and the
+// accuracy drop is attributable to the corruption alone.  The ledger
+// records exactly which operators fired how often per stream, so a
+// campaign can assert "graceful" degradation rather than eyeball it.
+//
+// Layering: this lives in ld_faults, *below* simlog and logdiver, so it
+// deliberately knows nothing about EmittedLogs or LogSource.  It speaks
+// in stream dialects (which timestamp syntax to skew) and a bundle
+// template that matches any struct with torque/alps/syslog/hwerr line
+// vectors.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace ld {
+
+/// The corruption operators, in the order they are applied to a stream.
+/// Whole-stream operators (gap, duplication, reordering, skew) run before
+/// the per-line byte mutations so a duplicated line can itself be torn.
+enum class CorruptionOp : std::uint8_t {
+  kRotationGap,  // a contiguous segment lost to rotation/transfer
+  kDuplicate,    // replayed records (at-least-once log shipping)
+  kReorder,      // delivery order breaks, beyond any reorder slack
+  kTimeSkew,     // per-line clock jitter/regression between sources
+  kTruncate,     // torn write: the line ends mid-record
+  kGarble,       // byte corruption in transit or on disk
+};
+inline constexpr std::size_t kCorruptionOpCount = 6;
+const char* CorruptionOpName(CorruptionOp op);
+
+/// Timestamp dialect of a stream, so kTimeSkew can rewrite stamps
+/// in-syntax (a skewed line must still parse; skew attacks *semantics*,
+/// not syntax — kGarble attacks syntax).
+enum class StreamDialect : std::uint8_t {
+  kTorque,  // "MM/DD/YYYY HH:MM:SS;..." + authoritative epoch k=v fields
+  kAlps,    // leading "YYYY-MM-DDTHH:MM:SS"
+  kSyslog,  // leading "Mon dD HH:MM:SS" (no year)
+  kHwerr,   // leading "<epoch>|"
+};
+inline constexpr std::size_t kStreamDialectCount = 4;
+const char* StreamDialectName(StreamDialect dialect);
+
+struct CorruptorConfig {
+  /// Per-operator application rate in [0, 1]: the probability each line
+  /// (or, for kRotationGap, the stream fraction) is hit by each enabled
+  /// operator.  0 = identity regardless of the op set.
+  double rate = 0.0;
+  /// Operators to apply; empty = none.  AllOps() enables everything.
+  std::vector<CorruptionOp> ops;
+  /// kTimeSkew draws a nonzero offset uniformly in +/- this bound.  The
+  /// default sits beyond the 5-minute reorder slack streaming callers
+  /// typically grant, so skew is a real attack, not absorbed jitter.
+  std::int64_t max_skew_seconds = 600;
+  /// kDuplicate inserts the replayed copy, and kReorder displaces a
+  /// line, at most this many positions away.
+  std::size_t max_reorder_distance = 400;
+  /// Calendar year for re-rendering skewed syslog stamps (the dialect
+  /// carries no year of its own).
+  int syslog_year = 2013;
+};
+
+/// What a corruption pass actually did: per-stream, per-operator hit
+/// counts plus line totals.  This is the injector-side ground truth the
+/// robustness campaign scores degradation against.
+struct CorruptionLedger {
+  std::uint64_t counts[kStreamDialectCount][kCorruptionOpCount] = {};
+  std::uint64_t lines_in[kStreamDialectCount] = {};
+  std::uint64_t lines_out[kStreamDialectCount] = {};
+
+  std::uint64_t total(CorruptionOp op) const;
+  std::uint64_t total() const;
+  /// One row per stream with nonzero activity, for campaign reports.
+  std::vector<std::string> Render() const;
+};
+
+class LogCorruptor {
+ public:
+  explicit LogCorruptor(CorruptorConfig config);
+
+  /// Mutates `lines` in place.  Deterministic in (rng lineage,
+  /// stream_name, config): each stream and each operator draw from
+  /// independent forked substreams, so enabling one operator never
+  /// changes where another one strikes.
+  void CorruptStream(StreamDialect dialect, std::string_view stream_name,
+                     std::vector<std::string>& lines, const Rng& rng,
+                     CorruptionLedger* ledger = nullptr) const;
+
+  /// Corrupts any bundle with torque/alps/syslog/hwerr line vectors
+  /// (e.g. simlog's EmittedLogs) and returns the ledger.
+  template <typename Bundle>
+  CorruptionLedger CorruptBundle(Bundle& logs, const Rng& rng) const {
+    CorruptionLedger ledger;
+    CorruptStream(StreamDialect::kTorque, "torque", logs.torque, rng, &ledger);
+    CorruptStream(StreamDialect::kAlps, "alps", logs.alps, rng, &ledger);
+    CorruptStream(StreamDialect::kSyslog, "syslog", logs.syslog, rng, &ledger);
+    CorruptStream(StreamDialect::kHwerr, "hwerr", logs.hwerr, rng, &ledger);
+    return ledger;
+  }
+
+  static std::vector<CorruptionOp> AllOps();
+
+  const CorruptorConfig& config() const { return config_; }
+
+ private:
+  CorruptorConfig config_;
+};
+
+}  // namespace ld

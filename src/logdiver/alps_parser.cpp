@@ -1,32 +1,28 @@
 #include "logdiver/alps_parser.hpp"
 
 #include "common/strings.hpp"
+#include "logdiver/quarantine.hpp"
 
 namespace ld {
+namespace {
 
-Result<std::optional<AlpsRecord>> AlpsParser::ParseLine(std::string_view line) {
-  ++stats_.lines;
+Result<std::optional<AlpsRecord>> ParseLineImpl(std::string_view line) {
   // "YYYY-MM-DDTHH:MM:SS daemon[pid]: payload"
   if (line.size() < 21) {
-    ++stats_.malformed;
     return ParseError("alps: line too short");
   }
-  auto when = TimePoint::FromIso(std::string(line.substr(0, 19)));
-  if (!when.ok()) {
-    ++stats_.malformed;
-    return when.status();
-  }
+  LD_ASSIGN_OR_RETURN(const auto when,
+                      TimePoint::FromIso(std::string(line.substr(0, 19))));
   const std::string_view rest = line.substr(20);
   const std::size_t colon = rest.find(": ");
   if (colon == std::string_view::npos) {
-    ++stats_.malformed;
     return ParseError("alps: missing daemon separator");
   }
   const std::string_view daemon = rest.substr(0, colon);
   const std::string payload(rest.substr(colon + 2));
 
   AlpsRecord rec;
-  rec.time = *when;
+  rec.time = when;
 
   if (StartsWith(daemon, "apsched") && StartsWith(payload, "placeApp")) {
     rec.kind = AlpsRecord::Kind::kPlace;
@@ -34,13 +30,11 @@ Result<std::optional<AlpsRecord>> AlpsParser::ParseLine(std::string_view line) {
     auto jobid = FindKeyValue(payload, "jobid");
     auto nids = FindKeyValue(payload, "nids");
     if (!apid.ok() || !jobid.ok() || !nids.ok()) {
-      ++stats_.malformed;
       return ParseError("alps: placeApp missing apid/jobid/nids");
     }
     auto apid_v = ParseUint(*apid);
     auto jobid_v = ParseUint(*jobid);
     if (!apid_v.ok() || !jobid_v.ok()) {
-      ++stats_.malformed;
       return ParseError("alps: bad apid/jobid");
     }
     rec.apid = *apid_v;
@@ -52,28 +46,14 @@ Result<std::optional<AlpsRecord>> AlpsParser::ParseLine(std::string_view line) {
         rec.nodect = static_cast<std::uint32_t>(*n);
       }
     }
-    auto nid_list = ParseNidRanges(*nids);
-    if (!nid_list.ok()) {
-      ++stats_.malformed;
-      return nid_list.status();
-    }
-    rec.nids = std::move(*nid_list);
-    ++stats_.records;
+    LD_ASSIGN_OR_RETURN(rec.nids, ParseNidRanges(*nids));
     return std::optional<AlpsRecord>{std::move(rec)};
   }
 
   if (StartsWith(daemon, "apsys")) {
-    auto apid = FindKeyValue(payload, "apid");
-    if (!apid.ok()) {
-      ++stats_.malformed;
-      return ParseError("alps: apsys record missing apid");
-    }
-    auto apid_v = ParseUint(*apid);
-    if (!apid_v.ok()) {
-      ++stats_.malformed;
-      return apid_v.status();
-    }
-    rec.apid = *apid_v;
+    LD_ASSIGN_OR_RETURN(const auto apid, FindKeyValue(payload, "apid"));
+    LD_ASSIGN_OR_RETURN(const auto apid_v, ParseUint(apid));
+    rec.apid = apid_v;
     if (Contains(payload, "exited")) {
       rec.kind = AlpsRecord::Kind::kExit;
       if (auto v = FindKeyValue(payload, "status"); v.ok()) {
@@ -84,7 +64,6 @@ Result<std::optional<AlpsRecord>> AlpsParser::ParseLine(std::string_view line) {
           rec.exit_signal = static_cast<int>(*n);
         }
       }
-      ++stats_.records;
       return std::optional<AlpsRecord>{std::move(rec)};
     }
     if (Contains(payload, "killed")) {
@@ -97,22 +76,43 @@ Result<std::optional<AlpsRecord>> AlpsParser::ParseLine(std::string_view line) {
           rec.failed_nid = static_cast<NodeIndex>(*n);
         }
       }
-      ++stats_.records;
       return std::optional<AlpsRecord>{std::move(rec)};
     }
   }
 
-  ++stats_.skipped;
   return std::optional<AlpsRecord>{};
 }
 
+}  // namespace
+
+Result<std::optional<AlpsRecord>> AlpsParser::ParseLine(std::string_view line) {
+  ++stats_.lines;
+  auto rec = ParseLineImpl(line);
+  if (!rec.ok()) {
+    ++stats_.malformed;
+  } else if (rec->has_value()) {
+    ++stats_.records;
+  } else {
+    ++stats_.skipped;
+  }
+  return rec;
+}
+
 std::vector<AlpsRecord> AlpsParser::ParseLines(
-    const std::vector<std::string>& lines) {
+    const std::vector<std::string>& lines, QuarantineSink* sink) {
   std::vector<AlpsRecord> out;
   out.reserve(lines.size());
+  std::uint64_t line_no = 0;
   for (const std::string& line : lines) {
+    ++line_no;
     auto rec = ParseLine(line);
-    if (rec.ok() && rec->has_value()) out.push_back(std::move(**rec));
+    if (!rec.ok()) {
+      if (sink != nullptr) {
+        sink->Add(LogSource::kAlps, line_no, line, rec.status());
+      }
+      continue;
+    }
+    if (rec->has_value()) out.push_back(std::move(**rec));
   }
   return out;
 }

@@ -14,10 +14,14 @@
 
 namespace ld {
 
+class QuarantineSink;
+
 class AlpsParser {
  public:
   Result<std::optional<AlpsRecord>> ParseLine(std::string_view line);
-  std::vector<AlpsRecord> ParseLines(const std::vector<std::string>& lines);
+  /// Rejected lines are captured in `sink` when one is provided.
+  std::vector<AlpsRecord> ParseLines(const std::vector<std::string>& lines,
+                                     QuarantineSink* sink = nullptr);
   const ParseStats& stats() const { return stats_; }
 
  private:

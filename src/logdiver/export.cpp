@@ -126,6 +126,23 @@ Result<int> ExportMetricsCsv(const MetricsReport& report,
     }
     if (Status s = write("queue_waits.csv", rows); !s.ok()) return s;
   }
+  {
+    const IngestStats& ingest = report.ingest;
+    std::vector<std::vector<std::string>> rows = {
+        {"counter", "value"},
+        {"quarantined", U(ingest.quarantined)},
+        {"quarantine_overflow", U(ingest.quarantine_overflow)},
+        {"duplicate_placements", U(ingest.duplicate_placements)},
+        {"duplicate_terminations", U(ingest.duplicate_terminations)},
+        {"duplicate_job_records", U(ingest.duplicate_job_records)},
+        {"watermark_regressions", U(ingest.watermark_regressions)},
+        {"evicted_pending_runs", U(ingest.evicted_pending_runs)},
+        {"evicted_tuples", U(ingest.evicted_tuples)},
+        {"budget_exhausted_sources", U(ingest.budget_exhausted_sources)},
+        {"lines_dropped_after_budget", U(ingest.lines_dropped_after_budget)},
+    };
+    if (Status s = write("ingest.csv", rows); !s.ok()) return s;
+  }
   return files;
 }
 

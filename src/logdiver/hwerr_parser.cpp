@@ -1,37 +1,29 @@
 #include "logdiver/hwerr_parser.hpp"
 
 #include "common/strings.hpp"
+#include "logdiver/quarantine.hpp"
 
 namespace ld {
+namespace {
 
-Result<std::optional<ErrorRecord>> HwerrParser::ParseLine(
-    std::string_view line) {
-  ++stats_.lines;
+Result<std::optional<ErrorRecord>> ParseLineImpl(std::string_view line) {
   const auto fields = Split(line, '|');
   if (fields.size() < 5) {
-    ++stats_.malformed;
     return ParseError("hwerr: expected 5 '|' fields");
   }
-  auto epoch = ParseInt(fields[0]);
-  if (!epoch.ok()) {
-    ++stats_.malformed;
-    return epoch.status();
-  }
+  LD_ASSIGN_OR_RETURN(const auto epoch, ParseInt(fields[0]));
   auto category = ParseErrorCategory(std::string(fields[1]));
   if (!category.ok()) {
-    ++stats_.skipped;  // categories from newer firmware we don't know
+    // Categories from newer firmware we don't know: skipped, not malformed.
     return std::optional<ErrorRecord>{};
   }
-  auto severity = ParseSeverity(std::string(fields[3]));
-  if (!severity.ok()) {
-    ++stats_.malformed;
-    return severity.status();
-  }
+  LD_ASSIGN_OR_RETURN(const auto severity,
+                      ParseSeverity(std::string(fields[3])));
 
   ErrorRecord rec;
-  rec.time = TimePoint(*epoch);
+  rec.time = TimePoint(epoch);
   rec.category = *category;
-  rec.severity = *severity;
+  rec.severity = severity;
   rec.source = LogSource::kHwerr;
   rec.location = std::string(fields[2]);
   rec.scope = *category == ErrorCategory::kBladeFault ? LocScope::kBlade
@@ -43,17 +35,40 @@ Result<std::optional<ErrorRecord>> HwerrParser::ParseLine(
       rec.location = cname->BladePrefix();
     }
   }
-  ++stats_.records;
   return std::optional<ErrorRecord>{rec};
 }
 
+}  // namespace
+
+Result<std::optional<ErrorRecord>> HwerrParser::ParseLine(
+    std::string_view line) {
+  ++stats_.lines;
+  auto rec = ParseLineImpl(line);
+  if (!rec.ok()) {
+    ++stats_.malformed;
+  } else if (rec->has_value()) {
+    ++stats_.records;
+  } else {
+    ++stats_.skipped;
+  }
+  return rec;
+}
+
 std::vector<ErrorRecord> HwerrParser::ParseLines(
-    const std::vector<std::string>& lines) {
+    const std::vector<std::string>& lines, QuarantineSink* sink) {
   std::vector<ErrorRecord> out;
   out.reserve(lines.size());
+  std::uint64_t line_no = 0;
   for (const std::string& line : lines) {
+    ++line_no;
     auto rec = ParseLine(line);
-    if (rec.ok() && rec->has_value()) out.push_back(std::move(**rec));
+    if (!rec.ok()) {
+      if (sink != nullptr) {
+        sink->Add(LogSource::kHwerr, line_no, line, rec.status());
+      }
+      continue;
+    }
+    if (rec->has_value()) out.push_back(std::move(**rec));
   }
   return out;
 }

@@ -13,10 +13,14 @@
 
 namespace ld {
 
+class QuarantineSink;
+
 class HwerrParser {
  public:
   Result<std::optional<ErrorRecord>> ParseLine(std::string_view line);
-  std::vector<ErrorRecord> ParseLines(const std::vector<std::string>& lines);
+  /// Rejected lines are captured in `sink` when one is provided.
+  std::vector<ErrorRecord> ParseLines(const std::vector<std::string>& lines,
+                                      QuarantineSink* sink = nullptr);
   const ParseStats& stats() const { return stats_; }
 
  private:

@@ -22,24 +22,47 @@ LogDiver::LogDiver(const Machine& machine, LogDiverConfig config)
 
 Result<AnalysisResult> LogDiver::Analyze(const LogSet& logs) const {
   AnalysisResult result;
+  const IngestConfig& ingest = config_.ingest;
+  QuarantineSink sink(ingest.quarantine);
+
+  // A source over its malformed-line budget either aborts the analysis
+  // (fail-fast: this is probably the wrong file or a truncated transfer)
+  // or is disclosed in the ingest counters (quarantine-and-continue).
+  auto check_budget = [&](const char* name, const ParseStats& stats) -> Status {
+    if (!ingest.budget.Exceeded(stats)) return Status::Ok();
+    ++result.ingest.budget_exhausted_sources;
+    if (ingest.policy == DegradationPolicy::kFailFast) {
+      return ParseError(std::string(name) + ": " +
+                        std::to_string(stats.malformed) + " of " +
+                        std::to_string(stats.lines) +
+                        " lines malformed, over the error budget");
+    }
+    return Status::Ok();
+  };
 
   // 1. Parse each source.
   TorqueParser torque_parser;
   const std::vector<TorqueRecord> torque =
-      torque_parser.ParseLines(logs.torque);
+      torque_parser.ParseLines(logs.torque, &sink);
   result.torque_stats = torque_parser.stats();
+  LD_TRY(check_budget("torque", result.torque_stats));
 
   AlpsParser alps_parser;
-  const std::vector<AlpsRecord> alps = alps_parser.ParseLines(logs.alps);
+  const std::vector<AlpsRecord> alps = alps_parser.ParseLines(logs.alps, &sink);
   result.alps_stats = alps_parser.stats();
+  LD_TRY(check_budget("alps", result.alps_stats));
 
   SyslogParser syslog_parser(config_.syslog_base_year);
-  std::vector<ErrorRecord> errors = syslog_parser.ParseLines(logs.syslog);
+  std::vector<ErrorRecord> errors =
+      syslog_parser.ParseLines(logs.syslog, &sink);
   result.syslog_stats = syslog_parser.stats();
+  LD_TRY(check_budget("syslog", result.syslog_stats));
 
   HwerrParser hwerr_parser;
-  std::vector<ErrorRecord> hwerr = hwerr_parser.ParseLines(logs.hwerr);
+  std::vector<ErrorRecord> hwerr = hwerr_parser.ParseLines(logs.hwerr, &sink);
   result.hwerr_stats = hwerr_parser.stats();
+  LD_TRY(check_budget("hwerr", result.hwerr_stats));
+
   errors.insert(errors.end(), std::make_move_iterator(hwerr.begin()),
                 std::make_move_iterator(hwerr.end()));
 
@@ -47,7 +70,7 @@ Result<AnalysisResult> LogDiver::Analyze(const LogSet& logs) const {
   result.tuples = CoalesceEvents(machine_, std::move(errors),
                                  config_.coalesce, &result.coalesce_stats);
 
-  // 3. Reconstruct application runs.
+  // 3. Reconstruct application runs (replayed records dedup here).
   result.runs =
       ReconstructRuns(machine_, alps, torque, &result.reconstruct_stats);
 
@@ -58,6 +81,15 @@ Result<AnalysisResult> LogDiver::Analyze(const LogSet& logs) const {
   // 5. Metrics.
   result.metrics = ComputeMetrics(result.runs, result.classified,
                                   result.tuples, config_.metrics);
+
+  result.ingest.quarantined = sink.total();
+  result.ingest.quarantine_overflow = sink.overflow();
+  result.ingest.duplicate_placements =
+      result.reconstruct_stats.duplicate_placements;
+  result.ingest.duplicate_terminations =
+      result.reconstruct_stats.duplicate_terminations;
+  result.quarantine = sink.entries();
+  result.metrics.ingest = result.ingest;
   return result;
 }
 

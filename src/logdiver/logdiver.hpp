@@ -18,6 +18,7 @@
 #include "logdiver/correlate.hpp"
 #include "logdiver/hwerr_parser.hpp"
 #include "logdiver/metrics.hpp"
+#include "logdiver/quarantine.hpp"
 #include "logdiver/reconstruct.hpp"
 #include "logdiver/syslog_parser.hpp"
 #include "logdiver/torque_parser.hpp"
@@ -32,6 +33,9 @@ struct LogDiverConfig {
   CoalesceConfig coalesce;
   CorrelatorConfig correlator;
   MetricsConfig metrics;
+  /// Degradation policy, error budgets, quarantine and streaming-state
+  /// caps (see logdiver/quarantine.hpp and DESIGN.md).
+  IngestConfig ingest;
 };
 
 /// The four raw log streams LogDiver consumes.
@@ -54,6 +58,12 @@ struct AnalysisResult {
   ParseStats hwerr_stats;
   ReconstructStats reconstruct_stats;
   CoalesceStats coalesce_stats;
+
+  /// Ingestion-health counters; all-zero on a clean bundle.  Mirrored
+  /// into `metrics.ingest` so exports carry them.
+  IngestStats ingest;
+  /// Rejected lines with reasons (bounded by the quarantine config).
+  std::vector<QuarantineEntry> quarantine;
 };
 
 class LogDiver {

@@ -18,6 +18,7 @@
 #include "common/stats.hpp"
 #include "logdiver/coalesce.hpp"
 #include "logdiver/correlate.hpp"
+#include "logdiver/quarantine.hpp"
 #include "logdiver/reconstruct.hpp"
 
 namespace ld {
@@ -122,6 +123,10 @@ struct MetricsReport {
   std::vector<DetectionGapRow> detection_gap;   // Fig 6
   std::vector<QueueWaitRow> queue_waits;        // scheduling context
   JobImpactSummary job_impact;                  // job-level rollup
+  /// Ingestion health of the pass that produced this report (quarantine,
+  /// dedup, watermark and eviction counters); all-zero on clean input.
+  /// Filled by the pipeline drivers, not by the accumulator.
+  IngestStats ingest;
 };
 
 /// Incremental metric accumulation: feed (run, classification) pairs and

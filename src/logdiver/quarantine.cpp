@@ -1,0 +1,73 @@
+#include "logdiver/quarantine.hpp"
+
+#include <fstream>
+
+namespace ld {
+
+const char* DegradationPolicyName(DegradationPolicy policy) {
+  switch (policy) {
+    case DegradationPolicy::kFailFast: return "fail_fast";
+    case DegradationPolicy::kQuarantineAndContinue: return "quarantine";
+  }
+  return "unknown";
+}
+
+QuarantineSink::QuarantineSink(QuarantineConfig config)
+    : config_(config) {}
+
+void QuarantineSink::Add(LogSource source, std::uint64_t line_number,
+                         std::string_view line, const Status& why) {
+  ++total_;
+  ++by_source_[static_cast<std::size_t>(source)];
+  if (entries_.size() >= config_.max_entries) {
+    ++overflow_;
+    return;
+  }
+  QuarantineEntry entry;
+  entry.source = source;
+  entry.line_number = line_number;
+  entry.reason = why.ToString();
+  entry.line = std::string(line.substr(0, config_.max_line_bytes));
+  entries_.push_back(std::move(entry));
+}
+
+std::uint64_t QuarantineSink::count(LogSource source) const {
+  return by_source_[static_cast<std::size_t>(source)];
+}
+
+std::vector<std::string> QuarantineSink::Render() const {
+  std::vector<std::string> out;
+  out.reserve(entries_.size());
+  for (const QuarantineEntry& entry : entries_) {
+    std::string row = LogSourceName(entry.source);
+    row += '|';
+    row += std::to_string(entry.line_number);
+    row += '|';
+    row += entry.reason;
+    row += '|';
+    // Control bytes in garbled lines would corrupt the quarantine file's
+    // own line framing; escape them.
+    for (char c : entry.line) {
+      const auto u = static_cast<unsigned char>(c);
+      if (u < 0x20 || u == 0x7f) {
+        constexpr char kHex[] = "0123456789abcdef";
+        row += "\\x";
+        row += kHex[u >> 4];
+        row += kHex[u & 0xf];
+      } else {
+        row += c;
+      }
+    }
+    out.push_back(std::move(row));
+  }
+  return out;
+}
+
+Status QuarantineSink::WriteTo(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return InternalError("cannot write '" + path + "'");
+  for (const std::string& row : Render()) out << row << '\n';
+  return Status::Ok();
+}
+
+}  // namespace ld

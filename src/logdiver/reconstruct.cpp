@@ -36,7 +36,9 @@ std::vector<AppRun> ReconstructRuns(const Machine& machine,
                        : static_cast<std::uint32_t>(rec.nids.size());
       run.start = rec.time;
       run.end = rec.time;  // until a termination record arrives
-      by_apid.emplace(rec.apid, std::move(run));
+      if (!by_apid.emplace(rec.apid, std::move(run)).second) {
+        ++local.duplicate_placements;  // replayed placement; first wins
+      }
     }
   }
 
@@ -49,6 +51,10 @@ std::vector<AppRun> ReconstructRuns(const Machine& machine,
       continue;
     }
     AppRun& run = it->second;
+    if (run.has_termination) {
+      ++local.duplicate_terminations;  // replayed exit/kill; first wins
+      continue;
+    }
     run.end = rec.time;
     run.has_termination = true;
     if (rec.kind == AlpsRecord::Kind::kExit) {

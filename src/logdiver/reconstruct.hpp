@@ -55,6 +55,10 @@ struct ReconstructStats {
   std::uint64_t orphan_terminations = 0;  // exit/kill without placement
   std::uint64_t missing_job = 0;          // no Torque record for jobid
   std::uint64_t mixed_node_types = 0;     // placement spans partitions
+  /// Replayed records (duplicated log lines): the first placement and
+  /// the first termination per apid win; replays are counted, not applied.
+  std::uint64_t duplicate_placements = 0;
+  std::uint64_t duplicate_terminations = 0;
 };
 
 /// Joins parsed records into runs, ordered by start time.  Node type is

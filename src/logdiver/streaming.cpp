@@ -11,7 +11,8 @@ StreamingAnalyzer::StreamingAnalyzer(const Machine& machine,
       syslog_parser_(config_.syslog_base_year),
       coalescer_(machine, config_.coalesce),
       correlator_(machine, config_.correlator),
-      metrics_(config_.metrics) {}
+      metrics_(config_.metrics),
+      quarantine_(config_.ingest.quarantine) {}
 
 Duration StreamingAnalyzer::FinalizeGuard() const {
   // A tuple explaining a death at D starts no later than
@@ -22,21 +23,76 @@ Duration StreamingAnalyzer::FinalizeGuard() const {
          config_.coalesce.tupling_window + Duration::Seconds(60);
 }
 
-void StreamingAnalyzer::AddTorqueLine(std::string_view line) {
-  auto rec = torque_parser_.ParseLine(line);
-  if (!rec.ok() || !rec->has_value()) return;
-  TorqueRecord& record = **rec;
-  auto [it, inserted] = jobs_.try_emplace(record.jobid, record);
-  if (!inserted && record.kind == TorqueRecord::Kind::kEnd) {
-    it->second = std::move(record);  // E record is authoritative
+bool StreamingAnalyzer::SourceOpen(LogSource source) {
+  if (!source_closed_[static_cast<std::size_t>(source)]) return true;
+  ++ingest_.lines_dropped_after_budget;
+  return false;
+}
+
+void StreamingAnalyzer::Reject(LogSource source, std::uint64_t line_number,
+                               std::string_view line, const Status& why) {
+  quarantine_.Add(source, line_number, line, why);
+  ingest_.quarantined = quarantine_.total();
+  ingest_.quarantine_overflow = quarantine_.overflow();
+}
+
+void StreamingAnalyzer::CheckBudget(LogSource source, const ParseStats& stats) {
+  const auto idx = static_cast<std::size_t>(source);
+  if (budget_counted_[idx] || !config_.ingest.budget.Exceeded(stats)) return;
+  budget_counted_[idx] = true;
+  ++ingest_.budget_exhausted_sources;
+  if (config_.ingest.policy != DegradationPolicy::kFailFast) return;
+  source_closed_[idx] = true;
+  if (ingest_status_.ok()) {
+    ingest_status_ =
+        ParseError(std::string(LogSourceName(source)) + ": " +
+                   std::to_string(stats.malformed) + " of " +
+                   std::to_string(stats.lines) +
+                   " lines malformed, over the error budget");
   }
 }
 
+void StreamingAnalyzer::AddTorqueLine(std::string_view line) {
+  if (!SourceOpen(LogSource::kTorque)) return;
+  auto rec = torque_parser_.ParseLine(line);
+  if (!rec.ok()) {
+    Reject(LogSource::kTorque, torque_parser_.stats().lines, line,
+           rec.status());
+    CheckBudget(LogSource::kTorque, torque_parser_.stats());
+    return;
+  }
+  if (!rec->has_value()) return;
+  TorqueRecord& record = **rec;
+  auto [it, inserted] = jobs_.try_emplace(record.jobid, record);
+  if (inserted) return;
+  const bool have_end = it->second.kind == TorqueRecord::Kind::kEnd;
+  if (record.kind == TorqueRecord::Kind::kEnd && !have_end) {
+    it->second = std::move(record);  // E record is authoritative
+    return;
+  }
+  // Replayed S over anything, or E over an E already held: the stored
+  // record wins and the replay is disclosed, not applied.
+  ++ingest_.duplicate_job_records;
+}
+
 void StreamingAnalyzer::AddAlpsLine(std::string_view line) {
+  if (!SourceOpen(LogSource::kAlps)) return;
   auto rec = alps_parser_.ParseLine(line);
-  if (!rec.ok() || !rec->has_value()) return;
+  if (!rec.ok()) {
+    Reject(LogSource::kAlps, alps_parser_.stats().lines, line, rec.status());
+    CheckBudget(LogSource::kAlps, alps_parser_.stats());
+    return;
+  }
+  if (!rec->has_value()) return;
   AlpsRecord& record = **rec;
   if (record.kind == AlpsRecord::Kind::kPlace) {
+    // A placement for an apid we are already tracking (or just finished)
+    // is a replayed record; the first placement wins.
+    if (open_runs_.count(record.apid) != 0 ||
+        recent_terminated_.count(record.apid) != 0) {
+      ++ingest_.duplicate_placements;
+      return;
+    }
     AppRun run;
     run.apid = record.apid;
     run.jobid = record.jobid;
@@ -64,7 +120,11 @@ void StreamingAnalyzer::AddAlpsLine(std::string_view line) {
   // Termination: close the open run and queue it for classification.
   const auto it = open_runs_.find(record.apid);
   if (it == open_runs_.end()) {
-    ++orphan_terminations_;
+    if (recent_terminated_.count(record.apid) != 0) {
+      ++ingest_.duplicate_terminations;  // replayed exit/kill; first won
+    } else {
+      ++orphan_terminations_;
+    }
     return;
   }
   AppRun run = std::move(it->second);
@@ -92,12 +152,21 @@ void StreamingAnalyzer::AddAlpsLine(std::string_view line) {
     run.job_exit_status = job->second.exit_status;
     if (run.user.empty()) run.user = job->second.user;
   }
+  recent_terminated_.emplace(run.apid, run.end);
   pending_.push_back(std::move(run));
+  EnforceBounds();
 }
 
 void StreamingAnalyzer::AddSyslogLine(std::string_view line) {
+  if (!SourceOpen(LogSource::kSyslog)) return;
   auto rec = syslog_parser_.ParseLine(line);
-  if (!rec.ok() || !rec->has_value()) return;
+  if (!rec.ok()) {
+    Reject(LogSource::kSyslog, syslog_parser_.stats().lines, line,
+           rec.status());
+    CheckBudget(LogSource::kSyslog, syslog_parser_.stats());
+    return;
+  }
+  if (!rec->has_value()) return;
   // Recovery lines (corrected severity, `recovered` set) merge into the
   // open incident inside the coalescer; a stray recovery with no open
   // incident becomes a harmless corrected-severity tuple.
@@ -105,8 +174,14 @@ void StreamingAnalyzer::AddSyslogLine(std::string_view line) {
 }
 
 void StreamingAnalyzer::AddHwerrLine(std::string_view line) {
+  if (!SourceOpen(LogSource::kHwerr)) return;
   auto rec = hwerr_parser_.ParseLine(line);
-  if (!rec.ok() || !rec->has_value()) return;
+  if (!rec.ok()) {
+    Reject(LogSource::kHwerr, hwerr_parser_.stats().lines, line, rec.status());
+    CheckBudget(LogSource::kHwerr, hwerr_parser_.stats());
+    return;
+  }
+  if (!rec->has_value()) return;
   coalescer_.Add(**rec);
 }
 
@@ -120,6 +195,32 @@ void StreamingAnalyzer::ClassifyBatch(std::vector<AppRun>&& batch) {
     metrics_.AddRun(batch[cls.run_index], cls);
   }
   runs_finalized_ += batch.size();
+}
+
+void StreamingAnalyzer::EnforceBounds() {
+  // pending_ is capped by force-classifying the oldest runs before their
+  // guard elapses.  Nothing is lost outright — the run is classified with
+  // whatever tuples are buffered now — but a tuple still in flight can no
+  // longer explain it, so the eviction is disclosed.
+  const std::size_t max_pending = config_.ingest.max_pending_runs;
+  if (max_pending != 0 && pending_.size() > max_pending) {
+    std::vector<AppRun> batch;
+    while (pending_.size() > max_pending) {
+      batch.push_back(std::move(pending_.front()));
+      pending_.pop_front();
+      ++ingest_.evicted_pending_runs;
+    }
+    ClassifyBatch(std::move(batch));
+  }
+  // Evicted tuples were already counted into the metrics at flush time;
+  // only their attribution reach is lost.
+  const std::size_t max_tuples = config_.ingest.max_buffered_tuples;
+  if (max_tuples != 0) {
+    while (tuple_buffer_.size() > max_tuples) {
+      tuple_buffer_.pop_front();
+      ++ingest_.evicted_tuples;
+    }
+  }
 }
 
 void StreamingAnalyzer::EvictOldState(TimePoint watermark) {
@@ -150,14 +251,34 @@ void StreamingAnalyzer::EvictOldState(TimePoint watermark) {
       ++it;
     }
   }
+  // Terminated-apid memory (replay detection) ages out once a replay
+  // could no longer be confused with live data.
+  for (auto it = recent_terminated_.begin(); it != recent_terminated_.end();) {
+    if (it->second + FinalizeGuard() + FinalizeGuard() < watermark) {
+      it = recent_terminated_.erase(it);
+    } else {
+      ++it;
+    }
+  }
 }
 
 std::size_t StreamingAnalyzer::Advance(TimePoint watermark) {
+  // 0. A watermark behind the furthest promise already made would re-open
+  //    finalized state; clamp it and count the broken promise.
+  if (have_watermark_ && watermark < last_watermark_) {
+    ++ingest_.watermark_regressions;
+    watermark = last_watermark_;
+  } else {
+    last_watermark_ = watermark;
+    have_watermark_ = true;
+  }
+
   // 1. Close coalescer windows and buffer the flushed tuples.
   for (ErrorTuple& tuple : coalescer_.Flush(watermark)) {
     metrics_.AddTuple(tuple);
     tuple_buffer_.push_back(std::move(tuple));
   }
+  EnforceBounds();
 
   // 2. Finalize pending runs whose guard has passed and that no open
   //    incident could still explain.
@@ -206,6 +327,9 @@ StreamingAnalyzer::Summary StreamingAnalyzer::Finalize() {
   summary.hwerr_stats = hwerr_parser_.stats();
   summary.coalesce_stats = coalescer_.stats();
   summary.orphan_terminations = orphan_terminations_;
+  summary.ingest = ingest_;
+  summary.ingest_status = ingest_status_;
+  summary.metrics.ingest = summary.ingest;
   return summary;
 }
 

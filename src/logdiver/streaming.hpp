@@ -31,6 +31,7 @@
 #include "logdiver/hwerr_parser.hpp"
 #include "logdiver/logdiver.hpp"
 #include "logdiver/metrics.hpp"
+#include "logdiver/quarantine.hpp"
 #include "logdiver/syslog_parser.hpp"
 #include "logdiver/torque_parser.hpp"
 
@@ -47,6 +48,10 @@ class StreamingAnalyzer {
 
   /// Finalizes every run that is provably classifiable before
   /// `watermark`; returns how many were finalized in this call.
+  /// A watermark behind the furthest one seen is a broken promise
+  /// (clock skew, replayed segment): it is clamped to the previous
+  /// watermark and counted in IngestStats::watermark_regressions
+  /// rather than allowed to re-open finalized state.
   std::size_t Advance(TimePoint watermark);
 
   struct Summary {
@@ -61,6 +66,11 @@ class StreamingAnalyzer {
     std::uint64_t unterminated_runs = 0;
     /// Terminations that matched no placement.
     std::uint64_t orphan_terminations = 0;
+    /// Quarantine, dedup, watermark-clamp and eviction counters
+    /// (all-zero on a clean, well-ordered stream).
+    IngestStats ingest;
+    /// Error when a fail-fast error budget tripped; OK otherwise.
+    Status ingest_status;
   };
 
   /// Flushes all remaining state and returns the final report.  The
@@ -80,12 +90,28 @@ class StreamingAnalyzer {
 
   std::uint64_t runs_finalized() const { return runs_finalized_; }
 
+  /// Ingestion-health counters accumulated so far.
+  const IngestStats& ingest_stats() const { return ingest_; }
+  /// Rejected lines captured with reasons (bounded).
+  const QuarantineSink& quarantine() const { return quarantine_; }
+  /// Error once a fail-fast error budget trips; the offending source's
+  /// remaining lines are discarded (and counted) from then on.
+  const Status& ingest_status() const { return ingest_status_; }
+
  private:
   /// Guard between a run's death and the moment every tuple that could
   /// explain it has provably been flushed.
   Duration FinalizeGuard() const;
   void ClassifyBatch(std::vector<AppRun>&& batch);
   void EvictOldState(TimePoint watermark);
+  /// Enforces the bounded-growth caps on pending_ and tuple_buffer_.
+  void EnforceBounds();
+  /// Returns true when the source is still ingestible; otherwise counts
+  /// the dropped line.  Rejected lines go to the quarantine.
+  bool SourceOpen(LogSource source);
+  void Reject(LogSource source, std::uint64_t line_number,
+              std::string_view line, const Status& why);
+  void CheckBudget(LogSource source, const ParseStats& stats);
 
   const Machine& machine_;
   LogDiverConfig config_;
@@ -97,6 +123,7 @@ class StreamingAnalyzer {
   StreamingCoalescer coalescer_;
   Correlator correlator_;
   MetricsAccumulator metrics_;
+  QuarantineSink quarantine_;
 
   /// jobid -> best job record so far (E overrides S).
   std::map<JobId, TorqueRecord> jobs_;
@@ -106,9 +133,19 @@ class StreamingAnalyzer {
   std::deque<AppRun> pending_;  // kept sorted by end (stream order)
   /// Flushed tuples still inside some pending run's attribution reach.
   std::deque<ErrorTuple> tuple_buffer_;
+  /// apid -> termination time of runs already moved past open_runs_,
+  /// kept briefly so replayed placements/terminations are recognized as
+  /// duplicates instead of becoming phantom runs or orphans.
+  std::map<ApId, TimePoint> recent_terminated_;
 
   std::uint64_t runs_finalized_ = 0;
   std::uint64_t orphan_terminations_ = 0;
+  IngestStats ingest_;
+  Status ingest_status_;
+  TimePoint last_watermark_;
+  bool have_watermark_ = false;
+  bool source_closed_[4] = {false, false, false, false};
+  bool budget_counted_[4] = {false, false, false, false};
 };
 
 }  // namespace ld

@@ -4,6 +4,7 @@
 #include <cstdio>
 
 #include "common/strings.hpp"
+#include "logdiver/quarantine.hpp"
 
 namespace ld {
 namespace {
@@ -71,16 +72,27 @@ Result<TimePoint> SyslogParser::ParseSyslogTime(std::string_view text,
 Result<std::optional<ErrorRecord>> SyslogParser::ParseLine(
     std::string_view line) {
   ++stats_.lines;
+  auto rec = ParseLineImpl(line);
+  if (!rec.ok()) {
+    ++stats_.malformed;
+  } else if (rec->has_value()) {
+    ++stats_.records;
+  } else {
+    ++stats_.skipped;
+  }
+  return rec;
+}
+
+Result<std::optional<ErrorRecord>> SyslogParser::ParseLineImpl(
+    std::string_view line) {
   // Timestamp = first 3 whitespace-separated tokens; then hostname; then
   // the message.
   const auto fields = SplitWhitespace(line);
   if (fields.size() < 5) {
-    ++stats_.malformed;
     return ParseError("syslog: too few fields");
   }
   const int month = MonthFromAbbrev(fields[0]);
   if (month == 0) {
-    ++stats_.malformed;
     return ParseError("syslog: bad month");
   }
   // Year-rollover reconstruction: month moving backwards by more than a
@@ -93,11 +105,7 @@ Result<std::optional<ErrorRecord>> SyslogParser::ParseLine(
   const std::string stamp = std::string(fields[0]) + " " +
                             std::string(fields[1]) + " " +
                             std::string(fields[2]);
-  auto when = ParseSyslogTime(stamp, current_year_);
-  if (!when.ok()) {
-    ++stats_.malformed;
-    return when.status();
-  }
+  LD_ASSIGN_OR_RETURN(const auto when, ParseSyslogTime(stamp, current_year_));
 
   const std::string_view host = fields[3];
   // Message = remainder of the raw line after the hostname token.
@@ -106,7 +114,7 @@ Result<std::optional<ErrorRecord>> SyslogParser::ParseLine(
       Trim(line.substr(host_pos + host.size()));
 
   ErrorRecord rec;
-  rec.time = *when;
+  rec.time = when;
   rec.source = LogSource::kSyslog;
 
   // --- Lustre (system scope) ---
@@ -118,14 +126,12 @@ Result<std::optional<ErrorRecord>> SyslogParser::ParseLine(
       rec.category = ErrorCategory::kLustre;
       rec.scope = LocScope::kSystem;
       rec.severity = Severity::kCorrected;
-      rec.recovered = *when;
-      ++stats_.records;
+      rec.recovered = when;
       return std::optional<ErrorRecord>{rec};
     }
     rec.category = ErrorCategory::kLustre;
     rec.scope = LocScope::kSystem;
     rec.severity = Severity::kFatal;
-    ++stats_.records;
     return std::optional<ErrorRecord>{rec};
   }
 
@@ -154,14 +160,11 @@ Result<std::optional<ErrorRecord>> SyslogParser::ParseLine(
       rec.location = StripLaneSuffix(CnameAfter(message, "lane degrade on "));
       rec.severity = Severity::kCorrected;
     } else {
-      ++stats_.skipped;
       return std::optional<ErrorRecord>{};
     }
     if (rec.location.empty()) {
-      ++stats_.malformed;
       return ParseError("syslog: smw event without component name");
     }
-    ++stats_.records;
     return std::optional<ErrorRecord>{rec};
   }
 
@@ -187,22 +190,28 @@ Result<std::optional<ErrorRecord>> SyslogParser::ParseLine(
     rec.category = ErrorCategory::kKernelSoftware;
     rec.severity = Severity::kFatal;
   } else {
-    ++stats_.skipped;
     return std::optional<ErrorRecord>{};
   }
-  ++stats_.records;
   return std::optional<ErrorRecord>{rec};
 }
 
 std::vector<ErrorRecord> SyslogParser::ParseLines(
-    const std::vector<std::string>& lines) {
+    const std::vector<std::string>& lines, QuarantineSink* sink) {
   std::vector<ErrorRecord> out;
   out.reserve(lines.size());
   // Index of the currently open system incident in `out`, or npos.
   std::size_t open_incident = static_cast<std::size_t>(-1);
+  std::uint64_t line_no = 0;
   for (const std::string& line : lines) {
+    ++line_no;
     auto rec = ParseLine(line);
-    if (!rec.ok() || !rec->has_value()) continue;
+    if (!rec.ok()) {
+      if (sink != nullptr) {
+        sink->Add(LogSource::kSyslog, line_no, line, rec.status());
+      }
+      continue;
+    }
+    if (!rec->has_value()) continue;
     ErrorRecord& r = **rec;
     if (r.scope == LocScope::kSystem) {
       if (r.recovered.has_value()) {

@@ -20,6 +20,8 @@
 
 namespace ld {
 
+class QuarantineSink;
+
 class SyslogParser {
  public:
   /// `base_year` is the calendar year of the first line in the stream.
@@ -31,8 +33,10 @@ class SyslogParser {
 
   /// Parses a whole stream and returns the completed records, including
   /// paired system incidents.  Any incident still open at end-of-stream
-  /// is closed with a default window.
-  std::vector<ErrorRecord> ParseLines(const std::vector<std::string>& lines);
+  /// is closed with a default window.  Rejected lines are captured in
+  /// `sink` when one is provided.
+  std::vector<ErrorRecord> ParseLines(const std::vector<std::string>& lines,
+                                      QuarantineSink* sink = nullptr);
 
   const ParseStats& stats() const { return stats_; }
 
@@ -40,6 +44,8 @@ class SyslogParser {
   static Result<TimePoint> ParseSyslogTime(std::string_view text, int year);
 
  private:
+  Result<std::optional<ErrorRecord>> ParseLineImpl(std::string_view line);
+
   ParseStats stats_;
   int current_year_;
   int last_month_ = 0;

@@ -1,6 +1,7 @@
 #include "logdiver/torque_parser.hpp"
 
 #include "common/strings.hpp"
+#include "logdiver/quarantine.hpp"
 
 namespace ld {
 namespace {
@@ -10,48 +11,34 @@ Result<Duration> ParseWalltime(std::string_view text) {
   if (parts.size() != 3) {
     return ParseError("bad walltime: '" + std::string(text) + "'");
   }
-  auto h = ParseInt(parts[0]);
-  auto m = ParseInt(parts[1]);
-  auto s = ParseInt(parts[2]);
-  if (!h.ok()) return h.status();
-  if (!m.ok()) return m.status();
-  if (!s.ok()) return s.status();
-  return Duration(*h * 3600 + *m * 60 + *s);
+  LD_ASSIGN_OR_RETURN(const auto h, ParseInt(parts[0]));
+  LD_ASSIGN_OR_RETURN(const auto m, ParseInt(parts[1]));
+  LD_ASSIGN_OR_RETURN(const auto s, ParseInt(parts[2]));
+  return Duration(h * 3600 + m * 60 + s);
 }
 
 Result<TimePoint> EpochField(std::string_view record, std::string_view key) {
-  auto raw = FindKeyValue(record, key);
-  if (!raw.ok()) return raw.status();
-  auto v = ParseInt(*raw);
-  if (!v.ok()) return v.status();
-  return TimePoint(*v);
+  LD_ASSIGN_OR_RETURN(const auto raw, FindKeyValue(record, key));
+  LD_ASSIGN_OR_RETURN(const auto v, ParseInt(raw));
+  return TimePoint(v);
 }
 
-}  // namespace
-
-Result<std::optional<TorqueRecord>> TorqueParser::ParseLine(
-    std::string_view line) {
-  ++stats_.lines;
+Result<std::optional<TorqueRecord>> ParseLineImpl(std::string_view line) {
   const auto fields = Split(line, ';');
   if (fields.size() < 3) {
-    ++stats_.malformed;
     return ParseError("torque: too few ';' fields");
   }
   const std::string_view type = fields[1];
   if (type != "S" && type != "E") {
-    ++stats_.skipped;
     return std::optional<TorqueRecord>{};
   }
   // Jobid "123.bw" -> 123.
   const std::string_view jobid_text = fields[2];
   const std::size_t dot = jobid_text.find('.');
-  auto jobid = ParseUint(dot == std::string_view::npos
-                             ? jobid_text
-                             : jobid_text.substr(0, dot));
-  if (!jobid.ok()) {
-    ++stats_.malformed;
-    return jobid.status();
-  }
+  LD_ASSIGN_OR_RETURN(const auto jobid,
+                      ParseUint(dot == std::string_view::npos
+                                    ? jobid_text
+                                    : jobid_text.substr(0, dot)));
 
   // Everything after the third ';' is the key=value payload; a jobname
   // containing ';' would split it, so rejoin.
@@ -62,7 +49,7 @@ Result<std::optional<TorqueRecord>> TorqueParser::ParseLine(
   }
 
   TorqueRecord rec;
-  rec.jobid = *jobid;
+  rec.jobid = jobid;
   rec.kind = type == "S" ? TorqueRecord::Kind::kStart : TorqueRecord::Kind::kEnd;
 
   if (auto v = FindKeyValue(payload, "user"); v.ok()) rec.user = *v;
@@ -72,7 +59,6 @@ Result<std::optional<TorqueRecord>> TorqueParser::ParseLine(
   auto submit = EpochField(payload, "ctime");
   auto start = EpochField(payload, "start");
   if (!submit.ok() || !start.ok()) {
-    ++stats_.malformed;
     return ParseError("torque: missing ctime/start epoch fields");
   }
   rec.submit = *submit;
@@ -91,7 +77,6 @@ Result<std::optional<TorqueRecord>> TorqueParser::ParseLine(
   if (rec.kind == TorqueRecord::Kind::kEnd) {
     auto end = EpochField(payload, "end");
     if (!end.ok()) {
-      ++stats_.malformed;
       return ParseError("torque: E record missing end epoch");
     }
     rec.end = *end;
@@ -106,17 +91,40 @@ Result<std::optional<TorqueRecord>> TorqueParser::ParseLine(
     }
   }
 
-  ++stats_.records;
   return std::optional<TorqueRecord>{rec};
 }
 
+}  // namespace
+
+Result<std::optional<TorqueRecord>> TorqueParser::ParseLine(
+    std::string_view line) {
+  ++stats_.lines;
+  auto rec = ParseLineImpl(line);
+  if (!rec.ok()) {
+    ++stats_.malformed;
+  } else if (rec->has_value()) {
+    ++stats_.records;
+  } else {
+    ++stats_.skipped;
+  }
+  return rec;
+}
+
 std::vector<TorqueRecord> TorqueParser::ParseLines(
-    const std::vector<std::string>& lines) {
+    const std::vector<std::string>& lines, QuarantineSink* sink) {
   std::vector<TorqueRecord> out;
   out.reserve(lines.size());
+  std::uint64_t line_no = 0;
   for (const std::string& line : lines) {
+    ++line_no;
     auto rec = ParseLine(line);
-    if (rec.ok() && rec->has_value()) out.push_back(**rec);
+    if (!rec.ok()) {
+      if (sink != nullptr) {
+        sink->Add(LogSource::kTorque, line_no, line, rec.status());
+      }
+      continue;
+    }
+    if (rec->has_value()) out.push_back(**rec);
   }
   return out;
 }

@@ -16,13 +16,17 @@
 
 namespace ld {
 
+class QuarantineSink;
+
 class TorqueParser {
  public:
   /// Parses one line; nullopt result with ok status means "skipped".
   Result<std::optional<TorqueRecord>> ParseLine(std::string_view line);
 
-  /// Parses many lines, accumulating stats.
-  std::vector<TorqueRecord> ParseLines(const std::vector<std::string>& lines);
+  /// Parses many lines, accumulating stats.  Rejected lines are captured
+  /// in `sink` (with reasons) when one is provided.
+  std::vector<TorqueRecord> ParseLines(const std::vector<std::string>& lines,
+                                       QuarantineSink* sink = nullptr);
 
   const ParseStats& stats() const { return stats_; }
 

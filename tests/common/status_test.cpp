@@ -64,6 +64,42 @@ TEST(Result, ArrowOperator) {
   EXPECT_EQ(r->size(), 3u);
 }
 
+Status FailWhen(bool fail) {
+  LD_TRY(fail ? ParseError("inner failure") : Status::Ok());
+  return Status::Ok();
+}
+
+Result<int> DoubleOf(Result<int> input) {
+  LD_ASSIGN_OR_RETURN(const int v, input);
+  return v * 2;
+}
+
+TEST(LdTry, PropagatesErrorsAndPassesOk) {
+  EXPECT_TRUE(FailWhen(false).ok());
+  const Status failed = FailWhen(true);
+  EXPECT_EQ(failed.code(), StatusCode::kParseError);
+  EXPECT_EQ(failed.message(), "inner failure");
+}
+
+TEST(LdTry, AcceptsResultExpressions) {
+  const auto through = [](Result<int> r) -> Status {
+    LD_TRY(r);
+    return Status::Ok();
+  };
+  EXPECT_TRUE(through(7).ok());
+  EXPECT_EQ(through(NotFoundError("gone")).code(), StatusCode::kNotFound);
+}
+
+TEST(LdAssignOrReturn, AssignsValueOrPropagates) {
+  const auto doubled = DoubleOf(21);
+  ASSERT_TRUE(doubled.ok());
+  EXPECT_EQ(*doubled, 42);
+  const auto failed = DoubleOf(OutOfRangeError("too big"));
+  ASSERT_FALSE(failed.ok());
+  EXPECT_EQ(failed.status().code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(failed.status().message(), "too big");
+}
+
 TEST(LdCheck, ThrowsOnViolation) {
   EXPECT_THROW(LD_CHECK(false, "must not happen"), std::logic_error);
   EXPECT_NO_THROW(LD_CHECK(true, "fine"));

@@ -5,7 +5,9 @@
 
 #include "common/interval.hpp"
 #include "common/rng.hpp"
+#include "faults/corruptor.hpp"
 #include "logdiver/logdiver.hpp"
+#include "logdiver/streaming.hpp"
 #include "simlog/scenario.hpp"
 
 namespace ld {
@@ -94,6 +96,142 @@ TEST_P(ParserFuzz, ParsersNeverThrowAndAccountEveryLine) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ParserFuzz,
                          ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+/// Every line of the corrupted bundle must be accounted as a record,
+/// skipped, or malformed — never thrown on, never silently vanished.
+class CorruptorFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CorruptorFuzz, CorruptedBundlesNeverThrowAndAccountEveryLine) {
+  const ScenarioConfig config = SmallScenario(17);
+  const Machine machine = MakeMachine(config);
+  auto campaign = RunCampaign(machine, config);
+  ASSERT_TRUE(campaign.ok());
+
+  CorruptorConfig corruption;
+  corruption.rate = 0.5;  // much dirtier than any plausible field bundle
+  corruption.ops = LogCorruptor::AllOps();
+  const LogCorruptor corruptor(corruption);
+  const CorruptionLedger ledger =
+      corruptor.CorruptBundle(campaign->logs, Rng(GetParam()));
+  EXPECT_GT(ledger.total(), 0u);
+
+  auto check = [](auto& parser, const std::vector<std::string>& lines) {
+    EXPECT_NO_THROW(parser.ParseLines(lines));
+    EXPECT_EQ(parser.stats().lines, lines.size());
+    EXPECT_EQ(parser.stats().records + parser.stats().skipped +
+                  parser.stats().malformed,
+              parser.stats().lines);
+  };
+  TorqueParser torque;
+  check(torque, campaign->logs.torque);
+  AlpsParser alps;
+  check(alps, campaign->logs.alps);
+  SyslogParser syslog(2013);
+  check(syslog, campaign->logs.syslog);
+  HwerrParser hwerr;
+  check(hwerr, campaign->logs.hwerr);
+
+  // The full batch pipeline survives under the default
+  // quarantine-and-continue policy and discloses every reject.
+  LogDiver diver(machine, {});
+  auto analysis = diver.Analyze(LogSet{campaign->logs.torque,
+                                       campaign->logs.alps,
+                                       campaign->logs.syslog,
+                                       campaign->logs.hwerr});
+  ASSERT_TRUE(analysis.ok());
+  EXPECT_EQ(analysis->ingest.quarantined,
+            analysis->torque_stats.malformed + analysis->alps_stats.malformed +
+                analysis->syslog_stats.malformed +
+                analysis->hwerr_stats.malformed);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CorruptorFuzz, ::testing::Values(1, 2, 3, 5));
+
+// ------------------------------------------- benign-corruption equivalence
+
+/// Duplication and bounded reordering are *benign* for a streaming
+/// consumer that sorts within its reorder slack: dedup absorbs the
+/// replays, so the classification must equal the clean batch run's.
+TEST(StreamingEquivalence, BenignCorruptionMatchesCleanBatch) {
+  const ScenarioConfig config = SmallScenario(58);
+  const Machine machine = MakeMachine(config);
+  auto campaign = RunCampaign(machine, config);
+  ASSERT_TRUE(campaign.ok());
+
+  LogDiver diver(machine, {});
+  auto clean = diver.Analyze(LogSet{campaign->logs.torque,
+                                    campaign->logs.alps,
+                                    campaign->logs.syslog,
+                                    campaign->logs.hwerr});
+  ASSERT_TRUE(clean.ok());
+
+  CorruptorConfig corruption;
+  corruption.rate = 0.1;
+  corruption.ops = {CorruptionOp::kDuplicate, CorruptionOp::kReorder};
+  corruption.max_reorder_distance = 20;
+  const LogCorruptor corruptor(corruption);
+  const CorruptionLedger ledger =
+      corruptor.CorruptBundle(campaign->logs, Rng(41));
+  ASSERT_GT(ledger.total(CorruptionOp::kDuplicate), 0u);
+  ASSERT_GT(ledger.total(CorruptionOp::kReorder), 0u);
+
+  // Deliver the dirty bundle sorted by claimed time (the tailer's reorder
+  // slack restores order; duplicates remain).
+  struct TimedLine {
+    TimePoint time;
+    int source;
+    std::string line;
+  };
+  std::vector<TimedLine> merged;
+  {
+    TorqueParser parser;
+    for (const std::string& line : campaign->logs.torque) {
+      auto rec = parser.ParseLine(line);
+      if (rec.ok() && rec->has_value()) merged.push_back({(*rec)->time, 0, line});
+    }
+    AlpsParser alps;
+    for (const std::string& line : campaign->logs.alps) {
+      auto rec = alps.ParseLine(line);
+      if (rec.ok() && rec->has_value()) merged.push_back({(*rec)->time, 1, line});
+    }
+    for (const std::string& line : campaign->logs.syslog) {
+      auto t = SyslogParser::ParseSyslogTime(line.substr(0, 15), 2013);
+      merged.push_back({t.ok() ? *t : TimePoint(0), 2, line});
+    }
+    HwerrParser hwerr;
+    for (const std::string& line : campaign->logs.hwerr) {
+      auto rec = hwerr.ParseLine(line);
+      if (rec.ok() && rec->has_value()) merged.push_back({(*rec)->time, 3, line});
+    }
+  }
+  std::stable_sort(merged.begin(), merged.end(),
+                   [](const TimedLine& a, const TimedLine& b) {
+                     return a.time < b.time;
+                   });
+
+  StreamingAnalyzer analyzer(machine, LogDiverConfig{});
+  for (const TimedLine& item : merged) {
+    switch (item.source) {
+      case 0: analyzer.AddTorqueLine(item.line); break;
+      case 1: analyzer.AddAlpsLine(item.line); break;
+      case 2: analyzer.AddSyslogLine(item.line); break;
+      case 3: analyzer.AddHwerrLine(item.line); break;
+    }
+  }
+  const auto summary = analyzer.Finalize();
+
+  // Same classifications as the clean batch, and the replays disclosed.
+  EXPECT_EQ(summary.metrics.total_runs, clean->metrics.total_runs);
+  EXPECT_DOUBLE_EQ(summary.metrics.system_failure_fraction,
+                   clean->metrics.system_failure_fraction);
+  EXPECT_DOUBLE_EQ(summary.metrics.lost_node_hours_fraction,
+                   clean->metrics.lost_node_hours_fraction);
+  EXPECT_GT(summary.ingest.duplicate_placements +
+                summary.ingest.duplicate_terminations +
+                summary.ingest.duplicate_job_records,
+            0u);
+  EXPECT_TRUE(summary.ingest_status.ok());
+}
 
 // --------------------------------------------------------------- coalesce
 

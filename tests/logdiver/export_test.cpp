@@ -38,6 +38,8 @@ MetricsReport SampleReport() {
   w.jobs = 10;
   w.mean_wait_hours = 0.5;
   report.queue_waits.push_back(w);
+  report.ingest.quarantined = 3;
+  report.ingest.duplicate_placements = 2;
   return report;
 }
 
@@ -46,11 +48,11 @@ TEST(ExportCsv, WritesAllSeries) {
   std::filesystem::remove_all(dir);
   auto files = ExportMetricsCsv(SampleReport(), dir);
   ASSERT_TRUE(files.ok());
-  EXPECT_EQ(*files, 9);
+  EXPECT_EQ(*files, 10);
   for (const char* name :
        {"headline.csv", "outcomes.csv", "categories.csv", "attribution.csv",
         "xe_scale.csv", "xk_scale.csv", "monthly.csv", "detection_gap.csv",
-        "queue_waits.csv"}) {
+        "queue_waits.csv", "ingest.csv"}) {
     EXPECT_TRUE(std::filesystem::exists(dir + "/" + name)) << name;
   }
   std::filesystem::remove_all(dir);
@@ -82,6 +84,18 @@ TEST(ExportCsv, FilesParseBackWithExpectedValues) {
   ASSERT_TRUE(waits.ok());
   ASSERT_EQ(waits->rows.size(), 1u);
   EXPECT_EQ(waits->rows[0][2], "10");
+
+  auto ingest = CsvReader::ReadFile(dir + "/ingest.csv", true);
+  ASSERT_TRUE(ingest.ok());
+  bool saw_quarantined = false;
+  for (const auto& row : ingest->rows) {
+    if (row[0] == "quarantined") {
+      EXPECT_EQ(row[1], "3");
+      saw_quarantined = true;
+    }
+    if (row[0] == "duplicate_placements") EXPECT_EQ(row[1], "2");
+  }
+  EXPECT_TRUE(saw_quarantined);
   std::filesystem::remove_all(dir);
 }
 
