@@ -9,8 +9,18 @@
 //       every report table.  With ground_truth.csv present, also scores
 //       the classification.
 //
+//   With --snapshot-dir, analyze switches to the crash-tolerant
+//   streaming pipeline: the analysis runs in a supervised child that
+//   checkpoints every --snapshot-interval lines, and a crashed child is
+//   restarted from the newest valid snapshot (--resume also picks up
+//   snapshots left by a previous invocation).
+//
 // --small selects the 1,152-node testbed machine instead of the full
 // Blue Waters model (the machine geometry must match the bundle).
+//
+// Exit codes: 0 success, 1 analysis error, 2 usage, 3 a fail-fast
+// ingest error budget tripped, 4 the crash-restart budget was
+// exhausted.
 #include <cstdlib>
 #include <cstring>
 #include <filesystem>
@@ -21,15 +31,25 @@
 #include "logdiver/export.hpp"
 #include "logdiver/logdiver.hpp"
 #include "logdiver/report.hpp"
+#include "logdiver/resume.hpp"
+#include "logdiver/snapshot.hpp"
 #include "simlog/scenario.hpp"
 
 namespace {
+
+/// Distinct failure exit codes (documented in the header comment; the
+/// crash campaign and CI distinguish them from crashes, which surface
+/// as 128+signal).
+constexpr int kExitIngestBudget = 3;
+constexpr int kExitRestartsExhausted = 4;
 
 int Usage() {
   std::cerr << "usage:\n"
             << "  logdiver_cli generate <dir> [--seed N] [--apps N] "
                "[--days N] [--small]\n"
-            << "  logdiver_cli analyze <dir> [--small] [--csv <outdir>]\n";
+            << "  logdiver_cli analyze <dir> [--small] [--csv <outdir>]\n"
+            << "      [--snapshot-dir <dir>] [--snapshot-interval N] "
+               "[--resume]\n";
   return 2;
 }
 
@@ -45,6 +65,9 @@ int main(int argc, char** argv) {
   std::int64_t days = 518;
   bool small = false;
   std::string csv_dir;
+  std::string snapshot_dir;
+  std::uint64_t snapshot_interval = 20000;
+  bool resume = false;
   for (int i = 3; i < argc; ++i) {
     const std::string arg = argv[i];
     auto next = [&]() -> const char* {
@@ -68,6 +91,16 @@ int main(int argc, char** argv) {
       const char* v = next();
       if (!v) return Usage();
       csv_dir = v;
+    } else if (arg == "--snapshot-dir") {
+      const char* v = next();
+      if (!v) return Usage();
+      snapshot_dir = v;
+    } else if (arg == "--snapshot-interval") {
+      const char* v = next();
+      if (!v) return Usage();
+      snapshot_interval = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--resume") {
+      resume = true;
     } else {
       return Usage();
     }
@@ -93,6 +126,79 @@ int main(int argc, char** argv) {
     }
     std::cout << "wrote bundle to " << bundle->dir << "\n";
     return 0;
+  }
+
+  if (mode == "analyze" && !snapshot_dir.empty()) {
+    // Crash-tolerant streaming path: the analysis runs in a supervised
+    // child so an abrupt death (OOM kill, injected crash point) is
+    // restarted from the newest valid snapshot instead of starting
+    // over.  Reports print in the child — the parent only routes exit
+    // codes.
+    if (!resume) {
+      const ld::Status cleared = ld::SnapshotStore(snapshot_dir).Clear();
+      if (!cleared.ok()) {
+        std::cerr << "cannot clear snapshots: " << cleared.ToString() << "\n";
+        return 1;
+      }
+    }
+    const auto child = [&](int attempt) -> int {
+      ld::ResumeOptions options;
+      options.snapshot_dir = snapshot_dir;
+      options.snapshot_interval = snapshot_interval;
+      auto result = ld::RunResumableAnalysis(
+          machine, ld::LogDiverConfig{},
+          ld::StreamInputs::FromBundleDir(dir), options);
+      if (!result.ok()) {
+        std::cerr << "analyze failed: " << result.status().ToString() << "\n";
+        return 1;
+      }
+      if (attempt > 0 || result->resumed_generation != 0) {
+        std::cout << "resumed from snapshot generation "
+                  << result->resumed_generation << " (" << result->lines_skipped
+                  << " lines already covered";
+        if (result->snapshots_rejected != 0) {
+          std::cout << ", " << result->snapshots_rejected
+                    << " torn generation(s) rejected";
+        }
+        std::cout << ")\n";
+      }
+      const ld::StreamingAnalyzer::Summary& summary = result->summary;
+      std::cout << "streamed " << result->total_lines << " lines, "
+                << summary.runs_finalized << " runs finalized, "
+                << result->snapshots_written << " snapshot(s) written\n";
+      std::cout << "\n--- headline ---\n";
+      ld::PrintHeadline(std::cout, summary.metrics);
+      std::cout << "\n--- outcomes ---\n";
+      ld::PrintOutcomeBreakdown(std::cout, summary.metrics);
+      std::cout << "\n--- error categories ---\n";
+      ld::PrintCategoryTable(std::cout, summary.metrics);
+      std::cout << "\n--- attribution ---\n";
+      ld::PrintAttributionTable(std::cout, summary.metrics);
+      if (!csv_dir.empty()) {
+        auto exported = ld::ExportMetricsCsv(summary.metrics, csv_dir);
+        if (exported.ok()) {
+          std::cout << "\nexported " << *exported << " CSV series to "
+                    << csv_dir << "\n";
+        } else {
+          std::cerr << "csv export failed: " << exported.status().ToString()
+                    << "\n";
+        }
+      }
+      if (!summary.ingest_status.ok()) {
+        std::cerr << "ingest budget tripped: "
+                  << summary.ingest_status.ToString() << "\n";
+        return kExitIngestBudget;
+      }
+      return 0;
+    };
+    const ld::CrashSupervisor::Outcome outcome =
+        ld::CrashSupervisor::Run(child);
+    if (outcome.exhausted) {
+      std::cerr << "giving up: analysis crashed " << outcome.crashes
+                << " time(s), restart budget exhausted\n";
+      return kExitRestartsExhausted;
+    }
+    return outcome.exit_code;
   }
 
   if (mode == "analyze") {

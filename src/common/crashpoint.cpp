@@ -1,0 +1,63 @@
+#include "common/crashpoint.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace ld {
+namespace {
+
+// Countdown state.  Single-threaded by design (the analysis loop is
+// single-threaded); no atomics needed.
+bool g_armed = false;
+std::uint64_t g_remaining = 0;
+bool g_env_checked = false;
+
+void MaybeInitFromEnv() {
+  if (g_env_checked) return;
+  g_env_checked = true;
+  const char* value = std::getenv(kCrashAfterEnv);
+  if (value == nullptr || *value == '\0') return;
+  char* end = nullptr;
+  const unsigned long long n = std::strtoull(value, &end, 10);
+  if (end == value || *end != '\0' || n == 0) return;
+  g_armed = true;
+  g_remaining = n;
+}
+
+}  // namespace
+
+void ArmCrashPoint(std::uint64_t after) {
+  g_env_checked = true;  // programmatic arming overrides the env
+  g_armed = after != 0;
+  g_remaining = after;
+}
+
+void DisarmCrashPoint() {
+  g_env_checked = true;
+  g_armed = false;
+  g_remaining = 0;
+}
+
+bool CrashPointArmed() {
+  MaybeInitFromEnv();
+  return g_armed;
+}
+
+std::uint64_t CrashPointRemaining() {
+  MaybeInitFromEnv();
+  return g_armed ? g_remaining : 0;
+}
+
+void CrashPoint(std::string_view tag) {
+  MaybeInitFromEnv();
+  if (!g_armed) return;
+  if (--g_remaining > 0) return;
+  // Die like a power cut: no destructors, no stream flushing beyond
+  // this one diagnostic line.
+  std::fprintf(stderr, "[crashpoint] injected crash at boundary '%.*s'\n",
+               static_cast<int>(tag.size()), tag.data());
+  std::fflush(stderr);
+  std::_Exit(kCrashExitCode);
+}
+
+}  // namespace ld

@@ -1,0 +1,46 @@
+// Deterministic crash-point injection for crash-recovery testing.
+//
+// A crash point is a named boundary in the code ("snapshot", "ingest")
+// where a test may ask the process to die abruptly.  Arming the
+// mechanism with N makes the Nth boundary hit call std::_Exit — no
+// destructors, no atexit, no flushing — which is the closest portable
+// stand-in for a power loss or OOM kill.  Disarmed (the default), every
+// CrashPoint() call is a branch on one bool and nothing more, so the
+// hooks are safe to leave in production code paths.
+//
+// Arming is either programmatic (ArmCrashPoint) or via the environment
+// variable LD_CRASH_AFTER=<n>, read once on first use — the env path is
+// what lets a supervisor arm its *child* without a side channel.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace ld {
+
+/// Exit code used by an injected crash; chosen to look like SIGKILL
+/// (128 + 9) so supervisors exercise their real crash-detection path.
+inline constexpr int kCrashExitCode = 137;
+
+/// Name of the environment variable carrying the countdown.
+inline constexpr const char* kCrashAfterEnv = "LD_CRASH_AFTER";
+
+/// Arms the countdown: the `after`-th CrashPoint() call from now dies.
+/// `after` == 1 means the very next boundary.
+void ArmCrashPoint(std::uint64_t after);
+
+/// Disarms; subsequent CrashPoint() calls are no-ops.
+void DisarmCrashPoint();
+
+/// True when a countdown is live (programmatic or from the env).
+bool CrashPointArmed();
+
+/// Boundaries left before the crash; 0 when disarmed.
+std::uint64_t CrashPointRemaining();
+
+/// Marks a crash boundary.  `tag` names the boundary in the death
+/// message written to stderr so campaign logs show *where* each
+/// injected crash landed.
+void CrashPoint(std::string_view tag);
+
+}  // namespace ld

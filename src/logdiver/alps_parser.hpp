@@ -23,6 +23,9 @@ class AlpsParser {
   std::vector<AlpsRecord> ParseLines(const std::vector<std::string>& lines,
                                      QuarantineSink* sink = nullptr);
   const ParseStats& stats() const { return stats_; }
+  /// Checkpoint-restore hook: the parser's only cross-line state is its
+  /// counters.
+  void RestoreStats(const ParseStats& stats) { stats_ = stats; }
 
  private:
   ParseStats stats_;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "logdiver/snapshot.hpp"
 #include "topology/cname.hpp"
 
 namespace ld {
@@ -171,6 +172,45 @@ std::optional<TimePoint> StreamingCoalescer::EarliestOpenIncident() const {
     }
   }
   return earliest;
+}
+
+void StreamingCoalescer::SaveState(SnapshotWriter& w) const {
+  w.U64(stats_.input_events);
+  w.U64(stats_.tuples);
+  w.U64(stats_.unresolved_locations);
+  w.U64(next_id_);
+  w.U32(static_cast<std::uint32_t>(open_.size()));
+  for (const auto& [key, tuple] : open_) {
+    w.I32(key.first);
+    w.Str(key.second);
+    SaveErrorTuple(w, tuple);
+  }
+  w.U32(static_cast<std::uint32_t>(closed_.size()));
+  for (const ErrorTuple& tuple : closed_) SaveErrorTuple(w, tuple);
+}
+
+void StreamingCoalescer::LoadState(SnapshotReader& r) {
+  stats_.input_events = r.U64();
+  stats_.tuples = r.U64();
+  stats_.unresolved_locations = r.U64();
+  next_id_ = r.U64();
+  open_.clear();
+  const std::uint32_t open_count = r.U32();
+  for (std::uint32_t i = 0; i < open_count && r.ok(); ++i) {
+    const int cat = r.I32();
+    std::string location = r.Str();
+    ErrorTuple tuple;
+    LoadErrorTuple(r, tuple);
+    open_.emplace(std::make_pair(cat, std::move(location)), std::move(tuple));
+  }
+  closed_.clear();
+  const std::uint32_t closed_count = r.U32();
+  if (r.ok()) closed_.reserve(closed_count);
+  for (std::uint32_t i = 0; i < closed_count && r.ok(); ++i) {
+    ErrorTuple tuple;
+    LoadErrorTuple(r, tuple);
+    closed_.push_back(std::move(tuple));
+  }
 }
 
 std::vector<ErrorTuple> CoalesceEvents(const Machine& machine,

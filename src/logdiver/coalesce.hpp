@@ -23,6 +23,9 @@
 
 namespace ld {
 
+class SnapshotWriter;
+class SnapshotReader;
+
 struct ErrorTuple {
   std::uint64_t id = 0;
   ErrorCategory category = ErrorCategory::kUnknown;
@@ -81,6 +84,12 @@ class StreamingCoalescer {
 
   std::size_t open_tuples() const { return open_.size(); }
   const CoalesceStats& stats() const { return stats_; }
+
+  /// Snapshot serialization hooks: open/displaced tuples, the id
+  /// counter and the stats round-trip (machine + config stay
+  /// construction-time).
+  void SaveState(SnapshotWriter& w) const;
+  void LoadState(SnapshotReader& r);
 
  private:
   const Machine& machine_;

@@ -4,6 +4,8 @@
 #include <map>
 #include <set>
 
+#include "logdiver/snapshot.hpp"
+
 namespace ld {
 namespace {
 
@@ -245,6 +247,199 @@ MetricsReport MetricsAccumulator::Report() const {
                 static_cast<double>(report.job_impact.jobs)
           : 0.0;
   return report;
+}
+
+void MetricsAccumulator::SaveState(SnapshotWriter& w) const {
+  w.U64(total_runs_);
+  w.F64(total_node_hours_);
+  w.U64(system_failures_);
+  w.F64(lost_node_hours_);
+  w.Time(span_lo_);
+  w.Time(span_hi_);
+  w.Bool(have_span_);
+
+  w.U32(static_cast<std::uint32_t>(outcome_rows_.size()));
+  for (const auto& [outcome, row] : outcome_rows_) {
+    w.U8(static_cast<std::uint8_t>(outcome));
+    w.U8(static_cast<std::uint8_t>(row.outcome));
+    w.U64(row.runs);
+    w.F64(row.node_hours);
+  }
+
+  w.U32(static_cast<std::uint32_t>(cat_rows_.size()));
+  for (const auto& [category, row] : cat_rows_) {
+    w.U8(static_cast<std::uint8_t>(category));
+    w.U8(static_cast<std::uint8_t>(row.category));
+    w.U64(row.tuples);
+    w.U64(row.fatal_tuples);
+    w.U64(row.raw_events);
+  }
+
+  w.U32(static_cast<std::uint32_t>(attr_rows_.size()));
+  for (const auto& [cause, row] : attr_rows_) {
+    w.U8(static_cast<std::uint8_t>(cause));
+    w.U8(static_cast<std::uint8_t>(row.cause));
+    w.U64(row.xe_failures);
+    w.U64(row.xk_failures);
+  }
+
+  for (const auto* scale : {&xe_scale_, &xk_scale_}) {
+    w.U32(static_cast<std::uint32_t>(scale->size()));
+    for (const ScalePoint& p : *scale) {
+      w.U32(p.lo);
+      w.U32(p.hi);
+      w.U64(p.runs);
+      w.U64(p.system_failures);
+    }
+  }
+
+  w.U32(static_cast<std::uint32_t>(monthly_.size()));
+  for (const auto& [ym, p] : monthly_) {
+    w.I32(ym.first);
+    w.I32(ym.second);
+    w.I32(p.year);
+    w.I32(p.month);
+    w.U64(p.runs);
+    w.U64(p.system_failures);
+    w.F64(p.node_hours);
+    w.F64(p.lost_node_hours);
+  }
+
+  for (const DetectionGapRow* gap : {&xe_gap_, &xk_gap_}) {
+    w.U8(static_cast<std::uint8_t>(gap->type));
+    w.U64(gap->system_failures);
+    w.U64(gap->attributed);
+    w.U64(gap->unattributed);
+  }
+
+  w.U64(incidents_);
+  w.U32(static_cast<std::uint32_t>(downtime_.intervals().size()));
+  for (const Interval& iv : downtime_.intervals()) {
+    w.Time(iv.start);
+    w.Time(iv.end);
+  }
+
+  for (const std::set<JobId>* jobs : {&seen_jobs_, &failed_jobs_}) {
+    w.U64(jobs->size());
+    for (JobId id : *jobs) w.U64(id);
+  }
+
+  w.U32(static_cast<std::uint32_t>(waits_.size()));
+  for (const auto& [band, samples] : waits_) {
+    w.U64(band);
+    w.U32(static_cast<std::uint32_t>(samples.size()));
+    for (double s : samples) w.F64(s);
+  }
+}
+
+void MetricsAccumulator::LoadState(SnapshotReader& r) {
+  total_runs_ = r.U64();
+  total_node_hours_ = r.F64();
+  system_failures_ = r.U64();
+  lost_node_hours_ = r.F64();
+  span_lo_ = r.Time();
+  span_hi_ = r.Time();
+  have_span_ = r.Bool();
+
+  outcome_rows_.clear();
+  const std::uint32_t outcomes = r.U32();
+  for (std::uint32_t i = 0; i < outcomes && r.ok(); ++i) {
+    const auto key = static_cast<AppOutcome>(r.U8());
+    OutcomeRow row;
+    row.outcome = static_cast<AppOutcome>(r.U8());
+    row.runs = r.U64();
+    row.node_hours = r.F64();
+    outcome_rows_.emplace(key, row);
+  }
+
+  cat_rows_.clear();
+  const std::uint32_t cats = r.U32();
+  for (std::uint32_t i = 0; i < cats && r.ok(); ++i) {
+    const auto key = static_cast<ErrorCategory>(r.U8());
+    CategoryRow row;
+    row.category = static_cast<ErrorCategory>(r.U8());
+    row.tuples = r.U64();
+    row.fatal_tuples = r.U64();
+    row.raw_events = r.U64();
+    cat_rows_.emplace(key, row);
+  }
+
+  attr_rows_.clear();
+  const std::uint32_t attrs = r.U32();
+  for (std::uint32_t i = 0; i < attrs && r.ok(); ++i) {
+    const auto key = static_cast<ErrorCategory>(r.U8());
+    AttributionRow row;
+    row.cause = static_cast<ErrorCategory>(r.U8());
+    row.xe_failures = r.U64();
+    row.xk_failures = r.U64();
+    attr_rows_.emplace(key, row);
+  }
+
+  for (auto* scale : {&xe_scale_, &xk_scale_}) {
+    scale->clear();
+    const std::uint32_t points = r.U32();
+    if (r.ok()) scale->reserve(points);
+    for (std::uint32_t i = 0; i < points && r.ok(); ++i) {
+      ScalePoint p;
+      p.lo = r.U32();
+      p.hi = r.U32();
+      p.runs = r.U64();
+      p.system_failures = r.U64();
+      scale->push_back(p);
+    }
+  }
+
+  monthly_.clear();
+  const std::uint32_t months = r.U32();
+  for (std::uint32_t i = 0; i < months && r.ok(); ++i) {
+    const int key_year = r.I32();
+    const int key_month = r.I32();
+    MonthlyPoint p;
+    p.year = r.I32();
+    p.month = r.I32();
+    p.runs = r.U64();
+    p.system_failures = r.U64();
+    p.node_hours = r.F64();
+    p.lost_node_hours = r.F64();
+    monthly_.emplace(std::make_pair(key_year, key_month), p);
+  }
+
+  for (DetectionGapRow* gap : {&xe_gap_, &xk_gap_}) {
+    gap->type = static_cast<NodeType>(r.U8());
+    gap->system_failures = r.U64();
+    gap->attributed = r.U64();
+    gap->unattributed = r.U64();
+  }
+
+  incidents_ = r.U64();
+  downtime_ = IntervalSet();
+  const std::uint32_t intervals = r.U32();
+  for (std::uint32_t i = 0; i < intervals && r.ok(); ++i) {
+    Interval iv;
+    iv.start = r.Time();
+    iv.end = r.Time();
+    downtime_.Add(iv);
+  }
+
+  for (std::set<JobId>* jobs : {&seen_jobs_, &failed_jobs_}) {
+    jobs->clear();
+    const std::uint64_t count = r.U64();
+    for (std::uint64_t i = 0; i < count && r.ok(); ++i) {
+      jobs->insert(jobs->end(), r.U64());
+    }
+  }
+
+  waits_.clear();
+  const std::uint32_t bands = r.U32();
+  for (std::uint32_t i = 0; i < bands && r.ok(); ++i) {
+    const std::uint64_t band = r.U64();
+    const std::uint32_t samples = r.U32();
+    std::vector<double>& out = waits_[static_cast<std::size_t>(band)];
+    if (r.ok()) out.reserve(samples);
+    for (std::uint32_t j = 0; j < samples && r.ok(); ++j) {
+      out.push_back(r.F64());
+    }
+  }
 }
 
 MetricsReport ComputeMetrics(const std::vector<AppRun>& runs,

@@ -23,6 +23,9 @@
 
 namespace ld {
 
+class SnapshotWriter;
+class SnapshotReader;
+
 struct OutcomeRow {
   AppOutcome outcome = AppOutcome::kUnknown;
   std::uint64_t runs = 0;
@@ -144,6 +147,15 @@ class MetricsAccumulator {
 
   /// Snapshot of the metrics over everything accumulated so far.
   MetricsReport Report() const;
+
+  /// Checkpoint serialization hooks: every accumulator (scale buckets,
+  /// monthly/outcome/category/attribution maps, downtime intervals,
+  /// job-dedup sets, queue-wait samples) round-trips exactly — doubles
+  /// by bit pattern — so a restored accumulator reports bit-identical
+  /// numbers.  The config stays construction-time; Restore expects an
+  /// accumulator built with the same config.
+  void SaveState(SnapshotWriter& w) const;
+  void LoadState(SnapshotReader& r);
 
  private:
   MetricsConfig config_;

@@ -2,6 +2,8 @@
 
 #include <fstream>
 
+#include "logdiver/snapshot.hpp"
+
 namespace ld {
 
 const char* DegradationPolicyName(DegradationPolicy policy) {
@@ -68,6 +70,30 @@ Status QuarantineSink::WriteTo(const std::string& path) const {
   if (!out) return InternalError("cannot write '" + path + "'");
   for (const std::string& row : Render()) out << row << '\n';
   return Status::Ok();
+}
+
+void QuarantineSink::SaveState(SnapshotWriter& w) const {
+  w.U32(static_cast<std::uint32_t>(entries_.size()));
+  for (const QuarantineEntry& entry : entries_) {
+    SaveQuarantineEntry(w, entry);
+  }
+  w.U64(total_);
+  w.U64(overflow_);
+  for (std::uint64_t n : by_source_) w.U64(n);
+}
+
+void QuarantineSink::LoadState(SnapshotReader& r) {
+  const std::uint32_t entries = r.U32();
+  entries_.clear();
+  if (r.ok()) entries_.reserve(entries);
+  for (std::uint32_t i = 0; i < entries && r.ok(); ++i) {
+    QuarantineEntry entry;
+    LoadQuarantineEntry(r, entry);
+    entries_.push_back(std::move(entry));
+  }
+  total_ = r.U64();
+  overflow_ = r.U64();
+  for (std::uint64_t& n : by_source_) n = r.U64();
 }
 
 }  // namespace ld

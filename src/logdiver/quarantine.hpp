@@ -11,6 +11,7 @@
 // output is never silently presented as clean.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <string>
 #include <string_view>
@@ -48,6 +49,9 @@ struct QuarantineConfig {
   std::size_t max_line_bytes = 256;
 };
 
+class SnapshotWriter;
+class SnapshotReader;
+
 /// Bounded capture of rejected lines.  Adding is cheap and never fails;
 /// overflow beyond max_entries is counted, not stored.
 class QuarantineSink {
@@ -68,12 +72,17 @@ class QuarantineSink {
   std::vector<std::string> Render() const;
   Status WriteTo(const std::string& path) const;
 
+  /// Snapshot serialization hooks: entries, totals, overflow and the
+  /// per-source counters round-trip; the config stays construction-time.
+  void SaveState(SnapshotWriter& w) const;
+  void LoadState(SnapshotReader& r);
+
  private:
   QuarantineConfig config_;
   std::vector<QuarantineEntry> entries_;
   std::uint64_t total_ = 0;
   std::uint64_t overflow_ = 0;
-  std::uint64_t by_source_[4] = {0, 0, 0, 0};
+  std::array<std::uint64_t, kNumLogSources> by_source_{};
 };
 
 /// Per-source malformed-line budget: a source is over budget once its

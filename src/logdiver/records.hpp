@@ -5,6 +5,7 @@
 // malformed.  Multi-gigabyte production logs always contain garbage.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <optional>
 #include <string>
@@ -26,6 +27,10 @@ const char* LocScopeName(LocScope s);
 
 /// Which log file a record came from.
 enum class LogSource : std::uint8_t { kTorque, kAlps, kSyslog, kHwerr };
+
+/// Number of LogSource enumerators.  Per-source arrays must be sized
+/// with this so adding a fifth source cannot silently under-index.
+inline constexpr std::size_t kNumLogSources = 4;
 
 const char* LogSourceName(LogSource s);
 

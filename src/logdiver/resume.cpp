@@ -1,0 +1,218 @@
+#include "logdiver/resume.hpp"
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "common/crashpoint.hpp"
+#include "logdiver/logdiver.hpp"
+#include "logdiver/snapshot.hpp"
+
+namespace ld {
+namespace {
+
+/// Resume payload layout: the per-source replay offsets wrap the
+/// analyzer state (docs/FORMATS.md "snapshot — analyzer checkpoint
+/// files").
+constexpr std::uint32_t kResumeStateVersion = 1;
+
+/// Per-line claimed times of one source, in file order.  Lines that do
+/// not parse carry the last claimed time of their source — a real
+/// shipper cannot drop what it cannot read.  Recomputed from line zero
+/// on every (re)start with throwaway parsers, so the merge order never
+/// depends on restored state.
+std::vector<TimePoint> ClaimedTimes(const std::vector<std::string>& lines,
+                                    LogSource source, int base_year) {
+  std::vector<TimePoint> times;
+  times.reserve(lines.size());
+  TorqueParser torque;
+  AlpsParser alps;
+  HwerrParser hwerr;
+  TimePoint last;
+  for (const std::string& line : lines) {
+    switch (source) {
+      case LogSource::kTorque: {
+        auto rec = torque.ParseLine(line);
+        if (rec.ok() && rec->has_value()) last = (*rec)->time;
+        break;
+      }
+      case LogSource::kAlps: {
+        auto rec = alps.ParseLine(line);
+        if (rec.ok() && rec->has_value()) last = (*rec)->time;
+        break;
+      }
+      case LogSource::kSyslog: {
+        if (line.size() >= 15) {
+          auto t = SyslogParser::ParseSyslogTime(line.substr(0, 15),
+                                                 base_year);
+          if (t.ok()) last = *t;
+        }
+        break;
+      }
+      case LogSource::kHwerr: {
+        auto rec = hwerr.ParseLine(line);
+        if (rec.ok() && rec->has_value()) last = (*rec)->time;
+        break;
+      }
+    }
+    times.push_back(last);
+  }
+  return times;
+}
+
+}  // namespace
+
+Result<ResumableSummary> RunResumableAnalysis(const Machine& machine,
+                                              const LogDiverConfig& config,
+                                              const StreamInputs& inputs,
+                                              const ResumeOptions& options) {
+  LD_ASSIGN_OR_RETURN(const std::vector<std::string> torque,
+                      ReadLines(inputs.torque_path));
+  LD_ASSIGN_OR_RETURN(const std::vector<std::string> alps,
+                      ReadLines(inputs.alps_path));
+  LD_ASSIGN_OR_RETURN(const std::vector<std::string> syslog,
+                      ReadLines(inputs.syslog_path));
+  LD_ASSIGN_OR_RETURN(const std::vector<std::string> hwerr,
+                      ReadLines(inputs.hwerr_path));
+  const std::vector<std::string>* files[kNumLogSources] = {&torque, &alps,
+                                                           &syslog, &hwerr};
+
+  std::vector<TimePoint> claimed[kNumLogSources];
+  for (std::size_t s = 0; s < kNumLogSources; ++s) {
+    claimed[s] = ClaimedTimes(*files[s], static_cast<LogSource>(s),
+                              config.syslog_base_year);
+  }
+
+  StreamingAnalyzer analyzer(machine, config);
+  ResumableSummary out;
+  std::uint64_t heads[kNumLogSources] = {0, 0, 0, 0};
+  std::uint64_t total = 0;
+
+  const bool snapshots_enabled =
+      !options.snapshot_dir.empty() && options.snapshot_interval != 0;
+  SnapshotStore store(options.snapshot_dir, options.keep_generations);
+
+  if (!options.snapshot_dir.empty() && options.resume) {
+    auto loaded = store.LoadLatest();
+    if (loaded.ok()) {
+      out.snapshots_rejected = loaded->rejected;
+      SnapshotReader r(loaded->payload);
+      const std::uint32_t version = r.U32();
+      if (!r.ok()) return r.status();
+      if (version != kResumeStateVersion) {
+        return FailedPreconditionError(
+            "snapshot resume-state version " + std::to_string(version) +
+            ", this build speaks " + std::to_string(kResumeStateVersion));
+      }
+      for (std::uint64_t& head : heads) head = r.U64();
+      LD_TRY(analyzer.Restore(r));
+      for (std::size_t s = 0; s < kNumLogSources; ++s) {
+        if (heads[s] > files[s]->size()) {
+          return FailedPreconditionError(
+              "snapshot records an offset past the end of " +
+              std::string(LogSourceName(static_cast<LogSource>(s))) +
+              " — it belongs to a different bundle");
+        }
+        total += heads[s];
+      }
+      out.resumed_generation = loaded->generation;
+      out.lines_skipped = total;
+    } else if (loaded.status().code() != StatusCode::kNotFound) {
+      return loaded.status();
+    }
+  }
+
+  for (;;) {
+    // Deterministic merge: the head with the earliest claimed time
+    // wins; strict `<` breaks ties toward the lowest source index.
+    int pick = -1;
+    for (std::size_t s = 0; s < kNumLogSources; ++s) {
+      if (heads[s] >= files[s]->size()) continue;
+      if (pick < 0 ||
+          claimed[s][heads[s]] < claimed[pick][heads[pick]]) {
+        pick = static_cast<int>(s);
+      }
+    }
+    if (pick < 0) break;
+    const std::string& line = (*files[pick])[heads[pick]];
+    const TimePoint time = claimed[pick][heads[pick]];
+    ++heads[pick];
+    ++total;
+    switch (static_cast<LogSource>(pick)) {
+      case LogSource::kTorque: analyzer.AddTorqueLine(line); break;
+      case LogSource::kAlps: analyzer.AddAlpsLine(line); break;
+      case LogSource::kSyslog: analyzer.AddSyslogLine(line); break;
+      case LogSource::kHwerr: analyzer.AddHwerrLine(line); break;
+    }
+    CrashPoint("ingest");
+    // Both schedules key off the *total* line count, which the restored
+    // offsets reproduce exactly — a resumed pass advances and snapshots
+    // at the same lines an uninterrupted one would.
+    if (options.advance_every != 0 && total % options.advance_every == 0) {
+      analyzer.Advance(time - options.reorder_slack);
+    }
+    if (snapshots_enabled && total % options.snapshot_interval == 0) {
+      SnapshotWriter w;
+      w.U32(kResumeStateVersion);
+      for (std::uint64_t head : heads) w.U64(head);
+      analyzer.Snapshot(w);
+      LD_TRY(store.Write(w.bytes()));
+      ++out.snapshots_written;
+      CrashPoint("snapshot");
+    }
+  }
+
+  out.summary = analyzer.Finalize();
+  out.total_lines = total;
+  return out;
+}
+
+CrashSupervisor::Outcome CrashSupervisor::Run(
+    const std::function<int(int attempt)>& child, const Options& options) {
+  Outcome out;
+  for (int attempt = 0;; ++attempt) {
+    out.attempts = attempt + 1;
+    // Flush so the child does not replay the parent's buffered output
+    // when it exits.
+    std::fflush(nullptr);
+    const pid_t pid = fork();
+    if (pid < 0) {
+      out.exit_code = -1;
+      return out;
+    }
+    if (pid == 0) {
+      const int rc = child(attempt);
+      std::fflush(nullptr);
+      std::_Exit(rc);
+    }
+    int status = 0;
+    if (waitpid(pid, &status, 0) < 0) {
+      out.exit_code = -1;
+      return out;
+    }
+    bool crashed = false;
+    int code = 0;
+    if (WIFSIGNALED(status)) {
+      crashed = true;
+      code = 128 + WTERMSIG(status);
+    } else {
+      code = WEXITSTATUS(status);
+      crashed = code >= 128;  // injected crashes exit with 128+signal
+    }
+    if (!crashed) {
+      out.exit_code = code;
+      return out;
+    }
+    ++out.crashes;
+    if (out.crashes > options.max_restarts) {
+      out.exhausted = true;
+      out.exit_code = code;
+      return out;
+    }
+  }
+}
+
+}  // namespace ld

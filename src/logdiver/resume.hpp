@@ -1,0 +1,121 @@
+// Crash-tolerant streaming analysis: the recovery half of the
+// checkpoint-recovery pattern (snapshot.hpp is the checkpoint half).
+//
+// RunResumableAnalysis streams an on-disk bundle through a
+// StreamingAnalyzer exactly as a live shipper would — four file tails
+// merged by claimed head time — writing a snapshot every N lines.  On
+// startup it loads the newest *valid* snapshot (torn or corrupt files
+// are rejected by CRC and the loader falls back a generation), restores
+// the analyzer, and resumes reading each file at the recorded offset,
+// so every line is applied exactly once.  Because the merge order, the
+// watermark schedule and the serialization are all deterministic, an
+// interrupted-and-resumed pass produces a *bit-identical* MetricsReport
+// to an uninterrupted one — bench/crash_campaign asserts this across a
+// kill-point × snapshot-interval sweep.
+//
+// CrashSupervisor is the process-level loop: it runs an analysis
+// attempt in a forked child, distinguishes a crash (signal, or an exit
+// code >= 128 such as the injected kCrashExitCode) from an ordinary
+// failure, and restarts crashed attempts up to a budget.  Ordinary
+// failures pass through — a tripped ingest error budget must not be
+// retried into an infinite loop.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "common/status.hpp"
+#include "logdiver/streaming.hpp"
+
+namespace ld {
+
+/// The four log files of a bundle, each consumed strictly in order.
+struct StreamInputs {
+  std::string torque_path;
+  std::string alps_path;
+  std::string syslog_path;
+  std::string hwerr_path;
+  /// Convenience: the standard bundle layout under `dir`.
+  static StreamInputs FromBundleDir(const std::string& dir) {
+    return {dir + "/torque.log", dir + "/alps.log", dir + "/syslog.log",
+            dir + "/hwerr.log"};
+  }
+};
+
+struct ResumeOptions {
+  /// Snapshot directory; empty disables both snapshots and resume.
+  std::string snapshot_dir;
+  /// Lines between snapshots; 0 disables snapshotting.
+  std::uint64_t snapshot_interval = 20000;
+  /// Lines between watermark advances.  Part of the deterministic
+  /// schedule: derived from the *total* line count, so a resumed pass
+  /// advances at exactly the same points as an uninterrupted one.
+  std::uint64_t advance_every = 500;
+  /// Reorder slack subtracted from the claimed head time at each
+  /// advance.
+  Duration reorder_slack = Duration::Minutes(5);
+  /// Load the newest valid snapshot on startup; false starts fresh
+  /// (existing snapshots are left alone — Clear() is the caller's call).
+  bool resume = true;
+  /// Snapshot generations retained (min 2: the newest always has a
+  /// fallback in case it is torn by the next crash).
+  std::size_t keep_generations = 2;
+};
+
+struct ResumableSummary {
+  StreamingAnalyzer::Summary summary;
+  /// Lines applied by the whole logical pass (replayed + fresh).
+  std::uint64_t total_lines = 0;
+  /// Snapshots written by *this* process.
+  std::uint64_t snapshots_written = 0;
+  /// Generation restored from; 0 when the pass started fresh.
+  std::uint64_t resumed_generation = 0;
+  /// Torn/corrupt newer generations skipped while loading.
+  std::uint64_t snapshots_rejected = 0;
+  /// Lines skipped on resume because the snapshot already covered them.
+  std::uint64_t lines_skipped = 0;
+};
+
+/// Streams `inputs` through a fresh analyzer (resuming from the newest
+/// valid snapshot when options allow), finalizes, and returns the
+/// summary.  Errors on unreadable inputs or an unusable snapshot
+/// payload (version/geometry mismatch — *corruption* is handled by
+/// falling back, a mismatch means the operator pointed the tool at the
+/// wrong directory).
+Result<ResumableSummary> RunResumableAnalysis(const Machine& machine,
+                                              const LogDiverConfig& config,
+                                              const StreamInputs& inputs,
+                                              const ResumeOptions& options);
+
+/// Process-level restart loop around a crashing analysis attempt.
+class CrashSupervisor {
+ public:
+  struct Options {
+    /// Crashed attempts restarted before giving up.
+    int max_restarts = 10;
+  };
+
+  struct Outcome {
+    /// Exit code of the last attempt (the successful one, the ordinary
+    /// failure passed through, or the final crash when exhausted).
+    int exit_code = 0;
+    int attempts = 0;
+    int crashes = 0;
+    /// True when the restart budget ran out on a still-crashing child.
+    bool exhausted = false;
+  };
+
+  /// Runs `child(attempt)` in a forked process until it exits without
+  /// crashing or the restart budget is spent.  `attempt` starts at 0
+  /// and increments per run — campaign code uses it to arm a crash
+  /// point on the first attempt only.  A crash is a signal death or an
+  /// exit code >= 128; anything else passes through unretried.
+  static Outcome Run(const std::function<int(int attempt)>& child,
+                     const Options& options);
+  static Outcome Run(const std::function<int(int attempt)>& child) {
+    return Run(child, Options());
+  }
+};
+
+}  // namespace ld

@@ -1,0 +1,619 @@
+#include "logdiver/snapshot.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <array>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <system_error>
+
+#include "logdiver/coalesce.hpp"
+#include "logdiver/metrics.hpp"
+#include "logdiver/quarantine.hpp"
+#include "logdiver/reconstruct.hpp"
+#include "logdiver/records.hpp"
+
+namespace ld {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// File magic: "LDSNAP" + 0x1A (stops accidental text-mode readers) + a
+/// free byte reserved as zero.
+constexpr std::array<std::uint8_t, 8> kMagic = {'L', 'D', 'S', 'N',
+                                                'A', 'P', 0x1A, 0x00};
+constexpr std::size_t kHeaderSize = kMagic.size() + 4 + 4 + 8;
+
+constexpr char kSnapshotPrefix[] = "snapshot-";
+constexpr char kSnapshotSuffix[] = ".ldsnap";
+
+const std::array<std::uint32_t, 256>& Crc32Table() {
+  static const std::array<std::uint32_t, 256> table = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  return table;
+}
+
+void PutU32(std::uint8_t* out, std::uint32_t v) {
+  out[0] = static_cast<std::uint8_t>(v);
+  out[1] = static_cast<std::uint8_t>(v >> 8);
+  out[2] = static_cast<std::uint8_t>(v >> 16);
+  out[3] = static_cast<std::uint8_t>(v >> 24);
+}
+
+std::uint32_t GetU32(const std::uint8_t* in) {
+  return static_cast<std::uint32_t>(in[0]) |
+         static_cast<std::uint32_t>(in[1]) << 8 |
+         static_cast<std::uint32_t>(in[2]) << 16 |
+         static_cast<std::uint32_t>(in[3]) << 24;
+}
+
+std::uint64_t GetU64(const std::uint8_t* in) {
+  return static_cast<std::uint64_t>(GetU32(in)) |
+         static_cast<std::uint64_t>(GetU32(in + 4)) << 32;
+}
+
+}  // namespace
+
+std::uint32_t Crc32(const void* data, std::size_t size) {
+  const auto& table = Crc32Table();
+  const auto* bytes = static_cast<const std::uint8_t*>(data);
+  std::uint32_t crc = 0xFFFFFFFFu;
+  for (std::size_t i = 0; i < size; ++i) {
+    crc = table[(crc ^ bytes[i]) & 0xFFu] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+void SnapshotWriter::U32(std::uint32_t v) {
+  buffer_.push_back(static_cast<std::uint8_t>(v));
+  buffer_.push_back(static_cast<std::uint8_t>(v >> 8));
+  buffer_.push_back(static_cast<std::uint8_t>(v >> 16));
+  buffer_.push_back(static_cast<std::uint8_t>(v >> 24));
+}
+
+void SnapshotWriter::U64(std::uint64_t v) {
+  U32(static_cast<std::uint32_t>(v));
+  U32(static_cast<std::uint32_t>(v >> 32));
+}
+
+void SnapshotWriter::F64(double v) {
+  std::uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  U64(bits);
+}
+
+void SnapshotWriter::Str(std::string_view s) {
+  U32(static_cast<std::uint32_t>(s.size()));
+  buffer_.insert(buffer_.end(), s.begin(), s.end());
+}
+
+void SnapshotReader::Fail(std::string why) {
+  if (status_.ok()) {
+    status_ = InternalError("snapshot payload: " + std::move(why));
+  }
+}
+
+std::uint8_t SnapshotReader::U8() {
+  if (pos_ + 1 > size_) {
+    Fail("truncated u8 at offset " + std::to_string(pos_));
+    return 0;
+  }
+  return data_[pos_++];
+}
+
+std::uint32_t SnapshotReader::U32() {
+  if (pos_ + 4 > size_) {
+    Fail("truncated u32 at offset " + std::to_string(pos_));
+    pos_ = size_;
+    return 0;
+  }
+  const std::uint32_t v = GetU32(data_ + pos_);
+  pos_ += 4;
+  return v;
+}
+
+std::uint64_t SnapshotReader::U64() {
+  const std::uint64_t lo = U32();
+  const std::uint64_t hi = U32();
+  return lo | hi << 32;
+}
+
+double SnapshotReader::F64() {
+  const std::uint64_t bits = U64();
+  double v = 0.0;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+std::string SnapshotReader::Str() {
+  const std::uint32_t len = U32();
+  if (pos_ + len > size_) {
+    Fail("truncated string of length " + std::to_string(len));
+    pos_ = size_;
+    return {};
+  }
+  std::string s(reinterpret_cast<const char*>(data_ + pos_), len);
+  pos_ += len;
+  return s;
+}
+
+// --- shared struct serializers ---------------------------------------
+
+void SaveParseStats(SnapshotWriter& w, const ParseStats& s) {
+  w.U64(s.lines);
+  w.U64(s.records);
+  w.U64(s.skipped);
+  w.U64(s.malformed);
+}
+
+void LoadParseStats(SnapshotReader& r, ParseStats& s) {
+  s.lines = r.U64();
+  s.records = r.U64();
+  s.skipped = r.U64();
+  s.malformed = r.U64();
+}
+
+void SaveIngestStats(SnapshotWriter& w, const IngestStats& s) {
+  w.U64(s.quarantined);
+  w.U64(s.quarantine_overflow);
+  w.U64(s.duplicate_placements);
+  w.U64(s.duplicate_terminations);
+  w.U64(s.duplicate_job_records);
+  w.U64(s.watermark_regressions);
+  w.U64(s.evicted_pending_runs);
+  w.U64(s.evicted_tuples);
+  w.U64(s.budget_exhausted_sources);
+  w.U64(s.lines_dropped_after_budget);
+}
+
+void LoadIngestStats(SnapshotReader& r, IngestStats& s) {
+  s.quarantined = r.U64();
+  s.quarantine_overflow = r.U64();
+  s.duplicate_placements = r.U64();
+  s.duplicate_terminations = r.U64();
+  s.duplicate_job_records = r.U64();
+  s.watermark_regressions = r.U64();
+  s.evicted_pending_runs = r.U64();
+  s.evicted_tuples = r.U64();
+  s.budget_exhausted_sources = r.U64();
+  s.lines_dropped_after_budget = r.U64();
+}
+
+void SaveStatus(SnapshotWriter& w, const Status& s) {
+  w.U8(static_cast<std::uint8_t>(s.code()));
+  w.Str(s.message());
+}
+
+Status LoadStatus(SnapshotReader& r) {
+  const auto code = static_cast<StatusCode>(r.U8());
+  std::string message = r.Str();
+  if (code == StatusCode::kOk) return Status::Ok();
+  return Status(code, std::move(message));
+}
+
+void SaveTorqueRecord(SnapshotWriter& w, const TorqueRecord& rec) {
+  w.U8(static_cast<std::uint8_t>(rec.kind));
+  w.Time(rec.time);
+  w.U64(rec.jobid);
+  w.Str(rec.user);
+  w.Str(rec.queue);
+  w.Str(rec.job_name);
+  w.Time(rec.submit);
+  w.Time(rec.start);
+  w.Time(rec.end);
+  w.I32(rec.exit_status);
+  w.U32(rec.nodect);
+  w.Dur(rec.walltime_limit);
+  w.Dur(rec.walltime_used);
+}
+
+void LoadTorqueRecord(SnapshotReader& r, TorqueRecord& rec) {
+  rec.kind = static_cast<TorqueRecord::Kind>(r.U8());
+  rec.time = r.Time();
+  rec.jobid = r.U64();
+  rec.user = r.Str();
+  rec.queue = r.Str();
+  rec.job_name = r.Str();
+  rec.submit = r.Time();
+  rec.start = r.Time();
+  rec.end = r.Time();
+  rec.exit_status = r.I32();
+  rec.nodect = r.U32();
+  rec.walltime_limit = r.Dur();
+  rec.walltime_used = r.Dur();
+}
+
+void SaveAppRun(SnapshotWriter& w, const AppRun& run) {
+  w.U64(run.apid);
+  w.U64(run.jobid);
+  w.Str(run.user);
+  w.Str(run.queue);
+  w.U8(static_cast<std::uint8_t>(run.node_type));
+  w.U32(static_cast<std::uint32_t>(run.nodes.size()));
+  for (NodeIndex n : run.nodes) w.U32(n);
+  w.U32(run.nodect);
+  w.Time(run.start);
+  w.Time(run.end);
+  w.Bool(run.has_termination);
+  w.I32(run.exit_code);
+  w.I32(run.exit_signal);
+  w.Bool(run.killed_node_failure);
+  w.U32(run.failed_nid);
+  w.Time(run.job_submit);
+  w.Time(run.job_start);
+  w.Dur(run.walltime_limit);
+  w.I32(run.job_exit_status);
+}
+
+void LoadAppRun(SnapshotReader& r, AppRun& run) {
+  run.apid = r.U64();
+  run.jobid = r.U64();
+  run.user = r.Str();
+  run.queue = r.Str();
+  run.node_type = static_cast<NodeType>(r.U8());
+  const std::uint32_t nodes = r.U32();
+  run.nodes.clear();
+  if (r.ok()) run.nodes.reserve(nodes);
+  for (std::uint32_t i = 0; i < nodes && r.ok(); ++i) {
+    run.nodes.push_back(r.U32());
+  }
+  run.nodect = r.U32();
+  run.start = r.Time();
+  run.end = r.Time();
+  run.has_termination = r.Bool();
+  run.exit_code = r.I32();
+  run.exit_signal = r.I32();
+  run.killed_node_failure = r.Bool();
+  run.failed_nid = r.U32();
+  run.job_submit = r.Time();
+  run.job_start = r.Time();
+  run.walltime_limit = r.Dur();
+  run.job_exit_status = r.I32();
+}
+
+void SaveErrorTuple(SnapshotWriter& w, const ErrorTuple& tuple) {
+  w.U64(tuple.id);
+  w.U8(static_cast<std::uint8_t>(tuple.category));
+  w.U8(static_cast<std::uint8_t>(tuple.severity));
+  w.U8(static_cast<std::uint8_t>(tuple.scope));
+  w.Str(tuple.location);
+  w.U32(static_cast<std::uint32_t>(tuple.nodes.size()));
+  for (NodeIndex n : tuple.nodes) w.U32(n);
+  w.Time(tuple.first);
+  w.Time(tuple.last);
+  w.Bool(tuple.recovered.has_value());
+  if (tuple.recovered.has_value()) w.Time(*tuple.recovered);
+  w.U32(tuple.count);
+  w.Bool(tuple.from_syslog);
+  w.Bool(tuple.from_hwerr);
+}
+
+void LoadErrorTuple(SnapshotReader& r, ErrorTuple& tuple) {
+  tuple.id = r.U64();
+  tuple.category = static_cast<ErrorCategory>(r.U8());
+  tuple.severity = static_cast<Severity>(r.U8());
+  tuple.scope = static_cast<LocScope>(r.U8());
+  tuple.location = r.Str();
+  const std::uint32_t nodes = r.U32();
+  tuple.nodes.clear();
+  if (r.ok()) tuple.nodes.reserve(nodes);
+  for (std::uint32_t i = 0; i < nodes && r.ok(); ++i) {
+    tuple.nodes.push_back(r.U32());
+  }
+  tuple.first = r.Time();
+  tuple.last = r.Time();
+  tuple.recovered.reset();
+  if (r.Bool()) tuple.recovered = r.Time();
+  tuple.count = r.U32();
+  tuple.from_syslog = r.Bool();
+  tuple.from_hwerr = r.Bool();
+}
+
+void SaveQuarantineEntry(SnapshotWriter& w, const QuarantineEntry& e) {
+  w.U8(static_cast<std::uint8_t>(e.source));
+  w.U64(e.line_number);
+  w.Str(e.reason);
+  w.Str(e.line);
+}
+
+void LoadQuarantineEntry(SnapshotReader& r, QuarantineEntry& e) {
+  e.source = static_cast<LogSource>(r.U8());
+  e.line_number = r.U64();
+  e.reason = r.Str();
+  e.line = r.Str();
+}
+
+void SaveMetricsReport(SnapshotWriter& w, const MetricsReport& report) {
+  w.U64(report.total_runs);
+  w.F64(report.total_node_hours);
+  w.F64(report.system_failure_fraction);
+  w.F64(report.lost_node_hours_fraction);
+  w.F64(report.overall_mtti_hours);
+
+  w.U32(static_cast<std::uint32_t>(report.outcomes.size()));
+  for (const OutcomeRow& row : report.outcomes) {
+    w.U8(static_cast<std::uint8_t>(row.outcome));
+    w.U64(row.runs);
+    w.F64(row.runs_share);
+    w.F64(row.node_hours);
+    w.F64(row.node_hours_share);
+  }
+
+  w.U32(static_cast<std::uint32_t>(report.categories.size()));
+  for (const CategoryRow& row : report.categories) {
+    w.U8(static_cast<std::uint8_t>(row.category));
+    w.U64(row.tuples);
+    w.U64(row.fatal_tuples);
+    w.U64(row.raw_events);
+    w.F64(row.fatal_mtbe_hours);
+  }
+
+  w.U64(report.availability.incidents);
+  w.F64(report.availability.downtime_hours);
+  w.F64(report.availability.availability);
+
+  w.U32(static_cast<std::uint32_t>(report.attribution.size()));
+  for (const AttributionRow& row : report.attribution) {
+    w.U8(static_cast<std::uint8_t>(row.cause));
+    w.U64(row.xe_failures);
+    w.U64(row.xk_failures);
+  }
+
+  for (const auto* scale : {&report.xe_scale, &report.xk_scale}) {
+    w.U32(static_cast<std::uint32_t>(scale->size()));
+    for (const ScalePoint& p : *scale) {
+      w.U32(p.lo);
+      w.U32(p.hi);
+      w.U64(p.runs);
+      w.U64(p.system_failures);
+      w.F64(p.failure_probability.point);
+      w.F64(p.failure_probability.lo);
+      w.F64(p.failure_probability.hi);
+    }
+  }
+
+  w.U32(static_cast<std::uint32_t>(report.monthly.size()));
+  for (const MonthlyPoint& p : report.monthly) {
+    w.I32(p.year);
+    w.I32(p.month);
+    w.U64(p.runs);
+    w.U64(p.system_failures);
+    w.F64(p.node_hours);
+    w.F64(p.lost_node_hours);
+    w.F64(p.mtti_hours);
+  }
+
+  w.U32(static_cast<std::uint32_t>(report.detection_gap.size()));
+  for (const DetectionGapRow& row : report.detection_gap) {
+    w.U8(static_cast<std::uint8_t>(row.type));
+    w.U64(row.system_failures);
+    w.U64(row.attributed);
+    w.U64(row.unattributed);
+    w.F64(row.unattributed_share);
+  }
+
+  w.U32(static_cast<std::uint32_t>(report.queue_waits.size()));
+  for (const QueueWaitRow& row : report.queue_waits) {
+    w.U32(row.lo);
+    w.U32(row.hi);
+    w.U64(row.jobs);
+    w.F64(row.mean_wait_hours);
+    w.F64(row.p95_wait_hours);
+  }
+
+  w.U64(report.job_impact.jobs);
+  w.U64(report.job_impact.jobs_with_system_failure);
+  w.F64(report.job_impact.fraction);
+
+  SaveIngestStats(w, report.ingest);
+}
+
+std::uint32_t FingerprintReport(const MetricsReport& report) {
+  SnapshotWriter w;
+  SaveMetricsReport(w, report);
+  return Crc32(w.bytes());
+}
+
+std::uint32_t FingerprintIngest(const IngestStats& stats) {
+  SnapshotWriter w;
+  SaveIngestStats(w, stats);
+  return Crc32(w.bytes());
+}
+
+// --- snapshot files --------------------------------------------------
+
+Status WriteSnapshotFile(const std::string& path,
+                         const std::vector<std::uint8_t>& payload) {
+  std::vector<std::uint8_t> framed;
+  framed.reserve(kHeaderSize + payload.size());
+  framed.insert(framed.end(), kMagic.begin(), kMagic.end());
+  std::uint8_t scratch[8];
+  PutU32(scratch, kSnapshotFileVersion);
+  framed.insert(framed.end(), scratch, scratch + 4);
+  PutU32(scratch, Crc32(payload));
+  framed.insert(framed.end(), scratch, scratch + 4);
+  const std::uint64_t size = payload.size();
+  PutU32(scratch, static_cast<std::uint32_t>(size));
+  PutU32(scratch + 4, static_cast<std::uint32_t>(size >> 32));
+  framed.insert(framed.end(), scratch, scratch + 8);
+  framed.insert(framed.end(), payload.begin(), payload.end());
+
+  const std::string tmp = path + ".tmp";
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    return InternalError("snapshot: cannot create " + tmp + ": " +
+                         std::strerror(errno));
+  }
+  std::size_t written = 0;
+  while (written < framed.size()) {
+    const ssize_t n =
+        ::write(fd, framed.data() + written, framed.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const std::string why = std::strerror(errno);
+      ::close(fd);
+      ::unlink(tmp.c_str());
+      return InternalError("snapshot: short write to " + tmp + ": " + why);
+    }
+    written += static_cast<std::size_t>(n);
+  }
+  // fsync before rename: the rename must never become durable ahead of
+  // the data it points at.
+  if (::fsync(fd) != 0) {
+    const std::string why = std::strerror(errno);
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    return InternalError("snapshot: fsync " + tmp + " failed: " + why);
+  }
+  if (::close(fd) != 0) {
+    ::unlink(tmp.c_str());
+    return InternalError("snapshot: close " + tmp + " failed");
+  }
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    const std::string why = std::strerror(errno);
+    ::unlink(tmp.c_str());
+    return InternalError("snapshot: rename to " + path + " failed: " + why);
+  }
+  return Status::Ok();
+}
+
+Result<std::vector<std::uint8_t>> ReadSnapshotFile(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return NotFoundError("snapshot: cannot open " + path);
+  }
+  std::fseek(f, 0, SEEK_END);
+  const long file_size = std::ftell(f);
+  std::fseek(f, 0, SEEK_SET);
+  if (file_size < 0 || static_cast<std::size_t>(file_size) < kHeaderSize) {
+    std::fclose(f);
+    return ParseError("snapshot: " + path + " shorter than the header");
+  }
+  std::vector<std::uint8_t> bytes(static_cast<std::size_t>(file_size));
+  const std::size_t read = std::fread(bytes.data(), 1, bytes.size(), f);
+  std::fclose(f);
+  if (read != bytes.size()) {
+    return ParseError("snapshot: short read from " + path);
+  }
+  if (!std::equal(kMagic.begin(), kMagic.end(), bytes.begin())) {
+    return ParseError("snapshot: " + path + " has a bad magic number");
+  }
+  const std::uint32_t version = GetU32(bytes.data() + kMagic.size());
+  if (version != kSnapshotFileVersion) {
+    return ParseError("snapshot: " + path + " has unsupported version " +
+                      std::to_string(version));
+  }
+  const std::uint32_t crc = GetU32(bytes.data() + kMagic.size() + 4);
+  const std::uint64_t declared = GetU64(bytes.data() + kMagic.size() + 8);
+  if (declared != bytes.size() - kHeaderSize) {
+    return ParseError("snapshot: " + path + " is torn (declares " +
+                      std::to_string(declared) + " payload bytes, has " +
+                      std::to_string(bytes.size() - kHeaderSize) + ")");
+  }
+  std::vector<std::uint8_t> payload(bytes.begin() + kHeaderSize, bytes.end());
+  if (Crc32(payload) != crc) {
+    return ParseError("snapshot: " + path + " fails its CRC check");
+  }
+  return payload;
+}
+
+SnapshotStore::SnapshotStore(std::string dir, std::size_t keep_generations)
+    : dir_(std::move(dir)),
+      keep_generations_(std::max<std::size_t>(keep_generations, 2)) {}
+
+std::string SnapshotStore::PathFor(std::uint64_t generation) const {
+  char name[64];
+  std::snprintf(name, sizeof(name), "%s%06llu%s", kSnapshotPrefix,
+                static_cast<unsigned long long>(generation), kSnapshotSuffix);
+  return dir_ + "/" + name;
+}
+
+std::vector<std::uint64_t> SnapshotStore::Generations() const {
+  std::vector<std::uint64_t> gens;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(dir_, ec)) {
+    const std::string name = entry.path().filename().string();
+    if (name.size() <= std::strlen(kSnapshotPrefix) + std::strlen(kSnapshotSuffix) ||
+        name.rfind(kSnapshotPrefix, 0) != 0 ||
+        name.substr(name.size() - std::strlen(kSnapshotSuffix)) !=
+            kSnapshotSuffix) {
+      continue;
+    }
+    const std::string digits =
+        name.substr(std::strlen(kSnapshotPrefix),
+                    name.size() - std::strlen(kSnapshotPrefix) -
+                        std::strlen(kSnapshotSuffix));
+    char* end = nullptr;
+    const std::uint64_t gen = std::strtoull(digits.c_str(), &end, 10);
+    if (end != nullptr && *end == '\0' && gen > 0) gens.push_back(gen);
+  }
+  std::sort(gens.begin(), gens.end());
+  return gens;
+}
+
+Result<std::uint64_t> SnapshotStore::Write(
+    const std::vector<std::uint8_t>& payload) {
+  std::error_code ec;
+  fs::create_directories(dir_, ec);
+  if (ec) {
+    return InternalError("snapshot: cannot create directory " + dir_ + ": " +
+                         ec.message());
+  }
+  const std::vector<std::uint64_t> gens = Generations();
+  const std::uint64_t next = gens.empty() ? 1 : gens.back() + 1;
+  LD_TRY(WriteSnapshotFile(PathFor(next), payload));
+  // Prune: keep the newest keep_generations_ (the new one included).
+  if (gens.size() + 1 > keep_generations_) {
+    const std::size_t drop = gens.size() + 1 - keep_generations_;
+    for (std::size_t i = 0; i < drop && i < gens.size(); ++i) {
+      fs::remove(PathFor(gens[i]), ec);
+    }
+  }
+  return next;
+}
+
+Result<SnapshotStore::Loaded> SnapshotStore::LoadLatest() const {
+  const std::vector<std::uint64_t> gens = Generations();
+  Loaded loaded;
+  for (auto it = gens.rbegin(); it != gens.rend(); ++it) {
+    auto payload = ReadSnapshotFile(PathFor(*it));
+    if (payload.ok()) {
+      loaded.payload = std::move(*payload);
+      loaded.generation = *it;
+      return loaded;
+    }
+    ++loaded.rejected;
+  }
+  return NotFoundError("snapshot: no valid snapshot in " + dir_ +
+                       (loaded.rejected != 0
+                            ? " (" + std::to_string(loaded.rejected) +
+                                  " rejected as torn/corrupt)"
+                            : ""));
+}
+
+Status SnapshotStore::Clear() const {
+  std::error_code ec;
+  for (std::uint64_t gen : Generations()) {
+    fs::remove(PathFor(gen), ec);
+    if (ec) {
+      return InternalError("snapshot: cannot remove " + PathFor(gen) + ": " +
+                           ec.message());
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace ld

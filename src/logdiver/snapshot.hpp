@@ -1,0 +1,185 @@
+// Versioned, CRC-checksummed binary snapshots of streaming-analysis
+// state — the checkpoint half of the checkpoint-recovery pattern the
+// tool applies to itself (DESIGN.md "Crash-tolerant streaming").
+//
+// A snapshot file is written atomically (tmp + fsync + rename) so a
+// crash mid-write can never leave a half-written file under the final
+// name; a torn or bit-flipped file is rejected by size/CRC validation
+// and the loader falls back to the previous generation.  The byte
+// layout is documented in docs/FORMATS.md ("snapshot — analyzer
+// checkpoint files") and is the contract the version number guards.
+//
+// Serialization is deliberately exact: doubles round-trip through their
+// IEEE-754 bit pattern, so a restored analyzer continues producing
+// *bit-identical* metrics to an uninterrupted pass — the property
+// bench/crash_campaign asserts cell by cell.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.hpp"
+#include "common/time.hpp"
+
+namespace ld {
+
+struct AppRun;
+struct ErrorTuple;
+struct TorqueRecord;
+struct ParseStats;
+struct IngestStats;
+struct QuarantineEntry;
+struct MetricsReport;
+
+/// CRC-32 (IEEE 802.3, polynomial 0xEDB88320, reflected).  This is the
+/// checksum both the snapshot file trailer and the report fingerprints
+/// use; Crc32("123456789") == 0xCBF43926.
+std::uint32_t Crc32(const void* data, std::size_t size);
+inline std::uint32_t Crc32(const std::vector<std::uint8_t>& bytes) {
+  return Crc32(bytes.data(), bytes.size());
+}
+
+/// Append-only little-endian byte sink.  All multi-byte integers are
+/// written LE regardless of host order; doubles as their bit pattern.
+class SnapshotWriter {
+ public:
+  void U8(std::uint8_t v) { buffer_.push_back(v); }
+  void Bool(bool v) { U8(v ? 1 : 0); }
+  void U32(std::uint32_t v);
+  void U64(std::uint64_t v);
+  void I32(std::int32_t v) { U32(static_cast<std::uint32_t>(v)); }
+  void I64(std::int64_t v) { U64(static_cast<std::uint64_t>(v)); }
+  void F64(double v);
+  void Time(TimePoint t) { I64(t.unix_seconds()); }
+  void Dur(Duration d) { I64(d.seconds()); }
+  /// u32 length prefix + raw bytes.
+  void Str(std::string_view s);
+
+  const std::vector<std::uint8_t>& bytes() const { return buffer_; }
+  std::vector<std::uint8_t> TakeBytes() { return std::move(buffer_); }
+
+ private:
+  std::vector<std::uint8_t> buffer_;
+};
+
+/// Sequential reader over a snapshot payload.  Reading past the end (or
+/// a length prefix past the end) latches an error status and returns
+/// zero values; callers check `status()` once after a batch of reads
+/// instead of per-field — the CRC already vouches for the bytes, so a
+/// failure here means a layout/version bug, not data corruption.
+class SnapshotReader {
+ public:
+  SnapshotReader(const std::uint8_t* data, std::size_t size)
+      : data_(data), size_(size) {}
+  explicit SnapshotReader(const std::vector<std::uint8_t>& bytes)
+      : SnapshotReader(bytes.data(), bytes.size()) {}
+
+  std::uint8_t U8();
+  bool Bool() { return U8() != 0; }
+  std::uint32_t U32();
+  std::uint64_t U64();
+  std::int32_t I32() { return static_cast<std::int32_t>(U32()); }
+  std::int64_t I64() { return static_cast<std::int64_t>(U64()); }
+  double F64();
+  TimePoint Time() { return TimePoint(I64()); }
+  Duration Dur() { return Duration(I64()); }
+  std::string Str();
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+  /// Bytes not yet consumed; 0 when fully read.
+  std::size_t remaining() const { return size_ - pos_; }
+  void Fail(std::string why);
+
+ private:
+  const std::uint8_t* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+  Status status_;
+};
+
+// --- shared struct serializers (used by the analyzer state hooks) ----
+
+void SaveParseStats(SnapshotWriter& w, const ParseStats& s);
+void LoadParseStats(SnapshotReader& r, ParseStats& s);
+void SaveIngestStats(SnapshotWriter& w, const IngestStats& s);
+void LoadIngestStats(SnapshotReader& r, IngestStats& s);
+void SaveStatus(SnapshotWriter& w, const Status& s);
+Status LoadStatus(SnapshotReader& r);
+void SaveTorqueRecord(SnapshotWriter& w, const TorqueRecord& rec);
+void LoadTorqueRecord(SnapshotReader& r, TorqueRecord& rec);
+void SaveAppRun(SnapshotWriter& w, const AppRun& run);
+void LoadAppRun(SnapshotReader& r, AppRun& run);
+void SaveErrorTuple(SnapshotWriter& w, const ErrorTuple& tuple);
+void LoadErrorTuple(SnapshotReader& r, ErrorTuple& tuple);
+void SaveQuarantineEntry(SnapshotWriter& w, const QuarantineEntry& e);
+void LoadQuarantineEntry(SnapshotReader& r, QuarantineEntry& e);
+
+/// Serializes every field of a report (fractions, CI bounds, ingest
+/// counters, all tables and series) into `w` — the basis of the
+/// bit-identical equivalence check in bench/crash_campaign.
+void SaveMetricsReport(SnapshotWriter& w, const MetricsReport& report);
+/// CRC-32 over the full serialized report: two reports fingerprint
+/// equal iff every number in them is bit-identical.
+std::uint32_t FingerprintReport(const MetricsReport& report);
+/// CRC-32 over the serialized ingest counters.
+std::uint32_t FingerprintIngest(const IngestStats& stats);
+
+// --- snapshot files --------------------------------------------------
+
+/// On-disk framing version; bump when the header layout changes.  The
+/// analyzer payload carries its own version (see streaming.cpp).
+inline constexpr std::uint32_t kSnapshotFileVersion = 1;
+
+/// Writes `magic | version | crc | size | payload` to `path` atomically:
+/// the bytes go to `path + ".tmp"`, are fsync'd, and the tmp is renamed
+/// over `path`.  A crash at any point leaves either the old file or no
+/// file — never a torn one under the final name.
+Status WriteSnapshotFile(const std::string& path,
+                         const std::vector<std::uint8_t>& payload);
+
+/// Reads and validates a snapshot file: magic, version, declared size
+/// against file size, and payload CRC.  Any mismatch is an error — a
+/// torn/corrupt snapshot must never be silently restored.
+Result<std::vector<std::uint8_t>> ReadSnapshotFile(const std::string& path);
+
+/// Generation-managed snapshot directory: snapshot-000001.ldsnap,
+/// snapshot-000002.ldsnap, ...  Writes always create the next
+/// generation; loads walk newest-first past invalid files so a torn
+/// final snapshot degrades to the previous one instead of failing.
+class SnapshotStore {
+ public:
+  /// `keep_generations` older snapshots are retained after each write
+  /// (min 2, so the newest generation always has a fallback).
+  explicit SnapshotStore(std::string dir, std::size_t keep_generations = 2);
+
+  /// Creates the directory if needed and writes the next generation.
+  Result<std::uint64_t> Write(const std::vector<std::uint8_t>& payload);
+
+  struct Loaded {
+    std::vector<std::uint8_t> payload;
+    std::uint64_t generation = 0;
+    /// Newer generations that failed validation and were skipped.
+    std::uint64_t rejected = 0;
+  };
+  /// Newest valid snapshot; NotFound when the directory holds none.
+  Result<Loaded> LoadLatest() const;
+
+  /// Existing generation numbers, ascending.
+  std::vector<std::uint64_t> Generations() const;
+  /// Deletes every snapshot (fresh-start semantics for --no-resume).
+  Status Clear() const;
+
+  const std::string& dir() const { return dir_; }
+  std::string PathFor(std::uint64_t generation) const;
+
+ private:
+  std::string dir_;
+  std::size_t keep_generations_;
+};
+
+}  // namespace ld

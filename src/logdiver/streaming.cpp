@@ -2,7 +2,16 @@
 
 #include <algorithm>
 
+#include "logdiver/snapshot.hpp"
+
 namespace ld {
+namespace {
+
+/// Analyzer payload layout version; bump on any member-order or
+/// encoding change (docs/FORMATS.md documents the current layout).
+constexpr std::uint32_t kStreamStateVersion = 1;
+
+}  // namespace
 
 StreamingAnalyzer::StreamingAnalyzer(const Machine& machine,
                                      LogDiverConfig config)
@@ -53,6 +62,7 @@ void StreamingAnalyzer::CheckBudget(LogSource source, const ParseStats& stats) {
 }
 
 void StreamingAnalyzer::AddTorqueLine(std::string_view line) {
+  LD_CHECK(!finalized_, "AddTorqueLine on a finalized analyzer");
   if (!SourceOpen(LogSource::kTorque)) return;
   auto rec = torque_parser_.ParseLine(line);
   if (!rec.ok()) {
@@ -76,6 +86,7 @@ void StreamingAnalyzer::AddTorqueLine(std::string_view line) {
 }
 
 void StreamingAnalyzer::AddAlpsLine(std::string_view line) {
+  LD_CHECK(!finalized_, "AddAlpsLine on a finalized analyzer");
   if (!SourceOpen(LogSource::kAlps)) return;
   auto rec = alps_parser_.ParseLine(line);
   if (!rec.ok()) {
@@ -158,6 +169,7 @@ void StreamingAnalyzer::AddAlpsLine(std::string_view line) {
 }
 
 void StreamingAnalyzer::AddSyslogLine(std::string_view line) {
+  LD_CHECK(!finalized_, "AddSyslogLine on a finalized analyzer");
   if (!SourceOpen(LogSource::kSyslog)) return;
   auto rec = syslog_parser_.ParseLine(line);
   if (!rec.ok()) {
@@ -174,6 +186,7 @@ void StreamingAnalyzer::AddSyslogLine(std::string_view line) {
 }
 
 void StreamingAnalyzer::AddHwerrLine(std::string_view line) {
+  LD_CHECK(!finalized_, "AddHwerrLine on a finalized analyzer");
   if (!SourceOpen(LogSource::kHwerr)) return;
   auto rec = hwerr_parser_.ParseLine(line);
   if (!rec.ok()) {
@@ -263,6 +276,7 @@ void StreamingAnalyzer::EvictOldState(TimePoint watermark) {
 }
 
 std::size_t StreamingAnalyzer::Advance(TimePoint watermark) {
+  LD_CHECK(!finalized_, "Advance on a finalized analyzer");
   // 0. A watermark behind the furthest promise already made would re-open
   //    finalized state; clamp it and count the broken promise.
   if (have_watermark_ && watermark < last_watermark_) {
@@ -301,6 +315,8 @@ std::size_t StreamingAnalyzer::Advance(TimePoint watermark) {
 }
 
 StreamingAnalyzer::Summary StreamingAnalyzer::Finalize() {
+  LD_CHECK(!finalized_, "Finalize called twice — the analyzer is spent");
+  finalized_ = true;
   Summary summary;
   // Flush every tuple, then classify every remaining terminated run.
   for (ErrorTuple& tuple : coalescer_.FlushAll()) {
@@ -331,6 +347,139 @@ StreamingAnalyzer::Summary StreamingAnalyzer::Finalize() {
   summary.ingest_status = ingest_status_;
   summary.metrics.ingest = summary.ingest;
   return summary;
+}
+
+void StreamingAnalyzer::Snapshot(SnapshotWriter& w) const {
+  LD_CHECK(!finalized_, "Snapshot on a finalized analyzer");
+  w.U32(kStreamStateVersion);
+  // Geometry sanity: restoring against a different machine would
+  // silently misclassify node types.
+  w.U64(machine_.node_count());
+
+  SaveParseStats(w, torque_parser_.stats());
+  SaveParseStats(w, alps_parser_.stats());
+  const SyslogParser::StreamState syslog = syslog_parser_.stream_state();
+  SaveParseStats(w, syslog.stats);
+  w.I32(syslog.current_year);
+  w.I32(syslog.last_month);
+  SaveParseStats(w, hwerr_parser_.stats());
+
+  coalescer_.SaveState(w);
+  quarantine_.SaveState(w);
+  metrics_.SaveState(w);
+
+  w.U64(jobs_.size());
+  for (const auto& [jobid, record] : jobs_) {
+    w.U64(jobid);
+    SaveTorqueRecord(w, record);
+  }
+  w.U64(open_runs_.size());
+  for (const auto& [apid, run] : open_runs_) {
+    w.U64(apid);
+    SaveAppRun(w, run);
+  }
+  w.U64(pending_.size());
+  for (const AppRun& run : pending_) SaveAppRun(w, run);
+  w.U64(tuple_buffer_.size());
+  for (const ErrorTuple& tuple : tuple_buffer_) SaveErrorTuple(w, tuple);
+  w.U64(recent_terminated_.size());
+  for (const auto& [apid, end] : recent_terminated_) {
+    w.U64(apid);
+    w.Time(end);
+  }
+
+  w.U64(runs_finalized_);
+  w.U64(orphan_terminations_);
+  SaveIngestStats(w, ingest_);
+  SaveStatus(w, ingest_status_);
+  w.Time(last_watermark_);
+  w.Bool(have_watermark_);
+  for (bool closed : source_closed_) w.Bool(closed);
+  for (bool counted : budget_counted_) w.Bool(counted);
+}
+
+Status StreamingAnalyzer::Restore(SnapshotReader& r) {
+  LD_CHECK(!finalized_, "Restore on a finalized analyzer");
+  const std::uint32_t version = r.U32();
+  if (!r.ok()) return r.status();
+  if (version != kStreamStateVersion) {
+    return FailedPreconditionError("snapshot stream-state version " +
+                            std::to_string(version) + ", this build speaks " +
+                            std::to_string(kStreamStateVersion));
+  }
+  const std::uint64_t node_count = r.U64();
+  if (r.ok() && node_count != machine_.node_count()) {
+    return InvalidArgumentError(
+        "snapshot was taken on a machine with " + std::to_string(node_count) +
+        " nodes, this machine has " + std::to_string(machine_.node_count()));
+  }
+
+  ParseStats torque_stats;
+  LoadParseStats(r, torque_stats);
+  torque_parser_.RestoreStats(torque_stats);
+  ParseStats alps_stats;
+  LoadParseStats(r, alps_stats);
+  alps_parser_.RestoreStats(alps_stats);
+  SyslogParser::StreamState syslog;
+  LoadParseStats(r, syslog.stats);
+  syslog.current_year = r.I32();
+  syslog.last_month = r.I32();
+  syslog_parser_.RestoreStreamState(syslog);
+  ParseStats hwerr_stats;
+  LoadParseStats(r, hwerr_stats);
+  hwerr_parser_.RestoreStats(hwerr_stats);
+
+  coalescer_.LoadState(r);
+  quarantine_.LoadState(r);
+  metrics_.LoadState(r);
+
+  jobs_.clear();
+  for (std::uint64_t i = 0, n = r.U64(); i < n && r.ok(); ++i) {
+    const JobId jobid = r.U64();
+    TorqueRecord record;
+    LoadTorqueRecord(r, record);
+    jobs_.emplace_hint(jobs_.end(), jobid, std::move(record));
+  }
+  open_runs_.clear();
+  for (std::uint64_t i = 0, n = r.U64(); i < n && r.ok(); ++i) {
+    const ApId apid = r.U64();
+    AppRun run;
+    LoadAppRun(r, run);
+    open_runs_.emplace_hint(open_runs_.end(), apid, std::move(run));
+  }
+  pending_.clear();
+  for (std::uint64_t i = 0, n = r.U64(); i < n && r.ok(); ++i) {
+    AppRun run;
+    LoadAppRun(r, run);
+    pending_.push_back(std::move(run));
+  }
+  tuple_buffer_.clear();
+  for (std::uint64_t i = 0, n = r.U64(); i < n && r.ok(); ++i) {
+    ErrorTuple tuple;
+    LoadErrorTuple(r, tuple);
+    tuple_buffer_.push_back(std::move(tuple));
+  }
+  recent_terminated_.clear();
+  for (std::uint64_t i = 0, n = r.U64(); i < n && r.ok(); ++i) {
+    const ApId apid = r.U64();
+    recent_terminated_.emplace_hint(recent_terminated_.end(), apid, r.Time());
+  }
+
+  runs_finalized_ = r.U64();
+  orphan_terminations_ = r.U64();
+  LoadIngestStats(r, ingest_);
+  ingest_status_ = LoadStatus(r);
+  last_watermark_ = r.Time();
+  have_watermark_ = r.Bool();
+  for (bool& closed : source_closed_) closed = r.Bool();
+  for (bool& counted : budget_counted_) counted = r.Bool();
+  if (!r.ok()) return r.status();
+  if (r.remaining() != 0) {
+    return ParseError("snapshot payload has " +
+                      std::to_string(r.remaining()) +
+                      " trailing bytes — layout mismatch");
+  }
+  return Status::Ok();
 }
 
 StreamingAnalyzer::StateSize StreamingAnalyzer::state_size() const {

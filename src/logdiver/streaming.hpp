@@ -20,6 +20,7 @@
 // well-ordered streams (the integration test asserts this).
 #pragma once
 
+#include <array>
 #include <deque>
 #include <map>
 #include <string_view>
@@ -74,8 +75,22 @@ class StreamingAnalyzer {
   };
 
   /// Flushes all remaining state and returns the final report.  The
-  /// analyzer is spent afterwards.
+  /// analyzer is spent afterwards: feeding lines, advancing, snapshotting
+  /// or finalizing again is a programming error (LD_CHECK).
   Summary Finalize();
+
+  /// Serializes the full retained state — parsers, coalescer, metric
+  /// accumulators, quarantine, open/pending runs, tuple buffer, replay
+  /// memory, ingest counters and the watermark — into `w`.  Restoring
+  /// into an analyzer constructed with the same machine and config
+  /// continues the stream bit-identically to never having stopped
+  /// (bench/crash_campaign asserts this; layout in docs/FORMATS.md).
+  void Snapshot(SnapshotWriter& w) const;
+  /// Overwrites this analyzer's state from a snapshot payload.  Errors
+  /// on a layout/version mismatch or a snapshot taken on a different
+  /// machine geometry; the analyzer may be partially overwritten then
+  /// and must be discarded.
+  Status Restore(SnapshotReader& r);
 
   /// Retained-state sizes, for bounded-memory assertions and ops
   /// visibility.
@@ -144,8 +159,9 @@ class StreamingAnalyzer {
   Status ingest_status_;
   TimePoint last_watermark_;
   bool have_watermark_ = false;
-  bool source_closed_[4] = {false, false, false, false};
-  bool budget_counted_[4] = {false, false, false, false};
+  bool finalized_ = false;
+  std::array<bool, kNumLogSources> source_closed_{};
+  std::array<bool, kNumLogSources> budget_counted_{};
 };
 
 }  // namespace ld

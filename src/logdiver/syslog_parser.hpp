@@ -40,6 +40,24 @@ class SyslogParser {
 
   const ParseStats& stats() const { return stats_; }
 
+  /// Checkpoint-restore hooks: beyond the counters, the parser carries
+  /// the year-rollover reconstruction state (current year + last month
+  /// seen), which must survive a restore or timestamps after a December
+  /// boundary would land in the wrong year.
+  struct StreamState {
+    ParseStats stats;
+    int current_year = 0;
+    int last_month = 0;
+  };
+  StreamState stream_state() const {
+    return {stats_, current_year_, last_month_};
+  }
+  void RestoreStreamState(const StreamState& state) {
+    stats_ = state.stats;
+    current_year_ = state.current_year;
+    last_month_ = state.last_month;
+  }
+
   /// Parses "Apr  1 02:10:02" within the given year.
   static Result<TimePoint> ParseSyslogTime(std::string_view text, int year);
 

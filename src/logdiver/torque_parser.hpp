@@ -29,6 +29,9 @@ class TorqueParser {
                                        QuarantineSink* sink = nullptr);
 
   const ParseStats& stats() const { return stats_; }
+  /// Checkpoint-restore hook: the parser's only cross-line state is its
+  /// counters.
+  void RestoreStats(const ParseStats& stats) { stats_ = stats; }
 
  private:
   ParseStats stats_;

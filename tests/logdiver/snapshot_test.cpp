@@ -1,0 +1,339 @@
+#include "logdiver/snapshot.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "logdiver/streaming.hpp"
+#include "simlog/scenario.hpp"
+
+namespace ld {
+namespace {
+
+TEST(Crc32Test, KnownVector) {
+  // The CRC-32/IEEE check value: crc("123456789") == 0xCBF43926.
+  const char digits[] = "123456789";
+  EXPECT_EQ(Crc32(digits, 9), 0xCBF43926u);
+}
+
+TEST(Crc32Test, EmptyIsZero) { EXPECT_EQ(Crc32(nullptr, 0), 0u); }
+
+TEST(SnapshotIoTest, WriterReaderRoundTrip) {
+  SnapshotWriter w;
+  w.U8(0xAB);
+  w.Bool(true);
+  w.Bool(false);
+  w.U32(0xDEADBEEF);
+  w.U64(0x0123456789ABCDEFull);
+  w.I32(-42);
+  w.I64(-1234567890123ll);
+  w.F64(3.14159265358979);
+  w.F64(-0.0);
+  w.Time(TimePoint(1364775002));
+  w.Dur(Duration::Minutes(5));
+  w.Str("hello snapshot");
+  w.Str("");
+
+  SnapshotReader r(w.bytes());
+  EXPECT_EQ(r.U8(), 0xAB);
+  EXPECT_TRUE(r.Bool());
+  EXPECT_FALSE(r.Bool());
+  EXPECT_EQ(r.U32(), 0xDEADBEEFu);
+  EXPECT_EQ(r.U64(), 0x0123456789ABCDEFull);
+  EXPECT_EQ(r.I32(), -42);
+  EXPECT_EQ(r.I64(), -1234567890123ll);
+  EXPECT_EQ(r.F64(), 3.14159265358979);
+  const double neg_zero = r.F64();
+  EXPECT_EQ(neg_zero, 0.0);
+  EXPECT_TRUE(std::signbit(neg_zero));  // bit pattern, not value, survives
+  EXPECT_EQ(r.Time(), TimePoint(1364775002));
+  EXPECT_EQ(r.Dur(), Duration::Minutes(5));
+  EXPECT_EQ(r.Str(), "hello snapshot");
+  EXPECT_EQ(r.Str(), "");
+  EXPECT_TRUE(r.ok());
+  EXPECT_EQ(r.remaining(), 0u);
+}
+
+TEST(SnapshotIoTest, TruncatedReadLatchesError) {
+  SnapshotWriter w;
+  w.U64(7);
+  SnapshotReader r(w.bytes());
+  EXPECT_EQ(r.U64(), 7u);
+  EXPECT_EQ(r.U64(), 0u);  // past the end: zero value, latched error
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.U32(), 0u);  // stays failed
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(SnapshotIoTest, OversizedStringPrefixFails) {
+  SnapshotWriter w;
+  w.U32(1000);  // length prefix pointing far past the end
+  w.U8('x');
+  SnapshotReader r(w.bytes());
+  EXPECT_EQ(r.Str(), "");
+  EXPECT_FALSE(r.ok());
+}
+
+class SnapshotFileTest : public ::testing::Test {
+ protected:
+  std::string Path(const std::string& name) const {
+    return testing::TempDir() + "snapshot_file_test_" + name;
+  }
+};
+
+TEST_F(SnapshotFileTest, WriteReadRoundTrip) {
+  const std::string path = Path("roundtrip.ldsnap");
+  const std::vector<std::uint8_t> payload = {1, 2, 3, 4, 5, 250, 251, 252};
+  ASSERT_TRUE(WriteSnapshotFile(path, payload).ok());
+  auto read = ReadSnapshotFile(path);
+  ASSERT_TRUE(read.ok()) << read.status().ToString();
+  EXPECT_EQ(*read, payload);
+  std::filesystem::remove(path);
+}
+
+TEST_F(SnapshotFileTest, TornFileIsRejected) {
+  const std::string path = Path("torn.ldsnap");
+  const std::vector<std::uint8_t> payload(100, 0x5A);
+  ASSERT_TRUE(WriteSnapshotFile(path, payload).ok());
+  std::filesystem::resize_file(path, 40);  // cut into the payload
+  auto read = ReadSnapshotFile(path);
+  EXPECT_FALSE(read.ok());
+  std::filesystem::remove(path);
+}
+
+TEST_F(SnapshotFileTest, BitFlipIsRejected) {
+  const std::string path = Path("bitflip.ldsnap");
+  const std::vector<std::uint8_t> payload(100, 0x5A);
+  ASSERT_TRUE(WriteSnapshotFile(path, payload).ok());
+  {
+    std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+    f.seekp(50);
+    f.put(static_cast<char>(0xA5));
+  }
+  auto read = ReadSnapshotFile(path);
+  EXPECT_FALSE(read.ok());
+  std::filesystem::remove(path);
+}
+
+TEST_F(SnapshotFileTest, GarbageIsRejectedNotCrashed) {
+  const std::string path = Path("garbage.ldsnap");
+  {
+    std::ofstream f(path, std::ios::binary);
+    f << "this is not a snapshot at all";
+  }
+  EXPECT_FALSE(ReadSnapshotFile(path).ok());
+  std::filesystem::remove(path);
+}
+
+TEST(SnapshotStoreTest, FallsBackPastCorruptNewest) {
+  const std::string dir = testing::TempDir() + "snapshot_store_fallback";
+  std::filesystem::remove_all(dir);
+  SnapshotStore store(dir);
+  const std::vector<std::uint8_t> old_payload = {1, 1, 1};
+  const std::vector<std::uint8_t> new_payload = {2, 2, 2};
+  ASSERT_TRUE(store.Write(old_payload).ok());
+  auto gen2 = store.Write(new_payload);
+  ASSERT_TRUE(gen2.ok());
+
+  std::filesystem::resize_file(store.PathFor(*gen2), 10);  // tear it
+  auto loaded = store.LoadLatest();
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->payload, old_payload);
+  EXPECT_EQ(loaded->generation, *gen2 - 1);
+  EXPECT_EQ(loaded->rejected, 1u);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(SnapshotStoreTest, PrunesOldGenerations) {
+  const std::string dir = testing::TempDir() + "snapshot_store_prune";
+  std::filesystem::remove_all(dir);
+  SnapshotStore store(dir, /*keep_generations=*/2);
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(store.Write({static_cast<std::uint8_t>(i)}).ok());
+  }
+  EXPECT_EQ(store.Generations(), (std::vector<std::uint64_t>{4, 5}));
+  std::filesystem::remove_all(dir);
+}
+
+TEST(SnapshotStoreTest, EmptyDirIsNotFound) {
+  const std::string dir = testing::TempDir() + "snapshot_store_empty";
+  std::filesystem::remove_all(dir);
+  SnapshotStore store(dir);
+  auto loaded = store.LoadLatest();
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kNotFound);
+}
+
+// --- analyzer state round trips -------------------------------------
+
+class AnalyzerSnapshotTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    config_ = new ScenarioConfig(SmallScenario(404));
+    config_->workload.target_app_runs = 600;
+    machine_ = new Machine(MakeMachine(*config_));
+    auto campaign = RunCampaign(*machine_, *config_);
+    ASSERT_TRUE(campaign.ok());
+    campaign_ = new Campaign(std::move(*campaign));
+  }
+
+  static void TearDownTestSuite() {
+    delete campaign_;
+    delete machine_;
+    delete config_;
+    campaign_ = nullptr;
+    machine_ = nullptr;
+    config_ = nullptr;
+  }
+
+  static std::vector<std::uint8_t> TakeSnapshot(
+      const StreamingAnalyzer& analyzer) {
+    SnapshotWriter w;
+    analyzer.Snapshot(w);
+    return w.TakeBytes();
+  }
+
+  static ScenarioConfig* config_;
+  static Machine* machine_;
+  static Campaign* campaign_;
+};
+
+ScenarioConfig* AnalyzerSnapshotTest::config_ = nullptr;
+Machine* AnalyzerSnapshotTest::machine_ = nullptr;
+Campaign* AnalyzerSnapshotTest::campaign_ = nullptr;
+
+TEST_F(AnalyzerSnapshotTest, EmptyAnalyzerSnapshotIsByteStable) {
+  StreamingAnalyzer a(*machine_, LogDiverConfig{});
+  const std::vector<std::uint8_t> first = TakeSnapshot(a);
+  const std::vector<std::uint8_t> second = TakeSnapshot(a);
+  EXPECT_EQ(first, second);  // snapshotting must not mutate state
+
+  StreamingAnalyzer b(*machine_, LogDiverConfig{});
+  SnapshotReader r(first);
+  ASSERT_TRUE(b.Restore(r).ok());
+  EXPECT_EQ(TakeSnapshot(b), first);  // restore -> snapshot is identity
+}
+
+TEST_F(AnalyzerSnapshotTest, MidStreamRoundTripContinuesIdentically) {
+  const EmittedLogs& logs = campaign_->logs;
+  StreamingAnalyzer uninterrupted(*machine_, LogDiverConfig{});
+  StreamingAnalyzer before_crash(*machine_, LogDiverConfig{});
+
+  // Feed the first half of each stream into both analyzers.
+  const auto feed_half = [&](StreamingAnalyzer& a, bool second_half) {
+    const auto half_of = [&](const std::vector<std::string>& lines,
+                             auto add) {
+      const std::size_t mid = lines.size() / 2;
+      const std::size_t from = second_half ? mid : 0;
+      const std::size_t to = second_half ? lines.size() : mid;
+      for (std::size_t i = from; i < to; ++i) add(lines[i]);
+    };
+    half_of(logs.torque,
+            [&](const std::string& l) { a.AddTorqueLine(l); });
+    half_of(logs.alps, [&](const std::string& l) { a.AddAlpsLine(l); });
+    half_of(logs.syslog, [&](const std::string& l) { a.AddSyslogLine(l); });
+    half_of(logs.hwerr, [&](const std::string& l) { a.AddHwerrLine(l); });
+  };
+  feed_half(uninterrupted, false);
+  feed_half(before_crash, false);
+
+  // Snapshot mid-stream and restore into a fresh analyzer ("the
+  // restarted process").
+  const std::vector<std::uint8_t> snapshot = TakeSnapshot(before_crash);
+  StreamingAnalyzer resumed(*machine_, LogDiverConfig{});
+  SnapshotReader r(snapshot);
+  ASSERT_TRUE(resumed.Restore(r).ok());
+
+  // Both continue with the identical second half and must agree bit
+  // for bit.
+  feed_half(uninterrupted, true);
+  feed_half(resumed, true);
+  const auto base = uninterrupted.Finalize();
+  const auto cont = resumed.Finalize();
+  EXPECT_EQ(FingerprintReport(cont.metrics), FingerprintReport(base.metrics));
+  EXPECT_EQ(FingerprintIngest(cont.ingest), FingerprintIngest(base.ingest));
+  EXPECT_EQ(cont.runs_finalized, base.runs_finalized);
+  EXPECT_EQ(cont.orphan_terminations, base.orphan_terminations);
+}
+
+TEST_F(AnalyzerSnapshotTest, RestoreRejectsWrongGeometry) {
+  StreamingAnalyzer a(*machine_, LogDiverConfig{});
+  const std::vector<std::uint8_t> snapshot = TakeSnapshot(a);
+
+  ScenarioConfig other = SmallScenario(7);
+  other.testbed_xe = config_->testbed_xe / 2;  // different machine
+  const Machine small = MakeMachine(other);
+  StreamingAnalyzer b(small, LogDiverConfig{});
+  SnapshotReader r(snapshot);
+  EXPECT_FALSE(b.Restore(r).ok());
+}
+
+TEST_F(AnalyzerSnapshotTest, QuarantineOverflowSurvivesRoundTrip) {
+  LogDiverConfig config;
+  config.ingest.quarantine.max_entries = 3;  // force overflow fast
+  StreamingAnalyzer a(*machine_, config);
+  for (int i = 0; i < 10; ++i) {
+    a.AddAlpsLine("complete garbage line " + std::to_string(i));
+  }
+  ASSERT_EQ(a.quarantine().total(), 10u);
+  ASSERT_EQ(a.quarantine().overflow(), 7u);
+  ASSERT_EQ(a.quarantine().entries().size(), 3u);
+
+  StreamingAnalyzer b(*machine_, config);
+  const std::vector<std::uint8_t> snapshot = TakeSnapshot(a);
+  SnapshotReader r(snapshot);
+  ASSERT_TRUE(b.Restore(r).ok());
+  // The overflow counters — not just the stored entries — must survive,
+  // or a restored run under-reports how dirty the stream was.
+  EXPECT_EQ(b.quarantine().total(), 10u);
+  EXPECT_EQ(b.quarantine().overflow(), 7u);
+  EXPECT_EQ(b.quarantine().entries().size(), 3u);
+  EXPECT_EQ(b.quarantine().count(LogSource::kAlps), 10u);
+  EXPECT_EQ(b.ingest_stats().quarantined, 10u);
+}
+
+TEST_F(AnalyzerSnapshotTest, RepeatedWatermarkFinalizesNothingNew) {
+  const EmittedLogs& logs = campaign_->logs;
+  StreamingAnalyzer a(*machine_, LogDiverConfig{});
+  for (const std::string& line : logs.torque) a.AddTorqueLine(line);
+  for (const std::string& line : logs.alps) a.AddAlpsLine(line);
+
+  // Find a watermark late enough to finalize something.
+  TimePoint last;
+  {
+    AlpsParser alps;
+    for (const std::string& line : logs.alps) {
+      auto rec = alps.ParseLine(line);
+      if (rec.ok() && rec->has_value()) last = (*rec)->time;
+    }
+  }
+  const std::size_t first = a.Advance(last + Duration::Days(1));
+  EXPECT_GT(first, 0u);
+  const std::uint64_t finalized = a.runs_finalized();
+  // Advancing to the identical watermark again is a no-op: every run it
+  // could finalize is already finalized.
+  EXPECT_EQ(a.Advance(last + Duration::Days(1)), 0u);
+  EXPECT_EQ(a.Advance(last + Duration::Days(1)), 0u);
+  EXPECT_EQ(a.runs_finalized(), finalized);
+  EXPECT_EQ(a.ingest_stats().watermark_regressions, 0u);
+}
+
+TEST_F(AnalyzerSnapshotTest, FinalizeIsSpentAfterUse) {
+  StreamingAnalyzer a(*machine_, LogDiverConfig{});
+  a.Finalize();
+  EXPECT_THROW(a.Finalize(), std::logic_error);
+  EXPECT_THROW(a.AddTorqueLine("x"), std::logic_error);
+  EXPECT_THROW(a.AddAlpsLine("x"), std::logic_error);
+  EXPECT_THROW(a.AddSyslogLine("x"), std::logic_error);
+  EXPECT_THROW(a.AddHwerrLine("x"), std::logic_error);
+  EXPECT_THROW(a.Advance(TimePoint(0)), std::logic_error);
+  SnapshotWriter w;
+  EXPECT_THROW(a.Snapshot(w), std::logic_error);
+}
+
+}  // namespace
+}  // namespace ld
