@@ -4,6 +4,10 @@
 // field-study volumes comfortably.
 #include <benchmark/benchmark.h>
 
+#include <filesystem>
+#include <span>
+
+#include "common/parallel.hpp"
 #include "logdiver/logdiver.hpp"
 #include "logdiver/streaming.hpp"
 #include "simlog/scenario.hpp"
@@ -162,6 +166,93 @@ void BM_FullPipeline(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * total_lines);
 }
 BENCHMARK(BM_FullPipeline)->Unit(benchmark::kMillisecond);
+
+// --- Thread scaling ---------------------------------------------------
+//
+// The same full batch analysis with the parse stage fanned out over N
+// worker threads (the results are bit-identical at every N; the
+// ParallelParse tests pin that).  items/s counts input lines across all
+// four sources.  Meaningful scaling numbers require a machine with at
+// least as many cores as the widest Arg below; on a 1-core container
+// the curve is flat and only measures pool overhead.
+
+void BM_AnalyzeThreads(benchmark::State& state) {
+  const auto& shared = Shared();
+  ld::LogDiverConfig config;
+  config.threads = static_cast<int>(state.range(0));
+  ld::LogDiver diver(shared.machine, config);
+  std::int64_t total_lines = static_cast<std::int64_t>(
+      shared.logs.torque.size() + shared.logs.alps.size() +
+      shared.logs.syslog.size() + shared.logs.hwerr.size());
+  for (auto _ : state) {
+    auto analysis = diver.Analyze(shared.logs);
+    benchmark::DoNotOptimize(analysis);
+  }
+  state.SetItemsProcessed(state.iterations() * total_lines);
+}
+BENCHMARK(BM_AnalyzeThreads)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+// Parse stage only (syslog, the most expensive parser), isolating the
+// chunk fan-out from the serial coalesce/reconstruct/metrics tail.
+void BM_ParseSyslogThreads(benchmark::State& state) {
+  const auto& lines = Shared().logs.syslog;
+  std::vector<std::string_view> views;
+  views.reserve(lines.size());
+  for (const std::string& line : lines) views.emplace_back(line);
+  const int threads = static_cast<int>(state.range(0));
+  ld::ThreadPool pool(threads);
+  ld::ThreadPool* pool_ptr = threads > 1 ? &pool : nullptr;
+  for (auto _ : state) {
+    ld::SyslogParser parser(2013);
+    benchmark::DoNotOptimize(parser.ParseLines(
+        std::span<const std::string_view>(views), nullptr, pool_ptr));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(lines.size()));
+}
+BENCHMARK(BM_ParseSyslogThreads)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+// End-to-end bundle analysis from disk: mmap + block-split + parallel
+// parse, the path the CLI's `analyze` mode takes.
+void BM_AnalyzeBundle(benchmark::State& state) {
+  const auto& shared = Shared();
+  const std::string dir =
+      std::filesystem::temp_directory_path().string() + "/ld_perf_bundle";
+  static bool written = [&] {
+    std::filesystem::remove_all(dir);
+    auto bundle = ld::WriteBundle(shared.machine, shared.config, dir);
+    return bundle.ok();
+  }();
+  if (!written) std::abort();
+  ld::LogDiverConfig config;
+  config.threads = static_cast<int>(state.range(0));
+  ld::LogDiver diver(shared.machine, config);
+  std::int64_t total_lines = static_cast<std::int64_t>(
+      shared.logs.torque.size() + shared.logs.alps.size() +
+      shared.logs.syslog.size() + shared.logs.hwerr.size());
+  for (auto _ : state) {
+    auto analysis = diver.AnalyzeBundle(dir);
+    benchmark::DoNotOptimize(analysis);
+  }
+  state.SetItemsProcessed(state.iterations() * total_lines);
+}
+BENCHMARK(BM_AnalyzeBundle)
+    ->Arg(1)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
 
 }  // namespace
 

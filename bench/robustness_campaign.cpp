@@ -30,11 +30,53 @@
 
 #include "analysis/scoring.hpp"
 #include "faults/corruptor.hpp"
+#include "logdiver/snapshot.hpp"
 #include "logdiver/streaming.hpp"
 #include "simlog/scenario.hpp"
 
 namespace ld {
 namespace {
+
+/// Cross-checks that the chunk-parallel parse path produces bit-identical
+/// results to the serial one on this (possibly dirty) bundle: same
+/// metrics fingerprint, same ingest fingerprint, same quarantine.
+bool ParallelMatchesSerial(const Machine& machine, const LogSet& logs,
+                           const AnalysisResult& serial, const char* label) {
+  LogDiverConfig config;
+  config.threads = 4;
+  config.parse_chunk_lines = 512;  // small chunks: many boundaries
+  const LogDiver parallel_diver(machine, config);
+  auto parallel = parallel_diver.Analyze(logs);
+  if (!parallel.ok()) {
+    std::cerr << "FAIL: " << label << ": parallel analysis errored: "
+              << parallel.status().ToString() << "\n";
+    return false;
+  }
+  if (FingerprintReport(parallel->metrics) != FingerprintReport(serial.metrics)) {
+    std::cerr << "FAIL: " << label
+              << ": parallel metrics fingerprint diverges from serial\n";
+    return false;
+  }
+  if (FingerprintIngest(parallel->ingest) != FingerprintIngest(serial.ingest)) {
+    std::cerr << "FAIL: " << label
+              << ": parallel ingest fingerprint diverges from serial\n";
+    return false;
+  }
+  bool same_quarantine = parallel->quarantine.size() == serial.quarantine.size();
+  for (std::size_t i = 0; same_quarantine && i < serial.quarantine.size();
+       ++i) {
+    const QuarantineEntry& a = serial.quarantine[i];
+    const QuarantineEntry& b = parallel->quarantine[i];
+    same_quarantine = a.source == b.source && a.line_number == b.line_number &&
+                      a.reason == b.reason && a.line == b.line;
+  }
+  if (!same_quarantine) {
+    std::cerr << "FAIL: " << label
+              << ": parallel quarantine diverges from serial\n";
+    return false;
+  }
+  return true;
+}
 
 std::uint64_t EnvU64(const char* name, std::uint64_t fallback) {
   const char* value = std::getenv(name);
@@ -215,7 +257,12 @@ int Run() {
                    "counters\n";
       return 1;
     }
-    std::cout << "zero-corruption identity: OK (batch + streaming clean)\n\n";
+    if (!ParallelMatchesSerial(machine, clean_logset(), *redo,
+                               "zero-corruption")) {
+      return 1;
+    }
+    std::cout << "zero-corruption identity: OK (batch + streaming clean, "
+                 "parallel parse bit-identical)\n\n";
   }
 
   // --- the sweep ------------------------------------------------------
@@ -257,6 +304,16 @@ int Run() {
           analysis->runs, analysis->classified, campaign->injection.truth);
       cell.batch_ingest = analysis->ingest;
       cell.batch_runs = analysis->metrics.total_runs;
+
+      // At the harshest rate, cross-check the chunk-parallel parse path
+      // against the serial result on this dirty bundle.
+      if (rate == rates.back() &&
+          !ParallelMatchesSerial(
+              machine,
+              LogSet{dirty.torque, dirty.alps, dirty.syslog, dirty.hwerr},
+              *analysis, row.name.c_str())) {
+        return 1;
+      }
 
       const auto stream = StreamDirty(machine, dirty);
       cell.stream_runs = stream.metrics.total_runs;

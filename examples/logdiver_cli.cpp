@@ -18,6 +18,11 @@
 // --small selects the 1,152-node testbed machine instead of the full
 // Blue Waters model (the machine geometry must match the bundle).
 //
+// --threads N sets the parse thread count for the batch analyze path
+// (0 = auto: LOGDIVER_THREADS env, else hardware concurrency).  Results
+// are bit-identical at any thread count.  The streaming/--snapshot-dir
+// path is single-threaded by design and ignores it.
+//
 // Exit codes: 0 success, 1 analysis error, 2 usage, 3 a fail-fast
 // ingest error budget tripped, 4 the crash-restart budget was
 // exhausted.
@@ -48,8 +53,8 @@ int Usage() {
             << "  logdiver_cli generate <dir> [--seed N] [--apps N] "
                "[--days N] [--small]\n"
             << "  logdiver_cli analyze <dir> [--small] [--csv <outdir>]\n"
-            << "      [--snapshot-dir <dir>] [--snapshot-interval N] "
-               "[--resume]\n";
+            << "      [--threads N] [--snapshot-dir <dir>] "
+               "[--snapshot-interval N] [--resume]\n";
   return 2;
 }
 
@@ -68,6 +73,7 @@ int main(int argc, char** argv) {
   std::string snapshot_dir;
   std::uint64_t snapshot_interval = 20000;
   bool resume = false;
+  int threads = 0;  // 0 = auto (LOGDIVER_THREADS env, else hardware)
   for (int i = 3; i < argc; ++i) {
     const std::string arg = argv[i];
     auto next = [&]() -> const char* {
@@ -101,6 +107,10 @@ int main(int argc, char** argv) {
       snapshot_interval = std::strtoull(v, nullptr, 10);
     } else if (arg == "--resume") {
       resume = true;
+    } else if (arg == "--threads") {
+      const char* v = next();
+      if (!v) return Usage();
+      threads = static_cast<int>(std::strtol(v, nullptr, 10));
     } else {
       return Usage();
     }
@@ -202,7 +212,9 @@ int main(int argc, char** argv) {
   }
 
   if (mode == "analyze") {
-    ld::LogDiver diver(machine, {});
+    ld::LogDiverConfig diver_config;
+    diver_config.threads = threads;
+    ld::LogDiver diver(machine, diver_config);
     auto analysis = diver.AnalyzeBundle(dir);
     if (!analysis.ok()) {
       std::cerr << "analyze failed: " << analysis.status().ToString() << "\n";

@@ -89,23 +89,34 @@ Result<double> ParseDouble(std::string_view text) {
   return v;
 }
 
-Result<std::string> FindKeyValue(std::string_view record, std::string_view key) {
+std::optional<std::string_view> FindKeyValueOpt(std::string_view record,
+                                                std::string_view key) {
   std::size_t pos = 0;
-  const std::string pattern = std::string(key) + "=";
   while (pos < record.size()) {
-    const std::size_t hit = record.find(pattern, pos);
+    const std::size_t hit = record.find(key, pos);
     if (hit == std::string_view::npos) break;
-    // Must be at start or preceded by whitespace to be a field boundary.
-    if (hit == 0 || std::isspace(static_cast<unsigned char>(record[hit - 1]))) {
-      const std::size_t vstart = hit + pattern.size();
+    // Must be at start or preceded by whitespace to be a field boundary,
+    // and followed by '=' to be this key and not a prefix of another.
+    const std::size_t eq = hit + key.size();
+    if ((hit == 0 ||
+         std::isspace(static_cast<unsigned char>(record[hit - 1]))) &&
+        eq < record.size() && record[eq] == '=') {
+      const std::size_t vstart = eq + 1;
       std::size_t vend = vstart;
       while (vend < record.size() &&
              !std::isspace(static_cast<unsigned char>(record[vend]))) {
         ++vend;
       }
-      return std::string(record.substr(vstart, vend - vstart));
+      return record.substr(vstart, vend - vstart);
     }
     pos = hit + 1;
+  }
+  return std::nullopt;
+}
+
+Result<std::string> FindKeyValue(std::string_view record, std::string_view key) {
+  if (const auto value = FindKeyValueOpt(record, key)) {
+    return std::string(*value);
   }
   return NotFoundError("key '" + std::string(key) + "' not present");
 }

@@ -2,6 +2,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -31,6 +32,12 @@ Result<double> ParseDouble(std::string_view text);
 /// Returns the value for `key` or NotFound.  Values run to the next
 /// whitespace; no quoting (matches the real format).
 Result<std::string> FindKeyValue(std::string_view record, std::string_view key);
+
+/// Allocation-free FindKeyValue for the parser hot paths: the returned
+/// view aliases `record`; nullopt when the key is absent (no Status is
+/// built, so a miss costs nothing).
+std::optional<std::string_view> FindKeyValueOpt(std::string_view record,
+                                                std::string_view key);
 
 /// Joins items with a separator.
 std::string Join(const std::vector<std::string>& items, std::string_view sep);

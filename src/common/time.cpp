@@ -92,18 +92,49 @@ std::string TimePoint::ToSyslog() const {
   return buf;
 }
 
-Result<TimePoint> TimePoint::FromIso(const std::string& text) {
+namespace {
+
+/// Consumes a decimal integer at the front of `text`; false when no
+/// digit is present.  The cursor advances past the digits.
+bool EatInt(std::string_view& text, int& out) {
+  std::size_t used = 0;
+  long v = 0;
+  while (used < text.size() && text[used] >= '0' && text[used] <= '9') {
+    v = v * 10 + (text[used] - '0');
+    if (v > 1000000000) return false;
+    ++used;
+  }
+  if (used == 0) return false;
+  out = static_cast<int>(v);
+  text.remove_prefix(used);
+  return true;
+}
+
+bool EatChar(std::string_view& text, char a, char b) {
+  if (text.empty() || (text.front() != a && text.front() != b)) return false;
+  text.remove_prefix(1);
+  return true;
+}
+
+}  // namespace
+
+Result<TimePoint> TimePoint::FromIso(std::string_view text) {
   int y = 0, mo = 0, d = 0, h = 0, mi = 0, s = 0;
-  // Accept both 'T' and ' ' separators; seconds required.
-  if (std::sscanf(text.c_str(), "%d-%d-%dT%d:%d:%d", &y, &mo, &d, &h, &mi,
-                  &s) != 6 &&
-      std::sscanf(text.c_str(), "%d-%d-%d %d:%d:%d", &y, &mo, &d, &h, &mi,
-                  &s) != 6) {
-    return ParseError("bad ISO timestamp: '" + text + "'");
+  std::string_view rest = text;
+  // Accept both 'T' and ' ' separators; seconds required.  Trailing
+  // bytes after the seconds field are ignored (fractional seconds,
+  // timezone suffixes).
+  if (!EatInt(rest, y) || !EatChar(rest, '-', '-') || !EatInt(rest, mo) ||
+      !EatChar(rest, '-', '-') || !EatInt(rest, d) ||
+      !EatChar(rest, 'T', ' ') || !EatInt(rest, h) ||
+      !EatChar(rest, ':', ':') || !EatInt(rest, mi) ||
+      !EatChar(rest, ':', ':') || !EatInt(rest, s)) {
+    return ParseError("bad ISO timestamp: '" + std::string(text) + "'");
   }
   if (mo < 1 || mo > 12 || d < 1 || d > 31 || h < 0 || h > 23 || mi < 0 ||
       mi > 59 || s < 0 || s > 60) {
-    return ParseError("out-of-range ISO timestamp: '" + text + "'");
+    return ParseError("out-of-range ISO timestamp: '" + std::string(text) +
+                      "'");
   }
   return FromCalendar(y, mo, d, h, mi, s);
 }

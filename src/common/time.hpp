@@ -9,6 +9,7 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 
 #include "common/status.hpp"
 
@@ -62,8 +63,10 @@ class TimePoint {
   /// Unix epoch integer as a string (Torque accounting style field).
   std::string ToEpochString() const { return std::to_string(secs_); }
 
-  /// Parses "YYYY-MM-DDTHH:MM:SS" (UTC).
-  static Result<TimePoint> FromIso(const std::string& text);
+  /// Parses "YYYY-MM-DDTHH:MM:SS" (UTC; ' ' also accepted as the date/
+  /// time separator).  Allocation-free on the success path so the ALPS
+  /// parser can call it per line.
+  static Result<TimePoint> FromIso(std::string_view text);
   /// Builds a time point from calendar components (UTC, proleptic Gregorian).
   static TimePoint FromCalendar(int year, int month, int day, int hour = 0,
                                 int minute = 0, int second = 0);

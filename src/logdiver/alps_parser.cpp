@@ -11,25 +11,24 @@ Result<std::optional<AlpsRecord>> ParseLineImpl(std::string_view line) {
   if (line.size() < 21) {
     return ParseError("alps: line too short");
   }
-  LD_ASSIGN_OR_RETURN(const auto when,
-                      TimePoint::FromIso(std::string(line.substr(0, 19))));
+  LD_ASSIGN_OR_RETURN(const auto when, TimePoint::FromIso(line.substr(0, 19)));
   const std::string_view rest = line.substr(20);
   const std::size_t colon = rest.find(": ");
   if (colon == std::string_view::npos) {
     return ParseError("alps: missing daemon separator");
   }
   const std::string_view daemon = rest.substr(0, colon);
-  const std::string payload(rest.substr(colon + 2));
+  const std::string_view payload = rest.substr(colon + 2);
 
   AlpsRecord rec;
   rec.time = when;
 
   if (StartsWith(daemon, "apsched") && StartsWith(payload, "placeApp")) {
     rec.kind = AlpsRecord::Kind::kPlace;
-    auto apid = FindKeyValue(payload, "apid");
-    auto jobid = FindKeyValue(payload, "jobid");
-    auto nids = FindKeyValue(payload, "nids");
-    if (!apid.ok() || !jobid.ok() || !nids.ok()) {
+    const auto apid = FindKeyValueOpt(payload, "apid");
+    const auto jobid = FindKeyValueOpt(payload, "jobid");
+    const auto nids = FindKeyValueOpt(payload, "nids");
+    if (!apid.has_value() || !jobid.has_value() || !nids.has_value()) {
       return ParseError("alps: placeApp missing apid/jobid/nids");
     }
     auto apid_v = ParseUint(*apid);
@@ -39,9 +38,9 @@ Result<std::optional<AlpsRecord>> ParseLineImpl(std::string_view line) {
     }
     rec.apid = *apid_v;
     rec.jobid = *jobid_v;
-    if (auto v = FindKeyValue(payload, "user"); v.ok()) rec.user = *v;
-    if (auto v = FindKeyValue(payload, "cmd"); v.ok()) rec.command = *v;
-    if (auto v = FindKeyValue(payload, "nodect"); v.ok()) {
+    if (auto v = FindKeyValueOpt(payload, "user")) rec.user = *v;
+    if (auto v = FindKeyValueOpt(payload, "cmd")) rec.command = *v;
+    if (auto v = FindKeyValueOpt(payload, "nodect")) {
       if (auto n = ParseUint(*v); n.ok()) {
         rec.nodect = static_cast<std::uint32_t>(*n);
       }
@@ -51,15 +50,18 @@ Result<std::optional<AlpsRecord>> ParseLineImpl(std::string_view line) {
   }
 
   if (StartsWith(daemon, "apsys")) {
-    LD_ASSIGN_OR_RETURN(const auto apid, FindKeyValue(payload, "apid"));
-    LD_ASSIGN_OR_RETURN(const auto apid_v, ParseUint(apid));
+    const auto apid = FindKeyValueOpt(payload, "apid");
+    if (!apid.has_value()) {
+      return NotFoundError("key 'apid' not present");
+    }
+    LD_ASSIGN_OR_RETURN(const auto apid_v, ParseUint(*apid));
     rec.apid = apid_v;
     if (Contains(payload, "exited")) {
       rec.kind = AlpsRecord::Kind::kExit;
-      if (auto v = FindKeyValue(payload, "status"); v.ok()) {
+      if (auto v = FindKeyValueOpt(payload, "status")) {
         if (auto n = ParseInt(*v); n.ok()) rec.exit_code = static_cast<int>(*n);
       }
-      if (auto v = FindKeyValue(payload, "signal"); v.ok()) {
+      if (auto v = FindKeyValueOpt(payload, "signal")) {
         if (auto n = ParseInt(*v); n.ok()) {
           rec.exit_signal = static_cast<int>(*n);
         }
@@ -68,10 +70,10 @@ Result<std::optional<AlpsRecord>> ParseLineImpl(std::string_view line) {
     }
     if (Contains(payload, "killed")) {
       rec.kind = AlpsRecord::Kind::kKill;
-      if (auto v = FindKeyValue(payload, "reason"); v.ok()) {
+      if (auto v = FindKeyValueOpt(payload, "reason")) {
         rec.kill_reason = *v;
       }
-      if (auto v = FindKeyValue(payload, "nid"); v.ok()) {
+      if (auto v = FindKeyValueOpt(payload, "nid")) {
         if (auto n = ParseUint(*v); n.ok()) {
           rec.failed_nid = static_cast<NodeIndex>(*n);
         }
@@ -98,23 +100,36 @@ Result<std::optional<AlpsRecord>> AlpsParser::ParseLine(std::string_view line) {
   return rec;
 }
 
+AlpsParser::Chunk AlpsParser::ParseChunk(
+    std::span<const std::string_view> lines, std::uint64_t first_line_no,
+    const QuarantineConfig* capture) {
+  return ParseChunkWith<AlpsRecord>(
+      lines, first_line_no, capture, LogSource::kAlps,
+      [](std::string_view line) { return ParseLineImpl(line); });
+}
+
+std::vector<AlpsRecord> AlpsParser::ReduceChunks(std::vector<Chunk>&& chunks,
+                                                 QuarantineSink* sink) {
+  return ReduceParsedChunks(std::move(chunks), &stats_, sink);
+}
+
+std::vector<AlpsRecord> AlpsParser::ParseLines(
+    std::span<const std::string_view> lines, QuarantineSink* sink,
+    ThreadPool* pool, std::size_t chunk_lines) {
+  auto chunks = MapLineChunks(
+      lines, chunk_lines, pool,
+      sink != nullptr ? &sink->config() : nullptr,
+      [](std::span<const std::string_view> slice, std::uint64_t first,
+         const QuarantineConfig* capture) {
+        return ParseChunk(slice, first, capture);
+      });
+  return ReduceChunks(std::move(chunks), sink);
+}
+
 std::vector<AlpsRecord> AlpsParser::ParseLines(
     const std::vector<std::string>& lines, QuarantineSink* sink) {
-  std::vector<AlpsRecord> out;
-  out.reserve(lines.size());
-  std::uint64_t line_no = 0;
-  for (const std::string& line : lines) {
-    ++line_no;
-    auto rec = ParseLine(line);
-    if (!rec.ok()) {
-      if (sink != nullptr) {
-        sink->Add(LogSource::kAlps, line_no, line, rec.status());
-      }
-      continue;
-    }
-    if (rec->has_value()) out.push_back(std::move(**rec));
-  }
-  return out;
+  const std::vector<std::string_view> views = LineViews(lines);
+  return ParseLines(std::span<const std::string_view>(views), sink);
 }
 
 }  // namespace ld

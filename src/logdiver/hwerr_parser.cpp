@@ -54,23 +54,36 @@ Result<std::optional<ErrorRecord>> HwerrParser::ParseLine(
   return rec;
 }
 
+HwerrParser::Chunk HwerrParser::ParseChunk(
+    std::span<const std::string_view> lines, std::uint64_t first_line_no,
+    const QuarantineConfig* capture) {
+  return ParseChunkWith<ErrorRecord>(
+      lines, first_line_no, capture, LogSource::kHwerr,
+      [](std::string_view line) { return ParseLineImpl(line); });
+}
+
+std::vector<ErrorRecord> HwerrParser::ReduceChunks(std::vector<Chunk>&& chunks,
+                                                   QuarantineSink* sink) {
+  return ReduceParsedChunks(std::move(chunks), &stats_, sink);
+}
+
+std::vector<ErrorRecord> HwerrParser::ParseLines(
+    std::span<const std::string_view> lines, QuarantineSink* sink,
+    ThreadPool* pool, std::size_t chunk_lines) {
+  auto chunks = MapLineChunks(
+      lines, chunk_lines, pool,
+      sink != nullptr ? &sink->config() : nullptr,
+      [](std::span<const std::string_view> slice, std::uint64_t first,
+         const QuarantineConfig* capture) {
+        return ParseChunk(slice, first, capture);
+      });
+  return ReduceChunks(std::move(chunks), sink);
+}
+
 std::vector<ErrorRecord> HwerrParser::ParseLines(
     const std::vector<std::string>& lines, QuarantineSink* sink) {
-  std::vector<ErrorRecord> out;
-  out.reserve(lines.size());
-  std::uint64_t line_no = 0;
-  for (const std::string& line : lines) {
-    ++line_no;
-    auto rec = ParseLine(line);
-    if (!rec.ok()) {
-      if (sink != nullptr) {
-        sink->Add(LogSource::kHwerr, line_no, line, rec.status());
-      }
-      continue;
-    }
-    if (rec->has_value()) out.push_back(std::move(**rec));
-  }
-  return out;
+  const std::vector<std::string_view> views = LineViews(lines);
+  return ParseLines(std::span<const std::string_view>(views), sink);
 }
 
 }  // namespace ld

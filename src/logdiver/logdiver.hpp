@@ -7,9 +7,19 @@
 //   ld::LogDiver diver(machine, {});
 //   auto analysis = diver.AnalyzeBundle("/data/bw-logs");
 //   if (analysis.ok()) Print(analysis->metrics);
+//
+// The batch path is deterministically parallel: each source's lines are
+// parsed in chunks across a fixed-size thread pool and reduced in
+// original order, so the AnalysisResult is bit-identical at any thread
+// count (see DESIGN.md "Parallel ingestion").  `LogDiverConfig::threads`
+// (0 = auto: LOGDIVER_THREADS env, else hardware concurrency) sizes the
+// pool; the streaming/resume path stays single-threaded by design — its
+// snapshot cut points are defined per consumed line, which a parallel
+// parse has no equivalent of.
 #pragma once
 
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/status.hpp"
@@ -30,6 +40,13 @@ struct LogDiverConfig {
   /// Calendar year of the first syslog line (classic syslog timestamps
   /// carry no year; see SyslogParser).
   int syslog_base_year = 2013;
+  /// Parse threads for the batch path: 0 = auto (LOGDIVER_THREADS env,
+  /// else hardware concurrency), 1 = sequential, N = pool of N.  The
+  /// result is bit-identical for every value.
+  int threads = 0;
+  /// Lines per parse task; tests shrink it to force chunk boundaries on
+  /// tiny streams.  0 means the default.
+  std::size_t parse_chunk_lines = kDefaultParseChunkLines;
   CoalesceConfig coalesce;
   CorrelatorConfig correlator;
   MetricsConfig metrics;
@@ -44,6 +61,19 @@ struct LogSet {
   std::vector<std::string> alps;
   std::vector<std::string> syslog;
   std::vector<std::string> hwerr;
+};
+
+/// Non-owning view of the four streams: what the zero-copy bundle loader
+/// produces (lines alias the file mappings) and what Analyze consumes.
+struct LogSetView {
+  std::vector<std::string_view> torque;
+  std::vector<std::string_view> alps;
+  std::vector<std::string_view> syslog;
+  std::vector<std::string_view> hwerr;
+
+  LogSetView() = default;
+  /// Views into an owning LogSet (which must outlive the view).
+  explicit LogSetView(const LogSet& logs);
 };
 
 struct AnalysisResult {
@@ -73,14 +103,22 @@ class LogDiver {
   /// Full pipeline over in-memory log lines.
   Result<AnalysisResult> Analyze(const LogSet& logs) const;
 
+  /// Full pipeline over borrowed lines; the backing storage must stay
+  /// alive for the duration of the call.
+  Result<AnalysisResult> Analyze(const LogSetView& logs) const;
+
   /// Reads torque.log / alps.log / syslog.log / hwerr.log from `dir`
-  /// and runs the pipeline.  Missing hwerr.log is tolerated (the source
-  /// is optional); the other three are required.
+  /// (memory-mapped, rotation families stitched oldest-first) and runs
+  /// the pipeline.  Missing hwerr.log is tolerated (the source is
+  /// optional); the other three are required.
   Result<AnalysisResult> AnalyzeBundle(const std::string& dir) const;
 
   const LogDiverConfig& config() const { return config_; }
 
  private:
+  Result<AnalysisResult> AnalyzeWith(const LogSetView& logs,
+                                     ThreadPool* pool) const;
+
   const Machine& machine_;
   LogDiverConfig config_;
 };
@@ -92,5 +130,12 @@ Result<std::vector<std::string>> ReadLines(const std::string& path);
 /// Reads a logrotate family oldest-first: base.N ... base.2, base.1,
 /// then base itself.  A lone base file (no rotations) reads as-is.
 Result<std::vector<std::string>> ReadRotatedLines(const std::string& base);
+
+/// Resolves a logrotate family to its segment paths, oldest first
+/// (base.N ... base.1, base).  Fails with NotFound when `base` itself is
+/// missing, and with a distinct "rotation gap" NotFound when a middle
+/// segment is absent but higher-numbered ones exist — previously such a
+/// gap silently truncated the stream's history.
+Result<std::vector<std::string>> RotationSegments(const std::string& base);
 
 }  // namespace ld

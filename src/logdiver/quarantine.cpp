@@ -33,6 +33,20 @@ void QuarantineSink::Add(LogSource source, std::uint64_t line_number,
   entries_.push_back(std::move(entry));
 }
 
+void QuarantineSink::MergeFrom(QuarantineSink&& other) {
+  total_ += other.total_;
+  for (std::size_t i = 0; i < by_source_.size(); ++i) {
+    by_source_[i] += other.by_source_[i];
+  }
+  for (QuarantineEntry& entry : other.entries_) {
+    if (entries_.size() >= config_.max_entries) break;
+    entries_.push_back(std::move(entry));
+  }
+  // Invariant (same as Add): everything beyond the stored entries is
+  // overflow, including entries the chunk-local sink itself dropped.
+  overflow_ = total_ - entries_.size();
+}
+
 std::uint64_t QuarantineSink::count(LogSource source) const {
   return by_source_[static_cast<std::size_t>(source)];
 }

@@ -61,6 +61,15 @@ class QuarantineSink {
   void Add(LogSource source, std::uint64_t line_number, std::string_view line,
            const Status& why);
 
+  /// Folds a chunk-local sink into this one, preserving the order the
+  /// entries were added with and re-applying this sink's max_entries
+  /// bound.  The parallel parse path gives every chunk a private sink
+  /// (no locks on the hot path) and merges them in original chunk order,
+  /// so the merged sink is bit-identical to a sequential pass.
+  void MergeFrom(QuarantineSink&& other);
+
+  const QuarantineConfig& config() const { return config_; }
+
   const std::vector<QuarantineEntry>& entries() const { return entries_; }
   /// Every rejection seen, including entries dropped on overflow.
   std::uint64_t total() const { return total_; }

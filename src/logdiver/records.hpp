@@ -105,4 +105,10 @@ struct ParseStats {
 /// Parses ALPS nid range syntax: "3-5,9" -> {3,4,5,9}.
 Result<std::vector<NodeIndex>> ParseNidRanges(std::string_view text);
 
+/// Lines per work unit in the chunk-parallel ParseLines paths: big
+/// enough to amortize task dispatch, small enough that a 4-thread pool
+/// load-balances a mid-size source.  Tests shrink it to force chunk
+/// boundaries on tiny streams.
+inline constexpr std::size_t kDefaultParseChunkLines = 8192;
+
 }  // namespace ld

@@ -1,7 +1,7 @@
 #include "logdiver/syslog_parser.hpp"
 
 #include <array>
-#include <cstdio>
+#include <cctype>
 
 #include "common/strings.hpp"
 #include "logdiver/quarantine.hpp"
@@ -18,6 +18,31 @@ int MonthFromAbbrev(std::string_view m) {
     if (m == kMonths[i]) return static_cast<int>(i) + 1;
   }
   return 0;
+}
+
+/// Strict "HH:MM:SS" (any digit widths, nothing trailing).  Replaces the
+/// old sscanf call: no format-string machinery, no allocation, and no
+/// accidental acceptance of signs or trailing garbage.
+bool ParseClock(std::string_view text, int& h, int& m, int& s) {
+  const auto eat = [&text](int& out) {
+    std::size_t used = 0;
+    long v = 0;
+    while (used < text.size() && text[used] >= '0' && text[used] <= '9') {
+      v = v * 10 + (text[used] - '0');
+      if (v > 1000000) return false;
+      ++used;
+    }
+    if (used == 0) return false;
+    out = static_cast<int>(v);
+    text.remove_prefix(used);
+    return true;
+  };
+  const auto colon = [&text] {
+    if (text.empty() || text.front() != ':') return false;
+    text.remove_prefix(1);
+    return true;
+  };
+  return eat(h) && colon() && eat(m) && colon() && eat(s) && text.empty();
 }
 
 /// Extracts the cname following a marker word, e.g. "node c1-0c2s3n2".
@@ -47,44 +72,18 @@ std::string StripLaneSuffix(std::string cname) {
 /// (stream truncated); matches the study's conservative handling.
 constexpr std::int64_t kDefaultOpenIncidentSeconds = 1800;
 
-}  // namespace
+constexpr std::size_t kNoOpenIncident = static_cast<std::size_t>(-1);
 
-SyslogParser::SyslogParser(int base_year) : current_year_(base_year) {}
-
-Result<TimePoint> SyslogParser::ParseSyslogTime(std::string_view text,
-                                                int year) {
-  // "Apr  1 02:10:02" (day may be space-padded).
-  const auto fields = SplitWhitespace(text);
-  if (fields.size() < 3) return ParseError("syslog: bad timestamp");
-  const int month = MonthFromAbbrev(fields[0]);
-  if (month == 0) {
-    return ParseError("syslog: bad month '" + std::string(fields[0]) + "'");
-  }
-  auto day = ParseInt(fields[1]);
-  if (!day.ok()) return day.status();
-  int h = 0, m = 0, s = 0;
-  if (std::sscanf(std::string(fields[2]).c_str(), "%d:%d:%d", &h, &m, &s) != 3) {
-    return ParseError("syslog: bad clock field");
-  }
-  return TimePoint::FromCalendar(year, month, static_cast<int>(*day), h, m, s);
-}
-
-Result<std::optional<ErrorRecord>> SyslogParser::ParseLine(
-    std::string_view line) {
-  ++stats_.lines;
-  auto rec = ParseLineImpl(line);
-  if (!rec.ok()) {
-    ++stats_.malformed;
-  } else if (rec->has_value()) {
-    ++stats_.records;
-  } else {
-    ++stats_.skipped;
-  }
-  return rec;
-}
-
-Result<std::optional<ErrorRecord>> SyslogParser::ParseLineImpl(
-    std::string_view line) {
+/// The year-independent part of the per-line parse: everything except
+/// resolving the absolute year.  Pure — safe on any thread.
+///
+/// `month_seen` is set to the line's month as soon as the month token
+/// validates, even when the line later fails (bad day/clock, smw event
+/// without a component name) or is skipped: the sequential parser
+/// advances its rollover state on exactly those lines, so the chunked
+/// path must count them identically.
+Result<std::optional<SyslogParser::PreRecord>> ParsePreImpl(
+    std::string_view line, int* month_seen) {
   // Timestamp = first 3 whitespace-separated tokens; then hostname; then
   // the message.
   const auto fields = SplitWhitespace(line);
@@ -95,44 +94,47 @@ Result<std::optional<ErrorRecord>> SyslogParser::ParseLineImpl(
   if (month == 0) {
     return ParseError("syslog: bad month");
   }
-  // Year-rollover reconstruction: month moving backwards by more than a
-  // buffering slop means we crossed Dec 31.
-  if (last_month_ != 0 && month < last_month_ && last_month_ - month > 6) {
-    ++current_year_;
+  *month_seen = month;
+
+  const auto day = ParseInt(fields[1]);
+  if (!day.ok()) return day.status();
+  int h = 0, m = 0, s = 0;
+  if (!ParseClock(fields[2], h, m, s)) {
+    return ParseError("syslog: bad clock field");
   }
-  last_month_ = month;
 
-  const std::string stamp = std::string(fields[0]) + " " +
-                            std::string(fields[1]) + " " +
-                            std::string(fields[2]);
-  LD_ASSIGN_OR_RETURN(const auto when, ParseSyslogTime(stamp, current_year_));
+  SyslogParser::PreRecord pre;
+  pre.month = month;
+  pre.day = static_cast<int>(*day);
+  pre.hour = h;
+  pre.minute = m;
+  pre.second = s;
 
+  // The single-space-joined stamp the old code built spanned exactly
+  // this many bytes; the hostname search must start from the same offset
+  // to locate the same occurrence.
+  const std::size_t stamp_len =
+      fields[0].size() + fields[1].size() + fields[2].size() + 2;
   const std::string_view host = fields[3];
-  // Message = remainder of the raw line after the hostname token.
-  const std::size_t host_pos = line.find(host, stamp.size());
-  const std::string_view message =
-      Trim(line.substr(host_pos + host.size()));
+  const std::size_t host_pos = line.find(host, stamp_len);
+  const std::string_view message = Trim(line.substr(host_pos + host.size()));
 
-  ErrorRecord rec;
-  rec.time = when;
+  ErrorRecord& rec = pre.rec;
   rec.source = LogSource::kSyslog;
 
   // --- Lustre (system scope) ---
   if (host == "sonexion" || StartsWith(message, "LustreError") ||
       Contains(message, "Lustre:")) {
-    if (Contains(message, "recovered")) {
-      // Recovery line: closes the pending incident; signalled to the
-      // stream-level ParseLines via a special record.
-      rec.category = ErrorCategory::kLustre;
-      rec.scope = LocScope::kSystem;
-      rec.severity = Severity::kCorrected;
-      rec.recovered = when;
-      return std::optional<ErrorRecord>{rec};
-    }
     rec.category = ErrorCategory::kLustre;
     rec.scope = LocScope::kSystem;
+    if (Contains(message, "recovered")) {
+      // Recovery line: closes the pending incident during reduction.
+      rec.severity = Severity::kCorrected;
+      pre.is_recovery = true;
+      return std::optional<SyslogParser::PreRecord>{std::move(pre)};
+    }
     rec.severity = Severity::kFatal;
-    return std::optional<ErrorRecord>{rec};
+    return std::optional<SyslogParser::PreRecord>{std::move(pre)};
   }
 
   // --- SMW-reported events (hostname is the SMW, location in message) ---
@@ -160,12 +162,12 @@ Result<std::optional<ErrorRecord>> SyslogParser::ParseLineImpl(
       rec.location = StripLaneSuffix(CnameAfter(message, "lane degrade on "));
       rec.severity = Severity::kCorrected;
     } else {
-      return std::optional<ErrorRecord>{};
+      return std::optional<SyslogParser::PreRecord>{};
     }
     if (rec.location.empty()) {
       return ParseError("syslog: smw event without component name");
     }
-    return std::optional<ErrorRecord>{rec};
+    return std::optional<SyslogParser::PreRecord>{std::move(pre)};
   }
 
   // --- node-local kernel messages: hostname is the cname ---
@@ -190,53 +192,183 @@ Result<std::optional<ErrorRecord>> SyslogParser::ParseLineImpl(
     rec.category = ErrorCategory::kKernelSoftware;
     rec.severity = Severity::kFatal;
   } else {
-    return std::optional<ErrorRecord>{};
+    return std::optional<SyslogParser::PreRecord>{};
   }
-  return std::optional<ErrorRecord>{rec};
+  return std::optional<SyslogParser::PreRecord>{std::move(pre)};
 }
 
-std::vector<ErrorRecord> SyslogParser::ParseLines(
-    const std::vector<std::string>& lines, QuarantineSink* sink) {
-  std::vector<ErrorRecord> out;
-  out.reserve(lines.size());
-  // Index of the currently open system incident in `out`, or npos.
-  std::size_t open_incident = static_cast<std::size_t>(-1);
-  std::uint64_t line_no = 0;
-  for (const std::string& line : lines) {
-    ++line_no;
-    auto rec = ParseLine(line);
-    if (!rec.ok()) {
-      if (sink != nullptr) {
-        sink->Add(LogSource::kSyslog, line_no, line, rec.status());
+/// The December-rollover test shared by the sequential path, the chunk
+/// worker, and the chunk-boundary stitch.
+bool RolloverBetween(int last_month, int month) {
+  return last_month != 0 && month < last_month && last_month - month > 6;
+}
+
+}  // namespace
+
+SyslogParser::SyslogParser(int base_year) : current_year_(base_year) {}
+
+Result<TimePoint> SyslogParser::ParseSyslogTime(std::string_view text,
+                                                int year) {
+  // "Apr  1 02:10:02" (day may be space-padded).
+  const auto fields = SplitWhitespace(text);
+  if (fields.size() < 3) return ParseError("syslog: bad timestamp");
+  const int month = MonthFromAbbrev(fields[0]);
+  if (month == 0) {
+    return ParseError("syslog: bad month '" + std::string(fields[0]) + "'");
+  }
+  auto day = ParseInt(fields[1]);
+  if (!day.ok()) return day.status();
+  int h = 0, m = 0, s = 0;
+  if (!ParseClock(fields[2], h, m, s)) {
+    return ParseError("syslog: bad clock field");
+  }
+  return TimePoint::FromCalendar(year, month, static_cast<int>(*day), h, m, s);
+}
+
+Result<std::optional<ErrorRecord>> SyslogParser::ParseLine(
+    std::string_view line) {
+  ++stats_.lines;
+  auto rec = ParseLineImpl(line);
+  if (!rec.ok()) {
+    ++stats_.malformed;
+  } else if (rec->has_value()) {
+    ++stats_.records;
+  } else {
+    ++stats_.skipped;
+  }
+  return rec;
+}
+
+Result<std::optional<ErrorRecord>> SyslogParser::ParseLineImpl(
+    std::string_view line) {
+  int month_seen = 0;
+  auto pre = ParsePreImpl(line, &month_seen);
+  // Year-rollover reconstruction advances on every line whose month
+  // token validated — including lines that fail later.
+  if (month_seen != 0) {
+    if (RolloverBetween(last_month_, month_seen)) ++current_year_;
+    last_month_ = month_seen;
+  }
+  if (!pre.ok()) return pre.status();
+  if (!pre->has_value()) return std::optional<ErrorRecord>{};
+  PreRecord& item = **pre;
+  ErrorRecord rec = std::move(item.rec);
+  rec.time = TimePoint::FromCalendar(current_year_, item.month, item.day,
+                                     item.hour, item.minute, item.second);
+  if (item.is_recovery) rec.recovered = rec.time;
+  return std::optional<ErrorRecord>{std::move(rec)};
+}
+
+SyslogParser::Chunk SyslogParser::ParseChunk(
+    std::span<const std::string_view> lines, std::uint64_t first_line_no,
+    const QuarantineConfig* capture) {
+  Chunk chunk;
+  if (capture != nullptr) chunk.sink = QuarantineSink(*capture);
+  chunk.items.reserve(lines.size());
+  int local_last_month = 0;
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    const std::string_view line = lines[i];
+    ++chunk.stats.lines;
+    int month_seen = 0;
+    auto pre = ParsePreImpl(line, &month_seen);
+    if (month_seen != 0) {
+      if (chunk.first_month == 0) chunk.first_month = month_seen;
+      if (RolloverBetween(local_last_month, month_seen)) {
+        ++chunk.year_delta_total;
+      }
+      local_last_month = month_seen;
+    }
+    if (!pre.ok()) {
+      ++chunk.stats.malformed;
+      if (capture != nullptr) {
+        chunk.sink.Add(LogSource::kSyslog, first_line_no + i, line,
+                       pre.status());
       }
       continue;
     }
-    if (!rec->has_value()) continue;
-    ErrorRecord& r = **rec;
-    if (r.scope == LocScope::kSystem) {
-      if (r.recovered.has_value()) {
-        // Recovery: close the open incident.
-        if (open_incident != static_cast<std::size_t>(-1)) {
-          out[open_incident].recovered = r.recovered;
-          open_incident = static_cast<std::size_t>(-1);
+    if (!pre->has_value()) {
+      ++chunk.stats.skipped;
+      continue;
+    }
+    ++chunk.stats.records;
+    PreRecord& item = **pre;
+    item.year_delta = chunk.year_delta_total;
+    chunk.items.push_back(std::move(item));
+  }
+  chunk.last_month = local_last_month;
+  return chunk;
+}
+
+std::vector<ErrorRecord> SyslogParser::ReduceChunks(std::vector<Chunk>&& chunks,
+                                                    QuarantineSink* sink) {
+  std::size_t total = 0;
+  for (const Chunk& chunk : chunks) total += chunk.items.size();
+  std::vector<ErrorRecord> out;
+  out.reserve(total);
+  // Index of the currently open system incident in `out`, or none.
+  std::size_t open_incident = kNoOpenIncident;
+  for (Chunk& chunk : chunks) {
+    // Chunk-boundary stitch: a rollover between the carried last month
+    // and this chunk's first valid month shifts the whole chunk's base
+    // year — the chunk itself started counting from zero.
+    int entry_year = current_year_;
+    if (chunk.first_month != 0 && RolloverBetween(last_month_, chunk.first_month)) {
+      ++entry_year;
+    }
+    for (PreRecord& item : chunk.items) {
+      ErrorRecord rec = std::move(item.rec);
+      rec.time = TimePoint::FromCalendar(entry_year + item.year_delta,
+                                         item.month, item.day, item.hour,
+                                         item.minute, item.second);
+      if (item.is_recovery) rec.recovered = rec.time;
+      if (rec.scope == LocScope::kSystem) {
+        if (item.is_recovery) {
+          // Recovery: close the open incident.
+          if (open_incident != kNoOpenIncident) {
+            out[open_incident].recovered = rec.recovered;
+            open_incident = kNoOpenIncident;
+          }
+          continue;  // recovery lines do not become records themselves
         }
-        continue;  // recovery lines do not become records themselves
-      }
-      if (open_incident != static_cast<std::size_t>(-1)) {
-        // Overlapping incident reports merge into the open one.
+        if (open_incident != kNoOpenIncident) {
+          // Overlapping incident reports merge into the open one.
+          continue;
+        }
+        open_incident = out.size();
+        out.push_back(std::move(rec));
         continue;
       }
-      open_incident = out.size();
-      out.push_back(std::move(r));
-      continue;
+      out.push_back(std::move(rec));
     }
-    out.push_back(std::move(r));
+    current_year_ = entry_year + chunk.year_delta_total;
+    if (chunk.last_month != 0) last_month_ = chunk.last_month;
+    stats_.MergeFrom(chunk.stats);
+    if (sink != nullptr) sink->MergeFrom(std::move(chunk.sink));
   }
-  if (open_incident != static_cast<std::size_t>(-1)) {
+  if (open_incident != kNoOpenIncident) {
     out[open_incident].recovered =
         out[open_incident].time + Duration(kDefaultOpenIncidentSeconds);
   }
   return out;
+}
+
+std::vector<ErrorRecord> SyslogParser::ParseLines(
+    std::span<const std::string_view> lines, QuarantineSink* sink,
+    ThreadPool* pool, std::size_t chunk_lines) {
+  auto chunks = MapLineChunks(
+      lines, chunk_lines, pool,
+      sink != nullptr ? &sink->config() : nullptr,
+      [](std::span<const std::string_view> slice, std::uint64_t first,
+         const QuarantineConfig* capture) {
+        return ParseChunk(slice, first, capture);
+      });
+  return ReduceChunks(std::move(chunks), sink);
+}
+
+std::vector<ErrorRecord> SyslogParser::ParseLines(
+    const std::vector<std::string>& lines, QuarantineSink* sink) {
+  const std::vector<std::string_view> views = LineViews(lines);
+  return ParseLines(std::span<const std::string_view>(views), sink);
 }
 
 }  // namespace ld

@@ -10,17 +10,26 @@
 //     degrades and a recovery line when it returns.  The parser pairs
 //     them into a single system-scope record carrying the outage window;
 //     overlapping incident windows are merged into the open incident.
+//
+// Both are cross-line state, so the chunk-parallel path is split in two:
+// ParseChunk (any thread) emits *year-relative* pre-records — calendar
+// fields plus the rollover count within the chunk — and ReduceChunks
+// (owning thread, chunks in order) resolves absolute years across chunk
+// boundaries and runs the incident-pairing state machine serially.  The
+// result is bit-identical to the line-at-a-time path at any thread count
+// or chunk size (see DESIGN.md "Parallel ingestion").
 #pragma once
 
+#include <cstdint>
+#include <span>
 #include <string_view>
 #include <vector>
 
 #include "common/status.hpp"
+#include "logdiver/chunked_parse.hpp"
 #include "logdiver/records.hpp"
 
 namespace ld {
-
-class QuarantineSink;
 
 class SyslogParser {
  public:
@@ -31,10 +40,50 @@ class SyslogParser {
   /// pending incident, visible via `Finish()` / mutated prior records).
   Result<std::optional<ErrorRecord>> ParseLine(std::string_view line);
 
-  /// Parses a whole stream and returns the completed records, including
-  /// paired system incidents.  Any incident still open at end-of-stream
-  /// is closed with a default window.  Rejected lines are captured in
-  /// `sink` when one is provided.
+  /// One record parsed inside a chunk, before the absolute year is
+  /// known: `year_delta` counts December rollovers observed within the
+  /// chunk up to and including this line.
+  struct PreRecord {
+    ErrorRecord rec;  // time unset; recovered unset (see is_recovery)
+    int year_delta = 0;
+    int month = 0, day = 0, hour = 0, minute = 0, second = 0;
+    bool is_recovery = false;  // Lustre recovery line (closes an incident)
+  };
+
+  /// A chunk's private output plus the year-rollover summary the ordered
+  /// reduction needs to stitch absolute years across chunk boundaries.
+  struct Chunk {
+    std::vector<PreRecord> items;
+    ParseStats stats;
+    QuarantineSink sink;
+    int first_month = 0;      // first month-valid line's month, 0 if none
+    int last_month = 0;       // last month-valid line's month, 0 if none
+    int year_delta_total = 0; // rollovers observed within the chunk
+  };
+
+  /// Parses a slice of lines into a private chunk; safe to call from any
+  /// thread (touches no parser state).  `first_line_no` is the 1-based
+  /// global number of lines[0]; `capture` null disables quarantine.
+  static Chunk ParseChunk(std::span<const std::string_view> lines,
+                          std::uint64_t first_line_no,
+                          const QuarantineConfig* capture);
+
+  /// Folds chunks — in order — through the year-reconstruction and
+  /// incident-pairing state machines, updating this parser's stream
+  /// state, stats, and `sink`.  Any incident still open at end-of-input
+  /// is closed with the default window.
+  std::vector<ErrorRecord> ReduceChunks(std::vector<Chunk>&& chunks,
+                                        QuarantineSink* sink = nullptr);
+
+  /// Parses a whole stream, chunked across `pool` (inline when null),
+  /// and returns the completed records, including paired system
+  /// incidents.  Rejected lines are captured in `sink` when provided.
+  std::vector<ErrorRecord> ParseLines(
+      std::span<const std::string_view> lines, QuarantineSink* sink = nullptr,
+      ThreadPool* pool = nullptr,
+      std::size_t chunk_lines = kDefaultParseChunkLines);
+
+  /// Legacy overload for owning line vectors; single-threaded.
   std::vector<ErrorRecord> ParseLines(const std::vector<std::string>& lines,
                                       QuarantineSink* sink = nullptr);
 

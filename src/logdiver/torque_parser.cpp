@@ -17,10 +17,13 @@ Result<Duration> ParseWalltime(std::string_view text) {
   return Duration(h * 3600 + m * 60 + s);
 }
 
-Result<TimePoint> EpochField(std::string_view record, std::string_view key) {
-  LD_ASSIGN_OR_RETURN(const auto raw, FindKeyValue(record, key));
-  LD_ASSIGN_OR_RETURN(const auto v, ParseInt(raw));
-  return TimePoint(v);
+std::optional<TimePoint> EpochField(std::string_view record,
+                                    std::string_view key) {
+  const auto raw = FindKeyValueOpt(record, key);
+  if (!raw.has_value()) return std::nullopt;
+  const auto v = ParseInt(*raw);
+  if (!v.ok()) return std::nullopt;
+  return TimePoint(*v);
 }
 
 Result<std::optional<TorqueRecord>> ParseLineImpl(std::string_view line) {
@@ -40,58 +43,60 @@ Result<std::optional<TorqueRecord>> ParseLineImpl(std::string_view line) {
                                     ? jobid_text
                                     : jobid_text.substr(0, dot)));
 
-  // Everything after the third ';' is the key=value payload; a jobname
-  // containing ';' would split it, so rejoin.
-  std::string payload;
-  for (std::size_t i = 3; i < fields.size(); ++i) {
-    if (i > 3) payload += ';';
-    payload += std::string(fields[i]);
+  // Everything after the third ';' is the key=value payload.  The split
+  // views alias `line`, so the payload — ';' separators included — is
+  // just the tail of the line from fields[3] on; no re-join allocation.
+  std::string_view payload;
+  if (fields.size() > 3) {
+    payload = std::string_view(
+        fields[3].data(),
+        static_cast<std::size_t>(line.data() + line.size() - fields[3].data()));
   }
 
   TorqueRecord rec;
   rec.jobid = jobid;
   rec.kind = type == "S" ? TorqueRecord::Kind::kStart : TorqueRecord::Kind::kEnd;
 
-  if (auto v = FindKeyValue(payload, "user"); v.ok()) rec.user = *v;
-  if (auto v = FindKeyValue(payload, "queue"); v.ok()) rec.queue = *v;
-  if (auto v = FindKeyValue(payload, "jobname"); v.ok()) rec.job_name = *v;
+  if (auto v = FindKeyValueOpt(payload, "user")) rec.user = *v;
+  if (auto v = FindKeyValueOpt(payload, "queue")) rec.queue = *v;
+  if (auto v = FindKeyValueOpt(payload, "jobname")) rec.job_name = *v;
 
-  auto submit = EpochField(payload, "ctime");
-  auto start = EpochField(payload, "start");
-  if (!submit.ok() || !start.ok()) {
+  const auto submit = EpochField(payload, "ctime");
+  const auto start = EpochField(payload, "start");
+  if (!submit.has_value() || !start.has_value()) {
     return ParseError("torque: missing ctime/start epoch fields");
   }
   rec.submit = *submit;
   rec.start = *start;
   rec.time = rec.start;
 
-  if (auto v = FindKeyValue(payload, "Resource_List.nodect"); v.ok()) {
+  if (auto v = FindKeyValueOpt(payload, "Resource_List.nodect")) {
     if (auto n = ParseUint(*v); n.ok()) {
       rec.nodect = static_cast<std::uint32_t>(*n);
     }
   }
-  if (auto v = FindKeyValue(payload, "Resource_List.walltime"); v.ok()) {
+  if (auto v = FindKeyValueOpt(payload, "Resource_List.walltime")) {
     if (auto d = ParseWalltime(*v); d.ok()) rec.walltime_limit = *d;
   }
 
   if (rec.kind == TorqueRecord::Kind::kEnd) {
-    auto end = EpochField(payload, "end");
-    if (!end.ok()) {
+    const auto end = EpochField(payload, "end");
+    if (!end.has_value()) {
       return ParseError("torque: E record missing end epoch");
     }
     rec.end = *end;
     rec.time = rec.end;
-    if (auto v = FindKeyValue(payload, "Exit_status"); v.ok()) {
+    if (auto v = FindKeyValueOpt(payload, "Exit_status")) {
       if (auto code = ParseInt(*v); code.ok()) {
         rec.exit_status = static_cast<int>(*code);
       }
     }
-    if (auto v = FindKeyValue(payload, "resources_used.walltime"); v.ok()) {
+    if (auto v = FindKeyValueOpt(payload, "resources_used.walltime")) {
       if (auto d = ParseWalltime(*v); d.ok()) rec.walltime_used = *d;
     }
   }
 
-  return std::optional<TorqueRecord>{rec};
+  return std::optional<TorqueRecord>{std::move(rec)};
 }
 
 }  // namespace
@@ -110,23 +115,36 @@ Result<std::optional<TorqueRecord>> TorqueParser::ParseLine(
   return rec;
 }
 
+TorqueParser::Chunk TorqueParser::ParseChunk(
+    std::span<const std::string_view> lines, std::uint64_t first_line_no,
+    const QuarantineConfig* capture) {
+  return ParseChunkWith<TorqueRecord>(
+      lines, first_line_no, capture, LogSource::kTorque,
+      [](std::string_view line) { return ParseLineImpl(line); });
+}
+
+std::vector<TorqueRecord> TorqueParser::ReduceChunks(
+    std::vector<Chunk>&& chunks, QuarantineSink* sink) {
+  return ReduceParsedChunks(std::move(chunks), &stats_, sink);
+}
+
+std::vector<TorqueRecord> TorqueParser::ParseLines(
+    std::span<const std::string_view> lines, QuarantineSink* sink,
+    ThreadPool* pool, std::size_t chunk_lines) {
+  auto chunks = MapLineChunks(
+      lines, chunk_lines, pool,
+      sink != nullptr ? &sink->config() : nullptr,
+      [](std::span<const std::string_view> slice, std::uint64_t first,
+         const QuarantineConfig* capture) {
+        return ParseChunk(slice, first, capture);
+      });
+  return ReduceChunks(std::move(chunks), sink);
+}
+
 std::vector<TorqueRecord> TorqueParser::ParseLines(
     const std::vector<std::string>& lines, QuarantineSink* sink) {
-  std::vector<TorqueRecord> out;
-  out.reserve(lines.size());
-  std::uint64_t line_no = 0;
-  for (const std::string& line : lines) {
-    ++line_no;
-    auto rec = ParseLine(line);
-    if (!rec.ok()) {
-      if (sink != nullptr) {
-        sink->Add(LogSource::kTorque, line_no, line, rec.status());
-      }
-      continue;
-    }
-    if (rec->has_value()) out.push_back(**rec);
-  }
-  return out;
+  const std::vector<std::string_view> views = LineViews(lines);
+  return ParseLines(std::span<const std::string_view>(views), sink);
 }
 
 }  // namespace ld

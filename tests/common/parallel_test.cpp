@@ -1,0 +1,108 @@
+#include "common/parallel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace ld {
+namespace {
+
+TEST(ThreadPool, RunsSubmittedTasks) {
+  std::atomic<int> count{0};
+  {
+    ThreadPool pool(4);
+    EXPECT_EQ(pool.size(), 4);
+    TaskGroup group(&pool);
+    for (int i = 0; i < 100; ++i) {
+      group.Run([&count] { count.fetch_add(1, std::memory_order_relaxed); });
+    }
+    group.Wait();
+  }
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPool, GroupWaitRethrowsFirstTaskException) {
+  ThreadPool pool(2);
+  TaskGroup group(&pool);
+  for (int i = 0; i < 8; ++i) {
+    group.Run([i] {
+      if (i == 3) throw std::runtime_error("task 3 failed");
+    });
+  }
+  EXPECT_THROW(group.Wait(), std::runtime_error);
+}
+
+TEST(ThreadPool, NullPoolRunsInline) {
+  TaskGroup group(nullptr);
+  int calls = 0;
+  group.Run([&calls] { ++calls; });
+  group.Run([&calls] { ++calls; });
+  group.Wait();
+  EXPECT_EQ(calls, 2);
+}
+
+TEST(Parallel, ForCoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  ParallelFor(&pool, hits.size(), [&hits](std::size_t i) {
+    hits[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(Parallel, MapKeepsIndexOrder) {
+  ThreadPool pool(4);
+  const auto out =
+      ParallelMap(&pool, 257, [](std::size_t i) { return i * i; });
+  ASSERT_EQ(out.size(), 257u);
+  for (std::size_t i = 0; i < out.size(); ++i) EXPECT_EQ(out[i], i * i);
+}
+
+TEST(Parallel, MapWithoutPoolMatchesWithPool) {
+  ThreadPool pool(3);
+  const auto serial =
+      ParallelMap(nullptr, 100, [](std::size_t i) { return 3 * i + 1; });
+  const auto parallel =
+      ParallelMap(&pool, 100, [](std::size_t i) { return 3 * i + 1; });
+  EXPECT_EQ(serial, parallel);
+}
+
+TEST(Parallel, ChunkRangesTileExactly) {
+  const auto ranges = ChunkRanges(10, 3);
+  ASSERT_EQ(ranges.size(), 4u);
+  std::size_t expected_begin = 0;
+  std::size_t total = 0;
+  for (const IndexRange& r : ranges) {
+    EXPECT_EQ(r.begin, expected_begin);
+    EXPECT_LE(r.size(), 3u);
+    expected_begin = r.end;
+    total += r.size();
+  }
+  EXPECT_EQ(total, 10u);
+  EXPECT_TRUE(ChunkRanges(0, 3).empty());
+  // chunk = 0 is treated as 1, not an infinite loop.
+  EXPECT_EQ(ChunkRanges(2, 0).size(), 2u);
+}
+
+TEST(Parallel, ResolveThreadCount) {
+  EXPECT_EQ(ResolveThreadCount(4), 4);
+  EXPECT_EQ(ResolveThreadCount(1), 1);
+  EXPECT_GE(ResolveThreadCount(0), 1);
+  EXPECT_GE(ResolveThreadCount(-2), 1);
+}
+
+TEST(Parallel, DefaultThreadCountReadsEnvOverride) {
+  ::setenv("LOGDIVER_THREADS", "3", 1);
+  EXPECT_EQ(DefaultThreadCount(), 3);
+  ::setenv("LOGDIVER_THREADS", "not-a-number", 1);
+  EXPECT_GE(DefaultThreadCount(), 1);  // falls back to hardware
+  ::unsetenv("LOGDIVER_THREADS");
+  EXPECT_GE(DefaultThreadCount(), 1);
+}
+
+}  // namespace
+}  // namespace ld

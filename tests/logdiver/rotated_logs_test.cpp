@@ -46,6 +46,26 @@ TEST(RotatedLogs, MissingBaseFails) {
   EXPECT_FALSE(ReadRotatedLines("/nonexistent/foo.log").ok());
 }
 
+TEST(RotatedLogs, MissingMiddleSegmentFailsInsteadOfTruncating) {
+  // base, base.1 and base.3 exist but base.2 is gone: reading must fail
+  // loudly rather than silently dropping base.3 (the old scan stopped at
+  // the first missing index and returned a truncated stream).
+  const std::string dir = ::testing::TempDir() + "/ld_rotated_gap";
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  const std::string base = dir + "/syslog.log";
+  WriteFile(base + ".3", {"oldest"});
+  WriteFile(base + ".1", {"middle"});
+  WriteFile(base, {"newest"});
+  auto lines = ReadRotatedLines(base);
+  ASSERT_FALSE(lines.ok());
+  EXPECT_NE(lines.status().ToString().find("rotation gap"), std::string::npos)
+      << lines.status().ToString();
+  EXPECT_NE(lines.status().ToString().find(".2"), std::string::npos)
+      << lines.status().ToString();
+  std::filesystem::remove_all(dir);
+}
+
 TEST(RotatedLogs, AnalyzeBundleHandlesRotatedBundle) {
   // Write a normal bundle, then split each source into two rotated
   // segments; analysis must give identical results.
