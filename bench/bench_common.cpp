@@ -1,8 +1,12 @@
 #include "bench_common.hpp"
 
+#include <cctype>
 #include <cstdio>
 #include <cstdlib>
 #include <iostream>
+#include <memory>
+
+#include "common/obs/manifest.hpp"
 
 namespace ld::bench {
 
@@ -18,6 +22,40 @@ double EnvDouble(const char* name, double fallback) {
   const char* value = std::getenv(name);
   if (value == nullptr || *value == '\0') return fallback;
   return std::strtod(value, nullptr);
+}
+
+/// "table3: outcome breakdown" -> "table3_outcome_breakdown".
+std::string Slug(const std::string& experiment) {
+  std::string slug;
+  slug.reserve(experiment.size());
+  for (char c : experiment) {
+    const auto u = static_cast<unsigned char>(c);
+    if (std::isalnum(u)) {
+      slug += static_cast<char>(std::tolower(u));
+    } else if (!slug.empty() && slug.back() != '_') {
+      slug += '_';
+    }
+  }
+  while (!slug.empty() && slug.back() == '_') slug.pop_back();
+  return slug.empty() ? std::string("bench") : slug;
+}
+
+/// The run manifest every bench emits at exit (atexit from
+/// PrintBenchHeader, so no per-bench wiring).  A unique_ptr so repeated
+/// PrintBenchHeader calls (multi-table benches) keep one manifest and
+/// re-key it to the last experiment printed.
+std::unique_ptr<obs::ManifestBuilder> g_manifest;
+std::string g_manifest_path;
+
+void WriteBenchManifest() {
+  if (g_manifest == nullptr) return;
+  const Status written = g_manifest->Write(g_manifest_path);
+  if (written.ok()) {
+    std::cout << "[manifest] " << g_manifest_path << "\n";
+  } else {
+    std::cerr << "[manifest] write failed: " << written.ToString() << "\n";
+  }
+  g_manifest.reset();
 }
 
 }  // namespace
@@ -72,6 +110,30 @@ BenchCampaign RunBench(const BenchOptions& options) {
 
 void PrintBenchHeader(const std::string& experiment,
                       const BenchOptions& options) {
+  // First call arms the at-exit run manifest (EXPERIMENTS.md provenance
+  // column points at these files); later calls just re-key it, so a
+  // binary printing several tables emits one manifest under its last
+  // experiment name.
+  const char* manifest_dir = std::getenv("LD_MANIFEST_DIR");
+  g_manifest_path = std::string(manifest_dir != nullptr && *manifest_dir != '\0'
+                                    ? manifest_dir
+                                    : ".") +
+                    "/manifest_" + Slug(experiment) + ".json";
+  if (g_manifest == nullptr) {
+    g_manifest = std::make_unique<obs::ManifestBuilder>("bench");
+    g_manifest->RecordEnv("LD_BENCH_APPS");
+    g_manifest->RecordEnv("LD_BENCH_SEED");
+    g_manifest->RecordEnv("LD_BENCH_BOOST");
+    g_manifest->RecordEnv("LD_MANIFEST_DIR");
+    std::atexit(WriteBenchManifest);
+  }
+  g_manifest->Set("experiment", experiment);
+  g_manifest->SetUint("target_apps", options.target_apps);
+  g_manifest->SetUint("seed", options.seed);
+  if (options.large_bucket_boost != 1.0) {
+    g_manifest->Set("large_bucket_boost",
+                    std::to_string(options.large_bucket_boost));
+  }
   std::cout << "=== " << experiment << " ===\n";
   std::cout << "campaign: " << options.target_apps
             << " application runs over 518 days on Blue Waters "

@@ -9,6 +9,14 @@
 //       every report table.  With ground_truth.csv present, also scores
 //       the classification.
 //
+//   Both modes accept --manifest-out <file> (write a run manifest: build
+//   provenance, input fingerprints, config, env, metric dump — schema in
+//   docs/OBSERVABILITY.md) and analyze accepts --trace-out <file> (write
+//   a Chrome trace_event JSON loadable in chrome://tracing / Perfetto).
+//   Caveat: with --snapshot-dir the analysis runs in supervised forked
+//   children, whose metrics and spans die with them — the parent's
+//   manifest/trace covers only supervision, not the analysis itself.
+//
 //   With --snapshot-dir, analyze switches to the crash-tolerant
 //   streaming pipeline: the analysis runs in a supervised child that
 //   checkpoints every --snapshot-interval lines, and a crashed child is
@@ -33,6 +41,8 @@
 #include <string>
 
 #include "analysis/scoring.hpp"
+#include "common/obs/manifest.hpp"
+#include "common/obs/trace.hpp"
 #include "logdiver/export.hpp"
 #include "logdiver/logdiver.hpp"
 #include "logdiver/report.hpp"
@@ -54,7 +64,8 @@ int Usage() {
                "[--days N] [--small]\n"
             << "  logdiver_cli analyze <dir> [--small] [--csv <outdir>]\n"
             << "      [--threads N] [--snapshot-dir <dir>] "
-               "[--snapshot-interval N] [--resume]\n";
+               "[--snapshot-interval N] [--resume]\n"
+            << "  common: [--manifest-out <file>] [--trace-out <file>]\n";
   return 2;
 }
 
@@ -74,6 +85,8 @@ int main(int argc, char** argv) {
   std::uint64_t snapshot_interval = 20000;
   bool resume = false;
   int threads = 0;  // 0 = auto (LOGDIVER_THREADS env, else hardware)
+  std::string manifest_out;
+  std::string trace_out;
   for (int i = 3; i < argc; ++i) {
     const std::string arg = argv[i];
     auto next = [&]() -> const char* {
@@ -111,10 +124,66 @@ int main(int argc, char** argv) {
       const char* v = next();
       if (!v) return Usage();
       threads = static_cast<int>(std::strtol(v, nullptr, 10));
+    } else if (arg == "--manifest-out") {
+      const char* v = next();
+      if (!v) return Usage();
+      manifest_out = v;
+    } else if (arg == "--trace-out") {
+      const char* v = next();
+      if (!v) return Usage();
+      trace_out = v;
     } else {
       return Usage();
     }
   }
+
+  // Arm tracing before any pipeline work so load/parse spans land in
+  // the file; the manifest's wall clock starts here too.
+  if (!trace_out.empty()) ld::obs::Tracer::Get().Start();
+  ld::obs::ManifestBuilder manifest("logdiver_cli");
+  manifest.SetArgv(argc, argv);
+  manifest.Set("mode", mode);
+  manifest.Set("dir", dir);
+  manifest.SetUint("seed", seed);
+  manifest.SetUint("apps", apps);
+  manifest.SetInt("days", days);
+  manifest.Set("small", small ? "true" : "false");
+  manifest.SetInt("threads", threads);
+  if (!snapshot_dir.empty()) {
+    manifest.Set("snapshot_dir", snapshot_dir);
+    manifest.SetUint("snapshot_interval", snapshot_interval);
+    manifest.Set("resume", resume ? "true" : "false");
+  }
+  manifest.RecordEnv("LOGDIVER_THREADS");
+  manifest.RecordEnv("LD_CRASH_AFTER");
+  // Every exit path below funnels through finish() so the trace and
+  // manifest are written (with the real exit code) no matter how the
+  // run ended.
+  const auto finish = [&](int code) -> int {
+    if (!trace_out.empty()) {
+      ld::obs::Tracer::Get().Stop();
+      const ld::Status written = ld::obs::Tracer::Get().WriteJson(trace_out);
+      if (!written.ok()) {
+        std::cerr << "trace write failed: " << written.ToString() << "\n";
+        if (code == 0) code = 1;
+      }
+    }
+    if (!manifest_out.empty()) {
+      if (mode == "analyze") {
+        manifest.AddInput(dir + "/torque.log");
+        manifest.AddInput(dir + "/alps.log");
+        manifest.AddInput(dir + "/syslog.log");
+        manifest.AddInput(dir + "/hwerr.log");
+      }
+      manifest.SetExitCode(code);
+      const ld::Status written = manifest.Write(manifest_out);
+      if (!written.ok()) {
+        std::cerr << "manifest write failed: " << written.ToString() << "\n";
+        if (code == 0) code = 1;
+      }
+    }
+    return code;
+  };
 
   ld::ScenarioConfig config = small ? ld::SmallScenario(seed)
                                     : ld::ScenarioConfig{};
@@ -132,10 +201,10 @@ int main(int argc, char** argv) {
     auto bundle = ld::WriteBundle(machine, config, dir);
     if (!bundle.ok()) {
       std::cerr << "generate failed: " << bundle.status().ToString() << "\n";
-      return 1;
+      return finish(1);
     }
     std::cout << "wrote bundle to " << bundle->dir << "\n";
-    return 0;
+    return finish(0);
   }
 
   if (mode == "analyze" && !snapshot_dir.empty()) {
@@ -148,7 +217,7 @@ int main(int argc, char** argv) {
       const ld::Status cleared = ld::SnapshotStore(snapshot_dir).Clear();
       if (!cleared.ok()) {
         std::cerr << "cannot clear snapshots: " << cleared.ToString() << "\n";
-        return 1;
+        return finish(1);
       }
     }
     const auto child = [&](int attempt) -> int {
@@ -206,9 +275,9 @@ int main(int argc, char** argv) {
     if (outcome.exhausted) {
       std::cerr << "giving up: analysis crashed " << outcome.crashes
                 << " time(s), restart budget exhausted\n";
-      return kExitRestartsExhausted;
+      return finish(kExitRestartsExhausted);
     }
-    return outcome.exit_code;
+    return finish(outcome.exit_code);
   }
 
   if (mode == "analyze") {
@@ -218,7 +287,11 @@ int main(int argc, char** argv) {
     auto analysis = diver.AnalyzeBundle(dir);
     if (!analysis.ok()) {
       std::cerr << "analyze failed: " << analysis.status().ToString() << "\n";
-      return 1;
+      const bool budget =
+          analysis.status().code() == ld::StatusCode::kParseError &&
+          analysis.status().ToString().find("error budget") !=
+              std::string::npos;
+      return finish(budget ? kExitIngestBudget : 1);
     }
     ld::PrintParseSummary(std::cout, *analysis);
     std::cout << "\n--- headline ---\n";
@@ -263,7 +336,7 @@ int main(int argc, char** argv) {
                   << "  cause accuracy: " << score.cause_accuracy << "\n";
       }
     }
-    return 0;
+    return finish(0);
   }
   return Usage();
 }

@@ -1,0 +1,290 @@
+#include "common/obs/json.hpp"
+
+#include <cctype>
+#include <cstdio>
+
+namespace ld::obs {
+
+std::string EscapeJson(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void JsonWriter::BeforeValue() {
+  if (pending_key_) {
+    pending_key_ = false;
+    return;
+  }
+  if (!first_in_container_.empty()) {
+    if (!first_in_container_.back()) out_ += ',';
+    first_in_container_.back() = false;
+  }
+}
+
+void JsonWriter::BeginObject() {
+  BeforeValue();
+  out_ += '{';
+  first_in_container_.push_back(true);
+}
+
+void JsonWriter::EndObject() {
+  LD_CHECK(!first_in_container_.empty() && !pending_key_,
+           "EndObject with no open object or a dangling key");
+  first_in_container_.pop_back();
+  out_ += '}';
+}
+
+void JsonWriter::BeginArray() {
+  BeforeValue();
+  out_ += '[';
+  first_in_container_.push_back(true);
+}
+
+void JsonWriter::EndArray() {
+  LD_CHECK(!first_in_container_.empty() && !pending_key_,
+           "EndArray with no open array or a dangling key");
+  first_in_container_.pop_back();
+  out_ += ']';
+}
+
+void JsonWriter::Key(std::string_view key) {
+  LD_CHECK(!pending_key_, "two keys in a row");
+  if (!first_in_container_.empty()) {
+    if (!first_in_container_.back()) out_ += ',';
+    first_in_container_.back() = false;
+  }
+  out_ += '"';
+  out_ += EscapeJson(key);
+  out_ += "\": ";
+  pending_key_ = true;
+}
+
+void JsonWriter::String(std::string_view value) {
+  BeforeValue();
+  out_ += '"';
+  out_ += EscapeJson(value);
+  out_ += '"';
+}
+
+void JsonWriter::Uint(std::uint64_t value) {
+  BeforeValue();
+  out_ += std::to_string(value);
+}
+
+void JsonWriter::Int(std::int64_t value) {
+  BeforeValue();
+  out_ += std::to_string(value);
+}
+
+void JsonWriter::Double(double value) {
+  BeforeValue();
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.17g", value);
+  // JSON has no inf/nan; clamp to null-adjacent sentinels is worse than
+  // being explicit — emit 0 and let the (never-expected) case be visible
+  // in review rather than break every downstream parser.
+  std::string_view printed(buf);
+  if (printed == "inf" || printed == "-inf" || printed == "nan" ||
+      printed == "-nan") {
+    out_ += '0';
+    return;
+  }
+  out_ += buf;
+}
+
+void JsonWriter::Bool(bool value) {
+  BeforeValue();
+  out_ += value ? "true" : "false";
+}
+
+void JsonWriter::Null() {
+  BeforeValue();
+  out_ += "null";
+}
+
+namespace {
+
+/// Recursive-descent structural parser; values only, no DOM.
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Status Run() {
+    SkipWs();
+    LD_TRY(Value(0));
+    SkipWs();
+    if (pos_ != text_.size()) return Fail("trailing bytes after JSON value");
+    return Status::Ok();
+  }
+
+ private:
+  Status Fail(const std::string& why) const {
+    return ParseError("json: " + why + " at byte " + std::to_string(pos_));
+  }
+
+  void SkipWs() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool Eat(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Status Literal(std::string_view word) {
+    if (text_.substr(pos_, word.size()) != word) {
+      return Fail("bad literal");
+    }
+    pos_ += word.size();
+    return Status::Ok();
+  }
+
+  Status StringValue() {
+    if (!Eat('"')) return Fail("expected '\"'");
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (static_cast<unsigned char>(c) < 0x20) {
+        return Fail("raw control character in string");
+      }
+      if (c == '"') {
+        ++pos_;
+        return Status::Ok();
+      }
+      if (c == '\\') {
+        ++pos_;
+        if (pos_ >= text_.size()) return Fail("dangling escape");
+        const char e = text_[pos_];
+        if (e == 'u') {
+          for (int i = 1; i <= 4; ++i) {
+            if (pos_ + i >= text_.size() ||
+                !std::isxdigit(static_cast<unsigned char>(text_[pos_ + i]))) {
+              return Fail("bad \\u escape");
+            }
+          }
+          pos_ += 4;
+        } else if (e != '"' && e != '\\' && e != '/' && e != 'b' &&
+                   e != 'f' && e != 'n' && e != 'r' && e != 't') {
+          return Fail("bad escape");
+        }
+      }
+      ++pos_;
+    }
+    return Fail("unterminated string");
+  }
+
+  Status NumberValue() {
+    const std::size_t start = pos_;
+    Eat('-');
+    if (!Eat('0')) {
+      if (pos_ >= text_.size() ||
+          !std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        return Fail("bad number");
+      }
+      while (pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+      }
+    }
+    if (Eat('.')) {
+      if (pos_ >= text_.size() ||
+          !std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        return Fail("bad fraction");
+      }
+      while (pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+      }
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) {
+        ++pos_;
+      }
+      if (pos_ >= text_.size() ||
+          !std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        return Fail("bad exponent");
+      }
+      while (pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+      }
+    }
+    if (pos_ == start) return Fail("empty number");
+    return Status::Ok();
+  }
+
+  Status Value(int depth) {
+    if (depth > 256) return Fail("nesting too deep");
+    if (pos_ >= text_.size()) return Fail("unexpected end of input");
+    const char c = text_[pos_];
+    if (c == '{') {
+      ++pos_;
+      SkipWs();
+      if (Eat('}')) return Status::Ok();
+      for (;;) {
+        SkipWs();
+        LD_TRY(StringValue());
+        SkipWs();
+        if (!Eat(':')) return Fail("expected ':'");
+        SkipWs();
+        LD_TRY(Value(depth + 1));
+        SkipWs();
+        if (Eat('}')) return Status::Ok();
+        if (!Eat(',')) return Fail("expected ',' or '}'");
+      }
+    }
+    if (c == '[') {
+      ++pos_;
+      SkipWs();
+      if (Eat(']')) return Status::Ok();
+      for (;;) {
+        SkipWs();
+        LD_TRY(Value(depth + 1));
+        SkipWs();
+        if (Eat(']')) return Status::Ok();
+        if (!Eat(',')) return Fail("expected ',' or ']'");
+      }
+    }
+    if (c == '"') return StringValue();
+    if (c == 't') return Literal("true");
+    if (c == 'f') return Literal("false");
+    if (c == 'n') return Literal("null");
+    return NumberValue();
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Status ValidateJson(std::string_view text) { return Parser(text).Run(); }
+
+}  // namespace ld::obs

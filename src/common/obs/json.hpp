@@ -1,0 +1,82 @@
+// Minimal JSON emission and validation for the observability layer.
+//
+// The trace and manifest files are consumed by external tools
+// (Perfetto, jq, dashboards), so they must be *strictly* valid JSON —
+// hand-rolled string concatenation rots the first time a path contains
+// a quote.  JsonWriter is a streaming writer with automatic comma and
+// escape handling; ValidateJson is a small structural parser the tests
+// (and the CI smoke) use to reject malformed output without dragging a
+// JSON library into the build.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.hpp"
+
+namespace ld::obs {
+
+/// JSON string escaping per RFC 8259 (quotes, backslash, control chars).
+std::string EscapeJson(std::string_view s);
+
+/// Streaming JSON writer.  Keys/values must alternate correctly inside
+/// objects (LD_CHECK guards the obvious misuse); output is compact with
+/// no insignificant whitespace except a space after ':' for greppability.
+class JsonWriter {
+ public:
+  void BeginObject();
+  void EndObject();
+  void BeginArray();
+  void EndArray();
+
+  void Key(std::string_view key);
+  void String(std::string_view value);
+  void Uint(std::uint64_t value);
+  void Int(std::int64_t value);
+  /// Doubles print with enough digits to round-trip (%.17g), trimmed.
+  void Double(double value);
+  void Bool(bool value);
+  void Null();
+
+  /// Convenience: Key + value in one call.
+  void KV(std::string_view key, std::string_view value) {
+    Key(key);
+    String(value);
+  }
+  void KV(std::string_view key, std::uint64_t value) {
+    Key(key);
+    Uint(value);
+  }
+  void KV(std::string_view key, std::int64_t value) {
+    Key(key);
+    Int(value);
+  }
+  void KV(std::string_view key, bool value) {
+    Key(key);
+    Bool(value);
+  }
+  void KVDouble(std::string_view key, double value) {
+    Key(key);
+    Double(value);
+  }
+
+  const std::string& str() const { return out_; }
+  std::string Take() { return std::move(out_); }
+
+ private:
+  void BeforeValue();
+
+  std::string out_;
+  /// One frame per open container: true while it has no elements yet.
+  std::vector<bool> first_in_container_;
+  bool pending_key_ = false;
+};
+
+/// Structural validation: `text` must be exactly one JSON value (per
+/// RFC 8259) with nothing but whitespace around it.  Returns OK or a
+/// ParseError naming the byte offset of the first violation.
+Status ValidateJson(std::string_view text);
+
+}  // namespace ld::obs

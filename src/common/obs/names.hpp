@@ -1,0 +1,72 @@
+// The metric name catalog — the single place a metric name may be
+// spelled in code.
+//
+// Names are a stable interface: dashboards, the run-manifest schema and
+// docs/OBSERVABILITY.md all key off them.  Every name registered here
+// MUST have a row in the docs/OBSERVABILITY.md catalog and vice versa;
+// tools/check_metric_docs.py (wired into ctest and the CI docs job)
+// fails the build when the two drift.  Scheme: `ld.<area>.<what>`,
+// counters end in `_total`, histograms in their unit (`_micros`,
+// `_bytes`), gauges say what they gauge.
+#pragma once
+
+namespace ld::obs::names {
+
+// --- batch ingestion (logdiver.cpp, block_reader.cpp) ----------------
+inline constexpr const char* kIngestLinesTotal = "ld.ingest.lines_total";
+inline constexpr const char* kIngestRecordsTotal = "ld.ingest.records_total";
+inline constexpr const char* kIngestMalformedTotal =
+    "ld.ingest.malformed_total";
+inline constexpr const char* kIngestChunksTotal = "ld.ingest.chunks_total";
+inline constexpr const char* kIngestChunkMicros = "ld.ingest.chunk_micros";
+inline constexpr const char* kIngestBytesMappedTotal =
+    "ld.ingest.bytes_mapped_total";
+inline constexpr const char* kIngestMmapFallbackTotal =
+    "ld.ingest.mmap_fallback_total";
+inline constexpr const char* kIngestBlocksTotal = "ld.ingest.blocks_total";
+inline constexpr const char* kIngestBudgetExhaustedTotal =
+    "ld.ingest.budget_exhausted_total";
+
+// --- quarantine (quarantine.cpp) -------------------------------------
+inline constexpr const char* kQuarantineAddedTotal =
+    "ld.quarantine.added_total";
+inline constexpr const char* kQuarantineOverflowTotal =
+    "ld.quarantine.overflow_total";
+
+// --- thread pool (parallel.cpp) --------------------------------------
+inline constexpr const char* kPoolTasksTotal = "ld.pool.tasks_total";
+inline constexpr const char* kPoolWaitMicros = "ld.pool.wait_micros";
+inline constexpr const char* kPoolRunMicros = "ld.pool.run_micros";
+inline constexpr const char* kPoolQueueDepth = "ld.pool.queue_depth";
+
+// --- batch analysis stages (logdiver.cpp) ----------------------------
+inline constexpr const char* kAnalyzeTotalMicros = "ld.analyze.total_micros";
+inline constexpr const char* kAnalyzeRunsTotal = "ld.analyze.runs_total";
+inline constexpr const char* kAnalyzeTuplesTotal = "ld.analyze.tuples_total";
+
+// --- snapshots (snapshot.cpp) ----------------------------------------
+inline constexpr const char* kSnapshotWritesTotal = "ld.snapshot.writes_total";
+inline constexpr const char* kSnapshotWriteBytesTotal =
+    "ld.snapshot.write_bytes_total";
+inline constexpr const char* kSnapshotWriteMicros =
+    "ld.snapshot.write_micros";
+inline constexpr const char* kSnapshotRestoresTotal =
+    "ld.snapshot.restores_total";
+inline constexpr const char* kSnapshotRejectedTotal =
+    "ld.snapshot.rejected_total";
+
+// --- resume / streaming (resume.cpp, streaming.cpp) ------------------
+inline constexpr const char* kResumeLinesStreamedTotal =
+    "ld.resume.lines_streamed_total";
+inline constexpr const char* kResumeLinesSkippedTotal =
+    "ld.resume.lines_skipped_total";
+inline constexpr const char* kStreamAdvancesTotal =
+    "ld.stream.advances_total";
+inline constexpr const char* kStreamRunsFinalizedTotal =
+    "ld.stream.runs_finalized_total";
+inline constexpr const char* kStreamEvictedRunsTotal =
+    "ld.stream.evicted_runs_total";
+inline constexpr const char* kStreamEvictedTuplesTotal =
+    "ld.stream.evicted_tuples_total";
+
+}  // namespace ld::obs::names

@@ -1,0 +1,101 @@
+#include "common/obs/trace.hpp"
+
+#include <algorithm>
+#include <fstream>
+
+#include "common/obs/json.hpp"
+#include "common/obs/metrics.hpp"
+
+namespace ld::obs {
+
+Tracer& Tracer::Get() {
+  static Tracer* tracer = new Tracer();  // leaked: see Registry::Get
+  return *tracer;
+}
+
+int Tracer::ThreadId() {
+  static std::atomic<int> next{0};
+  thread_local const int id = next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+void Tracer::Start() {
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.clear();
+  epoch_ns_.store(NowNanos(), std::memory_order_relaxed);
+  active_.store(true, std::memory_order_relaxed);
+}
+
+void Tracer::Stop() { active_.store(false, std::memory_order_relaxed); }
+
+void Tracer::Emit(std::string name, std::uint64_t start_ns,
+                  std::uint64_t end_ns) {
+  const std::uint64_t epoch = epoch_ns_.load(std::memory_order_relaxed);
+  TraceEvent event;
+  event.name = std::move(name);
+  event.ts_us =
+      static_cast<double>(start_ns - std::min(start_ns, epoch)) / 1000.0;
+  event.dur_us =
+      static_cast<double>(end_ns - std::min(end_ns, start_ns)) / 1000.0;
+  event.tid = ThreadId();
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.push_back(std::move(event));
+}
+
+std::size_t Tracer::event_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_.size();
+}
+
+std::string Tracer::ToJson() const {
+  std::vector<TraceEvent> events;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    events = events_;
+  }
+  std::stable_sort(events.begin(), events.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) {
+                     return a.ts_us < b.ts_us;
+                   });
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("traceEvents");
+  w.BeginArray();
+  for (const TraceEvent& event : events) {
+    w.BeginObject();
+    w.KV("name", std::string_view(event.name));
+    w.KV("cat", std::string_view("logdiver"));
+    w.KV("ph", std::string_view("X"));
+    w.KVDouble("ts", event.ts_us);
+    w.KVDouble("dur", event.dur_us);
+    w.KV("pid", std::uint64_t{1});
+    w.KV("tid", static_cast<std::uint64_t>(event.tid));
+    w.EndObject();
+  }
+  w.EndArray();
+  w.KV("displayTimeUnit", std::string_view("ms"));
+  w.EndObject();
+  return w.Take();
+}
+
+Status Tracer::WriteJson(const std::string& path) const {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return InternalError("trace: cannot open " + path);
+  out << ToJson() << '\n';
+  out.flush();
+  if (!out) return InternalError("trace: short write to " + path);
+  return Status::Ok();
+}
+
+std::uint64_t Span::NowNanosForSpan() { return NowNanos(); }
+
+Span::~Span() {
+  if (!armed_) return;
+  if (!Tracer::Get().active()) return;  // disarmed mid-span: drop it
+  const std::uint64_t end_ns = NowNanosForSpan();
+  Tracer::Get().Emit(
+      dynamic_name_.empty() ? std::string(name_) : std::move(dynamic_name_),
+      start_ns_, end_ns);
+}
+
+}  // namespace ld::obs

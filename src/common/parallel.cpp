@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cstdlib>
 
+#include "common/obs/obs.hpp"
+
 namespace ld {
 
 int DefaultThreadCount() {
@@ -37,24 +39,49 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::Submit(std::function<void()> task) {
+  [[maybe_unused]] std::size_t depth;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    queue_.push_back(std::move(task));
+    queue_.push_back({std::move(task), LD_OBS_NOW_NS()});
+    depth = queue_.size();
   }
+  LD_OBS_COUNTER_ADD(obs::names::kPoolTasksTotal, 1);
+  LD_OBS_GAUGE_SET(obs::names::kPoolQueueDepth,
+                   static_cast<std::int64_t>(depth));
   cv_.notify_one();
 }
 
 void ThreadPool::WorkerLoop() {
   for (;;) {
-    std::function<void()> task;
+    Task task;
+    [[maybe_unused]] std::size_t depth;
     {
       std::unique_lock<std::mutex> lock(mu_);
       cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
       if (queue_.empty()) return;  // stop_ set and nothing left to run
       task = std::move(queue_.front());
       queue_.pop_front();
+      depth = queue_.size();
     }
-    task();
+    // enqueue_ns == 0 means obs was inactive at submit time; skip the
+    // wait sample rather than record a bogus epoch-sized value.
+    if (task.enqueue_ns != 0) {
+      LD_OBS_GAUGE_SET(obs::names::kPoolQueueDepth,
+                       static_cast<std::int64_t>(depth));
+      const std::uint64_t start_ns = LD_OBS_NOW_NS();
+      if (start_ns > task.enqueue_ns) {
+        LD_OBS_HIST_RECORD(obs::names::kPoolWaitMicros,
+                           (start_ns - task.enqueue_ns) / 1000);
+      }
+      task.fn();
+      const std::uint64_t end_ns = LD_OBS_NOW_NS();
+      if (end_ns > start_ns) {
+        LD_OBS_HIST_RECORD(obs::names::kPoolRunMicros,
+                           (end_ns - start_ns) / 1000);
+      }
+    } else {
+      task.fn();
+    }
   }
 }
 

@@ -14,6 +14,7 @@
 
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <exception>
 #include <functional>
@@ -49,10 +50,17 @@ class ThreadPool {
   void Submit(std::function<void()> task);
 
  private:
+  /// A queued task plus its enqueue time (0 when observability is
+  /// inactive, so the drain side knows not to record a wait).
+  struct Task {
+    std::function<void()> fn;
+    std::uint64_t enqueue_ns = 0;
+  };
+
   void WorkerLoop();
 
   std::vector<std::thread> workers_;
-  std::deque<std::function<void()>> queue_;
+  std::deque<Task> queue_;
   std::mutex mu_;
   std::condition_variable cv_;
   bool stop_ = false;

@@ -9,6 +9,7 @@
 #include <cstring>
 #include <utility>
 
+#include "common/obs/obs.hpp"
 #include "common/parallel.hpp"
 
 namespace ld {
@@ -64,8 +65,10 @@ Result<MappedFile> MappedFile::Open(const std::string& path) {
     file.map_ = map;
     file.size_ = size;
     ::close(fd);
+    LD_OBS_COUNTER_ADD(obs::names::kIngestBytesMappedTotal, size);
     return file;
   }
+  LD_OBS_COUNTER_ADD(obs::names::kIngestMmapFallbackTotal, 1);
   // mmap can fail on odd filesystems (some network mounts, /proc):
   // degrade to reading the whole file into an owned buffer.
   file.fallback_.resize(size);
@@ -126,8 +129,10 @@ void AppendLines(std::string_view block, std::vector<std::string_view>* out) {
 
 std::vector<std::string_view> SplitLinesParallel(
     std::string_view data, ThreadPool* pool, std::size_t target_block_bytes) {
+  LD_OBS_SPAN("split_lines");
   const std::vector<std::string_view> blocks =
       SplitBlocks(data, target_block_bytes);
+  LD_OBS_COUNTER_ADD(obs::names::kIngestBlocksTotal, blocks.size());
   std::vector<std::vector<std::string_view>> per_block =
       ParallelMap(pool, blocks.size(), [&blocks](std::size_t i) {
         std::vector<std::string_view> lines;

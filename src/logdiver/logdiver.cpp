@@ -7,6 +7,7 @@
 #include <span>
 #include <utility>
 
+#include "common/obs/obs.hpp"
 #include "common/parallel.hpp"
 #include "common/strings.hpp"
 #include "logdiver/block_reader.hpp"
@@ -111,8 +112,23 @@ Result<AnalysisResult> LogDiver::Analyze(const LogSetView& logs) const {
   return AnalyzeWith(logs, nullptr);
 }
 
+namespace {
+
+/// Folds one source's ParseStats into the ingest counters.  Called once
+/// per source per analysis, after the ordered reduction — never per
+/// line, per the obs.hpp granularity rule.
+void CountSourceStats([[maybe_unused]] const ParseStats& stats) {
+  LD_OBS_COUNTER_ADD(obs::names::kIngestLinesTotal, stats.lines);
+  LD_OBS_COUNTER_ADD(obs::names::kIngestRecordsTotal, stats.records);
+  LD_OBS_COUNTER_ADD(obs::names::kIngestMalformedTotal, stats.malformed);
+}
+
+}  // namespace
+
 Result<AnalysisResult> LogDiver::AnalyzeWith(const LogSetView& logs,
                                              ThreadPool* pool) const {
+  LD_OBS_SPAN("analyze");
+  const std::uint64_t analyze_start_ns = LD_OBS_NOW_NS();
   AnalysisResult result;
   const IngestConfig& ingest = config_.ingest;
   QuarantineSink sink(ingest.quarantine);
@@ -124,6 +140,7 @@ Result<AnalysisResult> LogDiver::AnalyzeWith(const LogSetView& logs,
   auto check_budget = [&](const char* name, const ParseStats& stats) -> Status {
     if (!ingest.budget.Exceeded(stats)) return Status::Ok();
     ++result.ingest.budget_exhausted_sources;
+    LD_OBS_COUNTER_ADD(obs::names::kIngestBudgetExhaustedTotal, 1);
     if (ingest.policy == DegradationPolicy::kFailFast) {
       return ParseError(std::string(name) + ": " +
                         std::to_string(stats.malformed) + " of " +
@@ -152,70 +169,112 @@ Result<AnalysisResult> LogDiver::AnalyzeWith(const LogSetView& logs,
   std::vector<SyslogParser::Chunk> syslog_chunks(syslog_ranges.size());
   std::vector<HwerrParser::Chunk> hwerr_chunks(hwerr_ranges.size());
   {
+    LD_OBS_SPAN("parse");
     TaskGroup group(pool);
+    // span_name is a string literal ("chunk/torque", ...) so the per-task
+    // trace span costs no allocation when the tracer is disarmed.
     const auto submit = [&group, capture](const auto& ranges, const auto& lines,
-                                          auto& chunks, auto parse_chunk) {
+                                          auto& chunks, auto parse_chunk,
+                                          [[maybe_unused]] const char* span_name) {
       const std::string_view* base = lines.data();
       for (std::size_t i = 0; i < ranges.size(); ++i) {
         const IndexRange r = ranges[i];
         auto* slot = &chunks[i];
-        group.Run([base, r, capture, slot, parse_chunk] {
+        group.Run([base, r, capture, slot, parse_chunk, span_name] {
+          LD_OBS_SPAN(span_name);
+          const std::uint64_t chunk_start_ns = LD_OBS_NOW_NS();
           *slot = parse_chunk(
               std::span<const std::string_view>(base + r.begin, r.size()),
               static_cast<std::uint64_t>(r.begin) + 1, capture);
+          LD_OBS_COUNTER_ADD(obs::names::kIngestChunksTotal, 1);
+          if (chunk_start_ns != 0) {
+            LD_OBS_HIST_RECORD(obs::names::kIngestChunkMicros,
+                               (LD_OBS_NOW_NS() - chunk_start_ns) / 1000);
+          }
         });
       }
     };
-    submit(torque_ranges, logs.torque, torque_chunks, &TorqueParser::ParseChunk);
-    submit(alps_ranges, logs.alps, alps_chunks, &AlpsParser::ParseChunk);
+    submit(torque_ranges, logs.torque, torque_chunks, &TorqueParser::ParseChunk,
+           "chunk/torque");
+    submit(alps_ranges, logs.alps, alps_chunks, &AlpsParser::ParseChunk,
+           "chunk/alps");
     submit(syslog_ranges, logs.syslog, syslog_chunks,
-           &SyslogParser::ParseChunk);
-    submit(hwerr_ranges, logs.hwerr, hwerr_chunks, &HwerrParser::ParseChunk);
+           &SyslogParser::ParseChunk, "chunk/syslog");
+    submit(hwerr_ranges, logs.hwerr, hwerr_chunks, &HwerrParser::ParseChunk,
+           "chunk/hwerr");
     group.Wait();
   }
 
   TorqueParser torque_parser;
-  const std::vector<TorqueRecord> torque =
-      torque_parser.ReduceChunks(std::move(torque_chunks), &sink);
+  std::vector<TorqueRecord> torque;
+  {
+    LD_OBS_SPAN("reduce/torque");
+    torque = torque_parser.ReduceChunks(std::move(torque_chunks), &sink);
+  }
   result.torque_stats = torque_parser.stats();
+  CountSourceStats(result.torque_stats);
   LD_TRY(check_budget("torque", result.torque_stats));
 
   AlpsParser alps_parser;
-  const std::vector<AlpsRecord> alps =
-      alps_parser.ReduceChunks(std::move(alps_chunks), &sink);
+  std::vector<AlpsRecord> alps;
+  {
+    LD_OBS_SPAN("reduce/alps");
+    alps = alps_parser.ReduceChunks(std::move(alps_chunks), &sink);
+  }
   result.alps_stats = alps_parser.stats();
+  CountSourceStats(result.alps_stats);
   LD_TRY(check_budget("alps", result.alps_stats));
 
   SyslogParser syslog_parser(config_.syslog_base_year);
-  std::vector<ErrorRecord> errors =
-      syslog_parser.ReduceChunks(std::move(syslog_chunks), &sink);
+  std::vector<ErrorRecord> errors;
+  {
+    LD_OBS_SPAN("reduce/syslog");
+    errors = syslog_parser.ReduceChunks(std::move(syslog_chunks), &sink);
+  }
   result.syslog_stats = syslog_parser.stats();
+  CountSourceStats(result.syslog_stats);
   LD_TRY(check_budget("syslog", result.syslog_stats));
 
   HwerrParser hwerr_parser;
-  std::vector<ErrorRecord> hwerr =
-      hwerr_parser.ReduceChunks(std::move(hwerr_chunks), &sink);
+  std::vector<ErrorRecord> hwerr;
+  {
+    LD_OBS_SPAN("reduce/hwerr");
+    hwerr = hwerr_parser.ReduceChunks(std::move(hwerr_chunks), &sink);
+  }
   result.hwerr_stats = hwerr_parser.stats();
+  CountSourceStats(result.hwerr_stats);
   LD_TRY(check_budget("hwerr", result.hwerr_stats));
 
   errors.insert(errors.end(), std::make_move_iterator(hwerr.begin()),
                 std::make_move_iterator(hwerr.end()));
 
   // 2. Coalesce error events into tuples.
-  result.tuples = CoalesceEvents(machine_, std::move(errors),
-                                 config_.coalesce, &result.coalesce_stats);
+  {
+    LD_OBS_SPAN("coalesce");
+    result.tuples = CoalesceEvents(machine_, std::move(errors),
+                                   config_.coalesce, &result.coalesce_stats);
+  }
 
   // 3. Reconstruct application runs (replayed records dedup here).
-  result.runs =
-      ReconstructRuns(machine_, alps, torque, &result.reconstruct_stats);
+  {
+    LD_OBS_SPAN("reconstruct");
+    result.runs =
+        ReconstructRuns(machine_, alps, torque, &result.reconstruct_stats);
+  }
 
   // 4. Categorize and attribute.
-  const Correlator correlator(machine_, config_.correlator);
-  result.classified = correlator.Classify(result.runs, result.tuples);
+  {
+    LD_OBS_SPAN("classify");
+    const Correlator correlator(machine_, config_.correlator);
+    result.classified = correlator.Classify(result.runs, result.tuples);
+  }
 
   // 5. Metrics.
-  result.metrics = ComputeMetrics(result.runs, result.classified,
-                                  result.tuples, config_.metrics);
+  {
+    LD_OBS_SPAN("metrics");
+    result.metrics = ComputeMetrics(result.runs, result.classified,
+                                    result.tuples, config_.metrics);
+  }
 
   result.ingest.quarantined = sink.total();
   result.ingest.quarantine_overflow = sink.overflow();
@@ -225,6 +284,16 @@ Result<AnalysisResult> LogDiver::AnalyzeWith(const LogSetView& logs,
       result.reconstruct_stats.duplicate_terminations;
   result.quarantine = sink.entries();
   result.metrics.ingest = result.ingest;
+
+  // Bulk self-measurements, once per analysis (overflow is counted here,
+  // not in QuarantineSink::MergeFrom, so merged sinks never double-count).
+  LD_OBS_COUNTER_ADD(obs::names::kQuarantineOverflowTotal, sink.overflow());
+  LD_OBS_COUNTER_ADD(obs::names::kAnalyzeRunsTotal, result.runs.size());
+  LD_OBS_COUNTER_ADD(obs::names::kAnalyzeTuplesTotal, result.tuples.size());
+  if (analyze_start_ns != 0) {
+    LD_OBS_HIST_RECORD(obs::names::kAnalyzeTotalMicros,
+                       (LD_OBS_NOW_NS() - analyze_start_ns) / 1000);
+  }
   return result;
 }
 
@@ -247,6 +316,7 @@ Result<AnalysisResult> LogDiver::AnalyzeBundle(const std::string& dir) const {
       -> Status {
     LD_ASSIGN_OR_RETURN(const auto segments, RotationSegments(base));
     for (const std::string& path : segments) {
+      LD_OBS_SPAN_DYN("load/" + path);
       LD_ASSIGN_OR_RETURN(MappedFile file, MappedFile::Open(path));
       const std::vector<std::string_view> lines =
           SplitLinesParallel(file.data(), pool);
@@ -256,11 +326,14 @@ Result<AnalysisResult> LogDiver::AnalyzeBundle(const std::string& dir) const {
     return Status::Ok();
   };
 
-  LD_TRY(load(dir + "/torque.log", &views.torque));
-  LD_TRY(load(dir + "/alps.log", &views.alps));
-  LD_TRY(load(dir + "/syslog.log", &views.syslog));
-  if (std::filesystem::exists(dir + "/hwerr.log")) {
-    LD_TRY(load(dir + "/hwerr.log", &views.hwerr));
+  {
+    LD_OBS_SPAN("load_bundle");
+    LD_TRY(load(dir + "/torque.log", &views.torque));
+    LD_TRY(load(dir + "/alps.log", &views.alps));
+    LD_TRY(load(dir + "/syslog.log", &views.syslog));
+    if (std::filesystem::exists(dir + "/hwerr.log")) {
+      LD_TRY(load(dir + "/hwerr.log", &views.hwerr));
+    }
   }
   return AnalyzeWith(views, pool);
 }

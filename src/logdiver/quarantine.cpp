@@ -2,6 +2,7 @@
 
 #include <fstream>
 
+#include "common/obs/obs.hpp"
 #include "logdiver/snapshot.hpp"
 
 namespace ld {
@@ -19,6 +20,9 @@ QuarantineSink::QuarantineSink(QuarantineConfig config)
 
 void QuarantineSink::Add(LogSource source, std::uint64_t line_number,
                          std::string_view line, const Status& why) {
+  // Add() is the exactly-once rejection point (MergeFrom moves entries
+  // without re-Adding), so this count can never double.
+  LD_OBS_COUNTER_ADD(obs::names::kQuarantineAddedTotal, 1);
   ++total_;
   ++by_source_[static_cast<std::size_t>(source)];
   if (entries_.size() >= config_.max_entries) {

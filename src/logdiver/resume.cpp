@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "common/crashpoint.hpp"
+#include "common/obs/obs.hpp"
 #include "logdiver/logdiver.hpp"
 #include "logdiver/snapshot.hpp"
 
@@ -120,11 +121,13 @@ Result<ResumableSummary> RunResumableAnalysis(const Machine& machine,
       }
       out.resumed_generation = loaded->generation;
       out.lines_skipped = total;
+      LD_OBS_COUNTER_ADD(obs::names::kResumeLinesSkippedTotal, total);
     } else if (loaded.status().code() != StatusCode::kNotFound) {
       return loaded.status();
     }
   }
 
+  LD_OBS_SPAN("resume/replay");
   for (;;) {
     // Deterministic merge: the head with the earliest claimed time
     // wins; strict `<` breaks ties toward the lowest source index.
@@ -165,6 +168,10 @@ Result<ResumableSummary> RunResumableAnalysis(const Machine& machine,
     }
   }
 
+  // Bulk counters once per pass, never per merged line (obs.hpp
+  // granularity rule): streamed = lines actually replayed this attempt.
+  LD_OBS_COUNTER_ADD(obs::names::kResumeLinesStreamedTotal,
+                     total - out.lines_skipped);
   out.summary = analyzer.Finalize();
   out.total_lines = total;
   return out;

@@ -10,6 +10,7 @@
 #include <filesystem>
 #include <system_error>
 
+#include "common/obs/obs.hpp"
 #include "logdiver/coalesce.hpp"
 #include "logdiver/metrics.hpp"
 #include "logdiver/quarantine.hpp"
@@ -437,6 +438,8 @@ std::uint32_t FingerprintIngest(const IngestStats& stats) {
 
 Status WriteSnapshotFile(const std::string& path,
                          const std::vector<std::uint8_t>& payload) {
+  LD_OBS_SPAN("snapshot/write");
+  const std::uint64_t write_start_ns = LD_OBS_NOW_NS();
   std::vector<std::uint8_t> framed;
   framed.reserve(kHeaderSize + payload.size());
   framed.insert(framed.end(), kMagic.begin(), kMagic.end());
@@ -486,6 +489,12 @@ Status WriteSnapshotFile(const std::string& path,
     const std::string why = std::strerror(errno);
     ::unlink(tmp.c_str());
     return InternalError("snapshot: rename to " + path + " failed: " + why);
+  }
+  LD_OBS_COUNTER_ADD(obs::names::kSnapshotWritesTotal, 1);
+  LD_OBS_COUNTER_ADD(obs::names::kSnapshotWriteBytesTotal, framed.size());
+  if (write_start_ns != 0) {
+    LD_OBS_HIST_RECORD(obs::names::kSnapshotWriteMicros,
+                       (LD_OBS_NOW_NS() - write_start_ns) / 1000);
   }
   return Status::Ok();
 }
@@ -593,6 +602,8 @@ Result<SnapshotStore::Loaded> SnapshotStore::LoadLatest() const {
     if (payload.ok()) {
       loaded.payload = std::move(*payload);
       loaded.generation = *it;
+      LD_OBS_COUNTER_ADD(obs::names::kSnapshotRestoresTotal, 1);
+      LD_OBS_COUNTER_ADD(obs::names::kSnapshotRejectedTotal, loaded.rejected);
       return loaded;
     }
     ++loaded.rejected;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/obs/obs.hpp"
 #include "logdiver/snapshot.hpp"
 
 namespace ld {
@@ -207,6 +208,7 @@ void StreamingAnalyzer::ClassifyBatch(std::vector<AppRun>&& batch) {
   for (const ClassifiedRun& cls : classified) {
     metrics_.AddRun(batch[cls.run_index], cls);
   }
+  LD_OBS_COUNTER_ADD(obs::names::kStreamRunsFinalizedTotal, batch.size());
   runs_finalized_ += batch.size();
 }
 
@@ -222,6 +224,7 @@ void StreamingAnalyzer::EnforceBounds() {
       batch.push_back(std::move(pending_.front()));
       pending_.pop_front();
       ++ingest_.evicted_pending_runs;
+      LD_OBS_COUNTER_ADD(obs::names::kStreamEvictedRunsTotal, 1);
     }
     ClassifyBatch(std::move(batch));
   }
@@ -232,6 +235,7 @@ void StreamingAnalyzer::EnforceBounds() {
     while (tuple_buffer_.size() > max_tuples) {
       tuple_buffer_.pop_front();
       ++ingest_.evicted_tuples;
+      LD_OBS_COUNTER_ADD(obs::names::kStreamEvictedTuplesTotal, 1);
     }
   }
 }
@@ -277,6 +281,7 @@ void StreamingAnalyzer::EvictOldState(TimePoint watermark) {
 
 std::size_t StreamingAnalyzer::Advance(TimePoint watermark) {
   LD_CHECK(!finalized_, "Advance on a finalized analyzer");
+  LD_OBS_COUNTER_ADD(obs::names::kStreamAdvancesTotal, 1);
   // 0. A watermark behind the furthest promise already made would re-open
   //    finalized state; clamp it and count the broken promise.
   if (have_watermark_ && watermark < last_watermark_) {
@@ -326,6 +331,7 @@ StreamingAnalyzer::Summary StreamingAnalyzer::Finalize() {
   std::vector<AppRun> batch(std::make_move_iterator(pending_.begin()),
                             std::make_move_iterator(pending_.end()));
   pending_.clear();
+  LD_OBS_SPAN("stream/finalize");
   // Placements that never terminated surface as unknown-outcome runs,
   // exactly as in the batch pipeline.
   summary.unterminated_runs = open_runs_.size();

@@ -1,0 +1,51 @@
+// Pins the compile-time kill switch: this translation unit is compiled
+// with LOGDIVER_OBS_DISABLED (set_source_files_properties in
+// tests/CMakeLists.txt), exactly as every TU is under
+// -DLOGDIVER_OBS=OFF, so it proves the LD_OBS_* macros really compile
+// to no-ops — not merely to cheap checks.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/obs/metrics.hpp"
+#include "common/obs/obs.hpp"
+#include "common/obs/trace.hpp"
+
+#ifndef LOGDIVER_OBS_DISABLED
+#error "obs_off_test.cpp must be compiled with LOGDIVER_OBS_DISABLED"
+#endif
+
+namespace ld::obs {
+namespace {
+
+TEST(ObsOffTest, ActiveIsACompileTimeFalse) {
+  // The macro must be the literal `false` — usable in static_assert,
+  // so dependent code is dead-stripped, not branched over.
+  static_assert(!LD_OBS_ACTIVE());
+  static_assert(LD_OBS_NOW_NS() == 0);
+}
+
+TEST(ObsOffTest, MacrosLeaveTheRegistryUntouched) {
+  LD_OBS_COUNTER_ADD("off.counter_total", 5);
+  LD_OBS_GAUGE_SET("off.gauge", 42);
+  LD_OBS_HIST_RECORD("off.hist_micros", 1000);
+  // The names must never have been registered: the macros expanded to
+  // ((void)0), so no lookup ever happened.  (The registry itself still
+  // links — manifests use it — it just records nothing from here.)
+  for (const MetricSnapshot& metric : Registry::Get().Snapshot()) {
+    EXPECT_TRUE(metric.name.rfind("off.", 0) != 0) << metric.name;
+  }
+}
+
+TEST(ObsOffTest, SpanMacrosRecordNothing) {
+  Tracer::Get().Start();
+  {
+    LD_OBS_SPAN("off_span");
+    LD_OBS_SPAN_DYN(std::string("off_dyn_span"));
+  }
+  Tracer::Get().Stop();
+  EXPECT_EQ(Tracer::Get().ToJson().find("off_span"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ld::obs

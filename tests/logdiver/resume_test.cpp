@@ -1,6 +1,7 @@
 #include "logdiver/resume.hpp"
 
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <filesystem>
 #include <string>
@@ -76,7 +77,11 @@ class ResumeTest : public ::testing::Test {
     ScenarioConfig config = SmallScenario(909);
     config.workload.target_app_runs = 500;
     machine_ = new Machine(MakeMachine(config));
-    bundle_dir_ = new std::string(testing::TempDir() + "resume_test_bundle");
+    // Process-unique path: ctest runs each TEST_F in its own process and
+    // may run them concurrently; a shared bundle dir races remove_all
+    // against another process's read.
+    bundle_dir_ = new std::string(testing::TempDir() + "resume_test_bundle_" +
+                                  std::to_string(::getpid()));
     std::filesystem::remove_all(*bundle_dir_);
     auto bundle = WriteBundle(*machine_, config, *bundle_dir_);
     ASSERT_TRUE(bundle.ok()) << bundle.status().ToString();

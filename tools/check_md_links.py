@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Markdown link checker: every relative link target must exist.
+
+Scans *.md at the repository root and everything under docs/, extracts
+inline `[text](target)` links, and verifies that relative file targets
+resolve (anchors are stripped; external http(s)/mailto links are not
+fetched).  Run from the repository root; exits non-zero listing every
+broken link.
+"""
+
+import pathlib
+import re
+import sys
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+# Inline links, ignoring images' leading ! (image targets are checked
+# the same way).  Reference-style links are not used in this repo.
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+CODE_FENCE_RE = re.compile(r"^(```|~~~)")
+
+
+def markdown_files() -> list[pathlib.Path]:
+    files = sorted(ROOT.glob("*.md"))
+    docs = ROOT / "docs"
+    if docs.is_dir():
+        files += sorted(docs.rglob("*.md"))
+    return files
+
+
+def links_in(path: pathlib.Path) -> list[tuple[int, str]]:
+    links = []
+    in_fence = False
+    for lineno, line in enumerate(path.read_text(encoding="utf-8")
+                                  .splitlines(), start=1):
+        if CODE_FENCE_RE.match(line.strip()):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        for match in LINK_RE.finditer(line):
+            links.append((lineno, match.group(1)))
+    return links
+
+
+def main() -> int:
+    broken = []
+    checked = 0
+    for md in markdown_files():
+        for lineno, target in links_in(md):
+            if target.startswith(("http://", "https://", "mailto:", "#")):
+                continue
+            checked += 1
+            resolved = (md.parent / target.split("#", 1)[0]).resolve()
+            if not resolved.exists():
+                broken.append(f"{md.relative_to(ROOT)}:{lineno}: "
+                              f"broken link -> {target}")
+    for line in broken:
+        print(line, file=sys.stderr)
+    if broken:
+        return 1
+    print(f"check_md_links: {checked} relative links OK "
+          f"across {len(markdown_files())} files")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

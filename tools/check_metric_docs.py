@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Fail when the metric catalog in code and docs drift apart.
+
+Every metric name registered in src/common/obs/names.hpp must have a row
+in docs/OBSERVABILITY.md, and every `ld.*` name mentioned in that doc
+must exist in names.hpp.  Run from the repository root (ctest and the CI
+docs job both do); exits non-zero listing every missing name.
+"""
+
+import pathlib
+import re
+import sys
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+NAMES_HPP = ROOT / "src" / "common" / "obs" / "names.hpp"
+DOC = ROOT / "docs" / "OBSERVABILITY.md"
+
+# Matches the string literals in names.hpp and the backticked names in
+# the doc; the shared shape is the catalog's naming scheme.
+METRIC_RE = re.compile(r"ld\.[a-z0-9_]+(?:\.[a-z0-9_]+)+")
+
+
+def metrics_in_code() -> set[str]:
+    text = NAMES_HPP.read_text(encoding="utf-8")
+    names = set()
+    for line in text.splitlines():
+        # Only string literals count — the scheme comment in the header
+        # mentions `ld.<area>.<what>`, which is not a metric.
+        for literal in re.findall(r'"([^"]*)"', line):
+            if METRIC_RE.fullmatch(literal):
+                names.add(literal)
+    return names
+
+
+def metrics_in_docs() -> set[str]:
+    text = DOC.read_text(encoding="utf-8")
+    names = set()
+    for backticked in re.findall(r"`([^`]*)`", text):
+        if METRIC_RE.fullmatch(backticked):
+            names.add(backticked)
+    return names
+
+
+def main() -> int:
+    for path in (NAMES_HPP, DOC):
+        if not path.exists():
+            print(f"check_metric_docs: missing {path}", file=sys.stderr)
+            return 1
+    code = metrics_in_code()
+    docs = metrics_in_docs()
+    failed = False
+    for name in sorted(code - docs):
+        print(f"undocumented metric: {name} is in names.hpp but not in "
+              f"{DOC.relative_to(ROOT)}", file=sys.stderr)
+        failed = True
+    for name in sorted(docs - code):
+        print(f"stale doc row: {name} is in {DOC.relative_to(ROOT)} but not "
+              f"in names.hpp", file=sys.stderr)
+        failed = True
+    if failed:
+        return 1
+    print(f"check_metric_docs: {len(code)} metric names consistent")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
