@@ -7,8 +7,11 @@
 #include <filesystem>
 #include <span>
 
+#include "analysis/bootstrap.hpp"
+#include "bench_common.hpp"
 #include "common/obs/obs.hpp"
 #include "common/parallel.hpp"
+#include "common/rng.hpp"
 #include "logdiver/logdiver.hpp"
 #include "logdiver/streaming.hpp"
 #include "simlog/scenario.hpp"
@@ -225,6 +228,76 @@ BENCHMARK(BM_ParseSyslogThreads)
     ->Unit(benchmark::kMillisecond)
     ->UseRealTime();
 
+// Classification stage only: the CSR tuple index is rebuilt every
+// iteration (it is part of Classify's cost) and the runs are sharded
+// over N workers.  Output is bit-identical at every N (the
+// ParallelAnalysis tests pin that); items/s counts classified runs.
+void BM_ClassifyThreads(benchmark::State& state) {
+  const auto& shared = Shared();
+  ld::LogDiver diver(shared.machine, {});
+  static const auto* analysis = [&] {
+    auto result = diver.Analyze(shared.logs);
+    if (!result.ok()) std::abort();
+    return new ld::AnalysisResult(std::move(*result));
+  }();
+  const ld::Correlator correlator(shared.machine, {});
+  const int threads = static_cast<int>(state.range(0));
+  ld::ThreadPool pool(threads);
+  ld::ThreadPool* pool_ptr = threads > 1 ? &pool : nullptr;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        correlator.Classify(analysis->runs, analysis->tuples, pool_ptr));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(analysis->runs.size()));
+}
+BENCHMARK(BM_ClassifyThreads)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+// Bootstrap CI with per-replicate counter-based RNG streams fanned over
+// N workers.  One CI over 50k (numerator, denominator) pairs at 2000
+// replicates; items/s counts replicates.
+void BM_BootstrapThreads(benchmark::State& state) {
+  constexpr std::uint32_t kReplicas = 2000;
+  constexpr std::size_t kRuns = 50000;
+  static const auto* data = [] {
+    auto* pairs = new std::pair<std::vector<double>, std::vector<double>>();
+    ld::Rng rng(7);
+    pairs->first.reserve(kRuns);
+    pairs->second.reserve(kRuns);
+    for (std::size_t i = 0; i < kRuns; ++i) {
+      const double node_hours = rng.UniformDouble(0.5, 5000.0);
+      pairs->second.push_back(node_hours);
+      pairs->first.push_back(rng.Bernoulli(0.015) ? node_hours : 0.0);
+    }
+    return pairs;
+  }();
+  const int threads = static_cast<int>(state.range(0));
+  ld::ThreadPool pool(threads);
+  ld::ThreadPool* pool_ptr = threads > 1 ? &pool : nullptr;
+  ld::Rng rng(42);
+  for (auto _ : state) {
+    auto ci = ld::BootstrapRatioCi(data->first, data->second, kReplicas, rng,
+                                   pool_ptr);
+    if (!ci.ok()) std::abort();
+    benchmark::DoNotOptimize(ci);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(kReplicas));
+}
+BENCHMARK(BM_BootstrapThreads)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
 // Observability overhead guard: the same full batch analysis with
 // metric recording runtime-enabled (Arg 1) vs runtime-disabled (Arg 0)
 // in this one binary.  The instrumentation budget is <2%: compare the
@@ -292,4 +365,18 @@ BENCHMARK(BM_AnalyzeBundle)
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Custom main instead of BENCHMARK_MAIN so this binary emits a run
+// manifest like every other bench (manifest_perf_logdiver.json in
+// LD_MANIFEST_DIR) — the provenance EXPERIMENTS.md's perf rows cite.
+int main(int argc, char** argv) {
+  ld::bench::BenchOptions options;
+  const ld::ScenarioConfig config = SharedCampaign::MakeConfig();
+  options.target_apps = config.workload.target_app_runs;
+  options.seed = config.seed;
+  ld::bench::PrintBenchHeader("perf logdiver", options);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

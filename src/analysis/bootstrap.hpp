@@ -17,6 +17,8 @@
 
 namespace ld {
 
+class ThreadPool;
+
 struct BootstrapCi {
   double point = 0.0;
   double lo = 0.0;   // 2.5th percentile
@@ -26,21 +28,27 @@ struct BootstrapCi {
 /// Percentile-bootstrap CI of sum(numerator_i) / sum(denominator_i)
 /// under resampling of the (numerator, denominator) pairs with
 /// replacement.  Requires a positive total denominator.
+///
+/// `rng` advances by exactly one draw; each replicate resamples from its
+/// own counter-based stream derived from that draw and the replicate
+/// index.  With a pool the replicates run concurrently, and the result
+/// is bit-identical at any thread count (including none).
 Result<BootstrapCi> BootstrapRatioCi(const std::vector<double>& numerator,
                                      const std::vector<double>& denominator,
-                                     std::uint32_t replicas, Rng& rng);
+                                     std::uint32_t replicas, Rng& rng,
+                                     ThreadPool* pool = nullptr);
 
 /// A3 applied: CI of the node-hours share consumed by system-failed
 /// runs.  `replicas` resamples of the run population.
 Result<BootstrapCi> BootstrapLostShareCi(
     const std::vector<AppRun>& runs,
     const std::vector<ClassifiedRun>& classified, std::uint32_t replicas,
-    Rng& rng);
+    Rng& rng, ThreadPool* pool = nullptr);
 
 /// A2 applied: CI of the system-failure run fraction.
 Result<BootstrapCi> BootstrapFailureFractionCi(
     const std::vector<AppRun>& runs,
     const std::vector<ClassifiedRun>& classified, std::uint32_t replicas,
-    Rng& rng);
+    Rng& rng, ThreadPool* pool = nullptr);
 
 }  // namespace ld

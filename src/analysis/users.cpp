@@ -2,17 +2,21 @@
 
 #include <algorithm>
 #include <map>
+#include <string_view>
 
 namespace ld {
 
 UserImpactReport ComputeUserImpact(
     const std::vector<AppRun>& runs,
     const std::vector<ClassifiedRun>& classified) {
-  std::map<std::string, UserImpactRow> by_user;
+  // Keyed by the interned user's resolved view (stable arena storage);
+  // the ordered map keeps iteration — and thus double summation below —
+  // deterministic regardless of symbol-id assignment order.
+  std::map<std::string_view, UserImpactRow> by_user;
   for (const ClassifiedRun& cls : classified) {
     const AppRun& run = runs[cls.run_index];
-    UserImpactRow& row = by_user[run.user];
-    row.user = run.user;
+    UserImpactRow& row = by_user[run.user.view()];
+    if (row.user.empty()) row.user = run.user.str();
     ++row.runs;
     const double nh = run.NodeHours();
     row.node_hours += nh;

@@ -1,0 +1,143 @@
+#include "common/intern.hpp"
+
+#include <cstring>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/status.hpp"
+
+namespace ld {
+namespace {
+
+// Id layout: low 4 bits select the shard, the rest is the per-shard
+// entry index biased by one so id 0 stays the empty string.
+constexpr std::uint32_t kShardBits = 4;
+constexpr std::uint32_t kNumShards = 1u << kShardBits;
+
+// Entry tables are chunked so they can grow without relocating: readers
+// resolve Symbols lock-free against chunks that, once published, never
+// move.  4096 chunks x 1024 entries = ~4M distinct strings per shard —
+// far beyond any real log's vocabulary.
+constexpr std::uint32_t kChunkEntries = 1024;
+constexpr std::uint32_t kMaxChunks = 4096;
+
+constexpr std::size_t kArenaBlockBytes = 64 * 1024;
+
+struct ViewHash {
+  std::size_t operator()(std::string_view s) const {
+    return static_cast<std::size_t>(HashString(s));
+  }
+};
+
+class Shard {
+ public:
+  /// Returns the 1-based biased index of `s` in this shard, interning a
+  /// copy on first sight.
+  std::uint32_t InternLocked(std::string_view s) {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = lookup_.find(s);
+    if (it != lookup_.end()) return it->second;
+    const std::uint32_t index = count_;
+    LD_CHECK(index < kMaxChunks * kChunkEntries,
+             "interner shard is full — pathological string cardinality");
+    const std::uint32_t chunk = index / kChunkEntries;
+    if (chunks_[chunk] == nullptr) {
+      chunks_[chunk] = std::make_unique<std::string_view[]>(kChunkEntries);
+    }
+    const std::string_view stored = Copy(s);
+    // The entry is fully written before the index (and so the Symbol)
+    // can escape this mutex; see the header on why readers need no lock.
+    chunks_[chunk][index % kChunkEntries] = stored;
+    ++count_;
+    lookup_.emplace(stored, index + 1);
+    return index + 1;
+  }
+
+  std::string_view Resolve(std::uint32_t biased_index) const {
+    const std::uint32_t index = biased_index - 1;
+    return chunks_[index / kChunkEntries][index % kChunkEntries];
+  }
+
+  std::size_t count() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return count_;
+  }
+
+  std::size_t arena_bytes() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return arena_bytes_;
+  }
+
+ private:
+  /// Copies `s` into the shard arena; blocks only grow, so the returned
+  /// view is stable forever.
+  std::string_view Copy(std::string_view s) {
+    if (s.size() > kArenaBlockBytes - block_pos_ || blocks_.empty()) {
+      const std::size_t block = std::max(kArenaBlockBytes, s.size());
+      blocks_.push_back(std::make_unique<char[]>(block));
+      block_pos_ = 0;
+      arena_bytes_ += block;
+    }
+    char* dst = blocks_.back().get() + block_pos_;
+    std::memcpy(dst, s.data(), s.size());
+    block_pos_ += s.size();
+    return std::string_view(dst, s.size());
+  }
+
+  mutable std::mutex mu_;
+  std::unordered_map<std::string_view, std::uint32_t, ViewHash> lookup_;
+  std::unique_ptr<std::string_view[]> chunks_[kMaxChunks];
+  std::uint32_t count_ = 0;
+  std::vector<std::unique_ptr<char[]>> blocks_;
+  std::size_t block_pos_ = 0;
+  std::size_t arena_bytes_ = 0;
+};
+
+/// The process-wide pool.  Leaked on purpose: Symbols resolve during
+/// static destruction (gtest printers, atexit manifest hooks), so the
+/// arenas must outlive every other static.
+Shard* Shards() {
+  static Shard* shards = new Shard[kNumShards];
+  return shards;
+}
+
+}  // namespace
+
+Symbol Intern(std::string_view s) {
+  if (s.empty()) return Symbol();
+  const std::uint32_t shard =
+      static_cast<std::uint32_t>(HashString(s)) & (kNumShards - 1);
+  const std::uint32_t biased = Shards()[shard].InternLocked(s);
+  return Symbol((biased << kShardBits) | shard);
+}
+
+std::string_view Symbol::view() const {
+  if (id_ == 0) return std::string_view();
+  return Shards()[id_ & (kNumShards - 1)].Resolve(id_ >> kShardBits);
+}
+
+std::size_t InternedCount() {
+  std::size_t total = 0;
+  for (std::uint32_t s = 0; s < kNumShards; ++s) {
+    total += Shards()[s].count();
+  }
+  return total;
+}
+
+std::size_t InternedBytes() {
+  std::size_t total = 0;
+  for (std::uint32_t s = 0; s < kNumShards; ++s) {
+    total += Shards()[s].arena_bytes();
+  }
+  return total;
+}
+
+std::ostream& operator<<(std::ostream& os, Symbol s) {
+  return os << s.view();
+}
+
+}  // namespace ld

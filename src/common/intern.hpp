@@ -1,0 +1,85 @@
+// String interning: one arena-backed copy of every distinct hot string,
+// addressed by a stable 32-bit Symbol.
+//
+// The four log parsers see the same few hundred user names, queue
+// names, job names and component cnames millions of times; storing a
+// std::string per record made every record a heap allocation (or three)
+// and every snapshot a sea of repeated bytes.  Records now carry
+// Symbols: 4 bytes, trivially copyable, O(1) equality.
+//
+// Design constraints, in order:
+//   1. Thread safety.  Parsing is chunk-parallel (PR 3), so Intern() is
+//      called concurrently.  The pool is sharded 16 ways by string hash;
+//      each shard has its own mutex, lookup table and arena.
+//   2. Stable views.  View(symbol) returns a string_view into the
+//      shard's arena; arenas only grow (bump allocation in fixed blocks)
+//      and entry tables are chunked, never reallocated, so a view or an
+//      entry pointer obtained once stays valid for the process lifetime.
+//      Reads take no lock: an entry is fully written before its Symbol
+//      escapes the shard mutex, and whoever hands the Symbol to another
+//      thread synchronizes that handoff (the thread-pool task queue in
+//      practice).
+//   3. Ids are NOT deterministic.  Assignment order depends on thread
+//      interleaving, so the numeric id of "userA" can differ between a
+//      1-thread and a 4-thread run of the same input.  Nothing
+//      observable may depend on id values: snapshots serialize the
+//      resolved string (re-interning on load), and every ordered
+//      container or sort keyed by an interned field compares the
+//      resolved strings (see DESIGN.md "Parallel analysis").
+//
+// Symbol 0 is the empty string; a default-constructed Symbol is empty.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+
+namespace ld {
+
+class Symbol {
+ public:
+  constexpr Symbol() = default;
+
+  /// True for the default / empty-string symbol.
+  bool empty() const { return id_ == 0; }
+  std::uint32_t id() const { return id_; }
+
+  /// The interned string; valid for the process lifetime.
+  std::string_view view() const;
+  std::string str() const { return std::string(view()); }
+
+  /// Equality is id equality: the pool dedups globally, so two Symbols
+  /// compare equal iff their strings are equal.  There is deliberately
+  /// no operator< — id order is assignment order, which is not
+  /// deterministic under parallel parsing; order by view() instead.
+  friend bool operator==(Symbol a, Symbol b) { return a.id_ == b.id_; }
+  friend bool operator!=(Symbol a, Symbol b) { return a.id_ != b.id_; }
+  friend bool operator==(Symbol a, std::string_view b) {
+    return a.view() == b;
+  }
+  friend bool operator==(std::string_view a, Symbol b) {
+    return a == b.view();
+  }
+
+ private:
+  friend Symbol Intern(std::string_view);
+  explicit constexpr Symbol(std::uint32_t id) : id_(id) {}
+  std::uint32_t id_ = 0;
+};
+
+/// Interns `s` into the global pool and returns its Symbol.  Returns
+/// the same Symbol for equal strings, from any thread.
+Symbol Intern(std::string_view s);
+
+/// Number of distinct strings interned so far (including nothing for
+/// the implicit empty string).  Diagnostic only.
+std::size_t InternedCount();
+
+/// Total arena bytes held by the pool.  Diagnostic only.
+std::size_t InternedBytes();
+
+/// gtest / logging support: prints the resolved string.
+std::ostream& operator<<(std::ostream& os, Symbol s);
+
+}  // namespace ld

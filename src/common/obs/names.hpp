@@ -44,6 +44,21 @@ inline constexpr const char* kAnalyzeTotalMicros = "ld.analyze.total_micros";
 inline constexpr const char* kAnalyzeRunsTotal = "ld.analyze.runs_total";
 inline constexpr const char* kAnalyzeTuplesTotal = "ld.analyze.tuples_total";
 
+// --- correlation (correlate.cpp) -------------------------------------
+inline constexpr const char* kCorrelateRunsTotal = "ld.correlate.runs_total";
+inline constexpr const char* kCorrelateChunksTotal =
+    "ld.correlate.chunks_total";
+inline constexpr const char* kCorrelateIndexMicros =
+    "ld.correlate.index_micros";
+inline constexpr const char* kCorrelateTotalMicros =
+    "ld.correlate.total_micros";
+
+// --- bootstrap resampling (bootstrap.cpp) ----------------------------
+inline constexpr const char* kBootstrapReplicasTotal =
+    "ld.bootstrap.replicas_total";
+inline constexpr const char* kBootstrapTotalMicros =
+    "ld.bootstrap.total_micros";
+
 // --- snapshots (snapshot.cpp) ----------------------------------------
 inline constexpr const char* kSnapshotWritesTotal = "ld.snapshot.writes_total";
 inline constexpr const char* kSnapshotWriteBytesTotal =

@@ -38,8 +38,8 @@ Result<std::optional<AlpsRecord>> ParseLineImpl(std::string_view line) {
     }
     rec.apid = *apid_v;
     rec.jobid = *jobid_v;
-    if (auto v = FindKeyValueOpt(payload, "user")) rec.user = *v;
-    if (auto v = FindKeyValueOpt(payload, "cmd")) rec.command = *v;
+    if (auto v = FindKeyValueOpt(payload, "user")) rec.user = Intern(*v);
+    if (auto v = FindKeyValueOpt(payload, "cmd")) rec.command = Intern(*v);
     if (auto v = FindKeyValueOpt(payload, "nodect")) {
       if (auto n = ParseUint(*v); n.ok()) {
         rec.nodect = static_cast<std::uint32_t>(*n);

@@ -11,13 +11,13 @@ namespace {
 /// Resolves a tuple's location string to the affected node set.
 /// Returns false when the component is unknown on this machine.
 bool ResolveNodes(const Machine& machine, LocScope scope,
-                  const std::string& location, std::vector<NodeIndex>& out) {
+                  std::string_view location, std::vector<NodeIndex>& out) {
   switch (scope) {
     case LocScope::kSystem:
       out.clear();  // empty = machine-wide
       return true;
     case LocScope::kNode: {
-      auto idx = machine.FindByCname(location);
+      auto idx = machine.FindByCname(std::string(location));
       if (!idx.ok()) return false;
       out = {*idx};
       return true;
@@ -26,7 +26,8 @@ bool ResolveNodes(const Machine& machine, LocScope scope,
       // Location is a blade prefix "cX-YcCsS"; resolve all 4 node slots.
       out.clear();
       for (int nd = 0; nd < 4; ++nd) {
-        auto idx = machine.FindByCname(location + "n" + std::to_string(nd));
+        auto idx = machine.FindByCname(std::string(location) + "n" +
+                                       std::to_string(nd));
         if (idx.ok()) out.push_back(*idx);
       }
       return !out.empty();
@@ -34,10 +35,10 @@ bool ResolveNodes(const Machine& machine, LocScope scope,
     case LocScope::kGemini: {
       // Location "cX-YcCsSg{P}": router P serves nodes 2P and 2P+1.
       const std::size_t g = location.rfind('g');
-      if (g == std::string::npos || g + 1 >= location.size()) return false;
+      if (g == std::string_view::npos || g + 1 >= location.size()) return false;
       const int pair = location[g + 1] - '0';
       if (pair < 0 || pair > 1) return false;
-      const std::string blade = location.substr(0, g);
+      const std::string blade(location.substr(0, g));
       out.clear();
       for (int nd = pair * 2; nd < pair * 2 + 2; ++nd) {
         auto idx = machine.FindByCname(blade + "n" + std::to_string(nd));
@@ -47,6 +48,15 @@ bool ResolveNodes(const Machine& machine, LocScope scope,
     }
   }
   return false;
+}
+
+/// open_ key: the (category, location) identity packed into 64 bits.
+/// Symbol ids are process-local and nondeterministic, which is fine
+/// here — the key never leaves the process (snapshots re-derive it).
+std::uint64_t OpenKey(ErrorCategory category, Symbol location) {
+  return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(category))
+          << 32) |
+         location.id();
 }
 
 /// Window applied to a system incident whose recovery never arrived.
@@ -69,12 +79,16 @@ Interval ErrorTuple::ImpactWindow() const {
 
 StreamingCoalescer::StreamingCoalescer(const Machine& machine,
                                        CoalesceConfig config)
-    : machine_(machine), config_(config) {}
+    : machine_(machine), config_(config) {
+  // The open set tracks one tuple per actively-erroring (category,
+  // location); a few hundred is a bad day.  Reserving ahead keeps the
+  // per-record Add() from ever rehashing mid-stream.
+  open_.reserve(256);
+}
 
 void StreamingCoalescer::Add(const ErrorRecord& record) {
   ++stats_.input_events;
-  const std::pair<int, std::string> key{static_cast<int>(record.category),
-                                        record.location};
+  const std::uint64_t key = OpenKey(record.category, record.location);
   auto it = open_.find(key);
   if (it != open_.end()) {
     ErrorTuple& tuple = it->second;
@@ -118,7 +132,8 @@ void StreamingCoalescer::Add(const ErrorRecord& record) {
   tuple.count = 1;
   tuple.from_syslog = record.source == LogSource::kSyslog;
   tuple.from_hwerr = record.source == LogSource::kHwerr;
-  if (!ResolveNodes(machine_, record.scope, record.location, tuple.nodes)) {
+  if (!ResolveNodes(machine_, record.scope, record.location.view(),
+                    tuple.nodes)) {
     ++stats_.unresolved_locations;
     return;  // component not on this machine: drop
   }
@@ -179,11 +194,22 @@ void StreamingCoalescer::SaveState(SnapshotWriter& w) const {
   w.U64(stats_.tuples);
   w.U64(stats_.unresolved_locations);
   w.U64(next_id_);
-  w.U32(static_cast<std::uint32_t>(open_.size()));
-  for (const auto& [key, tuple] : open_) {
-    w.I32(key.first);
-    w.Str(key.second);
-    SaveErrorTuple(w, tuple);
+  // The open map is unordered and its keys embed nondeterministic
+  // symbol ids; serialize in (category, location string) order so the
+  // snapshot bytes are a pure function of the analyzed stream.
+  std::vector<const ErrorTuple*> open_sorted;
+  open_sorted.reserve(open_.size());
+  for (const auto& [key, tuple] : open_) open_sorted.push_back(&tuple);
+  std::sort(open_sorted.begin(), open_sorted.end(),
+            [](const ErrorTuple* a, const ErrorTuple* b) {
+              if (a->category != b->category) return a->category < b->category;
+              return a->location.view() < b->location.view();
+            });
+  w.U32(static_cast<std::uint32_t>(open_sorted.size()));
+  for (const ErrorTuple* tuple : open_sorted) {
+    w.I32(static_cast<std::int32_t>(tuple->category));
+    w.Str(tuple->location.view());
+    SaveErrorTuple(w, *tuple);
   }
   w.U32(static_cast<std::uint32_t>(closed_.size()));
   for (const ErrorTuple& tuple : closed_) SaveErrorTuple(w, tuple);
@@ -196,12 +222,13 @@ void StreamingCoalescer::LoadState(SnapshotReader& r) {
   next_id_ = r.U64();
   open_.clear();
   const std::uint32_t open_count = r.U32();
+  if (r.ok()) open_.reserve(std::max<std::uint32_t>(open_count, 256));
   for (std::uint32_t i = 0; i < open_count && r.ok(); ++i) {
-    const int cat = r.I32();
-    std::string location = r.Str();
+    const auto cat = static_cast<ErrorCategory>(r.I32());
+    const Symbol location = Intern(r.Str());
     ErrorTuple tuple;
     LoadErrorTuple(r, tuple);
-    open_.emplace(std::make_pair(cat, std::move(location)), std::move(tuple));
+    open_.emplace(OpenKey(cat, location), std::move(tuple));
   }
   closed_.clear();
   const std::uint32_t closed_count = r.U32();

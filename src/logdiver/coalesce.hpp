@@ -11,9 +11,9 @@
 #pragma once
 
 #include <cstdint>
-#include <map>
 #include <optional>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "common/interval.hpp"
@@ -31,7 +31,7 @@ struct ErrorTuple {
   ErrorCategory category = ErrorCategory::kUnknown;
   Severity severity = Severity::kCorrected;  // max over members
   LocScope scope = LocScope::kNode;
-  std::string location;            // canonical component name; empty = system
+  Symbol location;                 // canonical component name; empty = system
   std::vector<NodeIndex> nodes;    // resolved affected nodes (empty = all)
   TimePoint first;                 // earliest member event
   TimePoint last;                  // latest member event
@@ -96,7 +96,11 @@ class StreamingCoalescer {
   CoalesceConfig config_;
   CoalesceStats stats_;
   std::uint64_t next_id_ = 1;
-  std::map<std::pair<int, std::string>, ErrorTuple> open_;
+  /// Open tuples keyed by (category << 32) | location-symbol id.  An
+  /// unordered map because this is the per-record hot lookup; snapshot
+  /// serialization sorts by (category, location string) so the written
+  /// bytes stay deterministic (symbol ids are not — see intern.hpp).
+  std::unordered_map<std::uint64_t, ErrorTuple> open_;
   /// Tuples displaced by a new burst on the same key; handed out on the
   /// next Flush.
   std::vector<ErrorTuple> closed_;

@@ -2,61 +2,132 @@
 
 #include <algorithm>
 #include <cstdlib>
-#include <unordered_map>
+#include <span>
+
+#include "common/obs/names.hpp"
+#include "common/obs/obs.hpp"
+#include "common/parallel.hpp"
 
 namespace ld {
 namespace {
 
 constexpr int kSigTerm = 15;
 
+/// Runs per classification chunk.  Each run is a handful of binary
+/// searches, so chunks are kept large enough to amortize task dispatch
+/// while still splitting a multi-million-run trace across the pool.
+constexpr std::size_t kClassifyChunkRuns = 4096;
+
 /// Spatial index: for each node, the fatal node-scoped tuples that can
-/// affect it, sorted by first-event time.
+/// affect it, plus the system-wide incident list.
+///
+/// Layout is CSR (one offsets array + one packed index array) rather
+/// than a map of per-node vectors: candidate lookup is two array reads
+/// and a binary search over a contiguous row, and building it is three
+/// linear passes with exactly two allocations.  The eligible tuples are
+/// pre-sorted by (first, index) once, so every row and the system list
+/// come out time-ordered without any per-row sort.
 class TupleIndex {
  public:
-  TupleIndex(const std::vector<ErrorTuple>& tuples) {
+  TupleIndex(const std::vector<ErrorTuple>& tuples, std::size_t node_count,
+             Duration incident_slack) {
+    std::vector<std::uint32_t> fatal;
+    fatal.reserve(tuples.size());
     for (std::uint32_t i = 0; i < tuples.size(); ++i) {
-      const ErrorTuple& t = tuples[i];
-      if (t.severity != Severity::kFatal) continue;
+      if (tuples[i].severity == Severity::kFatal) fatal.push_back(i);
+    }
+    std::sort(fatal.begin(), fatal.end(),
+              [&tuples](std::uint32_t a, std::uint32_t b) {
+                if (tuples[a].first != tuples[b].first) {
+                  return tuples[a].first < tuples[b].first;
+                }
+                return a < b;
+              });
+
+    // Pass 1: per-node row widths (into offsets_[n + 1]) + system list.
+    offsets_.assign(node_count + 1, 0);
+    for (std::uint32_t idx : fatal) {
+      const ErrorTuple& t = tuples[idx];
       if (t.scope == LocScope::kSystem) {
-        system_.push_back(i);
+        system_.push_back(idx);
         continue;
       }
       for (NodeIndex n : t.nodes) {
-        per_node_[n].push_back(i);
+        if (n < node_count) ++offsets_[n + 1];
       }
     }
-    auto by_time = [&tuples](std::uint32_t a, std::uint32_t b) {
-      return tuples[a].first < tuples[b].first;
-    };
-    for (auto& [node, list] : per_node_) {
-      std::sort(list.begin(), list.end(), by_time);
+    // Pass 2: widths -> row start offsets.
+    for (std::size_t n = 0; n < node_count; ++n) {
+      offsets_[n + 1] += offsets_[n];
     }
-    std::sort(system_.begin(), system_.end(), by_time);
+    // Pass 3: fill rows; the fill order inherits the (first, index)
+    // sort, so each row is already time-ordered.
+    entries_.resize(offsets_[node_count]);
+    std::vector<std::uint32_t> cursor(offsets_.begin(), offsets_.end() - 1);
+    for (std::uint32_t idx : fatal) {
+      const ErrorTuple& t = tuples[idx];
+      if (t.scope == LocScope::kSystem) continue;
+      for (NodeIndex n : t.nodes) {
+        if (n < node_count) entries_[cursor[n]++] = idx;
+      }
+    }
+
+    // System incidents answer "which window covers this death?" with two
+    // binary searches: one over start times for the eligible prefix, one
+    // over the running max of slack-inflated window ends.  The prefix
+    // max is non-decreasing by construction, and the first position
+    // where it exceeds the death time is itself a covering incident.
+    sys_start_.reserve(system_.size());
+    sys_prefix_max_end_.reserve(system_.size());
+    for (std::uint32_t idx : system_) {
+      const Interval window =
+          tuples[idx].ImpactWindow().Inflate(incident_slack);
+      sys_start_.push_back(tuples[idx].first);
+      const TimePoint prev = sys_prefix_max_end_.empty()
+                                 ? window.end
+                                 : sys_prefix_max_end_.back();
+      sys_prefix_max_end_.push_back(std::max(prev, window.end));
+    }
   }
 
   /// Fatal tuples touching `node` with first-event time inside
-  /// [lo, hi].  Appends indices to `out`.
+  /// [lo, hi].  Appends indices to `out` in time order.
   void NodeCandidates(const std::vector<ErrorTuple>& tuples, NodeIndex node,
                       TimePoint lo, TimePoint hi,
                       std::vector<std::uint32_t>& out) const {
-    const auto it = per_node_.find(node);
-    if (it == per_node_.end()) return;
-    const auto& list = it->second;
-    auto begin = std::lower_bound(
-        list.begin(), list.end(), lo,
-        [&tuples](std::uint32_t idx, TimePoint v) {
+    if (static_cast<std::size_t>(node) + 1 >= offsets_.size()) return;
+    const std::uint32_t* begin = entries_.data() + offsets_[node];
+    const std::uint32_t* end = entries_.data() + offsets_[node + 1];
+    const std::uint32_t* it = std::lower_bound(
+        begin, end, lo, [&tuples](std::uint32_t idx, TimePoint v) {
           return tuples[idx].first < v;
         });
-    for (; begin != list.end() && tuples[*begin].first <= hi; ++begin) {
-      out.push_back(*begin);
+    for (; it != end && tuples[*it].first <= hi; ++it) {
+      out.push_back(*it);
     }
   }
 
-  const std::vector<std::uint32_t>& system_tuples() const { return system_; }
+  /// Earliest system incident whose slack-inflated impact window covers
+  /// `death`, or null.  `slack` must match the constructor's.
+  const ErrorTuple* FindSystemCause(const std::vector<ErrorTuple>& tuples,
+                                    TimePoint death, Duration slack) const {
+    // Eligible prefix: inflated window start (first - slack) <= death.
+    const auto hi =
+        std::upper_bound(sys_start_.begin(), sys_start_.end(), death + slack) -
+        sys_start_.begin();
+    // First position whose running-max window end is past the death.
+    const auto it = std::upper_bound(sys_prefix_max_end_.begin(),
+                                     sys_prefix_max_end_.begin() + hi, death);
+    if (it == sys_prefix_max_end_.begin() + hi) return nullptr;
+    return &tuples[system_[it - sys_prefix_max_end_.begin()]];
+  }
 
  private:
-  std::unordered_map<NodeIndex, std::vector<std::uint32_t>> per_node_;
-  std::vector<std::uint32_t> system_;
+  std::vector<std::uint32_t> offsets_;  // node -> row start; size nodes + 1
+  std::vector<std::uint32_t> entries_;  // packed tuple indices, row-major
+  std::vector<std::uint32_t> system_;   // system incidents by (first, index)
+  std::vector<TimePoint> sys_start_;
+  std::vector<TimePoint> sys_prefix_max_end_;
 };
 
 }  // namespace
@@ -65,9 +136,15 @@ Correlator::Correlator(const Machine& machine, CorrelatorConfig config)
     : machine_(machine), config_(config) {}
 
 std::vector<ClassifiedRun> Correlator::Classify(
-    const std::vector<AppRun>& runs,
-    const std::vector<ErrorTuple>& tuples) const {
-  const TupleIndex index(tuples);
+    const std::vector<AppRun>& runs, const std::vector<ErrorTuple>& tuples,
+    ThreadPool* pool) const {
+  const std::uint64_t start_ns = LD_OBS_NOW_NS();
+  const TupleIndex index(tuples, machine_.node_count(),
+                         config_.incident_slack);
+  if (start_ns != 0) {
+    LD_OBS_HIST_RECORD(obs::names::kCorrelateIndexMicros,
+                       (LD_OBS_NOW_NS() - start_ns) / 1000);
+  }
 
   // The widest per-category `before` window bounds the candidate fetch;
   // each candidate is then checked against its own category's window.
@@ -78,12 +155,14 @@ std::vector<ClassifiedRun> Correlator::Classify(
 
   // Finds the best node-scoped fatal tuple explaining a death at
   // `death` on `nodes`: the closest-in-time candidate whose category
-  // window admits it.
-  auto find_node_cause = [&](const std::vector<NodeIndex>& nodes,
-                             TimePoint death) -> const ErrorTuple* {
+  // window admits it.  `candidates` is caller-provided scratch so a
+  // worker classifying a whole chunk reuses one buffer.
+  auto find_node_cause =
+      [&](std::span<const NodeIndex> nodes, TimePoint death,
+          std::vector<std::uint32_t>& candidates) -> const ErrorTuple* {
+    candidates.clear();
     const TimePoint lo = death - max_before;
     const TimePoint hi = death + config_.attribution_after;
-    std::vector<std::uint32_t> candidates;
     for (NodeIndex n : nodes) {
       index.NodeCandidates(tuples, n, lo, hi, candidates);
     }
@@ -92,8 +171,7 @@ std::vector<ClassifiedRun> Correlator::Classify(
     for (std::uint32_t idx : candidates) {
       const ErrorTuple& t = tuples[idx];
       if (t.first < death - config_.BeforeWindow(t.category)) continue;
-      const std::int64_t gap =
-          std::llabs((t.first - death).seconds());
+      const std::int64_t gap = std::llabs((t.first - death).seconds());
       if (best == nullptr || gap < best_gap) {
         best = &t;
         best_gap = gap;
@@ -102,52 +180,43 @@ std::vector<ClassifiedRun> Correlator::Classify(
     return best;
   };
 
-  // Finds a system incident whose (slack-inflated) impact window covers
-  // the death time.
-  auto find_system_cause = [&](TimePoint death) -> const ErrorTuple* {
-    for (std::uint32_t idx : index.system_tuples()) {
-      const ErrorTuple& t = tuples[idx];
-      const Interval window = t.ImpactWindow().Inflate(config_.incident_slack);
-      if (window.Contains(death)) return &t;
-      if (t.first > death + config_.incident_slack) break;  // sorted
-    }
-    return nullptr;
-  };
-
-  std::vector<ClassifiedRun> out;
-  out.reserve(runs.size());
-  for (std::uint32_t i = 0; i < runs.size(); ++i) {
+  // Each run's verdict is a pure function of (run, index, config);
+  // chunks write disjoint index-ordered slots of `out`, so the result
+  // cannot depend on thread count or scheduling.
+  auto classify_run = [&](std::uint32_t i,
+                          std::vector<std::uint32_t>& candidates) {
     const AppRun& run = runs[i];
     ClassifiedRun cls;
     cls.run_index = i;
 
     if (!run.has_termination) {
       cls.outcome = AppOutcome::kUnknown;
-      out.push_back(cls);
-      continue;
+      return cls;
     }
     if (run.exit_code == 0 && run.exit_signal == 0) {
       cls.outcome = AppOutcome::kSuccess;
-      out.push_back(cls);
-      continue;
+      return cls;
     }
     if (run.killed_node_failure) {
       // ALPS observed the node loss: definitively system-caused.  Root
       // cause comes from correlation; search the failed node first.
       cls.outcome = AppOutcome::kSystemFailure;
-      std::vector<NodeIndex> focus;
-      if (run.failed_nid != kInvalidNode) focus.push_back(run.failed_nid);
-      const ErrorTuple* cause = focus.empty()
-                                    ? nullptr
-                                    : find_node_cause(focus, run.end);
-      if (cause == nullptr) cause = find_node_cause(run.nodes, run.end);
-      if (cause == nullptr) cause = find_system_cause(run.end);
+      const ErrorTuple* cause =
+          run.failed_nid != kInvalidNode
+              ? find_node_cause(std::span<const NodeIndex>(&run.failed_nid, 1),
+                                run.end, candidates)
+              : nullptr;
+      if (cause == nullptr) {
+        cause = find_node_cause(run.nodes, run.end, candidates);
+      }
+      if (cause == nullptr) {
+        cause = index.FindSystemCause(tuples, run.end, config_.incident_slack);
+      }
       if (cause != nullptr) {
         cls.cause = cause->category;
         cls.tuple_id = cause->id;
       }
-      out.push_back(cls);
-      continue;
+      return cls;
     }
     // Walltime: the job hit its limit and the run died by SIGTERM at
     // (or right before) job_start + limit.
@@ -155,13 +224,14 @@ std::vector<ClassifiedRun> Correlator::Classify(
       const Duration used = run.end - run.job_start;
       if (used + config_.walltime_tolerance >= run.walltime_limit) {
         cls.outcome = AppOutcome::kWalltime;
-        out.push_back(cls);
-        continue;
+        return cls;
       }
     }
     // Abnormal exit: blame a system error only with log evidence.
-    const ErrorTuple* cause = find_node_cause(run.nodes, run.end);
-    if (cause == nullptr) cause = find_system_cause(run.end);
+    const ErrorTuple* cause = find_node_cause(run.nodes, run.end, candidates);
+    if (cause == nullptr) {
+      cause = index.FindSystemCause(tuples, run.end, config_.incident_slack);
+    }
     if (cause != nullptr) {
       cls.outcome = AppOutcome::kSystemFailure;
       cls.cause = cause->category;
@@ -169,7 +239,25 @@ std::vector<ClassifiedRun> Correlator::Classify(
     } else {
       cls.outcome = AppOutcome::kUserFailure;
     }
-    out.push_back(cls);
+    return cls;
+  };
+
+  std::vector<ClassifiedRun> out(runs.size());
+  const std::vector<IndexRange> chunks =
+      ChunkRanges(runs.size(), kClassifyChunkRuns);
+  ParallelFor(pool, chunks.size(), [&](std::size_t c) {
+    LD_OBS_SPAN("classify/chunk");
+    std::vector<std::uint32_t> candidates;  // reused across the chunk
+    const IndexRange range = chunks[c];
+    for (std::size_t i = range.begin; i < range.end; ++i) {
+      out[i] = classify_run(static_cast<std::uint32_t>(i), candidates);
+    }
+  });
+  LD_OBS_COUNTER_ADD(obs::names::kCorrelateRunsTotal, runs.size());
+  LD_OBS_COUNTER_ADD(obs::names::kCorrelateChunksTotal, chunks.size());
+  if (start_ns != 0) {
+    LD_OBS_HIST_RECORD(obs::names::kCorrelateTotalMicros,
+                       (LD_OBS_NOW_NS() - start_ns) / 1000);
   }
   return out;
 }

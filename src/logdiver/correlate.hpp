@@ -26,6 +26,8 @@
 
 namespace ld {
 
+class ThreadPool;
+
 struct CorrelatorConfig {
   /// A node-scoped fatal tuple attributes to a run that died within
   /// [tuple.first - after, tuple.first + before] ... i.e. the run's end
@@ -69,8 +71,13 @@ class Correlator {
 
   /// Classifies every run against the tuple set.  Runs and tuples may be
   /// in any order; an internal spatial index is built once per call.
+  /// With a pool, runs are classified in chunks across the workers; each
+  /// run's verdict depends only on that run and the (read-only) index,
+  /// and results land in index-ordered slots, so the output is
+  /// bit-identical at any thread count.
   std::vector<ClassifiedRun> Classify(const std::vector<AppRun>& runs,
-                                      const std::vector<ErrorTuple>& tuples) const;
+                                      const std::vector<ErrorTuple>& tuples,
+                                      ThreadPool* pool = nullptr) const;
 
   const CorrelatorConfig& config() const { return config_; }
 

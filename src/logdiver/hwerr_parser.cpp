@@ -25,15 +25,18 @@ Result<std::optional<ErrorRecord>> ParseLineImpl(std::string_view line) {
   rec.category = *category;
   rec.severity = severity;
   rec.source = LogSource::kHwerr;
-  rec.location = std::string(fields[2]);
   rec.scope = *category == ErrorCategory::kBladeFault ? LocScope::kBlade
                                                       : LocScope::kNode;
   // Blade faults are recorded against a node on the blade; normalize the
-  // location to the blade prefix.
+  // location to the blade prefix before interning.
   if (rec.scope == LocScope::kBlade) {
-    if (auto cname = ParseCname(rec.location); cname.ok()) {
-      rec.location = cname->BladePrefix();
+    if (auto cname = ParseCname(std::string(fields[2])); cname.ok()) {
+      rec.location = Intern(cname->BladePrefix());
+    } else {
+      rec.location = Intern(fields[2]);
     }
+  } else {
+    rec.location = Intern(fields[2]);
   }
   return std::optional<ErrorRecord>{rec};
 }

@@ -266,7 +266,7 @@ Result<AnalysisResult> LogDiver::AnalyzeWith(const LogSetView& logs,
   {
     LD_OBS_SPAN("classify");
     const Correlator correlator(machine_, config_.correlator);
-    result.classified = correlator.Classify(result.runs, result.tuples);
+    result.classified = correlator.Classify(result.runs, result.tuples, pool);
   }
 
   // 5. Metrics.

@@ -2,7 +2,7 @@
 
 #include <algorithm>
 #include <map>
-#include <set>
+#include <vector>
 
 #include "logdiver/snapshot.hpp"
 
@@ -47,6 +47,11 @@ MetricsAccumulator::MetricsAccumulator(MetricsConfig config)
   init_scale(xk_scale_, config_.xk_scale_buckets.empty()
                             ? DefaultXkScaleBuckets()
                             : config_.xk_scale_buckets);
+  waits_.resize(kWaitBands.size());
+  // Sized for a realistic campaign's job population; AddRun then never
+  // rehashes mid-stream.
+  seen_jobs_.reserve(1024);
+  failed_jobs_.reserve(256);
 }
 
 void MetricsAccumulator::AddRun(const AppRun& run, const ClassifiedRun& cls) {
@@ -151,6 +156,11 @@ MetricsReport MetricsAccumulator::Report() const {
   report.total_node_hours = total_node_hours_;
   const double span_hours = have_span_ ? (span_hi_ - span_lo_).hours() : 0.0;
 
+  report.outcomes.reserve(outcome_rows_.size());
+  report.categories.reserve(cat_rows_.size());
+  report.attribution.reserve(attr_rows_.size());
+  report.monthly.reserve(monthly_.size());
+  report.queue_waits.reserve(kWaitBands.size());
   for (AppOutcome o : kOutcomeOrder) {
     const auto it = outcome_rows_.find(o);
     if (it == outcome_rows_.end()) continue;
@@ -227,16 +237,16 @@ MetricsReport MetricsAccumulator::Report() const {
   }
 
   for (std::size_t b = 0; b < kWaitBands.size(); ++b) {
-    const auto it = waits_.find(b);
-    if (it == waits_.end() || it->second.empty()) continue;
+    const std::vector<double>& samples = waits_[b];
+    if (samples.empty()) continue;
     QueueWaitRow row;
     row.lo = kWaitBands[b].first;
     row.hi = kWaitBands[b].second;
-    row.jobs = it->second.size();
+    row.jobs = samples.size();
     double sum = 0.0;
-    for (double w : it->second) sum += w;
-    row.mean_wait_hours = sum / static_cast<double>(it->second.size());
-    row.p95_wait_hours = Quantile(it->second, 0.95);
+    for (double w : samples) sum += w;
+    row.mean_wait_hours = sum / static_cast<double>(samples.size());
+    row.p95_wait_hours = Quantile(samples, 0.95);
     report.queue_waits.push_back(row);
   }
   report.job_impact.jobs = seen_jobs_.size();
@@ -319,16 +329,26 @@ void MetricsAccumulator::SaveState(SnapshotWriter& w) const {
     w.Time(iv.end);
   }
 
-  for (const std::set<JobId>* jobs : {&seen_jobs_, &failed_jobs_}) {
-    w.U64(jobs->size());
-    for (JobId id : *jobs) w.U64(id);
+  // Sorted ids: the sets are unordered in memory, the bytes must not be.
+  for (const std::unordered_set<JobId>* jobs : {&seen_jobs_, &failed_jobs_}) {
+    std::vector<JobId> sorted(jobs->begin(), jobs->end());
+    std::sort(sorted.begin(), sorted.end());
+    w.U64(sorted.size());
+    for (JobId id : sorted) w.U64(id);
   }
 
-  w.U32(static_cast<std::uint32_t>(waits_.size()));
-  for (const auto& [band, samples] : waits_) {
-    w.U64(band);
-    w.U32(static_cast<std::uint32_t>(samples.size()));
-    for (double s : samples) w.F64(s);
+  // Only touched bands are written (band index + samples), matching the
+  // sparse-map layout this dense vector replaced.
+  std::uint32_t touched = 0;
+  for (const std::vector<double>& samples : waits_) {
+    if (!samples.empty()) ++touched;
+  }
+  w.U32(touched);
+  for (std::size_t b = 0; b < waits_.size(); ++b) {
+    if (waits_[b].empty()) continue;
+    w.U64(b);
+    w.U32(static_cast<std::uint32_t>(waits_[b].size()));
+    for (double s : waits_[b]) w.F64(s);
   }
 }
 
@@ -421,19 +441,24 @@ void MetricsAccumulator::LoadState(SnapshotReader& r) {
     downtime_.Add(iv);
   }
 
-  for (std::set<JobId>* jobs : {&seen_jobs_, &failed_jobs_}) {
+  for (std::unordered_set<JobId>* jobs : {&seen_jobs_, &failed_jobs_}) {
     jobs->clear();
     const std::uint64_t count = r.U64();
+    if (r.ok()) jobs->reserve(count);
     for (std::uint64_t i = 0; i < count && r.ok(); ++i) {
-      jobs->insert(jobs->end(), r.U64());
+      jobs->insert(r.U64());
     }
   }
 
-  waits_.clear();
+  waits_.assign(kWaitBands.size(), {});
   const std::uint32_t bands = r.U32();
   for (std::uint32_t i = 0; i < bands && r.ok(); ++i) {
     const std::uint64_t band = r.U64();
     const std::uint32_t samples = r.U32();
+    if (band >= waits_.size()) {
+      r.Fail("queue-wait band out of range");
+      return;
+    }
     std::vector<double>& out = waits_[static_cast<std::size_t>(band)];
     if (r.ok()) out.reserve(samples);
     for (std::uint32_t j = 0; j < samples && r.ok(); ++j) {

@@ -13,7 +13,7 @@
 #include <vector>
 
 #include <map>
-#include <set>
+#include <unordered_set>
 
 #include "common/stats.hpp"
 #include "logdiver/coalesce.hpp"
@@ -175,9 +175,14 @@ class MetricsAccumulator {
   DetectionGapRow xk_gap_{NodeType::kXK, 0, 0, 0, 0.0};
   std::uint64_t incidents_ = 0;
   IntervalSet downtime_;
-  std::set<JobId> seen_jobs_;
-  std::set<JobId> failed_jobs_;
-  std::map<std::size_t, std::vector<double>> waits_;
+  /// Job-dedup sets are unordered (this is the per-run hot lookup);
+  /// SaveState writes their ids sorted so snapshot bytes stay
+  /// deterministic and match the old ordered-set layout.
+  std::unordered_set<JobId> seen_jobs_;
+  std::unordered_set<JobId> failed_jobs_;
+  /// Queue-wait samples, one slot per kWaitBands entry (dense: band
+  /// index is the vector index, empty slot = band never hit).
+  std::vector<std::vector<double>> waits_;
 };
 
 /// One-shot convenience over MetricsAccumulator.

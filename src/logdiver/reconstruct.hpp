@@ -21,8 +21,8 @@ namespace ld {
 struct AppRun {
   ApId apid = 0;
   JobId jobid = 0;
-  std::string user;
-  std::string queue;
+  Symbol user;
+  Symbol queue;
   NodeType node_type = NodeType::kXE;
   std::vector<NodeIndex> nodes;
   std::uint32_t nodect = 0;

@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "common/intern.hpp"
 #include "common/time.hpp"
 #include "faults/taxonomy.hpp"
 #include "topology/machine.hpp"
@@ -34,15 +35,18 @@ inline constexpr std::size_t kNumLogSources = 4;
 
 const char* LogSourceName(LogSource s);
 
-/// A Torque accounting record ("S" or "E").
+/// A Torque accounting record ("S" or "E").  The repeated identity
+/// fields (user, queue, job name) are interned Symbols: a production
+/// log repeats a few hundred distinct values across millions of
+/// records, so per-record std::strings were pure allocation churn.
 struct TorqueRecord {
   enum class Kind : std::uint8_t { kStart, kEnd };
   Kind kind = Kind::kStart;
   TimePoint time;
   JobId jobid = 0;
-  std::string user;
-  std::string queue;
-  std::string job_name;
+  Symbol user;
+  Symbol queue;
+  Symbol job_name;
   TimePoint submit;
   TimePoint start;
   TimePoint end;                  // E records only
@@ -60,8 +64,8 @@ struct AlpsRecord {
   ApId apid = 0;
   // kPlace:
   JobId jobid = 0;
-  std::string user;
-  std::string command;
+  Symbol user;
+  Symbol command;
   std::uint32_t nodect = 0;
   std::vector<NodeIndex> nids;
   // kExit:
@@ -79,8 +83,9 @@ struct ErrorRecord {
   Severity severity = Severity::kCorrected;
   LocScope scope = LocScope::kNode;
   /// Node-level cname ("c1-2c0s3n1"), blade prefix ("c1-2c0s3"), or
-  /// gemini name ("c1-2c0s3g0"); empty for system scope.
-  std::string location;
+  /// gemini name ("c1-2c0s3g0"); empty for system scope.  Interned: the
+  /// same few thousand component names recur across the whole log.
+  Symbol location;
   LogSource source = LogSource::kSyslog;
   /// For system-scope incidents: the service-restored time if the parser
   /// paired a recovery line (nullopt while the incident is open).

@@ -209,9 +209,9 @@ void SaveTorqueRecord(SnapshotWriter& w, const TorqueRecord& rec) {
   w.U8(static_cast<std::uint8_t>(rec.kind));
   w.Time(rec.time);
   w.U64(rec.jobid);
-  w.Str(rec.user);
-  w.Str(rec.queue);
-  w.Str(rec.job_name);
+  w.Str(rec.user.view());
+  w.Str(rec.queue.view());
+  w.Str(rec.job_name.view());
   w.Time(rec.submit);
   w.Time(rec.start);
   w.Time(rec.end);
@@ -225,9 +225,9 @@ void LoadTorqueRecord(SnapshotReader& r, TorqueRecord& rec) {
   rec.kind = static_cast<TorqueRecord::Kind>(r.U8());
   rec.time = r.Time();
   rec.jobid = r.U64();
-  rec.user = r.Str();
-  rec.queue = r.Str();
-  rec.job_name = r.Str();
+  rec.user = Intern(r.Str());
+  rec.queue = Intern(r.Str());
+  rec.job_name = Intern(r.Str());
   rec.submit = r.Time();
   rec.start = r.Time();
   rec.end = r.Time();
@@ -240,8 +240,8 @@ void LoadTorqueRecord(SnapshotReader& r, TorqueRecord& rec) {
 void SaveAppRun(SnapshotWriter& w, const AppRun& run) {
   w.U64(run.apid);
   w.U64(run.jobid);
-  w.Str(run.user);
-  w.Str(run.queue);
+  w.Str(run.user.view());
+  w.Str(run.queue.view());
   w.U8(static_cast<std::uint8_t>(run.node_type));
   w.U32(static_cast<std::uint32_t>(run.nodes.size()));
   for (NodeIndex n : run.nodes) w.U32(n);
@@ -262,8 +262,8 @@ void SaveAppRun(SnapshotWriter& w, const AppRun& run) {
 void LoadAppRun(SnapshotReader& r, AppRun& run) {
   run.apid = r.U64();
   run.jobid = r.U64();
-  run.user = r.Str();
-  run.queue = r.Str();
+  run.user = Intern(r.Str());
+  run.queue = Intern(r.Str());
   run.node_type = static_cast<NodeType>(r.U8());
   const std::uint32_t nodes = r.U32();
   run.nodes.clear();
@@ -290,7 +290,7 @@ void SaveErrorTuple(SnapshotWriter& w, const ErrorTuple& tuple) {
   w.U8(static_cast<std::uint8_t>(tuple.category));
   w.U8(static_cast<std::uint8_t>(tuple.severity));
   w.U8(static_cast<std::uint8_t>(tuple.scope));
-  w.Str(tuple.location);
+  w.Str(tuple.location.view());
   w.U32(static_cast<std::uint32_t>(tuple.nodes.size()));
   for (NodeIndex n : tuple.nodes) w.U32(n);
   w.Time(tuple.first);
@@ -307,7 +307,7 @@ void LoadErrorTuple(SnapshotReader& r, ErrorTuple& tuple) {
   tuple.category = static_cast<ErrorCategory>(r.U8());
   tuple.severity = static_cast<Severity>(r.U8());
   tuple.scope = static_cast<LocScope>(r.U8());
-  tuple.location = r.Str();
+  tuple.location = Intern(r.Str());
   const std::uint32_t nodes = r.U32();
   tuple.nodes.clear();
   if (r.ok()) tuple.nodes.reserve(nodes);

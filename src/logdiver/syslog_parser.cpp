@@ -143,23 +143,24 @@ Result<std::optional<SyslogParser::PreRecord>> ParsePreImpl(
       rec.category = ErrorCategory::kNodeHeartbeat;
       rec.severity = Severity::kFatal;
       rec.scope = LocScope::kNode;
-      rec.location = CnameAfter(message, "node ");
+      rec.location = Intern(CnameAfter(message, "node "));
     } else if (Contains(message, "voltage fault")) {
       rec.category = ErrorCategory::kBladeFault;
       rec.severity = Severity::kFatal;
       rec.scope = LocScope::kBlade;
-      rec.location = CnameAfter(message, "blade ");
+      rec.location = Intern(CnameAfter(message, "blade "));
     } else if (Contains(message, "Gemini LCB")) {
       rec.category = ErrorCategory::kGeminiLink;
       rec.scope = LocScope::kGemini;
-      rec.location = StripLaneSuffix(CnameAfter(message, "Gemini LCB "));
+      rec.location = Intern(StripLaneSuffix(CnameAfter(message, "Gemini LCB ")));
       rec.severity = Contains(message, "failover unsuccessful")
                          ? Severity::kFatal
                          : Severity::kDegraded;
     } else if (Contains(message, "lane degrade")) {
       rec.category = ErrorCategory::kGeminiLink;
       rec.scope = LocScope::kGemini;
-      rec.location = StripLaneSuffix(CnameAfter(message, "lane degrade on "));
+      rec.location =
+          Intern(StripLaneSuffix(CnameAfter(message, "lane degrade on ")));
       rec.severity = Severity::kCorrected;
     } else {
       return std::optional<SyslogParser::PreRecord>{};
@@ -171,7 +172,7 @@ Result<std::optional<SyslogParser::PreRecord>> ParsePreImpl(
   }
 
   // --- node-local kernel messages: hostname is the cname ---
-  rec.location = std::string(host);
+  rec.location = Intern(host);
   rec.scope = LocScope::kNode;
   if (Contains(message, "Machine check")) {
     rec.category = ErrorCategory::kMachineCheck;

@@ -57,9 +57,9 @@ Result<std::optional<TorqueRecord>> ParseLineImpl(std::string_view line) {
   rec.jobid = jobid;
   rec.kind = type == "S" ? TorqueRecord::Kind::kStart : TorqueRecord::Kind::kEnd;
 
-  if (auto v = FindKeyValueOpt(payload, "user")) rec.user = *v;
-  if (auto v = FindKeyValueOpt(payload, "queue")) rec.queue = *v;
-  if (auto v = FindKeyValueOpt(payload, "jobname")) rec.job_name = *v;
+  if (auto v = FindKeyValueOpt(payload, "user")) rec.user = Intern(*v);
+  if (auto v = FindKeyValueOpt(payload, "queue")) rec.queue = Intern(*v);
+  if (auto v = FindKeyValueOpt(payload, "jobname")) rec.job_name = Intern(*v);
 
   const auto submit = EpochField(payload, "ctime");
   const auto start = EpochField(payload, "start");

@@ -9,7 +9,7 @@ AppRun MakeRun(ApId apid, const std::string& user, std::uint32_t nodect,
                std::int64_t hours) {
   AppRun run;
   run.apid = apid;
-  run.user = user;
+  run.user = Intern(user);
   run.nodect = nodect;
   run.start = TimePoint(0);
   run.end = TimePoint(hours * 3600);

@@ -1,0 +1,107 @@
+// The interning pool's contract: global dedup (equal strings -> equal
+// symbols), stable views for the process lifetime, thread-safe interning
+// with lock-free resolution — and the one thing callers must NOT rely
+// on: symbol id values, which depend on interning order.
+#include "common/intern.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace ld {
+namespace {
+
+TEST(Intern, DefaultSymbolIsEmpty) {
+  const Symbol s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.id(), 0u);
+  EXPECT_EQ(s.view(), "");
+  EXPECT_EQ(s, Intern(""));
+}
+
+TEST(Intern, DedupsToOneSymbol) {
+  const Symbol a = Intern("c12-3c2s7n1");
+  const Symbol b = Intern("c12-3c2s7n1");
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.id(), b.id());
+  EXPECT_EQ(a.view(), "c12-3c2s7n1");
+  EXPECT_EQ(a.str(), std::string("c12-3c2s7n1"));
+}
+
+TEST(Intern, DistinctStringsGetDistinctSymbols) {
+  const Symbol a = Intern("userA");
+  const Symbol b = Intern("userB");
+  EXPECT_NE(a, b);
+  EXPECT_NE(a.id(), b.id());
+}
+
+TEST(Intern, ComparesAgainstStringView) {
+  const Symbol s = Intern("normal");
+  EXPECT_EQ(s, "normal");
+  EXPECT_NE(s, "debug");
+  EXPECT_TRUE(s == std::string_view("normal"));
+}
+
+TEST(Intern, StreamsResolvedString) {
+  std::ostringstream os;
+  os << Intern("queue-hi");
+  EXPECT_EQ(os.str(), "queue-hi");
+}
+
+TEST(Intern, ViewsStayStableUnderGrowth) {
+  const Symbol s = Intern("stable-anchor");
+  const std::string_view before = s.view();
+  const char* data = before.data();
+  // Force many shard/chunk/arena growth steps.
+  for (int i = 0; i < 20000; ++i) {
+    Intern("growth-filler-" + std::to_string(i));
+  }
+  const std::string_view after = s.view();
+  EXPECT_EQ(after.data(), data);  // same arena bytes, not a copy
+  EXPECT_EQ(after, "stable-anchor");
+}
+
+TEST(Intern, ConcurrentInterningDedups) {
+  // 8 threads intern the same 512 strings plus a private set each; the
+  // shared set must dedup to exactly one symbol per string and every
+  // symbol must resolve to its string.  Run under TSan in CI.
+  constexpr int kThreads = 8;
+  constexpr int kShared = 512;
+  std::vector<std::vector<Symbol>> shared(kThreads);
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([t, &shared] {
+      shared[t].reserve(kShared);
+      for (int i = 0; i < kShared; ++i) {
+        shared[t].push_back(Intern("shared-" + std::to_string(i)));
+        Intern("private-" + std::to_string(t) + "-" + std::to_string(i));
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  for (int i = 0; i < kShared; ++i) {
+    for (int t = 1; t < kThreads; ++t) {
+      EXPECT_EQ(shared[0][i], shared[t][i]) << "string " << i;
+    }
+    EXPECT_EQ(shared[0][i].view(), "shared-" + std::to_string(i));
+  }
+}
+
+TEST(Intern, CountersAreMonotone) {
+  const std::size_t count_before = InternedCount();
+  const std::size_t bytes_before = InternedBytes();
+  Intern("counter-probe-abcdefgh");
+  EXPECT_GT(InternedCount(), count_before);
+  // Arena bytes count whole blocks, so a small string may fit in an
+  // already-allocated block — but the total never shrinks.
+  EXPECT_GE(InternedBytes(), bytes_before);
+  EXPECT_GT(InternedBytes(), 0u);
+}
+
+}  // namespace
+}  // namespace ld

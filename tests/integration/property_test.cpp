@@ -245,10 +245,10 @@ TEST(CoalesceProperty, EventCountConserved) {
     rec.category = static_cast<ErrorCategory>(rng.UniformInt(0, 8));
     rec.severity = static_cast<Severity>(rng.UniformInt(0, 2));
     rec.scope = LocScope::kNode;
-    rec.location =
+    rec.location = Intern(
         machine
             .node(static_cast<NodeIndex>(rng.UniformInt(machine.node_count())))
-            .cname.ToString();
+            .cname.ToString());
     rec.source = rng.Bernoulli(0.5) ? LogSource::kSyslog : LogSource::kHwerr;
     records.push_back(rec);
   }

@@ -14,7 +14,7 @@ AlpsRecord Place(ApId apid, JobId jobid, std::vector<NodeIndex> nids,
   rec.jobid = jobid;
   rec.nids = std::move(nids);
   rec.nodect = static_cast<std::uint32_t>(rec.nids.size());
-  rec.user = "u1";
+  rec.user = Intern("u1");
   return rec;
 }
 
@@ -43,8 +43,8 @@ TorqueRecord JobEnd(JobId jobid, std::int64_t start, std::int64_t end,
   TorqueRecord rec;
   rec.kind = TorqueRecord::Kind::kEnd;
   rec.jobid = jobid;
-  rec.queue = "normal";
-  rec.user = "u1";
+  rec.queue = Intern("normal");
+  rec.user = Intern("u1");
   rec.submit = TimePoint(start - 10);
   rec.start = TimePoint(start);
   rec.end = TimePoint(end);
@@ -133,7 +133,7 @@ TEST_F(ReconstructTest, FallsBackToStartRecordForRunningJobs) {
   TorqueRecord start;
   start.kind = TorqueRecord::Kind::kStart;
   start.jobid = 15;
-  start.queue = "debug";
+  start.queue = Intern("debug");
   start.start = TimePoint(50);
   start.time = start.start;
   start.walltime_limit = Duration(1800);

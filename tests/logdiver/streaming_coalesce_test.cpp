@@ -12,7 +12,7 @@ ErrorRecord Rec(std::int64_t t, ErrorCategory cat, Severity sev,
   rec.category = cat;
   rec.severity = sev;
   rec.scope = scope;
-  rec.location = std::move(loc);
+  rec.location = Intern(loc);
   rec.source = LogSource::kSyslog;
   return rec;
 }

@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""Perf-regression gate over two google-benchmark JSON files.
+
+Usage:
+    tools/compare_bench.py BASELINE.json CANDIDATE.json [--threshold 0.10]
+
+Matches benchmarks by name and computes the geometric mean of the
+candidate/baseline real-time ratios across every benchmark present in
+both files.  Exits non-zero when that geomean exceeds 1 + threshold
+(default: a 10% slowdown) — single-benchmark jitter is tolerated, a
+broad slowdown is not.
+
+The CI release job runs this with the committed BENCH_*.json baseline
+against numbers it just regenerated on its own runner, so the
+comparison is same-host in steady state: the committed baseline is
+refreshed whenever a PR intentionally changes performance, and the gate
+catches the PRs that change it unintentionally.  Benchmarks present in
+only one file (added or removed since the baseline) are reported but
+never fail the gate.
+"""
+
+import argparse
+import json
+import math
+import pathlib
+import sys
+
+
+def load_benchmarks(path: pathlib.Path) -> dict[str, float]:
+    """Benchmark name -> real_time, normalized to nanoseconds."""
+    scale = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
+    doc = json.loads(path.read_text(encoding="utf-8"))
+    times: dict[str, float] = {}
+    for bench in doc.get("benchmarks", []):
+        # Aggregate rows (mean/median/stddev of repetitions) would be
+        # double-counted next to their iteration rows; skip them.
+        if bench.get("run_type") == "aggregate":
+            continue
+        times[bench["name"]] = bench["real_time"] * scale[bench["time_unit"]]
+    return times
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline", type=pathlib.Path)
+    parser.add_argument("candidate", type=pathlib.Path)
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.10,
+        help="allowed geomean slowdown as a fraction (default 0.10 = 10%%)",
+    )
+    args = parser.parse_args()
+
+    baseline = load_benchmarks(args.baseline)
+    candidate = load_benchmarks(args.candidate)
+    if not baseline:
+        print(f"error: no benchmarks in baseline {args.baseline}")
+        return 2
+
+    shared = sorted(baseline.keys() & candidate.keys())
+    for name in sorted(baseline.keys() - candidate.keys()):
+        print(f"note: only in baseline (removed?): {name}")
+    for name in sorted(candidate.keys() - baseline.keys()):
+        print(f"note: only in candidate (new?): {name}")
+    if not shared:
+        print("error: no benchmark names in common; nothing to compare")
+        return 2
+
+    width = max(len(name) for name in shared)
+    log_sum = 0.0
+    for name in shared:
+        ratio = candidate[name] / baseline[name]
+        log_sum += math.log(ratio)
+        print(f"{name:<{width}}  baseline {baseline[name] / 1e6:10.3f} ms"
+              f"  candidate {candidate[name] / 1e6:10.3f} ms"
+              f"  ratio {ratio:6.3f}")
+    geomean = math.exp(log_sum / len(shared))
+    limit = 1.0 + args.threshold
+
+    print(f"\ngeomean ratio over {len(shared)} shared benchmarks: "
+          f"{geomean:.3f} (limit {limit:.3f})")
+    if geomean > limit:
+        print(f"FAIL: candidate is {(geomean - 1.0) * 100:.1f}% slower than "
+              f"the baseline (threshold {args.threshold * 100:.0f}%)")
+        return 1
+    print("OK: within the regression threshold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
