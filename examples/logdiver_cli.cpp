@@ -31,9 +31,17 @@
 // are bit-identical at any thread count.  The streaming/--snapshot-dir
 // path is single-threaded by design and ignores it.
 //
+//   With --fleet-workers N, analyze fans the bundle across N supervised
+//   worker processes (ownership-sharded by apid) and merges their
+//   partial aggregates; the merged report is bit-identical to the
+//   serial analyzer's.  --shard-timeout caps each shard attempt's wall
+//   clock (ms) before SIGKILL escalation; --fleet-budget M tolerates up
+//   to M dropped shards (report degrades with a coverage annotation
+//   instead of failing).
+//
 // Exit codes: 0 success, 1 analysis error, 2 usage, 3 a fail-fast
 // ingest error budget tripped, 4 the crash-restart budget was
-// exhausted.
+// exhausted, 5 the fleet failure budget was exhausted.
 #include <cstdlib>
 #include <cstring>
 #include <filesystem>
@@ -44,6 +52,7 @@
 #include "common/obs/manifest.hpp"
 #include "common/obs/trace.hpp"
 #include "logdiver/export.hpp"
+#include "logdiver/fleet/supervisor.hpp"
 #include "logdiver/logdiver.hpp"
 #include "logdiver/report.hpp"
 #include "logdiver/resume.hpp"
@@ -57,6 +66,7 @@ namespace {
 /// as 128+signal).
 constexpr int kExitIngestBudget = 3;
 constexpr int kExitRestartsExhausted = 4;
+constexpr int kExitFleetBudget = 5;
 
 int Usage() {
   std::cerr << "usage:\n"
@@ -65,6 +75,8 @@ int Usage() {
             << "  logdiver_cli analyze <dir> [--small] [--csv <outdir>]\n"
             << "      [--threads N] [--snapshot-dir <dir>] "
                "[--snapshot-interval N] [--resume]\n"
+            << "      [--fleet-workers N] [--shard-timeout MS] "
+               "[--fleet-budget M]\n"
             << "  common: [--manifest-out <file>] [--trace-out <file>]\n";
   return 2;
 }
@@ -85,6 +97,10 @@ int main(int argc, char** argv) {
   std::uint64_t snapshot_interval = 20000;
   bool resume = false;
   int threads = 0;  // 0 = auto (LOGDIVER_THREADS env, else hardware)
+  std::uint32_t fleet_workers = 0;  // 0 = fleet path off
+  std::uint64_t shard_timeout_ms = 120000;
+  bool have_fleet_budget = false;
+  std::uint32_t fleet_budget = 0;
   std::string manifest_out;
   std::string trace_out;
   for (int i = 3; i < argc; ++i) {
@@ -124,6 +140,19 @@ int main(int argc, char** argv) {
       const char* v = next();
       if (!v) return Usage();
       threads = static_cast<int>(std::strtol(v, nullptr, 10));
+    } else if (arg == "--fleet-workers") {
+      const char* v = next();
+      if (!v) return Usage();
+      fleet_workers = static_cast<std::uint32_t>(std::strtoul(v, nullptr, 10));
+    } else if (arg == "--shard-timeout") {
+      const char* v = next();
+      if (!v) return Usage();
+      shard_timeout_ms = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--fleet-budget") {
+      const char* v = next();
+      if (!v) return Usage();
+      have_fleet_budget = true;
+      fleet_budget = static_cast<std::uint32_t>(std::strtoul(v, nullptr, 10));
     } else if (arg == "--manifest-out") {
       const char* v = next();
       if (!v) return Usage();
@@ -153,6 +182,11 @@ int main(int argc, char** argv) {
     manifest.Set("snapshot_dir", snapshot_dir);
     manifest.SetUint("snapshot_interval", snapshot_interval);
     manifest.Set("resume", resume ? "true" : "false");
+  }
+  if (fleet_workers != 0) {
+    manifest.SetUint("fleet_workers", fleet_workers);
+    manifest.SetUint("shard_timeout_ms", shard_timeout_ms);
+    if (have_fleet_budget) manifest.SetUint("fleet_budget", fleet_budget);
   }
   manifest.RecordEnv("LOGDIVER_THREADS");
   manifest.RecordEnv("LD_CRASH_AFTER");
@@ -204,6 +238,64 @@ int main(int argc, char** argv) {
       return finish(1);
     }
     std::cout << "wrote bundle to " << bundle->dir << "\n";
+    return finish(0);
+  }
+
+  if (mode == "analyze" && fleet_workers != 0) {
+    // Fleet path: shard the bundle across worker processes, merge the
+    // partial aggregates, print the merged report.  Partials live in a
+    // throwaway directory removed once the report is out.
+    ld::fleet::FleetOptions options;
+    options.shard_count = fleet_workers;
+    options.shard_timeout_ms = shard_timeout_ms;
+    if (have_fleet_budget) {
+      options.policy = ld::DegradationPolicy::kQuarantineAndContinue;
+      options.failure_budget = fleet_budget;
+    }
+    std::string partial_dir =
+        (std::filesystem::temp_directory_path() / "ld-fleet-XXXXXX").string();
+    if (::mkdtemp(partial_dir.data()) == nullptr) {
+      std::cerr << "cannot create partial dir " << partial_dir << "\n";
+      return finish(1);
+    }
+    options.partial_dir = partial_dir;
+    const ld::fleet::ShardSupervisor supervisor(machine, ld::LogDiverConfig{});
+    auto fleet = supervisor.Run(ld::StreamInputs::FromBundleDir(dir), options);
+    std::error_code ec;
+    std::filesystem::remove_all(partial_dir, ec);
+    if (!fleet.ok()) {
+      std::cerr << "fleet analyze failed: " << fleet.status().ToString()
+                << "\n";
+      return finish(fleet.status().code() == ld::StatusCode::kOutOfRange
+                        ? kExitFleetBudget
+                        : 1);
+    }
+    std::cout << fleet->coverage.Row() << "\n";
+    std::cout << "fleet: " << fleet->runs_finalized << " runs finalized"
+              << " across " << fleet->coverage.shards_merged << " shard(s)\n";
+    std::cout << "\n--- headline ---\n";
+    ld::PrintHeadline(std::cout, fleet->report);
+    std::cout << "\n--- outcomes ---\n";
+    ld::PrintOutcomeBreakdown(std::cout, fleet->report);
+    std::cout << "\n--- error categories ---\n";
+    ld::PrintCategoryTable(std::cout, fleet->report);
+    std::cout << "\n--- attribution ---\n";
+    ld::PrintAttributionTable(std::cout, fleet->report);
+    if (!csv_dir.empty()) {
+      auto exported = ld::ExportMetricsCsv(fleet->report, csv_dir);
+      if (exported.ok()) {
+        std::cout << "\nexported " << *exported << " CSV series to "
+                  << csv_dir << "\n";
+      } else {
+        std::cerr << "csv export failed: " << exported.status().ToString()
+                  << "\n";
+      }
+    }
+    if (!fleet->ingest_status.ok()) {
+      std::cerr << "ingest budget tripped: " << fleet->ingest_status.ToString()
+                << "\n";
+      return finish(kExitIngestBudget);
+    }
     return finish(0);
   }
 

@@ -1,5 +1,7 @@
 #include "common/crashpoint.hpp"
 
+#include <unistd.h>
+
 #include <cstdio>
 #include <cstdlib>
 
@@ -10,30 +12,47 @@ namespace {
 // single-threaded); no atomics needed.
 bool g_armed = false;
 std::uint64_t g_remaining = 0;
+bool g_hang_armed = false;
+std::uint64_t g_hang_remaining = 0;
+bool g_truncate_partial = false;
 bool g_env_checked = false;
+
+std::uint64_t ParseCount(const char* value) {
+  if (value == nullptr || *value == '\0') return 0;
+  char* end = nullptr;
+  const unsigned long long n = std::strtoull(value, &end, 10);
+  if (end == value || *end != '\0') return 0;
+  return n;
+}
 
 void MaybeInitFromEnv() {
   if (g_env_checked) return;
   g_env_checked = true;
-  const char* value = std::getenv(kCrashAfterEnv);
-  if (value == nullptr || *value == '\0') return;
-  char* end = nullptr;
-  const unsigned long long n = std::strtoull(value, &end, 10);
-  if (end == value || *end != '\0' || n == 0) return;
-  g_armed = true;
-  g_remaining = n;
+  if (const std::uint64_t n = ParseCount(std::getenv(kCrashAfterEnv))) {
+    g_armed = true;
+    g_remaining = n;
+  }
+  if (const std::uint64_t n = ParseCount(std::getenv(kHangAfterEnv))) {
+    g_hang_armed = true;
+    g_hang_remaining = n;
+  }
+  const char* trunc = std::getenv(kTruncatePartialEnv);
+  if (trunc != nullptr && *trunc != '\0' &&
+      !(trunc[0] == '0' && trunc[1] == '\0')) {
+    g_truncate_partial = true;
+  }
 }
 
 }  // namespace
 
 void ArmCrashPoint(std::uint64_t after) {
-  g_env_checked = true;  // programmatic arming overrides the env
+  MaybeInitFromEnv();  // settle the env first; programmatic wins after
   g_armed = after != 0;
   g_remaining = after;
 }
 
 void DisarmCrashPoint() {
-  g_env_checked = true;
+  MaybeInitFromEnv();
   g_armed = false;
   g_remaining = 0;
 }
@@ -48,16 +67,52 @@ std::uint64_t CrashPointRemaining() {
   return g_armed ? g_remaining : 0;
 }
 
+void ArmHangPoint(std::uint64_t after) {
+  MaybeInitFromEnv();
+  g_hang_armed = after != 0;
+  g_hang_remaining = after;
+}
+
+void DisarmHangPoint() {
+  MaybeInitFromEnv();
+  g_hang_armed = false;
+  g_hang_remaining = 0;
+}
+
+bool HangPointArmed() {
+  MaybeInitFromEnv();
+  return g_hang_armed;
+}
+
+void ArmTruncatePartial(bool armed) {
+  MaybeInitFromEnv();
+  g_truncate_partial = armed;
+}
+
+bool TruncatePartialArmed() {
+  MaybeInitFromEnv();
+  return g_truncate_partial;
+}
+
 void CrashPoint(std::string_view tag) {
   MaybeInitFromEnv();
-  if (!g_armed) return;
-  if (--g_remaining > 0) return;
-  // Die like a power cut: no destructors, no stream flushing beyond
-  // this one diagnostic line.
-  std::fprintf(stderr, "[crashpoint] injected crash at boundary '%.*s'\n",
-               static_cast<int>(tag.size()), tag.data());
-  std::fflush(stderr);
-  std::_Exit(kCrashExitCode);
+  if (g_armed && --g_remaining == 0) {
+    // Die like a power cut: no destructors, no stream flushing beyond
+    // this one diagnostic line.
+    std::fprintf(stderr, "[crashpoint] injected crash at boundary '%.*s'\n",
+                 static_cast<int>(tag.size()), tag.data());
+    std::fflush(stderr);
+    std::_Exit(kCrashExitCode);
+  }
+  if (g_hang_armed && --g_hang_remaining == 0) {
+    // Stop making progress without dying: only SIGKILL (which pause()
+    // cannot observe) gets the process unstuck, so a supervisor's
+    // timeout escalation is the one recovery path.
+    std::fprintf(stderr, "[crashpoint] injected hang at boundary '%.*s'\n",
+                 static_cast<int>(tag.size()), tag.data());
+    std::fflush(stderr);
+    for (;;) ::pause();
+  }
 }
 
 }  // namespace ld

@@ -84,4 +84,18 @@ inline constexpr const char* kStreamEvictedRunsTotal =
 inline constexpr const char* kStreamEvictedTuplesTotal =
     "ld.stream.evicted_tuples_total";
 
+// --- fleet scale-out (fleet/supervisor.cpp) --------------------------
+inline constexpr const char* kFleetWorkersSpawnedTotal =
+    "ld.fleet.workers_spawned_total";
+inline constexpr const char* kFleetWorkerCrashesTotal =
+    "ld.fleet.worker_crashes_total";
+inline constexpr const char* kFleetWorkerHangsKilledTotal =
+    "ld.fleet.worker_hangs_killed_total";
+inline constexpr const char* kFleetPartialsRejectedTotal =
+    "ld.fleet.partials_rejected_total";
+inline constexpr const char* kFleetRetriesTotal = "ld.fleet.retries_total";
+inline constexpr const char* kFleetShardsDroppedTotal =
+    "ld.fleet.shards_dropped_total";
+inline constexpr const char* kFleetMergeMicros = "ld.fleet.merge_micros";
+
 }  // namespace ld::obs::names

@@ -189,6 +189,43 @@ std::optional<TimePoint> StreamingCoalescer::EarliestOpenIncident() const {
   return earliest;
 }
 
+void StreamingCoalescer::MergeFrom(const StreamingCoalescer& other) {
+  stats_.input_events += other.stats_.input_events;
+  stats_.tuples += other.stats_.tuples;
+  stats_.unresolved_locations += other.stats_.unresolved_locations;
+  // Shift the other side's ids past ours: ids are 1-based, so offsetting
+  // by next_id_ - 1 keeps the merged space dense and unique, and makes
+  // the shift compose associatively across repeated merges.
+  const std::uint64_t offset = next_id_ - 1;
+  next_id_ += other.next_id_ - 1;
+  closed_.reserve(closed_.size() + other.closed_.size());
+  for (const ErrorTuple& tuple : other.closed_) {
+    closed_.push_back(tuple);
+    closed_.back().id += offset;
+  }
+  for (const auto& [key, theirs] : other.open_) {
+    ErrorTuple shifted = theirs;
+    shifted.id += offset;
+    auto [it, inserted] = open_.emplace(key, std::move(shifted));
+    if (inserted) continue;
+    // Key collision: the partition was not key-disjoint.  Merge
+    // conservatively rather than dropping either burst.
+    ErrorTuple& mine = it->second;
+    mine.id = std::min(mine.id, theirs.id + offset);
+    mine.first = std::min(mine.first, theirs.first);
+    mine.last = std::max(mine.last, theirs.last);
+    mine.severity = std::max(mine.severity, theirs.severity);
+    mine.count += theirs.count;
+    mine.from_syslog |= theirs.from_syslog;
+    mine.from_hwerr |= theirs.from_hwerr;
+    if (theirs.recovered.has_value()) {
+      mine.recovered = mine.recovered.has_value()
+                           ? std::max(*mine.recovered, *theirs.recovered)
+                           : theirs.recovered;
+    }
+  }
+}
+
 void StreamingCoalescer::SaveState(SnapshotWriter& w) const {
   w.U64(stats_.input_events);
   w.U64(stats_.tuples);

@@ -85,6 +85,18 @@ class StreamingCoalescer {
   std::size_t open_tuples() const { return open_.size(); }
   const CoalesceStats& stats() const { return stats_; }
 
+  /// Folds another coalescer's state into this one (stats sum, closed
+  /// tuples concatenate in merge order, open tuples union).  The
+  /// other side's tuple ids are shifted past this side's id space, so
+  /// merged ids stay unique and the operation is associative; the
+  /// canonical fleet order is ascending shard index.  Intended for
+  /// *key-disjoint* partitions — every (category, location) key fed
+  /// wholly to one side — where the merged tuple set is exactly the
+  /// serial coalescer's (up to id numbering).  A key collision (inputs
+  /// were not disjoint) merges the two open tuples conservatively:
+  /// span-union, max severity, summed counts.
+  void MergeFrom(const StreamingCoalescer& other);
+
   /// Snapshot serialization hooks: open/displaced tuples, the id
   /// counter and the stats round-trip (machine + config stay
   /// construction-time).

@@ -36,6 +36,26 @@
 
 namespace ld {
 
+/// Ownership filter for multi-process scale-out (src/logdiver/fleet).
+/// With count > 1 the analyzer still ingests the whole stream — parsing,
+/// coalescing and the classification context stay bit-identical on
+/// every worker — but folds only its owned runs and tuples into the
+/// metric accumulators.  Ownership is a disjoint partition (runs by
+/// `apid % count`, tuples by coalescer-assigned `id % count`, both
+/// deterministic), which is what makes per-shard accumulators
+/// merge-exact (MetricsAccumulator::MergeFrom).
+struct ShardSpec {
+  std::uint32_t index = 0;
+  std::uint32_t count = 1;
+  bool active() const { return count > 1; }
+  bool OwnsRun(ApId apid) const {
+    return count <= 1 || apid % count == index;
+  }
+  bool OwnsTuple(std::uint64_t tuple_id) const {
+    return count <= 1 || tuple_id % count == index;
+  }
+};
+
 struct LogDiverConfig {
   /// Calendar year of the first syslog line (classic syslog timestamps
   /// carry no year; see SyslogParser).
@@ -53,6 +73,9 @@ struct LogDiverConfig {
   /// Degradation policy, error budgets, quarantine and streaming-state
   /// caps (see logdiver/quarantine.hpp and DESIGN.md).
   IngestConfig ingest;
+  /// Metric-accumulation ownership for fleet workers; the default
+  /// (count = 1) owns everything and is the serial analyzer.
+  ShardSpec shard;
 };
 
 /// The four raw log streams LogDiver consumes.

@@ -16,6 +16,10 @@ constexpr AppOutcome kOutcomeOrder[] = {
 const std::vector<std::pair<std::uint32_t, std::uint32_t>> kWaitBands = {
     {1, 1}, {2, 8}, {9, 64}, {65, 512}, {513, 4096}, {4097, 1u << 30}};
 
+double SecondsToHours(std::int64_t node_seconds) {
+  return static_cast<double>(node_seconds) / 3600.0;
+}
+
 }  // namespace
 
 std::vector<std::pair<std::uint32_t, std::uint32_t>> DefaultXeScaleBuckets() {
@@ -47,7 +51,6 @@ MetricsAccumulator::MetricsAccumulator(MetricsConfig config)
   init_scale(xk_scale_, config_.xk_scale_buckets.empty()
                             ? DefaultXkScaleBuckets()
                             : config_.xk_scale_buckets);
-  waits_.resize(kWaitBands.size());
   // Sized for a realistic campaign's job population; AddRun then never
   // rehashes mid-stream.
   seen_jobs_.reserve(1024);
@@ -65,16 +68,17 @@ void MetricsAccumulator::AddRun(const AppRun& run, const ClassifiedRun& cls) {
     span_hi_ = std::max(span_hi_, run.end);
   }
 
-  // Outcomes + headline.
-  OutcomeRow& orow = outcome_rows_[cls.outcome];
-  orow.outcome = cls.outcome;
+  // Outcomes + headline.  Node-time is summed in integer node-seconds
+  // (lossless: logs are second-granular) so totals are independent of
+  // accumulation and merge order.
+  OutcomeTally& orow = outcome_rows_[cls.outcome];
   ++orow.runs;
-  const double nh = run.NodeHours();
-  orow.node_hours += nh;
-  total_node_hours_ += nh;
+  const std::int64_t ns = run.NodeSeconds();
+  orow.node_seconds += ns;
+  total_node_seconds_ += ns;
   if (cls.outcome == AppOutcome::kSystemFailure) {
     ++system_failures_;
-    lost_node_hours_ += nh;
+    lost_node_seconds_ += ns;
   }
 
   // Scale curves (unknown outcomes excluded).
@@ -110,27 +114,30 @@ void MetricsAccumulator::AddRun(const AppRun& run, const ClassifiedRun& cls) {
 
   // Monthly series.
   const CalendarTime c = ToCalendar(run.end);
-  MonthlyPoint& mp = monthly_[{c.year, c.month}];
-  mp.year = c.year;
-  mp.month = c.month;
+  MonthlyTally& mp = monthly_[{c.year, c.month}];
   ++mp.runs;
-  mp.node_hours += nh;
+  mp.node_seconds += ns;
   if (cls.outcome == AppOutcome::kSystemFailure) {
     ++mp.system_failures;
-    mp.lost_node_hours += nh;
+    mp.lost_node_seconds += ns;
   }
 
   if (cls.outcome == AppOutcome::kSystemFailure) {
     failed_jobs_.insert(run.jobid);
   }
 
-  // Queue waits, once per job.
-  if (run.job_start >= run.job_submit && seen_jobs_.insert(run.jobid).second) {
-    const double wait = run.queue_wait().hours();
+  // Queue waits, once per job: the job's lowest-apid run with a
+  // submit->start record wins, so the winner (and hence the sample set)
+  // does not depend on the order runs arrive or which shard saw them.
+  if (run.job_start >= run.job_submit) {
+    seen_jobs_.insert(run.jobid);
     for (std::size_t b = 0; b < kWaitBands.size(); ++b) {
       if (run.nodect >= kWaitBands[b].first &&
           run.nodect <= kWaitBands[b].second) {
-        waits_[b].push_back(wait);
+        WaitSample sample{run.apid, static_cast<std::uint32_t>(b),
+                          run.queue_wait()};
+        auto [it, inserted] = waits_.emplace(run.jobid, sample);
+        if (!inserted && sample.apid < it->second.apid) it->second = sample;
         break;
       }
     }
@@ -153,7 +160,8 @@ void MetricsAccumulator::AddTuple(const ErrorTuple& tuple) {
 MetricsReport MetricsAccumulator::Report() const {
   MetricsReport report;
   report.total_runs = total_runs_;
-  report.total_node_hours = total_node_hours_;
+  const double total_node_hours = SecondsToHours(total_node_seconds_);
+  report.total_node_hours = total_node_hours;
   const double span_hours = have_span_ ? (span_hi_ - span_lo_).hours() : 0.0;
 
   report.outcomes.reserve(outcome_rows_.size());
@@ -164,12 +172,15 @@ MetricsReport MetricsAccumulator::Report() const {
   for (AppOutcome o : kOutcomeOrder) {
     const auto it = outcome_rows_.find(o);
     if (it == outcome_rows_.end()) continue;
-    OutcomeRow row = it->second;
+    OutcomeRow row;
+    row.outcome = o;
+    row.runs = it->second.runs;
+    row.node_hours = SecondsToHours(it->second.node_seconds);
     row.runs_share = total_runs_ ? static_cast<double>(row.runs) /
                                        static_cast<double>(total_runs_)
                                  : 0.0;
     row.node_hours_share =
-        total_node_hours_ > 0.0 ? row.node_hours / total_node_hours_ : 0.0;
+        total_node_hours > 0.0 ? row.node_hours / total_node_hours : 0.0;
     report.outcomes.push_back(row);
   }
   report.system_failure_fraction =
@@ -177,7 +188,10 @@ MetricsReport MetricsAccumulator::Report() const {
                         static_cast<double>(total_runs_)
                   : 0.0;
   report.lost_node_hours_fraction =
-      total_node_hours_ > 0.0 ? lost_node_hours_ / total_node_hours_ : 0.0;
+      total_node_seconds_ > 0
+          ? static_cast<double>(lost_node_seconds_) /
+                static_cast<double>(total_node_seconds_)
+          : 0.0;
   report.overall_mtti_hours =
       system_failures_ > 0
           ? span_hours / static_cast<double>(system_failures_)
@@ -215,11 +229,17 @@ MetricsReport MetricsAccumulator::Report() const {
   }
 
   for (const auto& [ym, p] : monthly_) {
-    MonthlyPoint out = p;
-    const TimePoint month_start = TimePoint::FromCalendar(p.year, p.month, 1);
+    MonthlyPoint out;
+    out.year = ym.first;
+    out.month = ym.second;
+    out.runs = p.runs;
+    out.system_failures = p.system_failures;
+    out.node_hours = SecondsToHours(p.node_seconds);
+    out.lost_node_hours = SecondsToHours(p.lost_node_seconds);
+    const TimePoint month_start = TimePoint::FromCalendar(out.year, out.month, 1);
     const TimePoint next =
-        p.month == 12 ? TimePoint::FromCalendar(p.year + 1, 1, 1)
-                      : TimePoint::FromCalendar(p.year, p.month + 1, 1);
+        out.month == 12 ? TimePoint::FromCalendar(out.year + 1, 1, 1)
+                        : TimePoint::FromCalendar(out.year, out.month + 1, 1);
     const double hours = (next - month_start).hours();
     out.mtti_hours = p.system_failures > 0
                          ? hours / static_cast<double>(p.system_failures)
@@ -236,8 +256,15 @@ MetricsReport MetricsAccumulator::Report() const {
             : 0.0;
   }
 
+  // Regroup the per-job winners into bands.  Iterating the jobid-keyed
+  // map gives a canonical order, so the per-band sums and quantile
+  // inputs are identical however the samples were accumulated.
+  std::vector<std::vector<double>> band_samples(kWaitBands.size());
+  for (const auto& [jobid, sample] : waits_) {
+    band_samples[sample.band].push_back(sample.wait.hours());
+  }
   for (std::size_t b = 0; b < kWaitBands.size(); ++b) {
-    const std::vector<double>& samples = waits_[b];
+    const std::vector<double>& samples = band_samples[b];
     if (samples.empty()) continue;
     QueueWaitRow row;
     row.lo = kWaitBands[b].first;
@@ -259,11 +286,82 @@ MetricsReport MetricsAccumulator::Report() const {
   return report;
 }
 
+void MetricsAccumulator::MergeFrom(const MetricsAccumulator& other) {
+  LD_CHECK(xe_scale_.size() == other.xe_scale_.size() &&
+               xk_scale_.size() == other.xk_scale_.size(),
+           "MergeFrom requires accumulators with the same scale buckets");
+
+  total_runs_ += other.total_runs_;
+  total_node_seconds_ += other.total_node_seconds_;
+  system_failures_ += other.system_failures_;
+  lost_node_seconds_ += other.lost_node_seconds_;
+  if (other.have_span_) {
+    if (!have_span_) {
+      span_lo_ = other.span_lo_;
+      span_hi_ = other.span_hi_;
+      have_span_ = true;
+    } else {
+      span_lo_ = std::min(span_lo_, other.span_lo_);
+      span_hi_ = std::max(span_hi_, other.span_hi_);
+    }
+  }
+
+  for (const auto& [outcome, tally] : other.outcome_rows_) {
+    OutcomeTally& mine = outcome_rows_[outcome];
+    mine.runs += tally.runs;
+    mine.node_seconds += tally.node_seconds;
+  }
+  for (const auto& [category, row] : other.cat_rows_) {
+    CategoryRow& mine = cat_rows_[category];
+    mine.category = category;
+    mine.tuples += row.tuples;
+    mine.fatal_tuples += row.fatal_tuples;
+    mine.raw_events += row.raw_events;
+  }
+  for (const auto& [cause, row] : other.attr_rows_) {
+    AttributionRow& mine = attr_rows_[cause];
+    mine.cause = cause;
+    mine.xe_failures += row.xe_failures;
+    mine.xk_failures += row.xk_failures;
+  }
+  for (auto [mine, theirs] : {std::pair{&xe_scale_, &other.xe_scale_},
+                              std::pair{&xk_scale_, &other.xk_scale_}}) {
+    for (std::size_t i = 0; i < mine->size(); ++i) {
+      LD_CHECK((*mine)[i].lo == (*theirs)[i].lo &&
+                   (*mine)[i].hi == (*theirs)[i].hi,
+               "MergeFrom requires accumulators with the same scale buckets");
+      (*mine)[i].runs += (*theirs)[i].runs;
+      (*mine)[i].system_failures += (*theirs)[i].system_failures;
+    }
+  }
+  for (const auto& [ym, tally] : other.monthly_) {
+    MonthlyTally& mine = monthly_[ym];
+    mine.runs += tally.runs;
+    mine.system_failures += tally.system_failures;
+    mine.node_seconds += tally.node_seconds;
+    mine.lost_node_seconds += tally.lost_node_seconds;
+  }
+  for (auto [mine, theirs] : {std::pair{&xe_gap_, &other.xe_gap_},
+                              std::pair{&xk_gap_, &other.xk_gap_}}) {
+    mine->system_failures += theirs->system_failures;
+    mine->attributed += theirs->attributed;
+    mine->unattributed += theirs->unattributed;
+  }
+  incidents_ += other.incidents_;
+  for (const Interval& iv : other.downtime_.intervals()) downtime_.Add(iv);
+  seen_jobs_.insert(other.seen_jobs_.begin(), other.seen_jobs_.end());
+  failed_jobs_.insert(other.failed_jobs_.begin(), other.failed_jobs_.end());
+  for (const auto& [jobid, sample] : other.waits_) {
+    auto [it, inserted] = waits_.emplace(jobid, sample);
+    if (!inserted && sample.apid < it->second.apid) it->second = sample;
+  }
+}
+
 void MetricsAccumulator::SaveState(SnapshotWriter& w) const {
   w.U64(total_runs_);
-  w.F64(total_node_hours_);
+  w.I64(total_node_seconds_);
   w.U64(system_failures_);
-  w.F64(lost_node_hours_);
+  w.I64(lost_node_seconds_);
   w.Time(span_lo_);
   w.Time(span_hi_);
   w.Bool(have_span_);
@@ -271,9 +369,8 @@ void MetricsAccumulator::SaveState(SnapshotWriter& w) const {
   w.U32(static_cast<std::uint32_t>(outcome_rows_.size()));
   for (const auto& [outcome, row] : outcome_rows_) {
     w.U8(static_cast<std::uint8_t>(outcome));
-    w.U8(static_cast<std::uint8_t>(row.outcome));
     w.U64(row.runs);
-    w.F64(row.node_hours);
+    w.I64(row.node_seconds);
   }
 
   w.U32(static_cast<std::uint32_t>(cat_rows_.size()));
@@ -307,12 +404,10 @@ void MetricsAccumulator::SaveState(SnapshotWriter& w) const {
   for (const auto& [ym, p] : monthly_) {
     w.I32(ym.first);
     w.I32(ym.second);
-    w.I32(p.year);
-    w.I32(p.month);
     w.U64(p.runs);
     w.U64(p.system_failures);
-    w.F64(p.node_hours);
-    w.F64(p.lost_node_hours);
+    w.I64(p.node_seconds);
+    w.I64(p.lost_node_seconds);
   }
 
   for (const DetectionGapRow* gap : {&xe_gap_, &xk_gap_}) {
@@ -337,26 +432,21 @@ void MetricsAccumulator::SaveState(SnapshotWriter& w) const {
     for (JobId id : sorted) w.U64(id);
   }
 
-  // Only touched bands are written (band index + samples), matching the
-  // sparse-map layout this dense vector replaced.
-  std::uint32_t touched = 0;
-  for (const std::vector<double>& samples : waits_) {
-    if (!samples.empty()) ++touched;
-  }
-  w.U32(touched);
-  for (std::size_t b = 0; b < waits_.size(); ++b) {
-    if (waits_[b].empty()) continue;
-    w.U64(b);
-    w.U32(static_cast<std::uint32_t>(waits_[b].size()));
-    for (double s : waits_[b]) w.F64(s);
+  // Per-job winners in jobid order (the map's iteration order).
+  w.U32(static_cast<std::uint32_t>(waits_.size()));
+  for (const auto& [jobid, sample] : waits_) {
+    w.U64(jobid);
+    w.U64(sample.apid);
+    w.U32(sample.band);
+    w.I64(sample.wait.seconds());
   }
 }
 
 void MetricsAccumulator::LoadState(SnapshotReader& r) {
   total_runs_ = r.U64();
-  total_node_hours_ = r.F64();
+  total_node_seconds_ = r.I64();
   system_failures_ = r.U64();
-  lost_node_hours_ = r.F64();
+  lost_node_seconds_ = r.I64();
   span_lo_ = r.Time();
   span_hi_ = r.Time();
   have_span_ = r.Bool();
@@ -365,10 +455,9 @@ void MetricsAccumulator::LoadState(SnapshotReader& r) {
   const std::uint32_t outcomes = r.U32();
   for (std::uint32_t i = 0; i < outcomes && r.ok(); ++i) {
     const auto key = static_cast<AppOutcome>(r.U8());
-    OutcomeRow row;
-    row.outcome = static_cast<AppOutcome>(r.U8());
+    OutcomeTally row;
     row.runs = r.U64();
-    row.node_hours = r.F64();
+    row.node_seconds = r.I64();
     outcome_rows_.emplace(key, row);
   }
 
@@ -414,13 +503,11 @@ void MetricsAccumulator::LoadState(SnapshotReader& r) {
   for (std::uint32_t i = 0; i < months && r.ok(); ++i) {
     const int key_year = r.I32();
     const int key_month = r.I32();
-    MonthlyPoint p;
-    p.year = r.I32();
-    p.month = r.I32();
+    MonthlyTally p;
     p.runs = r.U64();
     p.system_failures = r.U64();
-    p.node_hours = r.F64();
-    p.lost_node_hours = r.F64();
+    p.node_seconds = r.I64();
+    p.lost_node_seconds = r.I64();
     monthly_.emplace(std::make_pair(key_year, key_month), p);
   }
 
@@ -450,20 +537,19 @@ void MetricsAccumulator::LoadState(SnapshotReader& r) {
     }
   }
 
-  waits_.assign(kWaitBands.size(), {});
-  const std::uint32_t bands = r.U32();
-  for (std::uint32_t i = 0; i < bands && r.ok(); ++i) {
-    const std::uint64_t band = r.U64();
-    const std::uint32_t samples = r.U32();
-    if (band >= waits_.size()) {
+  waits_.clear();
+  const std::uint32_t jobs = r.U32();
+  for (std::uint32_t i = 0; i < jobs && r.ok(); ++i) {
+    const JobId jobid = r.U64();
+    WaitSample sample;
+    sample.apid = r.U64();
+    sample.band = r.U32();
+    sample.wait = Duration(r.I64());
+    if (sample.band >= kWaitBands.size()) {
       r.Fail("queue-wait band out of range");
       return;
     }
-    std::vector<double>& out = waits_[static_cast<std::size_t>(band)];
-    if (r.ok()) out.reserve(samples);
-    for (std::uint32_t j = 0; j < samples && r.ok(); ++j) {
-      out.push_back(r.F64());
-    }
+    waits_.emplace(jobid, sample);
   }
 }
 

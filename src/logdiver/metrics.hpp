@@ -135,9 +135,18 @@ struct MetricsReport {
 /// Incremental metric accumulation: feed (run, classification) pairs and
 /// tuples in any order, read the report whenever needed.  This is what
 /// lets the streaming analyzer keep O(aggregates) state instead of
-/// retaining every run.  (Queue-wait percentiles keep one double per job
-/// and the job-dedup set keeps one id per job; everything else is
+/// retaining every run.  (Queue-wait samples keep one entry per job and
+/// the job-dedup set keeps one id per job; everything else is
 /// fixed-size.)
+///
+/// The accumulator is a *mergeable partial aggregate*: every tally is
+/// either an exact integer sum (node-time is tracked in node-seconds,
+/// not floating node-hours), a min/max, a set union, or a keyed
+/// minimum, so MergeFrom is associative and commutative and disjoint
+/// shard partials merge to the serial accumulator's exact state —
+/// byte-identical SaveState output, bit-identical Report numbers.
+/// Floating point appears only in Report(), computed once from the
+/// merged integers.
 class MetricsAccumulator {
  public:
   explicit MetricsAccumulator(MetricsConfig config = {});
@@ -145,32 +154,64 @@ class MetricsAccumulator {
   void AddRun(const AppRun& run, const ClassifiedRun& cls);
   void AddTuple(const ErrorTuple& tuple);
 
+  /// Folds another accumulator's tallies into this one.  Both sides
+  /// must be built with the same config (scale-bucket geometry is
+  /// checked).  The canonical fleet merge order is ascending shard
+  /// index, but the algebra does not depend on it: sums, min/max, set
+  /// unions and the min-apid queue-wait rule are order-free.  Merging
+  /// partials whose inputs overlap double-counts; callers own the
+  /// disjoint-partition invariant (fleet shards own runs by
+  /// `apid % shard_count` and tuples by `id % shard_count`).
+  void MergeFrom(const MetricsAccumulator& other);
+
   /// Snapshot of the metrics over everything accumulated so far.
   MetricsReport Report() const;
 
   /// Checkpoint serialization hooks: every accumulator (scale buckets,
   /// monthly/outcome/category/attribution maps, downtime intervals,
-  /// job-dedup sets, queue-wait samples) round-trips exactly — doubles
-  /// by bit pattern — so a restored accumulator reports bit-identical
-  /// numbers.  The config stays construction-time; Restore expects an
-  /// accumulator built with the same config.
+  /// job-dedup sets, queue-wait samples) round-trips exactly, so a
+  /// restored accumulator reports bit-identical numbers.  The config
+  /// stays construction-time; Restore expects an accumulator built with
+  /// the same config.
   void SaveState(SnapshotWriter& w) const;
   void LoadState(SnapshotReader& r);
 
  private:
+  /// Internal integer tallies mirroring the report rows; doubles are
+  /// derived in Report() so merge order can never perturb a bit.
+  struct OutcomeTally {
+    std::uint64_t runs = 0;
+    std::int64_t node_seconds = 0;
+  };
+  struct MonthlyTally {
+    std::uint64_t runs = 0;
+    std::uint64_t system_failures = 0;
+    std::int64_t node_seconds = 0;
+    std::int64_t lost_node_seconds = 0;
+  };
+  /// The queue-wait sample a job contributes: from its lowest-apid run
+  /// that has a submit->start record.  Keying the winner on apid (not
+  /// arrival order) keeps the sample set identical no matter which
+  /// shard sees which run first.
+  struct WaitSample {
+    ApId apid = 0;
+    std::uint32_t band = 0;  // kWaitBands index
+    Duration wait{0};
+  };
+
   MetricsConfig config_;
   std::uint64_t total_runs_ = 0;
-  double total_node_hours_ = 0.0;
+  std::int64_t total_node_seconds_ = 0;
   std::uint64_t system_failures_ = 0;
-  double lost_node_hours_ = 0.0;
+  std::int64_t lost_node_seconds_ = 0;
   TimePoint span_lo_, span_hi_;
   bool have_span_ = false;
-  std::map<AppOutcome, OutcomeRow> outcome_rows_;
+  std::map<AppOutcome, OutcomeTally> outcome_rows_;
   std::map<ErrorCategory, CategoryRow> cat_rows_;
   std::map<ErrorCategory, AttributionRow> attr_rows_;
   std::vector<ScalePoint> xe_scale_;
   std::vector<ScalePoint> xk_scale_;
-  std::map<std::pair<int, int>, MonthlyPoint> monthly_;
+  std::map<std::pair<int, int>, MonthlyTally> monthly_;
   DetectionGapRow xe_gap_{NodeType::kXE, 0, 0, 0, 0.0};
   DetectionGapRow xk_gap_{NodeType::kXK, 0, 0, 0, 0.0};
   std::uint64_t incidents_ = 0;
@@ -180,9 +221,8 @@ class MetricsAccumulator {
   /// deterministic and match the old ordered-set layout.
   std::unordered_set<JobId> seen_jobs_;
   std::unordered_set<JobId> failed_jobs_;
-  /// Queue-wait samples, one slot per kWaitBands entry (dense: band
-  /// index is the vector index, empty slot = band never hit).
-  std::vector<std::vector<double>> waits_;
+  /// One queue-wait sample per job, min-apid winner (see WaitSample).
+  std::map<JobId, WaitSample> waits_;
 };
 
 /// One-shot convenience over MetricsAccumulator.

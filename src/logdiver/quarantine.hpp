@@ -147,6 +147,21 @@ struct IngestStats {
            evicted_pending_runs == 0 && evicted_tuples == 0 &&
            budget_exhausted_sources == 0 && lines_dropped_after_budget == 0;
   }
+
+  /// Counter-wise sum; associative and commutative, so partial stats
+  /// from disjoint inputs merge in any order.
+  void MergeFrom(const IngestStats& other) {
+    quarantined += other.quarantined;
+    quarantine_overflow += other.quarantine_overflow;
+    duplicate_placements += other.duplicate_placements;
+    duplicate_terminations += other.duplicate_terminations;
+    duplicate_job_records += other.duplicate_job_records;
+    watermark_regressions += other.watermark_regressions;
+    evicted_pending_runs += other.evicted_pending_runs;
+    evicted_tuples += other.evicted_tuples;
+    budget_exhausted_sources += other.budget_exhausted_sources;
+    lines_dropped_after_budget += other.lines_dropped_after_budget;
+  }
 };
 
 }  // namespace ld

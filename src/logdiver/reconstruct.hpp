@@ -42,8 +42,15 @@ struct AppRun {
   Duration duration() const { return end - start; }
   /// Queue wait of the owning job (start - submit); 0 without a record.
   Duration queue_wait() const { return job_start - job_submit; }
+  /// Exact node-seconds consumed (logs are second-granular, so this is
+  /// lossless).  Integer so accumulator sums are associative — shard
+  /// partials merge to the serial analyzer's exact tallies regardless of
+  /// how runs were split across workers.
+  std::int64_t NodeSeconds() const {
+    return duration().seconds() * static_cast<std::int64_t>(nodect);
+  }
   double NodeHours() const {
-    return duration().hours() * static_cast<double>(nodect);
+    return static_cast<double>(NodeSeconds()) / 3600.0;
   }
 };
 

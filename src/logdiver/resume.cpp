@@ -1,8 +1,10 @@
 #include "logdiver/resume.hpp"
 
+#include <signal.h>
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <vector>
@@ -64,28 +66,130 @@ std::vector<TimePoint> ClaimedTimes(const std::vector<std::string>& lines,
   return times;
 }
 
+/// The four sources of a bundle, loaded into memory with their per-line
+/// claimed times — everything the deterministic merge loop needs.
+struct LoadedBundle {
+  std::vector<std::string> lines[kNumLogSources];
+  std::vector<TimePoint> claimed[kNumLogSources];
+};
+
+Result<LoadedBundle> LoadBundle(const StreamInputs& inputs, int base_year) {
+  LoadedBundle bundle;
+  const std::string* paths[kNumLogSources] = {
+      &inputs.torque_path, &inputs.alps_path, &inputs.syslog_path,
+      &inputs.hwerr_path};
+  for (std::size_t s = 0; s < kNumLogSources; ++s) {
+    LD_ASSIGN_OR_RETURN(bundle.lines[s], ReadLines(*paths[s]));
+    bundle.claimed[s] = ClaimedTimes(bundle.lines[s],
+                                     static_cast<LogSource>(s), base_year);
+  }
+  return bundle;
+}
+
+/// The deterministic merge-replay loop shared by the resumable path and
+/// fleet workers: the head with the earliest claimed time wins (strict
+/// `<` ties toward the lowest source index), watermarks advance on the
+/// total-line schedule.  `heads`/`total` carry restored offsets in and
+/// final positions out; `on_line` (optional) runs after every consumed
+/// line — the resumable path hangs its snapshot schedule there.
+void ReplayLoop(const LoadedBundle& bundle, StreamingAnalyzer& analyzer,
+                const ReplaySchedule& schedule,
+                std::uint64_t heads[kNumLogSources], std::uint64_t& total,
+                const std::function<Status(std::uint64_t total)>& on_line,
+                Status& status) {
+  for (;;) {
+    int pick = -1;
+    for (std::size_t s = 0; s < kNumLogSources; ++s) {
+      if (heads[s] >= bundle.lines[s].size()) continue;
+      if (pick < 0 ||
+          bundle.claimed[s][heads[s]] < bundle.claimed[pick][heads[pick]]) {
+        pick = static_cast<int>(s);
+      }
+    }
+    if (pick < 0) break;
+    const std::string& line = bundle.lines[pick][heads[pick]];
+    const TimePoint time = bundle.claimed[pick][heads[pick]];
+    ++heads[pick];
+    ++total;
+    switch (static_cast<LogSource>(pick)) {
+      case LogSource::kTorque: analyzer.AddTorqueLine(line); break;
+      case LogSource::kAlps: analyzer.AddAlpsLine(line); break;
+      case LogSource::kSyslog: analyzer.AddSyslogLine(line); break;
+      case LogSource::kHwerr: analyzer.AddHwerrLine(line); break;
+    }
+    CrashPoint("ingest");
+    if (schedule.advance_every != 0 && total % schedule.advance_every == 0) {
+      analyzer.Advance(time - schedule.reorder_slack);
+    }
+    if (on_line) {
+      status = on_line(total);
+      if (!status.ok()) return;
+    }
+  }
+}
+
+constexpr std::uint64_t kFnvOffset = 1469598103934665603ull;
+constexpr std::uint64_t kFnvPrime = 1099511628211ull;
+
+void FnvMix(std::uint64_t& h, const void* data, std::size_t size) {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < size; ++i) {
+    h ^= bytes[i];
+    h *= kFnvPrime;
+  }
+}
+
 }  // namespace
+
+Result<std::uint64_t> BundlePartitionFingerprint(const StreamInputs& inputs,
+                                                 std::uint32_t shard_count) {
+  const std::string* paths[kNumLogSources] = {
+      &inputs.torque_path, &inputs.alps_path, &inputs.syslog_path,
+      &inputs.hwerr_path};
+  std::uint64_t h = kFnvOffset;
+  for (std::size_t s = 0; s < kNumLogSources; ++s) {
+    LD_ASSIGN_OR_RETURN(const std::vector<std::string> lines,
+                        ReadLines(*paths[s]));
+    // Source tag + line framing: moving a line between sources, or a
+    // newline between lines, must change the fingerprint.
+    const unsigned char tag = static_cast<unsigned char>(0xF0 + s);
+    FnvMix(h, &tag, 1);
+    for (const std::string& line : lines) {
+      FnvMix(h, line.data(), line.size());
+      const unsigned char nl = '\n';
+      FnvMix(h, &nl, 1);
+    }
+  }
+  const std::uint32_t count = shard_count;
+  FnvMix(h, &count, sizeof(count));
+  // 0 is reserved for "unspecified" in snapshot headers.
+  return h == 0 ? 1 : h;
+}
+
+Result<std::uint64_t> ReplayBundle(const LogDiverConfig& config,
+                                   const StreamInputs& inputs,
+                                   const ReplaySchedule& schedule,
+                                   StreamingAnalyzer& analyzer) {
+  LD_ASSIGN_OR_RETURN(const LoadedBundle bundle,
+                      LoadBundle(inputs, config.syslog_base_year));
+  std::uint64_t heads[kNumLogSources] = {0, 0, 0, 0};
+  std::uint64_t total = 0;
+  Status status;
+  ReplayLoop(bundle, analyzer, schedule, heads, total, nullptr, status);
+  LD_TRY(status);
+  return total;
+}
 
 Result<ResumableSummary> RunResumableAnalysis(const Machine& machine,
                                               const LogDiverConfig& config,
                                               const StreamInputs& inputs,
                                               const ResumeOptions& options) {
-  LD_ASSIGN_OR_RETURN(const std::vector<std::string> torque,
-                      ReadLines(inputs.torque_path));
-  LD_ASSIGN_OR_RETURN(const std::vector<std::string> alps,
-                      ReadLines(inputs.alps_path));
-  LD_ASSIGN_OR_RETURN(const std::vector<std::string> syslog,
-                      ReadLines(inputs.syslog_path));
-  LD_ASSIGN_OR_RETURN(const std::vector<std::string> hwerr,
-                      ReadLines(inputs.hwerr_path));
-  const std::vector<std::string>* files[kNumLogSources] = {&torque, &alps,
-                                                           &syslog, &hwerr};
-
-  std::vector<TimePoint> claimed[kNumLogSources];
-  for (std::size_t s = 0; s < kNumLogSources; ++s) {
-    claimed[s] = ClaimedTimes(*files[s], static_cast<LogSource>(s),
-                              config.syslog_base_year);
-  }
+  LD_ASSIGN_OR_RETURN(const LoadedBundle bundle,
+                      LoadBundle(inputs, config.syslog_base_year));
+  const std::vector<std::string>* files[kNumLogSources] = {
+      &bundle.lines[0], &bundle.lines[1], &bundle.lines[2], &bundle.lines[3]};
+  LD_ASSIGN_OR_RETURN(const std::uint64_t fingerprint,
+                      BundlePartitionFingerprint(inputs, 0));
 
   StreamingAnalyzer analyzer(machine, config);
   ResumableSummary out;
@@ -97,7 +201,9 @@ Result<ResumableSummary> RunResumableAnalysis(const Machine& machine,
   SnapshotStore store(options.snapshot_dir, options.keep_generations);
 
   if (!options.snapshot_dir.empty() && options.resume) {
-    auto loaded = store.LoadLatest();
+    // Fingerprint-gated: a snapshot of a *different* bundle in this
+    // directory is rejected and skipped like a torn one.
+    auto loaded = store.LoadLatest(fingerprint);
     if (loaded.ok()) {
       out.snapshots_rejected = loaded->rejected;
       SnapshotReader r(loaded->payload);
@@ -128,45 +234,28 @@ Result<ResumableSummary> RunResumableAnalysis(const Machine& machine,
   }
 
   LD_OBS_SPAN("resume/replay");
-  for (;;) {
-    // Deterministic merge: the head with the earliest claimed time
-    // wins; strict `<` breaks ties toward the lowest source index.
-    int pick = -1;
-    for (std::size_t s = 0; s < kNumLogSources; ++s) {
-      if (heads[s] >= files[s]->size()) continue;
-      if (pick < 0 ||
-          claimed[s][heads[s]] < claimed[pick][heads[pick]]) {
-        pick = static_cast<int>(s);
-      }
-    }
-    if (pick < 0) break;
-    const std::string& line = (*files[pick])[heads[pick]];
-    const TimePoint time = claimed[pick][heads[pick]];
-    ++heads[pick];
-    ++total;
-    switch (static_cast<LogSource>(pick)) {
-      case LogSource::kTorque: analyzer.AddTorqueLine(line); break;
-      case LogSource::kAlps: analyzer.AddAlpsLine(line); break;
-      case LogSource::kSyslog: analyzer.AddSyslogLine(line); break;
-      case LogSource::kHwerr: analyzer.AddHwerrLine(line); break;
-    }
-    CrashPoint("ingest");
-    // Both schedules key off the *total* line count, which the restored
-    // offsets reproduce exactly — a resumed pass advances and snapshots
-    // at the same lines an uninterrupted one would.
-    if (options.advance_every != 0 && total % options.advance_every == 0) {
-      analyzer.Advance(time - options.reorder_slack);
-    }
-    if (snapshots_enabled && total % options.snapshot_interval == 0) {
-      SnapshotWriter w;
-      w.U32(kResumeStateVersion);
-      for (std::uint64_t head : heads) w.U64(head);
-      analyzer.Snapshot(w);
-      LD_TRY(store.Write(w.bytes()));
-      ++out.snapshots_written;
-      CrashPoint("snapshot");
-    }
-  }
+  // Both schedules key off the *total* line count, which the restored
+  // offsets reproduce exactly — a resumed pass advances and snapshots
+  // at the same lines an uninterrupted one would.
+  const ReplaySchedule schedule{options.advance_every, options.reorder_slack};
+  Status replay_status;
+  ReplayLoop(
+      bundle, analyzer, schedule, heads, total,
+      [&](std::uint64_t total_now) -> Status {
+        if (!snapshots_enabled || total_now % options.snapshot_interval != 0) {
+          return Status::Ok();
+        }
+        SnapshotWriter w;
+        w.U32(kResumeStateVersion);
+        for (std::uint64_t head : heads) w.U64(head);
+        analyzer.Snapshot(w);
+        LD_TRY(store.Write(w.bytes(), fingerprint));
+        ++out.snapshots_written;
+        CrashPoint("snapshot");
+        return Status::Ok();
+      },
+      replay_status);
+  LD_TRY(replay_status);
 
   // Bulk counters once per pass, never per merged line (obs.hpp
   // granularity rule): streamed = lines actually replayed this attempt.
@@ -196,10 +285,38 @@ CrashSupervisor::Outcome CrashSupervisor::Run(
       std::_Exit(rc);
     }
     int status = 0;
-    if (waitpid(pid, &status, 0) < 0) {
-      out.exit_code = -1;
-      return out;
+    bool hung = false;
+    if (options.timeout_ms == 0) {
+      if (waitpid(pid, &status, 0) < 0) {
+        out.exit_code = -1;
+        return out;
+      }
+    } else {
+      // Poll with a wall-clock deadline: a child that stops making
+      // progress (deadlock, injected hang) is escalated to SIGKILL and
+      // handled as a crash — it cannot hang the supervisor forever.
+      const auto deadline = std::chrono::steady_clock::now() +
+                            std::chrono::milliseconds(options.timeout_ms);
+      for (;;) {
+        const pid_t r = waitpid(pid, &status, WNOHANG);
+        if (r == pid) break;
+        if (r < 0) {
+          out.exit_code = -1;
+          return out;
+        }
+        if (std::chrono::steady_clock::now() >= deadline) {
+          ::kill(pid, SIGKILL);
+          if (waitpid(pid, &status, 0) < 0) {
+            out.exit_code = -1;
+            return out;
+          }
+          hung = true;
+          break;
+        }
+        ::usleep(2000);
+      }
     }
+    if (hung) ++out.hangs_killed;
     bool crashed = false;
     int code = 0;
     if (WIFSIGNALED(status)) {

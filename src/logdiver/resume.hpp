@@ -43,6 +43,20 @@ struct StreamInputs {
   }
 };
 
+/// The deterministic advance schedule shared by every replay path
+/// (single-process resume and fleet workers).  Watermark advances key
+/// off the total merged line count, so two replays of the same bundle
+/// with the same schedule make identical Advance() calls — the defaults
+/// must stay in lockstep with ResumeOptions for a fleet worker's
+/// classification context to be bit-identical to the serial analyzer's.
+struct ReplaySchedule {
+  /// Lines between watermark advances.
+  std::uint64_t advance_every = 500;
+  /// Reorder slack subtracted from the claimed head time at each
+  /// advance.
+  Duration reorder_slack = Duration::Minutes(5);
+};
+
 struct ResumeOptions {
   /// Snapshot directory; empty disables both snapshots and resume.
   std::string snapshot_dir;
@@ -88,12 +102,39 @@ Result<ResumableSummary> RunResumableAnalysis(const Machine& machine,
                                               const StreamInputs& inputs,
                                               const ResumeOptions& options);
 
+/// Streams the whole bundle through `analyzer` with the deterministic
+/// merge order and advance schedule of RunResumableAnalysis, but no
+/// snapshotting or resume — the replay core a fleet worker runs.  The
+/// caller owns the analyzer (and calls Finalize()); `config` must be
+/// the one the analyzer was built with (it supplies the syslog base
+/// year for claimed-time recomputation).  Returns total merged lines.
+Result<std::uint64_t> ReplayBundle(const LogDiverConfig& config,
+                                   const StreamInputs& inputs,
+                                   const ReplaySchedule& schedule,
+                                   StreamingAnalyzer& analyzer);
+
+/// Deterministic fingerprint of (bundle bytes, shard partition): FNV-1a
+/// over every source's raw lines, mixed with `shard_count`.  This is
+/// the id stamped into snapshot/partial headers so a loader can tell
+/// "same bundle, same partition" from "stale directory or foreign
+/// partial" without parsing a payload.  `shard_count` 0 is the
+/// single-process resume flavor (no partition); a fleet with N shards
+/// uses N, so partials from a differently-sharded run never merge.
+Result<std::uint64_t> BundlePartitionFingerprint(const StreamInputs& inputs,
+                                                 std::uint32_t shard_count);
+
 /// Process-level restart loop around a crashing analysis attempt.
 class CrashSupervisor {
  public:
   struct Options {
     /// Crashed attempts restarted before giving up.
     int max_restarts = 10;
+    /// Wall-clock budget per attempt, in milliseconds; a child still
+    /// running past it is SIGKILLed and treated as a crash (counted in
+    /// Outcome::hangs_killed and retried like any other).  0 keeps the
+    /// old blocking wait: no timeout, a hung child hangs the
+    /// supervisor.
+    std::uint64_t timeout_ms = 0;
   };
 
   struct Outcome {
@@ -102,6 +143,9 @@ class CrashSupervisor {
     int exit_code = 0;
     int attempts = 0;
     int crashes = 0;
+    /// Attempts that blew the wall-clock budget and were SIGKILLed
+    /// (each is also counted in `crashes`).
+    int hangs_killed = 0;
     /// True when the restart budget ran out on a still-crashing child.
     bool exhausted = false;
   };
@@ -109,8 +153,9 @@ class CrashSupervisor {
   /// Runs `child(attempt)` in a forked process until it exits without
   /// crashing or the restart budget is spent.  `attempt` starts at 0
   /// and increments per run — campaign code uses it to arm a crash
-  /// point on the first attempt only.  A crash is a signal death or an
-  /// exit code >= 128; anything else passes through unretried.
+  /// point on the first attempt only.  A crash is a signal death, an
+  /// exit code >= 128, or a timeout escalation; anything else passes
+  /// through unretried.
   static Outcome Run(const std::function<int(int attempt)>& child,
                      const Options& options);
   static Outcome Run(const std::function<int(int attempt)>& child) {

@@ -26,7 +26,9 @@ namespace fs = std::filesystem;
 /// free byte reserved as zero.
 constexpr std::array<std::uint8_t, 8> kMagic = {'L', 'D', 'S', 'N',
                                                 'A', 'P', 0x1A, 0x00};
-constexpr std::size_t kHeaderSize = kMagic.size() + 4 + 4 + 8;
+// magic | u32 version | u32 payload CRC | u64 payload size | u64 input
+// fingerprint (since version 2).
+constexpr std::size_t kHeaderSize = kMagic.size() + 4 + 4 + 8 + 8;
 
 constexpr char kSnapshotPrefix[] = "snapshot-";
 constexpr char kSnapshotSuffix[] = ".ldsnap";
@@ -437,7 +439,8 @@ std::uint32_t FingerprintIngest(const IngestStats& stats) {
 // --- snapshot files --------------------------------------------------
 
 Status WriteSnapshotFile(const std::string& path,
-                         const std::vector<std::uint8_t>& payload) {
+                         const std::vector<std::uint8_t>& payload,
+                         std::uint64_t fingerprint) {
   LD_OBS_SPAN("snapshot/write");
   const std::uint64_t write_start_ns = LD_OBS_NOW_NS();
   std::vector<std::uint8_t> framed;
@@ -451,6 +454,9 @@ Status WriteSnapshotFile(const std::string& path,
   const std::uint64_t size = payload.size();
   PutU32(scratch, static_cast<std::uint32_t>(size));
   PutU32(scratch + 4, static_cast<std::uint32_t>(size >> 32));
+  framed.insert(framed.end(), scratch, scratch + 8);
+  PutU32(scratch, static_cast<std::uint32_t>(fingerprint));
+  PutU32(scratch + 4, static_cast<std::uint32_t>(fingerprint >> 32));
   framed.insert(framed.end(), scratch, scratch + 8);
   framed.insert(framed.end(), payload.begin(), payload.end());
 
@@ -499,7 +505,8 @@ Status WriteSnapshotFile(const std::string& path,
   return Status::Ok();
 }
 
-Result<std::vector<std::uint8_t>> ReadSnapshotFile(const std::string& path) {
+Result<std::vector<std::uint8_t>> ReadSnapshotFile(
+    const std::string& path, std::uint64_t* fingerprint) {
   std::FILE* f = std::fopen(path.c_str(), "rb");
   if (f == nullptr) {
     return NotFoundError("snapshot: cannot open " + path);
@@ -535,6 +542,9 @@ Result<std::vector<std::uint8_t>> ReadSnapshotFile(const std::string& path) {
   std::vector<std::uint8_t> payload(bytes.begin() + kHeaderSize, bytes.end());
   if (Crc32(payload) != crc) {
     return ParseError("snapshot: " + path + " fails its CRC check");
+  }
+  if (fingerprint != nullptr) {
+    *fingerprint = GetU64(bytes.data() + kMagic.size() + 16);
   }
   return payload;
 }
@@ -574,7 +584,7 @@ std::vector<std::uint64_t> SnapshotStore::Generations() const {
 }
 
 Result<std::uint64_t> SnapshotStore::Write(
-    const std::vector<std::uint8_t>& payload) {
+    const std::vector<std::uint8_t>& payload, std::uint64_t fingerprint) {
   std::error_code ec;
   fs::create_directories(dir_, ec);
   if (ec) {
@@ -583,7 +593,7 @@ Result<std::uint64_t> SnapshotStore::Write(
   }
   const std::vector<std::uint64_t> gens = Generations();
   const std::uint64_t next = gens.empty() ? 1 : gens.back() + 1;
-  LD_TRY(WriteSnapshotFile(PathFor(next), payload));
+  LD_TRY(WriteSnapshotFile(PathFor(next), payload, fingerprint));
   // Prune: keep the newest keep_generations_ (the new one included).
   if (gens.size() + 1 > keep_generations_) {
     const std::size_t drop = gens.size() + 1 - keep_generations_;
@@ -594,24 +604,36 @@ Result<std::uint64_t> SnapshotStore::Write(
   return next;
 }
 
-Result<SnapshotStore::Loaded> SnapshotStore::LoadLatest() const {
+Result<SnapshotStore::Loaded> SnapshotStore::LoadLatest(
+    std::uint64_t expected_fingerprint) const {
   const std::vector<std::uint64_t> gens = Generations();
   Loaded loaded;
   for (auto it = gens.rbegin(); it != gens.rend(); ++it) {
-    auto payload = ReadSnapshotFile(PathFor(*it));
+    std::uint64_t fingerprint = 0;
+    auto payload = ReadSnapshotFile(PathFor(*it), &fingerprint);
+    if (payload.ok() && expected_fingerprint != 0 &&
+        fingerprint != expected_fingerprint) {
+      // Structurally intact but computed from different input: a stale
+      // directory or a foreign partial.  As unusable as a torn file.
+      payload = ParseError("snapshot: " + PathFor(*it) +
+                           " fingerprints a different input");
+    }
     if (payload.ok()) {
       loaded.payload = std::move(*payload);
       loaded.generation = *it;
+      loaded.fingerprint = fingerprint;
       LD_OBS_COUNTER_ADD(obs::names::kSnapshotRestoresTotal, 1);
-      LD_OBS_COUNTER_ADD(obs::names::kSnapshotRejectedTotal, loaded.rejected);
       return loaded;
     }
+    // Counted per rejection (not batched on a successful load) so a
+    // directory whose every generation is bad still shows up.
     ++loaded.rejected;
+    LD_OBS_COUNTER_ADD(obs::names::kSnapshotRejectedTotal, 1);
   }
   return NotFoundError("snapshot: no valid snapshot in " + dir_ +
                        (loaded.rejected != 0
                             ? " (" + std::to_string(loaded.rejected) +
-                                  " rejected as torn/corrupt)"
+                                  " rejected as torn/corrupt/mismatched)"
                             : ""));
 }
 

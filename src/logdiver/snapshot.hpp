@@ -133,19 +133,30 @@ std::uint32_t FingerprintIngest(const IngestStats& stats);
 
 /// On-disk framing version; bump when the header layout changes.  The
 /// analyzer payload carries its own version (see streaming.cpp).
-inline constexpr std::uint32_t kSnapshotFileVersion = 1;
+/// Version 2 added the input fingerprint to the header, making every
+/// snapshot (and every fleet partial built on this framing) a
+/// self-describing unit: a loader can reject a file that belongs to a
+/// different bundle or bundle partition without parsing the payload.
+inline constexpr std::uint32_t kSnapshotFileVersion = 2;
 
-/// Writes `magic | version | crc | size | payload` to `path` atomically:
-/// the bytes go to `path + ".tmp"`, are fsync'd, and the tmp is renamed
-/// over `path`.  A crash at any point leaves either the old file or no
-/// file — never a torn one under the final name.
+/// Writes `magic | version | crc | size | fingerprint | payload` to
+/// `path` atomically: the bytes go to `path + ".tmp"`, are fsync'd, and
+/// the tmp is renamed over `path`.  A crash at any point leaves either
+/// the old file or no file — never a torn one under the final name.
+/// `fingerprint` identifies the input the payload was computed from
+/// (see BundlePartitionFingerprint in resume.hpp); 0 = unspecified.
 Status WriteSnapshotFile(const std::string& path,
-                         const std::vector<std::uint8_t>& payload);
+                         const std::vector<std::uint8_t>& payload,
+                         std::uint64_t fingerprint = 0);
 
 /// Reads and validates a snapshot file: magic, version, declared size
 /// against file size, and payload CRC.  Any mismatch is an error — a
-/// torn/corrupt snapshot must never be silently restored.
-Result<std::vector<std::uint8_t>> ReadSnapshotFile(const std::string& path);
+/// torn/corrupt snapshot must never be silently restored.  The header
+/// fingerprint is returned through `fingerprint` when non-null;
+/// matching it against the caller's input is SnapshotStore's (or the
+/// fleet validator's) job.
+Result<std::vector<std::uint8_t>> ReadSnapshotFile(
+    const std::string& path, std::uint64_t* fingerprint = nullptr);
 
 /// Generation-managed snapshot directory: snapshot-000001.ldsnap,
 /// snapshot-000002.ldsnap, ...  Writes always create the next
@@ -157,17 +168,27 @@ class SnapshotStore {
   /// (min 2, so the newest generation always has a fallback).
   explicit SnapshotStore(std::string dir, std::size_t keep_generations = 2);
 
-  /// Creates the directory if needed and writes the next generation.
-  Result<std::uint64_t> Write(const std::vector<std::uint8_t>& payload);
+  /// Creates the directory if needed and writes the next generation,
+  /// stamping `fingerprint` into the file header (0 = unspecified).
+  Result<std::uint64_t> Write(const std::vector<std::uint8_t>& payload,
+                              std::uint64_t fingerprint = 0);
 
   struct Loaded {
     std::vector<std::uint8_t> payload;
     std::uint64_t generation = 0;
+    /// Header fingerprint of the loaded snapshot.
+    std::uint64_t fingerprint = 0;
     /// Newer generations that failed validation and were skipped.
     std::uint64_t rejected = 0;
   };
   /// Newest valid snapshot; NotFound when the directory holds none.
-  Result<Loaded> LoadLatest() const;
+  /// A non-zero `expected_fingerprint` additionally rejects snapshots
+  /// whose header fingerprint differs — a checkpoint of a *different*
+  /// bundle (the directory was reused, or a partial from another shard
+  /// partition landed here) is as unusable as a torn one, and falls
+  /// back the same way.  Every rejected generation, torn or
+  /// mismatched, bumps `ld.snapshot.rejected_total`.
+  Result<Loaded> LoadLatest(std::uint64_t expected_fingerprint = 0) const;
 
   /// Existing generation numbers, ascending.
   std::vector<std::uint64_t> Generations() const;

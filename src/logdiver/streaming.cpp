@@ -10,7 +10,11 @@ namespace {
 
 /// Analyzer payload layout version; bump on any member-order or
 /// encoding change (docs/FORMATS.md documents the current layout).
-constexpr std::uint32_t kStreamStateVersion = 1;
+// Version 2: MetricsAccumulator state moved to integer node-second
+// tallies and per-job queue-wait winners (the mergeable-aggregate
+// refactor); version-1 snapshots are rejected and analysis restarts
+// from the raw logs.
+constexpr std::uint32_t kStreamStateVersion = 2;
 
 }  // namespace
 
@@ -205,8 +209,13 @@ void StreamingAnalyzer::ClassifyBatch(std::vector<AppRun>&& batch) {
                                        tuple_buffer_.end());
   const std::vector<ClassifiedRun> classified =
       correlator_.Classify(batch, tuples);
+  // Classification context (tuple buffer, batch composition) is the
+  // same on every fleet worker; only the fold into the accumulator is
+  // ownership-filtered, so shard partials merge without double counting.
   for (const ClassifiedRun& cls : classified) {
-    metrics_.AddRun(batch[cls.run_index], cls);
+    if (config_.shard.OwnsRun(batch[cls.run_index].apid)) {
+      metrics_.AddRun(batch[cls.run_index], cls);
+    }
   }
   LD_OBS_COUNTER_ADD(obs::names::kStreamRunsFinalizedTotal, batch.size());
   runs_finalized_ += batch.size();
@@ -292,9 +301,12 @@ std::size_t StreamingAnalyzer::Advance(TimePoint watermark) {
     have_watermark_ = true;
   }
 
-  // 1. Close coalescer windows and buffer the flushed tuples.
+  // 1. Close coalescer windows and buffer the flushed tuples.  Tuple
+  //    ids are assigned deterministically by the coalescer (identical
+  //    on every fleet worker), so `id % shard_count` is a consistent
+  //    disjoint ownership partition.
   for (ErrorTuple& tuple : coalescer_.Flush(watermark)) {
-    metrics_.AddTuple(tuple);
+    if (config_.shard.OwnsTuple(tuple.id)) metrics_.AddTuple(tuple);
     tuple_buffer_.push_back(std::move(tuple));
   }
   EnforceBounds();
@@ -325,7 +337,7 @@ StreamingAnalyzer::Summary StreamingAnalyzer::Finalize() {
   Summary summary;
   // Flush every tuple, then classify every remaining terminated run.
   for (ErrorTuple& tuple : coalescer_.FlushAll()) {
-    metrics_.AddTuple(tuple);
+    if (config_.shard.OwnsTuple(tuple.id)) metrics_.AddTuple(tuple);
     tuple_buffer_.push_back(std::move(tuple));
   }
   std::vector<AppRun> batch(std::make_move_iterator(pending_.begin()),

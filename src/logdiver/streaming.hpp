@@ -105,6 +105,9 @@ class StreamingAnalyzer {
 
   std::uint64_t runs_finalized() const { return runs_finalized_; }
 
+  /// The (possibly shard-filtered) metric accumulator — what a fleet
+  /// worker ships as its mergeable partial aggregate.
+  const MetricsAccumulator& metrics_accumulator() const { return metrics_; }
   /// Ingestion-health counters accumulated so far.
   const IngestStats& ingest_stats() const { return ingest_; }
   /// Rejected lines captured with reasons (bounded).

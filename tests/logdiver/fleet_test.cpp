@@ -1,0 +1,198 @@
+// Fleet subsystem tests: shard ownership, partial-snapshot records and
+// the supervisor's happy path + validation edges.  The full worker-fault
+// sweep lives in bench/fleet_campaign (ctest label `fleet`).
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <filesystem>
+#include <set>
+#include <string>
+
+#include "logdiver/fleet/supervisor.hpp"
+#include "logdiver/snapshot.hpp"
+#include "logdiver/streaming.hpp"
+#include "simlog/scenario.hpp"
+
+namespace ld {
+namespace {
+
+TEST(ShardSpec, EveryIdIsOwnedByExactlyOneShard) {
+  for (std::uint32_t count : {1u, 2u, 3u, 8u}) {
+    for (std::uint64_t id = 0; id < 1000; ++id) {
+      int owners = 0;
+      for (std::uint32_t i = 0; i < count; ++i) {
+        const ShardSpec spec{i, count};
+        if (spec.OwnsRun(id)) ++owners;
+      }
+      EXPECT_EQ(owners, 1) << "id " << id << " count " << count;
+    }
+  }
+}
+
+TEST(ShardSpec, InactiveSpecOwnsEverything) {
+  const ShardSpec spec;  // count <= 1: the serial analyzer
+  EXPECT_FALSE(spec.active());
+  EXPECT_TRUE(spec.OwnsRun(0));
+  EXPECT_TRUE(spec.OwnsRun(12345));
+  EXPECT_TRUE(spec.OwnsTuple(999));
+}
+
+class PartialFileTest : public ::testing::Test {
+ protected:
+  std::string Path(const std::string& name) const {
+    return testing::TempDir() + "partial_test_" + name;
+  }
+  fleet::PartialAggregates Make() const {
+    fleet::PartialAggregates p;
+    p.header.shard_index = 2;
+    p.header.shard_count = 4;
+    p.header.fingerprint = 0xABCDEF0123456789ull;
+    p.runs_finalized = 77;
+    p.unterminated_runs = 3;
+    p.torque_stats.lines = 123;
+    p.coalesce_stats.tuples = 9;
+    p.ingest.quarantined = 5;
+    return p;
+  }
+};
+
+TEST_F(PartialFileTest, RoundTripsThroughDisk) {
+  const std::string path = Path("roundtrip.ldsnap");
+  const fleet::PartialAggregates p = Make();
+  ASSERT_TRUE(fleet::WritePartialFile(path, p).ok());
+  auto read = fleet::ReadPartialFile(path, {});
+  ASSERT_TRUE(read.ok()) << read.status().ToString();
+  EXPECT_EQ(read->header.shard_index, 2u);
+  EXPECT_EQ(read->header.shard_count, 4u);
+  EXPECT_EQ(read->header.fingerprint, 0xABCDEF0123456789ull);
+  EXPECT_EQ(read->runs_finalized, 77u);
+  EXPECT_EQ(read->unterminated_runs, 3u);
+  EXPECT_EQ(read->torque_stats.lines, 123u);
+  EXPECT_EQ(read->coalesce_stats.tuples, 9u);
+  EXPECT_EQ(read->ingest.quarantined, 5u);
+  std::filesystem::remove(path);
+}
+
+TEST_F(PartialFileTest, TornPartialIsRejected) {
+  const std::string path = Path("torn.ldsnap");
+  ASSERT_TRUE(fleet::WritePartialFile(path, Make()).ok());
+  const auto size = std::filesystem::file_size(path);
+  std::filesystem::resize_file(path, size / 2);
+  EXPECT_FALSE(fleet::ReadPartialFile(path, {}).ok());
+  std::filesystem::remove(path);
+}
+
+TEST_F(PartialFileTest, HeaderPayloadFingerprintDisagreementIsRejected) {
+  // The fingerprint lives both in the file header (checked before
+  // payload parsing) and the payload header; a file whose two stamps
+  // disagree was assembled from mismatched pieces.
+  const std::string path = Path("mixed.ldsnap");
+  fleet::PartialAggregates p = Make();
+  SnapshotWriter w;
+  fleet::SavePartialAggregates(w, p);
+  ASSERT_TRUE(WriteSnapshotFile(path, w.bytes(), /*fingerprint=*/42).ok());
+  auto read = fleet::ReadPartialFile(path, {});
+  EXPECT_FALSE(read.ok());
+  std::filesystem::remove(path);
+}
+
+class FleetEndToEndTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    ScenarioConfig config = SmallScenario(606);
+    config.workload.target_app_runs = 400;
+    machine_ = new Machine(MakeMachine(config));
+    bundle_dir_ = new std::string(testing::TempDir() + "fleet_test_bundle_" +
+                                  std::to_string(::getpid()));
+    std::filesystem::remove_all(*bundle_dir_);
+    auto bundle = WriteBundle(*machine_, config, *bundle_dir_);
+    ASSERT_TRUE(bundle.ok()) << bundle.status().ToString();
+  }
+
+  static void TearDownTestSuite() {
+    std::filesystem::remove_all(*bundle_dir_);
+    delete bundle_dir_;
+    delete machine_;
+    bundle_dir_ = nullptr;
+    machine_ = nullptr;
+  }
+
+  std::string TempFleetDir(const std::string& name) const {
+    return *bundle_dir_ + "_" + name;
+  }
+
+  static Machine* machine_;
+  static std::string* bundle_dir_;
+};
+
+Machine* FleetEndToEndTest::machine_ = nullptr;
+std::string* FleetEndToEndTest::bundle_dir_ = nullptr;
+
+TEST_F(FleetEndToEndTest, TwoShardsReproduceTheSerialReport) {
+  const StreamInputs inputs = StreamInputs::FromBundleDir(*bundle_dir_);
+  const LogDiverConfig config;
+  StreamingAnalyzer serial(*machine_, config);
+  auto total = ReplayBundle(config, inputs, {}, serial);
+  ASSERT_TRUE(total.ok()) << total.status().ToString();
+  StreamingAnalyzer::Summary summary = serial.Finalize();
+  summary.metrics.ingest = summary.ingest;
+
+  fleet::FleetOptions options;
+  options.shard_count = 2;
+  options.partial_dir = TempFleetDir("partials");
+  const fleet::ShardSupervisor supervisor(*machine_, config);
+  auto result = supervisor.Run(inputs, options);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+
+  EXPECT_EQ(FingerprintReport(result->report),
+            FingerprintReport(summary.metrics));
+  EXPECT_EQ(result->runs_finalized, summary.runs_finalized);
+  EXPECT_EQ(result->coverage.shards_merged, 2u);
+  EXPECT_FALSE(result->coverage.degraded());
+  ASSERT_EQ(result->shards.size(), 2u);
+  EXPECT_TRUE(result->shards[0].completed);
+  EXPECT_TRUE(result->shards[1].completed);
+  EXPECT_EQ(result->shards[0].attempts, 1);
+  std::filesystem::remove_all(options.partial_dir);
+}
+
+TEST_F(FleetEndToEndTest, CrashedShardIsRetriedAndAbsorbed) {
+  const StreamInputs inputs = StreamInputs::FromBundleDir(*bundle_dir_);
+  const LogDiverConfig config;
+
+  fleet::FleetOptions options;
+  options.shard_count = 2;
+  options.partial_dir = TempFleetDir("crash_partials");
+  fleet::FaultPlan plan;
+  plan.fault = fleet::WorkerFault::kCrash;
+  plan.after_lines = 100;
+  options.faults[1] = plan;
+
+  const fleet::ShardSupervisor supervisor(*machine_, config);
+  auto result = supervisor.Run(inputs, options);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_FALSE(result->coverage.degraded());
+  EXPECT_EQ(result->shards[1].crashes, 1);
+  EXPECT_EQ(result->shards[1].attempts, 2);
+  ASSERT_EQ(result->shards[1].backoff_ms.size(), 1u);
+  std::filesystem::remove_all(options.partial_dir);
+}
+
+TEST_F(FleetEndToEndTest, InvalidOptionsAreRejectedUpFront) {
+  const StreamInputs inputs = StreamInputs::FromBundleDir(*bundle_dir_);
+  const fleet::ShardSupervisor supervisor(*machine_, LogDiverConfig{});
+
+  fleet::FleetOptions no_dir;
+  no_dir.partial_dir.clear();
+  EXPECT_EQ(supervisor.Run(inputs, no_dir).status().code(),
+            StatusCode::kInvalidArgument);
+
+  fleet::FleetOptions zero_shards;
+  zero_shards.shard_count = 0;
+  zero_shards.partial_dir = TempFleetDir("zero");
+  EXPECT_EQ(supervisor.Run(inputs, zero_shards).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace ld

@@ -60,6 +60,37 @@ TEST(CrashSupervisorTest, CrashIsRestartedUntilClean) {
   EXPECT_FALSE(outcome.exhausted);
 }
 
+TEST(CrashSupervisorTest, HungChildIsKilledAndRetried) {
+  // A child that stops making progress must not hang the supervisor:
+  // the wall-clock deadline escalates to SIGKILL and the death is
+  // handled like a crash — retried, and absorbed if the retry is clean.
+  CrashSupervisor::Options options;
+  options.timeout_ms = 200;
+  const auto outcome = CrashSupervisor::Run(
+      [](int attempt) -> int {
+        if (attempt == 0) {
+          ArmHangPoint(1);
+          CrashPoint("test");  // parks forever; only SIGKILL ends it
+        }
+        return 0;
+      },
+      options);
+  EXPECT_EQ(outcome.exit_code, 0);
+  EXPECT_EQ(outcome.attempts, 2);
+  EXPECT_EQ(outcome.crashes, 1);
+  EXPECT_EQ(outcome.hangs_killed, 1);
+  EXPECT_FALSE(outcome.exhausted);
+}
+
+TEST(CrashSupervisorTest, FastChildNeverTripsTheTimeout) {
+  CrashSupervisor::Options options;
+  options.timeout_ms = 60000;
+  const auto outcome = CrashSupervisor::Run([](int) { return 0; }, options);
+  EXPECT_EQ(outcome.exit_code, 0);
+  EXPECT_EQ(outcome.attempts, 1);
+  EXPECT_EQ(outcome.hangs_killed, 0);
+}
+
 TEST(CrashSupervisorTest, ExhaustionAfterRestartBudget) {
   CrashSupervisor::Options options;
   options.max_restarts = 2;
@@ -155,7 +186,13 @@ TEST_F(ResumeTest, CrashResumeReproducesBaselineBitForBit) {
 TEST_F(ResumeTest, SnapshotFromDifferentBundleIsRejected) {
   // Offsets past the end of the (smaller) input files prove the
   // snapshot belongs elsewhere; resuming must fail loudly, not replay
-  // garbage.
+  // garbage.  The snapshot is stamped with the *correct* bundle
+  // fingerprint so it reaches the offset check (a wrong fingerprint
+  // would be skipped earlier — next test).
+  const StreamInputs inputs = StreamInputs::FromBundleDir(*bundle_dir_);
+  auto fingerprint = BundlePartitionFingerprint(inputs, 0);
+  ASSERT_TRUE(fingerprint.ok());
+
   const std::string snap_dir = testing::TempDir() + "resume_test_wrong";
   std::filesystem::remove_all(snap_dir);
   SnapshotStore store(snap_dir);
@@ -166,14 +203,46 @@ TEST_F(ResumeTest, SnapshotFromDifferentBundleIsRejected) {
     StreamingAnalyzer empty(*machine_, LogDiverConfig{});
     empty.Snapshot(w);
   }
-  ASSERT_TRUE(store.Write(w.bytes()).ok());
+  ASSERT_TRUE(store.Write(w.bytes(), *fingerprint).ok());
 
   ResumeOptions options;
   options.snapshot_dir = snap_dir;
-  auto result = RunResumableAnalysis(*machine_, LogDiverConfig{},
-                                     StreamInputs::FromBundleDir(*bundle_dir_),
-                                     options);
+  auto result =
+      RunResumableAnalysis(*machine_, LogDiverConfig{}, inputs, options);
   EXPECT_FALSE(result.ok());
+  std::filesystem::remove_all(snap_dir);
+}
+
+TEST_F(ResumeTest, MismatchedFingerprintSnapshotIsSkippedNotLoaded) {
+  // A structurally intact snapshot computed from *different* input is
+  // as unusable as a torn one: the fingerprint gate skips it and the
+  // analysis restarts from scratch instead of restoring foreign state.
+  const StreamInputs inputs = StreamInputs::FromBundleDir(*bundle_dir_);
+  const std::string snap_dir = testing::TempDir() + "resume_test_foreign";
+  std::filesystem::remove_all(snap_dir);
+  SnapshotStore store(snap_dir);
+  SnapshotWriter w;
+  w.U32(1);  // resume-state version
+  for (int s = 0; s < 4; ++s) w.U64(0);
+  {
+    StreamingAnalyzer empty(*machine_, LogDiverConfig{});
+    empty.Snapshot(w);
+  }
+  ASSERT_TRUE(store.Write(w.bytes(), /*fingerprint=*/0xDEADBEEF).ok());
+
+  auto baseline =
+      RunResumableAnalysis(*machine_, LogDiverConfig{}, inputs, {});
+  ASSERT_TRUE(baseline.ok());
+
+  ResumeOptions options;
+  options.snapshot_dir = snap_dir;
+  auto result =
+      RunResumableAnalysis(*machine_, LogDiverConfig{}, inputs, options);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->resumed_generation, 0u);  // fresh start
+  EXPECT_EQ(result->lines_skipped, 0u);
+  EXPECT_EQ(FingerprintReport(result->summary.metrics),
+            FingerprintReport(baseline->summary.metrics));
   std::filesystem::remove_all(snap_dir);
 }
 

@@ -148,6 +148,51 @@ TEST(SnapshotStoreTest, FallsBackPastCorruptNewest) {
   std::filesystem::remove_all(dir);
 }
 
+TEST_F(SnapshotFileTest, FingerprintRoundTripsThroughTheHeader) {
+  const std::string path = Path("fingerprint.ldsnap");
+  const std::vector<std::uint8_t> payload = {9, 8, 7};
+  ASSERT_TRUE(WriteSnapshotFile(path, payload, 0xFEEDFACE12345678ull).ok());
+  std::uint64_t fingerprint = 0;
+  auto read = ReadSnapshotFile(path, &fingerprint);
+  ASSERT_TRUE(read.ok()) << read.status().ToString();
+  EXPECT_EQ(*read, payload);
+  EXPECT_EQ(fingerprint, 0xFEEDFACE12345678ull);
+  std::filesystem::remove(path);
+}
+
+TEST(SnapshotStoreTest, MismatchedFingerprintIsRejectedLikeATornFile) {
+  // An intact snapshot computed from different input must not load when
+  // the caller states what it expects; the store falls back to an older
+  // matching generation, exactly as it does past a torn newest.
+  const std::string dir = testing::TempDir() + "snapshot_store_fp";
+  std::filesystem::remove_all(dir);
+  SnapshotStore store(dir);
+  const std::vector<std::uint8_t> matching = {1, 1, 1};
+  const std::vector<std::uint8_t> foreign = {2, 2, 2};
+  ASSERT_TRUE(store.Write(matching, /*fingerprint=*/111).ok());
+  auto gen2 = store.Write(foreign, /*fingerprint=*/222);
+  ASSERT_TRUE(gen2.ok());
+
+  auto loaded = store.LoadLatest(/*expected_fingerprint=*/111);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->payload, matching);
+  EXPECT_EQ(loaded->generation, *gen2 - 1);
+  EXPECT_EQ(loaded->fingerprint, 111u);
+  EXPECT_EQ(loaded->rejected, 1u);
+
+  // No expectation (0) loads the newest regardless of its stamp.
+  auto any = store.LoadLatest();
+  ASSERT_TRUE(any.ok());
+  EXPECT_EQ(any->payload, foreign);
+  EXPECT_EQ(any->fingerprint, 222u);
+
+  // Nothing matches: NotFound, with both generations rejected.
+  auto none = store.LoadLatest(/*expected_fingerprint=*/333);
+  EXPECT_FALSE(none.ok());
+  EXPECT_EQ(none.status().code(), StatusCode::kNotFound);
+  std::filesystem::remove_all(dir);
+}
+
 TEST(SnapshotStoreTest, PrunesOldGenerations) {
   const std::string dir = testing::TempDir() + "snapshot_store_prune";
   std::filesystem::remove_all(dir);

@@ -36,7 +36,18 @@ def load_benchmarks(path: pathlib.Path) -> dict[str, float]:
         # double-counted next to their iteration rows; skip them.
         if bench.get("run_type") == "aggregate":
             continue
-        times[bench["name"]] = bench["real_time"] * scale[bench["time_unit"]]
+        # A hand-edited or truncated baseline can carry entries without
+        # the keys this gate needs; skip them visibly rather than dying
+        # with a stack trace mid-CI.
+        name = bench.get("name")
+        real_time = bench.get("real_time")
+        time_unit = bench.get("time_unit")
+        if name is None or real_time is None or time_unit not in scale:
+            label = name if name is not None else "<unnamed entry>"
+            print(f"note: skipping {label} in {path}: missing or "
+                  f"unrecognized name/real_time/time_unit")
+            continue
+        times[name] = real_time * scale[time_unit]
     return times
 
 
