@@ -2,20 +2,30 @@
 
 #include <unistd.h>
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
+#include <mutex>
 
 namespace ld {
 namespace {
 
-// Countdown state.  Single-threaded by design (the analysis loop is
-// single-threaded); no atomics needed.
-bool g_armed = false;
-std::uint64_t g_remaining = 0;
-bool g_hang_armed = false;
-std::uint64_t g_hang_remaining = 0;
-bool g_truncate_partial = false;
-bool g_env_checked = false;
+// Countdown state.  Atomic because the multi-tenant service ticks
+// boundaries from many shard worker threads concurrently; exactly one
+// thread must observe the countdown reaching zero.  The remaining
+// counters keep decrementing past zero on later hits — only the exact
+// transition fires.
+std::atomic<bool> g_armed{false};
+std::atomic<std::int64_t> g_remaining{0};
+std::atomic<bool> g_hang_armed{false};
+std::atomic<std::int64_t> g_hang_remaining{0};
+std::atomic<bool> g_truncate_partial{false};
+std::atomic<bool> g_delay_armed{false};
+std::atomic<std::uint64_t> g_delay_after{0};
+std::atomic<std::uint64_t> g_delay_mean_ms{5};
+std::atomic<std::uint64_t> g_delay_seed{1};
+std::atomic<std::uint64_t> g_delay_ticks{0};
+std::once_flag g_env_once;
 
 std::uint64_t ParseCount(const char* value) {
   if (value == nullptr || *value == '\0') return 0;
@@ -26,77 +36,129 @@ std::uint64_t ParseCount(const char* value) {
 }
 
 void MaybeInitFromEnv() {
-  if (g_env_checked) return;
-  g_env_checked = true;
-  if (const std::uint64_t n = ParseCount(std::getenv(kCrashAfterEnv))) {
-    g_armed = true;
-    g_remaining = n;
-  }
-  if (const std::uint64_t n = ParseCount(std::getenv(kHangAfterEnv))) {
-    g_hang_armed = true;
-    g_hang_remaining = n;
-  }
-  const char* trunc = std::getenv(kTruncatePartialEnv);
-  if (trunc != nullptr && *trunc != '\0' &&
-      !(trunc[0] == '0' && trunc[1] == '\0')) {
-    g_truncate_partial = true;
-  }
+  std::call_once(g_env_once, [] {
+    if (const std::uint64_t n = ParseCount(std::getenv(kCrashAfterEnv))) {
+      g_remaining.store(static_cast<std::int64_t>(n));
+      g_armed.store(true);
+    }
+    if (const std::uint64_t n = ParseCount(std::getenv(kHangAfterEnv))) {
+      g_hang_remaining.store(static_cast<std::int64_t>(n));
+      g_hang_armed.store(true);
+    }
+    const char* trunc = std::getenv(kTruncatePartialEnv);
+    if (trunc != nullptr && *trunc != '\0' &&
+        !(trunc[0] == '0' && trunc[1] == '\0')) {
+      g_truncate_partial.store(true);
+    }
+    if (const std::uint64_t n = ParseCount(std::getenv(kDelayAfterEnv))) {
+      g_delay_after.store(n);
+      if (const std::uint64_t ms = ParseCount(std::getenv(kDelayMsEnv))) {
+        g_delay_mean_ms.store(ms);
+      }
+      if (const std::uint64_t s = ParseCount(std::getenv(kDelaySeedEnv))) {
+        g_delay_seed.store(s);
+      }
+      g_delay_armed.store(true);
+    }
+  });
+}
+
+std::uint64_t SplitMix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
 }
 
 }  // namespace
 
 void ArmCrashPoint(std::uint64_t after) {
   MaybeInitFromEnv();  // settle the env first; programmatic wins after
-  g_armed = after != 0;
-  g_remaining = after;
+  g_remaining.store(static_cast<std::int64_t>(after));
+  g_armed.store(after != 0);
 }
 
 void DisarmCrashPoint() {
   MaybeInitFromEnv();
-  g_armed = false;
-  g_remaining = 0;
+  g_armed.store(false);
+  g_remaining.store(0);
 }
 
 bool CrashPointArmed() {
   MaybeInitFromEnv();
-  return g_armed;
+  return g_armed.load();
 }
 
 std::uint64_t CrashPointRemaining() {
   MaybeInitFromEnv();
-  return g_armed ? g_remaining : 0;
+  if (!g_armed.load()) return 0;
+  const std::int64_t left = g_remaining.load();
+  return left > 0 ? static_cast<std::uint64_t>(left) : 0;
 }
 
 void ArmHangPoint(std::uint64_t after) {
   MaybeInitFromEnv();
-  g_hang_armed = after != 0;
-  g_hang_remaining = after;
+  g_hang_remaining.store(static_cast<std::int64_t>(after));
+  g_hang_armed.store(after != 0);
 }
 
 void DisarmHangPoint() {
   MaybeInitFromEnv();
-  g_hang_armed = false;
-  g_hang_remaining = 0;
+  g_hang_armed.store(false);
+  g_hang_remaining.store(0);
 }
 
 bool HangPointArmed() {
   MaybeInitFromEnv();
-  return g_hang_armed;
+  return g_hang_armed.load();
 }
 
 void ArmTruncatePartial(bool armed) {
   MaybeInitFromEnv();
-  g_truncate_partial = armed;
+  g_truncate_partial.store(armed);
 }
 
 bool TruncatePartialArmed() {
   MaybeInitFromEnv();
-  return g_truncate_partial;
+  return g_truncate_partial.load();
+}
+
+void ArmDelayPoint(std::uint64_t after, std::uint64_t mean_ms,
+                   std::uint64_t seed) {
+  MaybeInitFromEnv();
+  g_delay_after.store(after);
+  g_delay_mean_ms.store(mean_ms == 0 ? 1 : mean_ms);
+  g_delay_seed.store(seed);
+  g_delay_ticks.store(0);
+  g_delay_armed.store(after != 0);
+}
+
+void DisarmDelayPoint() {
+  MaybeInitFromEnv();
+  g_delay_armed.store(false);
+  g_delay_after.store(0);
+}
+
+bool DelayPointArmed() {
+  MaybeInitFromEnv();
+  return g_delay_armed.load();
+}
+
+std::uint64_t DelayForBoundary(std::uint64_t index, std::uint64_t mean_ms,
+                               std::uint64_t seed) {
+  if (mean_ms == 0) mean_ms = 1;
+  // Uniform in [mean/2, 3*mean/2], never below 1 ms, as a deterministic
+  // function of (seed, boundary index).
+  const std::uint64_t span = mean_ms + 1;  // values mean/2 .. mean/2+mean
+  const std::uint64_t draw = SplitMix64(seed ^ (index * 0x9E3779B97F4A7C15ull));
+  const std::uint64_t ms = mean_ms / 2 + draw % span;
+  return ms == 0 ? 1 : ms;
 }
 
 void CrashPoint(std::string_view tag) {
   MaybeInitFromEnv();
-  if (g_armed && --g_remaining == 0) {
+  if (g_armed.load(std::memory_order_relaxed) &&
+      g_remaining.fetch_sub(1, std::memory_order_relaxed) == 1) {
     // Die like a power cut: no destructors, no stream flushing beyond
     // this one diagnostic line.
     std::fprintf(stderr, "[crashpoint] injected crash at boundary '%.*s'\n",
@@ -104,7 +166,8 @@ void CrashPoint(std::string_view tag) {
     std::fflush(stderr);
     std::_Exit(kCrashExitCode);
   }
-  if (g_hang_armed && --g_hang_remaining == 0) {
+  if (g_hang_armed.load(std::memory_order_relaxed) &&
+      g_hang_remaining.fetch_sub(1, std::memory_order_relaxed) == 1) {
     // Stop making progress without dying: only SIGKILL (which pause()
     // cannot observe) gets the process unstuck, so a supervisor's
     // timeout escalation is the one recovery path.
@@ -112,6 +175,17 @@ void CrashPoint(std::string_view tag) {
                  static_cast<int>(tag.size()), tag.data());
     std::fflush(stderr);
     for (;;) ::pause();
+  }
+  if (g_delay_armed.load(std::memory_order_relaxed)) {
+    const std::uint64_t tick =
+        g_delay_ticks.fetch_add(1, std::memory_order_relaxed) + 1;
+    const std::uint64_t after = g_delay_after.load(std::memory_order_relaxed);
+    if (after != 0 && tick >= after) {
+      const std::uint64_t ms =
+          DelayForBoundary(tick, g_delay_mean_ms.load(std::memory_order_relaxed),
+                           g_delay_seed.load(std::memory_order_relaxed));
+      ::usleep(static_cast<useconds_t>(ms * 1000));
+    }
   }
 }
 

@@ -98,4 +98,21 @@ inline constexpr const char* kFleetShardsDroppedTotal =
     "ld.fleet.shards_dropped_total";
 inline constexpr const char* kFleetMergeMicros = "ld.fleet.merge_micros";
 
+// --- multi-tenant service (service/tenant.cpp, service/daemon.cpp) ---
+inline constexpr const char* kSvcIngestAcceptedTotal =
+    "ld.svc.ingest_accepted_total";
+inline constexpr const char* kSvcIngestShedTotal = "ld.svc.ingest_shed_total";
+inline constexpr const char* kSvcIngestBackpressuredTotal =
+    "ld.svc.ingest_backpressured_total";
+inline constexpr const char* kSvcQueriesTotal = "ld.svc.queries_total";
+inline constexpr const char* kSvcQueryMicros = "ld.svc.query_micros";
+inline constexpr const char* kSvcQueueDepth = "ld.svc.queue_depth";
+inline constexpr const char* kSvcSnapshotsTotal = "ld.svc.snapshots_total";
+inline constexpr const char* kSvcTenantsAdmittedTotal =
+    "ld.svc.tenants_admitted_total";
+inline constexpr const char* kSvcTenantsRecoveredTotal =
+    "ld.svc.tenants_recovered_total";
+inline constexpr const char* kSvcWatchdogKillsTotal =
+    "ld.svc.watchdog_kills_total";
+
 }  // namespace ld::obs::names

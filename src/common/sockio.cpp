@@ -1,0 +1,263 @@
+#include "common/sockio.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace ld {
+namespace {
+
+Status ErrnoError(const std::string& what) {
+  return InternalError(what + ": " + std::strerror(errno));
+}
+
+struct ParsedAddress {
+  bool is_unix = false;
+  std::string path;  // unix
+  std::string host;  // inet
+  std::uint16_t port = 0;
+};
+
+Result<ParsedAddress> ParseAddress(const std::string& address) {
+  ParsedAddress out;
+  const std::string_view prefix = kUnixAddressPrefix;
+  if (address.rfind(prefix, 0) == 0) {
+    out.is_unix = true;
+    out.path = address.substr(prefix.size());
+    if (out.path.empty()) {
+      return InvalidArgumentError("sockio: empty unix socket path");
+    }
+    sockaddr_un probe{};
+    if (out.path.size() >= sizeof(probe.sun_path)) {
+      return InvalidArgumentError("sockio: unix socket path too long: " +
+                                  out.path);
+    }
+    return out;
+  }
+  const std::size_t colon = address.rfind(':');
+  if (colon == std::string::npos || colon == 0 ||
+      colon + 1 == address.size()) {
+    return InvalidArgumentError(
+        "sockio: address must be unix:<path> or <host>:<port>, got '" +
+        address + "'");
+  }
+  out.host = address.substr(0, colon);
+  char* end = nullptr;
+  const std::string port_str = address.substr(colon + 1);
+  const unsigned long port = std::strtoul(port_str.c_str(), &end, 10);
+  if (end == port_str.c_str() || *end != '\0' || port > 65535) {
+    return InvalidArgumentError("sockio: bad port in '" + address + "'");
+  }
+  out.port = static_cast<std::uint16_t>(port);
+  return out;
+}
+
+Result<int> MakeSocket(const ParsedAddress& addr) {
+  const int fd = ::socket(addr.is_unix ? AF_UNIX : AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return ErrnoError("sockio: socket");
+  return fd;
+}
+
+Result<sockaddr_in> InetSockaddr(const ParsedAddress& addr) {
+  sockaddr_in sa{};
+  sa.sin_family = AF_INET;
+  sa.sin_port = htons(addr.port);
+  if (::inet_pton(AF_INET, addr.host.c_str(), &sa.sin_addr) != 1) {
+    return InvalidArgumentError("sockio: host must be a numeric IPv4 "
+                                "address, got '" +
+                                addr.host + "'");
+  }
+  return sa;
+}
+
+sockaddr_un UnixSockaddr(const ParsedAddress& addr) {
+  sockaddr_un sa{};
+  sa.sun_family = AF_UNIX;
+  std::memcpy(sa.sun_path, addr.path.c_str(), addr.path.size() + 1);
+  return sa;
+}
+
+}  // namespace
+
+Result<int> ListenOn(const std::string& address, int backlog) {
+  LD_ASSIGN_OR_RETURN(const ParsedAddress addr, ParseAddress(address));
+  LD_ASSIGN_OR_RETURN(const int fd, MakeSocket(addr));
+  if (addr.is_unix) {
+    // A crashed daemon leaves its socket file behind; bind would fail
+    // with EADDRINUSE forever.  The restart path owns the address.
+    ::unlink(addr.path.c_str());
+    const sockaddr_un sa = UnixSockaddr(addr);
+    if (::bind(fd, reinterpret_cast<const sockaddr*>(&sa), sizeof(sa)) != 0) {
+      const Status err = ErrnoError("sockio: bind " + address);
+      ::close(fd);
+      return err;
+    }
+  } else {
+    const int one = 1;
+    ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    auto sa = InetSockaddr(addr);
+    if (!sa.ok()) {
+      ::close(fd);
+      return sa.status();
+    }
+    if (::bind(fd, reinterpret_cast<const sockaddr*>(&*sa), sizeof(*sa)) !=
+        0) {
+      const Status err = ErrnoError("sockio: bind " + address);
+      ::close(fd);
+      return err;
+    }
+  }
+  if (::listen(fd, backlog) != 0) {
+    const Status err = ErrnoError("sockio: listen " + address);
+    ::close(fd);
+    return err;
+  }
+  return fd;
+}
+
+Result<int> ConnectTo(const std::string& address) {
+  LD_ASSIGN_OR_RETURN(const ParsedAddress addr, ParseAddress(address));
+  LD_ASSIGN_OR_RETURN(const int fd, MakeSocket(addr));
+  int rc;
+  if (addr.is_unix) {
+    const sockaddr_un sa = UnixSockaddr(addr);
+    do {
+      rc = ::connect(fd, reinterpret_cast<const sockaddr*>(&sa), sizeof(sa));
+    } while (rc != 0 && errno == EINTR);
+  } else {
+    auto sa = InetSockaddr(addr);
+    if (!sa.ok()) {
+      ::close(fd);
+      return sa.status();
+    }
+    do {
+      rc = ::connect(fd, reinterpret_cast<const sockaddr*>(&*sa), sizeof(*sa));
+    } while (rc != 0 && errno == EINTR);
+  }
+  if (rc != 0) {
+    const Status err = ErrnoError("sockio: connect " + address);
+    ::close(fd);
+    return err;
+  }
+  return fd;
+}
+
+Result<std::string> ListeningAddress(int fd) {
+  sockaddr_storage ss{};
+  socklen_t len = sizeof(ss);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&ss), &len) != 0) {
+    return ErrnoError("sockio: getsockname");
+  }
+  if (ss.ss_family == AF_UNIX) {
+    const auto* sa = reinterpret_cast<const sockaddr_un*>(&ss);
+    return std::string(kUnixAddressPrefix) + sa->sun_path;
+  }
+  if (ss.ss_family == AF_INET) {
+    const auto* sa = reinterpret_cast<const sockaddr_in*>(&ss);
+    char host[INET_ADDRSTRLEN] = {};
+    ::inet_ntop(AF_INET, &sa->sin_addr, host, sizeof(host));
+    return std::string(host) + ":" + std::to_string(ntohs(sa->sin_port));
+  }
+  return InternalError("sockio: unsupported address family " +
+                       std::to_string(ss.ss_family));
+}
+
+Result<int> AcceptOn(int listen_fd) {
+  for (;;) {
+    const int fd = ::accept(listen_fd, nullptr, nullptr);
+    if (fd >= 0) return fd;
+    if (errno == EINTR) continue;
+    return ErrnoError("sockio: accept");
+  }
+}
+
+Status SetRecvTimeoutMs(int fd, std::uint64_t timeout_ms) {
+  timeval tv{};
+  tv.tv_sec = static_cast<time_t>(timeout_ms / 1000);
+  tv.tv_usec = static_cast<suseconds_t>((timeout_ms % 1000) * 1000);
+  if (::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv)) != 0) {
+    return ErrnoError("sockio: SO_RCVTIMEO");
+  }
+  return Status::Ok();
+}
+
+LineChannel::~LineChannel() { Close(); }
+
+void LineChannel::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Result<std::optional<std::string>> LineChannel::ReadLine() {
+  timed_out_ = false;
+  for (;;) {
+    const std::size_t nl = buffer_.find('\n', buffer_pos_);
+    if (nl != std::string::npos) {
+      std::string line = buffer_.substr(buffer_pos_, nl - buffer_pos_);
+      // CRLF shippers (telnet, netcat, tail -f | nc on Windows mounts)
+      // are first-class clients: a trailing \r is line framing, not
+      // payload.
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      buffer_pos_ = nl + 1;
+      // Compact once the consumed prefix dominates, so a long-lived
+      // connection does not keep every line it ever received.
+      if (buffer_pos_ > 4096 && buffer_pos_ * 2 > buffer_.size()) {
+        buffer_.erase(0, buffer_pos_);
+        buffer_pos_ = 0;
+      }
+      return std::optional<std::string>(std::move(line));
+    }
+    if (eof_) {
+      if (buffer_pos_ < buffer_.size()) {
+        std::string line = buffer_.substr(buffer_pos_);
+        buffer_pos_ = buffer_.size();
+        if (!line.empty() && line.back() == '\r') line.pop_back();
+        return std::optional<std::string>(std::move(line));
+      }
+      return std::optional<std::string>();
+    }
+    char chunk[4096];
+    const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        timed_out_ = true;
+        return InternalError("sockio: receive timed out");
+      }
+      return ErrnoError("sockio: recv");
+    }
+    if (n == 0) {
+      eof_ = true;
+      continue;
+    }
+    buffer_.append(chunk, static_cast<std::size_t>(n));
+  }
+}
+
+Status LineChannel::WriteLine(std::string_view line) {
+  std::string framed;
+  framed.reserve(line.size() + 1);
+  framed.append(line);
+  framed.push_back('\n');
+  std::size_t sent = 0;
+  while (sent < framed.size()) {
+    const ssize_t n = ::send(fd_, framed.data() + sent, framed.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return ErrnoError("sockio: send");
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return Status::Ok();
+}
+
+}  // namespace ld

@@ -1,0 +1,90 @@
+// Minimal blocking socket plumbing for the line-protocol service
+// (src/logdiver/service): listen/connect on an address string, plus a
+// buffered newline-framed channel.
+//
+// Addresses come in two spellings:
+//
+//   unix:<path>   — an AF_UNIX stream socket at <path> (the default for
+//                   tests and single-host deployments: no ports to
+//                   collide, the path namespaces the daemon instance);
+//   <host>:<port> — an AF_INET TCP socket; host must be a numeric IPv4
+//                   address ("127.0.0.1:7070"); port 0 asks the kernel
+//                   for a free port, and ListeningAddress() reports the
+//                   one it picked.
+//
+// Everything here is deliberately blocking: the daemon runs a thread
+// per connection, and the campaign's latency numbers measure the real
+// syscall path, not an event-loop abstraction.  SIGPIPE is disabled
+// per-send (MSG_NOSIGNAL) so a vanished peer surfaces as an error
+// return instead of killing the process.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "common/status.hpp"
+
+namespace ld {
+
+/// Prefix selecting the AF_UNIX spelling.
+inline constexpr const char* kUnixAddressPrefix = "unix:";
+
+/// Creates a listening socket on `address` (see spellings above).  For
+/// unix addresses a stale socket file from a crashed previous daemon is
+/// unlinked first — the restart path must not require manual cleanup.
+Result<int> ListenOn(const std::string& address, int backlog = 64);
+
+/// Connects to `address`; returns the connected fd.
+Result<int> ConnectTo(const std::string& address);
+
+/// The address a listening fd is actually bound to, in the same
+/// spelling ListenOn accepts — resolves port 0 to the kernel's pick.
+Result<std::string> ListeningAddress(int fd);
+
+/// Accepts one connection; blocks.  Errors on a closed listener (the
+/// daemon's shutdown path closes the fd to unblock the accept thread).
+Result<int> AcceptOn(int listen_fd);
+
+/// Sets SO_RCVTIMEO so reads fail with kUnavailable-ish timeouts
+/// instead of blocking forever (clients talking to a hung daemon).
+Status SetRecvTimeoutMs(int fd, std::uint64_t timeout_ms);
+
+/// Newline-framed messages over a connected fd.  Reads are buffered;
+/// writes go out whole (looped over partial writes).  Owns the fd and
+/// closes it on destruction.
+class LineChannel {
+ public:
+  explicit LineChannel(int fd) : fd_(fd) {}
+  ~LineChannel();
+  LineChannel(const LineChannel&) = delete;
+  LineChannel& operator=(const LineChannel&) = delete;
+
+  /// Next line without its terminating '\n' (a final unterminated line
+  /// is returned as-is at EOF).  A trailing '\r' is stripped with the
+  /// newline — CRLF clients are first-class.  nullopt = clean EOF.
+  /// Errors on socket
+  /// failure or a receive timeout; `timed_out()` distinguishes the two
+  /// (a server loop continues after a timeout, exits on a real error).
+  Result<std::optional<std::string>> ReadLine();
+
+  /// True iff the last ReadLine error was a receive timeout.
+  bool timed_out() const { return timed_out_; }
+
+  /// Writes `line` + '\n' in full.
+  Status WriteLine(std::string_view line);
+
+  int fd() const { return fd_; }
+  /// Closes the fd early (idempotent).
+  void Close();
+
+ private:
+  int fd_ = -1;
+  std::string buffer_;
+  std::size_t buffer_pos_ = 0;
+  bool eof_ = false;
+  bool timed_out_ = false;
+};
+
+}  // namespace ld

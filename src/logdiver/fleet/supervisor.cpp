@@ -265,8 +265,12 @@ Result<FleetSummary> ShardSupervisor::Run(const StreamInputs& inputs,
       std::fflush(nullptr);
       const pid_t pid = ::fork();
       if (pid < 0) {
-        return InternalError("fleet: fork failed for shard " +
-                             std::to_string(s.out.shard_index));
+        // Abort through abort_status (not an early return) so the
+        // KillRunning path below reaps every already-launched worker —
+        // an error exit must never leave zombies behind.
+        abort_status = InternalError("fleet: fork failed for shard " +
+                                     std::to_string(s.out.shard_index));
+        break;
       }
       if (pid == 0) {
         const int rc = RunWorkerProcess(machine_, config_, inputs, options,
@@ -292,8 +296,9 @@ Result<FleetSummary> ShardSupervisor::Run(const StreamInputs& inputs,
       int status = 0;
       const pid_t r = ::waitpid(s.pid, &status, WNOHANG);
       if (r < 0) {
-        return InternalError("fleet: waitpid failed for shard " +
-                             std::to_string(s.out.shard_index));
+        abort_status = InternalError("fleet: waitpid failed for shard " +
+                                     std::to_string(s.out.shard_index));
+        break;
       }
       bool hung = false;
       if (r == 0) {
@@ -301,7 +306,8 @@ Result<FleetSummary> ShardSupervisor::Run(const StreamInputs& inputs,
         // Hung: kill, reap, handle as a crash.
         ::kill(s.pid, SIGKILL);
         if (::waitpid(s.pid, &status, 0) < 0) {
-          return InternalError("fleet: waitpid after SIGKILL failed");
+          abort_status = InternalError("fleet: waitpid after SIGKILL failed");
+          break;
         }
         hung = true;
         ++s.out.hangs_killed;

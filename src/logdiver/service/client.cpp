@@ -1,0 +1,66 @@
+#include "logdiver/service/client.hpp"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+
+#include "logdiver/service/protocol.hpp"
+
+namespace ld::service {
+
+Result<std::unique_ptr<ServiceClient>> ServiceClient::Connect(
+    const std::string& address, std::uint64_t recv_timeout_ms) {
+  LD_ASSIGN_OR_RETURN(const int fd, ConnectTo(address));
+  if (recv_timeout_ms != 0) {
+    const Status set = SetRecvTimeoutMs(fd, recv_timeout_ms);
+    if (!set.ok()) {
+      ::close(fd);
+      return set;
+    }
+  }
+  return std::unique_ptr<ServiceClient>(new ServiceClient(fd));
+}
+
+Result<std::string> ServiceClient::Send(const std::string& request) {
+  LD_TRY(channel_.WriteLine(request));
+  LD_ASSIGN_OR_RETURN(const auto reply, channel_.ReadLine());
+  if (!reply.has_value()) {
+    return InternalError("client: daemon closed the connection");
+  }
+  return *reply;
+}
+
+Result<std::string> ServiceClient::IngestWithRetry(const std::string& tenant,
+                                                   LogSource source,
+                                                   std::string_view line,
+                                                   int max_attempts) {
+  const std::string request = "INGEST " + tenant + " " +
+                              LogSourceName(source) + " " + std::string(line);
+  std::string reply;
+  for (int attempt = 0; attempt < max_attempts; ++attempt) {
+    LD_ASSIGN_OR_RETURN(reply, Send(request));
+    if (ReplyVerdict(reply) != "BUSY") return reply;
+    // "BUSY <retry_ms> <why>": honour the hint, capped so a confused
+    // daemon cannot park the client for minutes.
+    std::uint64_t retry_ms = 20;
+    (void)std::sscanf(reply.c_str(), "BUSY %" SCNu64, &retry_ms);
+    ::usleep(static_cast<useconds_t>(std::min<std::uint64_t>(retry_ms, 200) *
+                                     1000));
+  }
+  return reply;
+}
+
+Result<std::uint64_t> ServiceClient::AcceptedCount(const std::string& tenant) {
+  LD_ASSIGN_OR_RETURN(const std::string reply,
+                      Send("QUERY " + tenant + " ingest"));
+  if (ReplyVerdict(reply) == "ERR") return std::uint64_t{0};  // unknown tenant
+  std::uint64_t accepted = 0;
+  if (std::sscanf(reply.c_str(), "OK accepted=%" SCNu64, &accepted) != 1) {
+    return InternalError("client: unparseable ingest reply '" + reply + "'");
+  }
+  return accepted;
+}
+
+}  // namespace ld::service

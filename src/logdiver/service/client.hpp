@@ -1,0 +1,49 @@
+// Blocking client of the logdiverd line protocol — what the campaign
+// traffic generators, the CI smoke test and downstream shippers use.
+//
+// The client implements the exactly-once resume protocol on top of the
+// OK/BUSY/SHED verdicts: Send() is one round trip; IngestWithRetry()
+// honours BUSY retry hints with a bounded number of attempts; and
+// AcceptedCount() asks the daemon how many of this tenant's lines were
+// durably acknowledged, so a client restarted after a daemon crash
+// resends exactly the unacknowledged suffix.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "common/sockio.hpp"
+#include "logdiver/records.hpp"
+
+namespace ld::service {
+
+class ServiceClient {
+ public:
+  /// Connects to `address` (sockio spellings).  `recv_timeout_ms`
+  /// bounds every reply wait (0 = wait forever).
+  static Result<std::unique_ptr<ServiceClient>> Connect(
+      const std::string& address, std::uint64_t recv_timeout_ms = 10000);
+
+  /// One request/reply round trip; returns the raw reply line.
+  Result<std::string> Send(const std::string& request);
+
+  /// INGEST with BUSY-retry: sleeps each BUSY's retry hint (capped at
+  /// 200 ms) up to `max_attempts` total sends.  Returns the final
+  /// reply (OK, SHED, ERR — or the last BUSY when attempts run out).
+  Result<std::string> IngestWithRetry(const std::string& tenant,
+                                      LogSource source,
+                                      std::string_view line,
+                                      int max_attempts = 50);
+
+  /// The daemon's accepted-line count for `tenant` (its `QUERY ingest`
+  /// accepted field); 0 for an unknown tenant.  The resume cursor.
+  Result<std::uint64_t> AcceptedCount(const std::string& tenant);
+
+ private:
+  explicit ServiceClient(int fd) : channel_(fd) {}
+  LineChannel channel_;
+};
+
+}  // namespace ld::service

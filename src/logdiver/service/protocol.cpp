@@ -1,0 +1,182 @@
+#include "logdiver/service/protocol.hpp"
+
+#include <cctype>
+
+#include "common/status.hpp"
+
+namespace ld::service {
+namespace {
+
+/// Splits the next space-delimited token off `rest` (no escaping: log
+/// lines are the final operand and are taken verbatim to end of line).
+std::string_view NextToken(std::string_view& rest) {
+  while (!rest.empty() && rest.front() == ' ') rest.remove_prefix(1);
+  const std::size_t end = rest.find(' ');
+  std::string_view token = rest.substr(0, end);
+  rest.remove_prefix(end == std::string_view::npos ? rest.size() : end);
+  return token;
+}
+
+std::string_view Remainder(std::string_view rest) {
+  if (!rest.empty() && rest.front() == ' ') rest.remove_prefix(1);
+  return rest;
+}
+
+Result<std::uint64_t> ParseU64Token(std::string_view token,
+                                    std::string_view what) {
+  if (token.empty()) {
+    return InvalidArgumentError("protocol: missing " + std::string(what));
+  }
+  std::uint64_t value = 0;
+  for (const char c : token) {
+    if (c < '0' || c > '9') {
+      return InvalidArgumentError("protocol: bad " + std::string(what) +
+                                  " '" + std::string(token) + "'");
+    }
+    value = value * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  return value;
+}
+
+}  // namespace
+
+bool ValidTenantId(std::string_view tenant) {
+  if (tenant.empty() || tenant.size() > 64) return false;
+  for (const char c : tenant) {
+    const bool ok = std::isalnum(static_cast<unsigned char>(c)) != 0 ||
+                    c == '.' || c == '_' || c == '-';
+    if (!ok) return false;
+  }
+  // "." / ".." would escape the per-tenant directory layout.
+  return tenant != "." && tenant != "..";
+}
+
+Result<Request> ParseRequest(std::string_view line) {
+  std::string_view rest = line;
+  const std::string_view verb = NextToken(rest);
+  Request req;
+
+  auto parse_tenant = [&]() -> Status {
+    const std::string_view tenant = NextToken(rest);
+    if (!ValidTenantId(tenant)) {
+      return InvalidArgumentError("protocol: bad tenant id '" +
+                                  std::string(tenant) + "'");
+    }
+    req.tenant = std::string(tenant);
+    return Status::Ok();
+  };
+
+  if (verb == "INGEST") {
+    req.kind = RequestKind::kIngest;
+    LD_TRY(parse_tenant());
+    const std::string_view source = NextToken(rest);
+    if (source == "torque") {
+      req.source = LogSource::kTorque;
+    } else if (source == "alps") {
+      req.source = LogSource::kAlps;
+    } else if (source == "syslog") {
+      req.source = LogSource::kSyslog;
+    } else if (source == "hwerr") {
+      req.source = LogSource::kHwerr;
+    } else {
+      return InvalidArgumentError("protocol: bad source '" +
+                                  std::string(source) +
+                                  "' (torque|alps|syslog|hwerr)");
+    }
+    req.line = std::string(Remainder(rest));
+    return req;
+  }
+  if (verb == "QUERY") {
+    req.kind = RequestKind::kQuery;
+    LD_TRY(parse_tenant());
+    const std::string_view what = NextToken(rest);
+    if (what == "report") {
+      req.query = QueryKind::kReport;
+    } else if (what == "ingest") {
+      req.query = QueryKind::kIngest;
+    } else if (what == "health") {
+      req.query = QueryKind::kHealth;
+    } else {
+      return InvalidArgumentError("protocol: bad query '" +
+                                  std::string(what) +
+                                  "' (report|ingest|health)");
+    }
+    return req;
+  }
+  if (verb == "SNAPSHOT") {
+    req.kind = RequestKind::kSnapshot;
+    return req;
+  }
+  if (verb == "DRAIN") {
+    req.kind = RequestKind::kDrain;
+    return req;
+  }
+  if (verb == "PING") {
+    req.kind = RequestKind::kPing;
+    return req;
+  }
+  if (verb == "FAULT") {
+    req.kind = RequestKind::kFault;
+    LD_TRY(parse_tenant());
+    const std::string_view kind = NextToken(rest);
+    if (kind == "none") {
+      req.fault = FaultKind::kNone;
+      return req;
+    }
+    if (kind == "crash") {
+      req.fault = FaultKind::kCrash;
+    } else if (kind == "hang") {
+      req.fault = FaultKind::kHang;
+    } else if (kind == "slow") {
+      req.fault = FaultKind::kSlow;
+    } else {
+      return InvalidArgumentError("protocol: bad fault '" +
+                                  std::string(kind) +
+                                  "' (crash|hang|slow|none)");
+    }
+    const std::string_view after = NextToken(rest);
+    if (!after.empty()) {
+      LD_ASSIGN_OR_RETURN(req.fault_after, ParseU64Token(after, "after"));
+    }
+    if (req.fault == FaultKind::kSlow) {
+      const std::string_view mean = NextToken(rest);
+      if (!mean.empty()) {
+        LD_ASSIGN_OR_RETURN(req.fault_mean_ms,
+                            ParseU64Token(mean, "mean_ms"));
+        LD_ASSIGN_OR_RETURN(req.fault_seed,
+                            ParseU64Token(NextToken(rest), "seed"));
+      }
+    }
+    return req;
+  }
+  return InvalidArgumentError("protocol: unknown verb '" + std::string(verb) +
+                              "'");
+}
+
+std::string OkReply(std::string_view details) {
+  std::string reply = "OK";
+  if (!details.empty()) {
+    reply.push_back(' ');
+    reply.append(details);
+  }
+  return reply;
+}
+
+std::string BusyReply(std::uint64_t retry_ms, std::string_view why) {
+  return "BUSY " + std::to_string(retry_ms) + " " + std::string(why);
+}
+
+std::string ShedReply(std::uint64_t retry_ms, std::string_view why) {
+  return "SHED " + std::to_string(retry_ms) + " " + std::string(why);
+}
+
+std::string ErrReply(std::string_view why) {
+  return "ERR " + std::string(why);
+}
+
+std::string_view ReplyVerdict(std::string_view reply) {
+  const std::size_t space = reply.find(' ');
+  return reply.substr(0, space);
+}
+
+}  // namespace ld::service

@@ -1,0 +1,83 @@
+// Wire protocol of the always-on LogDiver service (docs/SERVICE.md).
+//
+// One request per line, one reply per line, over a LineChannel.  The
+// grammar is deliberately tiny — a log shipper is a shell loop away:
+//
+//   INGEST <tenant> <source> <raw log line>
+//   QUERY  <tenant> report|ingest|health
+//   SNAPSHOT
+//   DRAIN
+//   FAULT  <tenant> crash|hang|slow|none [<after> [<mean_ms> <seed>]]
+//   PING
+//
+// Replies start with one of four verdict words, so a client can route
+// on the first token without parsing the rest:
+//
+//   OK <details>            — accepted / answered
+//   BUSY <retry_ms> <why>   — transient overload (full queue, admission
+//                             cap); retry after the hint
+//   SHED <retry_ms> <why>   — policy rejection (tenant over its error
+//                             budget under the shed policy); the tenant
+//                             is being refused, not just delayed
+//   ERR <why>               — malformed request, unknown tenant on a
+//                             query, or a stalled shard
+//
+// BUSY/SHED carry an explicit retry hint because the service never
+// silently drops: a refused INGEST is always a refusal the client can
+// see and act on (the exactly-once resume protocol depends on it —
+// clients re-sync from `QUERY <t> ingest`'s accepted count).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "logdiver/records.hpp"
+
+namespace ld::service {
+
+enum class RequestKind : std::uint8_t {
+  kIngest,
+  kQuery,
+  kSnapshot,
+  kDrain,
+  kFault,
+  kPing,
+};
+
+enum class QueryKind : std::uint8_t { kReport, kIngest, kHealth };
+
+/// The fault spellings the FAULT admin command accepts (campaign /
+/// test surface; refused unless the daemon enables fault commands).
+enum class FaultKind : std::uint8_t { kNone, kCrash, kHang, kSlow };
+
+struct Request {
+  RequestKind kind = RequestKind::kPing;
+  std::string tenant;        // INGEST / QUERY / FAULT
+  LogSource source = LogSource::kTorque;  // INGEST
+  std::string line;          // INGEST: the raw log line, verbatim
+  QueryKind query = QueryKind::kReport;   // QUERY
+  FaultKind fault = FaultKind::kNone;     // FAULT
+  std::uint64_t fault_after = 1;          // FAULT crash|hang|slow
+  std::uint64_t fault_mean_ms = 5;        // FAULT slow
+  std::uint64_t fault_seed = 1;           // FAULT slow
+};
+
+/// Parses one request line.  Tenant ids are [A-Za-z0-9._-]{1,64} —
+/// they name filesystem directories, so the charset is the validation.
+Result<Request> ParseRequest(std::string_view line);
+
+/// True iff `tenant` is a well-formed tenant id.
+bool ValidTenantId(std::string_view tenant);
+
+/// Reply constructors — the only way reply lines are spelled, so the
+/// verdict grammar cannot drift between daemon and tests.
+std::string OkReply(std::string_view details);
+std::string BusyReply(std::uint64_t retry_ms, std::string_view why);
+std::string ShedReply(std::uint64_t retry_ms, std::string_view why);
+std::string ErrReply(std::string_view why);
+
+/// Leading verdict word of a reply ("OK", "BUSY", "SHED", "ERR").
+std::string_view ReplyVerdict(std::string_view reply);
+
+}  // namespace ld::service

@@ -1,0 +1,523 @@
+#include "logdiver/service/tenant.hpp"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <filesystem>
+
+#include "common/crashpoint.hpp"
+#include "common/obs/obs.hpp"
+#include "logdiver/service/protocol.hpp"
+
+namespace ld::service {
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr std::uint32_t kTenantSnapshotVersion = 1;
+/// Worker batch size: items applied per state-lock acquisition, so
+/// queries interleave with a busy apply loop instead of starving.
+constexpr std::size_t kApplyBatch = 256;
+
+std::string HexFingerprint(std::uint32_t fp) {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%08x", fp);
+  return buf;
+}
+
+}  // namespace
+
+const char* TenantStateName(TenantState s) {
+  switch (s) {
+    case TenantState::kActive: return "active";
+    case TenantState::kDegraded: return "degraded";
+    case TenantState::kShedding: return "shedding";
+    case TenantState::kStalled: return "stalled";
+    case TenantState::kDraining: return "draining";
+  }
+  return "invalid";
+}
+
+TimePoint ClaimedTracker::Claim(LogSource source, std::string_view line) {
+  TimePoint& carry = carry_[static_cast<std::size_t>(source)];
+  switch (source) {
+    case LogSource::kTorque: {
+      auto rec = torque_.ParseLine(line);
+      if (rec.ok() && rec->has_value()) carry = (*rec)->time;
+      break;
+    }
+    case LogSource::kAlps: {
+      auto rec = alps_.ParseLine(line);
+      if (rec.ok() && rec->has_value()) carry = (*rec)->time;
+      break;
+    }
+    case LogSource::kSyslog: {
+      if (line.size() >= 15) {
+        auto t = SyslogParser::ParseSyslogTime(line.substr(0, 15),
+                                               syslog_base_year_);
+        if (t.ok()) carry = *t;
+      }
+      break;
+    }
+    case LogSource::kHwerr: {
+      auto rec = hwerr_.ParseLine(line);
+      if (rec.ok() && rec->has_value()) carry = (*rec)->time;
+      break;
+    }
+  }
+  return carry;
+}
+
+void ClaimedTracker::SetCarry(LogSource source, TimePoint claimed) {
+  carry_[static_cast<std::size_t>(source)] = claimed;
+}
+
+std::uint64_t TenantShard::TenantFingerprint(std::string_view tenant_id) {
+  std::uint64_t h = 1469598103934665603ull;
+  const auto mix = [&h](std::string_view text) {
+    for (const char c : text) {
+      h ^= static_cast<unsigned char>(c);
+      h *= 1099511628211ull;
+    }
+  };
+  mix("tenant:");
+  mix(tenant_id);
+  return h == 0 ? 1 : h;  // 0 means "unspecified" in snapshot headers
+}
+
+TenantShard::TenantShard(std::string tenant_id, std::string dir,
+                         const Machine& machine,
+                         const LogDiverConfig& config,
+                         const TenantLimits& limits)
+    : tenant_id_(std::move(tenant_id)),
+      dir_(std::move(dir)),
+      machine_(machine),
+      config_(config),
+      limits_(limits),
+      claimed_(config.syslog_base_year),
+      store_(dir_ + "/snapshots", limits.keep_generations) {}
+
+TenantShard::~TenantShard() {
+  if (!abandoned_.load()) Stop();
+}
+
+Status TenantShard::Start(std::uint64_t* recovered_lines) {
+  std::error_code ec;
+  fs::create_directories(dir_, ec);
+  if (ec) {
+    return InternalError("tenant " + tenant_id_ + ": cannot create " + dir_ +
+                         ": " + ec.message());
+  }
+  analyzer_ = std::make_unique<StreamingAnalyzer>(machine_, config_);
+
+  const std::uint64_t fingerprint = TenantFingerprint(tenant_id_);
+  std::uint64_t replay_from = 0;
+  auto loaded = store_.LoadLatest(fingerprint);
+  if (loaded.ok()) {
+    SnapshotReader r(loaded->payload);
+    const std::uint32_t version = r.U32();
+    if (!r.ok()) return r.status();
+    if (version != kTenantSnapshotVersion) {
+      return FailedPreconditionError(
+          "tenant " + tenant_id_ + ": snapshot version " +
+          std::to_string(version) + ", this build speaks " +
+          std::to_string(kTenantSnapshotVersion));
+    }
+    const std::string snap_tenant = r.Str();
+    if (snap_tenant != tenant_id_) {
+      return FailedPreconditionError("tenant " + tenant_id_ +
+                                     ": snapshot belongs to tenant '" +
+                                     snap_tenant + "'");
+    }
+    const std::uint64_t applied = r.U64();
+    replay_from = r.U64();
+    for (TimePoint& carry : applied_carry_) carry = r.Time();
+    LD_TRY(analyzer_->Restore(r));
+    applied_.store(applied);
+    applied_offset_ = replay_from;
+    last_snapshot_applied_ = applied;
+    last_snapshot_offset_ = replay_from;
+    for (std::size_t s = 0; s < kNumLogSources; ++s) {
+      claimed_.SetCarry(static_cast<LogSource>(s), applied_carry_[s]);
+    }
+  } else if (loaded.status().code() != StatusCode::kNotFound) {
+    return loaded.status();
+  }
+
+  // Replay acknowledged lines past the snapshot through the same apply
+  // path the worker uses, then cut any torn (never-acknowledged) tail
+  // before reopening for append.
+  const std::string journal_path = dir_ + "/journal.ldj";
+  std::uint64_t replayed = 0;
+  LD_ASSIGN_OR_RETURN(
+      const std::uint64_t valid_end,
+      TenantJournal::Replay(journal_path, replay_from,
+                            [&](const JournalRecord& rec) {
+                              QueueItem item{rec.source, rec.claimed,
+                                             rec.line, rec.end_offset};
+                              ApplyLocked(item);
+                              claimed_.SetCarry(rec.source, rec.claimed);
+                              ++replayed;
+                            }));
+  LD_TRY(TenantJournal::TruncateTo(journal_path, valid_end));
+  LD_TRY(journal_.Open(journal_path));
+  if (journal_.size() != valid_end) {
+    return InternalError("tenant " + tenant_id_ +
+                         ": journal size changed during recovery");
+  }
+  accepted_.store(applied_.load());
+  window_started_lines_ = accepted_.load();
+  window_started_malformed_ = analyzer_->quarantine().total();
+  malformed_seen_.store(window_started_malformed_);
+  if (recovered_lines != nullptr) *recovered_lines = replayed;
+
+  worker_ = std::thread([this] {
+    WorkerLoop();
+    worker_done_.store(true, std::memory_order_release);
+  });
+  return Status::Ok();
+}
+
+std::string TenantShard::CheckBudgetLocked() {
+  const auto now = std::chrono::steady_clock::now();
+  if (shedding_.load(std::memory_order_relaxed)) {
+    if (now < shed_until_) {
+      const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+                            shed_until_ - now)
+                            .count();
+      return ShedReply(static_cast<std::uint64_t>(left > 0 ? left : 1),
+                       "tenant over error budget");
+    }
+    // Cooloff over: probe again with a fresh window.
+    shedding_.store(false, std::memory_order_relaxed);
+    window_started_lines_ = accepted_.load(std::memory_order_relaxed);
+    window_started_malformed_ = malformed_seen_.load(std::memory_order_relaxed);
+    return std::string();
+  }
+  const std::uint64_t lines =
+      accepted_.load(std::memory_order_relaxed) - window_started_lines_;
+  if (limits_.budget.window_lines == 0 ||
+      lines < limits_.budget.window_lines) {
+    return std::string();
+  }
+  // The malformed mirror trails the accept counter by the queue depth;
+  // a whole window is hundreds of lines, so the window verdict is
+  // stable against that lag (and re-evaluated every window anyway).
+  const std::uint64_t malformed =
+      malformed_seen_.load(std::memory_order_relaxed) -
+      window_started_malformed_;
+  const bool exceeded =
+      malformed > limits_.budget.min_malformed &&
+      static_cast<double>(malformed) >
+          limits_.budget.max_malformed_fraction * static_cast<double>(lines);
+  window_started_lines_ = accepted_.load(std::memory_order_relaxed);
+  window_started_malformed_ = malformed_seen_.load(std::memory_order_relaxed);
+  if (!exceeded) {
+    degraded_.store(false, std::memory_order_relaxed);
+    return std::string();
+  }
+  if (limits_.budget.policy == DegradationPolicy::kQuarantineAndContinue) {
+    degraded_.store(true, std::memory_order_relaxed);
+    return std::string();
+  }
+  shedding_.store(true, std::memory_order_relaxed);
+  shed_until_ = now + std::chrono::milliseconds(limits_.budget.cooloff_ms);
+  return ShedReply(limits_.budget.cooloff_ms, "tenant over error budget");
+}
+
+std::string TenantShard::Ingest(LogSource source, std::string_view line) {
+  if (abandoned_.load(std::memory_order_relaxed)) {
+    return ErrReply("tenant " + tenant_id_ + " is being recycled");
+  }
+  if (draining_.load(std::memory_order_relaxed)) {
+    return BusyReply(limits_.busy_retry_ms, "tenant draining");
+  }
+  std::lock_guard<std::mutex> lock(ingest_mu_);
+  if (journal_broken_) {
+    return ErrReply("tenant " + tenant_id_ + ": journal unavailable");
+  }
+  const std::string shed = CheckBudgetLocked();
+  if (!shed.empty()) {
+    LD_OBS_COUNTER_ADD(obs::names::kSvcIngestShedTotal, 1);
+    return shed;
+  }
+  {
+    std::lock_guard<std::mutex> qlock(queue_mu_);
+    if (queue_.size() >= limits_.queue_capacity) {
+      LD_OBS_COUNTER_ADD(obs::names::kSvcIngestBackpressuredTotal, 1);
+      return BusyReply(limits_.busy_retry_ms, "ingest queue full");
+    }
+  }
+  const TimePoint claimed = claimed_.Claim(source, line);
+  auto offset = journal_.Append(source, claimed, line);
+  if (!offset.ok()) {
+    journal_broken_ = true;
+    return ErrReply("tenant " + tenant_id_ +
+                    ": journal append failed: " + offset.status().message());
+  }
+  const std::uint64_t seq =
+      accepted_.fetch_add(1, std::memory_order_relaxed) + 1;
+  {
+    std::lock_guard<std::mutex> qlock(queue_mu_);
+    queue_.push_back(QueueItem{source, claimed, std::string(line), *offset});
+  }
+  queue_cv_.notify_one();
+  LD_OBS_COUNTER_ADD(obs::names::kSvcIngestAcceptedTotal, 1);
+  return OkReply(std::to_string(seq));
+}
+
+void TenantShard::ApplyLocked(const QueueItem& item) {
+  switch (item.source) {
+    case LogSource::kTorque: analyzer_->AddTorqueLine(item.line); break;
+    case LogSource::kAlps: analyzer_->AddAlpsLine(item.line); break;
+    case LogSource::kSyslog: analyzer_->AddSyslogLine(item.line); break;
+    case LogSource::kHwerr: analyzer_->AddHwerrLine(item.line); break;
+  }
+  const std::uint64_t n = applied_.fetch_add(1, std::memory_order_relaxed) + 1;
+  applied_offset_ = item.end_offset;
+  applied_carry_[static_cast<std::size_t>(item.source)] = item.claimed;
+  if (limits_.advance_every != 0 && n % limits_.advance_every == 0) {
+    analyzer_->Advance(item.claimed - limits_.reorder_slack);
+  }
+}
+
+std::vector<std::uint8_t> TenantShard::BuildSnapshotLocked() {
+  SnapshotWriter w;
+  w.U32(kTenantSnapshotVersion);
+  w.Str(tenant_id_);
+  w.U64(applied_.load(std::memory_order_relaxed));
+  w.U64(applied_offset_);
+  for (const TimePoint carry : applied_carry_) w.Time(carry);
+  analyzer_->Snapshot(w);
+  return w.TakeBytes();
+}
+
+Status TenantShard::WriteSnapshotLocked() {
+  // The snapshot's resume offset must never outrun the disk: sync the
+  // journal first, so a crash right after the snapshot rename cannot
+  // strand the offset past the journal's durable bytes.
+  LD_TRY(journal_.Sync());
+  LD_TRY(store_.Write(BuildSnapshotLocked(), TenantFingerprint(tenant_id_)));
+  last_snapshot_applied_ = applied_.load(std::memory_order_relaxed);
+  last_snapshot_offset_ = applied_offset_;
+  snapshots_written_.fetch_add(1, std::memory_order_relaxed);
+  LD_OBS_COUNTER_ADD(obs::names::kSvcSnapshotsTotal, 1);
+  CrashPoint("svc-snapshot");
+  return Status::Ok();
+}
+
+void TenantShard::WorkerLoop() {
+  std::vector<QueueItem> batch;
+  for (;;) {
+    batch.clear();
+    {
+      std::unique_lock<std::mutex> qlock(queue_mu_);
+      queue_cv_.wait(qlock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty() && stopping_) return;
+      while (!queue_.empty() && batch.size() < kApplyBatch) {
+        batch.push_back(std::move(queue_.front()));
+        queue_.pop_front();
+      }
+      LD_OBS_GAUGE_SET(obs::names::kSvcQueueDepth,
+                       static_cast<std::int64_t>(queue_.size()));
+    }
+
+    std::unique_lock<std::timed_mutex> state(state_mu_);
+    for (const QueueItem& item : batch) {
+      const std::uint64_t n = applied_.load(std::memory_order_relaxed) + 1;
+      const auto fault = static_cast<ShardFault>(
+          fault_.load(std::memory_order_relaxed));
+      if (fault != ShardFault::kNone &&
+          n >= fault_after_.load(std::memory_order_relaxed)) {
+        if (fault == ShardFault::kHang) {
+          // Stall exactly like a wedged shard: the state lock stays
+          // held, queries time out with "stalled", the queue backs up,
+          // and only the watchdog's recycle recovers the tenant.
+          std::fprintf(stderr, "[svc] tenant %s: injected hang at line %" PRIu64
+                               "\n", tenant_id_.c_str(), n);
+          while (!abandoned_.load(std::memory_order_relaxed)) ::usleep(1000);
+          return;  // recycled; the replacement shard owns the tenant now
+        }
+        const std::uint64_t index =
+            n - fault_after_.load(std::memory_order_relaxed) + 1;
+        ::usleep(static_cast<useconds_t>(
+            DelayForBoundary(index,
+                             fault_mean_ms_.load(std::memory_order_relaxed),
+                             fault_seed_.load(std::memory_order_relaxed)) *
+            1000));
+      }
+      ApplyLocked(item);
+      // Daemon-wide fault boundary (LD_CRASH_AFTER / FAULT crash).
+      CrashPoint("svc-apply");
+    }
+    malformed_seen_.store(analyzer_->quarantine().total(),
+                          std::memory_order_relaxed);
+
+    const std::uint64_t applied = applied_.load(std::memory_order_relaxed);
+    const bool snapshot_due =
+        (limits_.snapshot_interval_lines != 0 &&
+         applied - last_snapshot_applied_ >= limits_.snapshot_interval_lines) ||
+        (limits_.snapshot_interval_bytes != 0 &&
+         applied_offset_ - last_snapshot_offset_ >=
+             limits_.snapshot_interval_bytes);
+    if (snapshot_due) {
+      const Status written = WriteSnapshotLocked();
+      if (!written.ok()) {
+        std::fprintf(stderr, "[svc] tenant %s: snapshot failed: %s\n",
+                     tenant_id_.c_str(), written.ToString().c_str());
+      }
+    }
+  }
+}
+
+std::string TenantShard::QueryReport() {
+  std::unique_lock<std::timed_mutex> state(state_mu_, std::defer_lock);
+  if (!state.try_lock_for(
+          std::chrono::milliseconds(limits_.query_lock_timeout_ms))) {
+    return ErrReply("tenant " + tenant_id_ + " stalled (apply lock busy)");
+  }
+  const MetricsReport report = analyzer_->metrics_accumulator().Report();
+  const std::uint32_t fp = FingerprintReport(report);
+  return OkReply("fp=" + HexFingerprint(fp) +
+                 " runs=" + std::to_string(analyzer_->runs_finalized()) +
+                 " applied=" + std::to_string(applied()) +
+                 " accepted=" + std::to_string(accepted()));
+}
+
+std::string TenantShard::QueryIngest() {
+  std::unique_lock<std::timed_mutex> state(state_mu_, std::defer_lock);
+  if (!state.try_lock_for(
+          std::chrono::milliseconds(limits_.query_lock_timeout_ms))) {
+    return ErrReply("tenant " + tenant_id_ + " stalled (apply lock busy)");
+  }
+  const std::uint32_t fp = FingerprintIngest(analyzer_->ingest_stats());
+  return OkReply("accepted=" + std::to_string(accepted()) +
+                 " applied=" + std::to_string(applied()) +
+                 " quarantined=" + std::to_string(
+                     analyzer_->quarantine().total()) +
+                 " fp=" + HexFingerprint(fp));
+}
+
+std::string TenantShard::QueryHealth() {
+  return OkReply(std::string("state=") + TenantStateName(state()) +
+                 " queue=" + std::to_string(queue_depth()) +
+                 " accepted=" + std::to_string(accepted()) +
+                 " applied=" + std::to_string(applied()) +
+                 " snapshots=" + std::to_string(snapshots_written()));
+}
+
+std::size_t TenantShard::queue_depth() const {
+  std::lock_guard<std::mutex> qlock(queue_mu_);
+  return queue_.size();
+}
+
+TenantState TenantShard::state() const {
+  if (abandoned_.load(std::memory_order_relaxed)) {
+    return TenantState::kStalled;
+  }
+  if (draining_.load(std::memory_order_relaxed)) {
+    return TenantState::kDraining;
+  }
+  if (shedding_.load(std::memory_order_relaxed)) {
+    return TenantState::kShedding;
+  }
+  if (degraded_.load(std::memory_order_relaxed)) {
+    return TenantState::kDegraded;
+  }
+  return TenantState::kActive;
+}
+
+Status TenantShard::Drain() {
+  draining_.store(true, std::memory_order_relaxed);
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  while (applied_.load(std::memory_order_relaxed) <
+         accepted_.load(std::memory_order_relaxed)) {
+    if (std::chrono::steady_clock::now() >= deadline) {
+      draining_.store(false, std::memory_order_relaxed);
+      return InternalError("tenant " + tenant_id_ +
+                           ": drain timed out (shard stalled?)");
+    }
+    ::usleep(1000);
+  }
+  const Status snap = SnapshotNow();
+  draining_.store(false, std::memory_order_relaxed);
+  return snap;
+}
+
+Status TenantShard::SnapshotNow() {
+  std::unique_lock<std::timed_mutex> state(state_mu_, std::defer_lock);
+  if (!state.try_lock_for(std::chrono::seconds(5))) {
+    return InternalError("tenant " + tenant_id_ +
+                         ": snapshot timed out (shard stalled?)");
+  }
+  return WriteSnapshotLocked();
+}
+
+void TenantShard::ArmFault(ShardFault fault, std::uint64_t after,
+                           std::uint64_t mean_ms, std::uint64_t seed) {
+  fault_after_.store(applied_.load(std::memory_order_relaxed) + after,
+                     std::memory_order_relaxed);
+  fault_mean_ms_.store(mean_ms == 0 ? 1 : mean_ms, std::memory_order_relaxed);
+  fault_seed_.store(seed, std::memory_order_relaxed);
+  fault_.store(static_cast<std::uint8_t>(fault), std::memory_order_relaxed);
+}
+
+void TenantShard::Stop() {
+  {
+    std::lock_guard<std::mutex> qlock(queue_mu_);
+    stopping_ = true;
+  }
+  queue_cv_.notify_all();
+  if (!worker_.joinable()) return;
+  // A wedged worker must not pin shutdown forever.  Give it a generous
+  // grace period to finish the queued work, then abandon it the way the
+  // watchdog would (which also releases an injected hang) and, if it
+  // still will not exit, leave the thread to process teardown — the
+  // graveyard philosophy applied to shutdown.
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(limits_.stop_grace_ms);
+  while (!worker_done_.load(std::memory_order_acquire) &&
+         std::chrono::steady_clock::now() < deadline) {
+    ::usleep(1000);
+  }
+  if (!worker_done_.load(std::memory_order_acquire)) {
+    abandoned_.store(true, std::memory_order_relaxed);
+    const auto grace =
+        std::chrono::steady_clock::now() +
+        std::chrono::milliseconds(std::max<std::uint64_t>(
+            limits_.stop_grace_ms / 5, 100));
+    while (!worker_done_.load(std::memory_order_acquire) &&
+           std::chrono::steady_clock::now() < grace) {
+      ::usleep(1000);
+    }
+  }
+  if (worker_done_.load(std::memory_order_acquire)) {
+    worker_.join();
+  } else {
+    std::fprintf(stderr, "[svc] tenant %s: worker wedged at shutdown\n",
+                 tenant_id_.c_str());
+    worker_.detach();
+  }
+}
+
+void TenantShard::Abandon() {
+  abandoned_.store(true, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> qlock(queue_mu_);
+    stopping_ = true;
+  }
+  queue_cv_.notify_all();
+  {
+    // Waits out any in-flight Append, then closes the fd so the
+    // replacement shard is the journal's only appender.
+    std::lock_guard<std::mutex> lock(ingest_mu_);
+    journal_broken_ = true;
+    journal_.Close();
+  }
+  if (worker_.joinable()) worker_.detach();
+}
+
+}  // namespace ld::service

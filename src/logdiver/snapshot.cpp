@@ -460,7 +460,14 @@ Status WriteSnapshotFile(const std::string& path,
   framed.insert(framed.end(), scratch, scratch + 8);
   framed.insert(framed.end(), payload.begin(), payload.end());
 
-  const std::string tmp = path + ".tmp";
+  // The tmp name is pid-qualified: two processes sharing a snapshot dir
+  // (the daemon's per-tenant layout, or a test racing two writers) must
+  // never interleave writes into one tmp file — with a shared name, one
+  // writer's rename could publish a file the other was still appending
+  // to, a torn snapshot under the *final* name that atomicity exists to
+  // prevent.
+  const std::string tmp =
+      path + ".tmp." + std::to_string(static_cast<long long>(::getpid()));
   const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
   if (fd < 0) {
     return InternalError("snapshot: cannot create " + tmp + ": " +

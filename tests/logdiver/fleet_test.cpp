@@ -2,6 +2,7 @@
 // the supervisor's happy path + validation edges.  The full worker-fault
 // sweep lives in bench/fleet_campaign (ctest label `fleet`).
 #include <gtest/gtest.h>
+#include <sys/wait.h>
 #include <unistd.h>
 
 #include <filesystem>
@@ -175,6 +176,43 @@ TEST_F(FleetEndToEndTest, CrashedShardIsRetriedAndAbsorbed) {
   EXPECT_EQ(result->shards[1].crashes, 1);
   EXPECT_EQ(result->shards[1].attempts, 2);
   ASSERT_EQ(result->shards[1].backoff_ms.size(), 1u);
+  std::filesystem::remove_all(options.partial_dir);
+}
+
+TEST_F(FleetEndToEndTest, FailFastAbortLeavesNoZombies) {
+  // Shard 1 crashes on every attempt and exhausts its retries, tripping
+  // the fail-fast abort while shard 0 is still parked in a hang.  The
+  // abort path must SIGKILL *and reap* every running worker before Run
+  // returns — an early return that skips the reap leaks zombies that
+  // outlive the supervisor.
+  const StreamInputs inputs = StreamInputs::FromBundleDir(*bundle_dir_);
+
+  fleet::FleetOptions options;
+  options.shard_count = 2;
+  options.partial_dir = TempFleetDir("zombie_partials");
+  options.max_attempts = 2;
+  options.policy = DegradationPolicy::kFailFast;
+  options.shard_timeout_ms = 60000;  // the hang outlives the whole test
+  fleet::FaultPlan hang;
+  hang.fault = fleet::WorkerFault::kHang;
+  hang.after_lines = 50;
+  hang.persistent = true;
+  options.faults[0] = hang;
+  fleet::FaultPlan crash;
+  crash.fault = fleet::WorkerFault::kCrash;
+  crash.after_lines = 50;
+  crash.persistent = true;
+  options.faults[1] = crash;
+
+  const fleet::ShardSupervisor supervisor(*machine_, LogDiverConfig{});
+  auto result = supervisor.Run(inputs, options);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kFailedPrecondition);
+
+  // No child of this process may remain, running or zombie.
+  errno = 0;
+  EXPECT_EQ(::waitpid(-1, nullptr, WNOHANG), -1);
+  EXPECT_EQ(errno, ECHILD);
   std::filesystem::remove_all(options.partial_dir);
 }
 

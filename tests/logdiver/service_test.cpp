@@ -1,0 +1,720 @@
+// Multi-tenant service tests: wire protocol, the write-ahead journal's
+// torn-tail handling, per-tenant crash recovery (bit-identical to an
+// uninterrupted run), daemon admission/backpressure/shed semantics, and
+// the watchdog's stalled-shard recycle.  The full overload/fault sweep
+// with hundreds of tenants lives in bench/service_campaign (ctest
+// label `service`).
+#include <gtest/gtest.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/crashpoint.hpp"
+#include "common/sockio.hpp"
+#include "logdiver/service/daemon.hpp"
+#include "logdiver/service/journal.hpp"
+#include "logdiver/service/protocol.hpp"
+#include "logdiver/service/tenant.hpp"
+#include "simlog/scenario.hpp"
+
+namespace ld::service {
+namespace {
+
+// --------------------------------------------------------------------
+// Line framing
+// --------------------------------------------------------------------
+
+TEST(LineChannelTest, StripsCrlfFraming) {
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  const std::string payload =
+      "PING\r\nINGEST t torque a \r mid-line stays\r\ntail";
+  ASSERT_EQ(::send(fds[0], payload.data(), payload.size(), 0),
+            static_cast<ssize_t>(payload.size()));
+  ::shutdown(fds[0], SHUT_WR);
+  LineChannel channel(fds[1]);
+  auto line = channel.ReadLine();
+  ASSERT_TRUE(line.ok());
+  EXPECT_EQ(**line, "PING");
+  line = channel.ReadLine();
+  ASSERT_TRUE(line.ok());
+  EXPECT_EQ(**line, "INGEST t torque a \r mid-line stays");
+  line = channel.ReadLine();  // unterminated EOF tail, no \r to strip
+  ASSERT_TRUE(line.ok());
+  EXPECT_EQ(**line, "tail");
+  line = channel.ReadLine();
+  ASSERT_TRUE(line.ok());
+  EXPECT_FALSE(line->has_value());
+  ::close(fds[0]);
+}
+
+// --------------------------------------------------------------------
+// Protocol grammar
+// --------------------------------------------------------------------
+
+TEST(ProtocolTest, ParsesIngest) {
+  auto req = ParseRequest("INGEST acme syslog Apr  1 00:00:01 nid00001 up");
+  ASSERT_TRUE(req.ok()) << req.status().ToString();
+  EXPECT_EQ(req->kind, RequestKind::kIngest);
+  EXPECT_EQ(req->tenant, "acme");
+  EXPECT_EQ(req->source, LogSource::kSyslog);
+  EXPECT_EQ(req->line, "Apr  1 00:00:01 nid00001 up");
+}
+
+TEST(ProtocolTest, IngestPreservesLineVerbatim) {
+  // Raw log lines contain runs of spaces; only the three header tokens
+  // are split, the rest passes through byte-for-byte.
+  auto req = ParseRequest("INGEST t torque  leading  and   inner");
+  ASSERT_TRUE(req.ok());
+  EXPECT_EQ(req->line, " leading  and   inner");
+}
+
+TEST(ProtocolTest, ParsesQueryKinds) {
+  for (const auto& [word, kind] :
+       {std::pair<std::string, QueryKind>{"report", QueryKind::kReport},
+        {"ingest", QueryKind::kIngest},
+        {"health", QueryKind::kHealth}}) {
+    auto req = ParseRequest("QUERY t1 " + word);
+    ASSERT_TRUE(req.ok()) << word;
+    EXPECT_EQ(req->kind, RequestKind::kQuery);
+    EXPECT_EQ(req->query, kind);
+  }
+  EXPECT_FALSE(ParseRequest("QUERY t1 bogus").ok());
+}
+
+TEST(ProtocolTest, ParsesAdminVerbs) {
+  EXPECT_EQ(ParseRequest("PING")->kind, RequestKind::kPing);
+  EXPECT_EQ(ParseRequest("SNAPSHOT")->kind, RequestKind::kSnapshot);
+  EXPECT_EQ(ParseRequest("DRAIN")->kind, RequestKind::kDrain);
+  auto fault = ParseRequest("FAULT t1 slow 10 25 7");
+  ASSERT_TRUE(fault.ok());
+  EXPECT_EQ(fault->fault, FaultKind::kSlow);
+  EXPECT_EQ(fault->fault_after, 10u);
+  EXPECT_EQ(fault->fault_mean_ms, 25u);
+  EXPECT_EQ(fault->fault_seed, 7u);
+}
+
+TEST(ProtocolTest, RejectsBadTenantIds) {
+  // Tenant ids become directory names; the charset is the validation.
+  EXPECT_TRUE(ValidTenantId("acme-prod_2.1"));
+  EXPECT_FALSE(ValidTenantId(""));
+  EXPECT_FALSE(ValidTenantId("."));
+  EXPECT_FALSE(ValidTenantId(".."));
+  EXPECT_FALSE(ValidTenantId("a/b"));
+  EXPECT_FALSE(ValidTenantId(std::string(65, 'x')));
+  EXPECT_FALSE(ParseRequest("INGEST ../evil torque x").ok());
+}
+
+TEST(ProtocolTest, ReplyVerdicts) {
+  EXPECT_EQ(ReplyVerdict(OkReply("5")), "OK");
+  EXPECT_EQ(ReplyVerdict(BusyReply(20, "queue full")), "BUSY");
+  EXPECT_EQ(ReplyVerdict(ShedReply(250, "over budget")), "SHED");
+  EXPECT_EQ(ReplyVerdict(ErrReply("nope")), "ERR");
+  EXPECT_EQ(BusyReply(20, "queue full"), "BUSY 20 queue full");
+}
+
+// --------------------------------------------------------------------
+// Delay fault point (LD_DELAY_AFTER)
+// --------------------------------------------------------------------
+
+TEST(DelayPointTest, BoundedAndDeterministic) {
+  for (std::uint64_t i = 0; i < 200; ++i) {
+    const std::uint64_t ms = DelayForBoundary(i, /*mean_ms=*/10, /*seed=*/3);
+    EXPECT_GE(ms, 5u);
+    EXPECT_LE(ms, 15u);
+    EXPECT_EQ(ms, DelayForBoundary(i, 10, 3)) << "not deterministic at " << i;
+  }
+  // Different seeds must produce different schedules somewhere.
+  bool differs = false;
+  for (std::uint64_t i = 0; i < 200 && !differs; ++i) {
+    differs = DelayForBoundary(i, 10, 3) != DelayForBoundary(i, 10, 4);
+  }
+  EXPECT_TRUE(differs);
+  EXPECT_GE(DelayForBoundary(7, /*mean_ms=*/0, /*seed=*/1), 1u);
+}
+
+TEST(DelayPointTest, ArmDisarm) {
+  EXPECT_FALSE(DelayPointArmed());
+  ArmDelayPoint(1, /*mean_ms=*/1, /*seed=*/1);
+  EXPECT_TRUE(DelayPointArmed());
+  CrashPoint("test");  // one ~1 ms nap; proves the path doesn't wedge
+  DisarmDelayPoint();
+  EXPECT_FALSE(DelayPointArmed());
+}
+
+// --------------------------------------------------------------------
+// Journal
+// --------------------------------------------------------------------
+
+class JournalTest : public ::testing::Test {
+ protected:
+  std::string Path(const std::string& name) const {
+    return testing::TempDir() + "svc_journal_" + name + "_" +
+           std::to_string(::getpid());
+  }
+};
+
+TEST_F(JournalTest, AppendReplayRoundTrip) {
+  const std::string path = Path("roundtrip");
+  std::filesystem::remove(path);
+  TenantJournal j;
+  ASSERT_TRUE(j.Open(path).ok());
+  auto first = j.Append(LogSource::kTorque, TimePoint(100), "line one");
+  ASSERT_TRUE(first.ok());
+  auto second = j.Append(LogSource::kSyslog, TimePoint(200), "line  two ");
+  ASSERT_TRUE(second.ok());
+  j.Close();
+
+  std::vector<JournalRecord> records;
+  auto end = TenantJournal::Replay(
+      path, 0, [&](const JournalRecord& r) { records.push_back(r); });
+  ASSERT_TRUE(end.ok()) << end.status().ToString();
+  EXPECT_EQ(*end, *second);
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0].source, LogSource::kTorque);
+  EXPECT_EQ(records[0].claimed, TimePoint(100));
+  EXPECT_EQ(records[0].line, "line one");
+  EXPECT_EQ(records[0].end_offset, *first);
+  EXPECT_EQ(records[1].source, LogSource::kSyslog);
+  EXPECT_EQ(records[1].line, "line  two ");  // spaces survive verbatim
+
+  // Replaying from the first record's end offset yields only the tail.
+  records.clear();
+  end = TenantJournal::Replay(
+      path, *first, [&](const JournalRecord& r) { records.push_back(r); });
+  ASSERT_TRUE(end.ok());
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].line, "line  two ");
+  std::filesystem::remove(path);
+}
+
+TEST_F(JournalTest, TornTailIsDetectedAndCut) {
+  const std::string path = Path("torn");
+  std::filesystem::remove(path);
+  TenantJournal j;
+  ASSERT_TRUE(j.Open(path).ok());
+  auto first = j.Append(LogSource::kAlps, TimePoint(7), "whole record");
+  ASSERT_TRUE(first.ok());
+  j.Close();
+  {
+    // A crash mid-write leaves an unterminated final record.
+    std::ofstream torn(path, std::ios::app | std::ios::binary);
+    torn << "s 99 half a reco";  // no trailing newline
+  }
+  std::size_t replayed = 0;
+  auto end = TenantJournal::Replay(path, 0,
+                                   [&](const JournalRecord&) { ++replayed; });
+  ASSERT_TRUE(end.ok());
+  EXPECT_EQ(*end, *first);  // valid data ends where the whole record did
+  EXPECT_EQ(replayed, 1u);
+  ASSERT_TRUE(TenantJournal::TruncateTo(path, *end).ok());
+  EXPECT_EQ(std::filesystem::file_size(path), *first);
+  std::filesystem::remove(path);
+}
+
+TEST_F(JournalTest, MissingFileReplaysNothing) {
+  auto end = TenantJournal::Replay(Path("absent"), 0,
+                                   [](const JournalRecord&) { FAIL(); });
+  ASSERT_TRUE(end.ok());
+  EXPECT_EQ(*end, 0u);
+}
+
+TEST_F(JournalTest, OffsetPastEofIsRefused) {
+  const std::string path = Path("pasteof");
+  std::filesystem::remove(path);
+  TenantJournal j;
+  ASSERT_TRUE(j.Open(path).ok());
+  ASSERT_TRUE(j.Append(LogSource::kTorque, TimePoint(1), "x").ok());
+  j.Close();
+  // A snapshot pointing past the journal means the journal lost acked
+  // data — recovery must fail loudly, not silently resume.
+  EXPECT_FALSE(
+      TenantJournal::Replay(path, 10000, [](const JournalRecord&) {}).ok());
+  std::filesystem::remove(path);
+}
+
+// --------------------------------------------------------------------
+// Tenant shard: ingest, recovery, budget
+// --------------------------------------------------------------------
+
+/// Campaign lines merged chronologically — the tailer's-eye view a
+/// service client would replay, shared by every shard test.
+struct TimedLine {
+  TimePoint time;
+  LogSource source;
+  std::string line;
+};
+
+class ServiceTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    ScenarioConfig config = SmallScenario(707);
+    config.workload.target_app_runs = 120;
+    machine_ = new Machine(MakeMachine(config));
+    auto campaign = RunCampaign(*machine_, config);
+    ASSERT_TRUE(campaign.ok());
+    lines_ = new std::vector<TimedLine>(Merge(campaign->logs));
+    ASSERT_GT(lines_->size(), 500u);
+  }
+
+  static void TearDownTestSuite() {
+    delete lines_;
+    delete machine_;
+    lines_ = nullptr;
+    machine_ = nullptr;
+  }
+
+  static std::vector<TimedLine> Merge(const EmittedLogs& logs) {
+    std::vector<TimedLine> merged;
+    TorqueParser torque;
+    for (const std::string& line : logs.torque) {
+      auto rec = torque.ParseLine(line);
+      if (rec.ok() && rec->has_value()) {
+        merged.push_back({(*rec)->time, LogSource::kTorque, line});
+      }
+    }
+    AlpsParser alps;
+    for (const std::string& line : logs.alps) {
+      auto rec = alps.ParseLine(line);
+      if (rec.ok() && rec->has_value()) {
+        merged.push_back({(*rec)->time, LogSource::kAlps, line});
+      }
+    }
+    for (const std::string& line : logs.syslog) {
+      auto t = SyslogParser::ParseSyslogTime(line.substr(0, 15), 2013);
+      merged.push_back({t.ok() ? *t : TimePoint(0), LogSource::kSyslog, line});
+    }
+    HwerrParser hwerr;
+    for (const std::string& line : logs.hwerr) {
+      auto rec = hwerr.ParseLine(line);
+      if (rec.ok() && rec->has_value()) {
+        merged.push_back({(*rec)->time, LogSource::kHwerr, line});
+      }
+    }
+    std::stable_sort(merged.begin(), merged.end(),
+                     [](const TimedLine& a, const TimedLine& b) {
+                       return a.time < b.time;
+                     });
+    return merged;
+  }
+
+  std::string Dir(const std::string& name) const {
+    const std::string dir = testing::TempDir() + "svc_test_" + name + "_" +
+                            std::to_string(::getpid());
+    std::filesystem::remove_all(dir);
+    return dir;
+  }
+
+  /// Feeds lines [begin, end) into the shard, absorbing backpressure
+  /// the way a well-behaved client does.
+  static void Feed(TenantShard& shard, std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end && i < lines_->size(); ++i) {
+      const TimedLine& item = (*lines_)[i];
+      std::string reply;
+      for (int attempt = 0; attempt < 1000; ++attempt) {
+        reply = shard.Ingest(item.source, item.line);
+        if (ReplyVerdict(reply) != "BUSY") break;
+        ::usleep(1000);
+      }
+      ASSERT_EQ(ReplyVerdict(reply), "OK") << "line " << i << ": " << reply;
+    }
+  }
+
+  static Machine* machine_;
+  static std::vector<TimedLine>* lines_;
+};
+
+Machine* ServiceTest::machine_ = nullptr;
+std::vector<TimedLine>* ServiceTest::lines_ = nullptr;
+
+TEST_F(ServiceTest, ShardIngestAndReportBasics) {
+  const std::string dir = Dir("basics");
+  TenantShard shard("acme", dir, *machine_, LogDiverConfig{}, TenantLimits{});
+  std::uint64_t recovered = 99;
+  ASSERT_TRUE(shard.Start(&recovered).ok());
+  EXPECT_EQ(recovered, 0u);  // fresh directory, nothing to replay
+  Feed(shard, 0, 400);
+  EXPECT_EQ(shard.accepted(), 400u);
+  ASSERT_TRUE(shard.Drain().ok());
+  EXPECT_EQ(shard.applied(), 400u);
+  const std::string report = shard.QueryReport();
+  EXPECT_EQ(ReplyVerdict(report), "OK");
+  EXPECT_NE(report.find("applied=400"), std::string::npos) << report;
+  const std::string health = shard.QueryHealth();
+  EXPECT_NE(health.find("state=active"), std::string::npos) << health;
+  shard.Stop();
+  std::filesystem::remove_all(dir);
+}
+
+TEST_F(ServiceTest, RecoveryIsBitIdenticalToUninterruptedRun) {
+  const std::size_t n = std::min<std::size_t>(lines_->size(), 1500);
+
+  // Reference: one shard, never interrupted.
+  const std::string ref_dir = Dir("recovery_ref");
+  std::string ref_report, ref_ingest;
+  {
+    TenantShard ref("acme", ref_dir, *machine_, LogDiverConfig{},
+                    TenantLimits{});
+    ASSERT_TRUE(ref.Start().ok());
+    Feed(ref, 0, n);
+    ASSERT_TRUE(ref.Drain().ok());
+    ref_report = ref.QueryReport();
+    ref_ingest = ref.QueryIngest();
+    ref.Stop();
+  }
+
+  // Interrupted: snapshot mid-stream, accept the rest, then come back
+  // WITHOUT a final snapshot — recovery must replay the journal suffix.
+  const std::string dir = Dir("recovery_cut");
+  TenantLimits limits;
+  limits.snapshot_interval_lines = 0;  // only explicit snapshots
+  limits.snapshot_interval_bytes = 0;
+  {
+    TenantShard shard("acme", dir, *machine_, LogDiverConfig{}, limits);
+    ASSERT_TRUE(shard.Start().ok());
+    Feed(shard, 0, n / 2);
+    ASSERT_TRUE(shard.Drain().ok());  // snapshot at the halfway point
+    Feed(shard, n / 2, n);
+    shard.Stop();  // applies the queue but takes no snapshot
+  }
+  {
+    TenantShard shard("acme", dir, *machine_, LogDiverConfig{}, limits);
+    std::uint64_t recovered = 0;
+    ASSERT_TRUE(shard.Start(&recovered).ok());
+    EXPECT_GT(recovered, 0u);  // the suffix really was replayed
+    EXPECT_EQ(shard.accepted(), n);
+    ASSERT_TRUE(shard.Drain().ok());
+    EXPECT_EQ(shard.QueryReport(), ref_report);
+    EXPECT_EQ(shard.QueryIngest(), ref_ingest);
+    shard.Stop();
+  }
+  std::filesystem::remove_all(ref_dir);
+  std::filesystem::remove_all(dir);
+}
+
+TEST_F(ServiceTest, RecoveryCutsTornJournalTail) {
+  const std::string dir = Dir("torn_tail");
+  const std::uint64_t kAccepted = 200;
+  {
+    TenantShard shard("acme", dir, *machine_, LogDiverConfig{},
+                      TenantLimits{});
+    ASSERT_TRUE(shard.Start().ok());
+    Feed(shard, 0, kAccepted);
+    ASSERT_TRUE(shard.Drain().ok());
+    shard.Stop();
+  }
+  {
+    // kill -9 mid-append: an unterminated record after the acked data.
+    std::ofstream torn(dir + "/journal.ldj", std::ios::app | std::ios::binary);
+    torn << "t 1364775002 half a rec";
+  }
+  TenantShard shard("acme", dir, *machine_, LogDiverConfig{}, TenantLimits{});
+  ASSERT_TRUE(shard.Start().ok());
+  EXPECT_EQ(shard.accepted(), kAccepted);  // the torn line was never acked
+  Feed(shard, kAccepted, kAccepted + 10);  // and appends still work after
+  ASSERT_TRUE(shard.Drain().ok());
+  EXPECT_EQ(shard.applied(), kAccepted + 10);
+  shard.Stop();
+  std::filesystem::remove_all(dir);
+}
+
+TEST_F(ServiceTest, ForeignSnapshotIsRejectedAtStart) {
+  // Another tenant's snapshot landing in this directory must not be
+  // restored: the tenant fingerprint gates LoadLatest.
+  const std::string dir = Dir("foreign");
+  {
+    TenantShard other("intruder", dir, *machine_, LogDiverConfig{},
+                      TenantLimits{});
+    ASSERT_TRUE(other.Start().ok());
+    Feed(other, 0, 50);
+    ASSERT_TRUE(other.Drain().ok());
+    other.Stop();
+  }
+  std::filesystem::remove(dir + "/journal.ldj");
+  TenantShard shard("acme", dir, *machine_, LogDiverConfig{}, TenantLimits{});
+  std::uint64_t recovered = 0;
+  ASSERT_TRUE(shard.Start(&recovered).ok());
+  EXPECT_EQ(shard.accepted(), 0u);  // started fresh, not from the snapshot
+  shard.Stop();
+  std::filesystem::remove_all(dir);
+}
+
+TEST_F(ServiceTest, OverBudgetTenantIsShedThenRecovers) {
+  const std::string dir = Dir("shed");
+  TenantLimits limits;
+  limits.budget.policy = DegradationPolicy::kFailFast;
+  limits.budget.window_lines = 32;
+  limits.budget.min_malformed = 4;
+  limits.budget.max_malformed_fraction = 0.1;
+  limits.budget.cooloff_ms = 100;
+  TenantShard shard("dirty", dir, *machine_, LogDiverConfig{}, limits);
+  ASSERT_TRUE(shard.Start().ok());
+
+  // Flood with garbage; once a full window evaluates over budget the
+  // shard sheds with an explicit retry-after, never a silent drop.
+  std::string reply;
+  bool shed = false;
+  for (int i = 0; i < 2000 && !shed; ++i) {
+    reply = shard.Ingest(LogSource::kTorque, "not a torque line at all");
+    const auto verdict = ReplyVerdict(reply);
+    if (verdict == "SHED") {
+      shed = true;
+    } else if (verdict == "BUSY") {
+      ::usleep(1000);
+    } else {
+      ASSERT_EQ(verdict, "OK") << reply;
+    }
+    // Budget windows read the quarantine totals the worker publishes,
+    // so give the apply side a moment to keep up.
+    if (i % 32 == 31) ::usleep(2000);
+  }
+  ASSERT_TRUE(shed) << "never shed; last reply: " << reply;
+  EXPECT_EQ(shard.state(), TenantState::kShedding);
+  EXPECT_NE(shard.QueryHealth().find("state=shedding"), std::string::npos);
+
+  // After the cooloff the tenant probes again — clean traffic passes.
+  ::usleep(150 * 1000);
+  for (int attempt = 0; attempt < 100; ++attempt) {
+    reply = shard.Ingest(LogSource::kSyslog, (*lines_)[0].line);
+    if (ReplyVerdict(reply) == "OK") break;
+    ::usleep(10 * 1000);
+  }
+  EXPECT_EQ(ReplyVerdict(reply), "OK") << reply;
+  shard.Stop();
+  std::filesystem::remove_all(dir);
+}
+
+TEST_F(ServiceTest, DegradePolicyKeepsInjestingButFlagsHealth) {
+  const std::string dir = Dir("degrade");
+  TenantLimits limits;
+  limits.budget.policy = DegradationPolicy::kQuarantineAndContinue;
+  limits.budget.window_lines = 32;
+  limits.budget.min_malformed = 4;
+  limits.budget.max_malformed_fraction = 0.1;
+  TenantShard shard("grubby", dir, *machine_, LogDiverConfig{}, limits);
+  ASSERT_TRUE(shard.Start().ok());
+  for (int i = 0; i < 200; ++i) {
+    const std::string reply =
+        shard.Ingest(LogSource::kTorque, "still not a torque line");
+    ASSERT_NE(ReplyVerdict(reply), "SHED") << reply;
+    if (ReplyVerdict(reply) == "BUSY") ::usleep(1000);
+    if (i % 32 == 31) ::usleep(2000);
+  }
+  ASSERT_TRUE(shard.Drain().ok());
+  EXPECT_EQ(shard.state(), TenantState::kDegraded);
+  EXPECT_NE(shard.QueryHealth().find("state=degraded"), std::string::npos);
+  shard.Stop();
+  std::filesystem::remove_all(dir);
+}
+
+TEST_F(ServiceTest, StopOnAWedgedWorkerIsBounded) {
+  const std::string dir = Dir("wedged_stop");
+  TenantLimits limits;
+  limits.stop_grace_ms = 200;
+  TenantShard shard("wedged", dir, *machine_, LogDiverConfig{}, limits);
+  ASSERT_TRUE(shard.Start().ok());
+  shard.ArmFault(ShardFault::kHang, /*after=*/1, 0, 0);
+  for (std::size_t i = 0; i < 8; ++i) {
+    EXPECT_EQ(ReplyVerdict(shard.Ingest((*lines_)[i].source,
+                                        (*lines_)[i].line)),
+              "OK");
+  }
+  // The worker parks inside the injected hang before applying anything
+  // (only Abandon releases it); Stop() must return anyway — within the
+  // grace bound, not a forever join (the shutdown half of the
+  // watchdog's abandon semantics).
+  ::usleep(50 * 1000);
+  const auto t0 = std::chrono::steady_clock::now();
+  shard.Stop();
+  const auto elapsed = std::chrono::steady_clock::now() - t0;
+  EXPECT_LT(elapsed, std::chrono::seconds(20));
+  std::filesystem::remove_all(dir);
+}
+
+TEST_F(ServiceTest, FullQueueAnswersBusyNotSilence) {
+  const std::string dir = Dir("busy");
+  TenantLimits limits;
+  limits.queue_capacity = 4;
+  TenantShard shard("slowpoke", dir, *machine_, LogDiverConfig{}, limits);
+  ASSERT_TRUE(shard.Start().ok());
+  // A slow worker (seeded delay per applied line) backs the queue up.
+  shard.ArmFault(ShardFault::kSlow, /*after=*/1, /*mean_ms=*/40, /*seed=*/7);
+  bool saw_busy = false;
+  for (std::size_t i = 0; i < 64 && !saw_busy; ++i) {
+    const std::string reply =
+        shard.Ingest((*lines_)[i].source, (*lines_)[i].line);
+    saw_busy = ReplyVerdict(reply) == "BUSY";
+  }
+  EXPECT_TRUE(saw_busy);
+  shard.ArmFault(ShardFault::kNone, 0, 0, 0);
+  ASSERT_TRUE(shard.Drain().ok());  // and the backlog still applies fully
+  shard.Stop();
+  std::filesystem::remove_all(dir);
+}
+
+// --------------------------------------------------------------------
+// Daemon: admission, routing, restart re-adoption, watchdog
+// --------------------------------------------------------------------
+
+class DaemonTest : public ServiceTest {
+ protected:
+  ServiceOptions Options(const std::string& dir) const {
+    ServiceOptions options;
+    options.data_dir = dir;
+    options.listen = "unix:" + dir + "/sock";
+    options.watchdog_period_ms = 0;  // tests arm it explicitly
+    return options;
+  }
+
+  static void IngestThrough(LogDiverDaemon& daemon, const std::string& tenant,
+                            std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end && i < lines_->size(); ++i) {
+      const TimedLine& item = (*lines_)[i];
+      std::string reply;
+      for (int attempt = 0; attempt < 1000; ++attempt) {
+        reply = daemon.HandleCommand("INGEST " + tenant + " " +
+                                     LogSourceName(item.source) + " " +
+                                     item.line);
+        if (ReplyVerdict(reply) != "BUSY") break;
+        ::usleep(1000);
+      }
+      ASSERT_EQ(ReplyVerdict(reply), "OK") << reply;
+    }
+  }
+};
+
+TEST_F(DaemonTest, RoutesVerbsAndValidatesRequests) {
+  const std::string dir = Dir("daemon_verbs");
+  LogDiverDaemon daemon(*machine_, Options(dir));
+  ASSERT_TRUE(daemon.Start().ok());
+  EXPECT_EQ(ReplyVerdict(daemon.HandleCommand("PING")), "OK");
+  EXPECT_EQ(ReplyVerdict(daemon.HandleCommand("NONSENSE x")), "ERR");
+  EXPECT_EQ(ReplyVerdict(daemon.HandleCommand("QUERY ghost report")), "ERR");
+  EXPECT_EQ(ReplyVerdict(daemon.HandleCommand("INGEST ../up torque x")),
+            "ERR");
+  // FAULT is an admin surface the daemon must opt into.
+  EXPECT_EQ(ReplyVerdict(daemon.HandleCommand("FAULT t1 hang 1")), "ERR");
+
+  IngestThrough(daemon, "t1", 0, 50);
+  EXPECT_EQ(daemon.tenant_count(), 1u);
+  EXPECT_EQ(ReplyVerdict(daemon.HandleCommand("DRAIN")), "OK");
+  const std::string report = daemon.HandleCommand("QUERY t1 report");
+  EXPECT_EQ(ReplyVerdict(report), "OK");
+  EXPECT_NE(report.find("applied=50"), std::string::npos) << report;
+  EXPECT_EQ(ReplyVerdict(daemon.HandleCommand("SNAPSHOT")), "OK");
+  daemon.Stop();
+  std::filesystem::remove_all(dir);
+}
+
+TEST_F(DaemonTest, AdmissionCapAnswersBusy) {
+  const std::string dir = Dir("daemon_cap");
+  ServiceOptions options = Options(dir);
+  options.max_tenants = 1;
+  LogDiverDaemon daemon(*machine_, options);
+  ASSERT_TRUE(daemon.Start().ok());
+  IngestThrough(daemon, "first", 0, 5);
+  const std::string refused =
+      daemon.HandleCommand("INGEST second torque " + (*lines_)[0].line);
+  EXPECT_EQ(ReplyVerdict(refused), "BUSY") << refused;
+  // The incumbent is unaffected by the refusal at the door.
+  IngestThrough(daemon, "first", 5, 10);
+  EXPECT_EQ(daemon.tenant_count(), 1u);
+  daemon.Stop();
+  std::filesystem::remove_all(dir);
+}
+
+TEST_F(DaemonTest, RestartReadoptsEveryTenantBitIdentically) {
+  const std::string dir = Dir("daemon_restart");
+  std::string report_a, report_b;
+  {
+    LogDiverDaemon daemon(*machine_, Options(dir));
+    ASSERT_TRUE(daemon.Start().ok());
+    IngestThrough(daemon, "alpha", 0, 300);
+    IngestThrough(daemon, "beta", 300, 600);
+    ASSERT_EQ(ReplyVerdict(daemon.HandleCommand("DRAIN")), "OK");
+    report_a = daemon.HandleCommand("QUERY alpha report");
+    report_b = daemon.HandleCommand("QUERY beta report");
+    daemon.Stop();
+  }
+  LogDiverDaemon daemon(*machine_, Options(dir));
+  ASSERT_TRUE(daemon.Start().ok());
+  EXPECT_EQ(daemon.tenant_count(), 2u);
+  EXPECT_EQ(daemon.tenants_recovered(), 2u);
+  EXPECT_EQ(daemon.HandleCommand("QUERY alpha report"), report_a);
+  EXPECT_EQ(daemon.HandleCommand("QUERY beta report"), report_b);
+  daemon.Stop();
+  std::filesystem::remove_all(dir);
+}
+
+TEST_F(DaemonTest, WatchdogRecyclesHungShardAndLosesNothing) {
+  const std::string dir = Dir("daemon_watchdog");
+  ServiceOptions options = Options(dir);
+  options.watchdog_period_ms = 20;
+  options.stall_timeout_ms = 100;
+  options.enable_fault_commands = true;
+  LogDiverDaemon daemon(*machine_, options);
+  ASSERT_TRUE(daemon.Start().ok());
+
+  // Reference bytes for the same traffic, computed on a healthy tenant.
+  IngestThrough(daemon, "healthy", 0, 400);
+  ASSERT_EQ(ReplyVerdict(daemon.HandleCommand("DRAIN")), "OK");
+  const std::string want = daemon.HandleCommand("QUERY healthy report");
+
+  // Hang the victim's worker mid-stream; keep ingesting so the queue
+  // stays non-empty (an idle shard is not a stalled shard).
+  EXPECT_EQ(ReplyVerdict(daemon.HandleCommand("FAULT victim hang 200")), "OK");
+  IngestThrough(daemon, "victim", 0, 400);
+  // Generous deadline: an oversubscribed CI machine can starve the
+  // watchdog thread and the replacement shard's journal replay.
+  for (int i = 0; i < 6000 && daemon.watchdog_recycles() == 0; ++i) {
+    ::usleep(10 * 1000);
+  }
+  ASSERT_GE(daemon.watchdog_recycles(), 1u) << "watchdog never fired";
+
+  // After the recycle the tenant answers again, has every acked line,
+  // and its report bytes match the healthy reference exactly.
+  std::string report;
+  for (int i = 0; i < 3000; ++i) {
+    report = daemon.HandleCommand("QUERY victim ingest");
+    if (ReplyVerdict(report) == "OK") break;
+    ::usleep(10 * 1000);
+  }
+  ASSERT_EQ(ReplyVerdict(report), "OK") << report;
+  ASSERT_EQ(ReplyVerdict(daemon.HandleCommand("DRAIN")), "OK");
+  const std::string got = daemon.HandleCommand("QUERY victim report");
+  // Same lines, same schedule — identical bytes modulo nothing.
+  EXPECT_EQ(got, want);
+  daemon.Stop();
+  std::filesystem::remove_all(dir);
+}
+
+TEST_F(DaemonTest, SlowShardIsBackpressuredNotRecycled) {
+  const std::string dir = Dir("daemon_slow");
+  ServiceOptions options = Options(dir);
+  options.watchdog_period_ms = 20;
+  options.stall_timeout_ms = 150;
+  options.enable_fault_commands = true;
+  options.tenant.queue_capacity = 8;
+  LogDiverDaemon daemon(*machine_, options);
+  ASSERT_TRUE(daemon.Start().ok());
+  EXPECT_EQ(ReplyVerdict(daemon.HandleCommand("FAULT sluggish slow 1 30 7")),
+            "OK");
+  IngestThrough(daemon, "sluggish", 0, 60);  // BUSY-retries absorb the lag
+  ASSERT_EQ(ReplyVerdict(daemon.HandleCommand("DRAIN")), "OK");
+  // Slowness is not a stall: progress kept happening, so the watchdog
+  // must not have recycled the shard.
+  EXPECT_EQ(daemon.watchdog_recycles(), 0u);
+  const std::string health = daemon.HandleCommand("QUERY sluggish health");
+  EXPECT_NE(health.find("applied=60"), std::string::npos) << health;
+  daemon.Stop();
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace ld::service

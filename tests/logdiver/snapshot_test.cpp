@@ -1,6 +1,8 @@
 #include "logdiver/snapshot.hpp"
 
 #include <gtest/gtest.h>
+#include <sys/wait.h>
+#include <unistd.h>
 
 #include <cmath>
 #include <filesystem>
@@ -201,6 +203,67 @@ TEST(SnapshotStoreTest, PrunesOldGenerations) {
     ASSERT_TRUE(store.Write({static_cast<std::uint8_t>(i)}).ok());
   }
   EXPECT_EQ(store.Generations(), (std::vector<std::uint64_t>{4, 5}));
+  std::filesystem::remove_all(dir);
+}
+
+TEST(SnapshotStoreTest, TwoConcurrentWriterProcessesNeverTearTheStore) {
+  // Two processes sharing one store directory (a recycled shard racing
+  // its abandoned predecessor, or two daemons pointed at the same
+  // data_dir by mistake).  Each writes its own fingerprint; whatever
+  // interleaving happens, LoadLatest must always see a *valid* newest
+  // generation and pruning must never drop below keep_generations.
+  const std::string dir = testing::TempDir() + "snapshot_store_racing_" +
+                          std::to_string(::getpid());
+  std::filesystem::remove_all(dir);
+
+  constexpr int kWritersCount = 2;
+  constexpr int kWritesPerWriter = 25;
+  pid_t pids[kWritersCount];
+  for (int w = 0; w < kWritersCount; ++w) {
+    pids[w] = ::fork();
+    ASSERT_GE(pids[w], 0);
+    if (pids[w] == 0) {
+      SnapshotStore store(dir, /*keep_generations=*/2);
+      for (int i = 0; i < kWritesPerWriter; ++i) {
+        std::vector<std::uint8_t> payload(64, static_cast<std::uint8_t>(w));
+        payload[0] = static_cast<std::uint8_t>(i);
+        if (!store.Write(payload, /*fingerprint=*/100 + w).ok()) {
+          std::_Exit(1);
+        }
+      }
+      std::_Exit(0);
+    }
+  }
+  for (const pid_t pid : pids) {
+    int status = 0;
+    ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+    EXPECT_TRUE(WIFEXITED(status) && WEXITSTATUS(status) == 0);
+  }
+
+  SnapshotStore store(dir, /*keep_generations=*/2);
+  const auto generations = store.Generations();
+  EXPECT_GE(generations.size(), 2u);
+  auto latest = store.LoadLatest();
+  ASSERT_TRUE(latest.ok()) << latest.status().ToString();
+  EXPECT_EQ(latest->payload.size(), 64u);
+  // The payload must be wholly one writer's bytes — a generation
+  // mixing both writers' data would mean the tmp files collided.
+  const std::uint8_t writer = latest->payload[1];
+  EXPECT_TRUE(writer == 0 || writer == 1);
+  for (std::size_t i = 2; i < latest->payload.size(); ++i) {
+    EXPECT_EQ(latest->payload[i], writer) << "torn payload at byte " << i;
+  }
+  EXPECT_EQ(latest->fingerprint, 100u + writer);
+
+  // Fingerprint rejection still works in the shared dir: asking for one
+  // writer's snapshots skips the other's (or reports NotFound if every
+  // surviving generation is the other writer's).
+  auto mine = store.LoadLatest(/*expected_fingerprint=*/100);
+  if (mine.ok()) {
+    EXPECT_EQ(mine->fingerprint, 100u);
+  } else {
+    EXPECT_EQ(mine.status().code(), StatusCode::kNotFound);
+  }
   std::filesystem::remove_all(dir);
 }
 
