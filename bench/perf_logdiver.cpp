@@ -5,13 +5,16 @@
 #include <benchmark/benchmark.h>
 
 #include <filesystem>
+#include <fstream>
 #include <span>
+#include <string>
 
 #include "analysis/bootstrap.hpp"
 #include "bench_common.hpp"
 #include "common/obs/obs.hpp"
 #include "common/parallel.hpp"
 #include "common/rng.hpp"
+#include "common/simd.hpp"
 #include "logdiver/logdiver.hpp"
 #include "logdiver/streaming.hpp"
 #include "simlog/scenario.hpp"
@@ -362,6 +365,113 @@ BENCHMARK(BM_AnalyzeBundle)
     ->Arg(4)
     ->Unit(benchmark::kMillisecond)
     ->UseRealTime();
+
+// --- Raw-speed ingestion ----------------------------------------------
+
+// Peak RSS (VmHWM) of this process in MB, from /proc/self/status; 0
+// when unreadable (non-Linux).  Reported as a counter so
+// tools/compare_bench.py --max-rss-mb can put a ceiling on it.
+double PeakRssMb() {
+  std::ifstream status("/proc/self/status");
+  std::string key;
+  while (status >> key) {
+    if (key == "VmHWM:") {
+      double kb = 0;
+      status >> kb;
+      return kb / 1024.0;
+    }
+    status.ignore(4096, '\n');
+  }
+  return 0.0;
+}
+
+// The newline scan at the bottom of every block split, on the campaign's
+// syslog text: the compiled-in backend (sse2/neon/scalar, see
+// simd::BackendName) vs the scalar reference in the same binary.  CI
+// gates the active backend's bytes/s floor and its margin over scalar
+// via compare_bench.py --min-bytes-per-second / --min-speedup.
+void BM_SimdScan(benchmark::State& state, bool use_scalar) {
+  static const std::string* text = [] {
+    auto* buffer = new std::string();
+    for (const std::string& line : Shared().logs.syslog) {
+      buffer->append(line);
+      buffer->push_back('\n');
+    }
+    return buffer;
+  }();
+  const std::string_view data = *text;
+  std::uint64_t newlines = 0;
+  for (auto _ : state) {
+    std::size_t pos = 0;
+    while (pos < data.size()) {
+      const std::size_t nl = use_scalar
+                                 ? ld::simd::scalar::FindByte(data, '\n', pos)
+                                 : ld::simd::FindByte(data, '\n', pos);
+      if (nl == std::string_view::npos) break;
+      ++newlines;
+      pos = nl + 1;
+    }
+    benchmark::DoNotOptimize(newlines);
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(data.size()));
+  state.SetLabel(use_scalar ? "scalar" : ld::simd::BackendName());
+}
+BENCHMARK_CAPTURE(BM_SimdScan, active, false)->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_SimdScan, scalar, true)->Unit(benchmark::kMillisecond);
+
+// AnalyzeBundle with the parsed-bundle cache: `cold` clears the cache
+// every iteration (text parse + entry write-back), `warm` hits the
+// memoized result.  bytes/s counts the on-disk input bytes either way,
+// so the two rows are directly comparable and CI can gate
+// warm >= 5x cold (compare_bench.py --min-speedup) plus a peak-RSS
+// ceiling on the warm row.
+void BM_AnalyzeBundleCached(benchmark::State& state, bool warm) {
+  const auto& shared = Shared();
+  const std::string dir = std::filesystem::temp_directory_path().string() +
+                          "/ld_perf_bundle_cached";
+  const std::string cache_dir = dir + "/cache";
+  static bool written = [&] {
+    std::filesystem::remove_all(dir);
+    auto bundle = ld::WriteBundle(shared.machine, shared.config, dir);
+    return bundle.ok();
+  }();
+  if (!written) std::abort();
+  std::int64_t total_bytes = 0;
+  for (const char* name :
+       {"torque.log", "alps.log", "syslog.log", "hwerr.log"}) {
+    total_bytes += static_cast<std::int64_t>(
+        std::filesystem::file_size(dir + "/" + name));
+  }
+  ld::LogDiverConfig config;
+  config.threads = 1;
+  config.bundle_cache_dir = cache_dir;
+  ld::LogDiver diver(shared.machine, config);
+  std::filesystem::remove_all(cache_dir);
+  if (warm) {
+    // Populate once; every timed iteration must be a full hit.
+    if (!diver.AnalyzeBundle(dir).ok()) std::abort();
+  }
+  for (auto _ : state) {
+    if (!warm) {
+      state.PauseTiming();
+      std::filesystem::remove_all(cache_dir);
+      state.ResumeTiming();
+    }
+    auto analysis = diver.AnalyzeBundle(dir);
+    if (!analysis.ok()) std::abort();
+    const ld::CacheOutcome want =
+        warm ? ld::CacheOutcome::kHit : ld::CacheOutcome::kMiss;
+    if (analysis->cache_outcome != want) std::abort();
+    benchmark::DoNotOptimize(analysis);
+  }
+  state.SetBytesProcessed(state.iterations() * total_bytes);
+  state.counters["rss_mb"] = PeakRssMb();
+}
+BENCHMARK_CAPTURE(BM_AnalyzeBundleCached, cold, false)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_AnalyzeBundleCached, warm, true)
+    ->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

@@ -73,7 +73,8 @@ int Usage() {
             << "  logdiver_cli generate <dir> [--seed N] [--apps N] "
                "[--days N] [--small]\n"
             << "  logdiver_cli analyze <dir> [--small] [--csv <outdir>]\n"
-            << "      [--threads N] [--snapshot-dir <dir>] "
+            << "      [--threads N] [--bundle-cache-dir <dir>]\n"
+            << "      [--snapshot-dir <dir>] "
                "[--snapshot-interval N] [--resume]\n"
             << "      [--fleet-workers N] [--shard-timeout MS] "
                "[--fleet-budget M]\n"
@@ -93,6 +94,7 @@ int main(int argc, char** argv) {
   std::int64_t days = 518;
   bool small = false;
   std::string csv_dir;
+  std::string bundle_cache_dir;
   std::string snapshot_dir;
   std::uint64_t snapshot_interval = 20000;
   bool resume = false;
@@ -126,6 +128,10 @@ int main(int argc, char** argv) {
       const char* v = next();
       if (!v) return Usage();
       csv_dir = v;
+    } else if (arg == "--bundle-cache-dir") {
+      const char* v = next();
+      if (!v) return Usage();
+      bundle_cache_dir = v;
     } else if (arg == "--snapshot-dir") {
       const char* v = next();
       if (!v) return Usage();
@@ -178,6 +184,9 @@ int main(int argc, char** argv) {
   manifest.SetInt("days", days);
   manifest.Set("small", small ? "true" : "false");
   manifest.SetInt("threads", threads);
+  if (!bundle_cache_dir.empty()) {
+    manifest.Set("bundle_cache_dir", bundle_cache_dir);
+  }
   if (!snapshot_dir.empty()) {
     manifest.Set("snapshot_dir", snapshot_dir);
     manifest.SetUint("snapshot_interval", snapshot_interval);
@@ -259,7 +268,9 @@ int main(int argc, char** argv) {
       return finish(1);
     }
     options.partial_dir = partial_dir;
-    const ld::fleet::ShardSupervisor supervisor(machine, ld::LogDiverConfig{});
+    ld::LogDiverConfig fleet_config;
+    fleet_config.bundle_cache_dir = bundle_cache_dir;
+    const ld::fleet::ShardSupervisor supervisor(machine, fleet_config);
     auto fleet = supervisor.Run(ld::StreamInputs::FromBundleDir(dir), options);
     std::error_code ec;
     std::filesystem::remove_all(partial_dir, ec);
@@ -316,8 +327,10 @@ int main(int argc, char** argv) {
       ld::ResumeOptions options;
       options.snapshot_dir = snapshot_dir;
       options.snapshot_interval = snapshot_interval;
+      ld::LogDiverConfig stream_config;
+      stream_config.bundle_cache_dir = bundle_cache_dir;
       auto result = ld::RunResumableAnalysis(
-          machine, ld::LogDiverConfig{},
+          machine, stream_config,
           ld::StreamInputs::FromBundleDir(dir), options);
       if (!result.ok()) {
         std::cerr << "analyze failed: " << result.status().ToString() << "\n";
@@ -375,6 +388,7 @@ int main(int argc, char** argv) {
   if (mode == "analyze") {
     ld::LogDiverConfig diver_config;
     diver_config.threads = threads;
+    diver_config.bundle_cache_dir = bundle_cache_dir;
     ld::LogDiver diver(machine, diver_config);
     auto analysis = diver.AnalyzeBundle(dir);
     if (!analysis.ok()) {
@@ -384,6 +398,25 @@ int main(int argc, char** argv) {
           analysis.status().ToString().find("error budget") !=
               std::string::npos;
       return finish(budget ? kExitIngestBudget : 1);
+    }
+    switch (analysis->cache_outcome) {
+      case ld::CacheOutcome::kDisabled:
+        break;
+      case ld::CacheOutcome::kMiss:
+        std::cout << "bundle cache: miss (entry written)\n";
+        break;
+      case ld::CacheOutcome::kRejected:
+        // The rejection reason prints too: a fallback to the text parse
+        // must be loud, never silent.
+        std::cout << "bundle cache: rejected — " << analysis->cache_note
+                  << "\n";
+        break;
+      case ld::CacheOutcome::kRecordsHit:
+        std::cout << "bundle cache: records hit (analysis tail re-run)\n";
+        break;
+      case ld::CacheOutcome::kHit:
+        std::cout << "bundle cache: hit (memoized result)\n";
+        break;
     }
     ld::PrintParseSummary(std::cout, *analysis);
     std::cout << "\n--- headline ---\n";

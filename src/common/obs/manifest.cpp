@@ -11,6 +11,7 @@
 #include "common/obs/build_info.hpp"
 #include "common/obs/json.hpp"
 #include "common/obs/metrics.hpp"
+#include "common/simd.hpp"
 
 namespace ld::obs {
 
@@ -137,6 +138,7 @@ std::string ManifestBuilder::ToJson() const {
   w.KV("cxx_flags", std::string_view(build.cxx_flags));
   w.KV("sanitizers", std::string_view(build.sanitizers));
   w.KV("obs_compiled_in", build.obs_compiled_in);
+  w.KV("simd_backend", std::string_view(simd::BackendName()));
   w.EndObject();
 
   w.Key("host");

@@ -27,6 +27,21 @@ inline constexpr const char* kIngestBlocksTotal = "ld.ingest.blocks_total";
 inline constexpr const char* kIngestBudgetExhaustedTotal =
     "ld.ingest.budget_exhausted_total";
 
+// --- SIMD scanning kernels (block_reader.cpp; see common/simd.hpp) ---
+inline constexpr const char* kSimdBytesScannedTotal =
+    "ld.simd.bytes_scanned_total";
+
+// --- parsed-bundle cache (cache/bundle_cache.cpp) --------------------
+inline constexpr const char* kCacheHitsTotal = "ld.cache.hits_total";
+inline constexpr const char* kCacheRecordHitsTotal =
+    "ld.cache.record_hits_total";
+inline constexpr const char* kCacheMissesTotal = "ld.cache.misses_total";
+inline constexpr const char* kCacheRejectedTotal = "ld.cache.rejected_total";
+inline constexpr const char* kCacheWritesTotal = "ld.cache.writes_total";
+inline constexpr const char* kCacheWriteBytesTotal =
+    "ld.cache.write_bytes_total";
+inline constexpr const char* kCacheLoadMicros = "ld.cache.load_micros";
+
 // --- quarantine (quarantine.cpp) -------------------------------------
 inline constexpr const char* kQuarantineAddedTotal =
     "ld.quarantine.added_total";

@@ -1,0 +1,304 @@
+#include "common/simd.hpp"
+
+#include <bit>
+
+#if !defined(LOGDIVER_SIMD_DISABLED) && \
+    (defined(__SSE2__) || defined(_M_X64))
+#define LD_SIMD_SSE2 1
+#include <emmintrin.h>
+#elif !defined(LOGDIVER_SIMD_DISABLED) && defined(__aarch64__)
+#define LD_SIMD_NEON 1
+#include <arm_neon.h>
+#endif
+
+namespace ld::simd {
+namespace {
+
+// The C locale isspace set: ' ' plus the control range '\t'..'\r'.
+inline bool IsSpaceByte(unsigned char c) {
+  return c == ' ' || (c >= '\t' && c <= '\r');
+}
+
+inline bool IsDigitByte(unsigned char c) { return c >= '0' && c <= '9'; }
+
+}  // namespace
+
+// ---------------------------------------------------------------------
+// Scalar reference backend: plain byte loops, no libc memchr, so the
+// SIMD-vs-scalar benchmark compares instruction selection, not libc.
+// ---------------------------------------------------------------------
+namespace scalar {
+
+std::size_t FindByte(std::string_view data, char needle, std::size_t pos) {
+  for (std::size_t i = pos; i < data.size(); ++i) {
+    if (data[i] == needle) return i;
+  }
+  return std::string_view::npos;
+}
+
+std::size_t FindWhitespace(std::string_view data, std::size_t pos) {
+  for (std::size_t i = pos; i < data.size(); ++i) {
+    if (IsSpaceByte(static_cast<unsigned char>(data[i]))) return i;
+  }
+  return data.size();
+}
+
+std::size_t SkipWhitespace(std::string_view data, std::size_t pos) {
+  for (std::size_t i = pos; i < data.size(); ++i) {
+    if (!IsSpaceByte(static_cast<unsigned char>(data[i]))) return i;
+  }
+  return data.size();
+}
+
+std::size_t DigitRunLength(std::string_view data, std::size_t pos) {
+  std::size_t i = pos;
+  while (i < data.size() && IsDigitByte(static_cast<unsigned char>(data[i]))) {
+    ++i;
+  }
+  return i - pos;
+}
+
+bool IsClockHHMMSS(const char* p) {
+  return IsDigitByte(static_cast<unsigned char>(p[0])) &&
+         IsDigitByte(static_cast<unsigned char>(p[1])) && p[2] == ':' &&
+         IsDigitByte(static_cast<unsigned char>(p[3])) &&
+         IsDigitByte(static_cast<unsigned char>(p[4])) && p[5] == ':' &&
+         IsDigitByte(static_cast<unsigned char>(p[6])) &&
+         IsDigitByte(static_cast<unsigned char>(p[7]));
+}
+
+}  // namespace scalar
+
+#if defined(LD_SIMD_SSE2)
+// ---------------------------------------------------------------------
+// SSE2 backend (baseline x86-64; no runtime dispatch needed).
+// ---------------------------------------------------------------------
+namespace {
+
+// 0xFF lanes where the byte is in the isspace set.  The range compare
+// uses signed arithmetic: bytes >= 0x80 are negative, so both range
+// tests are false for them — exactly the scalar behavior.
+inline __m128i WhitespaceLanes(__m128i v) {
+  const __m128i space = _mm_cmpeq_epi8(v, _mm_set1_epi8(' '));
+  const __m128i ge_tab = _mm_cmpgt_epi8(v, _mm_set1_epi8('\t' - 1));
+  const __m128i le_cr = _mm_cmpgt_epi8(_mm_set1_epi8('\r' + 1), v);
+  return _mm_or_si128(space, _mm_and_si128(ge_tab, le_cr));
+}
+
+inline __m128i DigitLanes(__m128i v) {
+  const __m128i ge0 = _mm_cmpgt_epi8(v, _mm_set1_epi8('0' - 1));
+  const __m128i le9 = _mm_cmpgt_epi8(_mm_set1_epi8('9' + 1), v);
+  return _mm_and_si128(ge0, le9);
+}
+
+inline __m128i Load16(const char* p) {
+  return _mm_loadu_si128(reinterpret_cast<const __m128i*>(p));
+}
+
+}  // namespace
+
+const char* BackendName() { return "sse2"; }
+
+std::size_t FindByte(std::string_view data, char needle, std::size_t pos) {
+  const char* base = data.data();
+  const std::size_t n = data.size();
+  const __m128i vn = _mm_set1_epi8(needle);
+  std::size_t i = pos;
+  for (; i + 16 <= n; i += 16) {
+    const unsigned mask = static_cast<unsigned>(
+        _mm_movemask_epi8(_mm_cmpeq_epi8(Load16(base + i), vn)));
+    if (mask != 0) return i + std::countr_zero(mask);
+  }
+  for (; i < n; ++i) {
+    if (base[i] == needle) return i;
+  }
+  return std::string_view::npos;
+}
+
+std::size_t FindWhitespace(std::string_view data, std::size_t pos) {
+  const char* base = data.data();
+  const std::size_t n = data.size();
+  std::size_t i = pos;
+  for (; i + 16 <= n; i += 16) {
+    const unsigned mask = static_cast<unsigned>(
+        _mm_movemask_epi8(WhitespaceLanes(Load16(base + i))));
+    if (mask != 0) return i + std::countr_zero(mask);
+  }
+  for (; i < n; ++i) {
+    if (IsSpaceByte(static_cast<unsigned char>(base[i]))) return i;
+  }
+  return n;
+}
+
+std::size_t SkipWhitespace(std::string_view data, std::size_t pos) {
+  const char* base = data.data();
+  const std::size_t n = data.size();
+  std::size_t i = pos;
+  for (; i + 16 <= n; i += 16) {
+    const unsigned mask = 0xFFFFu & ~static_cast<unsigned>(
+        _mm_movemask_epi8(WhitespaceLanes(Load16(base + i))));
+    if (mask != 0) return i + std::countr_zero(mask);
+  }
+  for (; i < n; ++i) {
+    if (!IsSpaceByte(static_cast<unsigned char>(base[i]))) return i;
+  }
+  return n;
+}
+
+std::size_t DigitRunLength(std::string_view data, std::size_t pos) {
+  const char* base = data.data();
+  const std::size_t n = data.size();
+  std::size_t i = pos;
+  for (; i + 16 <= n; i += 16) {
+    const unsigned nondigit = 0xFFFFu & ~static_cast<unsigned>(
+        _mm_movemask_epi8(DigitLanes(Load16(base + i))));
+    if (nondigit != 0) return i + std::countr_zero(nondigit) - pos;
+  }
+  for (; i < n; ++i) {
+    if (!IsDigitByte(static_cast<unsigned char>(base[i]))) break;
+  }
+  return i - pos;
+}
+
+bool IsClockHHMMSS(const char* p) {
+  const __m128i v = _mm_loadl_epi64(reinterpret_cast<const __m128i*>(p));
+  const unsigned digits =
+      static_cast<unsigned>(_mm_movemask_epi8(DigitLanes(v))) & 0xFFu;
+  const unsigned colons = static_cast<unsigned>(_mm_movemask_epi8(
+                              _mm_cmpeq_epi8(v, _mm_set1_epi8(':')))) &
+                          0xFFu;
+  // Digits at offsets {0,1,3,4,6,7} = 0xDB; colons at {2,5} = 0x24.
+  return digits == 0xDBu && colons == 0x24u;
+}
+
+#elif defined(LD_SIMD_NEON)
+// ---------------------------------------------------------------------
+// NEON backend (aarch64).  Movemask is emulated by narrowing the
+// 16x8-bit compare result to one nibble per lane (vshrn), giving a
+// 64-bit mask where lane i occupies bits [4i, 4i+4).
+// ---------------------------------------------------------------------
+namespace {
+
+inline std::uint64_t NibbleMask(uint8x16_t lanes) {
+  const uint8x8_t narrowed = vshrn_n_u16(vreinterpretq_u16_u8(lanes), 4);
+  return vget_lane_u64(vreinterpret_u64_u8(narrowed), 0);
+}
+
+inline uint8x16_t WhitespaceLanes(uint8x16_t v) {
+  const uint8x16_t space = vceqq_u8(v, vdupq_n_u8(' '));
+  const uint8x16_t ge_tab = vcgeq_u8(v, vdupq_n_u8('\t'));
+  const uint8x16_t le_cr = vcleq_u8(v, vdupq_n_u8('\r'));
+  return vorrq_u8(space, vandq_u8(ge_tab, le_cr));
+}
+
+inline uint8x16_t DigitLanes(uint8x16_t v) {
+  return vandq_u8(vcgeq_u8(v, vdupq_n_u8('0')), vcleq_u8(v, vdupq_n_u8('9')));
+}
+
+}  // namespace
+
+const char* BackendName() { return "neon"; }
+
+std::size_t FindByte(std::string_view data, char needle, std::size_t pos) {
+  const char* base = data.data();
+  const std::size_t n = data.size();
+  const uint8x16_t vn = vdupq_n_u8(static_cast<std::uint8_t>(needle));
+  std::size_t i = pos;
+  for (; i + 16 <= n; i += 16) {
+    const uint8x16_t v =
+        vld1q_u8(reinterpret_cast<const std::uint8_t*>(base + i));
+    const std::uint64_t mask = NibbleMask(vceqq_u8(v, vn));
+    if (mask != 0) return i + (std::countr_zero(mask) >> 2);
+  }
+  for (; i < n; ++i) {
+    if (base[i] == needle) return i;
+  }
+  return std::string_view::npos;
+}
+
+std::size_t FindWhitespace(std::string_view data, std::size_t pos) {
+  const char* base = data.data();
+  const std::size_t n = data.size();
+  std::size_t i = pos;
+  for (; i + 16 <= n; i += 16) {
+    const uint8x16_t v =
+        vld1q_u8(reinterpret_cast<const std::uint8_t*>(base + i));
+    const std::uint64_t mask = NibbleMask(WhitespaceLanes(v));
+    if (mask != 0) return i + (std::countr_zero(mask) >> 2);
+  }
+  for (; i < n; ++i) {
+    if (IsSpaceByte(static_cast<unsigned char>(base[i]))) return i;
+  }
+  return n;
+}
+
+std::size_t SkipWhitespace(std::string_view data, std::size_t pos) {
+  const char* base = data.data();
+  const std::size_t n = data.size();
+  std::size_t i = pos;
+  for (; i + 16 <= n; i += 16) {
+    const uint8x16_t v =
+        vld1q_u8(reinterpret_cast<const std::uint8_t*>(base + i));
+    const std::uint64_t mask = ~NibbleMask(WhitespaceLanes(v));
+    if (mask != 0) return i + (std::countr_zero(mask) >> 2);
+  }
+  for (; i < n; ++i) {
+    if (!IsSpaceByte(static_cast<unsigned char>(base[i]))) return i;
+  }
+  return n;
+}
+
+std::size_t DigitRunLength(std::string_view data, std::size_t pos) {
+  const char* base = data.data();
+  const std::size_t n = data.size();
+  std::size_t i = pos;
+  for (; i + 16 <= n; i += 16) {
+    const uint8x16_t v =
+        vld1q_u8(reinterpret_cast<const std::uint8_t*>(base + i));
+    const std::uint64_t nondigit = ~NibbleMask(DigitLanes(v));
+    if (nondigit != 0) return i + (std::countr_zero(nondigit) >> 2) - pos;
+  }
+  for (; i < n; ++i) {
+    if (!IsDigitByte(static_cast<unsigned char>(base[i]))) break;
+  }
+  return i - pos;
+}
+
+bool IsClockHHMMSS(const char* p) {
+  const uint8x8_t v = vld1_u8(reinterpret_cast<const std::uint8_t*>(p));
+  const uint8x8_t dig =
+      vand_u8(vcge_u8(v, vdup_n_u8('0')), vcle_u8(v, vdup_n_u8('9')));
+  const uint8x8_t col = vceq_u8(v, vdup_n_u8(':'));
+  // Lane i occupies bits [8i, 8i+8) of the 64-bit view.
+  return vget_lane_u64(vreinterpret_u64_u8(dig), 0) == 0xFFFF00FFFF00FFFFull &&
+         vget_lane_u64(vreinterpret_u64_u8(col), 0) == 0x0000FF0000FF0000ull;
+}
+
+#else
+// ---------------------------------------------------------------------
+// Portable fallback: the active backend IS the scalar reference.
+// ---------------------------------------------------------------------
+
+const char* BackendName() { return "scalar"; }
+
+std::size_t FindByte(std::string_view data, char needle, std::size_t pos) {
+  return scalar::FindByte(data, needle, pos);
+}
+
+std::size_t FindWhitespace(std::string_view data, std::size_t pos) {
+  return scalar::FindWhitespace(data, pos);
+}
+
+std::size_t SkipWhitespace(std::string_view data, std::size_t pos) {
+  return scalar::SkipWhitespace(data, pos);
+}
+
+std::size_t DigitRunLength(std::string_view data, std::size_t pos) {
+  return scalar::DigitRunLength(data, pos);
+}
+
+bool IsClockHHMMSS(const char* p) { return scalar::IsClockHHMMSS(p); }
+
+#endif
+
+}  // namespace ld::simd

@@ -1,0 +1,61 @@
+// SIMD scanning kernels shared by the block reader and all four log
+// parsers: byte search (newline splitting), whitespace classification
+// (field splitting), digit-run and HH:MM:SS recognition (timestamp fast
+// paths).
+//
+// One backend is selected at compile time: SSE2 on x86-64, NEON on
+// aarch64, and a portable scalar loop everywhere else or when the build
+// sets -DLOGDIVER_SIMD=OFF (which defines LOGDIVER_SIMD_DISABLED).  The
+// kernels are pure byte-classification functions, so every backend
+// returns bit-identical results — the scalar reference implementations
+// in simd::scalar are always compiled, both as the fallback and so one
+// binary can benchmark the active backend against them (BM_SimdScan)
+// and tests can assert agreement on adversarial buffers.
+//
+// The whitespace set is exactly the C locale's std::isspace set
+// (' ', '\t', '\n', '\v', '\f', '\r'): SplitWhitespace and Trim are
+// built on these kernels and their observable behavior must not change.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace ld::simd {
+
+/// Name of the compiled-in backend: "sse2", "neon" or "scalar".
+/// Surfaced in run manifests so a benchmark row is attributable.
+const char* BackendName();
+
+/// Index of the first occurrence of `needle` at or after `pos`, or
+/// std::string_view::npos.  Semantics match std::string_view::find.
+std::size_t FindByte(std::string_view data, char needle, std::size_t pos = 0);
+
+/// Index of the first byte in the isspace set at or after `pos`, or
+/// data.size() when none.
+std::size_t FindWhitespace(std::string_view data, std::size_t pos = 0);
+
+/// Index of the first byte NOT in the isspace set at or after `pos`,
+/// or data.size() when the rest of the buffer is whitespace.
+std::size_t SkipWhitespace(std::string_view data, std::size_t pos = 0);
+
+/// Length of the run of ASCII digits starting at `pos` (0 when
+/// data[pos] is not a digit or pos is out of range).
+std::size_t DigitRunLength(std::string_view data, std::size_t pos = 0);
+
+/// True when the 8 bytes at `p` spell a clock "HH:MM:SS": digits at
+/// offsets {0,1,3,4,6,7} and ':' at {2,5}.  Range checks (hours < 24)
+/// remain the caller's job.  The caller guarantees 8 readable bytes.
+bool IsClockHHMMSS(const char* p);
+
+// Scalar reference implementations — always compiled, regardless of
+// the active backend.  Identical observable behavior by contract.
+namespace scalar {
+std::size_t FindByte(std::string_view data, char needle, std::size_t pos = 0);
+std::size_t FindWhitespace(std::string_view data, std::size_t pos = 0);
+std::size_t SkipWhitespace(std::string_view data, std::size_t pos = 0);
+std::size_t DigitRunLength(std::string_view data, std::size_t pos = 0);
+bool IsClockHHMMSS(const char* p);
+}  // namespace scalar
+
+}  // namespace ld::simd

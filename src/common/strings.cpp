@@ -6,6 +6,8 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "common/simd.hpp"
+
 namespace ld {
 
 std::vector<std::string_view> Split(std::string_view text, char sep) {
@@ -24,22 +26,17 @@ std::vector<std::string_view> SplitWhitespace(std::string_view text) {
   std::vector<std::string_view> out;
   std::size_t i = 0;
   while (i < text.size()) {
-    while (i < text.size() && std::isspace(static_cast<unsigned char>(text[i]))) {
-      ++i;
-    }
-    const std::size_t start = i;
-    while (i < text.size() && !std::isspace(static_cast<unsigned char>(text[i]))) {
-      ++i;
-    }
-    if (i > start) out.push_back(text.substr(start, i - start));
+    const std::size_t start = simd::SkipWhitespace(text, i);
+    if (start == text.size()) break;
+    i = simd::FindWhitespace(text, start);
+    out.push_back(text.substr(start, i - start));
   }
   return out;
 }
 
 std::string_view Trim(std::string_view text) {
-  std::size_t b = 0;
+  const std::size_t b = simd::SkipWhitespace(text, 0);
   std::size_t e = text.size();
-  while (b < e && std::isspace(static_cast<unsigned char>(text[b]))) ++b;
   while (e > b && std::isspace(static_cast<unsigned char>(text[e - 1]))) --e;
   return text.substr(b, e - b);
 }
@@ -102,11 +99,7 @@ std::optional<std::string_view> FindKeyValueOpt(std::string_view record,
          std::isspace(static_cast<unsigned char>(record[hit - 1]))) &&
         eq < record.size() && record[eq] == '=') {
       const std::size_t vstart = eq + 1;
-      std::size_t vend = vstart;
-      while (vend < record.size() &&
-             !std::isspace(static_cast<unsigned char>(record[vend]))) {
-        ++vend;
-      }
+      const std::size_t vend = simd::FindWhitespace(record, vstart);
       return record.substr(vstart, vend - vstart);
     }
     pos = hit + 1;

@@ -1,0 +1,985 @@
+#include "logdiver/cache/bundle_cache.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <bit>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <unordered_map>
+#include <utility>
+
+#include "common/obs/names.hpp"
+#include "common/obs/obs.hpp"
+#include "logdiver/block_reader.hpp"
+#include "logdiver/snapshot.hpp"
+
+namespace ld::cache {
+namespace {
+
+// --- keys ------------------------------------------------------------
+
+// Same FNV-1a-64 as resume.cpp's BundlePartitionFingerprint; the two
+// must stay value-identical (bundle_cache_test pins this) so a fleet
+// worker's snapshot fingerprint and its claims-cache entry agree.
+constexpr std::uint64_t kFnvOffset = 1469598103934665603ull;
+constexpr std::uint64_t kFnvPrime = 1099511628211ull;
+
+void FnvMix(std::uint64_t& h, const void* data, std::size_t size) {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < size; ++i) {
+    h ^= bytes[i];
+    h *= kFnvPrime;
+  }
+}
+
+// Word-folded FNV variant for bulk line content: folds eight input
+// bytes per multiply instead of one.  Not bit-compatible with the
+// byte-at-a-time mix above, which is fine — fingerprints are always
+// recomputed at runtime on both the store and the load side, never
+// compared against an externally pinned value, so changing the mix
+// only ever turns old entries into safe rejections.  The bulk path is
+// little-endian only; big-endian hosts take the bytewise loop (and a
+// cache entry shared across endiannesses rejects, which is correct).
+void FnvMixBulk(std::uint64_t& h, const void* data, std::size_t size) {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  std::size_t i = 0;
+  if constexpr (std::endian::native == std::endian::little) {
+    for (; i + 8 <= size; i += 8) {
+      std::uint64_t w;
+      std::memcpy(&w, bytes + i, 8);
+      h ^= w;
+      h *= kFnvPrime;
+    }
+  }
+  for (; i < size; ++i) {
+    h ^= bytes[i];
+    h *= kFnvPrime;
+  }
+}
+
+void MixU64(std::uint64_t& h, std::uint64_t v) { FnvMix(h, &v, sizeof(v)); }
+void MixI64(std::uint64_t& h, std::int64_t v) {
+  MixU64(h, static_cast<std::uint64_t>(v));
+}
+
+// --- file framing ----------------------------------------------------
+
+// Deliberately distinct from the snapshot magic: a checkpoint copied
+// into a cache directory (or vice versa) must fail the very first
+// header check, not limp into payload decoding.
+constexpr std::array<std::uint8_t, 8> kMagic = {'L', 'D', 'P', 'B',
+                                                'C', 'H', 'E', '1'};
+// magic | version u32 | crc u32 | payload size u64 | fingerprint u64
+constexpr std::size_t kHeaderSize = kMagic.size() + 4 + 4 + 8 + 8;
+
+constexpr std::uint8_t kKindBundle = 1;
+constexpr std::uint8_t kKindClaims = 2;
+
+void PutU32(std::uint8_t* out, std::uint32_t v) {
+  out[0] = static_cast<std::uint8_t>(v);
+  out[1] = static_cast<std::uint8_t>(v >> 8);
+  out[2] = static_cast<std::uint8_t>(v >> 16);
+  out[3] = static_cast<std::uint8_t>(v >> 24);
+}
+
+std::uint32_t GetU32(const std::uint8_t* p) {
+  return static_cast<std::uint32_t>(p[0]) |
+         static_cast<std::uint32_t>(p[1]) << 8 |
+         static_cast<std::uint32_t>(p[2]) << 16 |
+         static_cast<std::uint32_t>(p[3]) << 24;
+}
+
+std::uint64_t GetU64(const std::uint8_t* p) {
+  return static_cast<std::uint64_t>(GetU32(p)) |
+         static_cast<std::uint64_t>(GetU32(p + 4)) << 32;
+}
+
+/// Atomic publish with the snapshot store's discipline: pid-qualified
+/// tmp, full write, fsync, rename.  Concurrent writers of the same
+/// entry race benignly — last rename wins and both candidates are
+/// complete, valid files.
+Status AtomicWrite(const std::string& path,
+                   const std::vector<std::uint8_t>& bytes) {
+  const std::string tmp =
+      path + ".tmp." + std::to_string(static_cast<long long>(::getpid()));
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    return InternalError("bundle cache: cannot create " + tmp + ": " +
+                         std::strerror(errno));
+  }
+  std::size_t written = 0;
+  while (written < bytes.size()) {
+    const ssize_t n =
+        ::write(fd, bytes.data() + written, bytes.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const std::string why = std::strerror(errno);
+      ::close(fd);
+      ::unlink(tmp.c_str());
+      return InternalError("bundle cache: short write to " + tmp + ": " + why);
+    }
+    written += static_cast<std::size_t>(n);
+  }
+  if (::fsync(fd) != 0) {
+    const std::string why = std::strerror(errno);
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    return InternalError("bundle cache: fsync " + tmp + " failed: " + why);
+  }
+  if (::close(fd) != 0) {
+    ::unlink(tmp.c_str());
+    return InternalError("bundle cache: close " + tmp + " failed");
+  }
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    const std::string why = std::strerror(errno);
+    ::unlink(tmp.c_str());
+    return InternalError("bundle cache: rename to " + path + " failed: " +
+                         why);
+  }
+  return Status::Ok();
+}
+
+Status WriteEntry(const std::string& dir, const std::string& path,
+                  std::uint64_t fingerprint, SnapshotWriter&& payload_writer) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    return InternalError("bundle cache: cannot create " + dir + ": " +
+                         ec.message());
+  }
+  const std::vector<std::uint8_t> payload = payload_writer.TakeBytes();
+  std::vector<std::uint8_t> framed;
+  framed.reserve(kHeaderSize + payload.size());
+  framed.insert(framed.end(), kMagic.begin(), kMagic.end());
+  std::uint8_t scratch[8];
+  PutU32(scratch, kBundleCacheVersion);
+  framed.insert(framed.end(), scratch, scratch + 4);
+  PutU32(scratch, Crc32(payload));
+  framed.insert(framed.end(), scratch, scratch + 4);
+  const std::uint64_t size = payload.size();
+  PutU32(scratch, static_cast<std::uint32_t>(size));
+  PutU32(scratch + 4, static_cast<std::uint32_t>(size >> 32));
+  framed.insert(framed.end(), scratch, scratch + 8);
+  PutU32(scratch, static_cast<std::uint32_t>(fingerprint));
+  PutU32(scratch + 4, static_cast<std::uint32_t>(fingerprint >> 32));
+  framed.insert(framed.end(), scratch, scratch + 8);
+  framed.insert(framed.end(), payload.begin(), payload.end());
+  LD_TRY(AtomicWrite(path, framed));
+  LD_OBS_COUNTER_ADD(obs::names::kCacheWritesTotal, 1);
+  LD_OBS_COUNTER_ADD(obs::names::kCacheWriteBytesTotal, framed.size());
+  return Status::Ok();
+}
+
+/// A mapped entry whose header has passed every structural check; the
+/// payload span aliases the mapping, which must stay alive through
+/// decoding.
+struct MappedEntry {
+  MappedFile file;
+  const std::uint8_t* payload = nullptr;
+  std::size_t size = 0;
+};
+
+/// Every failure path here is a *rejection*: the file exists but cannot
+/// be trusted.  The caller converts to a loud fallback.
+Result<MappedEntry> OpenEntry(const std::string& path,
+                              std::uint64_t expected_fingerprint) {
+  auto mapped = MappedFile::Open(path);
+  if (!mapped.ok()) return mapped.status();
+  MappedEntry entry;
+  entry.file = std::move(*mapped);
+  const std::string_view data = entry.file.data();
+  const auto* bytes = reinterpret_cast<const std::uint8_t*>(data.data());
+  if (data.size() < kHeaderSize) {
+    return ParseError(path + " shorter than the header");
+  }
+  if (!std::equal(kMagic.begin(), kMagic.end(), bytes)) {
+    return ParseError(path + " has a bad magic number");
+  }
+  const std::uint32_t version = GetU32(bytes + kMagic.size());
+  if (version != kBundleCacheVersion) {
+    return ParseError(path + " has format version " + std::to_string(version) +
+                      ", this build speaks " +
+                      std::to_string(kBundleCacheVersion));
+  }
+  const std::uint32_t crc = GetU32(bytes + kMagic.size() + 4);
+  const std::uint64_t declared = GetU64(bytes + kMagic.size() + 8);
+  if (declared != data.size() - kHeaderSize) {
+    return ParseError(path + " is torn (declares " + std::to_string(declared) +
+                      " payload bytes, has " +
+                      std::to_string(data.size() - kHeaderSize) + ")");
+  }
+  entry.payload = bytes + kHeaderSize;
+  entry.size = data.size() - kHeaderSize;
+  if (Crc32(entry.payload, entry.size) != crc) {
+    return ParseError(path + " fails its CRC check");
+  }
+  const std::uint64_t fingerprint = GetU64(bytes + kMagic.size() + 16);
+  if (fingerprint != expected_fingerprint) {
+    return ParseError(path + " belongs to a different bundle (fingerprint " +
+                      std::to_string(fingerprint) + ", expected " +
+                      std::to_string(expected_fingerprint) + ")");
+  }
+  return entry;
+}
+
+// --- column primitives -----------------------------------------------
+
+template <typename T>
+void PutElement(SnapshotWriter& w, T v) {
+  static_assert(sizeof(T) == 1 || sizeof(T) == 4 || sizeof(T) == 8);
+  if constexpr (sizeof(T) == 1) {
+    std::uint8_t b;
+    std::memcpy(&b, &v, 1);
+    w.U8(b);
+  } else if constexpr (sizeof(T) == 4) {
+    std::uint32_t b;
+    std::memcpy(&b, &v, 4);
+    w.U32(b);
+  } else {
+    std::uint64_t b;
+    std::memcpy(&b, &v, 8);
+    w.U64(b);
+  }
+}
+
+template <typename T>
+T GetElement(SnapshotReader& r) {
+  static_assert(sizeof(T) == 1 || sizeof(T) == 4 || sizeof(T) == 8);
+  T v{};
+  if constexpr (sizeof(T) == 1) {
+    const std::uint8_t b = r.U8();
+    std::memcpy(&v, &b, 1);
+  } else if constexpr (sizeof(T) == 4) {
+    const std::uint32_t b = r.U32();
+    std::memcpy(&v, &b, 4);
+  } else {
+    const std::uint64_t b = r.U64();
+    std::memcpy(&v, &b, 8);
+  }
+  return v;
+}
+
+/// u64 count + the raw little-endian array.  On LE hosts (every target
+/// this repo builds for) the dump and the load are single memcpys —
+/// this is what makes a records hit decode at memory bandwidth.
+template <typename T>
+void PutPodColumn(SnapshotWriter& w, const std::vector<T>& col) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  w.U64(col.size());
+  if constexpr (std::endian::native == std::endian::little) {
+    w.Raw(col.data(), col.size() * sizeof(T));
+  } else {
+    for (const T& v : col) PutElement(w, v);
+  }
+}
+
+template <typename T>
+void GetPodColumn(SnapshotReader& r, std::vector<T>& col) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  const std::uint64_t n = r.U64();
+  if (!r.ok()) return;
+  if (n > r.remaining() / sizeof(T)) {
+    r.Fail("column longer than the payload");
+    return;
+  }
+  col.resize(n);
+  if constexpr (std::endian::native == std::endian::little) {
+    r.Raw(col.data(), col.size() * sizeof(T));
+  } else {
+    for (T& v : col) v = GetElement<T>(r);
+  }
+}
+
+/// Interned-symbol column: a first-seen string table (u32 count +
+/// length-prefixed strings) followed by a u32 index column.  Symbol ids
+/// are process-local (intern.hpp), so the *strings* are the on-disk
+/// identity and the loader re-interns them.
+template <typename GetFn>
+void PutSymbolColumn(SnapshotWriter& w, std::size_t n, GetFn get) {
+  std::unordered_map<std::uint32_t, std::uint32_t> seen;
+  std::vector<Symbol> table;
+  std::vector<std::uint32_t> idx(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const Symbol s = get(i);
+    const auto [it, inserted] =
+        seen.emplace(s.id(), static_cast<std::uint32_t>(table.size()));
+    if (inserted) table.push_back(s);
+    idx[i] = it->second;
+  }
+  w.U32(static_cast<std::uint32_t>(table.size()));
+  for (const Symbol s : table) w.Str(s.view());
+  PutPodColumn(w, idx);
+}
+
+template <typename SetFn>
+void GetSymbolColumn(SnapshotReader& r, std::size_t n, SetFn set) {
+  const std::uint32_t table_size = r.U32();
+  if (!r.ok()) return;
+  if (table_size > r.remaining() / 4) {
+    r.Fail("symbol table longer than the payload");
+    return;
+  }
+  std::vector<Symbol> table;
+  table.reserve(table_size);
+  for (std::uint32_t i = 0; i < table_size && r.ok(); ++i) {
+    table.push_back(Intern(r.Str()));
+  }
+  std::vector<std::uint32_t> idx;
+  GetPodColumn(r, idx);
+  if (!r.ok()) return;
+  if (idx.size() != n) {
+    r.Fail("symbol column length mismatch");
+    return;
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    if (idx[i] >= table.size()) {
+      r.Fail("symbol index out of range");
+      return;
+    }
+    set(i, table[idx[i]]);
+  }
+}
+
+// --- parsed-records section ------------------------------------------
+
+void PutTorque(SnapshotWriter& w, const std::vector<TorqueRecord>& recs) {
+  const std::size_t n = recs.size();
+  w.U64(n);
+  for (const auto& rec : recs) w.U8(static_cast<std::uint8_t>(rec.kind));
+  for (const auto& rec : recs) w.I64(rec.time.unix_seconds());
+  for (const auto& rec : recs) w.U64(rec.jobid);
+  PutSymbolColumn(w, n, [&](std::size_t i) { return recs[i].user; });
+  PutSymbolColumn(w, n, [&](std::size_t i) { return recs[i].queue; });
+  PutSymbolColumn(w, n, [&](std::size_t i) { return recs[i].job_name; });
+  for (const auto& rec : recs) w.I64(rec.submit.unix_seconds());
+  for (const auto& rec : recs) w.I64(rec.start.unix_seconds());
+  for (const auto& rec : recs) w.I64(rec.end.unix_seconds());
+  for (const auto& rec : recs) w.I32(rec.exit_status);
+  for (const auto& rec : recs) w.U32(rec.nodect);
+  for (const auto& rec : recs) w.I64(rec.walltime_limit.seconds());
+  for (const auto& rec : recs) w.I64(rec.walltime_used.seconds());
+}
+
+void GetTorque(SnapshotReader& r, std::vector<TorqueRecord>& recs) {
+  const std::uint64_t n = r.U64();
+  if (!r.ok()) return;
+  if (n > r.remaining()) {  // every record spends well over 1 byte
+    r.Fail("torque column longer than the payload");
+    return;
+  }
+  recs.resize(n);
+  for (auto& rec : recs) rec.kind = static_cast<TorqueRecord::Kind>(r.U8());
+  for (auto& rec : recs) rec.time = TimePoint(r.I64());
+  for (auto& rec : recs) rec.jobid = r.U64();
+  GetSymbolColumn(r, n, [&](std::size_t i, Symbol s) { recs[i].user = s; });
+  GetSymbolColumn(r, n, [&](std::size_t i, Symbol s) { recs[i].queue = s; });
+  GetSymbolColumn(r, n, [&](std::size_t i, Symbol s) { recs[i].job_name = s; });
+  for (auto& rec : recs) rec.submit = TimePoint(r.I64());
+  for (auto& rec : recs) rec.start = TimePoint(r.I64());
+  for (auto& rec : recs) rec.end = TimePoint(r.I64());
+  for (auto& rec : recs) rec.exit_status = r.I32();
+  for (auto& rec : recs) rec.nodect = r.U32();
+  for (auto& rec : recs) rec.walltime_limit = Duration(r.I64());
+  for (auto& rec : recs) rec.walltime_used = Duration(r.I64());
+}
+
+void PutAlps(SnapshotWriter& w, const std::vector<AlpsRecord>& recs) {
+  const std::size_t n = recs.size();
+  w.U64(n);
+  for (const auto& rec : recs) w.U8(static_cast<std::uint8_t>(rec.kind));
+  for (const auto& rec : recs) w.I64(rec.time.unix_seconds());
+  for (const auto& rec : recs) w.U64(rec.apid);
+  for (const auto& rec : recs) w.U64(rec.jobid);
+  PutSymbolColumn(w, n, [&](std::size_t i) { return recs[i].user; });
+  PutSymbolColumn(w, n, [&](std::size_t i) { return recs[i].command; });
+  for (const auto& rec : recs) w.U32(rec.nodect);
+  // Node placements as CSR: offsets + one packed entry array.
+  std::vector<std::uint64_t> offsets;
+  offsets.reserve(n + 1);
+  offsets.push_back(0);
+  std::vector<NodeIndex> entries;
+  for (const auto& rec : recs) {
+    entries.insert(entries.end(), rec.nids.begin(), rec.nids.end());
+    offsets.push_back(entries.size());
+  }
+  PutPodColumn(w, offsets);
+  PutPodColumn(w, entries);
+  for (const auto& rec : recs) w.I32(rec.exit_code);
+  for (const auto& rec : recs) w.I32(rec.exit_signal);
+  for (const auto& rec : recs) w.Str(rec.kill_reason);
+  for (const auto& rec : recs) w.U32(rec.failed_nid);
+}
+
+void GetAlps(SnapshotReader& r, std::vector<AlpsRecord>& recs) {
+  const std::uint64_t n = r.U64();
+  if (!r.ok()) return;
+  if (n > r.remaining()) {
+    r.Fail("alps column longer than the payload");
+    return;
+  }
+  recs.resize(n);
+  for (auto& rec : recs) rec.kind = static_cast<AlpsRecord::Kind>(r.U8());
+  for (auto& rec : recs) rec.time = TimePoint(r.I64());
+  for (auto& rec : recs) rec.apid = r.U64();
+  for (auto& rec : recs) rec.jobid = r.U64();
+  GetSymbolColumn(r, n, [&](std::size_t i, Symbol s) { recs[i].user = s; });
+  GetSymbolColumn(r, n, [&](std::size_t i, Symbol s) { recs[i].command = s; });
+  for (auto& rec : recs) rec.nodect = r.U32();
+  std::vector<std::uint64_t> offsets;
+  std::vector<NodeIndex> entries;
+  GetPodColumn(r, offsets);
+  GetPodColumn(r, entries);
+  if (!r.ok()) return;
+  if (offsets.size() != n + 1 || offsets[0] != 0 ||
+      offsets.back() != entries.size()) {
+    r.Fail("alps nid CSR is inconsistent");
+    return;
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    if (offsets[i] > offsets[i + 1]) {
+      r.Fail("alps nid CSR is inconsistent");
+      return;
+    }
+    recs[i].nids.assign(entries.begin() + offsets[i],
+                        entries.begin() + offsets[i + 1]);
+  }
+  for (auto& rec : recs) rec.exit_code = r.I32();
+  for (auto& rec : recs) rec.exit_signal = r.I32();
+  for (auto& rec : recs) rec.kill_reason = r.Str();
+  for (auto& rec : recs) rec.failed_nid = r.U32();
+}
+
+void PutErrorColumns(SnapshotWriter& w, const ErrorColumns& cols) {
+  w.U64(cols.size());
+  PutPodColumn(w, cols.time);
+  PutPodColumn(w, cols.category);
+  PutPodColumn(w, cols.severity);
+  PutPodColumn(w, cols.scope);
+  PutPodColumn(w, cols.source);
+  PutSymbolColumn(w, cols.size(),
+                  [&](std::size_t i) { return cols.location[i]; });
+  PutPodColumn(w, cols.recovered_set);
+  PutPodColumn(w, cols.recovered);
+}
+
+void GetErrorColumns(SnapshotReader& r, ErrorColumns& cols) {
+  const std::uint64_t n = r.U64();
+  if (!r.ok()) return;
+  GetPodColumn(r, cols.time);
+  GetPodColumn(r, cols.category);
+  GetPodColumn(r, cols.severity);
+  GetPodColumn(r, cols.scope);
+  GetPodColumn(r, cols.source);
+  if (!r.ok()) return;
+  cols.location.resize(cols.time.size());
+  GetSymbolColumn(r, cols.time.size(),
+                  [&](std::size_t i, Symbol s) { cols.location[i] = s; });
+  GetPodColumn(r, cols.recovered_set);
+  GetPodColumn(r, cols.recovered);
+  if (!r.ok()) return;
+  if (cols.time.size() != n || cols.category.size() != n ||
+      cols.severity.size() != n || cols.scope.size() != n ||
+      cols.source.size() != n || cols.recovered_set.size() != n ||
+      cols.recovered.size() != n) {
+    r.Fail("error columns have mismatched lengths");
+  }
+}
+
+void DecodeParsed(SnapshotReader& r, ParsedLogs& parsed) {
+  GetTorque(r, parsed.torque);
+  GetAlps(r, parsed.alps);
+  GetErrorColumns(r, parsed.errors);
+  LoadParseStats(r, parsed.torque_stats);
+  LoadParseStats(r, parsed.alps_stats);
+  LoadParseStats(r, parsed.syslog_stats);
+  LoadParseStats(r, parsed.hwerr_stats);
+  parsed.sink.LoadState(r);
+}
+
+// --- memoized-result section -----------------------------------------
+
+void PutRuns(SnapshotWriter& w, const std::vector<AppRun>& runs) {
+  const std::size_t n = runs.size();
+  w.U64(n);
+  for (const auto& run : runs) w.U64(run.apid);
+  for (const auto& run : runs) w.U64(run.jobid);
+  PutSymbolColumn(w, n, [&](std::size_t i) { return runs[i].user; });
+  PutSymbolColumn(w, n, [&](std::size_t i) { return runs[i].queue; });
+  for (const auto& run : runs) w.U8(static_cast<std::uint8_t>(run.node_type));
+  std::vector<std::uint64_t> offsets;
+  offsets.reserve(n + 1);
+  offsets.push_back(0);
+  std::vector<NodeIndex> entries;
+  for (const auto& run : runs) {
+    entries.insert(entries.end(), run.nodes.begin(), run.nodes.end());
+    offsets.push_back(entries.size());
+  }
+  PutPodColumn(w, offsets);
+  PutPodColumn(w, entries);
+  for (const auto& run : runs) w.U32(run.nodect);
+  for (const auto& run : runs) w.I64(run.start.unix_seconds());
+  for (const auto& run : runs) w.I64(run.end.unix_seconds());
+  for (const auto& run : runs) {
+    std::uint8_t flags = 0;
+    if (run.has_termination) flags |= 1;
+    if (run.killed_node_failure) flags |= 2;
+    w.U8(flags);
+  }
+  for (const auto& run : runs) w.I32(run.exit_code);
+  for (const auto& run : runs) w.I32(run.exit_signal);
+  for (const auto& run : runs) w.U32(run.failed_nid);
+  for (const auto& run : runs) w.I64(run.job_submit.unix_seconds());
+  for (const auto& run : runs) w.I64(run.job_start.unix_seconds());
+  for (const auto& run : runs) w.I64(run.walltime_limit.seconds());
+  for (const auto& run : runs) w.I32(run.job_exit_status);
+}
+
+void GetRuns(SnapshotReader& r, std::vector<AppRun>& runs) {
+  const std::uint64_t n = r.U64();
+  if (!r.ok()) return;
+  if (n > r.remaining()) {
+    r.Fail("run column longer than the payload");
+    return;
+  }
+  runs.resize(n);
+  for (auto& run : runs) run.apid = r.U64();
+  for (auto& run : runs) run.jobid = r.U64();
+  GetSymbolColumn(r, n, [&](std::size_t i, Symbol s) { runs[i].user = s; });
+  GetSymbolColumn(r, n, [&](std::size_t i, Symbol s) { runs[i].queue = s; });
+  for (auto& run : runs) run.node_type = static_cast<NodeType>(r.U8());
+  std::vector<std::uint64_t> offsets;
+  std::vector<NodeIndex> entries;
+  GetPodColumn(r, offsets);
+  GetPodColumn(r, entries);
+  if (!r.ok()) return;
+  if (offsets.size() != n + 1 || offsets[0] != 0 ||
+      offsets.back() != entries.size()) {
+    r.Fail("run node CSR is inconsistent");
+    return;
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    if (offsets[i] > offsets[i + 1]) {
+      r.Fail("run node CSR is inconsistent");
+      return;
+    }
+    runs[i].nodes.assign(entries.begin() + offsets[i],
+                         entries.begin() + offsets[i + 1]);
+  }
+  for (auto& run : runs) run.nodect = r.U32();
+  for (auto& run : runs) run.start = TimePoint(r.I64());
+  for (auto& run : runs) run.end = TimePoint(r.I64());
+  for (auto& run : runs) {
+    const std::uint8_t flags = r.U8();
+    run.has_termination = (flags & 1) != 0;
+    run.killed_node_failure = (flags & 2) != 0;
+  }
+  for (auto& run : runs) run.exit_code = r.I32();
+  for (auto& run : runs) run.exit_signal = r.I32();
+  for (auto& run : runs) run.failed_nid = r.U32();
+  for (auto& run : runs) run.job_submit = TimePoint(r.I64());
+  for (auto& run : runs) run.job_start = TimePoint(r.I64());
+  for (auto& run : runs) run.walltime_limit = Duration(r.I64());
+  for (auto& run : runs) run.job_exit_status = r.I32();
+}
+
+void PutTuples(SnapshotWriter& w, const std::vector<ErrorTuple>& tuples) {
+  const std::size_t n = tuples.size();
+  w.U64(n);
+  for (const auto& t : tuples) w.U64(t.id);
+  for (const auto& t : tuples) w.U8(static_cast<std::uint8_t>(t.category));
+  for (const auto& t : tuples) w.U8(static_cast<std::uint8_t>(t.severity));
+  for (const auto& t : tuples) w.U8(static_cast<std::uint8_t>(t.scope));
+  PutSymbolColumn(w, n, [&](std::size_t i) { return tuples[i].location; });
+  std::vector<std::uint64_t> offsets;
+  offsets.reserve(n + 1);
+  offsets.push_back(0);
+  std::vector<NodeIndex> entries;
+  for (const auto& t : tuples) {
+    entries.insert(entries.end(), t.nodes.begin(), t.nodes.end());
+    offsets.push_back(entries.size());
+  }
+  PutPodColumn(w, offsets);
+  PutPodColumn(w, entries);
+  for (const auto& t : tuples) w.I64(t.first.unix_seconds());
+  for (const auto& t : tuples) w.I64(t.last.unix_seconds());
+  for (const auto& t : tuples) w.U8(t.recovered.has_value() ? 1 : 0);
+  for (const auto& t : tuples) {
+    w.I64(t.recovered ? t.recovered->unix_seconds() : 0);
+  }
+  for (const auto& t : tuples) w.U32(t.count);
+  for (const auto& t : tuples) {
+    std::uint8_t flags = 0;
+    if (t.from_syslog) flags |= 1;
+    if (t.from_hwerr) flags |= 2;
+    w.U8(flags);
+  }
+}
+
+void GetTuples(SnapshotReader& r, std::vector<ErrorTuple>& tuples) {
+  const std::uint64_t n = r.U64();
+  if (!r.ok()) return;
+  if (n > r.remaining()) {
+    r.Fail("tuple column longer than the payload");
+    return;
+  }
+  tuples.resize(n);
+  for (auto& t : tuples) t.id = r.U64();
+  for (auto& t : tuples) t.category = static_cast<ErrorCategory>(r.U8());
+  for (auto& t : tuples) t.severity = static_cast<Severity>(r.U8());
+  for (auto& t : tuples) t.scope = static_cast<LocScope>(r.U8());
+  GetSymbolColumn(r, n,
+                  [&](std::size_t i, Symbol s) { tuples[i].location = s; });
+  std::vector<std::uint64_t> offsets;
+  std::vector<NodeIndex> entries;
+  GetPodColumn(r, offsets);
+  GetPodColumn(r, entries);
+  if (!r.ok()) return;
+  if (offsets.size() != n + 1 || offsets[0] != 0 ||
+      offsets.back() != entries.size()) {
+    r.Fail("tuple node CSR is inconsistent");
+    return;
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    if (offsets[i] > offsets[i + 1]) {
+      r.Fail("tuple node CSR is inconsistent");
+      return;
+    }
+    tuples[i].nodes.assign(entries.begin() + offsets[i],
+                           entries.begin() + offsets[i + 1]);
+  }
+  for (auto& t : tuples) t.first = TimePoint(r.I64());
+  for (auto& t : tuples) t.last = TimePoint(r.I64());
+  std::vector<std::uint8_t> recovered_set(n);
+  for (auto& set : recovered_set) set = r.U8();
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::int64_t at = r.I64();
+    if (recovered_set[i] != 0) tuples[i].recovered = TimePoint(at);
+  }
+  for (auto& t : tuples) t.count = r.U32();
+  for (auto& t : tuples) {
+    const std::uint8_t flags = r.U8();
+    t.from_syslog = (flags & 1) != 0;
+    t.from_hwerr = (flags & 2) != 0;
+  }
+}
+
+void PutClassified(SnapshotWriter& w, const std::vector<ClassifiedRun>& cls) {
+  w.U64(cls.size());
+  for (const auto& c : cls) w.U32(c.run_index);
+  for (const auto& c : cls) w.U8(static_cast<std::uint8_t>(c.outcome));
+  for (const auto& c : cls) w.U8(static_cast<std::uint8_t>(c.cause));
+  for (const auto& c : cls) w.U64(c.tuple_id);
+}
+
+void GetClassified(SnapshotReader& r, std::vector<ClassifiedRun>& cls) {
+  const std::uint64_t n = r.U64();
+  if (!r.ok()) return;
+  if (n > r.remaining()) {
+    r.Fail("classified column longer than the payload");
+    return;
+  }
+  cls.resize(n);
+  for (auto& c : cls) c.run_index = r.U32();
+  for (auto& c : cls) c.outcome = static_cast<AppOutcome>(r.U8());
+  for (auto& c : cls) c.cause = static_cast<ErrorCategory>(r.U8());
+  for (auto& c : cls) c.tuple_id = r.U64();
+}
+
+void EncodeResult(SnapshotWriter& w, const AnalysisResult& result) {
+  SaveParseStats(w, result.torque_stats);
+  SaveParseStats(w, result.alps_stats);
+  SaveParseStats(w, result.syslog_stats);
+  SaveParseStats(w, result.hwerr_stats);
+  w.U64(result.reconstruct_stats.placements);
+  w.U64(result.reconstruct_stats.terminations);
+  w.U64(result.reconstruct_stats.runs);
+  w.U64(result.reconstruct_stats.missing_termination);
+  w.U64(result.reconstruct_stats.orphan_terminations);
+  w.U64(result.reconstruct_stats.missing_job);
+  w.U64(result.reconstruct_stats.mixed_node_types);
+  w.U64(result.reconstruct_stats.duplicate_placements);
+  w.U64(result.reconstruct_stats.duplicate_terminations);
+  w.U64(result.coalesce_stats.input_events);
+  w.U64(result.coalesce_stats.tuples);
+  w.U64(result.coalesce_stats.unresolved_locations);
+  SaveIngestStats(w, result.ingest);
+  w.U64(result.quarantine.size());
+  for (const auto& entry : result.quarantine) SaveQuarantineEntry(w, entry);
+  PutRuns(w, result.runs);
+  PutClassified(w, result.classified);
+  PutTuples(w, result.tuples);
+  SaveMetricsReport(w, result.metrics);
+}
+
+void DecodeResult(SnapshotReader& r, AnalysisResult& result) {
+  LoadParseStats(r, result.torque_stats);
+  LoadParseStats(r, result.alps_stats);
+  LoadParseStats(r, result.syslog_stats);
+  LoadParseStats(r, result.hwerr_stats);
+  result.reconstruct_stats.placements = r.U64();
+  result.reconstruct_stats.terminations = r.U64();
+  result.reconstruct_stats.runs = r.U64();
+  result.reconstruct_stats.missing_termination = r.U64();
+  result.reconstruct_stats.orphan_terminations = r.U64();
+  result.reconstruct_stats.missing_job = r.U64();
+  result.reconstruct_stats.mixed_node_types = r.U64();
+  result.reconstruct_stats.duplicate_placements = r.U64();
+  result.reconstruct_stats.duplicate_terminations = r.U64();
+  result.coalesce_stats.input_events = r.U64();
+  result.coalesce_stats.tuples = r.U64();
+  result.coalesce_stats.unresolved_locations = r.U64();
+  LoadIngestStats(r, result.ingest);
+  const std::uint64_t quarantined = r.U64();
+  if (!r.ok()) return;
+  if (quarantined > r.remaining()) {
+    r.Fail("quarantine column longer than the payload");
+    return;
+  }
+  result.quarantine.resize(quarantined);
+  for (auto& entry : result.quarantine) LoadQuarantineEntry(r, entry);
+  GetRuns(r, result.runs);
+  GetClassified(r, result.classified);
+  GetTuples(r, result.tuples);
+  LoadMetricsReport(r, result.metrics);
+}
+
+std::string HexFingerprint(std::uint64_t fp) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(fp));
+  return std::string(buf, 16);
+}
+
+}  // namespace
+
+std::uint64_t LinesFingerprint(const LogSetView& lines,
+                               std::uint32_t shard_count) {
+  const std::vector<std::string_view>* sources[kNumLogSources] = {
+      &lines.torque, &lines.alps, &lines.syslog, &lines.hwerr};
+  std::uint64_t h = kFnvOffset;
+  for (std::size_t s = 0; s < kNumLogSources; ++s) {
+    const unsigned char tag = static_cast<unsigned char>(0xF0 + s);
+    FnvMix(h, &tag, 1);
+    for (const std::string_view line : *sources[s]) {
+      FnvMixBulk(h, line.data(), line.size());
+      const unsigned char nl = '\n';
+      FnvMix(h, &nl, 1);
+    }
+  }
+  const std::uint32_t count = shard_count;
+  FnvMix(h, &count, sizeof(count));
+  // 0 is reserved for "unspecified" in file headers.
+  return h == 0 ? 1 : h;
+}
+
+std::uint64_t ParseKey(const LogDiverConfig& config) {
+  std::uint64_t h = kFnvOffset;
+  MixI64(h, config.syslog_base_year);
+  MixU64(h, config.ingest.quarantine.max_entries);
+  MixU64(h, config.ingest.quarantine.max_line_bytes);
+  return h;
+}
+
+std::uint64_t AnalysisKey(const Machine& machine,
+                          const LogDiverConfig& config) {
+  std::uint64_t h = kFnvOffset;
+  MixU64(h, machine.node_count());
+  MixU64(h, machine.xe_count());
+  MixU64(h, machine.xk_count());
+  MixI64(h, config.coalesce.tupling_window.seconds());
+  MixI64(h, config.correlator.attribution_before.seconds());
+  MixI64(h, config.correlator.attribution_after.seconds());
+  MixU64(h, config.correlator.category_before.size());
+  for (const auto& [category, window] : config.correlator.category_before) {
+    MixU64(h, static_cast<std::uint64_t>(category));
+    MixI64(h, window.seconds());
+  }
+  MixI64(h, config.correlator.incident_slack.seconds());
+  MixI64(h, config.correlator.walltime_tolerance.seconds());
+  for (const auto* buckets :
+       {&config.metrics.xe_scale_buckets, &config.metrics.xk_scale_buckets}) {
+    MixU64(h, buckets->size());
+    for (const auto& [lo, hi] : *buckets) {
+      MixU64(h, lo);
+      MixU64(h, hi);
+    }
+  }
+  MixU64(h, config.shard.index);
+  MixU64(h, config.shard.count);
+  MixU64(h, static_cast<std::uint64_t>(config.ingest.policy));
+  MixU64(h, config.ingest.budget.min_malformed);
+  FnvMix(h, &config.ingest.budget.max_malformed_fraction, sizeof(double));
+  return h;
+}
+
+CacheKeys MakeKeys(const LogSetView& lines, const Machine& machine,
+                   const LogDiverConfig& config) {
+  CacheKeys keys;
+  keys.input_fingerprint = LinesFingerprint(lines, 0);
+  keys.parse_key = ParseKey(config);
+  keys.analysis_key = AnalysisKey(machine, config);
+  return keys;
+}
+
+BundleCache::BundleCache(std::string dir) : dir_(std::move(dir)) {}
+
+std::string BundleCache::BundlePath(std::uint64_t input_fingerprint) const {
+  return dir_ + "/bundle-" + HexFingerprint(input_fingerprint) + ".ldpbc";
+}
+
+std::string BundleCache::ClaimsPath(std::uint64_t input_fingerprint) const {
+  return dir_ + "/claims-" + HexFingerprint(input_fingerprint) + ".ldpbc";
+}
+
+Result<LoadedEntry> BundleCache::Load(const CacheKeys& keys) const {
+  const std::string path = BundlePath(keys.input_fingerprint);
+  const std::uint64_t load_start_ns = LD_OBS_NOW_NS();
+  if (!std::filesystem::exists(path)) {
+    LD_OBS_COUNTER_ADD(obs::names::kCacheMissesTotal, 1);
+    return NotFoundError("bundle cache: no entry at " + path);
+  }
+  const auto reject = [](Status why) {
+    LD_OBS_COUNTER_ADD(obs::names::kCacheRejectedTotal, 1);
+    return Status(StatusCode::kParseError,
+                  "bundle cache: " + why.message() + " — entry rejected, "
+                  "falling back to the text parse");
+  };
+  auto entry = OpenEntry(path, keys.input_fingerprint);
+  if (!entry.ok()) return reject(entry.status());
+  SnapshotReader head(entry->payload, entry->size);
+  const std::uint8_t kind = head.U8();
+  if (head.ok() && kind != kKindBundle) {
+    head.Fail("entry kind " + std::to_string(kind) + " is not a bundle");
+  }
+  const std::uint64_t parse_key = head.U64();
+  if (head.ok() && parse_key != keys.parse_key) {
+    head.Fail(path + " was written under a different parse configuration");
+  }
+  const std::uint64_t records_len = head.U64();
+  if (head.ok() && records_len > head.remaining()) {
+    head.Fail(path + " declares a records section past its payload");
+  }
+  if (!head.ok()) return reject(head.status());
+
+  // head has consumed kind + parse_key + records_len: the records
+  // section starts right here, the result section right after it.
+  constexpr std::size_t kPrefix = 1 + 8 + 8;
+  SnapshotReader records(entry->payload + kPrefix, records_len);
+  SnapshotReader tail(entry->payload + kPrefix + records_len,
+                      entry->size - kPrefix - records_len);
+
+  LoadedEntry out;
+  const bool has_result = tail.Bool();
+  const std::uint64_t analysis_key = has_result ? tail.U64() : 0;
+  if (!tail.ok()) return reject(tail.status());
+  if (has_result && analysis_key == keys.analysis_key) {
+    // Full hit: decode only the memoized result, never the records.
+    AnalysisResult result;
+    DecodeResult(tail, result);
+    if (!tail.ok()) return reject(tail.status());
+    out.result = std::move(result);
+    LD_OBS_COUNTER_ADD(obs::names::kCacheHitsTotal, 1);
+  } else {
+    DecodeParsed(records, out.parsed);
+    if (!records.ok()) return reject(records.status());
+    LD_OBS_COUNTER_ADD(obs::names::kCacheRecordHitsTotal, 1);
+  }
+  if (load_start_ns != 0) {
+    LD_OBS_HIST_RECORD(obs::names::kCacheLoadMicros,
+                       (LD_OBS_NOW_NS() - load_start_ns) / 1000);
+  }
+  return out;
+}
+
+std::vector<std::uint8_t> BundleCache::EncodeParsed(const ParsedLogs& parsed) {
+  SnapshotWriter w;
+  PutTorque(w, parsed.torque);
+  PutAlps(w, parsed.alps);
+  PutErrorColumns(w, parsed.errors);
+  SaveParseStats(w, parsed.torque_stats);
+  SaveParseStats(w, parsed.alps_stats);
+  SaveParseStats(w, parsed.syslog_stats);
+  SaveParseStats(w, parsed.hwerr_stats);
+  parsed.sink.SaveState(w);
+  return w.TakeBytes();
+}
+
+Status BundleCache::Store(const CacheKeys& keys,
+                          const std::vector<std::uint8_t>& parsed_bytes,
+                          const AnalysisResult& result) const {
+  SnapshotWriter w;
+  w.U8(kKindBundle);
+  w.U64(keys.parse_key);
+  w.U64(parsed_bytes.size());
+  w.Raw(parsed_bytes.data(), parsed_bytes.size());
+  w.Bool(true);
+  w.U64(keys.analysis_key);
+  EncodeResult(w, result);
+  return WriteEntry(dir_, BundlePath(keys.input_fingerprint),
+                    keys.input_fingerprint, std::move(w));
+}
+
+Result<ClaimedColumns> BundleCache::LoadClaims(
+    std::uint64_t input_fingerprint, int base_year,
+    const std::array<std::size_t, kNumLogSources>& line_counts) const {
+  const std::string path = ClaimsPath(input_fingerprint);
+  if (!std::filesystem::exists(path)) {
+    LD_OBS_COUNTER_ADD(obs::names::kCacheMissesTotal, 1);
+    return NotFoundError("bundle cache: no claims entry at " + path);
+  }
+  const auto reject = [](Status why) {
+    LD_OBS_COUNTER_ADD(obs::names::kCacheRejectedTotal, 1);
+    return Status(StatusCode::kParseError,
+                  "bundle cache: " + why.message() + " — claims entry "
+                  "rejected, reparsing claimed times");
+  };
+  auto entry = OpenEntry(path, input_fingerprint);
+  if (!entry.ok()) return reject(entry.status());
+  SnapshotReader r(entry->payload, entry->size);
+  const std::uint8_t kind = r.U8();
+  if (r.ok() && kind != kKindClaims) {
+    r.Fail("entry kind " + std::to_string(kind) + " is not a claims entry");
+  }
+  const std::int32_t entry_year = r.I32();
+  if (r.ok() && entry_year != base_year) {
+    r.Fail(path + " was written under base year " +
+           std::to_string(entry_year));
+  }
+  ClaimedColumns out;
+  for (std::size_t s = 0; s < kNumLogSources && r.ok(); ++s) {
+    std::vector<std::int64_t> column;
+    GetPodColumn(r, column);
+    if (!r.ok()) break;
+    if (column.size() != line_counts[s]) {
+      r.Fail(path + " claims column " + std::to_string(s) +
+             " does not match the bundle's line count");
+      break;
+    }
+    out[s].reserve(column.size());
+    for (const std::int64_t t : column) out[s].push_back(TimePoint(t));
+  }
+  if (!r.ok()) return reject(r.status());
+  LD_OBS_COUNTER_ADD(obs::names::kCacheHitsTotal, 1);
+  return out;
+}
+
+Status BundleCache::StoreClaims(std::uint64_t input_fingerprint,
+                                int base_year,
+                                const ClaimedColumns& claimed) const {
+  SnapshotWriter w;
+  w.U8(kKindClaims);
+  w.I32(base_year);
+  for (const auto& column : claimed) {
+    std::vector<std::int64_t> seconds;
+    seconds.reserve(column.size());
+    for (const TimePoint t : column) seconds.push_back(t.unix_seconds());
+    PutPodColumn(w, seconds);
+  }
+  return WriteEntry(dir_, ClaimsPath(input_fingerprint), input_fingerprint,
+                    std::move(w));
+}
+
+}  // namespace ld::cache

@@ -1,0 +1,132 @@
+// The parsed-bundle cache: a versioned, CRC-checksummed binary columnar
+// intermediate format keyed by the FNV-1a-64 bundle fingerprint, so
+// re-analysis of an already-seen bundle skips text parsing entirely.
+//
+// Two entry kinds live in one cache directory (conventionally next to
+// the snapshot store):
+//
+//   bundle-<fp>.ldpbc   ParsedLogs as raw little-endian column arrays
+//                       (keyed additionally by a parse-config hash),
+//                       plus an optional memoized AnalysisResult
+//                       section (keyed additionally by an
+//                       analysis-config + machine-geometry hash).
+//   claims-<fp>.ldpbc   Per-line claimed-time columns for the
+//                       streaming/fleet bundle loader (keyed by the
+//                       syslog base year), replacing the throwaway
+//                       re-parse in resume.cpp's ClaimedTimes.
+//
+// Safety model (docs/FORMATS.md "Parsed-bundle cache"): every load
+// validates magic, format version, payload size, payload CRC-32, the
+// input fingerprint and the relevant config keys.  Any mismatch — a
+// torn write, a foreign bundle's entry copied in, a stale entry from an
+// older build or different config — rejects the entry
+// (ld.cache.rejected_total) and the caller falls back to the text
+// parse.  A cache hit can only ever make a run faster, never change a
+// byte of its report; the equivalence tests in
+// tests/logdiver/bundle_cache_test.cpp hold the two paths to
+// FingerprintReport identity.
+//
+// Writes reuse the snapshot store's atomicity discipline: pid-qualified
+// tmp file, fsync, rename.  Concurrent writers of the same entry are
+// safe (last rename wins, both files valid); readers memory-map and
+// validate before decoding a single field.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+#include "common/time.hpp"
+#include "logdiver/logdiver.hpp"
+
+namespace ld::cache {
+
+/// On-disk format version; bump on any layout change (old entries are
+/// then rejected as stale and rewritten).
+inline constexpr std::uint32_t kBundleCacheVersion = 1;
+
+/// FNV-1a-64 (word-folded over line content for speed; bytewise
+/// framing) over the four line streams, with the framing
+/// resume.cpp's BundlePartitionFingerprint delegates to (per-source
+/// tag byte, line bytes + '\n', trailing shard-count mix, 0 remapped
+/// to 1) — computed from lines already in memory instead of
+/// re-reading the files, so the batch, streaming and fleet paths
+/// agree on a bundle's identity.
+std::uint64_t LinesFingerprint(const LogSetView& lines,
+                               std::uint32_t shard_count);
+
+/// The three keys a bundle entry is validated against.
+struct CacheKeys {
+  std::uint64_t input_fingerprint = 0;  // LinesFingerprint(lines, 0)
+  std::uint64_t parse_key = 0;          // parse-affecting config
+  std::uint64_t analysis_key = 0;       // tail-affecting config + machine
+};
+
+/// Derives all three keys for this bundle + configuration.
+CacheKeys MakeKeys(const LogSetView& lines, const Machine& machine,
+                   const LogDiverConfig& config);
+
+/// Hash of the parse-affecting configuration alone (base year,
+/// quarantine caps).
+std::uint64_t ParseKey(const LogDiverConfig& config);
+
+/// Hash of everything after parsing that shapes the report: machine
+/// geometry, coalesce/correlator/metrics configs, shard spec,
+/// degradation policy and error budget.
+std::uint64_t AnalysisKey(const Machine& machine,
+                          const LogDiverConfig& config);
+
+/// A successfully validated bundle entry.
+struct LoadedEntry {
+  ParsedLogs parsed;
+  /// Present iff the entry's memoized result matched `analysis_key`.
+  std::optional<AnalysisResult> result;
+};
+
+/// Claimed-time columns for the streaming loader, one per source, each
+/// the length of that source's line stream.
+using ClaimedColumns = std::array<std::vector<TimePoint>, kNumLogSources>;
+
+class BundleCache {
+ public:
+  explicit BundleCache(std::string dir);
+
+  const std::string& dir() const { return dir_; }
+  std::string BundlePath(std::uint64_t input_fingerprint) const;
+  std::string ClaimsPath(std::uint64_t input_fingerprint) const;
+
+  /// Loads and validates the bundle entry.  NotFound when absent;
+  /// ParseError (counted in ld.cache.rejected_total) when torn, foreign,
+  /// or written under a different parse config / format version.  A
+  /// parse-key match with an analysis-key mismatch is still a records
+  /// hit: `result` is simply absent.
+  Result<LoadedEntry> Load(const CacheKeys& keys) const;
+
+  /// Serializes the records section.  Callers encode before the
+  /// analysis tail consumes `parsed`, then pass the bytes to Store —
+  /// no record copies, no second parse.
+  static std::vector<std::uint8_t> EncodeParsed(const ParsedLogs& parsed);
+
+  /// Writes the bundle entry (records section + memoized result)
+  /// atomically.  Failure is reported but non-fatal to the analysis.
+  Status Store(const CacheKeys& keys,
+               const std::vector<std::uint8_t>& parsed_bytes,
+               const AnalysisResult& result) const;
+
+  /// Loads claimed-time columns; `line_counts` are the per-source line
+  /// counts of the live bundle (a mismatch rejects the entry).
+  Result<ClaimedColumns> LoadClaims(
+      std::uint64_t input_fingerprint, int base_year,
+      const std::array<std::size_t, kNumLogSources>& line_counts) const;
+
+  Status StoreClaims(std::uint64_t input_fingerprint, int base_year,
+                     const ClaimedColumns& claimed) const;
+
+ private:
+  std::string dir_;
+};
+
+}  // namespace ld::cache

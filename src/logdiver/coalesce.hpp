@@ -118,8 +118,17 @@ class StreamingCoalescer {
   std::vector<ErrorTuple> closed_;
 };
 
+struct ErrorColumns;  // columns.hpp
+
 /// Coalesces parsed error records into tuples.  Input order is free; the
-/// output is sorted by first-event time.
+/// output is sorted by first-event time.  The columnar overload is the
+/// primary implementation (an index sort over the dense time column,
+/// deterministic on ties by input order); the AoS overload converts and
+/// delegates, so both produce identical tuples for identical inputs.
+std::vector<ErrorTuple> CoalesceEvents(const Machine& machine,
+                                       const ErrorColumns& records,
+                                       const CoalesceConfig& config,
+                                       CoalesceStats* stats = nullptr);
 std::vector<ErrorTuple> CoalesceEvents(const Machine& machine,
                                        std::vector<ErrorRecord> records,
                                        const CoalesceConfig& config,

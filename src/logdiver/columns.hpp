@@ -1,0 +1,178 @@
+// SoA (structure-of-arrays) layouts for the hot analysis passes.
+//
+// The coalesce feed, the tuple index and the classify loop each touch a
+// handful of scalar fields per element; the AoS record structs make
+// every touch a strided load dragging the rest of the struct through
+// the cache.  These column sets keep exactly the fields a pass streams
+// over in dense int64 / small-enum / Symbol arrays.
+//
+// ErrorColumns is also the unit of exchange with the parsed-bundle
+// cache (src/logdiver/cache): raw little-endian column arrays dump and
+// load with bulk memcpy instead of a per-record decode loop.  Symbols
+// are process-local (intern.hpp: ids are not deterministic), so the
+// cache serializes resolved strings and re-interns on load.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/intern.hpp"
+#include "common/time.hpp"
+#include "logdiver/coalesce.hpp"
+#include "logdiver/reconstruct.hpp"
+#include "logdiver/records.hpp"
+
+namespace ld {
+
+/// Column-major ErrorRecord storage.  push_back/Row convert to and from
+/// the AoS struct; all columns always have equal length.
+struct ErrorColumns {
+  std::vector<std::int64_t> time;       // unix seconds
+  std::vector<std::uint8_t> category;   // ErrorCategory
+  std::vector<std::uint8_t> severity;   // Severity
+  std::vector<std::uint8_t> scope;      // LocScope
+  std::vector<std::uint8_t> source;     // LogSource
+  std::vector<Symbol> location;
+  std::vector<std::uint8_t> recovered_set;  // optional engaged?
+  std::vector<std::int64_t> recovered;      // unix seconds; 0 when unset
+
+  std::size_t size() const { return time.size(); }
+  bool empty() const { return time.empty(); }
+
+  void reserve(std::size_t n) {
+    time.reserve(n);
+    category.reserve(n);
+    severity.reserve(n);
+    scope.reserve(n);
+    source.reserve(n);
+    location.reserve(n);
+    recovered_set.reserve(n);
+    recovered.reserve(n);
+  }
+
+  void push_back(const ErrorRecord& r) {
+    time.push_back(r.time.unix_seconds());
+    category.push_back(static_cast<std::uint8_t>(r.category));
+    severity.push_back(static_cast<std::uint8_t>(r.severity));
+    scope.push_back(static_cast<std::uint8_t>(r.scope));
+    source.push_back(static_cast<std::uint8_t>(r.source));
+    location.push_back(r.location);
+    recovered_set.push_back(r.recovered.has_value() ? 1 : 0);
+    recovered.push_back(r.recovered ? r.recovered->unix_seconds() : 0);
+  }
+
+  void Append(const std::vector<ErrorRecord>& records) {
+    reserve(size() + records.size());
+    for (const ErrorRecord& r : records) push_back(r);
+  }
+
+  ErrorRecord Row(std::size_t i) const {
+    ErrorRecord r;
+    r.time = TimePoint(time[i]);
+    r.category = static_cast<ErrorCategory>(category[i]);
+    r.severity = static_cast<Severity>(severity[i]);
+    r.scope = static_cast<LocScope>(scope[i]);
+    r.source = static_cast<LogSource>(source[i]);
+    r.location = location[i];
+    if (recovered_set[i] != 0) r.recovered = TimePoint(recovered[i]);
+    return r;
+  }
+
+  static ErrorColumns FromRecords(const std::vector<ErrorRecord>& records) {
+    ErrorColumns c;
+    c.Append(records);
+    return c;
+  }
+};
+
+/// The ErrorTuple fields the classify loop reads per candidate, as
+/// dense arrays indexed by tuple index.  The binary searches inside
+/// TupleIndex run over the `first` column instead of striding through
+/// ~100-byte ErrorTuple structs.
+struct TupleColumns {
+  std::vector<std::int64_t> first;     // unix seconds
+  std::vector<std::uint64_t> id;
+  std::vector<std::uint8_t> category;  // ErrorCategory
+  std::vector<std::uint8_t> severity;  // Severity
+  std::vector<std::uint8_t> scope;     // LocScope
+
+  std::size_t size() const { return first.size(); }
+
+  static TupleColumns FromTuples(const std::vector<ErrorTuple>& tuples) {
+    TupleColumns c;
+    c.first.reserve(tuples.size());
+    c.id.reserve(tuples.size());
+    c.category.reserve(tuples.size());
+    c.severity.reserve(tuples.size());
+    c.scope.reserve(tuples.size());
+    for (const ErrorTuple& t : tuples) {
+      c.first.push_back(t.first.unix_seconds());
+      c.id.push_back(t.id);
+      c.category.push_back(static_cast<std::uint8_t>(t.category));
+      c.severity.push_back(static_cast<std::uint8_t>(t.severity));
+      c.scope.push_back(static_cast<std::uint8_t>(t.scope));
+    }
+    return c;
+  }
+};
+
+/// The AppRun fields the classify loop reads, as dense arrays plus one
+/// CSR (offsets + packed entries) for node placements.
+struct RunColumns {
+  std::vector<std::int64_t> end;             // unix seconds
+  std::vector<std::int64_t> job_start;       // unix seconds
+  std::vector<std::int64_t> walltime_limit;  // seconds
+  std::vector<std::int32_t> exit_code;
+  std::vector<std::int32_t> exit_signal;
+  std::vector<std::uint8_t> flags;  // bit 0: has_termination,
+                                    // bit 1: killed_node_failure
+  std::vector<NodeIndex> failed_nid;
+  std::vector<std::uint64_t> node_offsets;  // size runs + 1
+  std::vector<NodeIndex> node_entries;
+
+  static constexpr std::uint8_t kHasTermination = 1;
+  static constexpr std::uint8_t kKilledNodeFailure = 2;
+
+  std::size_t size() const { return end.size(); }
+
+  std::span<const NodeIndex> Nodes(std::size_t i) const {
+    return std::span<const NodeIndex>(node_entries.data() + node_offsets[i],
+                                      node_offsets[i + 1] - node_offsets[i]);
+  }
+
+  static RunColumns FromRuns(const std::vector<AppRun>& runs) {
+    RunColumns c;
+    const std::size_t n = runs.size();
+    c.end.reserve(n);
+    c.job_start.reserve(n);
+    c.walltime_limit.reserve(n);
+    c.exit_code.reserve(n);
+    c.exit_signal.reserve(n);
+    c.flags.reserve(n);
+    c.failed_nid.reserve(n);
+    c.node_offsets.reserve(n + 1);
+    c.node_offsets.push_back(0);
+    std::size_t total_nodes = 0;
+    for (const AppRun& r : runs) total_nodes += r.nodes.size();
+    c.node_entries.reserve(total_nodes);
+    for (const AppRun& r : runs) {
+      c.end.push_back(r.end.unix_seconds());
+      c.job_start.push_back(r.job_start.unix_seconds());
+      c.walltime_limit.push_back(r.walltime_limit.seconds());
+      c.exit_code.push_back(r.exit_code);
+      c.exit_signal.push_back(r.exit_signal);
+      std::uint8_t flags = 0;
+      if (r.has_termination) flags |= kHasTermination;
+      if (r.killed_node_failure) flags |= kKilledNodeFailure;
+      c.flags.push_back(flags);
+      c.failed_nid.push_back(r.failed_nid);
+      c.node_entries.insert(c.node_entries.end(), r.nodes.begin(),
+                            r.nodes.end());
+      c.node_offsets.push_back(c.node_entries.size());
+    }
+    return c;
+  }
+};
+
+}  // namespace ld

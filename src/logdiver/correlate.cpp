@@ -7,11 +7,14 @@
 #include "common/obs/names.hpp"
 #include "common/obs/obs.hpp"
 #include "common/parallel.hpp"
+#include "logdiver/columns.hpp"
 
 namespace ld {
 namespace {
 
 constexpr int kSigTerm = 15;
+
+constexpr std::uint32_t kNoTuple = 0xffffffffu;
 
 /// Runs per classification chunk.  Each run is a handful of binary
 /// searches, so chunks are kept large enough to amortize task dispatch
@@ -27,19 +30,26 @@ constexpr std::size_t kClassifyChunkRuns = 4096;
 /// linear passes with exactly two allocations.  The eligible tuples are
 /// pre-sorted by (first, index) once, so every row and the system list
 /// come out time-ordered without any per-row sort.
+///
+/// Queries read only the TupleColumns SoA view (dense int64 first-event
+/// times and byte-wide enums); the AoS tuple vector is touched solely
+/// while building, for the per-tuple node lists and impact windows.
 class TupleIndex {
  public:
-  TupleIndex(const std::vector<ErrorTuple>& tuples, std::size_t node_count,
-             Duration incident_slack) {
+  TupleIndex(const std::vector<ErrorTuple>& tuples, const TupleColumns& cols,
+             std::size_t node_count, Duration incident_slack)
+      : cols_(cols) {
     std::vector<std::uint32_t> fatal;
-    fatal.reserve(tuples.size());
-    for (std::uint32_t i = 0; i < tuples.size(); ++i) {
-      if (tuples[i].severity == Severity::kFatal) fatal.push_back(i);
+    fatal.reserve(cols.size());
+    for (std::uint32_t i = 0; i < cols.size(); ++i) {
+      if (static_cast<Severity>(cols.severity[i]) == Severity::kFatal) {
+        fatal.push_back(i);
+      }
     }
     std::sort(fatal.begin(), fatal.end(),
-              [&tuples](std::uint32_t a, std::uint32_t b) {
-                if (tuples[a].first != tuples[b].first) {
-                  return tuples[a].first < tuples[b].first;
+              [&cols](std::uint32_t a, std::uint32_t b) {
+                if (cols.first[a] != cols.first[b]) {
+                  return cols.first[a] < cols.first[b];
                 }
                 return a < b;
               });
@@ -47,12 +57,11 @@ class TupleIndex {
     // Pass 1: per-node row widths (into offsets_[n + 1]) + system list.
     offsets_.assign(node_count + 1, 0);
     for (std::uint32_t idx : fatal) {
-      const ErrorTuple& t = tuples[idx];
-      if (t.scope == LocScope::kSystem) {
+      if (static_cast<LocScope>(cols.scope[idx]) == LocScope::kSystem) {
         system_.push_back(idx);
         continue;
       }
-      for (NodeIndex n : t.nodes) {
+      for (NodeIndex n : tuples[idx].nodes) {
         if (n < node_count) ++offsets_[n + 1];
       }
     }
@@ -65,9 +74,10 @@ class TupleIndex {
     entries_.resize(offsets_[node_count]);
     std::vector<std::uint32_t> cursor(offsets_.begin(), offsets_.end() - 1);
     for (std::uint32_t idx : fatal) {
-      const ErrorTuple& t = tuples[idx];
-      if (t.scope == LocScope::kSystem) continue;
-      for (NodeIndex n : t.nodes) {
+      if (static_cast<LocScope>(cols.scope[idx]) == LocScope::kSystem) {
+        continue;
+      }
+      for (NodeIndex n : tuples[idx].nodes) {
         if (n < node_count) entries_[cursor[n]++] = idx;
       }
     }
@@ -82,35 +92,36 @@ class TupleIndex {
     for (std::uint32_t idx : system_) {
       const Interval window =
           tuples[idx].ImpactWindow().Inflate(incident_slack);
-      sys_start_.push_back(tuples[idx].first);
-      const TimePoint prev = sys_prefix_max_end_.empty()
-                                 ? window.end
-                                 : sys_prefix_max_end_.back();
-      sys_prefix_max_end_.push_back(std::max(prev, window.end));
+      sys_start_.push_back(cols.first[idx]);
+      const std::int64_t end = window.end.unix_seconds();
+      sys_prefix_max_end_.push_back(
+          sys_prefix_max_end_.empty()
+              ? end
+              : std::max(sys_prefix_max_end_.back(), end));
     }
   }
 
   /// Fatal tuples touching `node` with first-event time inside
   /// [lo, hi].  Appends indices to `out` in time order.
-  void NodeCandidates(const std::vector<ErrorTuple>& tuples, NodeIndex node,
-                      TimePoint lo, TimePoint hi,
+  void NodeCandidates(NodeIndex node, std::int64_t lo, std::int64_t hi,
                       std::vector<std::uint32_t>& out) const {
     if (static_cast<std::size_t>(node) + 1 >= offsets_.size()) return;
     const std::uint32_t* begin = entries_.data() + offsets_[node];
     const std::uint32_t* end = entries_.data() + offsets_[node + 1];
+    const std::int64_t* first = cols_.first.data();
     const std::uint32_t* it = std::lower_bound(
-        begin, end, lo, [&tuples](std::uint32_t idx, TimePoint v) {
-          return tuples[idx].first < v;
+        begin, end, lo, [first](std::uint32_t idx, std::int64_t v) {
+          return first[idx] < v;
         });
-    for (; it != end && tuples[*it].first <= hi; ++it) {
+    for (; it != end && first[*it] <= hi; ++it) {
       out.push_back(*it);
     }
   }
 
   /// Earliest system incident whose slack-inflated impact window covers
-  /// `death`, or null.  `slack` must match the constructor's.
-  const ErrorTuple* FindSystemCause(const std::vector<ErrorTuple>& tuples,
-                                    TimePoint death, Duration slack) const {
+  /// `death`, or kNoTuple.  `slack` must match the constructor's.
+  std::uint32_t FindSystemCause(std::int64_t death,
+                                std::int64_t slack) const {
     // Eligible prefix: inflated window start (first - slack) <= death.
     const auto hi =
         std::upper_bound(sys_start_.begin(), sys_start_.end(), death + slack) -
@@ -118,16 +129,17 @@ class TupleIndex {
     // First position whose running-max window end is past the death.
     const auto it = std::upper_bound(sys_prefix_max_end_.begin(),
                                      sys_prefix_max_end_.begin() + hi, death);
-    if (it == sys_prefix_max_end_.begin() + hi) return nullptr;
-    return &tuples[system_[it - sys_prefix_max_end_.begin()]];
+    if (it == sys_prefix_max_end_.begin() + hi) return kNoTuple;
+    return system_[it - sys_prefix_max_end_.begin()];
   }
 
  private:
+  const TupleColumns& cols_;
   std::vector<std::uint32_t> offsets_;  // node -> row start; size nodes + 1
   std::vector<std::uint32_t> entries_;  // packed tuple indices, row-major
   std::vector<std::uint32_t> system_;   // system incidents by (first, index)
-  std::vector<TimePoint> sys_start_;
-  std::vector<TimePoint> sys_prefix_max_end_;
+  std::vector<std::int64_t> sys_start_;
+  std::vector<std::int64_t> sys_prefix_max_end_;
 };
 
 }  // namespace
@@ -139,7 +151,9 @@ std::vector<ClassifiedRun> Correlator::Classify(
     const std::vector<AppRun>& runs, const std::vector<ErrorTuple>& tuples,
     ThreadPool* pool) const {
   const std::uint64_t start_ns = LD_OBS_NOW_NS();
-  const TupleIndex index(tuples, machine_.node_count(),
+  const TupleColumns tcols = TupleColumns::FromTuples(tuples);
+  const RunColumns rcols = RunColumns::FromRuns(runs);
+  const TupleIndex index(tuples, tcols, machine_.node_count(),
                          config_.incident_slack);
   if (start_ns != 0) {
     LD_OBS_HIST_RECORD(obs::names::kCorrelateIndexMicros,
@@ -152,28 +166,30 @@ std::vector<ClassifiedRun> Correlator::Classify(
   for (const auto& [cat, window] : config_.category_before) {
     max_before = std::max(max_before, window);
   }
+  const std::int64_t slack = config_.incident_slack.seconds();
 
   // Finds the best node-scoped fatal tuple explaining a death at
   // `death` on `nodes`: the closest-in-time candidate whose category
   // window admits it.  `candidates` is caller-provided scratch so a
   // worker classifying a whole chunk reuses one buffer.
   auto find_node_cause =
-      [&](std::span<const NodeIndex> nodes, TimePoint death,
-          std::vector<std::uint32_t>& candidates) -> const ErrorTuple* {
+      [&](std::span<const NodeIndex> nodes, std::int64_t death,
+          std::vector<std::uint32_t>& candidates) -> std::uint32_t {
     candidates.clear();
-    const TimePoint lo = death - max_before;
-    const TimePoint hi = death + config_.attribution_after;
+    const std::int64_t lo = death - max_before.seconds();
+    const std::int64_t hi = death + config_.attribution_after.seconds();
     for (NodeIndex n : nodes) {
-      index.NodeCandidates(tuples, n, lo, hi, candidates);
+      index.NodeCandidates(n, lo, hi, candidates);
     }
-    const ErrorTuple* best = nullptr;
+    std::uint32_t best = kNoTuple;
     std::int64_t best_gap = 0;
     for (std::uint32_t idx : candidates) {
-      const ErrorTuple& t = tuples[idx];
-      if (t.first < death - config_.BeforeWindow(t.category)) continue;
-      const std::int64_t gap = std::llabs((t.first - death).seconds());
-      if (best == nullptr || gap < best_gap) {
-        best = &t;
+      const auto category = static_cast<ErrorCategory>(tcols.category[idx]);
+      const std::int64_t first = tcols.first[idx];
+      if (first < death - config_.BeforeWindow(category).seconds()) continue;
+      const std::int64_t gap = std::llabs(first - death);
+      if (best == kNoTuple || gap < best_gap) {
+        best = idx;
         best_gap = gap;
       }
     }
@@ -185,57 +201,62 @@ std::vector<ClassifiedRun> Correlator::Classify(
   // cannot depend on thread count or scheduling.
   auto classify_run = [&](std::uint32_t i,
                           std::vector<std::uint32_t>& candidates) {
-    const AppRun& run = runs[i];
     ClassifiedRun cls;
     cls.run_index = i;
 
-    if (!run.has_termination) {
+    const auto attribute = [&](std::uint32_t cause) {
+      if (cause != kNoTuple) {
+        cls.cause = static_cast<ErrorCategory>(tcols.category[cause]);
+        cls.tuple_id = tcols.id[cause];
+      }
+    };
+
+    if ((rcols.flags[i] & RunColumns::kHasTermination) == 0) {
       cls.outcome = AppOutcome::kUnknown;
       return cls;
     }
-    if (run.exit_code == 0 && run.exit_signal == 0) {
+    if (rcols.exit_code[i] == 0 && rcols.exit_signal[i] == 0) {
       cls.outcome = AppOutcome::kSuccess;
       return cls;
     }
-    if (run.killed_node_failure) {
+    const std::int64_t death = rcols.end[i];
+    if ((rcols.flags[i] & RunColumns::kKilledNodeFailure) != 0) {
       // ALPS observed the node loss: definitively system-caused.  Root
       // cause comes from correlation; search the failed node first.
       cls.outcome = AppOutcome::kSystemFailure;
-      const ErrorTuple* cause =
-          run.failed_nid != kInvalidNode
-              ? find_node_cause(std::span<const NodeIndex>(&run.failed_nid, 1),
-                                run.end, candidates)
-              : nullptr;
-      if (cause == nullptr) {
-        cause = find_node_cause(run.nodes, run.end, candidates);
+      std::uint32_t cause =
+          rcols.failed_nid[i] != kInvalidNode
+              ? find_node_cause(
+                    std::span<const NodeIndex>(&rcols.failed_nid[i], 1),
+                    death, candidates)
+              : kNoTuple;
+      if (cause == kNoTuple) {
+        cause = find_node_cause(rcols.Nodes(i), death, candidates);
       }
-      if (cause == nullptr) {
-        cause = index.FindSystemCause(tuples, run.end, config_.incident_slack);
+      if (cause == kNoTuple) {
+        cause = index.FindSystemCause(death, slack);
       }
-      if (cause != nullptr) {
-        cls.cause = cause->category;
-        cls.tuple_id = cause->id;
-      }
+      attribute(cause);
       return cls;
     }
     // Walltime: the job hit its limit and the run died by SIGTERM at
     // (or right before) job_start + limit.
-    if (run.walltime_limit.seconds() > 0 && run.exit_signal == kSigTerm) {
-      const Duration used = run.end - run.job_start;
-      if (used + config_.walltime_tolerance >= run.walltime_limit) {
+    if (rcols.walltime_limit[i] > 0 && rcols.exit_signal[i] == kSigTerm) {
+      const std::int64_t used = death - rcols.job_start[i];
+      if (used + config_.walltime_tolerance.seconds() >=
+          rcols.walltime_limit[i]) {
         cls.outcome = AppOutcome::kWalltime;
         return cls;
       }
     }
     // Abnormal exit: blame a system error only with log evidence.
-    const ErrorTuple* cause = find_node_cause(run.nodes, run.end, candidates);
-    if (cause == nullptr) {
-      cause = index.FindSystemCause(tuples, run.end, config_.incident_slack);
+    std::uint32_t cause = find_node_cause(rcols.Nodes(i), death, candidates);
+    if (cause == kNoTuple) {
+      cause = index.FindSystemCause(death, slack);
     }
-    if (cause != nullptr) {
+    if (cause != kNoTuple) {
       cls.outcome = AppOutcome::kSystemFailure;
-      cls.cause = cause->category;
-      cls.tuple_id = cause->id;
+      attribute(cause);
     } else {
       cls.outcome = AppOutcome::kUserFailure;
     }

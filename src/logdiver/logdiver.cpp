@@ -11,6 +11,7 @@
 #include "common/parallel.hpp"
 #include "common/strings.hpp"
 #include "logdiver/block_reader.hpp"
+#include "logdiver/cache/bundle_cache.hpp"
 
 namespace ld {
 
@@ -129,28 +130,23 @@ Result<AnalysisResult> LogDiver::AnalyzeWith(const LogSetView& logs,
                                              ThreadPool* pool) const {
   LD_OBS_SPAN("analyze");
   const std::uint64_t analyze_start_ns = LD_OBS_NOW_NS();
-  AnalysisResult result;
-  const IngestConfig& ingest = config_.ingest;
-  QuarantineSink sink(ingest.quarantine);
-  const QuarantineConfig* capture = &ingest.quarantine;
+  LD_ASSIGN_OR_RETURN(ParsedLogs parsed, ParseLogs(logs, pool));
+  auto result = AnalyzeParsed(std::move(parsed), pool);
+  if (analyze_start_ns != 0 && result.ok()) {
+    LD_OBS_HIST_RECORD(obs::names::kAnalyzeTotalMicros,
+                       (LD_OBS_NOW_NS() - analyze_start_ns) / 1000);
+  }
+  return result;
+}
 
-  // A source over its malformed-line budget either aborts the analysis
-  // (fail-fast: this is probably the wrong file or a truncated transfer)
-  // or is disclosed in the ingest counters (quarantine-and-continue).
-  auto check_budget = [&](const char* name, const ParseStats& stats) -> Status {
-    if (!ingest.budget.Exceeded(stats)) return Status::Ok();
-    ++result.ingest.budget_exhausted_sources;
-    LD_OBS_COUNTER_ADD(obs::names::kIngestBudgetExhaustedTotal, 1);
-    if (ingest.policy == DegradationPolicy::kFailFast) {
-      return ParseError(std::string(name) + ": " +
-                        std::to_string(stats.malformed) + " of " +
-                        std::to_string(stats.lines) +
-                        " lines malformed, over the error budget");
-    }
-    return Status::Ok();
-  };
+Result<ParsedLogs> LogDiver::ParseLogs(const LogSetView& logs,
+                                       ThreadPool* pool) const {
+  ParsedLogs parsed;
+  parsed.sink = QuarantineSink(config_.ingest.quarantine);
+  QuarantineSink& sink = parsed.sink;
+  const QuarantineConfig* capture = &config_.ingest.quarantine;
 
-  // 1. Parse each source, all four concurrently on one pool: every chunk
+  // Parse each source, all four concurrently on one pool: every chunk
   // of every source is one task in a single group, so a small source
   // cannot leave the pool idle while a big one still has chunks queued.
   // Chunks land in pre-sized slots (no locks); the ordered per-source
@@ -206,24 +202,20 @@ Result<AnalysisResult> LogDiver::AnalyzeWith(const LogSetView& logs,
   }
 
   TorqueParser torque_parser;
-  std::vector<TorqueRecord> torque;
   {
     LD_OBS_SPAN("reduce/torque");
-    torque = torque_parser.ReduceChunks(std::move(torque_chunks), &sink);
+    parsed.torque = torque_parser.ReduceChunks(std::move(torque_chunks), &sink);
   }
-  result.torque_stats = torque_parser.stats();
-  CountSourceStats(result.torque_stats);
-  LD_TRY(check_budget("torque", result.torque_stats));
+  parsed.torque_stats = torque_parser.stats();
+  CountSourceStats(parsed.torque_stats);
 
   AlpsParser alps_parser;
-  std::vector<AlpsRecord> alps;
   {
     LD_OBS_SPAN("reduce/alps");
-    alps = alps_parser.ReduceChunks(std::move(alps_chunks), &sink);
+    parsed.alps = alps_parser.ReduceChunks(std::move(alps_chunks), &sink);
   }
-  result.alps_stats = alps_parser.stats();
-  CountSourceStats(result.alps_stats);
-  LD_TRY(check_budget("alps", result.alps_stats));
+  parsed.alps_stats = alps_parser.stats();
+  CountSourceStats(parsed.alps_stats);
 
   SyslogParser syslog_parser(config_.syslog_base_year);
   std::vector<ErrorRecord> errors;
@@ -231,9 +223,8 @@ Result<AnalysisResult> LogDiver::AnalyzeWith(const LogSetView& logs,
     LD_OBS_SPAN("reduce/syslog");
     errors = syslog_parser.ReduceChunks(std::move(syslog_chunks), &sink);
   }
-  result.syslog_stats = syslog_parser.stats();
-  CountSourceStats(result.syslog_stats);
-  LD_TRY(check_budget("syslog", result.syslog_stats));
+  parsed.syslog_stats = syslog_parser.stats();
+  CountSourceStats(parsed.syslog_stats);
 
   HwerrParser hwerr_parser;
   std::vector<ErrorRecord> hwerr;
@@ -241,25 +232,60 @@ Result<AnalysisResult> LogDiver::AnalyzeWith(const LogSetView& logs,
     LD_OBS_SPAN("reduce/hwerr");
     hwerr = hwerr_parser.ReduceChunks(std::move(hwerr_chunks), &sink);
   }
-  result.hwerr_stats = hwerr_parser.stats();
-  CountSourceStats(result.hwerr_stats);
+  parsed.hwerr_stats = hwerr_parser.stats();
+  CountSourceStats(parsed.hwerr_stats);
+
+  // Syslog errors first, hwerr appended — the order the coalescer's
+  // (time, input index) tie-break keys on.
+  parsed.errors.reserve(errors.size() + hwerr.size());
+  parsed.errors.Append(errors);
+  parsed.errors.Append(hwerr);
+  return parsed;
+}
+
+Result<AnalysisResult> LogDiver::AnalyzeParsed(ParsedLogs&& parsed,
+                                               ThreadPool* pool) const {
+  AnalysisResult result;
+  const IngestConfig& ingest = config_.ingest;
+  result.torque_stats = parsed.torque_stats;
+  result.alps_stats = parsed.alps_stats;
+  result.syslog_stats = parsed.syslog_stats;
+  result.hwerr_stats = parsed.hwerr_stats;
+
+  // A source over its malformed-line budget either aborts the analysis
+  // (fail-fast: this is probably the wrong file or a truncated transfer)
+  // or is disclosed in the ingest counters (quarantine-and-continue).
+  // The checks run here, not in ParseLogs, so a cache-restored
+  // ParsedLogs faces exactly the policy a fresh parse would.
+  auto check_budget = [&](const char* name, const ParseStats& stats) -> Status {
+    if (!ingest.budget.Exceeded(stats)) return Status::Ok();
+    ++result.ingest.budget_exhausted_sources;
+    LD_OBS_COUNTER_ADD(obs::names::kIngestBudgetExhaustedTotal, 1);
+    if (ingest.policy == DegradationPolicy::kFailFast) {
+      return ParseError(std::string(name) + ": " +
+                        std::to_string(stats.malformed) + " of " +
+                        std::to_string(stats.lines) +
+                        " lines malformed, over the error budget");
+    }
+    return Status::Ok();
+  };
+  LD_TRY(check_budget("torque", result.torque_stats));
+  LD_TRY(check_budget("alps", result.alps_stats));
+  LD_TRY(check_budget("syslog", result.syslog_stats));
   LD_TRY(check_budget("hwerr", result.hwerr_stats));
 
-  errors.insert(errors.end(), std::make_move_iterator(hwerr.begin()),
-                std::make_move_iterator(hwerr.end()));
-
-  // 2. Coalesce error events into tuples.
+  // 2. Coalesce error events into tuples (columnar feed).
   {
     LD_OBS_SPAN("coalesce");
-    result.tuples = CoalesceEvents(machine_, std::move(errors),
-                                   config_.coalesce, &result.coalesce_stats);
+    result.tuples = CoalesceEvents(machine_, parsed.errors, config_.coalesce,
+                                   &result.coalesce_stats);
   }
 
   // 3. Reconstruct application runs (replayed records dedup here).
   {
     LD_OBS_SPAN("reconstruct");
-    result.runs =
-        ReconstructRuns(machine_, alps, torque, &result.reconstruct_stats);
+    result.runs = ReconstructRuns(machine_, parsed.alps, parsed.torque,
+                                  &result.reconstruct_stats);
   }
 
   // 4. Categorize and attribute.
@@ -276,24 +302,21 @@ Result<AnalysisResult> LogDiver::AnalyzeWith(const LogSetView& logs,
                                     result.tuples, config_.metrics);
   }
 
-  result.ingest.quarantined = sink.total();
-  result.ingest.quarantine_overflow = sink.overflow();
+  result.ingest.quarantined = parsed.sink.total();
+  result.ingest.quarantine_overflow = parsed.sink.overflow();
   result.ingest.duplicate_placements =
       result.reconstruct_stats.duplicate_placements;
   result.ingest.duplicate_terminations =
       result.reconstruct_stats.duplicate_terminations;
-  result.quarantine = sink.entries();
+  result.quarantine = parsed.sink.entries();
   result.metrics.ingest = result.ingest;
 
   // Bulk self-measurements, once per analysis (overflow is counted here,
   // not in QuarantineSink::MergeFrom, so merged sinks never double-count).
-  LD_OBS_COUNTER_ADD(obs::names::kQuarantineOverflowTotal, sink.overflow());
+  LD_OBS_COUNTER_ADD(obs::names::kQuarantineOverflowTotal,
+                     parsed.sink.overflow());
   LD_OBS_COUNTER_ADD(obs::names::kAnalyzeRunsTotal, result.runs.size());
   LD_OBS_COUNTER_ADD(obs::names::kAnalyzeTuplesTotal, result.tuples.size());
-  if (analyze_start_ns != 0) {
-    LD_OBS_HIST_RECORD(obs::names::kAnalyzeTotalMicros,
-                       (LD_OBS_NOW_NS() - analyze_start_ns) / 1000);
-  }
   return result;
 }
 
@@ -335,7 +358,51 @@ Result<AnalysisResult> LogDiver::AnalyzeBundle(const std::string& dir) const {
       LD_TRY(load(dir + "/hwerr.log", &views.hwerr));
     }
   }
-  return AnalyzeWith(views, pool);
+  if (config_.bundle_cache_dir.empty()) return AnalyzeWith(views, pool);
+
+  // Parsed-bundle cache (src/logdiver/cache).  A full hit returns the
+  // memoized result without touching a parser; a records hit replays
+  // the analysis tail over restored columns; anything untrustworthy is
+  // rejected and the text parse below remains the source of truth.
+  const cache::BundleCache bundle_cache(config_.bundle_cache_dir);
+  const cache::CacheKeys keys = cache::MakeKeys(views, machine_, config_);
+  auto entry = bundle_cache.Load(keys);
+  if (entry.ok()) {
+    if (entry->result.has_value()) {
+      AnalysisResult result = std::move(*entry->result);
+      result.cache_outcome = CacheOutcome::kHit;
+      return result;
+    }
+    auto result = AnalyzeParsed(std::move(entry->parsed), pool);
+    if (result.ok()) result->cache_outcome = CacheOutcome::kRecordsHit;
+    return result;
+  }
+  const bool rejected = entry.status().code() != StatusCode::kNotFound;
+  const std::string note = rejected ? entry.status().message() : "";
+
+  LD_OBS_SPAN("analyze");
+  const std::uint64_t analyze_start_ns = LD_OBS_NOW_NS();
+  LD_ASSIGN_OR_RETURN(ParsedLogs parsed, ParseLogs(views, pool));
+  // Snapshot the records bytes before the tail consumes the columns.
+  const std::vector<std::uint8_t> parsed_bytes =
+      cache::BundleCache::EncodeParsed(parsed);
+  auto result = AnalyzeParsed(std::move(parsed), pool);
+  if (!result.ok()) return result;
+  if (analyze_start_ns != 0) {
+    LD_OBS_HIST_RECORD(obs::names::kAnalyzeTotalMicros,
+                       (LD_OBS_NOW_NS() - analyze_start_ns) / 1000);
+  }
+  result->cache_outcome = rejected ? CacheOutcome::kRejected
+                                   : CacheOutcome::kMiss;
+  result->cache_note = note;
+  const Status stored = bundle_cache.Store(keys, parsed_bytes, *result);
+  if (!stored.ok()) {
+    // A write failure costs only the next run's speed; disclose it.
+    result->cache_note = result->cache_note.empty()
+                             ? stored.message()
+                             : result->cache_note + "; " + stored.message();
+  }
+  return result;
 }
 
 }  // namespace ld

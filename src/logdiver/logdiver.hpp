@@ -25,6 +25,7 @@
 #include "common/status.hpp"
 #include "logdiver/alps_parser.hpp"
 #include "logdiver/coalesce.hpp"
+#include "logdiver/columns.hpp"
 #include "logdiver/correlate.hpp"
 #include "logdiver/hwerr_parser.hpp"
 #include "logdiver/metrics.hpp"
@@ -76,6 +77,14 @@ struct LogDiverConfig {
   /// Metric-accumulation ownership for fleet workers; the default
   /// (count = 1) owns everything and is the serial analyzer.
   ShardSpec shard;
+  /// Directory for the parsed-bundle cache (see logdiver/cache).  Empty
+  /// disables caching.  AnalyzeBundle consults it before text-parsing
+  /// and writes back after a miss; the streaming/fleet bundle loader
+  /// caches per-line claimed times under the same keying.  A stale,
+  /// foreign or torn entry is rejected (ld.cache.rejected_total) and
+  /// the analysis falls back to the text parse — a cache can make a
+  /// run faster, never different.
+  std::string bundle_cache_dir;
 };
 
 /// The four raw log streams LogDiver consumes.
@@ -99,6 +108,30 @@ struct LogSetView {
   explicit LogSetView(const LogSet& logs);
 };
 
+/// Everything the parse phase produces, decoupled from the analysis
+/// tail so the parsed-bundle cache can persist and restore it.  The
+/// error stream is already columnar (syslog records first, hwerr
+/// appended — the exact order the coalescer's tie-break keys on).
+struct ParsedLogs {
+  std::vector<TorqueRecord> torque;
+  std::vector<AlpsRecord> alps;
+  ErrorColumns errors;
+  ParseStats torque_stats;
+  ParseStats alps_stats;
+  ParseStats syslog_stats;
+  ParseStats hwerr_stats;
+  QuarantineSink sink;
+};
+
+/// How the parsed-bundle cache participated in an analysis.
+enum class CacheOutcome : std::uint8_t {
+  kDisabled = 0,   // no cache dir configured
+  kMiss,           // no usable entry; text parse ran, entry written
+  kRejected,       // entry present but stale/foreign/torn; text parse ran
+  kRecordsHit,     // parsed records loaded; analysis tail re-ran
+  kHit,            // full hit: memoized result returned
+};
+
 struct AnalysisResult {
   std::vector<AppRun> runs;
   std::vector<ClassifiedRun> classified;
@@ -117,6 +150,13 @@ struct AnalysisResult {
   IngestStats ingest;
   /// Rejected lines with reasons (bounded by the quarantine config).
   std::vector<QuarantineEntry> quarantine;
+
+  /// Parsed-bundle cache participation (AnalyzeBundle only; the
+  /// in-memory Analyze overloads always report kDisabled).
+  CacheOutcome cache_outcome = CacheOutcome::kDisabled;
+  /// Human-readable reason when an entry was rejected; the CLI prints
+  /// it so a fallback to text parse is loud, never silent.
+  std::string cache_note;
 };
 
 class LogDiver {
@@ -136,7 +176,19 @@ class LogDiver {
   /// optional); the other three are required.
   Result<AnalysisResult> AnalyzeBundle(const std::string& dir) const;
 
+  /// The parse phase alone: chunk-parallel parse + ordered reduction of
+  /// all four sources into ParsedLogs.  Budget checks happen in
+  /// AnalyzeParsed so a cached ParsedLogs takes the identical path.
+  Result<ParsedLogs> ParseLogs(const LogSetView& logs, ThreadPool* pool) const;
+
+  /// The analysis tail: budget checks, coalesce, reconstruct, classify,
+  /// metrics.  AnalyzeWith == ParseLogs + AnalyzeParsed; the bundle
+  /// cache feeds restored ParsedLogs straight into this.
+  Result<AnalysisResult> AnalyzeParsed(ParsedLogs&& parsed,
+                                       ThreadPool* pool) const;
+
   const LogDiverConfig& config() const { return config_; }
+  const Machine& machine() const { return machine_; }
 
  private:
   Result<AnalysisResult> AnalyzeWith(const LogSetView& logs,

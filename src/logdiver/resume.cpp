@@ -11,6 +11,7 @@
 
 #include "common/crashpoint.hpp"
 #include "common/obs/obs.hpp"
+#include "logdiver/cache/bundle_cache.hpp"
 #include "logdiver/logdiver.hpp"
 #include "logdiver/snapshot.hpp"
 
@@ -73,15 +74,61 @@ struct LoadedBundle {
   std::vector<TimePoint> claimed[kNumLogSources];
 };
 
-Result<LoadedBundle> LoadBundle(const StreamInputs& inputs, int base_year) {
+Result<LoadedBundle> LoadBundle(const StreamInputs& inputs,
+                                const LogDiverConfig& config) {
   LoadedBundle bundle;
   const std::string* paths[kNumLogSources] = {
       &inputs.torque_path, &inputs.alps_path, &inputs.syslog_path,
       &inputs.hwerr_path};
   for (std::size_t s = 0; s < kNumLogSources; ++s) {
     LD_ASSIGN_OR_RETURN(bundle.lines[s], ReadLines(*paths[s]));
+  }
+  const int base_year = config.syslog_base_year;
+  if (config.bundle_cache_dir.empty()) {
+    for (std::size_t s = 0; s < kNumLogSources; ++s) {
+      bundle.claimed[s] = ClaimedTimes(bundle.lines[s],
+                                       static_cast<LogSource>(s), base_year);
+    }
+    return bundle;
+  }
+
+  // Claimed-time cache: the throwaway re-parse above is pure overhead on
+  // a bundle this process family has already seen.  Keyed by the same
+  // lines fingerprint as the snapshot headers (shard_count 0: claims are
+  // partition-independent), so every fleet worker shares one entry.
+  const cache::BundleCache bundle_cache(config.bundle_cache_dir);
+  LogSetView views;
+  std::vector<std::string_view>* view_cols[kNumLogSources] = {
+      &views.torque, &views.alps, &views.syslog, &views.hwerr};
+  std::array<std::size_t, kNumLogSources> line_counts{};
+  for (std::size_t s = 0; s < kNumLogSources; ++s) {
+    view_cols[s]->assign(bundle.lines[s].begin(), bundle.lines[s].end());
+    line_counts[s] = bundle.lines[s].size();
+  }
+  const std::uint64_t fingerprint = cache::LinesFingerprint(views, 0);
+  auto claims = bundle_cache.LoadClaims(fingerprint, base_year, line_counts);
+  if (claims.ok()) {
+    for (std::size_t s = 0; s < kNumLogSources; ++s) {
+      bundle.claimed[s] = std::move((*claims)[s]);
+    }
+    return bundle;
+  }
+  if (claims.status().code() != StatusCode::kNotFound) {
+    // Rejected entry (torn/stale/foreign): fall back loudly, never
+    // silently — the reparse below restores correctness either way.
+    std::fprintf(stderr, "logdiver: %s\n",
+                 claims.status().message().c_str());
+  }
+  cache::ClaimedColumns fresh;
+  for (std::size_t s = 0; s < kNumLogSources; ++s) {
     bundle.claimed[s] = ClaimedTimes(bundle.lines[s],
                                      static_cast<LogSource>(s), base_year);
+    fresh[s] = bundle.claimed[s];
+  }
+  const Status stored =
+      bundle_cache.StoreClaims(fingerprint, base_year, fresh);
+  if (!stored.ok()) {
+    std::fprintf(stderr, "logdiver: %s\n", stored.message().c_str());
   }
   return bundle;
 }
@@ -128,42 +175,25 @@ void ReplayLoop(const LoadedBundle& bundle, StreamingAnalyzer& analyzer,
   }
 }
 
-constexpr std::uint64_t kFnvOffset = 1469598103934665603ull;
-constexpr std::uint64_t kFnvPrime = 1099511628211ull;
-
-void FnvMix(std::uint64_t& h, const void* data, std::size_t size) {
-  const auto* bytes = static_cast<const unsigned char*>(data);
-  for (std::size_t i = 0; i < size; ++i) {
-    h ^= bytes[i];
-    h *= kFnvPrime;
-  }
-}
-
 }  // namespace
 
 Result<std::uint64_t> BundlePartitionFingerprint(const StreamInputs& inputs,
                                                  std::uint32_t shard_count) {
+  // Delegates to the parsed-bundle cache's in-memory fingerprint so the
+  // snapshot headers and the cache entries can never disagree about a
+  // bundle's identity.
   const std::string* paths[kNumLogSources] = {
       &inputs.torque_path, &inputs.alps_path, &inputs.syslog_path,
       &inputs.hwerr_path};
-  std::uint64_t h = kFnvOffset;
+  std::vector<std::string> lines[kNumLogSources];
+  LogSetView views;
+  std::vector<std::string_view>* view_cols[kNumLogSources] = {
+      &views.torque, &views.alps, &views.syslog, &views.hwerr};
   for (std::size_t s = 0; s < kNumLogSources; ++s) {
-    LD_ASSIGN_OR_RETURN(const std::vector<std::string> lines,
-                        ReadLines(*paths[s]));
-    // Source tag + line framing: moving a line between sources, or a
-    // newline between lines, must change the fingerprint.
-    const unsigned char tag = static_cast<unsigned char>(0xF0 + s);
-    FnvMix(h, &tag, 1);
-    for (const std::string& line : lines) {
-      FnvMix(h, line.data(), line.size());
-      const unsigned char nl = '\n';
-      FnvMix(h, &nl, 1);
-    }
+    LD_ASSIGN_OR_RETURN(lines[s], ReadLines(*paths[s]));
+    view_cols[s]->assign(lines[s].begin(), lines[s].end());
   }
-  const std::uint32_t count = shard_count;
-  FnvMix(h, &count, sizeof(count));
-  // 0 is reserved for "unspecified" in snapshot headers.
-  return h == 0 ? 1 : h;
+  return cache::LinesFingerprint(views, shard_count);
 }
 
 Result<std::uint64_t> ReplayBundle(const LogDiverConfig& config,
@@ -171,7 +201,7 @@ Result<std::uint64_t> ReplayBundle(const LogDiverConfig& config,
                                    const ReplaySchedule& schedule,
                                    StreamingAnalyzer& analyzer) {
   LD_ASSIGN_OR_RETURN(const LoadedBundle bundle,
-                      LoadBundle(inputs, config.syslog_base_year));
+                      LoadBundle(inputs, config));
   std::uint64_t heads[kNumLogSources] = {0, 0, 0, 0};
   std::uint64_t total = 0;
   Status status;
@@ -185,7 +215,7 @@ Result<ResumableSummary> RunResumableAnalysis(const Machine& machine,
                                               const StreamInputs& inputs,
                                               const ResumeOptions& options) {
   LD_ASSIGN_OR_RETURN(const LoadedBundle bundle,
-                      LoadBundle(inputs, config.syslog_base_year));
+                      LoadBundle(inputs, config));
   const std::vector<std::string>* files[kNumLogSources] = {
       &bundle.lines[0], &bundle.lines[1], &bundle.lines[2], &bundle.lines[3]};
   LD_ASSIGN_OR_RETURN(const std::uint64_t fingerprint,

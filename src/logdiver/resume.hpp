@@ -113,7 +113,8 @@ Result<std::uint64_t> ReplayBundle(const LogDiverConfig& config,
                                    const ReplaySchedule& schedule,
                                    StreamingAnalyzer& analyzer);
 
-/// Deterministic fingerprint of (bundle bytes, shard partition): FNV-1a
+/// Deterministic fingerprint of (bundle bytes, shard partition):
+/// delegates to bundle_cache's LinesFingerprint (word-folded FNV-1a-64)
 /// over every source's raw lines, mixed with `shard_count`.  This is
 /// the id stamped into snapshot/partial headers so a loader can tell
 /// "same bundle, same partition" from "stale directory or foreign

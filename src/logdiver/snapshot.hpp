@@ -58,6 +58,9 @@ class SnapshotWriter {
   void Dur(Duration d) { I64(d.seconds()); }
   /// u32 length prefix + raw bytes.
   void Str(std::string_view s);
+  /// Unprefixed raw bytes (the bulk column dumps of the parsed-bundle
+  /// cache); the caller owns length framing.
+  void Raw(const void* data, std::size_t size);
 
   const std::vector<std::uint8_t>& bytes() const { return buffer_; }
   std::vector<std::uint8_t> TakeBytes() { return std::move(buffer_); }
@@ -88,6 +91,9 @@ class SnapshotReader {
   TimePoint Time() { return TimePoint(I64()); }
   Duration Dur() { return Duration(I64()); }
   std::string Str();
+  /// Bulk copy of `size` raw bytes into `out`; zero-fills and latches
+  /// an error when fewer remain.
+  void Raw(void* out, std::size_t size);
 
   bool ok() const { return status_.ok(); }
   const Status& status() const { return status_; }
@@ -123,6 +129,10 @@ void LoadQuarantineEntry(SnapshotReader& r, QuarantineEntry& e);
 /// counters, all tables and series) into `w` — the basis of the
 /// bit-identical equivalence check in bench/crash_campaign.
 void SaveMetricsReport(SnapshotWriter& w, const MetricsReport& report);
+/// Inverse of SaveMetricsReport: reads the exact field layout back.  A
+/// loaded report re-serializes to the same bytes (FingerprintReport
+/// equal) — the parsed-bundle cache depends on this round trip.
+void LoadMetricsReport(SnapshotReader& r, MetricsReport& report);
 /// CRC-32 over the full serialized report: two reports fingerprint
 /// equal iff every number in them is bit-identical.
 std::uint32_t FingerprintReport(const MetricsReport& report);

@@ -3,6 +3,7 @@
 #include <array>
 #include <cctype>
 
+#include "common/simd.hpp"
 #include "common/strings.hpp"
 #include "logdiver/quarantine.hpp"
 
@@ -24,6 +25,14 @@ int MonthFromAbbrev(std::string_view m) {
 /// old sscanf call: no format-string machinery, no allocation, and no
 /// accidental acceptance of signs or trailing garbage.
 bool ParseClock(std::string_view text, int& h, int& m, int& s) {
+  // Fast path: the fixed-width "HH:MM:SS" every real syslog line uses is
+  // recognized with one 8-byte vector classification.
+  if (text.size() == 8 && simd::IsClockHHMMSS(text.data())) {
+    h = (text[0] - '0') * 10 + (text[1] - '0');
+    m = (text[3] - '0') * 10 + (text[4] - '0');
+    s = (text[6] - '0') * 10 + (text[7] - '0');
+    return true;
+  }
   const auto eat = [&text](int& out) {
     std::size_t used = 0;
     long v = 0;
@@ -51,10 +60,7 @@ std::string CnameAfter(std::string_view text, std::string_view marker) {
   if (pos == std::string_view::npos) return "";
   std::string_view rest = text.substr(pos + marker.size());
   rest = Trim(rest);
-  std::size_t end = 0;
-  while (end < rest.size() && !std::isspace(static_cast<unsigned char>(rest[end]))) {
-    ++end;
-  }
+  const std::size_t end = simd::FindWhitespace(rest, 0);
   return std::string(rest.substr(0, end));
 }
 

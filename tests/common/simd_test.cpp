@@ -1,0 +1,115 @@
+// The SIMD kernels (src/common/simd.hpp) promise bit-identical results
+// across backends.  These tests hold the active backend (SSE2, NEON or
+// scalar, depending on the build) to the scalar reference on edge cases
+// and on randomized buffers that straddle vector-width boundaries.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <random>
+#include <string>
+#include <string_view>
+
+#include "common/simd.hpp"
+
+namespace ld::simd {
+namespace {
+
+TEST(Simd, BackendNameIsKnown) {
+  const std::string name = BackendName();
+  EXPECT_TRUE(name == "sse2" || name == "neon" || name == "scalar") << name;
+}
+
+TEST(Simd, FindByteMatchesStringViewFind) {
+  const std::string_view cases[] = {
+      "",
+      "\n",
+      "a",
+      "abc\ndef\n",
+      "no newline here at all ........................",
+      std::string_view("\0\0\n\0", 4),
+      "ends exactly on a sixteen-byte b\n",
+  };
+  for (const std::string_view data : cases) {
+    for (const char needle : {'\n', 'a', '\0', ':'}) {
+      for (std::size_t pos = 0; pos <= data.size() + 1; ++pos) {
+        EXPECT_EQ(FindByte(data, needle, pos), data.find(needle, pos))
+            << "needle=" << static_cast<int>(needle) << " pos=" << pos;
+        EXPECT_EQ(scalar::FindByte(data, needle, pos), data.find(needle, pos));
+      }
+    }
+  }
+}
+
+TEST(Simd, WhitespaceKernelsMatchScalarOnAllSingleBytes) {
+  // Every byte value, including >= 0x80 where a naive signed-char
+  // classifier goes wrong, as a one-byte buffer.
+  for (int b = 0; b < 256; ++b) {
+    const char c = static_cast<char>(b);
+    const std::string_view data(&c, 1);
+    EXPECT_EQ(FindWhitespace(data), scalar::FindWhitespace(data)) << b;
+    EXPECT_EQ(SkipWhitespace(data), scalar::SkipWhitespace(data)) << b;
+    EXPECT_EQ(DigitRunLength(data), scalar::DigitRunLength(data)) << b;
+  }
+}
+
+TEST(Simd, WhitespaceSetIsExactlyIsspace) {
+  for (int b = 0; b < 256; ++b) {
+    const char c = static_cast<char>(b);
+    const std::string_view data(&c, 1);
+    const bool is_space = b == ' ' || b == '\t' || b == '\n' || b == '\v' ||
+                          b == '\f' || b == '\r';
+    EXPECT_EQ(FindWhitespace(data) == 0, is_space) << b;
+    EXPECT_EQ(SkipWhitespace(data) == 1, is_space) << b;
+  }
+}
+
+TEST(Simd, RandomBuffersAgreeWithScalarAtEveryOffset) {
+  // Buffer lengths chosen to land on, just under and just over the 16-
+  // and 64-byte boundaries the vector loops care about.
+  std::mt19937_64 rng(20260808);
+  // Skew toward bytes the kernels classify, so matches are dense.
+  const char alphabet[] = " \t\n\r\v\f0123456789abc:\x80\xff";
+  for (const std::size_t len : {0u, 1u, 7u, 15u, 16u, 17u, 31u, 63u, 64u,
+                                65u, 200u}) {
+    for (int trial = 0; trial < 20; ++trial) {
+      std::string buffer(len, '\0');
+      for (char& c : buffer) {
+        c = alphabet[rng() % (sizeof(alphabet) - 1)];
+      }
+      const std::string_view data = buffer;
+      for (std::size_t pos = 0; pos <= len; ++pos) {
+        ASSERT_EQ(FindByte(data, '\n', pos), scalar::FindByte(data, '\n', pos))
+            << "len=" << len << " pos=" << pos;
+        ASSERT_EQ(FindWhitespace(data, pos), scalar::FindWhitespace(data, pos))
+            << "len=" << len << " pos=" << pos;
+        ASSERT_EQ(SkipWhitespace(data, pos), scalar::SkipWhitespace(data, pos))
+            << "len=" << len << " pos=" << pos;
+        ASSERT_EQ(DigitRunLength(data, pos), scalar::DigitRunLength(data, pos))
+            << "len=" << len << " pos=" << pos;
+      }
+    }
+  }
+}
+
+TEST(Simd, ClockRecognizerAgreesWithScalar) {
+  const char* good[] = {"01:23:45", "00:00:00", "23:59:59", "99:99:99"};
+  for (const char* p : good) {
+    EXPECT_TRUE(IsClockHHMMSS(p)) << p;
+    EXPECT_TRUE(scalar::IsClockHHMMSS(p)) << p;
+  }
+  // Every single-character corruption of a valid clock must flip both
+  // implementations the same way.
+  const std::string base = "12:34:56";
+  for (std::size_t i = 0; i < base.size(); ++i) {
+    for (const char c : {'a', ' ', ':', '0', '\0', '\x80'}) {
+      std::string corrupted = base;
+      corrupted[i] = c;
+      EXPECT_EQ(IsClockHHMMSS(corrupted.data()),
+                scalar::IsClockHHMMSS(corrupted.data()))
+          << "i=" << i << " c=" << static_cast<int>(c);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ld::simd

@@ -73,6 +73,52 @@ TEST(BlockReader, SplitLinesParallelMatchesSequentialAtAnyBlockSize) {
   }
 }
 
+TEST(BlockReader, BlockBoundaryExactlyOnNewlineSplitsCleanly) {
+  // "ab\n" repeated: a 3-byte block target puts every block boundary
+  // exactly on a '\n'; the splitter must not emit empty blocks or merge
+  // lines across the cut.
+  std::string data;
+  for (int i = 0; i < 50; ++i) data += "ab\n";
+  const auto blocks = SplitBlocks(data, 3);
+  std::string glued;
+  for (const auto b : blocks) {
+    ASSERT_FALSE(b.empty());
+    EXPECT_EQ(b.back(), '\n');
+    glued.append(b);
+  }
+  EXPECT_EQ(glued, data);
+  EXPECT_EQ(Lines(data).size(), 50u);
+}
+
+TEST(BlockReader, CrlfStraddlingABlockBoundaryStaysOneLine) {
+  // With "abc\r\n" payloads and small block targets, some cut lands
+  // between the '\r' and the '\n'.  However the blocks fall, the parallel
+  // split must agree with the sequential one byte for byte.
+  std::string data;
+  for (int i = 0; i < 100; ++i) data += "abc\r\n";
+  const auto expected = Lines(data);
+  ASSERT_EQ(expected.size(), 100u);
+  for (std::size_t target = 1; target <= 12; ++target) {
+    EXPECT_EQ(SplitLinesParallel(data, nullptr, target), expected)
+        << "target=" << target;
+  }
+}
+
+TEST(BlockReader, NewlineAtEveryVectorLaneOffsetIsFound) {
+  // Lines sized 1..64 place the '\n' at every offset within and beyond a
+  // 16-byte SIMD lane; the split must match getline semantics for all.
+  std::string data;
+  for (std::size_t len = 1; len <= 64; ++len) {
+    data += std::string(len, 'x');
+    data += '\n';
+  }
+  const auto lines = Lines(data);
+  ASSERT_EQ(lines.size(), 64u);
+  for (std::size_t len = 1; len <= 64; ++len) {
+    EXPECT_EQ(lines[len - 1].size(), len) << len;
+  }
+}
+
 TEST(BlockReader, MappedFileReadsWholeFile) {
   const std::string path =
       ::testing::TempDir() + "/ld_block_reader_mapped.txt";

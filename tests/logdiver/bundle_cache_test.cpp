@@ -1,0 +1,416 @@
+// Equivalence and rejection tests for the parsed-bundle cache
+// (src/logdiver/cache): a cache hit may only ever make an analysis
+// faster, never change a byte of its report.  Every test here compares
+// cached paths to the uncached text parse via FingerprintReport.
+#include <gtest/gtest.h>
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "logdiver/cache/bundle_cache.hpp"
+#include "logdiver/logdiver.hpp"
+#include "logdiver/resume.hpp"
+#include "logdiver/snapshot.hpp"
+#include "simlog/scenario.hpp"
+
+namespace ld {
+namespace {
+
+namespace fs = std::filesystem;
+
+struct CachedBundle {
+  Machine machine = Machine::Testbed(4, 2);
+  std::string bundle_dir;
+  std::string cache_dir;
+};
+
+// Writes a small-but-dirty bundle (a few malformed lines appended to two
+// sources so quarantine/ingest state is non-trivial) plus an empty cache
+// directory, both under TempDir.
+CachedBundle MakeCachedBundle(const std::string& tag, std::uint64_t seed) {
+  CachedBundle cb;
+  cb.bundle_dir = ::testing::TempDir() + "/ld_bc_" + tag + "_bundle";
+  cb.cache_dir = ::testing::TempDir() + "/ld_bc_" + tag + "_cache";
+  fs::remove_all(cb.bundle_dir);
+  fs::remove_all(cb.cache_dir);
+  ScenarioConfig config = SmallScenario(seed);
+  config.workload.target_app_runs = 400;
+  cb.machine = MakeMachine(config);
+  auto bundle = WriteBundle(cb.machine, config, cb.bundle_dir);
+  EXPECT_TRUE(bundle.ok()) << bundle.status().ToString();
+  // Dirty the bundle: lines no parser accepts, so the cached QuarantineSink
+  // state and ingest counters are exercised, not just clean-path columns.
+  {
+    std::ofstream syslog(cb.bundle_dir + "/syslog.log", std::ios::app);
+    syslog << "not a syslog line at all\n<<<garbage>>>\n";
+    std::ofstream torque(cb.bundle_dir + "/torque.log", std::ios::app);
+    torque << "]]] broken accounting record\n";
+  }
+  fs::create_directories(cb.cache_dir);
+  return cb;
+}
+
+LogDiverConfig CachedConfig(const CachedBundle& cb) {
+  LogDiverConfig config;
+  config.bundle_cache_dir = cb.cache_dir;
+  return config;
+}
+
+// The single bundle-*.ldpbc entry in a cache directory.
+std::string FindBundleEntry(const std::string& cache_dir) {
+  for (const auto& entry : fs::directory_iterator(cache_dir)) {
+    const std::string name = entry.path().filename().string();
+    if (name.rfind("bundle-", 0) == 0) return entry.path().string();
+  }
+  return "";
+}
+
+void ExpectSameAnalysis(const AnalysisResult& a, const AnalysisResult& b) {
+  EXPECT_EQ(FingerprintReport(a.metrics), FingerprintReport(b.metrics));
+  EXPECT_EQ(a.runs.size(), b.runs.size());
+  EXPECT_EQ(a.classified.size(), b.classified.size());
+  EXPECT_EQ(a.tuples.size(), b.tuples.size());
+  EXPECT_EQ(a.quarantine.size(), b.quarantine.size());
+  EXPECT_EQ(a.syslog_stats.records, b.syslog_stats.records);
+  EXPECT_EQ(a.syslog_stats.malformed, b.syslog_stats.malformed);
+  EXPECT_EQ(a.coalesce_stats.tuples, b.coalesce_stats.tuples);
+  EXPECT_EQ(a.reconstruct_stats.runs, b.reconstruct_stats.runs);
+}
+
+TEST(BundleCache, ColdWarmAndUncachedReportsAreByteIdentical) {
+  const CachedBundle cb = MakeCachedBundle("coldwarm", 101);
+
+  const LogDiver uncached(cb.machine, {});
+  auto baseline = uncached.AnalyzeBundle(cb.bundle_dir);
+  ASSERT_TRUE(baseline.ok()) << baseline.status().ToString();
+  EXPECT_EQ(baseline->cache_outcome, CacheOutcome::kDisabled);
+  EXPECT_GT(baseline->quarantine.size(), 0u);  // the bundle really is dirty
+
+  const LogDiver diver(cb.machine, CachedConfig(cb));
+  auto cold = diver.AnalyzeBundle(cb.bundle_dir);
+  ASSERT_TRUE(cold.ok()) << cold.status().ToString();
+  EXPECT_EQ(cold->cache_outcome, CacheOutcome::kMiss);
+  EXPECT_NE(FindBundleEntry(cb.cache_dir), "");
+
+  auto warm = diver.AnalyzeBundle(cb.bundle_dir);
+  ASSERT_TRUE(warm.ok()) << warm.status().ToString();
+  EXPECT_EQ(warm->cache_outcome, CacheOutcome::kHit);
+  EXPECT_TRUE(warm->cache_note.empty()) << warm->cache_note;
+
+  ExpectSameAnalysis(*baseline, *cold);
+  ExpectSameAnalysis(*baseline, *warm);
+
+  fs::remove_all(cb.bundle_dir);
+  fs::remove_all(cb.cache_dir);
+}
+
+TEST(BundleCache, AnalysisConfigChangeIsARecordsHitWithFreshTail) {
+  const CachedBundle cb = MakeCachedBundle("recordshit", 102);
+
+  {
+    const LogDiver diver(cb.machine, CachedConfig(cb));
+    auto cold = diver.AnalyzeBundle(cb.bundle_dir);
+    ASSERT_TRUE(cold.ok()) << cold.status().ToString();
+    EXPECT_EQ(cold->cache_outcome, CacheOutcome::kMiss);
+  }
+
+  // Same parse config, different analysis tail: the entry's records are
+  // reusable but the memoized result is not.
+  LogDiverConfig changed = CachedConfig(cb);
+  changed.coalesce.tupling_window = Duration::Seconds(5);
+  const LogDiver rediver(cb.machine, changed);
+  auto records_hit = rediver.AnalyzeBundle(cb.bundle_dir);
+  ASSERT_TRUE(records_hit.ok()) << records_hit.status().ToString();
+  EXPECT_EQ(records_hit->cache_outcome, CacheOutcome::kRecordsHit);
+
+  LogDiverConfig changed_uncached = changed;
+  changed_uncached.bundle_cache_dir.clear();
+  const LogDiver fresh(cb.machine, changed_uncached);
+  auto baseline = fresh.AnalyzeBundle(cb.bundle_dir);
+  ASSERT_TRUE(baseline.ok()) << baseline.status().ToString();
+  ExpectSameAnalysis(*baseline, *records_hit);
+
+  fs::remove_all(cb.bundle_dir);
+  fs::remove_all(cb.cache_dir);
+}
+
+TEST(BundleCache, TornEntryIsRejectedLoudlyAndRewritten) {
+  const CachedBundle cb = MakeCachedBundle("torn", 103);
+  const LogDiver diver(cb.machine, CachedConfig(cb));
+
+  auto cold = diver.AnalyzeBundle(cb.bundle_dir);
+  ASSERT_TRUE(cold.ok()) << cold.status().ToString();
+  const std::string entry = FindBundleEntry(cb.cache_dir);
+  ASSERT_NE(entry, "");
+
+  // Tear the file: keep the header but only half the payload, as if a
+  // writer died mid-write without the atomic rename discipline.
+  const auto full_size = fs::file_size(entry);
+  fs::resize_file(entry, full_size / 2);
+
+  auto rejected = diver.AnalyzeBundle(cb.bundle_dir);
+  ASSERT_TRUE(rejected.ok()) << rejected.status().ToString();
+  EXPECT_EQ(rejected->cache_outcome, CacheOutcome::kRejected);
+  EXPECT_NE(rejected->cache_note.find("falling back"), std::string::npos)
+      << rejected->cache_note;
+  ExpectSameAnalysis(*cold, *rejected);
+
+  // The rejected entry was rewritten by the fallback run.
+  auto warm = diver.AnalyzeBundle(cb.bundle_dir);
+  ASSERT_TRUE(warm.ok()) << warm.status().ToString();
+  EXPECT_EQ(warm->cache_outcome, CacheOutcome::kHit);
+  ExpectSameAnalysis(*cold, *warm);
+
+  fs::remove_all(cb.bundle_dir);
+  fs::remove_all(cb.cache_dir);
+}
+
+TEST(BundleCache, CorruptPayloadByteFailsTheChecksum) {
+  const CachedBundle cb = MakeCachedBundle("crc", 104);
+  const LogDiver diver(cb.machine, CachedConfig(cb));
+
+  auto cold = diver.AnalyzeBundle(cb.bundle_dir);
+  ASSERT_TRUE(cold.ok()) << cold.status().ToString();
+  const std::string entry = FindBundleEntry(cb.cache_dir);
+  ASSERT_NE(entry, "");
+
+  // Flip one byte in the middle of the payload; size still matches, so
+  // only the CRC can catch it.
+  {
+    std::fstream file(entry, std::ios::in | std::ios::out | std::ios::binary);
+    const auto mid =
+        static_cast<std::streamoff>(fs::file_size(entry) / 2);
+    file.seekg(mid);
+    char byte = 0;
+    file.read(&byte, 1);
+    byte = static_cast<char>(byte ^ 0x5a);
+    file.seekp(mid);
+    file.write(&byte, 1);
+  }
+
+  auto rejected = diver.AnalyzeBundle(cb.bundle_dir);
+  ASSERT_TRUE(rejected.ok()) << rejected.status().ToString();
+  EXPECT_EQ(rejected->cache_outcome, CacheOutcome::kRejected);
+  ExpectSameAnalysis(*cold, *rejected);
+
+  fs::remove_all(cb.bundle_dir);
+  fs::remove_all(cb.cache_dir);
+}
+
+TEST(BundleCache, ForeignEntryCopiedOverIsRejectedByFingerprint) {
+  const CachedBundle cb = MakeCachedBundle("foreign_a", 105);
+  const CachedBundle other = MakeCachedBundle("foreign_b", 999);
+
+  const LogDiver diver(cb.machine, CachedConfig(cb));
+  auto cold = diver.AnalyzeBundle(cb.bundle_dir);
+  ASSERT_TRUE(cold.ok()) << cold.status().ToString();
+
+  const LogDiver other_diver(other.machine, CachedConfig(other));
+  ASSERT_TRUE(other_diver.AnalyzeBundle(other.bundle_dir).ok());
+
+  // Copy the other bundle's (internally valid) entry over this bundle's
+  // path, as a confused operator syncing cache dirs might.  The embedded
+  // fingerprint no longer matches the name-derived one.
+  const std::string entry = FindBundleEntry(cb.cache_dir);
+  const std::string foreign = FindBundleEntry(other.cache_dir);
+  ASSERT_NE(entry, "");
+  ASSERT_NE(foreign, "");
+  fs::copy_file(foreign, entry, fs::copy_options::overwrite_existing);
+
+  auto rejected = diver.AnalyzeBundle(cb.bundle_dir);
+  ASSERT_TRUE(rejected.ok()) << rejected.status().ToString();
+  EXPECT_EQ(rejected->cache_outcome, CacheOutcome::kRejected);
+  EXPECT_NE(rejected->cache_note.find("fingerprint"), std::string::npos)
+      << rejected->cache_note;
+  ExpectSameAnalysis(*cold, *rejected);
+
+  fs::remove_all(cb.bundle_dir);
+  fs::remove_all(cb.cache_dir);
+  fs::remove_all(other.bundle_dir);
+  fs::remove_all(other.cache_dir);
+}
+
+TEST(BundleCache, StaleFormatVersionIsRejected) {
+  const CachedBundle cb = MakeCachedBundle("stale", 106);
+  const LogDiver diver(cb.machine, CachedConfig(cb));
+
+  auto cold = diver.AnalyzeBundle(cb.bundle_dir);
+  ASSERT_TRUE(cold.ok()) << cold.status().ToString();
+  const std::string entry = FindBundleEntry(cb.cache_dir);
+  ASSERT_NE(entry, "");
+
+  // The version u32 sits right after the 8-byte magic; bump it as a
+  // future format would.
+  {
+    std::fstream file(entry, std::ios::in | std::ios::out | std::ios::binary);
+    file.seekp(8);
+    const std::uint8_t future = static_cast<std::uint8_t>(
+        cache::kBundleCacheVersion + 1);
+    file.write(reinterpret_cast<const char*>(&future), 1);
+  }
+
+  auto rejected = diver.AnalyzeBundle(cb.bundle_dir);
+  ASSERT_TRUE(rejected.ok()) << rejected.status().ToString();
+  EXPECT_EQ(rejected->cache_outcome, CacheOutcome::kRejected);
+  EXPECT_NE(rejected->cache_note.find("version"), std::string::npos)
+      << rejected->cache_note;
+  ExpectSameAnalysis(*cold, *rejected);
+
+  fs::remove_all(cb.bundle_dir);
+  fs::remove_all(cb.cache_dir);
+}
+
+TEST(BundleCache, LinesFingerprintMatchesBundlePartitionFingerprint) {
+  const CachedBundle cb = MakeCachedBundle("fp", 107);
+
+  // Read the bundle the simple way and fingerprint the in-memory lines.
+  LogSet logs;
+  std::vector<std::string>* dests[kNumLogSources] = {&logs.torque, &logs.alps,
+                                                     &logs.syslog, &logs.hwerr};
+  const char* names[kNumLogSources] = {"torque.log", "alps.log", "syslog.log",
+                                       "hwerr.log"};
+  for (std::size_t s = 0; s < kNumLogSources; ++s) {
+    std::ifstream in(cb.bundle_dir + "/" + names[s]);
+    std::string line;
+    while (std::getline(in, line)) dests[s]->push_back(line);
+  }
+  const LogSetView views(logs);
+
+  const StreamInputs inputs = StreamInputs::FromBundleDir(cb.bundle_dir);
+  for (const std::uint32_t shards : {0u, 1u, 3u}) {
+    auto from_files = BundlePartitionFingerprint(inputs, shards);
+    ASSERT_TRUE(from_files.ok()) << from_files.status().ToString();
+    EXPECT_EQ(cache::LinesFingerprint(views, shards), *from_files)
+        << "shard_count=" << shards;
+  }
+
+  fs::remove_all(cb.bundle_dir);
+  fs::remove_all(cb.cache_dir);
+}
+
+TEST(BundleCache, ClaimsColumnsRoundTripAndValidate) {
+  const std::string dir = ::testing::TempDir() + "/ld_bc_claims_cache";
+  fs::remove_all(dir);
+  const cache::BundleCache bundle_cache(dir);
+
+  cache::ClaimedColumns claimed;
+  for (std::size_t s = 0; s < kNumLogSources; ++s) {
+    for (std::size_t i = 0; i < 5 + s; ++i) {
+      claimed[s].push_back(
+          TimePoint(1365000000 + static_cast<std::int64_t>(100 * s + i)));
+    }
+  }
+  std::array<std::size_t, kNumLogSources> counts{};
+  for (std::size_t s = 0; s < kNumLogSources; ++s) counts[s] = claimed[s].size();
+
+  const std::uint64_t fp = 0xfeedfacecafebeefull;
+  ASSERT_TRUE(bundle_cache.StoreClaims(fp, 2013, claimed).ok());
+
+  auto loaded = bundle_cache.LoadClaims(fp, 2013, counts);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  for (std::size_t s = 0; s < kNumLogSources; ++s) {
+    ASSERT_EQ((*loaded)[s].size(), claimed[s].size());
+    for (std::size_t i = 0; i < claimed[s].size(); ++i) {
+      EXPECT_EQ((*loaded)[s][i].unix_seconds(), claimed[s][i].unix_seconds());
+    }
+  }
+
+  // Wrong fingerprint: plain miss, not a rejection.
+  EXPECT_EQ(bundle_cache.LoadClaims(fp + 1, 2013, counts).status().code(),
+            StatusCode::kNotFound);
+  // Wrong base year: claimed times would differ, so the entry rejects.
+  EXPECT_EQ(bundle_cache.LoadClaims(fp, 2014, counts).status().code(),
+            StatusCode::kParseError);
+  // Wrong line counts: the live bundle cannot be the one cached.
+  counts[0] += 1;
+  EXPECT_EQ(bundle_cache.LoadClaims(fp, 2013, counts).status().code(),
+            StatusCode::kParseError);
+
+  fs::remove_all(dir);
+}
+
+TEST(BundleCache, StreamingLoaderUsesClaimsCacheWithIdenticalReport) {
+  const CachedBundle cb = MakeCachedBundle("stream", 108);
+  const StreamInputs inputs = StreamInputs::FromBundleDir(cb.bundle_dir);
+  ResumeOptions options;
+  options.snapshot_interval = 0;
+  options.resume = false;
+
+  LogDiverConfig uncached;
+  auto baseline =
+      RunResumableAnalysis(cb.machine, uncached, inputs, options);
+  ASSERT_TRUE(baseline.ok()) << baseline.status().ToString();
+
+  const LogDiverConfig cached = CachedConfig(cb);
+  auto cold = RunResumableAnalysis(cb.machine, cached, inputs, options);
+  ASSERT_TRUE(cold.ok()) << cold.status().ToString();
+
+  bool claims_entry = false;
+  for (const auto& entry : fs::directory_iterator(cb.cache_dir)) {
+    if (entry.path().filename().string().rfind("claims-", 0) == 0) {
+      claims_entry = true;
+    }
+  }
+  EXPECT_TRUE(claims_entry);
+
+  auto warm = RunResumableAnalysis(cb.machine, cached, inputs, options);
+  ASSERT_TRUE(warm.ok()) << warm.status().ToString();
+
+  const std::uint32_t want = FingerprintReport(baseline->summary.metrics);
+  EXPECT_EQ(FingerprintReport(cold->summary.metrics), want);
+  EXPECT_EQ(FingerprintReport(warm->summary.metrics), want);
+
+  fs::remove_all(cb.bundle_dir);
+  fs::remove_all(cb.cache_dir);
+}
+
+TEST(BundleCache, TwoConcurrentColdWritersNeverTearTheEntry) {
+  const CachedBundle cb = MakeCachedBundle("race", 109);
+
+  // Two processes race the same cold analysis into one cache directory;
+  // whichever rename lands last wins, and both produce valid entries.
+  pid_t pids[2];
+  for (pid_t& pid : pids) {
+    pid = fork();
+    ASSERT_GE(pid, 0);
+    if (pid == 0) {
+      const LogDiver diver(cb.machine, CachedConfig(cb));
+      auto result = diver.AnalyzeBundle(cb.bundle_dir);
+      _exit(result.ok() ? 0 : 1);
+    }
+  }
+  for (const pid_t pid : pids) {
+    int status = 0;
+    ASSERT_EQ(waitpid(pid, &status, 0), pid);
+    ASSERT_TRUE(WIFEXITED(status));
+    EXPECT_EQ(WEXITSTATUS(status), 0);
+  }
+
+  // No tmp files left behind, and the surviving entry is a clean hit.
+  for (const auto& entry : fs::directory_iterator(cb.cache_dir)) {
+    EXPECT_EQ(entry.path().filename().string().find(".tmp."),
+              std::string::npos)
+        << entry.path();
+  }
+  const LogDiver diver(cb.machine, CachedConfig(cb));
+  auto warm = diver.AnalyzeBundle(cb.bundle_dir);
+  ASSERT_TRUE(warm.ok()) << warm.status().ToString();
+  EXPECT_EQ(warm->cache_outcome, CacheOutcome::kHit);
+
+  const LogDiver uncached(cb.machine, {});
+  auto baseline = uncached.AnalyzeBundle(cb.bundle_dir);
+  ASSERT_TRUE(baseline.ok());
+  ExpectSameAnalysis(*baseline, *warm);
+
+  fs::remove_all(cb.bundle_dir);
+  fs::remove_all(cb.cache_dir);
+}
+
+}  // namespace
+}  // namespace ld

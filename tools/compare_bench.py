@@ -3,6 +3,8 @@
 
 Usage:
     tools/compare_bench.py BASELINE.json CANDIDATE.json [--threshold 0.10]
+        [--min-bytes-per-second NAME=BYTES] [--max-rss-mb NAME=MB]
+        [--min-speedup SLOW_NAME,FAST_NAME,RATIO]
 
 Matches benchmarks by name and computes the geometric mean of the
 candidate/baseline real-time ratios across every benchmark present in
@@ -10,13 +12,28 @@ both files.  Exits non-zero when that geomean exceeds 1 + threshold
 (default: a 10% slowdown) — single-benchmark jitter is tolerated, a
 broad slowdown is not.
 
+Three absolute gates run on the *candidate* file alone (repeatable; all
+violations are reported before the gate fails):
+
+  --min-bytes-per-second NAME=BYTES   the row's bytes_per_second must be
+                                      at least BYTES (a throughput floor
+                                      for ingest-path benchmarks).
+  --max-rss-mb NAME=MB                the row's rss_mb counter must not
+                                      exceed MB (a peak-memory ceiling).
+  --min-speedup SLOW,FAST,RATIO       real_time(SLOW) / real_time(FAST)
+                                      must be at least RATIO — e.g. the
+                                      warm parsed-bundle-cache run must
+                                      be 5x the cold one, the SIMD scan
+                                      must beat the scalar reference.
+
 The CI release job runs this with the committed BENCH_*.json baseline
 against numbers it just regenerated on its own runner, so the
 comparison is same-host in steady state: the committed baseline is
 refreshed whenever a PR intentionally changes performance, and the gate
 catches the PRs that change it unintentionally.  Benchmarks present in
 only one file (added or removed since the baseline) are reported but
-never fail the gate.
+never fail the gate; a row *named* by an absolute gate, though, must
+exist in the candidate.
 """
 
 import argparse
@@ -26,11 +43,11 @@ import pathlib
 import sys
 
 
-def load_benchmarks(path: pathlib.Path) -> dict[str, float]:
-    """Benchmark name -> real_time, normalized to nanoseconds."""
+def load_benchmarks(path: pathlib.Path) -> dict[str, dict[str, float]]:
+    """Benchmark name -> {time_ns, bytes_per_second?, rss_mb?}."""
     scale = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
     doc = json.loads(path.read_text(encoding="utf-8"))
-    times: dict[str, float] = {}
+    rows: dict[str, dict[str, float]] = {}
     for bench in doc.get("benchmarks", []):
         # Aggregate rows (mean/median/stddev of repetitions) would be
         # double-counted next to their iteration rows; skip them.
@@ -47,8 +64,92 @@ def load_benchmarks(path: pathlib.Path) -> dict[str, float]:
             print(f"note: skipping {label} in {path}: missing or "
                   f"unrecognized name/real_time/time_unit")
             continue
-        times[name] = real_time * scale[time_unit]
-    return times
+        row = {"time_ns": real_time * scale[time_unit]}
+        for key in ("bytes_per_second", "rss_mb"):
+            value = bench.get(key)
+            if isinstance(value, (int, float)):
+                row[key] = float(value)
+        rows[name] = row
+    return rows
+
+
+def parse_name_value(spec: str, flag: str) -> tuple[str, float]:
+    name, sep, value = spec.rpartition("=")
+    if not sep or not name:
+        raise SystemExit(f"error: {flag} wants NAME=VALUE, got {spec!r}")
+    try:
+        return name, float(value)
+    except ValueError:
+        raise SystemExit(f"error: {flag}: {value!r} is not a number")
+
+
+def absolute_gates(args, candidate: dict[str, dict[str, float]]) -> int:
+    """Runs the candidate-only gates; returns the number of violations."""
+    failures = 0
+
+    def missing(name: str, what: str) -> bool:
+        nonlocal failures
+        if name not in candidate:
+            print(f"FAIL: {what} names {name}, absent from the candidate")
+            failures += 1
+            return True
+        return False
+
+    for spec in args.min_bytes_per_second:
+        name, floor = parse_name_value(spec, "--min-bytes-per-second")
+        if missing(name, "--min-bytes-per-second"):
+            continue
+        got = candidate[name].get("bytes_per_second")
+        if got is None:
+            print(f"FAIL: {name} reports no bytes_per_second")
+            failures += 1
+        elif got < floor:
+            print(f"FAIL: {name} at {got / 1e6:.1f} MB/s, floor is "
+                  f"{floor / 1e6:.1f} MB/s")
+            failures += 1
+        else:
+            print(f"ok: {name} at {got / 1e6:.1f} MB/s "
+                  f"(floor {floor / 1e6:.1f} MB/s)")
+
+    for spec in args.max_rss_mb:
+        name, ceiling = parse_name_value(spec, "--max-rss-mb")
+        if missing(name, "--max-rss-mb"):
+            continue
+        got = candidate[name].get("rss_mb")
+        if got is None:
+            print(f"FAIL: {name} reports no rss_mb counter")
+            failures += 1
+        elif got > ceiling:
+            print(f"FAIL: {name} peaked at {got:.0f} MB RSS, ceiling is "
+                  f"{ceiling:.0f} MB")
+            failures += 1
+        else:
+            print(f"ok: {name} peaked at {got:.0f} MB RSS "
+                  f"(ceiling {ceiling:.0f} MB)")
+
+    for spec in args.min_speedup:
+        parts = spec.split(",")
+        if len(parts) != 3:
+            raise SystemExit(
+                f"error: --min-speedup wants SLOW,FAST,RATIO, got {spec!r}")
+        slow, fast = parts[0], parts[1]
+        try:
+            ratio_floor = float(parts[2])
+        except ValueError:
+            raise SystemExit(
+                f"error: --min-speedup: {parts[2]!r} is not a number")
+        if missing(slow, "--min-speedup") or missing(fast, "--min-speedup"):
+            continue
+        ratio = candidate[slow]["time_ns"] / candidate[fast]["time_ns"]
+        if ratio < ratio_floor:
+            print(f"FAIL: {fast} is only {ratio:.2f}x faster than {slow}, "
+                  f"floor is {ratio_floor:.2f}x")
+            failures += 1
+        else:
+            print(f"ok: {fast} is {ratio:.2f}x faster than {slow} "
+                  f"(floor {ratio_floor:.2f}x)")
+
+    return failures
 
 
 def main() -> int:
@@ -60,6 +161,27 @@ def main() -> int:
         type=float,
         default=0.10,
         help="allowed geomean slowdown as a fraction (default 0.10 = 10%%)",
+    )
+    parser.add_argument(
+        "--min-bytes-per-second",
+        action="append",
+        default=[],
+        metavar="NAME=BYTES",
+        help="candidate row NAME must sustain at least BYTES bytes/s",
+    )
+    parser.add_argument(
+        "--max-rss-mb",
+        action="append",
+        default=[],
+        metavar="NAME=MB",
+        help="candidate row NAME's rss_mb counter must not exceed MB",
+    )
+    parser.add_argument(
+        "--min-speedup",
+        action="append",
+        default=[],
+        metavar="SLOW,FAST,RATIO",
+        help="candidate real_time(SLOW)/real_time(FAST) must be >= RATIO",
     )
     args = parser.parse_args()
 
@@ -81,19 +203,26 @@ def main() -> int:
     width = max(len(name) for name in shared)
     log_sum = 0.0
     for name in shared:
-        ratio = candidate[name] / baseline[name]
+        ratio = candidate[name]["time_ns"] / baseline[name]["time_ns"]
         log_sum += math.log(ratio)
-        print(f"{name:<{width}}  baseline {baseline[name] / 1e6:10.3f} ms"
-              f"  candidate {candidate[name] / 1e6:10.3f} ms"
+        print(f"{name:<{width}}"
+              f"  baseline {baseline[name]['time_ns'] / 1e6:10.3f} ms"
+              f"  candidate {candidate[name]['time_ns'] / 1e6:10.3f} ms"
               f"  ratio {ratio:6.3f}")
     geomean = math.exp(log_sum / len(shared))
     limit = 1.0 + args.threshold
 
     print(f"\ngeomean ratio over {len(shared)} shared benchmarks: "
           f"{geomean:.3f} (limit {limit:.3f})")
+    failed = False
     if geomean > limit:
         print(f"FAIL: candidate is {(geomean - 1.0) * 100:.1f}% slower than "
               f"the baseline (threshold {args.threshold * 100:.0f}%)")
+        failed = True
+
+    if absolute_gates(args, candidate) > 0:
+        failed = True
+    if failed:
         return 1
     print("OK: within the regression threshold")
     return 0
