@@ -57,6 +57,7 @@
 #include "logdiver/report.hpp"
 #include "logdiver/resume.hpp"
 #include "logdiver/snapshot.hpp"
+#include "simlog/catalog.hpp"
 #include "simlog/scenario.hpp"
 
 namespace {
@@ -72,6 +73,8 @@ int Usage() {
   std::cerr << "usage:\n"
             << "  logdiver_cli generate <dir> [--seed N] [--apps N] "
                "[--days N] [--small]\n"
+            << "      [--scenario NAME]   (a docs/SCENARIOS.md catalog "
+               "cell, transforms included)\n"
             << "  logdiver_cli analyze <dir> [--small] [--csv <outdir>]\n"
             << "      [--threads N] [--bundle-cache-dir <dir>]\n"
             << "      [--snapshot-dir <dir>] "
@@ -91,8 +94,10 @@ int main(int argc, char** argv) {
 
   std::uint64_t seed = 42;
   std::uint64_t apps = 50000;
+  bool have_apps = false;
   std::int64_t days = 518;
   bool small = false;
+  std::string scenario_name;
   std::string csv_dir;
   std::string bundle_cache_dir;
   std::string snapshot_dir;
@@ -118,6 +123,11 @@ int main(int argc, char** argv) {
       const char* v = next();
       if (!v) return Usage();
       apps = std::strtoull(v, nullptr, 10);
+      have_apps = true;
+    } else if (arg == "--scenario") {
+      const char* v = next();
+      if (!v) return Usage();
+      scenario_name = v;
     } else if (arg == "--days") {
       const char* v = next();
       if (!v) return Usage();
@@ -183,6 +193,7 @@ int main(int argc, char** argv) {
   manifest.SetUint("apps", apps);
   manifest.SetInt("days", days);
   manifest.Set("small", small ? "true" : "false");
+  if (!scenario_name.empty()) manifest.Set("scenario", scenario_name);
   manifest.SetInt("threads", threads);
   if (!bundle_cache_dir.empty()) {
     manifest.Set("bundle_cache_dir", bundle_cache_dir);
@@ -228,10 +239,30 @@ int main(int argc, char** argv) {
     return code;
   };
 
-  ld::ScenarioConfig config = small ? ld::SmallScenario(seed)
-                                    : ld::ScenarioConfig{};
+  // A --scenario bundle comes straight from the catalog recipe: the
+  // cell's SmallScenario base plus its configure hook and transforms.
+  const ld::ScenarioSpec* scenario_spec = nullptr;
+  if (!scenario_name.empty()) {
+    if (mode != "generate") return Usage();
+    scenario_spec = ld::FindScenario(scenario_name);
+    if (scenario_spec == nullptr) {
+      std::cerr << "unknown scenario '" << scenario_name
+                << "'; catalog entries:\n";
+      for (const ld::ScenarioSpec& spec : ld::ScenarioCatalog()) {
+        std::cerr << "  " << spec.name << " — " << spec.title << "\n";
+      }
+      return 2;
+    }
+  }
+
+  ld::ScenarioConfig config = small || scenario_spec != nullptr
+                                  ? ld::SmallScenario(seed)
+                                  : ld::ScenarioConfig{};
   config.seed = seed;
-  if (!small) {
+  if (scenario_spec != nullptr) {
+    scenario_spec->configure(&config);
+    if (have_apps) config.workload.target_app_runs = apps;
+  } else if (!small) {
     config.full_machine = true;
     config.workload.target_app_runs = apps;
     config.workload.campaign = ld::Duration::Days(days);
@@ -241,7 +272,10 @@ int main(int argc, char** argv) {
   const ld::Machine machine = ld::MakeMachine(config);
 
   if (mode == "generate") {
-    auto bundle = ld::WriteBundle(machine, config, dir);
+    auto bundle = scenario_spec != nullptr
+                      ? ld::WriteScenarioBundle(machine, config, *scenario_spec,
+                                                dir)
+                      : ld::WriteBundle(machine, config, dir);
     if (!bundle.ok()) {
       std::cerr << "generate failed: " << bundle.status().ToString() << "\n";
       return finish(1);

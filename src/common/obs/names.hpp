@@ -113,6 +113,26 @@ inline constexpr const char* kFleetShardsDroppedTotal =
     "ld.fleet.shards_dropped_total";
 inline constexpr const char* kFleetMergeMicros = "ld.fleet.merge_micros";
 
+// --- fault injection (faults/injector.cpp, faults/storms.cpp) --------
+inline constexpr const char* kFaultsEventsInjectedTotal =
+    "ld.faults.events_injected_total";
+inline constexpr const char* kFaultsEventsUndetectedTotal =
+    "ld.faults.events_undetected_total";
+inline constexpr const char* kFaultsKillsTotal = "ld.faults.kills_total";
+inline constexpr const char* kFaultsStormEventsTotal =
+    "ld.faults.storm_events_total";
+inline constexpr const char* kFaultsMaintenanceKillsTotal =
+    "ld.faults.maintenance_kills_total";
+inline constexpr const char* kFaultsGapFlippedTotal =
+    "ld.faults.gap_flipped_total";
+
+// --- scenario catalog (simlog/catalog.cpp) ---------------------------
+inline constexpr const char* kScenarioRunsTotal = "ld.scenario.runs_total";
+inline constexpr const char* kScenarioAppsTotal = "ld.scenario.apps_total";
+inline constexpr const char* kScenarioValidationFailuresTotal =
+    "ld.scenario.validation_failures_total";
+inline constexpr const char* kScenarioRunMicros = "ld.scenario.run_micros";
+
 // --- multi-tenant service (service/tenant.cpp, service/daemon.cpp) ---
 inline constexpr const char* kSvcIngestAcceptedTotal =
     "ld.svc.ingest_accepted_total";

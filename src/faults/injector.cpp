@@ -3,6 +3,10 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/obs/names.hpp"
+#include "common/obs/obs.hpp"
+#include "faults/storms.hpp"
+
 namespace ld {
 namespace {
 
@@ -39,74 +43,12 @@ constexpr CategoryWeight kGpuAppFatalMix[] = {
 // bugs, which is the paper's core measurement problem.
 constexpr int kAppKillExitCodes[] = {1, 134, 139, 255, 5};
 
-struct KillCandidate {
-  TimePoint time;
-  std::size_t app_idx;
-  std::uint64_t event_id;
-  ErrorCategory cause;
-  bool detected;
-  bool node_down;
-};
-
 template <std::size_t N>
 ErrorCategory SampleCategory(const CategoryWeight (&mix)[N], Rng& rng) {
   std::vector<double> w;
   w.reserve(N);
   for (const auto& m : mix) w.push_back(m.weight);
   return mix[rng.WeightedIndex(w)].category;
-}
-
-bool IsGpuCategory(ErrorCategory c) {
-  return c == ErrorCategory::kGpuDbe || c == ErrorCategory::kGpuXid;
-}
-
-/// Per-node occupancy: which job holds this node during which window.
-class NodeOccupancy {
- public:
-  explicit NodeOccupancy(const Workload& wl) {
-    for (std::size_t j = 0; j < wl.jobs.size(); ++j) {
-      const Job& job = wl.jobs[j];
-      for (NodeIndex n : job.nodes) {
-        spans_[n].push_back({job.start, job.end, j});
-      }
-    }
-    for (auto& [node, spans] : spans_) {
-      std::sort(spans.begin(), spans.end(),
-                [](const Span& a, const Span& b) { return a.start < b.start; });
-    }
-  }
-
-  /// Index of the job occupying `node` at time `t`, or npos.
-  std::size_t JobAt(NodeIndex node, TimePoint t) const {
-    const auto it = spans_.find(node);
-    if (it == spans_.end()) return npos;
-    const auto& spans = it->second;
-    auto pos = std::upper_bound(
-        spans.begin(), spans.end(), t,
-        [](TimePoint v, const Span& s) { return v < s.start; });
-    if (pos == spans.begin()) return npos;
-    --pos;
-    return (t >= pos->start && t < pos->end) ? pos->job : npos;
-  }
-
-  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
-
- private:
-  struct Span {
-    TimePoint start;
-    TimePoint end;
-    std::size_t job;
-  };
-  std::unordered_map<NodeIndex, std::vector<Span>> spans_;
-};
-
-/// The application of job `job` running at time `t`, or npos.
-std::size_t AppAt(const Workload& wl, const Job& job, TimePoint t) {
-  for (std::size_t idx : job.app_indices) {
-    const Application& app = wl.apps[idx];
-    if (!app.cancelled && t >= app.start && t < app.end) return idx;
-  }
-  return NodeOccupancy::npos;
 }
 
 }  // namespace
@@ -205,8 +147,13 @@ Result<InjectionResult> FaultInjector::Inject(Workload& workload,
                                          : config_.node_down_share_cpu;
       const bool node_down =
           cat == ErrorCategory::kNodeHeartbeat || ch.Bernoulli(down_share);
-      const bool detected = ch.Bernoulli(gpu_side ? config_.gpu_error_detection
-                                                  : config_.cpu_error_detection);
+      // The detection draw always happens (stream preservation: the
+      // deterministic override must not shift later draws), but under
+      // the scenario-catalog gap override GPU events are injected fully
+      // detected and the exact-count post-pass flips them afterwards.
+      bool detected = ch.Bernoulli(gpu_side ? config_.gpu_error_detection
+                                            : config_.cpu_error_detection);
+      if (gpu_side && config_.gpu_underreport_fraction >= 0.0) detected = true;
       const NodeIndex node =
           job.nodes[ch.UniformInt(static_cast<std::uint64_t>(job.nodes.size()))];
       const std::uint64_t id = add_event(when, cat, Severity::kFatal,
@@ -325,7 +272,13 @@ Result<InjectionResult> FaultInjector::Inject(Workload& workload,
         if (app.end <= when) continue;  // finished before this incident
         still_active.push_back(a);
         if (app.cancelled || app.start >= window_end) continue;
-        if (!ch.Bernoulli(config_.lustre_kill_prob)) continue;
+        // I/O-heavy applications (app-mix presets) are more exposed to a
+        // filesystem outage; the default sensitivity of 1.0 reproduces
+        // the calibrated size-independent kill probability bit-for-bit.
+        const double p =
+            std::min(0.98, config_.lustre_kill_prob *
+                               workload.job_of(app).lustre_sensitivity);
+        if (!ch.Bernoulli(p)) continue;
         const TimePoint kill_at = std::max(app.start + Duration(1), when);
         kills.push_back(
             {kill_at, a, id, ErrorCategory::kLustre, detected, false});
@@ -362,6 +315,43 @@ Result<InjectionResult> FaultInjector::Inject(Workload& workload,
              Severity::kCorrected, /*xk_only=*/true);
     sprinkle(config_.link_degrade_per_day, ErrorCategory::kGeminiLink,
              Severity::kCorrected, /*xk_only=*/false);
+  }
+
+  // ---- scenario episode channels (all gated; see faults/storms.hpp) ------
+  // Each channel forks its own named stream only when enabled, so the
+  // calibrated default campaigns stay bit-identical.
+  if (config_.cascade.storms_per_campaign > 0.0 ||
+      config_.lustre_storm.storms_per_campaign > 0.0 ||
+      config_.maintenance.windows_per_campaign > 0.0) {
+    const ChannelContext ctx{machine_, workload, epoch, campaign};
+    const NodeOccupancy occupancy(workload);
+    const std::size_t pre_episode = out.events.size();
+    if (config_.cascade.storms_per_campaign > 0.0) {
+      InjectCascadeStorms(ctx, config_.cascade, occupancy, &out.events, &kills,
+                          &next_event_id, rng.Fork("cascade"));
+    }
+    if (config_.lustre_storm.storms_per_campaign > 0.0) {
+      InjectLustreStorms(ctx, config_.lustre_storm, &out.events, &kills,
+                         &next_event_id, rng.Fork("lustre-storm"));
+    }
+    if (config_.maintenance.windows_per_campaign > 0.0) {
+      const std::size_t pre_kills = kills.size();
+      InjectMaintenanceWindows(ctx, config_.maintenance, occupancy,
+                               &out.events, &kills, &next_event_id,
+                               rng.Fork("maintenance"));
+      LD_OBS_COUNTER_ADD(obs::names::kFaultsMaintenanceKillsTotal,
+                         kills.size() - pre_kills);
+    }
+    LD_OBS_COUNTER_ADD(obs::names::kFaultsStormEventsTotal,
+                       out.events.size() - pre_episode);
+  }
+
+  // ---- deterministic GPU detection-gap override (A6, exact) --------------
+  if (config_.gpu_underreport_fraction >= 0.0) {
+    const std::uint64_t flipped =
+        ApplyGpuDetectionGap(config_.gpu_underreport_fraction, &out.events,
+                             &kills, rng.Fork("detection-gap"));
+    LD_OBS_COUNTER_ADD(obs::names::kFaultsGapFlippedTotal, flipped);
   }
 
   // ---- apply kills in time order -----------------------------------------
@@ -433,6 +423,15 @@ Result<InjectionResult> FaultInjector::Inject(Workload& workload,
               if (a.time != b.time) return a.time < b.time;
               return a.event_id < b.event_id;
             });
+
+  LD_OBS_COUNTER_ADD(obs::names::kFaultsEventsInjectedTotal,
+                     out.events.size());
+  std::uint64_t undetected = 0;
+  for (const ErrorEvent& ev : out.events) {
+    if (!ev.detected) ++undetected;
+  }
+  LD_OBS_COUNTER_ADD(obs::names::kFaultsEventsUndetectedTotal, undetected);
+  LD_OBS_COUNTER_ADD(obs::names::kFaultsKillsTotal, out.system_killed_apps);
   (void)horizon;
   return out;
 }

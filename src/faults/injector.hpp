@@ -32,6 +32,7 @@
 
 #include "common/rng.hpp"
 #include "common/status.hpp"
+#include "faults/storms.hpp"
 #include "faults/taxonomy.hpp"
 #include "topology/machine.hpp"
 #include "workload/types.hpp"
@@ -64,6 +65,15 @@ struct FaultModelConfig {
   double cpu_error_detection = 0.96;
   double gpu_error_detection = 0.60;  // the A6 gap
 
+  /// Deterministic detection-gap override for the scenario catalog.
+  /// < 0 (default): GPU detection is the stochastic per-event draw
+  /// above.  >= 0: GPU-side fatal events are injected fully detected,
+  /// then exactly round(fraction * count) of them are flipped to
+  /// undetected by a seeded post-pass — so the ledger identity
+  /// `gpu_fatal_undetected == round(fraction * gpu_fatal_injected)`
+  /// holds exactly (see faults/storms.hpp).
+  double gpu_underreport_fraction = -1.0;
+
   /// Probability a node-attached fatal error downs the whole node (ALPS
   /// then reports "killed: node failure") rather than killing only the
   /// application process.
@@ -92,6 +102,14 @@ struct FaultModelConfig {
   double corrected_mce_per_day = 60.0;
   double corrected_gpu_per_day = 8.0;
   double link_degrade_per_day = 12.0;
+
+  // --- scenario episode channels (all disabled by default) ---
+  // Structured storms and windows layered on the steady-state hazards;
+  // see faults/storms.hpp for the models and docs/SCENARIOS.md for the
+  // catalog entries that exercise them.
+  CascadeStormConfig cascade;
+  LustreStormConfig lustre_storm;
+  MaintenanceConfig maintenance;
 
   // --- reliability growth ---
   // Field systems harden over their production life: firmware fixes,

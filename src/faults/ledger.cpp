@@ -1,0 +1,103 @@
+#include "faults/ledger.hpp"
+
+#include <cstdio>
+
+namespace ld {
+namespace {
+
+void Mix(std::uint64_t& h, std::uint64_t v) {
+  h ^= v + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+}
+
+}  // namespace
+
+std::uint64_t FaultLedger::Fingerprint() const {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (const CategoryTally& t : by_category) {
+    Mix(h, t.injected);
+    Mix(h, t.undetected);
+    Mix(h, t.kills);
+  }
+  Mix(h, events_total);
+  Mix(h, events_undetected);
+  Mix(h, gpu_fatal_injected);
+  Mix(h, gpu_fatal_undetected);
+  Mix(h, kills_total);
+  Mix(h, kills_undetected_cause);
+  Mix(h, xe_kills);
+  Mix(h, xe_kills_undetected_cause);
+  Mix(h, xk_kills);
+  Mix(h, xk_kills_undetected_cause);
+  return h;
+}
+
+std::vector<std::string> FaultLedger::Render() const {
+  std::vector<std::string> rows;
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "events=%llu undetected=%llu gpu_fatal=%llu/%llu kills=%llu "
+                "undetected_cause=%llu (xe %llu/%llu, xk %llu/%llu)",
+                static_cast<unsigned long long>(events_total),
+                static_cast<unsigned long long>(events_undetected),
+                static_cast<unsigned long long>(gpu_fatal_undetected),
+                static_cast<unsigned long long>(gpu_fatal_injected),
+                static_cast<unsigned long long>(kills_total),
+                static_cast<unsigned long long>(kills_undetected_cause),
+                static_cast<unsigned long long>(xe_kills_undetected_cause),
+                static_cast<unsigned long long>(xe_kills),
+                static_cast<unsigned long long>(xk_kills_undetected_cause),
+                static_cast<unsigned long long>(xk_kills));
+  rows.emplace_back(buf);
+  for (int c = 0; c < kErrorCategoryCount; ++c) {
+    const CategoryTally& t = by_category[static_cast<std::size_t>(c)];
+    if (t.injected == 0 && t.kills == 0) continue;
+    std::snprintf(buf, sizeof(buf), "  %-14s injected=%llu undetected=%llu "
+                  "kills=%llu",
+                  ErrorCategoryName(static_cast<ErrorCategory>(c)),
+                  static_cast<unsigned long long>(t.injected),
+                  static_cast<unsigned long long>(t.undetected),
+                  static_cast<unsigned long long>(t.kills));
+    rows.emplace_back(buf);
+  }
+  return rows;
+}
+
+FaultLedger BuildFaultLedger(const Workload& workload,
+                             const InjectionResult& injection) {
+  FaultLedger ledger;
+  for (const ErrorEvent& ev : injection.events) {
+    CategoryTally& t =
+        ledger.by_category[static_cast<std::size_t>(ev.category)];
+    ++t.injected;
+    ++ledger.events_total;
+    if (!ev.detected) {
+      ++t.undetected;
+      ++ledger.events_undetected;
+    }
+    const bool gpu = ev.category == ErrorCategory::kGpuDbe ||
+                     ev.category == ErrorCategory::kGpuXid;
+    if (gpu && ev.severity == Severity::kFatal && ev.scope == Scope::kNode) {
+      ++ledger.gpu_fatal_injected;
+      if (!ev.detected) ++ledger.gpu_fatal_undetected;
+    }
+  }
+  for (const Application& app : workload.apps) {
+    if (app.cancelled) continue;
+    const auto it = injection.truth.find(app.apid);
+    if (it == injection.truth.end()) continue;
+    const TruthRecord& rec = it->second;
+    if (rec.outcome != AppOutcome::kSystemFailure) continue;
+    ++ledger.kills_total;
+    ++ledger.by_category[static_cast<std::size_t>(rec.cause)].kills;
+    const bool xk = workload.job_of(app).node_type == NodeType::kXK;
+    (xk ? ledger.xk_kills : ledger.xe_kills) += 1;
+    if (!rec.cause_detected) {
+      ++ledger.kills_undetected_cause;
+      (xk ? ledger.xk_kills_undetected_cause
+          : ledger.xe_kills_undetected_cause) += 1;
+    }
+  }
+  return ledger;
+}
+
+}  // namespace ld

@@ -1,0 +1,285 @@
+#include "faults/storms.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+namespace ld {
+
+NodeOccupancy::NodeOccupancy(const Workload& wl) {
+  for (std::size_t j = 0; j < wl.jobs.size(); ++j) {
+    const Job& job = wl.jobs[j];
+    for (NodeIndex n : job.nodes) {
+      spans_[n].push_back({job.start, job.end, j});
+    }
+  }
+  for (auto& [node, spans] : spans_) {
+    std::sort(spans.begin(), spans.end(),
+              [](const Span& a, const Span& b) { return a.start < b.start; });
+  }
+}
+
+std::size_t NodeOccupancy::JobAt(NodeIndex node, TimePoint t) const {
+  const auto it = spans_.find(node);
+  if (it == spans_.end()) return npos;
+  const auto& spans = it->second;
+  auto pos =
+      std::upper_bound(spans.begin(), spans.end(), t,
+                       [](TimePoint v, const Span& s) { return v < s.start; });
+  if (pos == spans.begin()) return npos;
+  --pos;
+  return (t >= pos->start && t < pos->end) ? pos->job : npos;
+}
+
+std::size_t AppAt(const Workload& wl, const Job& job, TimePoint t) {
+  for (std::size_t idx : job.app_indices) {
+    const Application& app = wl.apps[idx];
+    if (!app.cancelled && t >= app.start && t < app.end) return idx;
+  }
+  return NodeOccupancy::npos;
+}
+
+namespace {
+
+/// Torus dimensions (max coordinate + 1 per axis) from the node table.
+struct TorusDims {
+  int x = 1;
+  int y = 1;
+  int z = 1;
+};
+
+TorusDims MeasureTorus(const Machine& machine) {
+  TorusDims dims;
+  for (const Node& node : machine.nodes()) {
+    dims.x = std::max(dims.x, node.gemini.x + 1);
+    dims.y = std::max(dims.y, node.gemini.y + 1);
+    dims.z = std::max(dims.z, node.gemini.z + 1);
+  }
+  return dims;
+}
+
+std::uint64_t CoordKey(const GeminiCoord& c) {
+  return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(c.x)) << 42) |
+         (static_cast<std::uint64_t>(static_cast<std::uint32_t>(c.y)) << 21) |
+         static_cast<std::uint64_t>(static_cast<std::uint32_t>(c.z));
+}
+
+/// The 6 torus neighbors of a router (±1 per axis, wrapping).
+std::vector<GeminiCoord> TorusNeighbors(const GeminiCoord& c,
+                                        const TorusDims& dims) {
+  auto wrap = [](int v, int n) { return ((v % n) + n) % n; };
+  return {
+      {wrap(c.x - 1, dims.x), c.y, c.z}, {wrap(c.x + 1, dims.x), c.y, c.z},
+      {c.x, wrap(c.y - 1, dims.y), c.z}, {c.x, wrap(c.y + 1, dims.y), c.z},
+      {c.x, c.y, wrap(c.z - 1, dims.z)}, {c.x, c.y, wrap(c.z + 1, dims.z)},
+  };
+}
+
+TimePoint UniformInCampaign(const ChannelContext& ctx, Rng& ch) {
+  return ctx.epoch +
+         Duration(static_cast<std::int64_t>(
+             ch.UniformDouble() * static_cast<double>(ctx.campaign.seconds())));
+}
+
+ErrorEvent MakeEvent(std::uint64_t id, TimePoint t, ErrorCategory cat,
+                     Severity sev, Scope scope, NodeIndex node, Duration outage,
+                     bool detected) {
+  ErrorEvent ev;
+  ev.event_id = id;
+  ev.time = t;
+  ev.category = cat;
+  ev.severity = sev;
+  ev.scope = scope;
+  ev.node = node;
+  ev.outage = outage;
+  ev.detected = detected;
+  return ev;
+}
+
+}  // namespace
+
+void InjectCascadeStorms(const ChannelContext& ctx,
+                         const CascadeStormConfig& config,
+                         const NodeOccupancy& occupancy,
+                         std::vector<ErrorEvent>* events,
+                         std::vector<KillCandidate>* kills,
+                         std::uint64_t* next_event_id, Rng ch) {
+  if (config.storms_per_campaign <= 0.0) return;
+  const TorusDims dims = MeasureTorus(ctx.machine);
+  const std::uint64_t storm_count = ch.Poisson(config.storms_per_campaign);
+  for (std::uint64_t s = 0; s < storm_count; ++s) {
+    const TimePoint start = UniformInCampaign(ctx, ch);
+    const NodeIndex epicenter_node = static_cast<NodeIndex>(
+        ch.UniformInt(static_cast<std::uint64_t>(ctx.machine.node_count())));
+    const GeminiCoord epicenter = ctx.machine.node(epicenter_node).gemini;
+
+    // Breadth-first failure front over the torus, one hop per delay
+    // step.  Every tripped router is an unsuccessful failover.
+    std::unordered_set<std::uint64_t> tripped{CoordKey(epicenter)};
+    std::vector<GeminiCoord> frontier{epicenter};
+    for (int hop = 0; hop <= config.torus_radius && !frontier.empty(); ++hop) {
+      const TimePoint when =
+          start + Duration(static_cast<std::int64_t>(
+                      config.hop_delay_seconds * static_cast<double>(hop)));
+      std::vector<GeminiCoord> next;
+      for (const GeminiCoord& router : frontier) {
+        const std::vector<NodeIndex> attached =
+            ctx.machine.NodesOnGemini(router);
+        const NodeIndex anchor =
+            attached.empty() ? epicenter_node : attached.front();
+        const bool detected = ch.Bernoulli(config.detection);
+        const std::uint64_t id = (*next_event_id)++;
+        events->push_back(MakeEvent(id, when, ErrorCategory::kGeminiLink,
+                                    Severity::kFatal, Scope::kNode, anchor,
+                                    Duration(0), detected));
+        for (NodeIndex n : attached) {
+          if (!ch.Bernoulli(config.kill_prob)) continue;
+          const std::size_t j = occupancy.JobAt(n, when);
+          if (j == NodeOccupancy::npos) continue;
+          const std::size_t a = AppAt(ctx.workload, ctx.workload.jobs[j], when);
+          if (a == NodeOccupancy::npos) continue;
+          kills->push_back(
+              {when, a, id, ErrorCategory::kGeminiLink, detected, true});
+        }
+        if (hop == config.torus_radius) continue;
+        for (const GeminiCoord& neighbor : TorusNeighbors(router, dims)) {
+          const std::uint64_t key = CoordKey(neighbor);
+          if (tripped.contains(key)) continue;
+          if (!ch.Bernoulli(config.hop_trip_prob)) continue;
+          tripped.insert(key);
+          next.push_back(neighbor);
+        }
+      }
+      frontier = std::move(next);
+    }
+  }
+}
+
+void InjectLustreStorms(const ChannelContext& ctx,
+                        const LustreStormConfig& config,
+                        std::vector<ErrorEvent>* events,
+                        std::vector<KillCandidate>* kills,
+                        std::uint64_t* next_event_id, Rng ch) {
+  if (config.storms_per_campaign <= 0.0) return;
+  const std::uint64_t storm_count = ch.Poisson(config.storms_per_campaign);
+  for (std::uint64_t s = 0; s < storm_count; ++s) {
+    TimePoint when = UniformInCampaign(ctx, ch);
+    const std::uint32_t incidents = static_cast<std::uint32_t>(ch.UniformInt(
+        static_cast<std::int64_t>(config.incidents_min),
+        static_cast<std::int64_t>(std::max(config.incidents_min,
+                                           config.incidents_max))));
+    for (std::uint32_t k = 0; k < incidents; ++k) {
+      const double minutes = ch.LogNormal(
+          std::log(config.outage_median_minutes), config.outage_sigma);
+      const Duration outage(static_cast<std::int64_t>(minutes * 60.0));
+      const TimePoint window_end = when + outage;
+      const bool detected = ch.Bernoulli(0.98);
+      const std::uint64_t id = (*next_event_id)++;
+      events->push_back(MakeEvent(id, when, ErrorCategory::kLustre,
+                                  Severity::kFatal, Scope::kSystem,
+                                  kInvalidNode, outage, detected));
+      for (std::size_t a = 0; a < ctx.workload.apps.size(); ++a) {
+        const Application& app = ctx.workload.apps[a];
+        if (app.cancelled) continue;
+        if (app.end <= when || app.start >= window_end) continue;
+        const double sensitivity =
+            ctx.workload.job_of(app).lustre_sensitivity;
+        if (!ch.Bernoulli(std::min(0.98, config.kill_prob * sensitivity))) {
+          continue;
+        }
+        const TimePoint kill_at = std::max(app.start + Duration(1), when);
+        kills->push_back(
+            {kill_at, a, id, ErrorCategory::kLustre, detected, false});
+      }
+      when = window_end + Duration(static_cast<std::int64_t>(
+                 ch.Exponential(1.0 / (config.spacing_mean_minutes * 60.0))));
+    }
+  }
+}
+
+void InjectMaintenanceWindows(const ChannelContext& ctx,
+                              const MaintenanceConfig& config,
+                              const NodeOccupancy& occupancy,
+                              std::vector<ErrorEvent>* events,
+                              std::vector<KillCandidate>* kills,
+                              std::uint64_t* next_event_id, Rng ch) {
+  if (config.windows_per_campaign <= 0.0) return;
+  const std::uint32_t node_count = ctx.machine.node_count();
+  const std::uint32_t slice = std::max<std::uint32_t>(
+      1, static_cast<std::uint32_t>(config.node_fraction *
+                                    static_cast<double>(node_count)));
+  const std::uint64_t window_count = ch.Poisson(config.windows_per_campaign);
+  for (std::uint64_t w = 0; w < window_count; ++w) {
+    const TimePoint start = UniformInCampaign(ctx, ch);
+    const Duration length(
+        static_cast<std::int64_t>(config.duration_hours * 3600.0));
+    const NodeIndex first = static_cast<NodeIndex>(
+        ch.UniformInt(static_cast<std::uint64_t>(node_count)));
+    // Drain: every occupied node in the slice loses its run at window
+    // start.  The SMW announces each loss, so these are always detected.
+    for (std::uint32_t off = 0; off < slice; ++off) {
+      const NodeIndex node = (first + off) % node_count;
+      const std::size_t j = occupancy.JobAt(node, start);
+      if (j == NodeOccupancy::npos) continue;
+      const std::size_t a = AppAt(ctx.workload, ctx.workload.jobs[j], start);
+      if (a == NodeOccupancy::npos) continue;
+      const std::uint64_t id = (*next_event_id)++;
+      events->push_back(MakeEvent(id, start, ErrorCategory::kNodeHeartbeat,
+                                  Severity::kFatal, Scope::kNode, node,
+                                  Duration(0), /*detected=*/true));
+      kills->push_back(
+          {start, a, id, ErrorCategory::kNodeHeartbeat, true, true});
+    }
+    // Reboot noise: benign machine checks sprinkled across the window.
+    const std::uint64_t noise = ch.Poisson(
+        config.reboot_noise_per_node * static_cast<double>(slice));
+    for (std::uint64_t k = 0; k < noise; ++k) {
+      const TimePoint when =
+          start + Duration(static_cast<std::int64_t>(
+                     ch.UniformDouble() *
+                     static_cast<double>(length.seconds())));
+      const NodeIndex node =
+          (first + static_cast<NodeIndex>(ch.UniformInt(
+                       static_cast<std::uint64_t>(slice)))) %
+          node_count;
+      events->push_back(MakeEvent((*next_event_id)++, when,
+                                  ErrorCategory::kMachineCheck,
+                                  Severity::kCorrected, Scope::kNode, node,
+                                  Duration(0), /*detected=*/true));
+    }
+  }
+}
+
+std::uint64_t ApplyGpuDetectionGap(double fraction,
+                                   std::vector<ErrorEvent>* events,
+                                   std::vector<KillCandidate>* kills, Rng ch) {
+  fraction = std::clamp(fraction, 0.0, 1.0);
+  std::vector<std::size_t> gpu_events;
+  for (std::size_t i = 0; i < events->size(); ++i) {
+    const ErrorEvent& ev = (*events)[i];
+    const bool gpu = ev.category == ErrorCategory::kGpuDbe ||
+                     ev.category == ErrorCategory::kGpuXid;
+    if (gpu && ev.severity == Severity::kFatal && ev.scope == Scope::kNode) {
+      gpu_events.push_back(i);
+    }
+  }
+  const std::uint64_t flip = static_cast<std::uint64_t>(std::llround(
+      fraction * static_cast<double>(gpu_events.size())));
+  // Seeded Fisher-Yates; the first `flip` entries lose their log lines.
+  for (std::size_t i = gpu_events.size(); i > 1; --i) {
+    std::swap(gpu_events[i - 1],
+              gpu_events[ch.UniformInt(static_cast<std::uint64_t>(i))]);
+  }
+  std::unordered_set<std::uint64_t> undetected_ids;
+  for (std::uint64_t k = 0; k < flip; ++k) {
+    ErrorEvent& ev = (*events)[gpu_events[k]];
+    ev.detected = false;
+    undetected_ids.insert(ev.event_id);
+  }
+  for (KillCandidate& kill : *kills) {
+    if (undetected_ids.contains(kill.event_id)) kill.detected = false;
+  }
+  return flip;
+}
+
+}  // namespace ld

@@ -1,0 +1,158 @@
+// Scenario-grade fault channels layered on the base hazard model.
+//
+// The calibrated FaultModelConfig channels reproduce the field study's
+// *steady-state* population (anchors A2-A6).  The scenario catalog
+// (docs/SCENARIOS.md) needs structured *episodes* on top of that steady
+// state: Gemini-torus cascade storms, clustered Lustre incident storms,
+// scheduled maintenance windows, and a deterministic GPU detection-gap
+// override whose under-report fraction the ledger can verify exactly.
+//
+// All channels here follow the injector's contract: they only *collect*
+// KillCandidates and append ErrorEvents; the time-ordered kill
+// application (exit codes, cancellations, ground truth) stays in
+// FaultInjector::Inject so episodes and steady-state hazards compose.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/time.hpp"
+#include "faults/taxonomy.hpp"
+#include "topology/machine.hpp"
+#include "workload/types.hpp"
+
+namespace ld {
+
+/// A pending application kill: which run dies, when, why, and whether
+/// the killing event was detected / downed the whole node.  Channels
+/// collect these; FaultInjector::Inject applies them in time order.
+struct KillCandidate {
+  TimePoint time;
+  std::size_t app_idx;
+  std::uint64_t event_id;
+  ErrorCategory cause;
+  bool detected;
+  bool node_down;
+};
+
+/// Per-node occupancy: which job holds this node during which window.
+/// Shared by every channel with a spatial blast radius.
+class NodeOccupancy {
+ public:
+  explicit NodeOccupancy(const Workload& wl);
+
+  /// Index of the job occupying `node` at time `t`, or npos.
+  std::size_t JobAt(NodeIndex node, TimePoint t) const;
+
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
+ private:
+  struct Span {
+    TimePoint start;
+    TimePoint end;
+    std::size_t job;
+  };
+  std::unordered_map<NodeIndex, std::vector<Span>> spans_;
+};
+
+/// The application of job `job` running at time `t`, or NodeOccupancy::npos.
+std::size_t AppAt(const Workload& wl, const Job& job, TimePoint t);
+
+// --- Gemini-torus cascade storms ------------------------------------
+// A link failure that does NOT fail over cleanly can destabilize its
+// torus neighborhood: rerouted traffic trips marginal LCBs on adjacent
+// routers, and the failure front walks outward hop by hop.  Each
+// tripped router is an unsuccessful-failover kGeminiLink fatal; apps on
+// its attached nodes die as node losses.
+struct CascadeStormConfig {
+  /// Expected storm count over the campaign (Poisson); 0 disables.
+  double storms_per_campaign = 0.0;
+  /// Maximum hops the failure front propagates from the epicenter.
+  int torus_radius = 2;
+  /// Seconds per hop of front propagation.
+  double hop_delay_seconds = 45.0;
+  /// Probability each torus-neighbor router of a tripped router trips.
+  double hop_trip_prob = 0.60;
+  /// Probability an application on an isolated router's nodes is killed.
+  double kill_prob = 0.90;
+  /// Detection probability of the storm's link events.
+  double detection = 0.95;
+};
+
+// --- Lustre incident storms -----------------------------------------
+// Filesystem incidents cluster in the field (a sick OST rarely fails
+// once): a storm is a burst of system-wide incidents a few minutes to
+// tens of minutes apart, each with its own outage window.
+struct LustreStormConfig {
+  double storms_per_campaign = 0.0;  // 0 disables
+  std::uint32_t incidents_min = 3;
+  std::uint32_t incidents_max = 8;
+  /// Mean spacing between a storm's incidents (exponential).
+  double spacing_mean_minutes = 15.0;
+  double outage_median_minutes = 18.0;
+  double outage_sigma = 0.6;  // lognormal
+  /// Per-overlapping-application kill probability (scaled by the job's
+  /// lustre_sensitivity, like the steady-state channel).
+  double kill_prob = 0.45;
+};
+
+// --- maintenance windows --------------------------------------------
+// A scheduled window drains a contiguous slice of the machine: every
+// run on a drained node is killed as a node loss (heartbeat category,
+// always detected — the SMW knows exactly what it is doing), and the
+// mass reboot produces a burst of benign machine-check noise that the
+// filtering stage must not attribute.
+struct MaintenanceConfig {
+  double windows_per_campaign = 0.0;  // 0 disables
+  double duration_hours = 8.0;
+  /// Fraction of the node table (contiguous slice) taken down.
+  double node_fraction = 0.25;
+  /// Expected benign reboot-noise events per drained node.
+  double reboot_noise_per_node = 0.05;
+};
+
+/// Shared inputs every episode channel needs.
+struct ChannelContext {
+  const Machine& machine;
+  const Workload& workload;
+  TimePoint epoch;
+  Duration campaign;
+};
+
+/// Appends storm events/kills.  `next_event_id` is advanced for every
+/// emitted event.  Deterministic in (context, config, rng state).
+void InjectCascadeStorms(const ChannelContext& ctx,
+                         const CascadeStormConfig& config,
+                         const NodeOccupancy& occupancy,
+                         std::vector<ErrorEvent>* events,
+                         std::vector<KillCandidate>* kills,
+                         std::uint64_t* next_event_id, Rng ch);
+
+void InjectLustreStorms(const ChannelContext& ctx,
+                        const LustreStormConfig& config,
+                        std::vector<ErrorEvent>* events,
+                        std::vector<KillCandidate>* kills,
+                        std::uint64_t* next_event_id, Rng ch);
+
+void InjectMaintenanceWindows(const ChannelContext& ctx,
+                              const MaintenanceConfig& config,
+                              const NodeOccupancy& occupancy,
+                              std::vector<ErrorEvent>* events,
+                              std::vector<KillCandidate>* kills,
+                              std::uint64_t* next_event_id, Rng ch);
+
+/// Deterministic GPU detection-gap override: flips exactly
+/// round(fraction * N) of the N GPU-side fatal node-scope events to
+/// undetected (selected by a seeded shuffle), updating the matching
+/// KillCandidates.  Returns the number flipped.  Used with
+/// FaultModelConfig::gpu_underreport_fraction >= 0, under which channel
+/// 1 injects GPU events fully detected first — so the ledger identity
+///   undetected_gpu == round(fraction * injected_gpu)
+/// holds exactly, not just in expectation.
+std::uint64_t ApplyGpuDetectionGap(double fraction,
+                                   std::vector<ErrorEvent>* events,
+                                   std::vector<KillCandidate>* kills, Rng ch);
+
+}  // namespace ld

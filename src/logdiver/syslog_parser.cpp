@@ -210,6 +210,16 @@ bool RolloverBetween(int last_month, int month) {
   return last_month != 0 && month < last_month && last_month - month > 6;
 }
 
+/// A backward month jump (Jan -> Dec) right after a rollover is a node
+/// with a lagging clock still stamping the old year, not time travel:
+/// render the line one year back and do NOT advance the carried month,
+/// otherwise the next in-year line would re-trigger RolloverBetween and
+/// double-advance the year.  Mutually exclusive with RolloverBetween
+/// (one needs month < last, the other month > last).
+bool BackwardJump(int last_month, int month) {
+  return last_month != 0 && month > last_month && month - last_month > 6;
+}
+
 }  // namespace
 
 SyslogParser::SyslogParser(int base_year) : current_year_(base_year) {}
@@ -252,15 +262,21 @@ Result<std::optional<ErrorRecord>> SyslogParser::ParseLineImpl(
   auto pre = ParsePreImpl(line, &month_seen);
   // Year-rollover reconstruction advances on every line whose month
   // token validated — including lines that fail later.
+  int render_year = current_year_;
   if (month_seen != 0) {
     if (RolloverBetween(last_month_, month_seen)) ++current_year_;
-    last_month_ = month_seen;
+    if (BackwardJump(last_month_, month_seen)) {
+      render_year = current_year_ - 1;  // stale clock; carry state as-is
+    } else {
+      render_year = current_year_;
+      last_month_ = month_seen;
+    }
   }
   if (!pre.ok()) return pre.status();
   if (!pre->has_value()) return std::optional<ErrorRecord>{};
   PreRecord& item = **pre;
   ErrorRecord rec = std::move(item.rec);
-  rec.time = TimePoint::FromCalendar(current_year_, item.month, item.day,
+  rec.time = TimePoint::FromCalendar(render_year, item.month, item.day,
                                      item.hour, item.minute, item.second);
   if (item.is_recovery) rec.recovered = rec.time;
   return std::optional<ErrorRecord>{std::move(rec)};
@@ -278,12 +294,21 @@ SyslogParser::Chunk SyslogParser::ParseChunk(
     ++chunk.stats.lines;
     int month_seen = 0;
     auto pre = ParsePreImpl(line, &month_seen);
+    int item_delta = chunk.year_delta_total;
     if (month_seen != 0) {
       if (chunk.first_month == 0) chunk.first_month = month_seen;
       if (RolloverBetween(local_last_month, month_seen)) {
         ++chunk.year_delta_total;
       }
-      local_last_month = month_seen;
+      if (BackwardJump(local_last_month, month_seen)) {
+        // Skewed stale-clock line: one year behind the chunk's running
+        // count; the carried month stays so the next in-year line does
+        // not re-trigger the rollover.
+        item_delta = chunk.year_delta_total - 1;
+      } else {
+        item_delta = chunk.year_delta_total;
+        local_last_month = month_seen;
+      }
     }
     if (!pre.ok()) {
       ++chunk.stats.malformed;
@@ -299,7 +324,7 @@ SyslogParser::Chunk SyslogParser::ParseChunk(
     }
     ++chunk.stats.records;
     PreRecord& item = **pre;
-    item.year_delta = chunk.year_delta_total;
+    item.year_delta = item_delta;
     chunk.items.push_back(std::move(item));
   }
   chunk.last_month = local_last_month;
@@ -317,10 +342,13 @@ std::vector<ErrorRecord> SyslogParser::ReduceChunks(std::vector<Chunk>&& chunks,
   for (Chunk& chunk : chunks) {
     // Chunk-boundary stitch: a rollover between the carried last month
     // and this chunk's first valid month shifts the whole chunk's base
-    // year — the chunk itself started counting from zero.
+    // year — the chunk itself started counting from zero.  A *backward*
+    // jump at the boundary (carried Jan, chunk opens on a skewed Dec
+    // line) means the chunk started counting in the previous year.
     int entry_year = current_year_;
-    if (chunk.first_month != 0 && RolloverBetween(last_month_, chunk.first_month)) {
-      ++entry_year;
+    if (chunk.first_month != 0) {
+      if (RolloverBetween(last_month_, chunk.first_month)) ++entry_year;
+      if (BackwardJump(last_month_, chunk.first_month)) --entry_year;
     }
     for (PreRecord& item : chunk.items) {
       ErrorRecord rec = std::move(item.rec);

@@ -1,0 +1,37 @@
+#include "workload/appmix.hpp"
+
+namespace ld {
+
+std::vector<AppMixEntry> IoHeavyMix() {
+  // Sizes/durations are plausible for the named class on a Cray XE/XK
+  // (and clamp to testbeds like every bucket mixture does); sensitivities
+  // order the classes by I/O intensity: mosaicking > training input
+  // pipelines > checkpoint-heavy weather > compute-bound solvers.
+  return {
+      {"wrf", /*xk=*/false, 32, 512, 2.0, 0.20, 2.2},
+      {"namd", /*xk=*/false, 64, 1024, 4.0, 0.24, 0.8},
+      {"specfem", /*xk=*/false, 256, 4096, 3.0, 0.06, 1.2},
+      {"montage", /*xk=*/false, 1, 16, 0.5, 0.26, 3.0},
+      {"resnet", /*xk=*/true, 8, 128, 6.0, 0.14, 2.5},
+      {"bert", /*xk=*/true, 16, 256, 8.0, 0.10, 2.0},
+  };
+}
+
+const AppMixEntry* FindMixEntry(const std::vector<AppMixEntry>& mix,
+                                std::string_view name) {
+  for (const AppMixEntry& e : mix) {
+    if (name == e.name) return &e;
+  }
+  return nullptr;
+}
+
+double MixMeanLustreSensitivity(const std::vector<AppMixEntry>& mix) {
+  double wsum = 0.0, acc = 0.0;
+  for (const AppMixEntry& e : mix) {
+    wsum += e.weight;
+    acc += e.weight * e.lustre_sensitivity;
+  }
+  return wsum > 0.0 ? acc / wsum : 1.0;
+}
+
+}  // namespace ld

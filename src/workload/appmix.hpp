@@ -1,0 +1,50 @@
+// Named application-mix presets.
+//
+// The default generator samples sizes from calibrated *anonymous*
+// buckets — the right model for population statistics, but the scenario
+// catalog (docs/SCENARIOS.md) needs recognizable application classes
+// with distinct I/O behaviour: a filesystem storm should hit an
+// I/O-heavy mosaicking pipeline harder than a compute-bound MD run.
+// An AppMixEntry names such a class; when WorkloadConfig::app_mix is
+// non-empty, each planned job draws one entry by weight instead of the
+// (partition, bucket) pair, carries the entry's name into the Torque
+// job name, and inherits its `lustre_sensitivity` (the multiplier the
+// injector's Lustre channels apply — see workload/types.hpp).
+//
+// The presets are modeled on well-known HPC/ML workloads (the classes
+// the field study's workload tables name, not the actual codes): WRF
+// (weather; frequent history/restart writes), NAMD (molecular dynamics;
+// compute-bound), SPECFEM3D (seismic wave propagation at scale),
+// Montage (mosaicking; I/O-dominated many-small-files), and ResNet/BERT
+// style accelerator training (input-pipeline and checkpoint-heavy, XK
+// partition).
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+namespace ld {
+
+struct AppMixEntry {
+  const char* name;             // short slug; becomes the job-name stem
+  bool xk;                      // partition
+  std::uint32_t nodes_lo;       // inclusive node-count range
+  std::uint32_t nodes_hi;
+  double median_hours;          // lognormal median of run duration
+  double weight;                // unnormalized selection weight
+  double lustre_sensitivity;    // Lustre kill-probability multiplier
+};
+
+/// The I/O-heavy scenario mix (six classes, both partitions).
+std::vector<AppMixEntry> IoHeavyMix();
+
+/// Entry with the given name, or nullptr.
+const AppMixEntry* FindMixEntry(const std::vector<AppMixEntry>& mix,
+                                std::string_view name);
+
+/// Weight-averaged lustre_sensitivity of the mix — the expected
+/// population-level multiplier scenario validation checks against.
+double MixMeanLustreSensitivity(const std::vector<AppMixEntry>& mix);
+
+}  // namespace ld

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <numbers>
 
 #include "workload/scheduler.hpp"
 
@@ -94,6 +95,21 @@ WorkloadGenerator::WorkloadGenerator(const Machine& machine,
   clamp(config_.xk_buckets, machine_.xk_count());
   LD_CHECK(!config_.xe_buckets.empty() || !config_.xk_buckets.empty(),
            "no feasible size buckets for this machine");
+  // Clamp app-mix entries the same way; entries whose partition does not
+  // exist on this machine are dropped.
+  if (!config_.app_mix.empty()) {
+    std::vector<AppMixEntry> kept;
+    for (AppMixEntry e : config_.app_mix) {
+      const std::uint32_t cap =
+          e.xk ? machine_.xk_count() : machine_.xe_count();
+      if (e.nodes_lo > cap || cap == 0) continue;
+      e.nodes_hi = std::min(e.nodes_hi, cap);
+      kept.push_back(e);
+    }
+    config_.app_mix = std::move(kept);
+    LD_CHECK(!config_.app_mix.empty(),
+             "no feasible app-mix entries for this machine");
+  }
   // Scale-study oversampling of the two largest buckets.
   if (config_.large_bucket_boost != 1.0) {
     for (auto* buckets : {&config_.xe_buckets, &config_.xk_buckets}) {
@@ -147,6 +163,8 @@ Result<Workload> WorkloadGenerator::Generate(Rng& rng) const {
   std::vector<double> xe_weights, xk_weights;
   for (const auto& b : config_.xe_buckets) xe_weights.push_back(b.weight);
   for (const auto& b : config_.xk_buckets) xk_weights.push_back(b.weight);
+  std::vector<double> mix_weights;
+  for (const auto& e : config_.app_mix) mix_weights.push_back(e.weight);
 
   // Job arrivals: Poisson with the rate that lands target_app_runs over
   // the campaign.  The *effective* chain length is shorter than the
@@ -181,32 +199,61 @@ Result<Workload> WorkloadGenerator::Generate(Rng& rng) const {
     std::int64_t hold;
     UserId user;
     std::string queue;
+    const AppMixEntry* mix = nullptr;  // into config_.app_mix, or null
   };
   std::vector<JobPlan> plans;
   double arrival_clock = 0.0;
   std::uint64_t planned_apps = 0;
 
+  // Diurnal modulation by Poisson thinning: draw arrivals at the peak
+  // rate, then accept each with prob lambda(t)/lambda_max.  Amplitude 0
+  // takes the unmodulated path with no extra draws.
+  const double diurnal_amp = std::clamp(config_.diurnal_amplitude, 0.0, 1.0);
+  const double plan_rate = arrival_rate * (1.0 + diurnal_amp);
+
   while (planned_apps < config_.target_app_runs) {
-    arrival_clock += rng.Exponential(arrival_rate);
+    arrival_clock += rng.Exponential(plan_rate);
     if (arrival_clock >= static_cast<double>(config_.campaign.seconds())) {
       break;  // campaign window exhausted
+    }
+    if (diurnal_amp > 0.0) {
+      const double hour = std::fmod(arrival_clock / 3600.0, 24.0);
+      const double lambda_frac =
+          (1.0 + diurnal_amp *
+                     std::cos(2.0 * std::numbers::pi *
+                              (hour - static_cast<double>(
+                                          config_.diurnal_peak_hour)) /
+                              24.0)) /
+          (1.0 + diurnal_amp);
+      if (rng.UniformDouble() >= lambda_frac) continue;
     }
     JobPlan job_plan;
     job_plan.submit =
         config_.epoch + Duration(static_cast<std::int64_t>(arrival_clock));
 
-    const bool is_xk = !xk_weights.empty() &&
-                       (xe_weights.empty() ||
-                        rng.Bernoulli(config_.xk_job_fraction));
+    bool is_xk;
+    double median_hours;
+    std::uint32_t nodect;
+    if (!config_.app_mix.empty()) {
+      const AppMixEntry& entry = config_.app_mix[rng.WeightedIndex(mix_weights)];
+      job_plan.mix = &entry;
+      is_xk = entry.xk;
+      median_hours = entry.median_hours;
+      nodect = static_cast<std::uint32_t>(
+          rng.UniformInt(static_cast<std::int64_t>(entry.nodes_lo),
+                         static_cast<std::int64_t>(entry.nodes_hi)));
+    } else {
+      is_xk = !xk_weights.empty() &&
+              (xe_weights.empty() || rng.Bernoulli(config_.xk_job_fraction));
+      const auto& buckets = is_xk ? config_.xk_buckets : config_.xe_buckets;
+      const auto& weights = is_xk ? xk_weights : xe_weights;
+      const SizeBucket& bucket = buckets[rng.WeightedIndex(weights)];
+      median_hours = bucket.median_hours;
+      nodect = static_cast<std::uint32_t>(
+          rng.UniformInt(static_cast<std::int64_t>(bucket.lo),
+                         static_cast<std::int64_t>(bucket.hi)));
+    }
     job_plan.is_xk = is_xk;
-    const auto& buckets = is_xk ? config_.xk_buckets : config_.xe_buckets;
-    const auto& weights = is_xk ? xk_weights : xe_weights;
-
-    const SizeBucket& bucket = buckets[rng.WeightedIndex(weights)];
-    const std::uint32_t nodect = static_cast<std::uint32_t>(
-        rng.UniformInt(static_cast<std::int64_t>(bucket.lo),
-                       static_cast<std::int64_t>(bucket.hi)));
-
     job_plan.nodect = nodect;
 
     // Plan the aprun chain: intended durations, user failures.
@@ -215,7 +262,7 @@ Result<Workload> WorkloadGenerator::Generate(Rng& rng) const {
            rng.Bernoulli(1.0 - p_extra_app)) {
       ++app_count;
     }
-    const double mu = std::log(bucket.median_hours * 3600.0);
+    const double mu = std::log(median_hours * 3600.0);
     std::int64_t total_runtime = 0;
     for (std::uint32_t i = 0; i < app_count; ++i) {
       double secs = rng.LogNormal(mu, config_.duration_sigma);
@@ -300,9 +347,15 @@ Result<Workload> WorkloadGenerator::Generate(Rng& rng) const {
     job.user_name = uname;
     job.queue = job_plan.queue;
     char jname[24];
-    std::snprintf(jname, sizeof(jname), "run_%c%llu",
-                  job_plan.is_xk ? 'k' : 'e',
-                  static_cast<unsigned long long>(job.jobid % 9973));
+    if (job_plan.mix != nullptr) {
+      std::snprintf(jname, sizeof(jname), "%s_%llu", job_plan.mix->name,
+                    static_cast<unsigned long long>(job.jobid % 9973));
+      job.lustre_sensitivity = job_plan.mix->lustre_sensitivity;
+    } else {
+      std::snprintf(jname, sizeof(jname), "run_%c%llu",
+                    job_plan.is_xk ? 'k' : 'e',
+                    static_cast<unsigned long long>(job.jobid % 9973));
+    }
     job.job_name = jname;
     job.node_type = job_plan.is_xk ? NodeType::kXK : NodeType::kXE;
     job.nodes = std::move(placements[i].nodes);

@@ -18,6 +18,7 @@
 #include "common/status.hpp"
 #include "common/time.hpp"
 #include "topology/machine.hpp"
+#include "workload/appmix.hpp"
 #include "workload/scheduler.hpp"
 #include "workload/types.hpp"
 
@@ -62,6 +63,20 @@ struct WorkloadConfig {
   /// Size/duration mixture; empty = calibrated Blue Waters defaults.
   std::vector<SizeBucket> xe_buckets;
   std::vector<SizeBucket> xk_buckets;
+
+  /// Named application-mix presets (workload/appmix.hpp).  Empty (the
+  /// default) keeps the anonymous bucket mixture and draws nothing
+  /// extra, so calibrated campaigns stay bit-identical.  Non-empty:
+  /// each job draws one entry by weight; the entry fixes partition,
+  /// node-count range, duration median, job-name stem, and the job's
+  /// lustre_sensitivity.
+  std::vector<AppMixEntry> app_mix;
+
+  /// Diurnal load modulation: arrival rate follows
+  /// 1 + A*cos(2*pi*(hour - peak)/24).  0 (default) disables the
+  /// channel entirely (no extra rng draws).
+  double diurnal_amplitude = 0.0;
+  int diurnal_peak_hour = 14;
 
   /// The calibrated default mixtures (also used when the vectors above
   /// are empty); exposed for tests and documentation.

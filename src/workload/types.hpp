@@ -73,6 +73,10 @@ struct Job {
   Duration walltime_limit{0};
   int exit_status = 0;  // Torque accounting Exit_status
   std::vector<std::size_t> app_indices;  // indices into Workload::apps
+  /// Multiplier on the Lustre-incident kill probability.  1.0 (default)
+  /// is the calibrated size-independent exposure; app-mix presets raise
+  /// it for I/O-heavy codes (see workload/appmix.hpp).
+  double lustre_sensitivity = 1.0;
 
   std::uint32_t nodect() const {
     return static_cast<std::uint32_t>(nodes.size());

@@ -1,0 +1,222 @@
+#include "faults/storms.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "faults/injector.hpp"
+#include "faults/ledger.hpp"
+#include "workload/generator.hpp"
+
+namespace ld {
+namespace {
+
+std::vector<ErrorEvent> GpuPool(std::size_t gpu_fatals) {
+  std::vector<ErrorEvent> events;
+  std::uint64_t id = 1;
+  for (std::size_t i = 0; i < gpu_fatals; ++i) {
+    ErrorEvent ev;
+    ev.event_id = id++;
+    ev.time = TimePoint{} + Duration::Seconds(static_cast<std::int64_t>(i));
+    ev.category = i % 2 == 0 ? ErrorCategory::kGpuDbe : ErrorCategory::kGpuXid;
+    ev.severity = Severity::kFatal;
+    ev.scope = Scope::kNode;
+    ev.node = static_cast<NodeIndex>(i);
+    ev.detected = true;
+    events.push_back(ev);
+  }
+  // Out-of-pool company: a CPU fatal and a corrected GPU event — the
+  // gap must never touch either.
+  ErrorEvent cpu;
+  cpu.event_id = id++;
+  cpu.category = ErrorCategory::kMachineCheck;
+  cpu.severity = Severity::kFatal;
+  cpu.detected = true;
+  events.push_back(cpu);
+  ErrorEvent corrected;
+  corrected.event_id = id++;
+  corrected.category = ErrorCategory::kGpuDbe;
+  corrected.severity = Severity::kCorrected;
+  corrected.detected = true;
+  events.push_back(corrected);
+  return events;
+}
+
+std::uint64_t CountUndetectedGpuFatals(const std::vector<ErrorEvent>& events) {
+  std::uint64_t n = 0;
+  for (const ErrorEvent& ev : events) {
+    const bool gpu = ev.category == ErrorCategory::kGpuDbe ||
+                     ev.category == ErrorCategory::kGpuXid;
+    if (gpu && ev.severity == Severity::kFatal && !ev.detected) ++n;
+  }
+  return n;
+}
+
+TEST(DetectionGap, FlipsExactlyRoundedFraction) {
+  for (const double fraction : {0.0, 0.35, 0.5, 1.0}) {
+    auto events = GpuPool(20);
+    std::vector<KillCandidate> kills;
+    const std::uint64_t flipped =
+        ApplyGpuDetectionGap(fraction, &events, &kills, Rng(99).Fork("gap"));
+    const auto expected =
+        static_cast<std::uint64_t>(std::llround(fraction * 20.0));
+    EXPECT_EQ(flipped, expected) << "fraction " << fraction;
+    EXPECT_EQ(CountUndetectedGpuFatals(events), expected);
+    // Out-of-pool events untouched.
+    EXPECT_TRUE(events[events.size() - 2].detected);
+    EXPECT_TRUE(events.back().detected);
+  }
+}
+
+TEST(DetectionGap, UpdatesMatchingKillCandidates) {
+  auto events = GpuPool(10);
+  std::vector<KillCandidate> kills;
+  for (const ErrorEvent& ev : events) {
+    if (ev.severity != Severity::kFatal) continue;
+    KillCandidate kill{};
+    kill.time = ev.time;
+    kill.app_idx = 0;
+    kill.event_id = ev.event_id;
+    kill.cause = ev.category;
+    kill.detected = true;
+    kills.push_back(kill);
+  }
+  const std::uint64_t flipped =
+      ApplyGpuDetectionGap(0.5, &events, &kills, Rng(7).Fork("gap"));
+  EXPECT_EQ(flipped, 5u);
+  // Every kill mirrors its event's final detection flag.
+  for (const KillCandidate& kill : kills) {
+    const ErrorEvent& ev = events[kill.event_id - 1];
+    EXPECT_EQ(kill.detected, ev.detected) << "event " << ev.event_id;
+  }
+}
+
+TEST(DetectionGap, DeterministicInSeed) {
+  auto a = GpuPool(16);
+  auto b = GpuPool(16);
+  std::vector<KillCandidate> ka, kb;
+  ApplyGpuDetectionGap(0.25, &a, &ka, Rng(5).Fork("gap"));
+  ApplyGpuDetectionGap(0.25, &b, &kb, Rng(5).Fork("gap"));
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].detected, b[i].detected) << "event " << i;
+  }
+}
+
+class StormsTest : public ::testing::Test {
+ protected:
+  StormsTest() : machine_(Machine::Testbed(960, 192)) {
+    workload_config_.target_app_runs = 2500;
+    workload_config_.campaign = Duration::Days(20);
+    workload_config_.xk_job_fraction = 0.30;
+  }
+
+  Workload MakeWorkload(std::uint64_t seed) {
+    WorkloadGenerator gen(machine_, workload_config_);
+    Rng rng(seed);
+    auto wl = gen.Generate(rng);
+    EXPECT_TRUE(wl.ok());
+    return std::move(*wl);
+  }
+
+  FaultLedger RunLedger(const FaultModelConfig& config, std::uint64_t seed,
+                        InjectionResult* out = nullptr) {
+    Workload wl = MakeWorkload(seed);
+    FaultInjector injector(machine_, config);
+    Rng rng(seed + 1);
+    auto result = injector.Inject(wl, workload_config_.epoch,
+                                  workload_config_.campaign, rng);
+    EXPECT_TRUE(result.ok());
+    FaultLedger ledger = BuildFaultLedger(wl, *result);
+    if (out != nullptr) *out = std::move(*result);
+    return ledger;
+  }
+
+  static const CategoryTally& Tally(const FaultLedger& ledger,
+                                    ErrorCategory category) {
+    return ledger.by_category[static_cast<std::size_t>(category)];
+  }
+
+  Machine machine_;
+  WorkloadConfig workload_config_;
+};
+
+TEST_F(StormsTest, InjectorGapIdentityIsExact) {
+  FaultModelConfig config;
+  // Hot GPU-side hazards so the pool is large enough to matter.
+  config.xk_fatal_per_node_hour = 5e-4;
+  config.xk_app_fatal_per_hour = 0.10;
+  config.gpu_underreport_fraction = 0.35;
+  const FaultLedger ledger = RunLedger(config, 21);
+  ASSERT_GT(ledger.gpu_fatal_injected, 30u);
+  EXPECT_EQ(ledger.gpu_fatal_undetected,
+            static_cast<std::uint64_t>(std::llround(
+                0.35 * static_cast<double>(ledger.gpu_fatal_injected))));
+}
+
+TEST_F(StormsTest, CascadeStormsAddGeminiEpisodes) {
+  FaultModelConfig baseline;
+  const FaultLedger before = RunLedger(baseline, 31);
+
+  FaultModelConfig config;
+  config.cascade.storms_per_campaign = 8.0;
+  InjectionResult result;
+  const FaultLedger after = RunLedger(config, 31, &result);
+  EXPECT_GT(Tally(after, ErrorCategory::kGeminiLink).injected,
+            Tally(before, ErrorCategory::kGeminiLink).injected);
+  EXPECT_GT(Tally(after, ErrorCategory::kGeminiLink).kills, 0u);
+  // The episode channel must respect the injector's global contract:
+  // time-ordered events with unique ids.
+  for (std::size_t i = 1; i < result.events.size(); ++i) {
+    EXPECT_GE(result.events[i].time, result.events[i - 1].time);
+  }
+}
+
+TEST_F(StormsTest, LustreStormsClusterIncidents) {
+  FaultModelConfig baseline;
+  const FaultLedger before = RunLedger(baseline, 41);
+  FaultModelConfig config;
+  config.lustre_storm.storms_per_campaign = 5.0;
+  const FaultLedger after = RunLedger(config, 41);
+  EXPECT_GT(Tally(after, ErrorCategory::kLustre).injected,
+            Tally(before, ErrorCategory::kLustre).injected);
+  EXPECT_GT(Tally(after, ErrorCategory::kLustre).kills,
+            Tally(before, ErrorCategory::kLustre).kills);
+}
+
+TEST_F(StormsTest, MaintenanceWindowsDrainAndReboot) {
+  FaultModelConfig config;
+  config.maintenance.windows_per_campaign = 2.0;
+  config.maintenance.node_fraction = 0.30;
+  InjectionResult result;
+  const FaultLedger ledger = RunLedger(config, 51, &result);
+  // Drains kill via the (always detected) heartbeat category.
+  const CategoryTally& heartbeat = Tally(ledger, ErrorCategory::kNodeHeartbeat);
+  EXPECT_GT(heartbeat.kills, 0u);
+  EXPECT_EQ(heartbeat.undetected, 0u);
+  // The reboot noise is benign machine-check chatter, never a kill.
+  bool saw_corrected_mce = false;
+  for (const ErrorEvent& ev : result.events) {
+    if (ev.category == ErrorCategory::kMachineCheck &&
+        ev.severity == Severity::kCorrected) {
+      saw_corrected_mce = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(saw_corrected_mce);
+}
+
+TEST_F(StormsTest, EpisodesAreDeterministic) {
+  FaultModelConfig config;
+  config.cascade.storms_per_campaign = 4.0;
+  config.lustre_storm.storms_per_campaign = 3.0;
+  config.maintenance.windows_per_campaign = 1.0;
+  config.gpu_underreport_fraction = 0.5;
+  const FaultLedger a = RunLedger(config, 61);
+  const FaultLedger b = RunLedger(config, 61);
+  EXPECT_EQ(a.Fingerprint(), b.Fingerprint());
+  EXPECT_EQ(a.events_total, b.events_total);
+  EXPECT_EQ(a.kills_total, b.kills_total);
+}
+
+}  // namespace
+}  // namespace ld

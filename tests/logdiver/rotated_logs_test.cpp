@@ -4,6 +4,8 @@
 #include <fstream>
 
 #include "logdiver/logdiver.hpp"
+#include "logdiver/syslog_parser.hpp"
+#include "simlog/catalog.hpp"
 #include "simlog/scenario.hpp"
 
 namespace ld {
@@ -63,6 +65,84 @@ TEST(RotatedLogs, MissingMiddleSegmentFailsInsteadOfTruncating) {
       << lines.status().ToString();
   EXPECT_NE(lines.status().ToString().find(".2"), std::string::npos)
       << lines.status().ToString();
+  std::filesystem::remove_all(dir);
+}
+
+// A New Year's stream with a lagging node clock: SkewSyslogMidnights
+// re-stamps lines whose time of day is under the skew back across the
+// midnight, so December stamps reappear *after* January ones.
+std::vector<std::string> SkewedNewYearLines() {
+  const std::vector<std::string> lines = {
+      "Dec 30 12:00:00 c0-0c0s0n0 kernel: Kernel panic - not syncing: a",
+      "Dec 31 23:59:30 c0-0c0s0n1 kernel: Kernel panic - not syncing: b",
+      "Jan  1 00:00:30 c0-0c0s0n2 kernel: Kernel panic - not syncing: c",
+      "Jan  1 00:02:00 c0-0c0s0n3 kernel: Kernel panic - not syncing: d",
+      "Jan  1 12:00:00 c0-0c0s0n4 kernel: Kernel panic - not syncing: e",
+  };
+  const TimePoint epoch = TimePoint::FromCalendar(2013, 12, 30, 0, 0, 0);
+  return SkewSyslogMidnights(lines, /*skew_seconds=*/90, epoch);
+}
+
+TEST(RotatedLogs, SkewedMidnightSegmentsReadLikeWholeStream) {
+  // Rotating daily across a clock-skewed New Year midnight must hand the
+  // parser the exact same stream as the unrotated file — and parsing it
+  // must put the skewed December stamp back in the old year without
+  // advancing into the new year twice.
+  const auto skewed = SkewedNewYearLines();
+  ASSERT_EQ(skewed.size(), 5u);
+  // The 00:00:30 line was re-stamped 90 s back, across the midnight.
+  EXPECT_EQ(skewed[2].substr(0, 15), "Dec 31 23:59:00");
+
+  const TimePoint epoch = TimePoint::FromCalendar(2013, 12, 30, 0, 0, 0);
+  const auto segments = SplitSyslogByDays(skewed, epoch, /*rotate_days=*/1);
+  ASSERT_GE(segments.size(), 2u);
+
+  const std::string dir = ::testing::TempDir() + "/ld_rotated_skew";
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  const std::string base = dir + "/syslog.log";
+  for (std::size_t i = 0; i < segments.size(); ++i) {
+    const std::size_t suffix = segments.size() - 1 - i;
+    WriteFile(suffix == 0 ? base : base + "." + std::to_string(suffix),
+              segments[i]);
+  }
+  auto joined = ReadRotatedLines(base);
+  ASSERT_TRUE(joined.ok());
+  EXPECT_EQ(*joined, skewed);
+
+  SyslogParser parser(2013);
+  const auto records = parser.ParseLines(*joined);
+  ASSERT_EQ(records.size(), 5u);
+  const int years[] = {2013, 2013, 2013, 2014, 2014};
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    EXPECT_EQ(ToCalendar(records[i].time).year, years[i]) << "record " << i;
+  }
+  std::filesystem::remove_all(dir);
+}
+
+TEST(RotatedLogs, GapSpanningSkewedMidnightFailsLoudly) {
+  // Lose the middle segment of a rotation that straddles the skewed
+  // midnight: the reader must refuse the truncated stream rather than
+  // silently dropping the December side.
+  const auto skewed = SkewedNewYearLines();
+  const TimePoint epoch = TimePoint::FromCalendar(2013, 12, 30, 0, 0, 0);
+  const auto segments = SplitSyslogByDays(skewed, epoch, /*rotate_days=*/1);
+  ASSERT_GE(segments.size(), 3u);
+
+  const std::string dir = ::testing::TempDir() + "/ld_rotated_skew_gap";
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  const std::string base = dir + "/syslog.log";
+  for (std::size_t i = 0; i < segments.size(); ++i) {
+    const std::size_t suffix = segments.size() - 1 - i;
+    if (suffix == 1) continue;  // the segment holding the midnight
+    WriteFile(suffix == 0 ? base : base + "." + std::to_string(suffix),
+              segments[i]);
+  }
+  auto joined = ReadRotatedLines(base);
+  ASSERT_FALSE(joined.ok());
+  EXPECT_NE(joined.status().ToString().find("rotation gap"), std::string::npos)
+      << joined.status().ToString();
   std::filesystem::remove_all(dir);
 }
 

@@ -136,6 +136,26 @@ TEST(SyslogParser, YearRollover) {
   EXPECT_GT((*after)->time, (*before)->time);
 }
 
+TEST(SyslogParser, SkewedLineAfterRolloverKeepsOldYearOnce) {
+  // A node with a lagging clock stamps a December line *after* the
+  // stream already crossed into January.  The skewed line must render in
+  // the old year, and — the regression — the next January line must not
+  // re-trigger the rollover and advance the year a second time.
+  SyslogParser parser(2013);
+  const std::vector<std::string> lines = {
+      "Dec 31 23:59:30 c0-0c0s0n0 kernel: Kernel panic - not syncing: a",
+      "Jan  1 00:00:10 c0-0c0s0n1 kernel: Kernel panic - not syncing: b",
+      "Dec 31 23:59:50 c0-0c0s0n2 kernel: Kernel panic - not syncing: c",
+      "Jan  1 00:00:40 c0-0c0s0n3 kernel: Kernel panic - not syncing: d",
+  };
+  const auto records = parser.ParseLines(lines);
+  ASSERT_EQ(records.size(), 4u);
+  EXPECT_EQ(ToCalendar(records[0].time).year, 2013);
+  EXPECT_EQ(ToCalendar(records[1].time).year, 2014);
+  EXPECT_EQ(ToCalendar(records[2].time).year, 2013);
+  EXPECT_EQ(ToCalendar(records[3].time).year, 2014);
+}
+
 TEST(SyslogParser, NoSpuriousRolloverWithinYear) {
   SyslogParser parser(2013);
   (void)parser.ParseLine(

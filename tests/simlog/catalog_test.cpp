@@ -1,0 +1,124 @@
+#include "simlog/catalog.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "simlog/scenario.hpp"
+
+namespace ld {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// path -> content for every regular file under `dir`.
+std::map<std::string, std::string> Slurp(const std::string& dir) {
+  std::map<std::string, std::string> files;
+  for (const auto& entry : fs::recursive_directory_iterator(dir)) {
+    if (!entry.is_regular_file()) continue;
+    std::ifstream in(entry.path(), std::ios::binary);
+    std::ostringstream body;
+    body << in.rdbuf();
+    files[fs::relative(entry.path(), dir).string()] = body.str();
+  }
+  return files;
+}
+
+TEST(ScenarioCatalog, HasTheDocumentedCells) {
+  const auto& catalog = ScenarioCatalog();
+  ASSERT_GE(catalog.size(), 6u);
+  for (const char* name :
+       {"detection-gap", "gemini-cascade", "lustre-storm",
+        "maintenance-window", "rotation-skew", "diurnal-io"}) {
+    const ScenarioSpec* spec = FindScenario(name);
+    ASSERT_NE(spec, nullptr) << name;
+    EXPECT_STREQ(spec->name, name);
+    EXPECT_NE(spec->configure, nullptr) << name;
+    EXPECT_NE(spec->validate, nullptr) << name;
+    EXPECT_NE(spec->paper_anchor, nullptr) << name;
+  }
+  EXPECT_EQ(FindScenario("no-such-scenario"), nullptr);
+}
+
+TEST(ScenarioCatalog, DetectionGapIdentityIsExactNotStatistical) {
+  const ScenarioSpec* spec = FindScenario("detection-gap");
+  ASSERT_NE(spec, nullptr);
+  ScenarioRunOptions options;
+  options.seed = 7;
+  options.app_scale = 0.5;
+  auto outcome = RunScenario(*spec, options);
+  ASSERT_TRUE(outcome.ok());
+  ASSERT_GT(outcome->ledger.gpu_fatal_injected, 0u);
+  // The scenario's 0.35 under-report fraction holds as an exact count,
+  // not merely in expectation — the whole point of the seeded post-pass.
+  EXPECT_EQ(outcome->ledger.gpu_fatal_undetected,
+            static_cast<std::uint64_t>(std::llround(
+                0.35 * static_cast<double>(outcome->ledger.gpu_fatal_injected))));
+}
+
+TEST(ScenarioCatalog, OutcomeIsThreadCountInvariant) {
+  const ScenarioSpec* spec = FindScenario("detection-gap");
+  ASSERT_NE(spec, nullptr);
+  ScenarioOutcome baseline;
+  for (const int threads : {1, 2, 4}) {
+    ScenarioRunOptions options;
+    options.seed = 9;
+    options.threads = threads;
+    options.app_scale = 0.5;
+    auto outcome = RunScenario(*spec, options);
+    ASSERT_TRUE(outcome.ok()) << "threads " << threads;
+    if (threads == 1) {
+      baseline = std::move(*outcome);
+      continue;
+    }
+    EXPECT_EQ(outcome->ledger.Fingerprint(), baseline.ledger.Fingerprint())
+        << "threads " << threads;
+    EXPECT_EQ(outcome->score.scored_runs, baseline.score.scored_runs);
+    EXPECT_DOUBLE_EQ(outcome->score.overall_accuracy,
+                     baseline.score.overall_accuracy);
+    EXPECT_DOUBLE_EQ(outcome->score.system_recall, baseline.score.system_recall);
+    EXPECT_DOUBLE_EQ(outcome->xk_unattributed_share,
+                     baseline.xk_unattributed_share);
+    EXPECT_EQ(outcome->violations, baseline.violations);
+  }
+}
+
+TEST(ScenarioCatalog, ScenarioBundlesAreByteIdentical) {
+  // The rotation-skew cell exercises every transform (multi-day split +
+  // skewed midnights); two writes from the same spec and seed must
+  // produce byte-identical trees.
+  const ScenarioSpec* spec = FindScenario("rotation-skew");
+  ASSERT_NE(spec, nullptr);
+  ScenarioConfig config = SmallScenario(11);
+  config.workload.target_app_runs = 1200;
+  spec->configure(&config);
+  const Machine machine = MakeMachine(config);
+
+  const std::string dir_a = ::testing::TempDir() + "/ld_catalog_bundle_a";
+  const std::string dir_b = ::testing::TempDir() + "/ld_catalog_bundle_b";
+  for (const std::string& dir : {dir_a, dir_b}) {
+    fs::remove_all(dir);
+    auto bundle = WriteScenarioBundle(machine, config, *spec, dir);
+    ASSERT_TRUE(bundle.ok()) << bundle.status().ToString();
+  }
+  const auto a = Slurp(dir_a);
+  const auto b = Slurp(dir_b);
+  ASSERT_FALSE(a.empty());
+  ASSERT_EQ(a.size(), b.size());
+  for (const auto& [path, content] : a) {
+    const auto it = b.find(path);
+    ASSERT_NE(it, b.end()) << path;
+    EXPECT_EQ(content, it->second) << path << " differs between runs";
+  }
+  // The multi-day split actually produced rotated syslog segments.
+  EXPECT_TRUE(a.count("syslog.log.1") == 1 || a.count("syslog.log.2") == 1);
+  fs::remove_all(dir_a);
+  fs::remove_all(dir_b);
+}
+
+}  // namespace
+}  // namespace ld

@@ -1,0 +1,134 @@
+#include "workload/appmix.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+
+#include "workload/generator.hpp"
+
+namespace ld {
+namespace {
+
+TEST(AppMix, IoHeavyMixIsWellFormed) {
+  const auto& mix = IoHeavyMix();
+  ASSERT_GE(mix.size(), 4u);
+  double weight = 0.0;
+  bool any_xk = false, any_xe = false;
+  for (const AppMixEntry& entry : mix) {
+    EXPECT_GT(entry.weight, 0.0) << entry.name;
+    EXPECT_GE(entry.nodes_hi, entry.nodes_lo) << entry.name;
+    EXPECT_GT(entry.nodes_lo, 0u) << entry.name;
+    EXPECT_GT(entry.median_hours, 0.0) << entry.name;
+    EXPECT_GT(entry.lustre_sensitivity, 0.0) << entry.name;
+    weight += entry.weight;
+    (entry.xk ? any_xk : any_xe) = true;
+  }
+  EXPECT_NEAR(weight, 1.0, 1e-9);
+  // The A6 contrast needs both partitions populated.
+  EXPECT_TRUE(any_xe);
+  EXPECT_TRUE(any_xk);
+}
+
+TEST(AppMix, FindMixEntry) {
+  const auto& mix = IoHeavyMix();
+  const AppMixEntry* wrf = FindMixEntry(mix, "wrf");
+  ASSERT_NE(wrf, nullptr);
+  EXPECT_FALSE(wrf->xk);
+  EXPECT_EQ(FindMixEntry(mix, "no-such-app"), nullptr);
+  EXPECT_GT(MixMeanLustreSensitivity(mix), 0.0);
+}
+
+class AppMixGeneratorTest : public ::testing::Test {
+ protected:
+  AppMixGeneratorTest() : machine_(Machine::Testbed(960, 192)) {
+    config_.target_app_runs = 1500;
+    config_.campaign = Duration::Days(20);
+  }
+
+  Workload Generate(std::uint64_t seed) {
+    WorkloadGenerator gen(machine_, config_);
+    Rng rng(seed);
+    auto wl = gen.Generate(rng);
+    EXPECT_TRUE(wl.ok());
+    return std::move(*wl);
+  }
+
+  Machine machine_;
+  WorkloadConfig config_;
+};
+
+TEST_F(AppMixGeneratorTest, MixJobsCarryNameAndSensitivity) {
+  config_.app_mix = IoHeavyMix();
+  const Workload wl = Generate(11);
+  ASSERT_GT(wl.jobs.size(), 50u);
+  std::size_t named = 0;
+  for (const Job& job : wl.jobs) {
+    // Every job must come from a mix entry: name prefix, node range and
+    // partition must agree with that entry.
+    const auto underscore = job.job_name.find('_');
+    ASSERT_NE(underscore, std::string::npos) << job.job_name;
+    const AppMixEntry* entry =
+        FindMixEntry(config_.app_mix, job.job_name.substr(0, underscore));
+    ASSERT_NE(entry, nullptr) << job.job_name;
+    ++named;
+    EXPECT_EQ(job.node_type, entry->xk ? NodeType::kXK : NodeType::kXE);
+    EXPECT_GE(job.nodect(), entry->nodes_lo);
+    EXPECT_LE(job.nodect(), entry->nodes_hi);
+    EXPECT_DOUBLE_EQ(job.lustre_sensitivity, entry->lustre_sensitivity);
+  }
+  EXPECT_EQ(named, wl.jobs.size());
+}
+
+TEST_F(AppMixGeneratorTest, DefaultPathKeepsUnitSensitivity) {
+  const Workload wl = Generate(11);
+  for (const Job& job : wl.jobs) {
+    EXPECT_DOUBLE_EQ(job.lustre_sensitivity, 1.0);
+  }
+}
+
+TEST_F(AppMixGeneratorTest, ZeroDiurnalAmplitudeChangesNothing) {
+  // amplitude 0 must not consume any extra randomness: the stream — and
+  // hence every calibrated anchor — stays bit-identical to the default.
+  const Workload baseline = Generate(7);
+  config_.diurnal_amplitude = 0.0;
+  config_.diurnal_peak_hour = 3;  // irrelevant at zero amplitude
+  const Workload same = Generate(7);
+  ASSERT_EQ(baseline.apps.size(), same.apps.size());
+  ASSERT_EQ(baseline.jobs.size(), same.jobs.size());
+  for (std::size_t i = 0; i < baseline.apps.size(); ++i) {
+    EXPECT_EQ(baseline.apps[i].apid, same.apps[i].apid);
+    EXPECT_EQ(baseline.apps[i].start, same.apps[i].start);
+    EXPECT_EQ(baseline.apps[i].end, same.apps[i].end);
+  }
+}
+
+TEST_F(AppMixGeneratorTest, DiurnalLoadPeaksAtConfiguredHour) {
+  config_.target_app_runs = 4000;
+  config_.campaign = Duration::Days(40);
+  config_.diurnal_amplitude = 0.8;
+  config_.diurnal_peak_hour = 14;
+  const Workload wl = Generate(13);
+  ASSERT_GT(wl.jobs.size(), 200u);
+
+  // Bin submissions by hour of day and contrast the 6 hours around the
+  // peak with the 6 hours around the trough (peak + 12).
+  std::array<std::uint64_t, 24> bins{};
+  const TimePoint epoch = config_.epoch;
+  for (const Job& job : wl.jobs) {
+    const double hours = (job.submit - epoch).seconds() / 3600.0;
+    bins[static_cast<std::size_t>(std::fmod(hours, 24.0))] += 1;
+  }
+  auto window = [&bins](int center) {
+    std::uint64_t total = 0;
+    for (int d = -3; d <= 3; ++d) total += bins[(center + d + 24) % 24];
+    return total;
+  };
+  const std::uint64_t peak = window(14);
+  const std::uint64_t trough = window(2);
+  EXPECT_GT(static_cast<double>(peak), 1.3 * static_cast<double>(trough))
+      << "peak " << peak << " trough " << trough;
+}
+
+}  // namespace
+}  // namespace ld
