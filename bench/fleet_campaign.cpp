@@ -321,6 +321,66 @@ int Run(bool quick) {
                 ok ? "ok" : "FAIL");
   }
 
+  // --- warm bundle cache: shards skip the text re-parse --------------
+  // Same fleet twice against a shared bundle-cache dir.  The cold run
+  // populates the cache (every worker either stores or hits an entry a
+  // sibling raced in first); the warm run must be all hits — no misses,
+  // no stores — and both merged reports must stay bit-identical to the
+  // serial baseline: the cache may only change *how fast* the answer
+  // arrives, never the answer.
+  {
+    LogDiverConfig cached_config = diver_config;
+    cached_config.bundle_cache_dir = base + "/bundle_cache";
+    const fleet::ShardSupervisor cached_supervisor(machine, cached_config);
+    const std::uint32_t shards = 4;
+    auto cold = cached_supervisor.Run(inputs, make_options(shards));
+    auto warm = cached_supervisor.Run(inputs, make_options(shards));
+    bool ok = cold.ok() && warm.ok();
+    if (!ok) {
+      std::fprintf(stderr, "  cache cell errored: %s\n",
+                   (!cold.ok() ? cold : warm).status().ToString().c_str());
+    }
+    if (ok) {
+      const bool cold_populates =
+          cold->cache_stores >= 1 && cold->cache_rejected == 0 &&
+          cold->cache_hits + cold->cache_misses == shards;
+      const bool warm_all_hits =
+          warm->cache_hits == shards && warm->cache_misses == 0 &&
+          warm->cache_stores == 0 && warm->cache_rejected == 0;
+      const bool identical =
+          FingerprintReport(cold->report) == want_report &&
+          FingerprintReport(warm->report) == want_report &&
+          cold->runs_finalized == want_runs &&
+          warm->runs_finalized == want_runs;
+      if (!cold_populates) {
+        std::fprintf(stderr,
+                     "  cold run: hits %llu misses %llu stores %llu "
+                     "rejected %llu\n",
+                     static_cast<unsigned long long>(cold->cache_hits),
+                     static_cast<unsigned long long>(cold->cache_misses),
+                     static_cast<unsigned long long>(cold->cache_stores),
+                     static_cast<unsigned long long>(cold->cache_rejected));
+      }
+      if (!warm_all_hits) {
+        std::fprintf(stderr,
+                     "  warm run: hits %llu misses %llu stores %llu "
+                     "rejected %llu\n",
+                     static_cast<unsigned long long>(warm->cache_hits),
+                     static_cast<unsigned long long>(warm->cache_misses),
+                     static_cast<unsigned long long>(warm->cache_stores),
+                     static_cast<unsigned long long>(warm->cache_rejected));
+      }
+      if (!identical) {
+        std::fprintf(stderr, "  cache cell: merged report diverged from "
+                             "serial baseline\n");
+      }
+      ok = cold_populates && warm_all_hits && identical;
+    }
+    all_passed = all_passed && ok;
+    std::printf("warm bundle cache: all-hit shards, bit-identical      %s\n",
+                ok ? "ok" : "FAIL");
+  }
+
   std::filesystem::remove_all(base);
   std::printf("\n%s\n",
               all_passed

@@ -4,6 +4,8 @@
 // field-study volumes comfortably.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <cstdint>
 #include <filesystem>
 #include <fstream>
 #include <span>
@@ -15,6 +17,7 @@
 #include "common/parallel.hpp"
 #include "common/rng.hpp"
 #include "common/simd.hpp"
+#include "common/strings.hpp"
 #include "logdiver/logdiver.hpp"
 #include "logdiver/streaming.hpp"
 #include "simlog/scenario.hpp"
@@ -231,6 +234,56 @@ BENCHMARK(BM_ParseSyslogThreads)
     ->Unit(benchmark::kMillisecond)
     ->UseRealTime();
 
+// The key=value accounting parsers, same fan-out shape as the syslog
+// row above.  These are the rows the SIMD field splitter
+// (strings.hpp KeyValueView) moves: compare_bench.py gates their
+// single-thread margin over a scalar-forced run.
+void BM_ParseTorqueThreads(benchmark::State& state) {
+  const auto& lines = Shared().logs.torque;
+  std::vector<std::string_view> views;
+  views.reserve(lines.size());
+  for (const std::string& line : lines) views.emplace_back(line);
+  const int threads = static_cast<int>(state.range(0));
+  ld::ThreadPool pool(threads);
+  ld::ThreadPool* pool_ptr = threads > 1 ? &pool : nullptr;
+  for (auto _ : state) {
+    ld::TorqueParser parser;
+    benchmark::DoNotOptimize(parser.ParseLines(
+        std::span<const std::string_view>(views), nullptr, pool_ptr));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(lines.size()));
+}
+BENCHMARK(BM_ParseTorqueThreads)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+void BM_ParseAlpsThreads(benchmark::State& state) {
+  const auto& lines = Shared().logs.alps;
+  std::vector<std::string_view> views;
+  views.reserve(lines.size());
+  for (const std::string& line : lines) views.emplace_back(line);
+  const int threads = static_cast<int>(state.range(0));
+  ld::ThreadPool pool(threads);
+  ld::ThreadPool* pool_ptr = threads > 1 ? &pool : nullptr;
+  for (auto _ : state) {
+    ld::AlpsParser parser;
+    benchmark::DoNotOptimize(parser.ParseLines(
+        std::span<const std::string_view>(views), nullptr, pool_ptr));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(lines.size()));
+}
+BENCHMARK(BM_ParseAlpsThreads)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
 // Classification stage only: the CSR tuple index is rebuilt every
 // iteration (it is part of Classify's cost) and the runs are sharded
 // over N workers.  Output is bit-identical at every N (the
@@ -386,11 +439,14 @@ double PeakRssMb() {
 }
 
 // The newline scan at the bottom of every block split, on the campaign's
-// syslog text: the compiled-in backend (sse2/neon/scalar, see
-// simd::BackendName) vs the scalar reference in the same binary.  CI
-// gates the active backend's bytes/s floor and its margin over scalar
-// via compare_bench.py --min-bytes-per-second / --min-speedup.
-void BM_SimdScan(benchmark::State& state, bool use_scalar) {
+// syslog text: one row per backend this binary can run ("active" is
+// whatever runtime dispatch resolved to — see simd::BackendName), so
+// compare_bench.py can gate each tier against the one below it in a
+// single run.  A backend the host cannot execute (e.g. avx2 on an old
+// CPU) reports an error row, which the gates treat as skip-if-
+// unsupported.  CI gates the active backend's bytes/s floor and the
+// per-tier margins via --min-bytes-per-second / --min-speedup.
+void BM_SimdScan(benchmark::State& state, const char* backend) {
   static const std::string* text = [] {
     auto* buffer = new std::string();
     for (const std::string& line : Shared().logs.syslog) {
@@ -399,14 +455,19 @@ void BM_SimdScan(benchmark::State& state, bool use_scalar) {
     }
     return buffer;
   }();
+  const ld::simd::Kernels* kernels =
+      std::string_view(backend) == "active" ? &ld::simd::ActiveKernels()
+                                            : ld::simd::GetBackend(backend);
+  if (kernels == nullptr) {
+    state.SkipWithError("backend not compiled in or not runnable here");
+    return;
+  }
   const std::string_view data = *text;
   std::uint64_t newlines = 0;
   for (auto _ : state) {
     std::size_t pos = 0;
     while (pos < data.size()) {
-      const std::size_t nl = use_scalar
-                                 ? ld::simd::scalar::FindByte(data, '\n', pos)
-                                 : ld::simd::FindByte(data, '\n', pos);
+      const std::size_t nl = kernels->find_byte(data, '\n', pos);
       if (nl == std::string_view::npos) break;
       ++newlines;
       pos = nl + 1;
@@ -415,10 +476,107 @@ void BM_SimdScan(benchmark::State& state, bool use_scalar) {
   }
   state.SetBytesProcessed(state.iterations() *
                           static_cast<std::int64_t>(data.size()));
-  state.SetLabel(use_scalar ? "scalar" : ld::simd::BackendName());
+  state.SetLabel(kernels->name);
 }
-BENCHMARK_CAPTURE(BM_SimdScan, active, false)->Unit(benchmark::kMillisecond);
-BENCHMARK_CAPTURE(BM_SimdScan, scalar, true)->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_SimdScan, active, "active")
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_SimdScan, scalar, "scalar")
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_SimdScan, sse2, "sse2")->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_SimdScan, avx2, "avx2")->Unit(benchmark::kMillisecond);
+
+// The torque accounting payloads (the key=value text after the final
+// ';'), shared by the splitter and classifier benches below.
+const std::vector<std::string>& TorquePayloads() {
+  static const std::vector<std::string>* payloads = [] {
+    auto* out = new std::vector<std::string>();
+    out->reserve(Shared().logs.torque.size());
+    for (const std::string& line : Shared().logs.torque) {
+      const std::size_t semi = line.rfind(';');
+      out->push_back(semi == std::string::npos ? line
+                                               : line.substr(semi + 1));
+    }
+    return out;
+  }();
+  return *payloads;
+}
+
+// The splitter's classification kernel per backend, streamed over the
+// torque payloads: one classify_kv call marks every '=' and whitespace
+// byte of a record.  Unlike the short seek scans in BM_SimdScan (where
+// per-call overhead buries the wider vectors), classification streams
+// whole records, so this is the row where AVX2's 32-byte lanes must
+// actually pay — CI gates avx2 ≥1.15x sse2 here (skip-if-unsupported)
+// and active ≥1.2x scalar.
+void BM_SimdClassify(benchmark::State& state, const char* backend) {
+  const auto& payloads = TorquePayloads();
+  const ld::simd::Kernels* kernels =
+      std::string_view(backend) == "active" ? &ld::simd::ActiveKernels()
+                                            : ld::simd::GetBackend(backend);
+  if (kernels == nullptr) {
+    state.SkipWithError("backend not compiled in or not runnable here");
+    return;
+  }
+  std::uint64_t eq_bits[64];
+  std::uint64_t ws_bits[64];
+  std::int64_t total_bytes = 0;
+  for (const std::string& payload : payloads) {
+    total_bytes += static_cast<std::int64_t>(payload.size());
+  }
+  std::uint64_t checksum = 0;
+  for (auto _ : state) {
+    for (const std::string& payload : payloads) {
+      const std::size_t n = std::min(payload.size(), sizeof(eq_bits) * 8);
+      kernels->classify_kv(payload.data(), n, '=', eq_bits, ws_bits);
+      checksum += eq_bits[0] ^ ws_bits[0];
+    }
+    benchmark::DoNotOptimize(checksum);
+  }
+  state.SetBytesProcessed(state.iterations() * total_bytes);
+  state.SetLabel(kernels->name);
+}
+BENCHMARK_CAPTURE(BM_SimdClassify, active, "active")
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_SimdClassify, scalar, "scalar")
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_SimdClassify, sse2, "sse2")
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_SimdClassify, avx2, "avx2")
+    ->Unit(benchmark::kMillisecond);
+
+// The key=value field splitter on the campaign's torque payloads: the
+// parsers' one-pass KeyValueView (one classify_kv pass, then an
+// '='-bit walk and table lookups) against the per-key substring scan
+// it replaced.  CI gates split ≥1.2x scan via compare_bench.py.
+void BM_FieldSplit(benchmark::State& state, bool one_pass) {
+  const std::vector<std::string>* payloads = &TorquePayloads();
+  // The torque parser's lookup set.
+  static constexpr std::string_view kKeys[] = {
+      "user",     "queue", "jobname",
+      "ctime",    "start", "Resource_List.nodect",
+      "Resource_List.walltime", "end", "Exit_status",
+      "resources_used.walltime"};
+  std::size_t found = 0;
+  for (auto _ : state) {
+    for (const std::string& payload : *payloads) {
+      if (one_pass) {
+        const ld::KeyValueView kv(payload);
+        for (const std::string_view key : kKeys) {
+          found += kv.Get(key).has_value();
+        }
+      } else {
+        for (const std::string_view key : kKeys) {
+          found += ld::FindKeyValueOpt(payload, key).has_value();
+        }
+      }
+    }
+    benchmark::DoNotOptimize(found);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(payloads->size()));
+}
+BENCHMARK_CAPTURE(BM_FieldSplit, split, true)->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_FieldSplit, scan, false)->Unit(benchmark::kMillisecond);
 
 // AnalyzeBundle with the parsed-bundle cache: `cold` clears the cache
 // every iteration (text parse + entry write-back), `warm` hits the

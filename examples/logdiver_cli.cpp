@@ -76,7 +76,8 @@ int Usage() {
             << "      [--scenario NAME]   (a docs/SCENARIOS.md catalog "
                "cell, transforms included)\n"
             << "  logdiver_cli analyze <dir> [--small] [--csv <outdir>]\n"
-            << "      [--threads N] [--bundle-cache-dir <dir>]\n"
+            << "      [--threads N] [--bundle-cache-dir <dir>] "
+               "[--bundle-cache-max-mb N]\n"
             << "      [--snapshot-dir <dir>] "
                "[--snapshot-interval N] [--resume]\n"
             << "      [--fleet-workers N] [--shard-timeout MS] "
@@ -100,6 +101,7 @@ int main(int argc, char** argv) {
   std::string scenario_name;
   std::string csv_dir;
   std::string bundle_cache_dir;
+  std::uint64_t bundle_cache_max_mb = 0;  // 0 = unbounded
   std::string snapshot_dir;
   std::uint64_t snapshot_interval = 20000;
   bool resume = false;
@@ -142,6 +144,10 @@ int main(int argc, char** argv) {
       const char* v = next();
       if (!v) return Usage();
       bundle_cache_dir = v;
+    } else if (arg == "--bundle-cache-max-mb") {
+      const char* v = next();
+      if (!v) return Usage();
+      bundle_cache_max_mb = std::strtoull(v, nullptr, 10);
     } else if (arg == "--snapshot-dir") {
       const char* v = next();
       if (!v) return Usage();
@@ -197,6 +203,9 @@ int main(int argc, char** argv) {
   manifest.SetInt("threads", threads);
   if (!bundle_cache_dir.empty()) {
     manifest.Set("bundle_cache_dir", bundle_cache_dir);
+    if (bundle_cache_max_mb != 0) {
+      manifest.SetUint("bundle_cache_max_mb", bundle_cache_max_mb);
+    }
   }
   if (!snapshot_dir.empty()) {
     manifest.Set("snapshot_dir", snapshot_dir);
@@ -304,6 +313,7 @@ int main(int argc, char** argv) {
     options.partial_dir = partial_dir;
     ld::LogDiverConfig fleet_config;
     fleet_config.bundle_cache_dir = bundle_cache_dir;
+    fleet_config.bundle_cache_max_bytes = bundle_cache_max_mb * 1024 * 1024;
     const ld::fleet::ShardSupervisor supervisor(machine, fleet_config);
     auto fleet = supervisor.Run(ld::StreamInputs::FromBundleDir(dir), options);
     std::error_code ec;
@@ -363,6 +373,7 @@ int main(int argc, char** argv) {
       options.snapshot_interval = snapshot_interval;
       ld::LogDiverConfig stream_config;
       stream_config.bundle_cache_dir = bundle_cache_dir;
+      stream_config.bundle_cache_max_bytes = bundle_cache_max_mb * 1024 * 1024;
       auto result = ld::RunResumableAnalysis(
           machine, stream_config,
           ld::StreamInputs::FromBundleDir(dir), options);
@@ -423,6 +434,7 @@ int main(int argc, char** argv) {
     ld::LogDiverConfig diver_config;
     diver_config.threads = threads;
     diver_config.bundle_cache_dir = bundle_cache_dir;
+    diver_config.bundle_cache_max_bytes = bundle_cache_max_mb * 1024 * 1024;
     ld::LogDiver diver(machine, diver_config);
     auto analysis = diver.AnalyzeBundle(dir);
     if (!analysis.ok()) {

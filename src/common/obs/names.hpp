@@ -30,6 +30,7 @@ inline constexpr const char* kIngestBudgetExhaustedTotal =
 // --- SIMD scanning kernels (block_reader.cpp; see common/simd.hpp) ---
 inline constexpr const char* kSimdBytesScannedTotal =
     "ld.simd.bytes_scanned_total";
+inline constexpr const char* kSimdDispatch = "ld.simd.dispatch";
 
 // --- parsed-bundle cache (cache/bundle_cache.cpp) --------------------
 inline constexpr const char* kCacheHitsTotal = "ld.cache.hits_total";
@@ -40,6 +41,7 @@ inline constexpr const char* kCacheRejectedTotal = "ld.cache.rejected_total";
 inline constexpr const char* kCacheWritesTotal = "ld.cache.writes_total";
 inline constexpr const char* kCacheWriteBytesTotal =
     "ld.cache.write_bytes_total";
+inline constexpr const char* kCacheEvictedTotal = "ld.cache.evicted_total";
 inline constexpr const char* kCacheLoadMicros = "ld.cache.load_micros";
 
 // --- quarantine (quarantine.cpp) -------------------------------------

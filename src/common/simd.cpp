@@ -1,11 +1,15 @@
 #include "common/simd.hpp"
 
 #include <bit>
+#include <cstdlib>
+
+#include "common/obs/names.hpp"
+#include "common/obs/obs.hpp"
 
 #if !defined(LOGDIVER_SIMD_DISABLED) && \
     (defined(__SSE2__) || defined(_M_X64))
-#define LD_SIMD_SSE2 1
-#include <emmintrin.h>
+#define LD_SIMD_X86 1
+#include <immintrin.h>
 #elif !defined(LOGDIVER_SIMD_DISABLED) && defined(__aarch64__)
 #define LD_SIMD_NEON 1
 #include <arm_neon.h>
@@ -20,6 +24,11 @@ inline bool IsSpaceByte(unsigned char c) {
 }
 
 inline bool IsDigitByte(unsigned char c) { return c >= '0' && c <= '9'; }
+
+// Delimiter sets larger than this take the scalar loop: the splitters
+// pass 2–7 delimiters, and splatting an unbounded set would cost more
+// than it saves.
+constexpr std::size_t kMaxVectorDelims = 8;
 
 }  // namespace
 
@@ -67,12 +76,48 @@ bool IsClockHHMMSS(const char* p) {
          IsDigitByte(static_cast<unsigned char>(p[7]));
 }
 
+std::size_t FindAnyOf(std::string_view data, std::string_view delims,
+                      std::size_t pos) {
+  for (std::size_t i = pos; i < data.size(); ++i) {
+    for (const char d : delims) {
+      if (data[i] == d) return i;
+    }
+  }
+  return std::string_view::npos;
+}
+
+void ClassifyKeyValue(const char* data, std::size_t size, char delim,
+                      std::uint64_t* delim_bits, std::uint64_t* ws_bits) {
+  const std::size_t nwords = (size + 63) / 64;
+  for (std::size_t w = 0; w < nwords; ++w) {
+    delim_bits[w] = 0;
+    ws_bits[w] = 0;
+  }
+  for (std::size_t i = 0; i < size; ++i) {
+    const unsigned char c = static_cast<unsigned char>(data[i]);
+    const std::uint64_t bit = 1ull << (i & 63);
+    if (c == static_cast<unsigned char>(delim)) delim_bits[i >> 6] |= bit;
+    if (IsSpaceByte(c)) ws_bits[i >> 6] |= bit;
+  }
+}
+
 }  // namespace scalar
 
-#if defined(LD_SIMD_SSE2)
+namespace {
+
+constexpr Kernels kScalarKernels = {
+    "scalar",           &scalar::FindByte,     &scalar::FindWhitespace,
+    &scalar::SkipWhitespace, &scalar::DigitRunLength, &scalar::IsClockHHMMSS,
+    &scalar::FindAnyOf, &scalar::ClassifyKeyValue,
+};
+
+}  // namespace
+
+#if defined(LD_SIMD_X86)
 // ---------------------------------------------------------------------
-// SSE2 backend (baseline x86-64; no runtime dispatch needed).
+// SSE2 backend (baseline x86-64, always runnable).
 // ---------------------------------------------------------------------
+namespace sse2 {
 namespace {
 
 // 0xFF lanes where the byte is in the isspace set.  The range compare
@@ -96,8 +141,6 @@ inline __m128i Load16(const char* p) {
 }
 
 }  // namespace
-
-const char* BackendName() { return "sse2"; }
 
 std::size_t FindByte(std::string_view data, char needle, std::size_t pos) {
   const char* base = data.data();
@@ -171,12 +214,268 @@ bool IsClockHHMMSS(const char* p) {
   return digits == 0xDBu && colons == 0x24u;
 }
 
+std::size_t FindAnyOf(std::string_view data, std::string_view delims,
+                      std::size_t pos) {
+  if (delims.empty() || delims.size() > kMaxVectorDelims) {
+    return scalar::FindAnyOf(data, delims, pos);
+  }
+  __m128i splat[kMaxVectorDelims];
+  for (std::size_t j = 0; j < delims.size(); ++j) {
+    splat[j] = _mm_set1_epi8(delims[j]);
+  }
+  const char* base = data.data();
+  const std::size_t n = data.size();
+  std::size_t i = pos;
+  for (; i + 16 <= n; i += 16) {
+    const __m128i v = Load16(base + i);
+    __m128i hit = _mm_cmpeq_epi8(v, splat[0]);
+    for (std::size_t j = 1; j < delims.size(); ++j) {
+      hit = _mm_or_si128(hit, _mm_cmpeq_epi8(v, splat[j]));
+    }
+    const unsigned mask = static_cast<unsigned>(_mm_movemask_epi8(hit));
+    if (mask != 0) return i + std::countr_zero(mask);
+  }
+  return scalar::FindAnyOf(data, delims, i);
+}
+
+void ClassifyKeyValue(const char* data, std::size_t size, char delim,
+                      std::uint64_t* delim_bits, std::uint64_t* ws_bits) {
+  const __m128i vd = _mm_set1_epi8(delim);
+  std::size_t i = 0;
+  std::size_t w = 0;
+  for (; i + 64 <= size; i += 64, ++w) {
+    std::uint64_t eqm = 0;
+    std::uint64_t wsm = 0;
+    for (unsigned k = 0; k < 4; ++k) {
+      const __m128i v = Load16(data + i + 16 * k);
+      eqm |= static_cast<std::uint64_t>(static_cast<unsigned>(
+                 _mm_movemask_epi8(_mm_cmpeq_epi8(v, vd))))
+             << (16 * k);
+      wsm |= static_cast<std::uint64_t>(static_cast<unsigned>(
+                 _mm_movemask_epi8(WhitespaceLanes(v))))
+             << (16 * k);
+    }
+    delim_bits[w] = eqm;
+    ws_bits[w] = wsm;
+  }
+  // Tail: classify a zero-padded copy with the same vector loop — a
+  // NUL byte is neither whitespace nor a delimiter, so the padding
+  // bits come out zero, exactly the contract for the last word.  The
+  // copy is far cheaper than a per-byte scalar loop here.
+  if (i < size) {
+    alignas(16) char buf[64] = {};
+    __builtin_memcpy(buf, data + i, size - i);
+    std::uint64_t eqm = 0;
+    std::uint64_t wsm = 0;
+    for (unsigned k = 0; k < 4; ++k) {
+      const __m128i v = Load16(buf + 16 * k);
+      eqm |= static_cast<std::uint64_t>(static_cast<unsigned>(
+                 _mm_movemask_epi8(_mm_cmpeq_epi8(v, vd))))
+             << (16 * k);
+      wsm |= static_cast<std::uint64_t>(static_cast<unsigned>(
+                 _mm_movemask_epi8(WhitespaceLanes(v))))
+             << (16 * k);
+    }
+    // Mask off the padding anyway: a NUL `delim` must not leak bits
+    // past `size`.
+    const std::uint64_t valid = (std::uint64_t{1} << (size - i)) - 1;
+    delim_bits[w] = eqm & valid;
+    ws_bits[w] = wsm & valid;
+  }
+}
+
+}  // namespace sse2
+
+// ---------------------------------------------------------------------
+// AVX2 backend: the same kernels over 32-byte lanes.  Compiled via the
+// per-function target attribute, so the rest of the binary keeps the
+// baseline ISA and these bodies are only reached after
+// __builtin_cpu_supports("avx2") says the host can run them.
+// ---------------------------------------------------------------------
+namespace avx2 {
+namespace {
+
+#define LD_AVX2_FN __attribute__((target("avx2")))
+
+LD_AVX2_FN inline __m256i Load32(const char* p) {
+  return _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p));
+}
+
+LD_AVX2_FN inline __m256i WhitespaceLanes(__m256i v) {
+  const __m256i space = _mm256_cmpeq_epi8(v, _mm256_set1_epi8(' '));
+  const __m256i ge_tab = _mm256_cmpgt_epi8(v, _mm256_set1_epi8('\t' - 1));
+  const __m256i le_cr = _mm256_cmpgt_epi8(_mm256_set1_epi8('\r' + 1), v);
+  return _mm256_or_si256(space, _mm256_and_si256(ge_tab, le_cr));
+}
+
+LD_AVX2_FN inline __m256i DigitLanes(__m256i v) {
+  const __m256i ge0 = _mm256_cmpgt_epi8(v, _mm256_set1_epi8('0' - 1));
+  const __m256i le9 = _mm256_cmpgt_epi8(_mm256_set1_epi8('9' + 1), v);
+  return _mm256_and_si256(ge0, le9);
+}
+
+}  // namespace
+
+LD_AVX2_FN std::size_t FindByte(std::string_view data, char needle,
+                                std::size_t pos) {
+  const char* base = data.data();
+  const std::size_t n = data.size();
+  const __m256i vn = _mm256_set1_epi8(needle);
+  std::size_t i = pos;
+  for (; i + 32 <= n; i += 32) {
+    const std::uint32_t mask = static_cast<std::uint32_t>(
+        _mm256_movemask_epi8(_mm256_cmpeq_epi8(Load32(base + i), vn)));
+    if (mask != 0) return i + std::countr_zero(mask);
+  }
+  return sse2::FindByte(data, needle, i);
+}
+
+LD_AVX2_FN std::size_t FindWhitespace(std::string_view data,
+                                      std::size_t pos) {
+  const char* base = data.data();
+  const std::size_t n = data.size();
+  std::size_t i = pos;
+  for (; i + 32 <= n; i += 32) {
+    const std::uint32_t mask = static_cast<std::uint32_t>(
+        _mm256_movemask_epi8(WhitespaceLanes(Load32(base + i))));
+    if (mask != 0) return i + std::countr_zero(mask);
+  }
+  return sse2::FindWhitespace(data, i);
+}
+
+LD_AVX2_FN std::size_t SkipWhitespace(std::string_view data,
+                                      std::size_t pos) {
+  const char* base = data.data();
+  const std::size_t n = data.size();
+  std::size_t i = pos;
+  for (; i + 32 <= n; i += 32) {
+    const std::uint32_t mask = ~static_cast<std::uint32_t>(
+        _mm256_movemask_epi8(WhitespaceLanes(Load32(base + i))));
+    if (mask != 0) return i + std::countr_zero(mask);
+  }
+  return sse2::SkipWhitespace(data, i);
+}
+
+LD_AVX2_FN std::size_t DigitRunLength(std::string_view data,
+                                      std::size_t pos) {
+  const char* base = data.data();
+  const std::size_t n = data.size();
+  std::size_t i = pos;
+  for (; i + 32 <= n; i += 32) {
+    const std::uint32_t nondigit = ~static_cast<std::uint32_t>(
+        _mm256_movemask_epi8(DigitLanes(Load32(base + i))));
+    if (nondigit != 0) return i + std::countr_zero(nondigit) - pos;
+  }
+  // Every byte in [pos, i) was a digit; the 16-byte kernel measures the
+  // rest of the run from i.
+  return (i - pos) + sse2::DigitRunLength(data, i);
+}
+
+LD_AVX2_FN std::size_t FindAnyOf(std::string_view data,
+                                 std::string_view delims, std::size_t pos) {
+  if (delims.empty() || delims.size() > kMaxVectorDelims) {
+    return scalar::FindAnyOf(data, delims, pos);
+  }
+  __m256i splat[kMaxVectorDelims];
+  for (std::size_t j = 0; j < delims.size(); ++j) {
+    splat[j] = _mm256_set1_epi8(delims[j]);
+  }
+  const char* base = data.data();
+  const std::size_t n = data.size();
+  std::size_t i = pos;
+  for (; i + 32 <= n; i += 32) {
+    const __m256i v = Load32(base + i);
+    __m256i hit = _mm256_cmpeq_epi8(v, splat[0]);
+    for (std::size_t j = 1; j < delims.size(); ++j) {
+      hit = _mm256_or_si256(hit, _mm256_cmpeq_epi8(v, splat[j]));
+    }
+    const std::uint32_t mask =
+        static_cast<std::uint32_t>(_mm256_movemask_epi8(hit));
+    if (mask != 0) return i + std::countr_zero(mask);
+  }
+  return sse2::FindAnyOf(data, delims, i);
+}
+
+LD_AVX2_FN void ClassifyKeyValue(const char* data, std::size_t size,
+                                 char delim, std::uint64_t* delim_bits,
+                                 std::uint64_t* ws_bits) {
+  const __m256i vd = _mm256_set1_epi8(delim);
+  std::size_t i = 0;
+  std::size_t w = 0;
+  for (; i + 64 <= size; i += 64, ++w) {
+    const __m256i lo = Load32(data + i);
+    const __m256i hi = Load32(data + i + 32);
+    delim_bits[w] =
+        static_cast<std::uint32_t>(
+            _mm256_movemask_epi8(_mm256_cmpeq_epi8(lo, vd))) |
+        (static_cast<std::uint64_t>(static_cast<std::uint32_t>(
+             _mm256_movemask_epi8(_mm256_cmpeq_epi8(hi, vd))))
+         << 32);
+    ws_bits[w] =
+        static_cast<std::uint32_t>(
+            _mm256_movemask_epi8(WhitespaceLanes(lo))) |
+        (static_cast<std::uint64_t>(static_cast<std::uint32_t>(
+             _mm256_movemask_epi8(WhitespaceLanes(hi))))
+         << 32);
+  }
+  // Tail: classify a zero-padded copy with the same vector loop (see
+  // the SSE2 kernel); the valid-mask keeps the padding bits zero even
+  // for a NUL `delim`.
+  if (i < size) {
+    alignas(32) char buf[64] = {};
+    __builtin_memcpy(buf, data + i, size - i);
+    const __m256i lo = Load32(buf);
+    const __m256i hi = Load32(buf + 32);
+    const std::uint64_t valid = (std::uint64_t{1} << (size - i)) - 1;
+    delim_bits[w] =
+        (static_cast<std::uint32_t>(
+             _mm256_movemask_epi8(_mm256_cmpeq_epi8(lo, vd))) |
+         (static_cast<std::uint64_t>(static_cast<std::uint32_t>(
+              _mm256_movemask_epi8(_mm256_cmpeq_epi8(hi, vd))))
+          << 32)) &
+        valid;
+    ws_bits[w] =
+        (static_cast<std::uint32_t>(
+             _mm256_movemask_epi8(WhitespaceLanes(lo))) |
+         (static_cast<std::uint64_t>(static_cast<std::uint32_t>(
+              _mm256_movemask_epi8(WhitespaceLanes(hi))))
+          << 32)) &
+        valid;
+  }
+}
+
+#undef LD_AVX2_FN
+
+}  // namespace avx2
+
+namespace {
+
+const Kernels kSse2Kernels = {
+    "sse2",           &sse2::FindByte,     &sse2::FindWhitespace,
+    &sse2::SkipWhitespace, &sse2::DigitRunLength, &sse2::IsClockHHMMSS,
+    &sse2::FindAnyOf, &sse2::ClassifyKeyValue,
+};
+
+// IsClockHHMMSS reads exactly 8 bytes — nothing for a 32-byte lane to
+// add, so the AVX2 table reuses the SSE2 kernel.
+const Kernels kAvx2Kernels = {
+    "avx2",           &avx2::FindByte,     &avx2::FindWhitespace,
+    &avx2::SkipWhitespace, &avx2::DigitRunLength, &sse2::IsClockHHMMSS,
+    &avx2::FindAnyOf, &avx2::ClassifyKeyValue,
+};
+
+bool HostHasAvx2() { return __builtin_cpu_supports("avx2") != 0; }
+
+}  // namespace
+
 #elif defined(LD_SIMD_NEON)
 // ---------------------------------------------------------------------
-// NEON backend (aarch64).  Movemask is emulated by narrowing the
-// 16x8-bit compare result to one nibble per lane (vshrn), giving a
-// 64-bit mask where lane i occupies bits [4i, 4i+4).
+// NEON backend (aarch64; baseline, no runtime probe needed).  Movemask
+// is emulated by narrowing the 16x8-bit compare result to one nibble
+// per lane (vshrn), giving a 64-bit mask where lane i occupies bits
+// [4i, 4i+4).
 // ---------------------------------------------------------------------
+namespace neon {
 namespace {
 
 inline std::uint64_t NibbleMask(uint8x16_t lanes) {
@@ -195,9 +494,21 @@ inline uint8x16_t DigitLanes(uint8x16_t v) {
   return vandq_u8(vcgeq_u8(v, vdupq_n_u8('0')), vcleq_u8(v, vdupq_n_u8('9')));
 }
 
-}  // namespace
+// True 1-bit-per-lane movemask (unlike NibbleMask's 4 bits per lane),
+// for the classifier's packed bitmaps: weight each 0xFF lane by its bit
+// position within the byte, then pairwise-add down to one byte per
+// 8-lane half.
+inline std::uint64_t ByteMask16(uint8x16_t lanes) {
+  const uint8x16_t weights = vcombine_u8(vcreate_u8(0x8040201008040201ull),
+                                         vcreate_u8(0x8040201008040201ull));
+  const uint8x16_t t = vandq_u8(lanes, weights);
+  uint8x8_t sum = vpadd_u8(vget_low_u8(t), vget_high_u8(t));
+  sum = vpadd_u8(sum, sum);
+  sum = vpadd_u8(sum, sum);
+  return vget_lane_u16(vreinterpret_u16_u8(sum), 0);
+}
 
-const char* BackendName() { return "neon"; }
+}  // namespace
 
 std::size_t FindByte(std::string_view data, char needle, std::size_t pos) {
   const char* base = data.data();
@@ -274,31 +585,177 @@ bool IsClockHHMMSS(const char* p) {
          vget_lane_u64(vreinterpret_u64_u8(col), 0) == 0x0000FF0000FF0000ull;
 }
 
-#else
+std::size_t FindAnyOf(std::string_view data, std::string_view delims,
+                      std::size_t pos) {
+  if (delims.empty() || delims.size() > kMaxVectorDelims) {
+    return scalar::FindAnyOf(data, delims, pos);
+  }
+  uint8x16_t splat[kMaxVectorDelims];
+  for (std::size_t j = 0; j < delims.size(); ++j) {
+    splat[j] = vdupq_n_u8(static_cast<std::uint8_t>(delims[j]));
+  }
+  const char* base = data.data();
+  const std::size_t n = data.size();
+  std::size_t i = pos;
+  for (; i + 16 <= n; i += 16) {
+    const uint8x16_t v =
+        vld1q_u8(reinterpret_cast<const std::uint8_t*>(base + i));
+    uint8x16_t hit = vceqq_u8(v, splat[0]);
+    for (std::size_t j = 1; j < delims.size(); ++j) {
+      hit = vorrq_u8(hit, vceqq_u8(v, splat[j]));
+    }
+    const std::uint64_t mask = NibbleMask(hit);
+    if (mask != 0) return i + (std::countr_zero(mask) >> 2);
+  }
+  return scalar::FindAnyOf(data, delims, i);
+}
+
+void ClassifyKeyValue(const char* data, std::size_t size, char delim,
+                      std::uint64_t* delim_bits, std::uint64_t* ws_bits) {
+  const uint8x16_t vd = vdupq_n_u8(static_cast<std::uint8_t>(delim));
+  std::size_t i = 0;
+  std::size_t w = 0;
+  for (; i + 64 <= size; i += 64, ++w) {
+    std::uint64_t eqm = 0;
+    std::uint64_t wsm = 0;
+    for (unsigned k = 0; k < 4; ++k) {
+      const uint8x16_t v =
+          vld1q_u8(reinterpret_cast<const std::uint8_t*>(data + i + 16 * k));
+      eqm |= ByteMask16(vceqq_u8(v, vd)) << (16 * k);
+      wsm |= ByteMask16(WhitespaceLanes(v)) << (16 * k);
+    }
+    delim_bits[w] = eqm;
+    ws_bits[w] = wsm;
+  }
+  // Tail: classify a zero-padded copy with the same vector loop (see
+  // the SSE2 kernel); the valid-mask keeps the padding bits zero even
+  // for a NUL `delim`.
+  if (i < size) {
+    alignas(16) char buf[64] = {};
+    __builtin_memcpy(buf, data + i, size - i);
+    std::uint64_t eqm = 0;
+    std::uint64_t wsm = 0;
+    for (unsigned k = 0; k < 4; ++k) {
+      const uint8x16_t v =
+          vld1q_u8(reinterpret_cast<const std::uint8_t*>(buf + 16 * k));
+      eqm |= ByteMask16(vceqq_u8(v, vd)) << (16 * k);
+      wsm |= ByteMask16(WhitespaceLanes(v)) << (16 * k);
+    }
+    const std::uint64_t valid = (std::uint64_t{1} << (size - i)) - 1;
+    delim_bits[w] = eqm & valid;
+    ws_bits[w] = wsm & valid;
+  }
+}
+
+}  // namespace neon
+
+namespace {
+
+const Kernels kNeonKernels = {
+    "neon",           &neon::FindByte,     &neon::FindWhitespace,
+    &neon::SkipWhitespace, &neon::DigitRunLength, &neon::IsClockHHMMSS,
+    &neon::FindAnyOf, &neon::ClassifyKeyValue,
+};
+
+}  // namespace
+
+#endif
+
 // ---------------------------------------------------------------------
-// Portable fallback: the active backend IS the scalar reference.
+// Runtime dispatch.
 // ---------------------------------------------------------------------
 
-const char* BackendName() { return "scalar"; }
+const Kernels* GetBackend(std::string_view name) {
+  if (name == "scalar") return &kScalarKernels;
+#if defined(LD_SIMD_X86)
+  if (name == "sse2") return &kSse2Kernels;
+  if (name == "avx2" && HostHasAvx2()) return &kAvx2Kernels;
+#elif defined(LD_SIMD_NEON)
+  if (name == "neon") return &kNeonKernels;
+#endif
+  return nullptr;
+}
+
+namespace {
+
+/// Stable numeric encoding of the resolved tier for the
+/// ld.simd.dispatch gauge: 0 scalar, 1 sse2, 2 avx2, 3 neon.
+int DispatchTier(std::string_view name) {
+  if (name == "sse2") return 1;
+  if (name == "avx2") return 2;
+  if (name == "neon") return 3;
+  return 0;
+}
+
+const Kernels& Resolve() {
+  const Kernels* picked = nullptr;
+  if (const char* force = std::getenv("LD_SIMD_FORCE");
+      force != nullptr && *force != '\0') {
+    // An unknown or unsupported name falls through to the best
+    // supported backend: forcing narrows, it never crashes on a CPU
+    // that lacks the tier (CI probes support before asserting a tier).
+    picked = GetBackend(force);
+  }
+  if (picked == nullptr) {
+#if defined(LD_SIMD_X86)
+    picked = HostHasAvx2() ? &kAvx2Kernels : &kSse2Kernels;
+#elif defined(LD_SIMD_NEON)
+    picked = &kNeonKernels;
+#else
+    picked = &kScalarKernels;
+#endif
+  }
+  LD_OBS_GAUGE_SET(obs::names::kSimdDispatch, DispatchTier(picked->name));
+  return *picked;
+}
+
+}  // namespace
+
+const Kernels& ActiveKernels() {
+  static const Kernels& k = Resolve();
+  return k;
+}
+
+const char* BackendName() { return ActiveKernels().name; }
+
+const char* CompiledBackends() {
+#if defined(LD_SIMD_X86)
+  return "sse2+avx2";
+#elif defined(LD_SIMD_NEON)
+  return "neon";
+#else
+  return "scalar";
+#endif
+}
 
 std::size_t FindByte(std::string_view data, char needle, std::size_t pos) {
-  return scalar::FindByte(data, needle, pos);
+  return ActiveKernels().find_byte(data, needle, pos);
 }
 
 std::size_t FindWhitespace(std::string_view data, std::size_t pos) {
-  return scalar::FindWhitespace(data, pos);
+  return ActiveKernels().find_whitespace(data, pos);
 }
 
 std::size_t SkipWhitespace(std::string_view data, std::size_t pos) {
-  return scalar::SkipWhitespace(data, pos);
+  return ActiveKernels().skip_whitespace(data, pos);
 }
 
 std::size_t DigitRunLength(std::string_view data, std::size_t pos) {
-  return scalar::DigitRunLength(data, pos);
+  return ActiveKernels().digit_run_length(data, pos);
 }
 
-bool IsClockHHMMSS(const char* p) { return scalar::IsClockHHMMSS(p); }
+bool IsClockHHMMSS(const char* p) {
+  return ActiveKernels().is_clock_hhmmss(p);
+}
 
-#endif
+std::size_t FindAnyOf(std::string_view data, std::string_view delims,
+                      std::size_t pos) {
+  return ActiveKernels().find_any_of(data, delims, pos);
+}
+
+void ClassifyKeyValue(const char* data, std::size_t size, char delim,
+                      std::uint64_t* delim_bits, std::uint64_t* ws_bits) {
+  ActiveKernels().classify_kv(data, size, delim, delim_bits, ws_bits);
+}
 
 }  // namespace ld::simd

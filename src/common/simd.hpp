@@ -1,16 +1,30 @@
 // SIMD scanning kernels shared by the block reader and all four log
 // parsers: byte search (newline splitting), whitespace classification
 // (field splitting), digit-run and HH:MM:SS recognition (timestamp fast
-// paths).
+// paths), a delimiter-set scanner, and a streaming key=value classifier
+// that bit-maps a whole record in one call (the KeyValueView splitter).
 //
-// One backend is selected at compile time: SSE2 on x86-64, NEON on
-// aarch64, and a portable scalar loop everywhere else or when the build
-// sets -DLOGDIVER_SIMD=OFF (which defines LOGDIVER_SIMD_DISABLED).  The
-// kernels are pure byte-classification functions, so every backend
+// Backends are selected by *runtime dispatch*: the build compiles every
+// backend the target architecture can express (SSE2 + AVX2 on x86-64,
+// NEON on aarch64, always the portable scalar loops), and the first
+// kernel call resolves a function-pointer table against the CPU it is
+// actually running on (AVX2 via __builtin_cpu_supports).  The
+// LD_SIMD_FORCE environment variable (scalar|sse2|avx2|neon) pins the
+// dispatch for testing; an unsupported or unknown name falls back to
+// the best supported backend — forcing can only ever narrow, never
+// crash on an old CPU.  -DLOGDIVER_SIMD=OFF (LOGDIVER_SIMD_DISABLED)
+// compiles only the scalar backend.
+//
+// The kernels are pure byte-classification functions, so every backend
 // returns bit-identical results — the scalar reference implementations
 // in simd::scalar are always compiled, both as the fallback and so one
-// binary can benchmark the active backend against them (BM_SimdScan)
-// and tests can assert agreement on adversarial buffers.
+// binary can benchmark any compiled backend against them (BM_SimdScan)
+// and tests can assert agreement on adversarial buffers at every lane
+// offset (16, 32 and misaligned tails).
+//
+// Run manifests record both halves of the story: `build.simd_backend`
+// is the compiled capability (CompiledBackends), `runtime.simd_dispatch`
+// is the backend the dispatch resolved to (BackendName).
 //
 // The whitespace set is exactly the C locale's std::isspace set
 // (' ', '\t', '\n', '\v', '\f', '\r'): SplitWhitespace and Trim are
@@ -23,9 +37,43 @@
 
 namespace ld::simd {
 
-/// Name of the compiled-in backend: "sse2", "neon" or "scalar".
-/// Surfaced in run manifests so a benchmark row is attributable.
+/// The dispatchable kernel table: one entry per operation, every
+/// backend fills all of them.  Benches and tests grab specific backends
+/// via GetBackend to compare them inside one binary; production code
+/// uses the free functions below, which route through the resolved
+/// table.
+struct Kernels {
+  const char* name;
+  std::size_t (*find_byte)(std::string_view data, char needle,
+                           std::size_t pos);
+  std::size_t (*find_whitespace)(std::string_view data, std::size_t pos);
+  std::size_t (*skip_whitespace)(std::string_view data, std::size_t pos);
+  std::size_t (*digit_run_length)(std::string_view data, std::size_t pos);
+  bool (*is_clock_hhmmss)(const char* p);
+  std::size_t (*find_any_of)(std::string_view data, std::string_view delims,
+                             std::size_t pos);
+  void (*classify_kv)(const char* data, std::size_t size, char delim,
+                      std::uint64_t* delim_bits, std::uint64_t* ws_bits);
+};
+
+/// The table runtime dispatch resolved to (honoring LD_SIMD_FORCE).
+/// Resolved once, on first use.
+const Kernels& ActiveKernels();
+
+/// Backend by name ("scalar", "sse2", "avx2", "neon") when it is both
+/// compiled in and runnable on this host's CPU; nullptr otherwise.
+const Kernels* GetBackend(std::string_view name);
+
+/// Name of the backend runtime dispatch resolved to: "avx2", "sse2",
+/// "neon" or "scalar".  Surfaced in run manifests as
+/// runtime.simd_dispatch so a benchmark row is attributable.
 const char* BackendName();
+
+/// The compiled capability, independent of the host CPU and of
+/// LD_SIMD_FORCE: "sse2+avx2" on x86-64, "neon" on aarch64, "scalar"
+/// otherwise or under -DLOGDIVER_SIMD=OFF.  Surfaced in run manifests
+/// as build.simd_backend.
+const char* CompiledBackends();
 
 /// Index of the first occurrence of `needle` at or after `pos`, or
 /// std::string_view::npos.  Semantics match std::string_view::find.
@@ -48,6 +96,27 @@ std::size_t DigitRunLength(std::string_view data, std::size_t pos = 0);
 /// remain the caller's job.  The caller guarantees 8 readable bytes.
 bool IsClockHHMMSS(const char* p);
 
+/// Index of the first byte at or after `pos` that appears in `delims`,
+/// or std::string_view::npos when none.  Semantics match
+/// std::string_view::find_first_of.  Vectorized for small delimiter
+/// sets (the key=value splitters pass 2–7 bytes); large sets take the
+/// scalar loop.
+std::size_t FindAnyOf(std::string_view data, std::string_view delims,
+                      std::size_t pos = 0);
+
+/// One streaming classification pass for the key=value splitter: fills
+/// `delim_bits` and `ws_bits` with one bit per input byte (bit i%64 of
+/// word i/64 corresponds to data[i]) — set in delim_bits when the byte
+/// equals `delim`, set in ws_bits when it is in the isspace set; the
+/// two are computed independently, so a whitespace `delim` sets both.
+/// Both arrays must hold ceil(size/64) words; bits past `size` in the
+/// last word are zero.  This is the splitter's workhorse: one call per
+/// record instead of three dispatched scans per token, and the wide
+/// backends stream the whole record (this is where 32-byte lanes
+/// actually pay — per-call overhead buries them on short seek scans).
+void ClassifyKeyValue(const char* data, std::size_t size, char delim,
+                      std::uint64_t* delim_bits, std::uint64_t* ws_bits);
+
 // Scalar reference implementations — always compiled, regardless of
 // the active backend.  Identical observable behavior by contract.
 namespace scalar {
@@ -56,6 +125,10 @@ std::size_t FindWhitespace(std::string_view data, std::size_t pos = 0);
 std::size_t SkipWhitespace(std::string_view data, std::size_t pos = 0);
 std::size_t DigitRunLength(std::string_view data, std::size_t pos = 0);
 bool IsClockHHMMSS(const char* p);
+std::size_t FindAnyOf(std::string_view data, std::string_view delims,
+                      std::size_t pos = 0);
+void ClassifyKeyValue(const char* data, std::size_t size, char delim,
+                      std::uint64_t* delim_bits, std::uint64_t* ws_bits);
 }  // namespace scalar
 
 }  // namespace ld::simd

@@ -1,8 +1,10 @@
 #include "common/strings.hpp"
 
+#include <bit>
 #include <cctype>
 #include <cerrno>
 #include <charconv>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 
@@ -13,11 +15,14 @@ namespace ld {
 std::vector<std::string_view> Split(std::string_view text, char sep) {
   std::vector<std::string_view> out;
   std::size_t start = 0;
-  for (std::size_t i = 0; i <= text.size(); ++i) {
-    if (i == text.size() || text[i] == sep) {
-      out.push_back(text.substr(start, i - start));
-      start = i + 1;
+  while (true) {
+    const std::size_t hit = simd::FindByte(text, sep, start);
+    if (hit == std::string_view::npos) {
+      out.push_back(text.substr(start));
+      break;
     }
+    out.push_back(text.substr(start, hit - start));
+    start = hit + 1;
   }
   return out;
 }
@@ -103,6 +108,131 @@ std::optional<std::string_view> FindKeyValueOpt(std::string_view record,
       return record.substr(vstart, vend - vstart);
     }
     pos = hit + 1;
+  }
+  return std::nullopt;
+}
+
+namespace {
+
+// '=' plus the C-locale whitespace set: the one delimiter class the
+// key=value tokenizer needs, so a single delimiter-set pass finds both
+// the end of a key and the end of a bare token.
+constexpr std::string_view kKeyValueDelims = "= \t\n\v\f\r";
+
+// Records up to this size take the classify-once bitmap walk on stack
+// buffers; longer ones (a giant exec_host list) fall back to the
+// per-token kernel scan.
+constexpr std::size_t kClassifyInlineBytes = 4096;
+constexpr std::size_t kClassifyWords = kClassifyInlineBytes / 64;
+
+}  // namespace
+
+KeyValueView::KeyValueView(std::string_view record)
+    : KeyValueView(record, simd::ActiveKernels()) {}
+
+KeyValueView::KeyValueView(std::string_view record,
+                           const simd::Kernels& kernels)
+    : record_(record) {
+  if (record.size() > kClassifyInlineBytes) {
+    BuildByTokenScan(kernels);
+    return;
+  }
+  // One streaming classification pass over the record, then a bit-walk
+  // over the '=' bits: every entry corresponds to the first '=' of its
+  // token, so the walk visits one bit per entry and derives the key and
+  // value bounds from the whitespace bitmap with local word ops — no
+  // dispatched kernel call per field, which is what lets the one-pass
+  // splitter beat repeated per-key memmem scans.
+  std::uint64_t eq_bits[kClassifyWords];
+  std::uint64_t ws_bits[kClassifyWords];
+  kernels.classify_kv(record.data(), record.size(), '=', eq_bits, ws_bits);
+  const std::size_t size = record.size();
+  const std::size_t nwords = (size + 63) >> 6;
+  std::size_t vend = 0;  // end of the previous entry's value
+  for (std::size_t w = 0; w < nwords; ++w) {
+    std::uint64_t eqw = eq_bits[w];
+    while (eqw != 0) {
+      const std::size_t e =
+          (w << 6) + static_cast<std::size_t>(std::countr_zero(eqw));
+      eqw &= eqw - 1;
+      // A second '=' inside a value ("neednodes=1:ppn=16") is not a
+      // field boundary; the first '=' of each token is ('=' is never
+      // whitespace, so e == vend cannot happen).
+      if (e < vend) continue;
+      // Key start: one past the last whitespace bit before e.
+      std::size_t ks = 0;
+      const std::uint64_t before =
+          (e & 63) ? (ws_bits[w] & ((std::uint64_t{1} << (e & 63)) - 1)) : 0;
+      if (before != 0) {
+        ks = (w << 6) + 64 -
+             static_cast<std::size_t>(std::countl_zero(before));
+      } else {
+        for (std::size_t pw = w; pw > 0;) {
+          --pw;
+          if (ws_bits[pw] != 0) {
+            ks = (pw << 6) + 64 -
+                 static_cast<std::size_t>(std::countl_zero(ws_bits[pw]));
+            break;
+          }
+        }
+      }
+      // Value end: the next whitespace bit after e (size when none).
+      std::size_t ve = size;
+      for (std::size_t fw = (e + 1) >> 6; fw < nwords; ++fw) {
+        const std::uint64_t word =
+            fw == ((e + 1) >> 6)
+                ? ws_bits[fw] & (~std::uint64_t{0} << ((e + 1) & 63))
+                : ws_bits[fw];
+        if (word != 0) {
+          ve = (fw << 6) + static_cast<std::size_t>(std::countr_zero(word));
+          break;
+        }
+      }
+      if (count_ == kMaxEntries) {
+        overflow_ = true;  // Get falls back to per-key record scans
+        return;
+      }
+      entries_[count_++] = Entry{record.substr(ks, e - ks),
+                                 record.substr(e + 1, ve - (e + 1))};
+      vend = ve;
+    }
+  }
+}
+
+void KeyValueView::BuildByTokenScan(const simd::Kernels& kernels) {
+  const std::string_view record = record_;
+  std::size_t pos = 0;
+  while (true) {
+    const std::size_t start = kernels.skip_whitespace(record, pos);
+    if (start >= record.size()) break;
+    const std::size_t boundary =
+        kernels.find_any_of(record, kKeyValueDelims, start);
+    if (boundary == std::string_view::npos) break;  // bare trailing token
+    if (record[boundary] != '=') {
+      pos = boundary;  // token without '=': skip, like FindKeyValueOpt
+      continue;
+    }
+    const std::size_t vstart = boundary + 1;
+    const std::size_t vend = kernels.find_whitespace(record, vstart);
+    if (count_ == kMaxEntries) {
+      overflow_ = true;  // Get falls back to per-key record scans
+      return;
+    }
+    entries_[count_++] = Entry{record.substr(start, boundary - start),
+                               record.substr(vstart, vend - vstart)};
+    pos = vend;
+  }
+}
+
+std::optional<std::string_view> KeyValueView::Get(std::string_view key) const {
+  if (overflow_) return FindKeyValueOpt(record_, key);
+  for (std::size_t i = 0; i < count_; ++i) {
+    const Entry& e = entries_[i];
+    // Size + first-byte prefilter: the full compare is an out-of-line
+    // memcmp, and most entries differ in length or initial letter.
+    if (e.key.size() != key.size()) continue;
+    if (!key.empty() && e.key.front() != key.front()) continue;
+    if (e.key == key) return e.value;
   }
   return std::nullopt;
 }

@@ -1,6 +1,7 @@
 // Small string utilities shared by log parsers and emitters.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <optional>
 #include <string>
@@ -10,6 +11,10 @@
 #include "common/status.hpp"
 
 namespace ld {
+
+namespace simd {
+struct Kernels;
+}  // namespace simd
 
 /// Splits on a single character; keeps empty fields ("a,,b" -> 3 fields).
 std::vector<std::string_view> Split(std::string_view text, char sep);
@@ -38,6 +43,56 @@ Result<std::string> FindKeyValue(std::string_view record, std::string_view key);
 /// built, so a miss costs nothing).
 std::optional<std::string_view> FindKeyValueOpt(std::string_view record,
                                                 std::string_view key);
+
+/// Tokenize-once view over a "key=value key2=value2" record for parsers
+/// that look up many keys in the same record: one streaming
+/// classification pass (simd::ClassifyKeyValue) marks every '=' and
+/// whitespace byte in two per-byte bitmaps, and a bitmap walk then
+/// splits the record into at most kMaxEntries key=value entries up
+/// front — a handful of word ops per token instead of a kernel call per
+/// field, which is what lets this beat repeated per-key record scans.
+/// Each Get is a linear scan over those small views.  Records larger
+/// than the stack bitmaps (4 KiB) take a per-token delimiter-scan
+/// fallback; records with more entries than the fixed table fall back
+/// to FindKeyValueOpt per lookup.  Behavior is identical to repeated
+/// FindKeyValueOpt calls for every record: first matching occurrence
+/// wins, values run to the next whitespace, bare tokens without '=' are
+/// skipped.  Keys must not contain '=' or whitespace (all parser keys
+/// satisfy this).  The views alias the record; the record must outlive
+/// the KeyValueView.
+class KeyValueView {
+ public:
+  explicit KeyValueView(std::string_view record);
+
+  /// Same splitter pinned to a specific kernel table, so tests and
+  /// benchmarks can compare backends inside one binary (production
+  /// code uses the one-argument form, which takes runtime dispatch).
+  KeyValueView(std::string_view record, const simd::Kernels& kernels);
+
+  /// Value for `key`, or nullopt when absent.  Same contract as
+  /// FindKeyValueOpt(record, key).
+  std::optional<std::string_view> Get(std::string_view key) const;
+
+  /// Number of key=value entries found (0 when the overflow fallback is
+  /// active).  Exposed for tests.
+  std::size_t entry_count() const { return overflow_ ? 0 : count_; }
+  bool overflowed() const { return overflow_; }
+
+  static constexpr std::size_t kMaxEntries = 32;
+
+ private:
+  struct Entry {
+    std::string_view key;
+    std::string_view value;
+  };
+
+  void BuildByTokenScan(const simd::Kernels& kernels);
+
+  std::string_view record_;
+  std::array<Entry, kMaxEntries> entries_;
+  std::size_t count_ = 0;
+  bool overflow_ = false;
+};
 
 /// Joins items with a separator.
 std::string Join(const std::vector<std::string>& items, std::string_view sep);

@@ -25,9 +25,12 @@ Result<std::optional<AlpsRecord>> ParseLineImpl(std::string_view line) {
 
   if (StartsWith(daemon, "apsched") && StartsWith(payload, "placeApp")) {
     rec.kind = AlpsRecord::Kind::kPlace;
-    const auto apid = FindKeyValueOpt(payload, "apid");
-    const auto jobid = FindKeyValueOpt(payload, "jobid");
-    const auto nids = FindKeyValueOpt(payload, "nids");
+    // One SIMD tokenization pass over the payload; the bare "placeApp"
+    // token has no '=' and is skipped by the tokenizer.
+    const KeyValueView kv(payload);
+    const auto apid = kv.Get("apid");
+    const auto jobid = kv.Get("jobid");
+    const auto nids = kv.Get("nids");
     if (!apid.has_value() || !jobid.has_value() || !nids.has_value()) {
       return ParseError("alps: placeApp missing apid/jobid/nids");
     }
@@ -38,9 +41,9 @@ Result<std::optional<AlpsRecord>> ParseLineImpl(std::string_view line) {
     }
     rec.apid = *apid_v;
     rec.jobid = *jobid_v;
-    if (auto v = FindKeyValueOpt(payload, "user")) rec.user = Intern(*v);
-    if (auto v = FindKeyValueOpt(payload, "cmd")) rec.command = Intern(*v);
-    if (auto v = FindKeyValueOpt(payload, "nodect")) {
+    if (auto v = kv.Get("user")) rec.user = Intern(*v);
+    if (auto v = kv.Get("cmd")) rec.command = Intern(*v);
+    if (auto v = kv.Get("nodect")) {
       if (auto n = ParseUint(*v); n.ok()) {
         rec.nodect = static_cast<std::uint32_t>(*n);
       }
@@ -50,7 +53,8 @@ Result<std::optional<AlpsRecord>> ParseLineImpl(std::string_view line) {
   }
 
   if (StartsWith(daemon, "apsys")) {
-    const auto apid = FindKeyValueOpt(payload, "apid");
+    const KeyValueView kv(payload);
+    const auto apid = kv.Get("apid");
     if (!apid.has_value()) {
       return NotFoundError("key 'apid' not present");
     }
@@ -58,10 +62,10 @@ Result<std::optional<AlpsRecord>> ParseLineImpl(std::string_view line) {
     rec.apid = apid_v;
     if (Contains(payload, "exited")) {
       rec.kind = AlpsRecord::Kind::kExit;
-      if (auto v = FindKeyValueOpt(payload, "status")) {
+      if (auto v = kv.Get("status")) {
         if (auto n = ParseInt(*v); n.ok()) rec.exit_code = static_cast<int>(*n);
       }
-      if (auto v = FindKeyValueOpt(payload, "signal")) {
+      if (auto v = kv.Get("signal")) {
         if (auto n = ParseInt(*v); n.ok()) {
           rec.exit_signal = static_cast<int>(*n);
         }
@@ -70,10 +74,10 @@ Result<std::optional<AlpsRecord>> ParseLineImpl(std::string_view line) {
     }
     if (Contains(payload, "killed")) {
       rec.kind = AlpsRecord::Kind::kKill;
-      if (auto v = FindKeyValueOpt(payload, "reason")) {
+      if (auto v = kv.Get("reason")) {
         rec.kill_reason = *v;
       }
-      if (auto v = FindKeyValueOpt(payload, "nid")) {
+      if (auto v = kv.Get("nid")) {
         if (auto n = ParseUint(*v); n.ok()) {
           rec.failed_nid = static_cast<NodeIndex>(*n);
         }

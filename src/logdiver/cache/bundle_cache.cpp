@@ -3,6 +3,7 @@
 #include <fcntl.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <bit>
 #include <cerrno>
 #include <cstdio>
@@ -343,6 +344,77 @@ void GetSymbolColumn(SnapshotReader& r, std::size_t n, SetFn set) {
   }
 }
 
+// --- v2 compacted columns --------------------------------------------
+//
+// The memoized-result section stores its dominant columns (ids, epochs,
+// node lists) as zigzag-varint deltas: consecutive apids ascend, times
+// cluster within a run population, so most deltas fit in 1–2 bytes
+// instead of 8.  Arithmetic is done in uint64 (wraparound
+// well-defined), with C++20 two's-complement casts at the boundaries,
+// so the round trip is exact for every 64-bit value.
+
+class DeltaWriter {
+ public:
+  explicit DeltaWriter(SnapshotWriter& w) : w_(w) {}
+  void Add(std::uint64_t v) {
+    w_.VarintSigned(static_cast<std::int64_t>(v - prev_));
+    prev_ = v;
+  }
+  void AddSigned(std::int64_t v) { Add(static_cast<std::uint64_t>(v)); }
+
+ private:
+  SnapshotWriter& w_;
+  std::uint64_t prev_ = 0;
+};
+
+class DeltaReader {
+ public:
+  explicit DeltaReader(SnapshotReader& r) : r_(r) {}
+  std::uint64_t Next() {
+    prev_ += static_cast<std::uint64_t>(r_.VarintSigned());
+    return prev_;
+  }
+  std::int64_t NextSigned() { return static_cast<std::int64_t>(Next()); }
+
+ private:
+  SnapshotReader& r_;
+  std::uint64_t prev_ = 0;
+};
+
+/// Node-list CSR in v2: per-row varint length (the offset delta) + one
+/// varint entry stream.  Returns false (after r.Fail) on inconsistency.
+template <typename Row>
+void PutNodeCsr(SnapshotWriter& w, const std::vector<Row>& rows) {
+  for (const auto& row : rows) w.Varint(row.nodes.size());
+  for (const auto& row : rows) {
+    for (const NodeIndex nid : row.nodes) w.Varint(nid);
+  }
+}
+
+template <typename Row>
+bool GetNodeCsr(SnapshotReader& r, std::vector<Row>& rows, const char* what) {
+  std::vector<std::uint64_t> lengths(rows.size());
+  std::uint64_t total = 0;
+  for (auto& len : lengths) {
+    len = r.Varint();
+    total += len;
+  }
+  if (!r.ok()) return false;
+  // Each entry costs at least one payload byte: a total past the
+  // remaining payload means a malformed length column.
+  if (total > r.remaining()) {
+    r.Fail(std::string(what) + " node CSR is inconsistent");
+    return false;
+  }
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    rows[i].nodes.resize(lengths[i]);
+    for (auto& nid : rows[i].nodes) {
+      nid = static_cast<NodeIndex>(r.Varint());
+    }
+  }
+  return r.ok();
+}
+
 // --- parsed-records section ------------------------------------------
 
 void PutTorque(SnapshotWriter& w, const std::vector<TorqueRecord>& recs) {
@@ -501,115 +573,135 @@ void DecodeParsed(SnapshotReader& r, ParsedLogs& parsed) {
 
 // --- memoized-result section -----------------------------------------
 
+// v2 layout: every id/epoch column is a per-column delta stream, node
+// lists are varint CSR, small integers are plain (zigzag) varints.
+// Column order is unchanged from v1 — only the element encoding
+// shrank.
 void PutRuns(SnapshotWriter& w, const std::vector<AppRun>& runs) {
   const std::size_t n = runs.size();
-  w.U64(n);
-  for (const auto& run : runs) w.U64(run.apid);
-  for (const auto& run : runs) w.U64(run.jobid);
+  w.Varint(n);
+  {
+    DeltaWriter apid(w);
+    for (const auto& run : runs) apid.Add(run.apid);
+  }
+  {
+    DeltaWriter jobid(w);
+    for (const auto& run : runs) jobid.Add(run.jobid);
+  }
   PutSymbolColumn(w, n, [&](std::size_t i) { return runs[i].user; });
   PutSymbolColumn(w, n, [&](std::size_t i) { return runs[i].queue; });
   for (const auto& run : runs) w.U8(static_cast<std::uint8_t>(run.node_type));
-  std::vector<std::uint64_t> offsets;
-  offsets.reserve(n + 1);
-  offsets.push_back(0);
-  std::vector<NodeIndex> entries;
-  for (const auto& run : runs) {
-    entries.insert(entries.end(), run.nodes.begin(), run.nodes.end());
-    offsets.push_back(entries.size());
+  PutNodeCsr(w, runs);
+  for (const auto& run : runs) w.Varint(run.nodect);
+  {
+    DeltaWriter start(w);
+    for (const auto& run : runs) start.AddSigned(run.start.unix_seconds());
   }
-  PutPodColumn(w, offsets);
-  PutPodColumn(w, entries);
-  for (const auto& run : runs) w.U32(run.nodect);
-  for (const auto& run : runs) w.I64(run.start.unix_seconds());
-  for (const auto& run : runs) w.I64(run.end.unix_seconds());
+  {
+    DeltaWriter end(w);
+    for (const auto& run : runs) end.AddSigned(run.end.unix_seconds());
+  }
   for (const auto& run : runs) {
     std::uint8_t flags = 0;
     if (run.has_termination) flags |= 1;
     if (run.killed_node_failure) flags |= 2;
     w.U8(flags);
   }
-  for (const auto& run : runs) w.I32(run.exit_code);
-  for (const auto& run : runs) w.I32(run.exit_signal);
-  for (const auto& run : runs) w.U32(run.failed_nid);
-  for (const auto& run : runs) w.I64(run.job_submit.unix_seconds());
-  for (const auto& run : runs) w.I64(run.job_start.unix_seconds());
-  for (const auto& run : runs) w.I64(run.walltime_limit.seconds());
-  for (const auto& run : runs) w.I32(run.job_exit_status);
+  for (const auto& run : runs) w.VarintSigned(run.exit_code);
+  for (const auto& run : runs) w.VarintSigned(run.exit_signal);
+  for (const auto& run : runs) w.Varint(run.failed_nid);
+  {
+    DeltaWriter submit(w);
+    for (const auto& run : runs) submit.AddSigned(run.job_submit.unix_seconds());
+  }
+  {
+    DeltaWriter jstart(w);
+    for (const auto& run : runs) jstart.AddSigned(run.job_start.unix_seconds());
+  }
+  for (const auto& run : runs) w.VarintSigned(run.walltime_limit.seconds());
+  for (const auto& run : runs) w.VarintSigned(run.job_exit_status);
 }
 
 void GetRuns(SnapshotReader& r, std::vector<AppRun>& runs) {
-  const std::uint64_t n = r.U64();
+  const std::uint64_t n = r.Varint();
   if (!r.ok()) return;
-  if (n > r.remaining()) {
+  if (n > r.remaining()) {  // every run spends well over 1 byte
     r.Fail("run column longer than the payload");
     return;
   }
   runs.resize(n);
-  for (auto& run : runs) run.apid = r.U64();
-  for (auto& run : runs) run.jobid = r.U64();
+  {
+    DeltaReader apid(r);
+    for (auto& run : runs) run.apid = apid.Next();
+  }
+  {
+    DeltaReader jobid(r);
+    for (auto& run : runs) run.jobid = jobid.Next();
+  }
   GetSymbolColumn(r, n, [&](std::size_t i, Symbol s) { runs[i].user = s; });
   GetSymbolColumn(r, n, [&](std::size_t i, Symbol s) { runs[i].queue = s; });
   for (auto& run : runs) run.node_type = static_cast<NodeType>(r.U8());
-  std::vector<std::uint64_t> offsets;
-  std::vector<NodeIndex> entries;
-  GetPodColumn(r, offsets);
-  GetPodColumn(r, entries);
-  if (!r.ok()) return;
-  if (offsets.size() != n + 1 || offsets[0] != 0 ||
-      offsets.back() != entries.size()) {
-    r.Fail("run node CSR is inconsistent");
-    return;
+  if (!GetNodeCsr(r, runs, "run")) return;
+  for (auto& run : runs) run.nodect = static_cast<std::uint32_t>(r.Varint());
+  {
+    DeltaReader start(r);
+    for (auto& run : runs) run.start = TimePoint(start.NextSigned());
   }
-  for (std::size_t i = 0; i < n; ++i) {
-    if (offsets[i] > offsets[i + 1]) {
-      r.Fail("run node CSR is inconsistent");
-      return;
-    }
-    runs[i].nodes.assign(entries.begin() + offsets[i],
-                         entries.begin() + offsets[i + 1]);
+  {
+    DeltaReader end(r);
+    for (auto& run : runs) run.end = TimePoint(end.NextSigned());
   }
-  for (auto& run : runs) run.nodect = r.U32();
-  for (auto& run : runs) run.start = TimePoint(r.I64());
-  for (auto& run : runs) run.end = TimePoint(r.I64());
   for (auto& run : runs) {
     const std::uint8_t flags = r.U8();
     run.has_termination = (flags & 1) != 0;
     run.killed_node_failure = (flags & 2) != 0;
   }
-  for (auto& run : runs) run.exit_code = r.I32();
-  for (auto& run : runs) run.exit_signal = r.I32();
-  for (auto& run : runs) run.failed_nid = r.U32();
-  for (auto& run : runs) run.job_submit = TimePoint(r.I64());
-  for (auto& run : runs) run.job_start = TimePoint(r.I64());
-  for (auto& run : runs) run.walltime_limit = Duration(r.I64());
-  for (auto& run : runs) run.job_exit_status = r.I32();
+  for (auto& run : runs) run.exit_code = static_cast<int>(r.VarintSigned());
+  for (auto& run : runs) run.exit_signal = static_cast<int>(r.VarintSigned());
+  for (auto& run : runs) run.failed_nid = static_cast<NodeIndex>(r.Varint());
+  {
+    DeltaReader submit(r);
+    for (auto& run : runs) run.job_submit = TimePoint(submit.NextSigned());
+  }
+  {
+    DeltaReader jstart(r);
+    for (auto& run : runs) run.job_start = TimePoint(jstart.NextSigned());
+  }
+  for (auto& run : runs) run.walltime_limit = Duration(r.VarintSigned());
+  for (auto& run : runs) {
+    run.job_exit_status = static_cast<int>(r.VarintSigned());
+  }
 }
 
 void PutTuples(SnapshotWriter& w, const std::vector<ErrorTuple>& tuples) {
   const std::size_t n = tuples.size();
-  w.U64(n);
-  for (const auto& t : tuples) w.U64(t.id);
+  w.Varint(n);
+  {
+    DeltaWriter id(w);
+    for (const auto& t : tuples) id.Add(t.id);
+  }
   for (const auto& t : tuples) w.U8(static_cast<std::uint8_t>(t.category));
   for (const auto& t : tuples) w.U8(static_cast<std::uint8_t>(t.severity));
   for (const auto& t : tuples) w.U8(static_cast<std::uint8_t>(t.scope));
   PutSymbolColumn(w, n, [&](std::size_t i) { return tuples[i].location; });
-  std::vector<std::uint64_t> offsets;
-  offsets.reserve(n + 1);
-  offsets.push_back(0);
-  std::vector<NodeIndex> entries;
-  for (const auto& t : tuples) {
-    entries.insert(entries.end(), t.nodes.begin(), t.nodes.end());
-    offsets.push_back(entries.size());
+  PutNodeCsr(w, tuples);
+  {
+    DeltaWriter first(w);
+    for (const auto& t : tuples) first.AddSigned(t.first.unix_seconds());
   }
-  PutPodColumn(w, offsets);
-  PutPodColumn(w, entries);
-  for (const auto& t : tuples) w.I64(t.first.unix_seconds());
-  for (const auto& t : tuples) w.I64(t.last.unix_seconds());
+  {
+    DeltaWriter last(w);
+    for (const auto& t : tuples) last.AddSigned(t.last.unix_seconds());
+  }
   for (const auto& t : tuples) w.U8(t.recovered.has_value() ? 1 : 0);
-  for (const auto& t : tuples) {
-    w.I64(t.recovered ? t.recovered->unix_seconds() : 0);
+  {
+    // Sparse column: only set recovery times are written, as deltas.
+    DeltaWriter recovered(w);
+    for (const auto& t : tuples) {
+      if (t.recovered) recovered.AddSigned(t.recovered->unix_seconds());
+    }
   }
-  for (const auto& t : tuples) w.U32(t.count);
+  for (const auto& t : tuples) w.Varint(t.count);
   for (const auto& t : tuples) {
     std::uint8_t flags = 0;
     if (t.from_syslog) flags |= 1;
@@ -619,46 +711,42 @@ void PutTuples(SnapshotWriter& w, const std::vector<ErrorTuple>& tuples) {
 }
 
 void GetTuples(SnapshotReader& r, std::vector<ErrorTuple>& tuples) {
-  const std::uint64_t n = r.U64();
+  const std::uint64_t n = r.Varint();
   if (!r.ok()) return;
   if (n > r.remaining()) {
     r.Fail("tuple column longer than the payload");
     return;
   }
   tuples.resize(n);
-  for (auto& t : tuples) t.id = r.U64();
+  {
+    DeltaReader id(r);
+    for (auto& t : tuples) t.id = id.Next();
+  }
   for (auto& t : tuples) t.category = static_cast<ErrorCategory>(r.U8());
   for (auto& t : tuples) t.severity = static_cast<Severity>(r.U8());
   for (auto& t : tuples) t.scope = static_cast<LocScope>(r.U8());
   GetSymbolColumn(r, n,
                   [&](std::size_t i, Symbol s) { tuples[i].location = s; });
-  std::vector<std::uint64_t> offsets;
-  std::vector<NodeIndex> entries;
-  GetPodColumn(r, offsets);
-  GetPodColumn(r, entries);
-  if (!r.ok()) return;
-  if (offsets.size() != n + 1 || offsets[0] != 0 ||
-      offsets.back() != entries.size()) {
-    r.Fail("tuple node CSR is inconsistent");
-    return;
+  if (!GetNodeCsr(r, tuples, "tuple")) return;
+  {
+    DeltaReader first(r);
+    for (auto& t : tuples) t.first = TimePoint(first.NextSigned());
   }
-  for (std::size_t i = 0; i < n; ++i) {
-    if (offsets[i] > offsets[i + 1]) {
-      r.Fail("tuple node CSR is inconsistent");
-      return;
-    }
-    tuples[i].nodes.assign(entries.begin() + offsets[i],
-                           entries.begin() + offsets[i + 1]);
+  {
+    DeltaReader last(r);
+    for (auto& t : tuples) t.last = TimePoint(last.NextSigned());
   }
-  for (auto& t : tuples) t.first = TimePoint(r.I64());
-  for (auto& t : tuples) t.last = TimePoint(r.I64());
   std::vector<std::uint8_t> recovered_set(n);
   for (auto& set : recovered_set) set = r.U8();
-  for (std::size_t i = 0; i < n; ++i) {
-    const std::int64_t at = r.I64();
-    if (recovered_set[i] != 0) tuples[i].recovered = TimePoint(at);
+  {
+    DeltaReader recovered(r);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (recovered_set[i] != 0) {
+        tuples[i].recovered = TimePoint(recovered.NextSigned());
+      }
+    }
   }
-  for (auto& t : tuples) t.count = r.U32();
+  for (auto& t : tuples) t.count = static_cast<std::uint32_t>(r.Varint());
   for (auto& t : tuples) {
     const std::uint8_t flags = r.U8();
     t.from_syslog = (flags & 1) != 0;
@@ -746,6 +834,15 @@ void DecodeResult(SnapshotReader& r, AnalysisResult& result) {
   LoadMetricsReport(r, result.metrics);
 }
 
+/// Marks an entry as recently used.  mtime is the LRU recency signal
+/// EnforceCap sorts by; best-effort — a failed touch only makes the
+/// entry *look* older, which can cost a re-parse but never correctness.
+void TouchEntry(const std::string& path) {
+  std::error_code ec;
+  std::filesystem::last_write_time(
+      path, std::filesystem::file_time_type::clock::now(), ec);
+}
+
 std::string HexFingerprint(std::uint64_t fp) {
   char buf[17];
   std::snprintf(buf, sizeof(buf), "%016llx",
@@ -824,7 +921,60 @@ CacheKeys MakeKeys(const LogSetView& lines, const Machine& machine,
   return keys;
 }
 
-BundleCache::BundleCache(std::string dir) : dir_(std::move(dir)) {}
+BundleCache::BundleCache(std::string dir, std::uint64_t max_bytes)
+    : dir_(std::move(dir)), max_bytes_(max_bytes) {
+  // Startup trim: a directory left over-cap by a previous run (or a
+  // smaller --bundle-cache-max-mb than last time) is brought under the
+  // cap before any entry is served.
+  EnforceCap();
+}
+
+void BundleCache::EnforceCap() const {
+  if (max_bytes_ == 0 || dir_.empty()) return;
+  namespace fs = std::filesystem;
+  struct Candidate {
+    fs::path path;
+    std::uint64_t size = 0;
+    fs::file_time_type mtime;
+  };
+  std::vector<Candidate> entries;
+  std::uint64_t total = 0;
+  std::error_code ec;
+  for (const auto& item : fs::directory_iterator(dir_, ec)) {
+    if (ec) return;  // directory missing or unreadable: nothing to trim
+    // Only published cache entries count against the cap; in-flight
+    // .tmp.<pid> files are transient and owned by their writer.
+    if (item.path().extension() != ".ldpbc") continue;
+    std::error_code item_ec;
+    if (!item.is_regular_file(item_ec) || item_ec) continue;
+    Candidate c;
+    c.path = item.path();
+    c.size = item.file_size(item_ec);
+    if (item_ec) continue;
+    c.mtime = item.last_write_time(item_ec);
+    if (item_ec) continue;
+    total += c.size;
+    entries.push_back(std::move(c));
+  }
+  if (total <= max_bytes_) return;
+  std::sort(entries.begin(), entries.end(),
+            [](const Candidate& a, const Candidate& b) {
+              if (a.mtime != b.mtime) return a.mtime < b.mtime;
+              return a.path < b.path;  // deterministic tie-break
+            });
+  for (const Candidate& victim : entries) {
+    if (total <= max_bytes_) break;
+    std::error_code rm_ec;
+    // unlink is atomic: a reader that already mapped the file keeps a
+    // valid mapping; a later reader sees a clean miss.  A concurrent
+    // writer can republish the name — that new entry is complete and
+    // valid, so the worst case is an extra eviction pass.
+    if (fs::remove(victim.path, rm_ec) && !rm_ec) {
+      total -= victim.size;
+      LD_OBS_COUNTER_ADD(obs::names::kCacheEvictedTotal, 1);
+    }
+  }
+}
 
 std::string BundleCache::BundlePath(std::uint64_t input_fingerprint) const {
   return dir_ + "/bundle-" + HexFingerprint(input_fingerprint) + ".ldpbc";
@@ -891,6 +1041,7 @@ Result<LoadedEntry> BundleCache::Load(const CacheKeys& keys) const {
     LD_OBS_HIST_RECORD(obs::names::kCacheLoadMicros,
                        (LD_OBS_NOW_NS() - load_start_ns) / 1000);
   }
+  TouchEntry(path);
   return out;
 }
 
@@ -918,8 +1069,10 @@ Status BundleCache::Store(const CacheKeys& keys,
   w.Bool(true);
   w.U64(keys.analysis_key);
   EncodeResult(w, result);
-  return WriteEntry(dir_, BundlePath(keys.input_fingerprint),
-                    keys.input_fingerprint, std::move(w));
+  LD_TRY(WriteEntry(dir_, BundlePath(keys.input_fingerprint),
+                    keys.input_fingerprint, std::move(w)));
+  EnforceCap();
+  return Status::Ok();
 }
 
 Result<ClaimedColumns> BundleCache::LoadClaims(
@@ -963,6 +1116,7 @@ Result<ClaimedColumns> BundleCache::LoadClaims(
   }
   if (!r.ok()) return reject(r.status());
   LD_OBS_COUNTER_ADD(obs::names::kCacheHitsTotal, 1);
+  TouchEntry(path);
   return out;
 }
 
@@ -978,8 +1132,10 @@ Status BundleCache::StoreClaims(std::uint64_t input_fingerprint,
     for (const TimePoint t : column) seconds.push_back(t.unix_seconds());
     PutPodColumn(w, seconds);
   }
-  return WriteEntry(dir_, ClaimsPath(input_fingerprint), input_fingerprint,
-                    std::move(w));
+  LD_TRY(WriteEntry(dir_, ClaimsPath(input_fingerprint), input_fingerprint,
+                    std::move(w)));
+  EnforceCap();
+  return Status::Ok();
 }
 
 }  // namespace ld::cache

@@ -45,8 +45,13 @@
 namespace ld::cache {
 
 /// On-disk format version; bump on any layout change (old entries are
-/// then rejected as stale and rewritten).
-inline constexpr std::uint32_t kBundleCacheVersion = 1;
+/// then rejected as stale and rewritten).  Version 2 compacted the
+/// memoized-result section: the AppRun/ErrorTuple columns that dominate
+/// entry size (ids, epochs, node lists) are stored as zigzag-varint
+/// deltas instead of fixed-width words (docs/FORMATS.md "Parsed-bundle
+/// cache v2").  v1 entries are rejected as stale — loudly, with the
+/// text-parse fallback — and rewritten in v2 on the next store.
+inline constexpr std::uint32_t kBundleCacheVersion = 2;
 
 /// FNV-1a-64 (word-folded over line content for speed; bytewise
 /// framing) over the four line streams, with the framing
@@ -92,9 +97,18 @@ using ClaimedColumns = std::array<std::vector<TimePoint>, kNumLogSources>;
 
 class BundleCache {
  public:
-  explicit BundleCache(std::string dir);
+  /// `max_bytes` caps the total size of *.ldpbc entries in `dir`
+  /// (0 = unbounded).  The cap is enforced LRU-first — least recently
+  /// *used*, not written: every successful Load/LoadClaims touches the
+  /// entry's mtime — at construction (startup trim of an over-cap
+  /// directory) and after every store.  Eviction is a plain unlink of a
+  /// complete, valid file: a reader that already mapped the entry keeps
+  /// its mapping, a later reader sees a clean miss — never a torn or
+  /// stale entry.  Evictions bump ld.cache.evicted_total.
+  explicit BundleCache(std::string dir, std::uint64_t max_bytes = 0);
 
   const std::string& dir() const { return dir_; }
+  std::uint64_t max_bytes() const { return max_bytes_; }
   std::string BundlePath(std::uint64_t input_fingerprint) const;
   std::string ClaimsPath(std::uint64_t input_fingerprint) const;
 
@@ -126,7 +140,12 @@ class BundleCache {
                      const ClaimedColumns& claimed) const;
 
  private:
+  /// Deletes least-recently-used entries until the directory is back
+  /// under max_bytes_; no-op when unbounded.
+  void EnforceCap() const;
+
   std::string dir_;
+  std::uint64_t max_bytes_ = 0;
 };
 
 }  // namespace ld::cache

@@ -117,9 +117,12 @@ void StreamingCoalescer::Add(const ErrorRecord& record) {
       }
       return;
     }
-    // The gap exceeded the window: the old tuple is complete.
+    // The gap exceeded the window: the old tuple is complete.  Its map
+    // slot is reused for the new burst below instead of paying an
+    // erase + emplace on every displacement — displacements are the
+    // common case (most bursts on a key are long over when the next
+    // one starts).
     closed_.push_back(std::move(it->second));
-    open_.erase(it);
   }
   ErrorTuple tuple;
   tuple.id = next_id_++;
@@ -133,12 +136,33 @@ void StreamingCoalescer::Add(const ErrorRecord& record) {
   tuple.count = 1;
   tuple.from_syslog = record.source == LogSource::kSyslog;
   tuple.from_hwerr = record.source == LogSource::kHwerr;
-  if (!ResolveNodes(machine_, record.scope, record.location.view(),
-                    tuple.nodes)) {
-    ++stats_.unresolved_locations;
-    return;  // component not on this machine: drop
+  // Resolution is memoized per (scope, location): the same few thousand
+  // component names recur across the whole log, and a cache hit replaces
+  // the cname map lookups (and their string building) with a copy of a
+  // short node list.
+  const std::uint64_t resolve_key =
+      (static_cast<std::uint64_t>(static_cast<std::uint32_t>(record.scope))
+       << 32) |
+      record.location.id();
+  auto [cached, fresh] = resolve_cache_.try_emplace(resolve_key);
+  if (fresh) {
+    cached->second.ok = ResolveNodes(machine_, record.scope,
+                                     record.location.view(),
+                                     cached->second.nodes);
   }
-  open_.emplace(key, std::move(tuple));
+  if (!cached->second.ok) {
+    ++stats_.unresolved_locations;
+    // component not on this machine: drop (and release the displaced
+    // slot, if the record evicted one).
+    if (it != open_.end()) open_.erase(it);
+    return;
+  }
+  tuple.nodes = cached->second.nodes;
+  if (it != open_.end()) {
+    it->second = std::move(tuple);
+  } else {
+    open_.emplace(key, std::move(tuple));
+  }
 }
 
 std::vector<ErrorTuple> StreamingCoalescer::Flush(TimePoint watermark) {
@@ -282,22 +306,29 @@ std::vector<ErrorTuple> CoalesceEvents(const Machine& machine,
                                        const ErrorColumns& records,
                                        const CoalesceConfig& config,
                                        CoalesceStats* stats) {
-  // Index sort keyed by (time, input index): streaming the dense int64
-  // time column instead of shuffling ~48-byte records, and — unlike the
+  // Sort keyed by (time, input index): streaming the dense int64 time
+  // column instead of shuffling ~48-byte records, and — unlike the
   // unstable by-time record sort this replaced — fully deterministic on
   // equal timestamps, so the text-parse and bundle-cache paths assign
-  // identical tuple ids.
-  std::vector<std::uint32_t> order(records.size());
-  for (std::uint32_t i = 0; i < order.size(); ++i) order[i] = i;
+  // identical tuple ids.  The key is packed next to the index so the
+  // sort's comparisons stay sequential instead of chasing the time
+  // column through an index indirection.
+  struct OrderKey {
+    std::int64_t time;  // unix seconds, same key the column stores
+    std::uint32_t index;
+  };
+  std::vector<OrderKey> order;
+  order.reserve(records.size());
+  for (std::uint32_t i = 0; i < records.size(); ++i) {
+    order.push_back(OrderKey{records.time[i], i});
+  }
   std::sort(order.begin(), order.end(),
-            [&records](std::uint32_t a, std::uint32_t b) {
-              if (records.time[a] != records.time[b]) {
-                return records.time[a] < records.time[b];
-              }
-              return a < b;
+            [](const OrderKey& a, const OrderKey& b) {
+              if (a.time != b.time) return a.time < b.time;
+              return a.index < b.index;
             });
   StreamingCoalescer coalescer(machine, config);
-  for (const std::uint32_t i : order) coalescer.Add(records.Row(i));
+  for (const OrderKey& key : order) coalescer.Add(records.Row(key.index));
   std::vector<ErrorTuple> out = coalescer.FlushAll();
   if (stats != nullptr) *stats = coalescer.stats();
   return out;

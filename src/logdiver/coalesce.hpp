@@ -116,6 +116,15 @@ class StreamingCoalescer {
   /// Tuples displaced by a new burst on the same key; handed out on the
   /// next Flush.
   std::vector<ErrorTuple> closed_;
+  /// Memoized (scope, location-symbol) -> affected node set.  Every new
+  /// tuple resolves its location, but the vocabulary is a few thousand
+  /// recurring component names — caching turns the repeated cname map
+  /// lookups (string building included) into one small-vector copy.
+  struct ResolvedNodes {
+    bool ok = false;
+    std::vector<NodeIndex> nodes;
+  };
+  std::unordered_map<std::uint64_t, ResolvedNodes> resolve_cache_;
 };
 
 struct ErrorColumns;  // columns.hpp

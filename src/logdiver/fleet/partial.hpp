@@ -26,7 +26,10 @@
 namespace ld::fleet {
 
 /// Payload-level record version; bump when the partial layout changes.
-inline constexpr std::uint32_t kPartialRecordVersion = 1;
+/// Version 2 added the worker's claims-cache counters (hits / misses /
+/// rejections / stores), so the supervisor can see cache effectiveness
+/// without reaching into a dead child's obs registry.
+inline constexpr std::uint32_t kPartialRecordVersion = 2;
 
 /// Who computed this partial, over what input.
 struct PartialHeader {
@@ -53,6 +56,14 @@ struct PartialAggregates {
   CoalesceStats coalesce_stats;
   IngestStats ingest;
   Status ingest_status;
+  /// Claims-cache activity of this worker's bundle load (v2): whether a
+  /// warm shard actually skipped the claimed-time re-parse.  Summed —
+  /// not survivor-picked — by the supervisor: each worker loads the
+  /// bundle independently.
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  std::uint64_t cache_rejected = 0;
+  std::uint64_t cache_stores = 0;
   MetricsAccumulator metrics;
 
   explicit PartialAggregates(MetricsConfig metrics_config = {})

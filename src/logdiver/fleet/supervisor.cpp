@@ -55,7 +55,9 @@ int RunWorkerProcess(const Machine& machine, LogDiverConfig config,
 
   config.shard = ShardSpec{shard, options.shard_count};
   StreamingAnalyzer analyzer(machine, config);
-  const auto total = ReplayBundle(config, inputs, options.schedule, analyzer);
+  BundleLoadStats load_stats;
+  const auto total =
+      ReplayBundle(config, inputs, options.schedule, analyzer, &load_stats);
   if (!total.ok()) {
     std::fprintf(stderr, "[fleet] shard %u: %s\n", shard,
                  total.status().message().c_str());
@@ -77,6 +79,10 @@ int RunWorkerProcess(const Machine& machine, LogDiverConfig config,
   partial.coalesce_stats = summary.coalesce_stats;
   partial.ingest = summary.ingest;
   partial.ingest_status = summary.ingest_status;
+  partial.cache_hits = load_stats.cache_hits;
+  partial.cache_misses = load_stats.cache_misses;
+  partial.cache_rejected = load_stats.cache_rejected;
+  partial.cache_stores = load_stats.cache_stores;
   partial.metrics = analyzer.metrics_accumulator();
 
   const std::string path = PartialPathFor(options, shard);
@@ -370,6 +376,12 @@ Result<FleetSummary> ShardSupervisor::Run(const StreamInputs& inputs,
     }
     ++summary.coverage.shards_merged;
     merged.MergeFrom(s.partial->metrics);
+    // Cache counters are per-worker facts (each worker loads the
+    // bundle itself), so they sum instead of taking the survivor's.
+    summary.cache_hits += s.partial->cache_hits;
+    summary.cache_misses += s.partial->cache_misses;
+    summary.cache_rejected += s.partial->cache_rejected;
+    summary.cache_stores += s.partial->cache_stores;
     if (first_survivor == nullptr) first_survivor = &s;
   }
   if (first_survivor == nullptr) {

@@ -132,6 +132,13 @@ struct FleetSummary {
   CoalesceStats coalesce_stats;
   Status ingest_status;
   std::uint64_t bundle_fingerprint = 0;
+  /// Claims-cache activity summed over merged shards (each worker loads
+  /// the bundle independently, so a warm fleet shows hits ≈ shard
+  /// count).  Zero across the board when no bundle_cache_dir is set.
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  std::uint64_t cache_rejected = 0;
+  std::uint64_t cache_stores = 0;
   FleetCoverage coverage;
   std::vector<ShardOutcome> shards;  // one per shard, index order
 };

@@ -7,9 +7,17 @@ namespace ld {
 namespace {
 
 Result<std::optional<ErrorRecord>> ParseLineImpl(std::string_view line) {
-  const auto fields = Split(line, '|');
-  if (fields.size() < 5) {
-    return ParseError("hwerr: expected 5 '|' fields");
+  // Four separators bound the five fields in use; the scan stops there
+  // instead of materializing a vector of every '|' piece.
+  std::string_view fields[4];
+  std::size_t pos = 0;
+  for (std::string_view& field : fields) {
+    const std::size_t sep = line.find('|', pos);
+    if (sep == std::string_view::npos) {
+      return ParseError("hwerr: expected 5 '|' fields");
+    }
+    field = line.substr(pos, sep - pos);
+    pos = sep + 1;
   }
   LD_ASSIGN_OR_RETURN(const auto epoch, ParseInt(fields[0]));
   auto category = ParseErrorCategory(std::string(fields[1]));

@@ -284,8 +284,10 @@ Result<AnalysisResult> LogDiver::AnalyzeParsed(ParsedLogs&& parsed,
   // 3. Reconstruct application runs (replayed records dedup here).
   {
     LD_OBS_SPAN("reconstruct");
-    result.runs = ReconstructRuns(machine_, parsed.alps, parsed.torque,
-                                  &result.reconstruct_stats);
+    // parsed is consumed by this analysis (the cache path snapshots the
+    // records before calling in), so the placements' nid lists move.
+    result.runs = ReconstructRuns(machine_, std::move(parsed.alps),
+                                  parsed.torque, &result.reconstruct_stats);
   }
 
   // 4. Categorize and attribute.
@@ -364,7 +366,8 @@ Result<AnalysisResult> LogDiver::AnalyzeBundle(const std::string& dir) const {
   // memoized result without touching a parser; a records hit replays
   // the analysis tail over restored columns; anything untrustworthy is
   // rejected and the text parse below remains the source of truth.
-  const cache::BundleCache bundle_cache(config_.bundle_cache_dir);
+  const cache::BundleCache bundle_cache(config_.bundle_cache_dir,
+                                        config_.bundle_cache_max_bytes);
   const cache::CacheKeys keys = cache::MakeKeys(views, machine_, config_);
   auto entry = bundle_cache.Load(keys);
   if (entry.ok()) {

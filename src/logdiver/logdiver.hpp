@@ -85,6 +85,11 @@ struct LogDiverConfig {
   /// the analysis falls back to the text parse — a cache can make a
   /// run faster, never different.
   std::string bundle_cache_dir;
+  /// Byte-size cap for the bundle cache directory (0 = unbounded).
+  /// When the cache grows past it, least-recently-used entries are
+  /// evicted atomically (ld.cache.evicted_total); the CLI exposes it as
+  /// --bundle-cache-max-mb.
+  std::uint64_t bundle_cache_max_bytes = 0;
 };
 
 /// The four raw log streams LogDiver consumes.

@@ -1,19 +1,26 @@
 #include "logdiver/reconstruct.hpp"
 
 #include <algorithm>
+#include <type_traits>
 #include <unordered_map>
 
 namespace ld {
+namespace {
 
-std::vector<AppRun> ReconstructRuns(const Machine& machine,
-                                    const std::vector<AlpsRecord>& alps,
+// Shared body for the const-ref and rvalue overloads: when the caller
+// hands over the records, each placement's nid list is moved into its
+// run instead of copied (~50k vector clones per full-campaign bundle).
+template <typename AlpsVec>
+std::vector<AppRun> ReconstructImpl(const Machine& machine, AlpsVec& alps,
                                     const std::vector<TorqueRecord>& torque,
                                     ReconstructStats* stats) {
+  constexpr bool kMayMove = !std::is_const_v<AlpsVec>;
   ReconstructStats local;
 
   // Index Torque E records (authoritative for job context); fall back to
   // S records for jobs still running at end-of-log.
   std::unordered_map<JobId, const TorqueRecord*> jobs;
+  jobs.reserve(torque.size());
   for (const TorqueRecord& rec : torque) {
     if (rec.kind == TorqueRecord::Kind::kEnd) {
       jobs[rec.jobid] = &rec;
@@ -22,18 +29,27 @@ std::vector<AppRun> ReconstructRuns(const Machine& machine,
     }
   }
 
-  std::unordered_map<ApId, AppRun> by_apid;
+  std::size_t placements = 0;
   for (const AlpsRecord& rec : alps) {
+    placements += rec.kind == AlpsRecord::Kind::kPlace;
+  }
+  std::unordered_map<ApId, AppRun> by_apid;
+  by_apid.reserve(placements);
+  for (auto& rec : alps) {
     if (rec.kind == AlpsRecord::Kind::kPlace) {
       ++local.placements;
       AppRun run;
       run.apid = rec.apid;
       run.jobid = rec.jobid;
       run.user = rec.user;
-      run.nodes = rec.nids;
       run.nodect = rec.nodect != 0
                        ? rec.nodect
                        : static_cast<std::uint32_t>(rec.nids.size());
+      if constexpr (kMayMove) {
+        run.nodes = std::move(rec.nids);
+      } else {
+        run.nodes = rec.nids;
+      }
       run.start = rec.time;
       run.end = rec.time;  // until a termination record arrives
       if (!by_apid.emplace(rec.apid, std::move(run)).second) {
@@ -68,6 +84,14 @@ std::vector<AppRun> ReconstructRuns(const Machine& machine,
     }
   }
 
+  // The majority vote below touches every placed nid; a dense type
+  // table keeps those lookups inside a few KB instead of striding
+  // through the full Node records.
+  std::vector<NodeType> node_types(machine.node_count());
+  for (NodeIndex n = 0; n < machine.node_count(); ++n) {
+    node_types[n] = machine.node(n).type;
+  }
+
   std::vector<AppRun> runs;
   runs.reserve(by_apid.size());
   for (auto& [apid, run] : by_apid) {
@@ -80,7 +104,7 @@ std::vector<AppRun> ReconstructRuns(const Machine& machine,
         ++other;
         continue;
       }
-      switch (machine.node(n).type) {
+      switch (node_types[n]) {
         case NodeType::kXE: ++xe; break;
         case NodeType::kXK: ++xk; break;
         case NodeType::kService: ++other; break;
@@ -103,13 +127,48 @@ std::vector<AppRun> ReconstructRuns(const Machine& machine,
     runs.push_back(std::move(run));
   }
 
-  std::sort(runs.begin(), runs.end(), [](const AppRun& a, const AppRun& b) {
+  // Sort (start, apid, index) keys instead of the ~wide AppRun structs
+  // themselves, then place each run once: same order, a fraction of the
+  // bytes shuffled through the sort network.
+  struct SortKey {
+    TimePoint start;
+    ApId apid;
+    std::uint32_t index;
+  };
+  std::vector<SortKey> keys;
+  keys.reserve(runs.size());
+  for (std::uint32_t i = 0; i < runs.size(); ++i) {
+    keys.push_back(SortKey{runs[i].start, runs[i].apid, i});
+  }
+  std::sort(keys.begin(), keys.end(), [](const SortKey& a, const SortKey& b) {
     if (a.start != b.start) return a.start < b.start;
     return a.apid < b.apid;
   });
+  std::vector<AppRun> sorted;
+  sorted.reserve(runs.size());
+  for (const SortKey& key : keys) {
+    sorted.push_back(std::move(runs[key.index]));
+  }
+  runs = std::move(sorted);
   local.runs = runs.size();
   if (stats != nullptr) *stats = local;
   return runs;
+}
+
+}  // namespace
+
+std::vector<AppRun> ReconstructRuns(const Machine& machine,
+                                    const std::vector<AlpsRecord>& alps,
+                                    const std::vector<TorqueRecord>& torque,
+                                    ReconstructStats* stats) {
+  return ReconstructImpl(machine, alps, torque, stats);
+}
+
+std::vector<AppRun> ReconstructRuns(const Machine& machine,
+                                    std::vector<AlpsRecord>&& alps,
+                                    const std::vector<TorqueRecord>& torque,
+                                    ReconstructStats* stats) {
+  return ReconstructImpl(machine, alps, torque, stats);
 }
 
 }  // namespace ld

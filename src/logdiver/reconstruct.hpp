@@ -77,4 +77,12 @@ std::vector<AppRun> ReconstructRuns(const Machine& machine,
                                     const std::vector<TorqueRecord>& torque,
                                     ReconstructStats* stats = nullptr);
 
+/// Overload for callers done with the ALPS records: each placement's
+/// nid list is moved into its run instead of copied.  Same output as
+/// the const overload; `alps` is left in a valid but unspecified state.
+std::vector<AppRun> ReconstructRuns(const Machine& machine,
+                                    std::vector<AlpsRecord>&& alps,
+                                    const std::vector<TorqueRecord>& torque,
+                                    ReconstructStats* stats = nullptr);
+
 }  // namespace ld

@@ -25,24 +25,63 @@ const char* LogSourceName(LogSource s) {
 }
 
 Result<std::vector<NodeIndex>> ParseNidRanges(std::string_view text) {
-  std::vector<NodeIndex> out;
   if (Trim(text).empty()) return ParseError("empty nid list");
-  for (std::string_view piece : Split(text, ',')) {
+  // Every placeApp record funnels through here, so the parse is split
+  // into a validate pass that lands the [lo, hi] bounds in a stack
+  // buffer and a fill pass into a single exact reservation — no Split
+  // vector and no geometric regrowth of the output.  Payloads with more
+  // comma pieces than the stack holds spill to a heap bounds vector;
+  // the fill pass is identical either way.
+  struct Bounds {
+    std::uint64_t lo;
+    std::uint64_t hi;
+  };
+  constexpr std::size_t kStackBounds = 64;
+  Bounds stack_bounds[kStackBounds];
+  std::vector<Bounds> heap_bounds;
+  std::size_t nbounds = 0;
+  std::uint64_t total = 0;
+  const auto push_bounds = [&](Bounds b) {
+    if (nbounds < kStackBounds) {
+      stack_bounds[nbounds] = b;
+    } else {
+      if (heap_bounds.empty()) {
+        heap_bounds.assign(stack_bounds, stack_bounds + kStackBounds);
+      }
+      heap_bounds.push_back(b);
+    }
+    ++nbounds;
+    total += b.hi - b.lo + 1;
+  };
+  std::size_t pos = 0;
+  while (true) {
+    std::size_t comma = text.find(',', pos);
+    if (comma == std::string_view::npos) comma = text.size();
+    const std::string_view piece = text.substr(pos, comma - pos);
     const std::size_t dash = piece.find('-');
     if (dash == std::string_view::npos) {
       auto v = ParseUint(piece);
       if (!v.ok()) return v.status();
-      out.push_back(static_cast<NodeIndex>(*v));
-      continue;
+      push_bounds(Bounds{*v, *v});
+    } else {
+      auto lo = ParseUint(piece.substr(0, dash));
+      auto hi = ParseUint(piece.substr(dash + 1));
+      if (!lo.ok()) return lo.status();
+      if (!hi.ok()) return hi.status();
+      if (*hi < *lo || *hi - *lo > 1u << 20) {
+        return ParseError("bad nid range: '" + std::string(piece) + "'");
+      }
+      push_bounds(Bounds{*lo, *hi});
     }
-    auto lo = ParseUint(piece.substr(0, dash));
-    auto hi = ParseUint(piece.substr(dash + 1));
-    if (!lo.ok()) return lo.status();
-    if (!hi.ok()) return hi.status();
-    if (*hi < *lo || *hi - *lo > 1u << 20) {
-      return ParseError("bad nid range: '" + std::string(piece) + "'");
-    }
-    for (std::uint64_t v = *lo; v <= *hi; ++v) {
+    if (comma == text.size()) break;
+    pos = comma + 1;
+  }
+  const Bounds* bounds =
+      heap_bounds.empty() ? stack_bounds : heap_bounds.data();
+  std::vector<NodeIndex> out;
+  out.reserve(total);
+  for (std::size_t i = 0; i < nbounds; ++i) {
+    for (std::uint64_t v = bounds[i].lo; v <= bounds[i].hi; ++v) {
       out.push_back(static_cast<NodeIndex>(v));
     }
   }

@@ -75,7 +75,10 @@ struct LoadedBundle {
 };
 
 Result<LoadedBundle> LoadBundle(const StreamInputs& inputs,
-                                const LogDiverConfig& config) {
+                                const LogDiverConfig& config,
+                                BundleLoadStats* stats = nullptr) {
+  BundleLoadStats local_stats;
+  if (stats == nullptr) stats = &local_stats;
   LoadedBundle bundle;
   const std::string* paths[kNumLogSources] = {
       &inputs.torque_path, &inputs.alps_path, &inputs.syslog_path,
@@ -96,7 +99,8 @@ Result<LoadedBundle> LoadBundle(const StreamInputs& inputs,
   // a bundle this process family has already seen.  Keyed by the same
   // lines fingerprint as the snapshot headers (shard_count 0: claims are
   // partition-independent), so every fleet worker shares one entry.
-  const cache::BundleCache bundle_cache(config.bundle_cache_dir);
+  const cache::BundleCache bundle_cache(config.bundle_cache_dir,
+                                        config.bundle_cache_max_bytes);
   LogSetView views;
   std::vector<std::string_view>* view_cols[kNumLogSources] = {
       &views.torque, &views.alps, &views.syslog, &views.hwerr};
@@ -108,6 +112,7 @@ Result<LoadedBundle> LoadBundle(const StreamInputs& inputs,
   const std::uint64_t fingerprint = cache::LinesFingerprint(views, 0);
   auto claims = bundle_cache.LoadClaims(fingerprint, base_year, line_counts);
   if (claims.ok()) {
+    ++stats->cache_hits;
     for (std::size_t s = 0; s < kNumLogSources; ++s) {
       bundle.claimed[s] = std::move((*claims)[s]);
     }
@@ -116,8 +121,11 @@ Result<LoadedBundle> LoadBundle(const StreamInputs& inputs,
   if (claims.status().code() != StatusCode::kNotFound) {
     // Rejected entry (torn/stale/foreign): fall back loudly, never
     // silently — the reparse below restores correctness either way.
+    ++stats->cache_rejected;
     std::fprintf(stderr, "logdiver: %s\n",
                  claims.status().message().c_str());
+  } else {
+    ++stats->cache_misses;
   }
   cache::ClaimedColumns fresh;
   for (std::size_t s = 0; s < kNumLogSources; ++s) {
@@ -129,6 +137,8 @@ Result<LoadedBundle> LoadBundle(const StreamInputs& inputs,
       bundle_cache.StoreClaims(fingerprint, base_year, fresh);
   if (!stored.ok()) {
     std::fprintf(stderr, "logdiver: %s\n", stored.message().c_str());
+  } else {
+    ++stats->cache_stores;
   }
   return bundle;
 }
@@ -199,9 +209,10 @@ Result<std::uint64_t> BundlePartitionFingerprint(const StreamInputs& inputs,
 Result<std::uint64_t> ReplayBundle(const LogDiverConfig& config,
                                    const StreamInputs& inputs,
                                    const ReplaySchedule& schedule,
-                                   StreamingAnalyzer& analyzer) {
+                                   StreamingAnalyzer& analyzer,
+                                   BundleLoadStats* load_stats) {
   LD_ASSIGN_OR_RETURN(const LoadedBundle bundle,
-                      LoadBundle(inputs, config));
+                      LoadBundle(inputs, config, load_stats));
   std::uint64_t heads[kNumLogSources] = {0, 0, 0, 0};
   std::uint64_t total = 0;
   Status status;

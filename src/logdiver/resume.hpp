@@ -102,16 +102,31 @@ Result<ResumableSummary> RunResumableAnalysis(const Machine& machine,
                                               const StreamInputs& inputs,
                                               const ResumeOptions& options);
 
+/// Claims-cache activity observed while loading a bundle for replay.
+/// Fleet workers report these through their partial record (the obs
+/// registry dies with the forked process), so the supervisor — and the
+/// warm-cache campaign cell — can see whether warm shards actually
+/// skipped the claimed-time re-parse.
+struct BundleLoadStats {
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  std::uint64_t cache_rejected = 0;
+  std::uint64_t cache_stores = 0;
+};
+
 /// Streams the whole bundle through `analyzer` with the deterministic
 /// merge order and advance schedule of RunResumableAnalysis, but no
 /// snapshotting or resume — the replay core a fleet worker runs.  The
 /// caller owns the analyzer (and calls Finalize()); `config` must be
 /// the one the analyzer was built with (it supplies the syslog base
-/// year for claimed-time recomputation).  Returns total merged lines.
+/// year for claimed-time recomputation).  Returns total merged lines;
+/// fills `load_stats` (optional) with the claims-cache activity of the
+/// bundle load.
 Result<std::uint64_t> ReplayBundle(const LogDiverConfig& config,
                                    const StreamInputs& inputs,
                                    const ReplaySchedule& schedule,
-                                   StreamingAnalyzer& analyzer);
+                                   StreamingAnalyzer& analyzer,
+                                   BundleLoadStats* load_stats = nullptr);
 
 /// Deterministic fingerprint of (bundle bytes, shard partition):
 /// delegates to bundle_cache's LinesFingerprint (word-folded FNV-1a-64)

@@ -138,6 +138,19 @@ void SnapshotWriter::Raw(const void* data, std::size_t size) {
   buffer_.insert(buffer_.end(), bytes, bytes + size);
 }
 
+void SnapshotWriter::Varint(std::uint64_t v) {
+  while (v >= 0x80) {
+    buffer_.push_back(static_cast<std::uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  buffer_.push_back(static_cast<std::uint8_t>(v));
+}
+
+void SnapshotWriter::VarintSigned(std::int64_t v) {
+  const auto u = static_cast<std::uint64_t>(v);
+  Varint((u << 1) ^ static_cast<std::uint64_t>(v >> 63));
+}
+
 void SnapshotReader::Fail(std::string why) {
   if (status_.ok()) {
     status_ = InternalError("snapshot payload: " + std::move(why));
@@ -185,6 +198,31 @@ void SnapshotReader::Raw(void* out, std::size_t size) {
   }
   std::memcpy(out, data_ + pos_, size);
   pos_ += size;
+}
+
+std::uint64_t SnapshotReader::Varint() {
+  std::uint64_t v = 0;
+  for (int shift = 0; shift < 64; shift += 7) {
+    if (pos_ >= size_) {
+      Fail("truncated varint at offset " + std::to_string(pos_));
+      return 0;
+    }
+    const std::uint8_t byte = data_[pos_++];
+    v |= static_cast<std::uint64_t>(byte & 0x7F) << shift;
+    if ((byte & 0x80) == 0) {
+      // The 10th group carries only bit 63: anything above is an
+      // over-long encoding, not a value.
+      if (shift == 63 && byte > 1) break;
+      return v;
+    }
+  }
+  Fail("malformed varint at offset " + std::to_string(pos_));
+  return 0;
+}
+
+std::int64_t SnapshotReader::VarintSigned() {
+  const std::uint64_t u = Varint();
+  return static_cast<std::int64_t>((u >> 1) ^ (~(u & 1) + 1));
 }
 
 std::string SnapshotReader::Str() {

@@ -61,6 +61,13 @@ class SnapshotWriter {
   /// Unprefixed raw bytes (the bulk column dumps of the parsed-bundle
   /// cache); the caller owns length framing.
   void Raw(const void* data, std::size_t size);
+  /// LEB128 variable-length unsigned integer: 7 value bits per byte,
+  /// high bit = continuation, little-endian groups.  1 byte for values
+  /// < 128 — the workhorse of the bundle cache's compacted columns.
+  void Varint(std::uint64_t v);
+  /// Zigzag-mapped signed varint ((v << 1) ^ (v >> 63)), so small
+  /// negative deltas stay small on disk.
+  void VarintSigned(std::int64_t v);
 
   const std::vector<std::uint8_t>& bytes() const { return buffer_; }
   std::vector<std::uint8_t> TakeBytes() { return std::move(buffer_); }
@@ -94,6 +101,12 @@ class SnapshotReader {
   /// Bulk copy of `size` raw bytes into `out`; zero-fills and latches
   /// an error when fewer remain.
   void Raw(void* out, std::size_t size);
+  /// LEB128 unsigned varint; latches an error on truncation or on an
+  /// encoding longer than 10 bytes (malformed input, not corruption —
+  /// the CRC vouches for the bytes).
+  std::uint64_t Varint();
+  /// Zigzag-decoded signed varint.
+  std::int64_t VarintSigned();
 
   bool ok() const { return status_.ok(); }
   const Status& status() const { return status_; }

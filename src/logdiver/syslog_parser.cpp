@@ -91,9 +91,22 @@ constexpr std::size_t kNoOpenIncident = static_cast<std::size_t>(-1);
 Result<std::optional<SyslogParser::PreRecord>> ParsePreImpl(
     std::string_view line, int* month_seen) {
   // Timestamp = first 3 whitespace-separated tokens; then hostname; then
-  // the message.
-  const auto fields = SplitWhitespace(line);
-  if (fields.size() < 5) {
+  // the message.  Only those four tokens are ever indexed, so the line
+  // is NOT fully tokenized (the message would dominate the split);
+  // "at least five fields" is checked by probing for one more
+  // non-whitespace byte.
+  std::string_view fields[4];
+  std::size_t pos = 0;
+  for (std::string_view& field : fields) {
+    pos = simd::SkipWhitespace(line, pos);
+    if (pos == line.size()) {
+      return ParseError("syslog: too few fields");
+    }
+    const std::size_t end = simd::FindWhitespace(line, pos);
+    field = line.substr(pos, end - pos);
+    pos = end;
+  }
+  if (simd::SkipWhitespace(line, pos) == line.size()) {
     return ParseError("syslog: too few fields");
   }
   const int month = MonthFromAbbrev(fields[0]);

@@ -17,9 +17,9 @@ Result<Duration> ParseWalltime(std::string_view text) {
   return Duration(h * 3600 + m * 60 + s);
 }
 
-std::optional<TimePoint> EpochField(std::string_view record,
+std::optional<TimePoint> EpochField(const KeyValueView& kv,
                                     std::string_view key) {
-  const auto raw = FindKeyValueOpt(record, key);
+  const auto raw = kv.Get(key);
   if (!raw.has_value()) return std::nullopt;
   const auto v = ParseInt(*raw);
   if (!v.ok()) return std::nullopt;
@@ -27,42 +27,50 @@ std::optional<TimePoint> EpochField(std::string_view record,
 }
 
 Result<std::optional<TorqueRecord>> ParseLineImpl(std::string_view line) {
-  const auto fields = Split(line, ';');
-  if (fields.size() < 3) {
+  // "stamp;TYPE;jobid;payload" — only the three leading separators are
+  // located; the payload (which may itself contain ';') is the raw tail,
+  // so the line is never fully split.
+  const std::size_t sep1 = line.find(';');
+  const std::size_t sep2 =
+      sep1 == std::string_view::npos ? sep1 : line.find(';', sep1 + 1);
+  if (sep2 == std::string_view::npos) {
     return ParseError("torque: too few ';' fields");
   }
-  const std::string_view type = fields[1];
+  const std::string_view type = line.substr(sep1 + 1, sep2 - sep1 - 1);
   if (type != "S" && type != "E") {
     return std::optional<TorqueRecord>{};
   }
+  const std::size_t sep3 = line.find(';', sep2 + 1);
   // Jobid "123.bw" -> 123.
-  const std::string_view jobid_text = fields[2];
+  const std::string_view jobid_text =
+      sep3 == std::string_view::npos
+          ? line.substr(sep2 + 1)
+          : line.substr(sep2 + 1, sep3 - sep2 - 1);
   const std::size_t dot = jobid_text.find('.');
   LD_ASSIGN_OR_RETURN(const auto jobid,
                       ParseUint(dot == std::string_view::npos
                                     ? jobid_text
                                     : jobid_text.substr(0, dot)));
 
-  // Everything after the third ';' is the key=value payload.  The split
-  // views alias `line`, so the payload — ';' separators included — is
-  // just the tail of the line from fields[3] on; no re-join allocation.
   std::string_view payload;
-  if (fields.size() > 3) {
-    payload = std::string_view(
-        fields[3].data(),
-        static_cast<std::size_t>(line.data() + line.size() - fields[3].data()));
+  if (sep3 != std::string_view::npos) {
+    payload = line.substr(sep3 + 1);
   }
 
   TorqueRecord rec;
   rec.jobid = jobid;
   rec.kind = type == "S" ? TorqueRecord::Kind::kStart : TorqueRecord::Kind::kEnd;
 
-  if (auto v = FindKeyValueOpt(payload, "user")) rec.user = Intern(*v);
-  if (auto v = FindKeyValueOpt(payload, "queue")) rec.queue = Intern(*v);
-  if (auto v = FindKeyValueOpt(payload, "jobname")) rec.job_name = Intern(*v);
+  // One SIMD tokenization pass; every field lookup below scans the
+  // small entry table instead of re-walking the payload.
+  const KeyValueView kv(payload);
 
-  const auto submit = EpochField(payload, "ctime");
-  const auto start = EpochField(payload, "start");
+  if (auto v = kv.Get("user")) rec.user = Intern(*v);
+  if (auto v = kv.Get("queue")) rec.queue = Intern(*v);
+  if (auto v = kv.Get("jobname")) rec.job_name = Intern(*v);
+
+  const auto submit = EpochField(kv, "ctime");
+  const auto start = EpochField(kv, "start");
   if (!submit.has_value() || !start.has_value()) {
     return ParseError("torque: missing ctime/start epoch fields");
   }
@@ -70,28 +78,28 @@ Result<std::optional<TorqueRecord>> ParseLineImpl(std::string_view line) {
   rec.start = *start;
   rec.time = rec.start;
 
-  if (auto v = FindKeyValueOpt(payload, "Resource_List.nodect")) {
+  if (auto v = kv.Get("Resource_List.nodect")) {
     if (auto n = ParseUint(*v); n.ok()) {
       rec.nodect = static_cast<std::uint32_t>(*n);
     }
   }
-  if (auto v = FindKeyValueOpt(payload, "Resource_List.walltime")) {
+  if (auto v = kv.Get("Resource_List.walltime")) {
     if (auto d = ParseWalltime(*v); d.ok()) rec.walltime_limit = *d;
   }
 
   if (rec.kind == TorqueRecord::Kind::kEnd) {
-    const auto end = EpochField(payload, "end");
+    const auto end = EpochField(kv, "end");
     if (!end.has_value()) {
       return ParseError("torque: E record missing end epoch");
     }
     rec.end = *end;
     rec.time = rec.end;
-    if (auto v = FindKeyValueOpt(payload, "Exit_status")) {
+    if (auto v = kv.Get("Exit_status")) {
       if (auto code = ParseInt(*v); code.ok()) {
         rec.exit_status = static_cast<int>(*code);
       }
     }
-    if (auto v = FindKeyValueOpt(payload, "resources_used.walltime")) {
+    if (auto v = kv.Get("resources_used.walltime")) {
       if (auto d = ParseWalltime(*v); d.ok()) rec.walltime_used = *d;
     }
   }

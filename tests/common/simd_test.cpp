@@ -1,22 +1,45 @@
 // The SIMD kernels (src/common/simd.hpp) promise bit-identical results
-// across backends.  These tests hold the active backend (SSE2, NEON or
-// scalar, depending on the build) to the scalar reference on edge cases
-// and on randomized buffers that straddle vector-width boundaries.
+// across backends.  These tests hold the active backend (AVX2, SSE2,
+// NEON or scalar, depending on the build and host) to the scalar
+// reference on edge cases and on randomized buffers that straddle the
+// 16- and 32-byte vector-width boundaries, and additionally sweep every
+// *compiled* backend via GetBackend so the forced-dispatch tiers are
+// covered even when the runner would not pick them by default.
 #include <gtest/gtest.h>
 
 #include <cstdint>
 #include <random>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "common/simd.hpp"
 
 namespace ld::simd {
 namespace {
 
+/// Every backend this build compiled in and this host can run — always
+/// includes scalar, so each test exercises at least the reference.
+std::vector<const Kernels*> SupportedBackends() {
+  std::vector<const Kernels*> out;
+  for (const char* name : {"scalar", "sse2", "avx2", "neon"}) {
+    if (const Kernels* k = GetBackend(name)) out.push_back(k);
+  }
+  return out;
+}
+
 TEST(Simd, BackendNameIsKnown) {
   const std::string name = BackendName();
-  EXPECT_TRUE(name == "sse2" || name == "neon" || name == "scalar") << name;
+  EXPECT_TRUE(name == "sse2" || name == "avx2" || name == "neon" ||
+              name == "scalar")
+      << name;
+}
+
+TEST(Simd, GetBackendAlwaysKnowsScalarAndRejectsUnknown) {
+  ASSERT_NE(GetBackend("scalar"), nullptr);
+  EXPECT_EQ(std::string_view(GetBackend("scalar")->name), "scalar");
+  EXPECT_EQ(GetBackend("avx512"), nullptr);
+  EXPECT_EQ(GetBackend(""), nullptr);
 }
 
 TEST(Simd, FindByteMatchesStringViewFind) {
@@ -63,14 +86,19 @@ TEST(Simd, WhitespaceSetIsExactlyIsspace) {
   }
 }
 
-TEST(Simd, RandomBuffersAgreeWithScalarAtEveryOffset) {
-  // Buffer lengths chosen to land on, just under and just over the 16-
-  // and 64-byte boundaries the vector loops care about.
+TEST(Simd, RandomBuffersAgreeAcrossBackendsAtEveryOffset) {
+  // Buffer lengths chosen to land on, just under and just over the 16-,
+  // 32- and 64-byte boundaries the vector loops care about; every
+  // compiled-and-runnable backend must agree with scalar at every
+  // starting offset, which also walks the tails through every lane
+  // misalignment.
   std::mt19937_64 rng(20260808);
   // Skew toward bytes the kernels classify, so matches are dense.
   const char alphabet[] = " \t\n\r\v\f0123456789abc:\x80\xff";
-  for (const std::size_t len : {0u, 1u, 7u, 15u, 16u, 17u, 31u, 63u, 64u,
-                                65u, 200u}) {
+  const std::vector<const Kernels*> backends = SupportedBackends();
+  ASSERT_FALSE(backends.empty());
+  for (const std::size_t len : {0u, 1u, 7u, 15u, 16u, 17u, 31u, 32u, 33u,
+                                63u, 64u, 65u, 200u}) {
     for (int trial = 0; trial < 20; ++trial) {
       std::string buffer(len, '\0');
       for (char& c : buffer) {
@@ -78,14 +106,152 @@ TEST(Simd, RandomBuffersAgreeWithScalarAtEveryOffset) {
       }
       const std::string_view data = buffer;
       for (std::size_t pos = 0; pos <= len; ++pos) {
-        ASSERT_EQ(FindByte(data, '\n', pos), scalar::FindByte(data, '\n', pos))
-            << "len=" << len << " pos=" << pos;
-        ASSERT_EQ(FindWhitespace(data, pos), scalar::FindWhitespace(data, pos))
-            << "len=" << len << " pos=" << pos;
-        ASSERT_EQ(SkipWhitespace(data, pos), scalar::SkipWhitespace(data, pos))
-            << "len=" << len << " pos=" << pos;
-        ASSERT_EQ(DigitRunLength(data, pos), scalar::DigitRunLength(data, pos))
-            << "len=" << len << " pos=" << pos;
+        const std::size_t want_find = scalar::FindByte(data, '\n', pos);
+        const std::size_t want_ws = scalar::FindWhitespace(data, pos);
+        const std::size_t want_skip = scalar::SkipWhitespace(data, pos);
+        const std::size_t want_digits = scalar::DigitRunLength(data, pos);
+        for (const Kernels* k : backends) {
+          ASSERT_EQ(k->find_byte(data, '\n', pos), want_find)
+              << k->name << " len=" << len << " pos=" << pos;
+          ASSERT_EQ(k->find_whitespace(data, pos), want_ws)
+              << k->name << " len=" << len << " pos=" << pos;
+          ASSERT_EQ(k->skip_whitespace(data, pos), want_skip)
+              << k->name << " len=" << len << " pos=" << pos;
+          ASSERT_EQ(k->digit_run_length(data, pos), want_digits)
+              << k->name << " len=" << len << " pos=" << pos;
+        }
+      }
+    }
+  }
+}
+
+TEST(Simd, FindAnyOfMatchesStringViewAcrossBackends) {
+  const std::string_view cases[] = {
+      "",
+      "=",
+      "key=value trailing",
+      "   user=alice   queue=batch jobname=x",
+      "no delimiter bytes whatsoever_in_this_one_at_all!!",
+      std::string_view("nul\0byte=ok", 11),
+      "ends exactly on a thirty-two-byte=B",
+  };
+  const std::string_view delim_sets[] = {
+      "",                 // empty set: never matches
+      "=",                // single delimiter
+      "= \t\n\v\f\r",     // the key/value splitter's working set
+      "=: \t\n\v\f\r-/",  // 9 delimiters: past the vector limit, takes
+                          // the scalar fallback path in every backend
+  };
+  const std::vector<const Kernels*> backends = SupportedBackends();
+  for (const std::string_view data : cases) {
+    for (const std::string_view delims : delim_sets) {
+      for (std::size_t pos = 0; pos <= data.size() + 1; ++pos) {
+        const std::size_t want = data.find_first_of(delims, pos);
+        ASSERT_EQ(scalar::FindAnyOf(data, delims, pos), want)
+            << "pos=" << pos;
+        ASSERT_EQ(FindAnyOf(data, delims, pos), want) << "pos=" << pos;
+        for (const Kernels* k : backends) {
+          ASSERT_EQ(k->find_any_of(data, delims, pos), want)
+              << k->name << " pos=" << pos;
+        }
+      }
+    }
+  }
+}
+
+TEST(Simd, FindAnyOfCoversAllByteValues) {
+  // One buffer holding every byte value 0..255: high-bit bytes must
+  // neither match a low delimiter nor be skipped, on any backend.
+  std::string all(256, '\0');
+  for (int b = 0; b < 256; ++b) all[static_cast<std::size_t>(b)] =
+      static_cast<char>(b);
+  const std::string_view data = all;
+  const std::vector<const Kernels*> backends = SupportedBackends();
+  for (const std::string_view delims :
+       {std::string_view("="), std::string_view("= \t\n\v\f\r"),
+        std::string_view("\x80\xff"), std::string_view("\x00\x01", 2)}) {
+    for (std::size_t pos = 0; pos <= data.size(); pos += 13) {
+      const std::size_t want = data.find_first_of(delims, pos);
+      for (const Kernels* k : backends) {
+        ASSERT_EQ(k->find_any_of(data, delims, pos), want)
+            << k->name << " pos=" << pos;
+      }
+    }
+  }
+}
+
+TEST(Simd, RandomBuffersAgreeOnFindAnyOf) {
+  std::mt19937_64 rng(20260809);
+  const char alphabet[] = " \t=0123456789abcdef:\x80\xff";
+  const std::vector<const Kernels*> backends = SupportedBackends();
+  for (const std::size_t len : {15u, 16u, 17u, 31u, 32u, 33u, 200u}) {
+    for (int trial = 0; trial < 20; ++trial) {
+      std::string buffer(len, '\0');
+      for (char& c : buffer) {
+        c = alphabet[rng() % (sizeof(alphabet) - 1)];
+      }
+      const std::string_view data = buffer;
+      for (std::size_t pos = 0; pos <= len; ++pos) {
+        const std::size_t want = data.find_first_of("= \t\n\v\f\r", pos);
+        for (const Kernels* k : backends) {
+          ASSERT_EQ(k->find_any_of(data, "= \t\n\v\f\r", pos), want)
+              << k->name << " len=" << len << " pos=" << pos;
+        }
+      }
+    }
+  }
+}
+
+// Every backend's classifier must produce the exact bitmaps the scalar
+// reference does — including zeroed bits past `size` in the last word —
+// at sizes straddling the 16/32/64-byte block boundaries the vector
+// loops and their padded-copy tails care about.
+TEST(Simd, ClassifyKeyValueAgreesAcrossBackends) {
+  std::mt19937_64 rng(20260810);
+  const char alphabet[] = " \t\n=0123456789abcdef:\x80\xff";
+  const std::vector<const Kernels*> backends = SupportedBackends();
+  for (const std::size_t len :
+       {0u, 1u, 15u, 16u, 17u, 31u, 32u, 33u, 63u, 64u, 65u, 127u, 128u,
+        129u, 400u}) {
+    for (int trial = 0; trial < 10; ++trial) {
+      std::string buffer(len, '\0');
+      for (char& c : buffer) {
+        c = alphabet[rng() % (sizeof(alphabet) - 1)];
+      }
+      const std::size_t nwords = (len + 63) / 64;
+      // Whitespace delim: a byte may legitimately set both bitmaps.
+      for (const char delim : {'=', ' '}) {
+        std::vector<std::uint64_t> want_eq(nwords + 1, ~std::uint64_t{0});
+        std::vector<std::uint64_t> want_ws(nwords + 1, ~std::uint64_t{0});
+        scalar::ClassifyKeyValue(buffer.data(), len, delim, want_eq.data(),
+                                 want_ws.data());
+        for (std::size_t i = 0; i < len; ++i) {
+          const bool eq_bit = (want_eq[i / 64] >> (i % 64)) & 1;
+          const bool ws_bit = (want_ws[i / 64] >> (i % 64)) & 1;
+          ASSERT_EQ(eq_bit, buffer[i] == delim) << "i=" << i;
+          const unsigned char c = static_cast<unsigned char>(buffer[i]);
+          ASSERT_EQ(ws_bit, c == ' ' || (c >= '\t' && c <= '\r')) << "i=" << i;
+        }
+        // Bits past `size` in the last word must be zero.
+        if (len % 64 != 0 && nwords > 0) {
+          EXPECT_EQ(want_eq[nwords - 1] >> (len % 64), 0u);
+          EXPECT_EQ(want_ws[nwords - 1] >> (len % 64), 0u);
+        }
+        for (const Kernels* k : backends) {
+          std::vector<std::uint64_t> got_eq(nwords + 1, ~std::uint64_t{0});
+          std::vector<std::uint64_t> got_ws(nwords + 1, ~std::uint64_t{0});
+          k->classify_kv(buffer.data(), len, delim, got_eq.data(),
+                         got_ws.data());
+          for (std::size_t w = 0; w < nwords; ++w) {
+            ASSERT_EQ(got_eq[w], want_eq[w])
+                << k->name << " len=" << len << " word=" << w;
+            ASSERT_EQ(got_ws[w], want_ws[w])
+                << k->name << " len=" << len << " word=" << w;
+          }
+          // The sentinel word past the arrays must be untouched.
+          EXPECT_EQ(got_eq[nwords], ~std::uint64_t{0}) << k->name;
+          EXPECT_EQ(got_ws[nwords], ~std::uint64_t{0}) << k->name;
+        }
       }
     }
   }
@@ -104,9 +270,13 @@ TEST(Simd, ClockRecognizerAgreesWithScalar) {
     for (const char c : {'a', ' ', ':', '0', '\0', '\x80'}) {
       std::string corrupted = base;
       corrupted[i] = c;
-      EXPECT_EQ(IsClockHHMMSS(corrupted.data()),
-                scalar::IsClockHHMMSS(corrupted.data()))
+      const bool want = scalar::IsClockHHMMSS(corrupted.data());
+      EXPECT_EQ(IsClockHHMMSS(corrupted.data()), want)
           << "i=" << i << " c=" << static_cast<int>(c);
+      for (const Kernels* k : SupportedBackends()) {
+        EXPECT_EQ(k->is_clock_hhmmss(corrupted.data()), want)
+            << k->name << " i=" << i << " c=" << static_cast<int>(c);
+      }
     }
   }
 }

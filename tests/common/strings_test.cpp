@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "common/simd.hpp"
+
 namespace ld {
 namespace {
 
@@ -82,6 +84,117 @@ TEST(FindKeyValue, KeyMustBeFieldBoundary) {
   EXPECT_FALSE(FindKeyValue(rec, "status").ok());
   const std::string rec2 = "status=1 Exit_status=7";
   EXPECT_EQ(FindKeyValue(rec2, "status").value(), "1");
+}
+
+TEST(KeyValueView, AgreesWithFindKeyValueOpt) {
+  // The one-pass splitter must answer every lookup exactly as the
+  // per-key scanner does, on realistic accounting payloads and
+  // adversarial ones (values containing '=', dotted keys, bare tokens,
+  // duplicate keys, leading/trailing whitespace).
+  const std::string_view records[] = {
+      "",
+      "   ",
+      "placeApp",
+      "user=u1 group=users queue=normal Exit_status=271 start=123",
+      "Resource_List.nodect=32 Resource_List.neednodes=1:ppn=16 end=9",
+      "  apid=204   jobid=7 nids=12-15,18  ",
+      "status=1 Exit_status=7 status=2",
+      "empty= next=ok",
+      "trailing_bare_token user=x oddball",
+      "a=1\tb=2\nc=3",
+  };
+  const std::string_view keys[] = {
+      "user",        "queue",  "Exit_status",         "status",
+      "start",       "end",    "Resource_List.nodect", "apid",
+      "jobid",       "nids",   "empty",               "next",
+      "oddball",     "a",      "b",                   "c",
+      "Resource_List.neednodes", "missing",
+  };
+  for (const std::string_view rec : records) {
+    const KeyValueView kv(rec);
+    EXPECT_FALSE(kv.overflowed()) << rec;
+    for (const std::string_view key : keys) {
+      EXPECT_EQ(kv.Get(key), FindKeyValueOpt(rec, key))
+          << "rec=\"" << rec << "\" key=" << key;
+    }
+  }
+}
+
+TEST(KeyValueView, ValueMayContainEquals) {
+  const KeyValueView kv("Resource_List.neednodes=1:ppn=16 end=9");
+  EXPECT_EQ(kv.Get("Resource_List.neednodes").value(), "1:ppn=16");
+  EXPECT_EQ(kv.Get("end").value(), "9");
+  // The embedded "ppn=" must not become its own entry.
+  EXPECT_FALSE(kv.Get("ppn").has_value());
+  EXPECT_FALSE(kv.Get("16").has_value());
+}
+
+TEST(KeyValueView, OverflowFallsBackToFullScan) {
+  // More than kMaxEntries pairs: the view abandons its fixed table and
+  // every Get must still answer correctly via the per-key scan.
+  std::string rec;
+  for (std::size_t i = 0; i < KeyValueView::kMaxEntries + 8; ++i) {
+    rec += "k" + std::to_string(i) + "=" + std::to_string(i * 10) + " ";
+  }
+  const KeyValueView kv(rec);
+  EXPECT_TRUE(kv.overflowed());
+  EXPECT_EQ(kv.entry_count(), 0u);
+  for (std::size_t i = 0; i < KeyValueView::kMaxEntries + 8; ++i) {
+    const std::string key = "k" + std::to_string(i);
+    ASSERT_TRUE(kv.Get(key).has_value()) << key;
+    EXPECT_EQ(kv.Get(key).value(), std::to_string(i * 10)) << key;
+  }
+  EXPECT_FALSE(kv.Get("k999").has_value());
+}
+
+TEST(KeyValueView, PinnedBackendsAgree) {
+  // The bitmap walk must split identically on every kernel backend this
+  // host can run, including records whose '=' and token boundaries
+  // straddle the 64-byte word boundary.
+  std::string boundary = std::string(60, 'x') + " key=value tail=1";
+  const std::string_view records[] = {
+      "user=u1 group=users queue=normal Exit_status=271 start=123",
+      "Resource_List.nodect=32 Resource_List.neednodes=1:ppn=16 end=9",
+      "  apid=204   jobid=7 nids=12-15,18  ",
+      boundary,
+  };
+  const std::string_view keys[] = {"user",  "queue", "Exit_status",
+                                   "start", "end",   "Resource_List.nodect",
+                                   "apid",  "key",   "tail"};
+  for (const char* name : {"scalar", "sse2", "avx2", "neon"}) {
+    const simd::Kernels* k = simd::GetBackend(name);
+    if (k == nullptr) continue;
+    for (const std::string_view rec : records) {
+      const KeyValueView pinned(rec, *k);
+      const KeyValueView active(rec);
+      ASSERT_EQ(pinned.entry_count(), active.entry_count())
+          << name << " rec=\"" << rec << "\"";
+      for (const std::string_view key : keys) {
+        EXPECT_EQ(pinned.Get(key), active.Get(key))
+            << name << " rec=\"" << rec << "\" key=" << key;
+      }
+    }
+  }
+}
+
+TEST(KeyValueView, LargeRecordTakesTokenScanFallback) {
+  // A record past the 4 KiB stack-bitmap budget (a giant exec_host
+  // list) takes the per-token fallback, which must answer exactly like
+  // the per-key scanner.
+  std::string rec = "user=u7 exec_host=";
+  for (int i = 0; i < 400; ++i) {
+    rec += "nid" + std::to_string(10000 + i) + "/0+";
+  }
+  rec += " Exit_status=0 end=1357088460";
+  ASSERT_GT(rec.size(), 4096u);
+  const KeyValueView kv(rec);
+  EXPECT_FALSE(kv.overflowed());
+  for (const std::string_view key :
+       {"user", "exec_host", "Exit_status", "end", "missing", "nid10000"}) {
+    EXPECT_EQ(kv.Get(key), FindKeyValueOpt(rec, key)) << key;
+  }
+  EXPECT_EQ(kv.Get("Exit_status").value(), "0");
+  EXPECT_EQ(kv.Get("user").value(), "u7");
 }
 
 TEST(Join, Basics) {

@@ -7,6 +7,7 @@
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include <chrono>
 #include <cstdint>
 #include <filesystem>
 #include <fstream>
@@ -368,6 +369,176 @@ TEST(BundleCache, StreamingLoaderUsesClaimsCacheWithIdenticalReport) {
 
   fs::remove_all(cb.bundle_dir);
   fs::remove_all(cb.cache_dir);
+}
+
+TEST(BundleCache, V1EntryIsRejectedAsStaleAndRewritten) {
+  const CachedBundle cb = MakeCachedBundle("v1stale", 110);
+  const LogDiver diver(cb.machine, CachedConfig(cb));
+
+  auto cold = diver.AnalyzeBundle(cb.bundle_dir);
+  ASSERT_TRUE(cold.ok()) << cold.status().ToString();
+  const std::string entry = FindBundleEntry(cb.cache_dir);
+  ASSERT_NE(entry, "");
+
+  // Stamp the entry as format v1 (the pre-compaction layout).  The
+  // version u32 sits after the 8-byte magic and outside the payload
+  // CRC, so this is exactly what a leftover v1 entry looks like to a v2
+  // build: the version gate must reject it before any column decoding.
+  {
+    std::fstream file(entry, std::ios::in | std::ios::out | std::ios::binary);
+    file.seekp(8);
+    const std::uint32_t v1 = 1;
+    file.write(reinterpret_cast<const char*>(&v1), sizeof(v1));
+  }
+
+  auto rejected = diver.AnalyzeBundle(cb.bundle_dir);
+  ASSERT_TRUE(rejected.ok()) << rejected.status().ToString();
+  EXPECT_EQ(rejected->cache_outcome, CacheOutcome::kRejected);
+  EXPECT_NE(rejected->cache_note.find("version"), std::string::npos)
+      << rejected->cache_note;
+  ExpectSameAnalysis(*cold, *rejected);
+
+  // The fallback text parse rewrote the entry in v2.
+  auto warm = diver.AnalyzeBundle(cb.bundle_dir);
+  ASSERT_TRUE(warm.ok()) << warm.status().ToString();
+  EXPECT_EQ(warm->cache_outcome, CacheOutcome::kHit);
+  ExpectSameAnalysis(*cold, *warm);
+
+  fs::remove_all(cb.bundle_dir);
+  fs::remove_all(cb.cache_dir);
+}
+
+// Small identical claims payloads so every entry has the same size and
+// cap arithmetic is exact.
+cache::ClaimedColumns SmallClaims() {
+  cache::ClaimedColumns claimed;
+  for (std::size_t s = 0; s < kNumLogSources; ++s) {
+    for (std::size_t i = 0; i < 8; ++i) {
+      claimed[s].push_back(
+          TimePoint(1365000000 + static_cast<std::int64_t>(i)));
+    }
+  }
+  return claimed;
+}
+
+std::array<std::size_t, kNumLogSources> ClaimCounts(
+    const cache::ClaimedColumns& claimed) {
+  std::array<std::size_t, kNumLogSources> counts{};
+  for (std::size_t s = 0; s < kNumLogSources; ++s) {
+    counts[s] = claimed[s].size();
+  }
+  return counts;
+}
+
+TEST(BundleCache, CapEvictsLeastRecentlyUsedNotLeastRecentlyWritten) {
+  const std::string dir = ::testing::TempDir() + "/ld_bc_lru";
+  fs::remove_all(dir);
+  const cache::ClaimedColumns claimed = SmallClaims();
+  const auto counts = ClaimCounts(claimed);
+
+  // Three identical-size entries, written unbounded.
+  const cache::BundleCache unbounded(dir);
+  EXPECT_EQ(unbounded.max_bytes(), 0u);
+  for (const std::uint64_t fp : {1ull, 2ull, 3ull}) {
+    ASSERT_TRUE(unbounded.StoreClaims(fp, 2013, claimed).ok());
+  }
+  const std::uint64_t entry_size = fs::file_size(unbounded.ClaimsPath(1));
+  ASSERT_GT(entry_size, 0u);
+
+  // Stamp distinct write times (1 oldest), then *use* entry 1: a load
+  // touches the mtime, so recency must follow use, not write order.
+  const auto now = fs::file_time_type::clock::now();
+  fs::last_write_time(unbounded.ClaimsPath(1), now - std::chrono::hours(3));
+  fs::last_write_time(unbounded.ClaimsPath(2), now - std::chrono::hours(2));
+  fs::last_write_time(unbounded.ClaimsPath(3), now - std::chrono::hours(1));
+  ASSERT_TRUE(unbounded.LoadClaims(1, 2013, counts).ok());
+
+  // Startup trim at two entries' worth: entry 2 is now the LRU victim.
+  const cache::BundleCache capped(dir, 2 * entry_size);
+  EXPECT_EQ(capped.max_bytes(), 2 * entry_size);
+  EXPECT_TRUE(fs::exists(capped.ClaimsPath(1)));
+  EXPECT_FALSE(fs::exists(capped.ClaimsPath(2)));
+  EXPECT_TRUE(fs::exists(capped.ClaimsPath(3)));
+
+  // Survivors still load as clean hits; the evicted entry is a clean
+  // miss — never a wrong or stale answer.
+  EXPECT_TRUE(capped.LoadClaims(1, 2013, counts).ok());
+  EXPECT_TRUE(capped.LoadClaims(3, 2013, counts).ok());
+  EXPECT_EQ(capped.LoadClaims(2, 2013, counts).status().code(),
+            StatusCode::kNotFound);
+
+  // A store through the capped cache evicts again, LRU-first: entry 3
+  // (stamped an hour old) loses to the just-used 1 and just-written 4.
+  fs::last_write_time(capped.ClaimsPath(3), now - std::chrono::hours(1));
+  ASSERT_TRUE(capped.StoreClaims(4, 2013, claimed).ok());
+  EXPECT_TRUE(fs::exists(capped.ClaimsPath(1)));
+  EXPECT_FALSE(fs::exists(capped.ClaimsPath(3)));
+  EXPECT_TRUE(fs::exists(capped.ClaimsPath(4)));
+  EXPECT_TRUE(capped.LoadClaims(4, 2013, counts).ok());
+
+  fs::remove_all(dir);
+}
+
+TEST(BundleCache, ConcurrentCappedWritersEndUnderCapWithValidEntries) {
+  const std::string dir = ::testing::TempDir() + "/ld_bc_cap_race";
+  fs::remove_all(dir);
+  const cache::ClaimedColumns claimed = SmallClaims();
+  const auto counts = ClaimCounts(claimed);
+
+  // Size one entry, then cap the directory at two entries' worth.
+  std::uint64_t entry_size = 0;
+  {
+    const cache::BundleCache sizer(dir);
+    ASSERT_TRUE(sizer.StoreClaims(999, 2013, claimed).ok());
+    entry_size = fs::file_size(sizer.ClaimsPath(999));
+    fs::remove(sizer.ClaimsPath(999));
+  }
+  const std::uint64_t cap = 2 * entry_size;
+
+  // Two processes each publish four entries into the capped directory;
+  // stores and evictions interleave freely.
+  pid_t pids[2];
+  for (int child = 0; child < 2; ++child) {
+    pids[child] = fork();
+    ASSERT_GE(pids[child], 0);
+    if (pids[child] == 0) {
+      const cache::BundleCache mine(dir, cap);
+      for (std::uint64_t i = 0; i < 4; ++i) {
+        const std::uint64_t fp =
+            10 * static_cast<std::uint64_t>(child + 1) + i;
+        if (!mine.StoreClaims(fp, 2013, claimed).ok()) _exit(1);
+      }
+      _exit(0);
+    }
+  }
+  for (const pid_t pid : pids) {
+    int status = 0;
+    ASSERT_EQ(waitpid(pid, &status, 0), pid);
+    ASSERT_TRUE(WIFEXITED(status));
+    EXPECT_EQ(WEXITSTATUS(status), 0);
+  }
+
+  // The last store's eviction pass ran after the last publish, so the
+  // directory ends at or under the cap, with no writer litter, and
+  // every surviving entry loads clean.
+  const cache::BundleCache reader(dir, cap);
+  std::uint64_t total = 0;
+  std::size_t survivors = 0;
+  for (const auto& item : fs::directory_iterator(dir)) {
+    const std::string name = item.path().filename().string();
+    EXPECT_EQ(name.find(".tmp."), std::string::npos) << name;
+    ASSERT_EQ(item.path().extension(), ".ldpbc") << name;
+    total += fs::file_size(item.path());
+    ++survivors;
+    const std::uint64_t fp =
+        std::stoull(name.substr(7, 16), nullptr, 16);
+    auto loaded = reader.LoadClaims(fp, 2013, counts);
+    ASSERT_TRUE(loaded.ok()) << name << ": " << loaded.status().ToString();
+  }
+  EXPECT_LE(total, cap);
+  EXPECT_GE(survivors, 1u);
+
+  fs::remove_all(dir);
 }
 
 TEST(BundleCache, TwoConcurrentColdWritersNeverTearTheEntry) {

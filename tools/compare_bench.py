@@ -25,6 +25,13 @@ violations are reported before the gate fails):
                                       warm parsed-bundle-cache run must
                                       be 5x the cold one, the SIMD scan
                                       must beat the scalar reference.
+  --min-speedup-optional SLOW,FAST,RATIO
+                                      same, but skips (with a note)
+                                      when either row is absent from
+                                      the candidate — for per-backend
+                                      rows the host may not run (a
+                                      SkipWithError'd AVX2 row on a
+                                      pre-AVX2 CPU is dropped on load).
 
 The CI release job runs this with the committed BENCH_*.json baseline
 against numbers it just regenerated on its own runner, so the
@@ -52,6 +59,13 @@ def load_benchmarks(path: pathlib.Path) -> dict[str, dict[str, float]]:
         # Aggregate rows (mean/median/stddev of repetitions) would be
         # double-counted next to their iteration rows; skip them.
         if bench.get("run_type") == "aggregate":
+            continue
+        # Rows the benchmark skipped (SkipWithError — e.g. an AVX2
+        # kernel on a host without AVX2) carry no meaningful timing;
+        # drop them so gates can treat the name as absent.
+        if bench.get("error_occurred"):
+            print(f"note: skipping {bench.get('name')} in {path}: "
+                  f"{bench.get('error_message', 'benchmark reported an error')}")
             continue
         # A hand-edited or truncated baseline can carry entries without
         # the keys this gate needs; skip them visibly rather than dying
@@ -127,19 +141,18 @@ def absolute_gates(args, candidate: dict[str, dict[str, float]]) -> int:
             print(f"ok: {name} peaked at {got:.0f} MB RSS "
                   f"(ceiling {ceiling:.0f} MB)")
 
-    for spec in args.min_speedup:
+    def parse_speedup(spec: str, flag: str) -> tuple[str, str, float]:
         parts = spec.split(",")
         if len(parts) != 3:
             raise SystemExit(
-                f"error: --min-speedup wants SLOW,FAST,RATIO, got {spec!r}")
-        slow, fast = parts[0], parts[1]
+                f"error: {flag} wants SLOW,FAST,RATIO, got {spec!r}")
         try:
-            ratio_floor = float(parts[2])
+            return parts[0], parts[1], float(parts[2])
         except ValueError:
-            raise SystemExit(
-                f"error: --min-speedup: {parts[2]!r} is not a number")
-        if missing(slow, "--min-speedup") or missing(fast, "--min-speedup"):
-            continue
+            raise SystemExit(f"error: {flag}: {parts[2]!r} is not a number")
+
+    def check_speedup(slow: str, fast: str, ratio_floor: float) -> None:
+        nonlocal failures
         ratio = candidate[slow]["time_ns"] / candidate[fast]["time_ns"]
         if ratio < ratio_floor:
             print(f"FAIL: {fast} is only {ratio:.2f}x faster than {slow}, "
@@ -148,6 +161,25 @@ def absolute_gates(args, candidate: dict[str, dict[str, float]]) -> int:
         else:
             print(f"ok: {fast} is {ratio:.2f}x faster than {slow} "
                   f"(floor {ratio_floor:.2f}x)")
+
+    for spec in args.min_speedup:
+        slow, fast, ratio_floor = parse_speedup(spec, "--min-speedup")
+        if missing(slow, "--min-speedup") or missing(fast, "--min-speedup"):
+            continue
+        check_speedup(slow, fast, ratio_floor)
+
+    # The skip-if-unsupported variant: a backend row the host cannot run
+    # (SkipWithError, or not compiled in) is simply absent from the
+    # candidate, and the gate passes with a note instead of failing —
+    # e.g. the AVX2-over-SSE2 margin only binds on an AVX2 runner.
+    for spec in args.min_speedup_optional:
+        slow, fast, ratio_floor = parse_speedup(spec, "--min-speedup-optional")
+        absent = [n for n in (slow, fast) if n not in candidate]
+        if absent:
+            print(f"skip: --min-speedup-optional {spec}: "
+                  f"{', '.join(absent)} not runnable on this host")
+            continue
+        check_speedup(slow, fast, ratio_floor)
 
     return failures
 
@@ -182,6 +214,15 @@ def main() -> int:
         default=[],
         metavar="SLOW,FAST,RATIO",
         help="candidate real_time(SLOW)/real_time(FAST) must be >= RATIO",
+    )
+    parser.add_argument(
+        "--min-speedup-optional",
+        action="append",
+        default=[],
+        metavar="SLOW,FAST,RATIO",
+        help="like --min-speedup, but a row absent from the candidate "
+             "(backend not runnable on this host) skips the gate instead "
+             "of failing it",
     )
     args = parser.parse_args()
 
